@@ -1,0 +1,153 @@
+//! Shared machinery for the figure/table regeneration benches.
+//!
+//! Every `cargo bench` target in this crate regenerates one table or figure
+//! of the SwapCodes paper, printing the same rows/series the paper reports.
+//! Absolute numbers differ (the substrate is a simulator, not a Tesla P100),
+//! but the comparisons — who wins, by what factor, where the crossovers fall
+//! — are the reproduction targets. See `EXPERIMENTS.md` at the workspace
+//! root for recorded paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use swapcodes_core::{apply, Scheme};
+use swapcodes_sim::exec::{ExecConfig, Executor, WarpTrace};
+use swapcodes_sim::profiler::ProfileCounts;
+use swapcodes_sim::timing::{simulate_kernel, KernelTiming, TimingConfig};
+use swapcodes_workloads::Workload;
+
+/// Whether the quick mode is enabled (`SWAPCODES_FAST=1`), shrinking
+/// campaign sizes so the whole bench suite completes in seconds.
+#[must_use]
+pub fn fast_mode() -> bool {
+    std::env::var("SWAPCODES_FAST").is_ok_and(|v| v == "1")
+}
+
+/// Gate-level campaign inputs per unit (paper: 10 000).
+#[must_use]
+pub fn campaign_inputs() -> usize {
+    if fast_mode() {
+        400
+    } else {
+        std::env::var("SWAPCODES_INPUTS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10_000)
+    }
+}
+
+/// Simulate a workload under a scheme; `None` when the scheme does not
+/// apply (inter-thread transparency failures).
+#[must_use]
+pub fn measure(w: &Workload, scheme: Scheme) -> Option<KernelTiming> {
+    let t = apply(scheme, &w.kernel, w.launch).ok()?;
+    let mut mem = w.build_memory();
+    let cfg = TimingConfig::default();
+    Some(simulate_kernel(&t.kernel, t.launch, &mut mem, &cfg))
+}
+
+/// Dynamic-instruction profile of a workload under a scheme (one occupancy
+/// wave of CTAs, like the timing runs).
+#[must_use]
+pub fn profile(w: &Workload, scheme: Scheme) -> Option<ProfileCounts> {
+    let t = apply(scheme, &w.kernel, w.launch).ok()?;
+    let mut mem = w.build_memory();
+    let exec = Executor {
+        config: ExecConfig {
+            cta_limit: Some(4),
+            ..ExecConfig::default()
+        },
+    };
+    Some(exec.run(&t.kernel, t.launch, &mut mem).profile)
+}
+
+/// Traces + timing for power estimation.
+#[must_use]
+pub fn traces_and_timing(w: &Workload, scheme: Scheme) -> Option<(Vec<WarpTrace>, KernelTiming)> {
+    let t = apply(scheme, &w.kernel, w.launch).ok()?;
+    let cfg = TimingConfig::default();
+    let mut mem = w.build_memory();
+    let timing = simulate_kernel(&t.kernel, t.launch, &mut mem, &cfg);
+    let mut mem2 = w.build_memory();
+    let exec = Executor {
+        config: ExecConfig {
+            collect_trace: true,
+            cta_limit: Some(timing.occupancy.ctas.min(t.launch.ctas)),
+            ..ExecConfig::default()
+        },
+    };
+    let out = exec.run(&t.kernel, t.launch, &mut mem2);
+    Some((out.traces, timing))
+}
+
+/// A fixed-width text table printer for the bench reports.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "ragged table row");
+        self.rows.push(row);
+    }
+
+    /// Render with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let cols: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            println!("  {}", cols.join("  "));
+        };
+        line(&self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        println!("  {}", "-".repeat(total));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Arithmetic mean.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Format a slowdown multiplier as a percentage over baseline (`1.21` →
+/// `"+21%"`).
+#[must_use]
+pub fn pct_over(x: f64) -> String {
+    format!("{:+.0}%", (x - 1.0) * 100.0)
+}
+
+/// Print a bench banner.
+pub fn banner(title: &str, what: &str) {
+    println!("\n=== {title} ===");
+    println!("{what}\n");
+}

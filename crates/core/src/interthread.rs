@@ -1,0 +1,278 @@
+//! Inter-thread (warp-splitting) duplication, the §V comparison point.
+//!
+//! The CTA's thread count is doubled; physical lanes `2k` and `2k+1` execute
+//! the same logical thread (the compiler divides thread-indexing
+//! special-register reads by two). Global stores and atomics are performed
+//! by the even ("original") lane only, after shuffle-based checks comparing
+//! the pair's addresses and values. The transformation is not transparent:
+//! it fails for CTAs that already use more than half the thread limit and
+//! for kernels that communicate with warp shuffles.
+
+use swapcodes_isa::{
+    CmpOp, CmpTy, Instr, Kernel, Op, Pred, Reg, Role, ShflMode, SpecialReg, Src,
+};
+use swapcodes_sim::Launch;
+
+use crate::scheme::TransformError;
+
+/// Maximum threads per CTA (CUDA's architectural limit).
+pub const MAX_CTA_THREADS: u32 = 1024;
+
+/// Predicate holding "this lane is the shadow (odd) lane".
+pub const SHADOW_PRED: Pred = Pred(5);
+/// Predicate used by the checking compares.
+pub const CHECK_PRED: Pred = Pred(6);
+
+/// Apply inter-thread duplication.
+///
+/// # Errors
+///
+/// Fails when thread doubling exceeds [`MAX_CTA_THREADS`] or the kernel uses
+/// shuffles.
+///
+/// # Panics
+///
+/// Panics if a store/atomic carries a guard predicate (the pass requires
+/// branch-based flow control around memory writes) or scratch registers run
+/// out.
+pub fn transform(
+    kernel: &Kernel,
+    launch: Launch,
+    checked: bool,
+) -> Result<(Kernel, Launch), TransformError> {
+    let doubled = launch.threads_per_cta * 2;
+    if doubled > MAX_CTA_THREADS {
+        return Err(TransformError::TooManyThreads {
+            required: doubled,
+            limit: MAX_CTA_THREADS,
+        });
+    }
+    if kernel.uses_shuffles() {
+        return Err(TransformError::UsesShuffles);
+    }
+
+    let regs = kernel.register_count();
+    let scratch = regs.div_ceil(2) * 2;
+    assert!(scratch + 2 <= 255, "no scratch space for inter-thread checks");
+    let s0 = Reg(scratch as u8);
+    let s1 = Reg(scratch as u8 + 1);
+
+    let mut out: Vec<Instr> = Vec::with_capacity(kernel.len() * 2 + 8);
+    let trap_placeholder = usize::MAX - 1;
+
+    // Prologue: P5 = lane is odd (shadow).
+    for op in [
+        Op::S2R {
+            d: s0,
+            sr: SpecialReg::LaneId,
+        },
+        Op::And {
+            d: s0,
+            a: s0,
+            b: Src::Imm(1),
+        },
+        Op::SetP {
+            p: SHADOW_PRED,
+            cmp: CmpOp::Ne,
+            ty: CmpTy::U32,
+            a: s0,
+            b: Src::Imm(0),
+        },
+    ] {
+        out.push(Instr::new(op).with_role(Role::CompilerInserted));
+    }
+    let prologue = out.len();
+
+    let mut new_index = vec![0usize; kernel.len()];
+    for (idx, instr) in kernel.instrs().iter().enumerate() {
+        new_index[idx] = out.len();
+        match instr.op {
+            // Thread-indexing fix-up: both lanes of a pair see the same
+            // logical thread index.
+            Op::S2R { d, sr: sr @ (SpecialReg::TidX | SpecialReg::NTidX) } => {
+                out.push(*instr);
+                let mut fix = Instr::new(Op::Shr {
+                    d,
+                    a: d,
+                    b: Src::Imm(1),
+                });
+                fix.guard = instr.guard;
+                fix.role = Role::CompilerInserted;
+                out.push(fix);
+                let _ = sr;
+            }
+            Op::St { .. } | Op::AtomAdd { .. } => {
+                let (addr, v, wide) = match instr.op {
+                    Op::St { addr, v, width, .. } => {
+                        (addr, v, width == swapcodes_isa::MemWidth::W64)
+                    }
+                    Op::AtomAdd { addr, v, .. } => (addr, v, false),
+                    _ => unreachable!("outer match guarantees a memory write"),
+                };
+                assert!(
+                    instr.guard.is_none(),
+                    "inter-thread duplication requires unguarded memory writes"
+                );
+                if checked {
+                    // Compare address and value registers against the
+                    // partner lane via butterfly shuffles.
+                    let mut to_check = vec![addr, v];
+                    if wide {
+                        to_check.push(v.pair_hi());
+                    }
+                    for r in to_check {
+                        if r.is_zero() {
+                            continue;
+                        }
+                        out.push(
+                            Instr::new(Op::Shfl {
+                                d: s1,
+                                a: r,
+                                mode: ShflMode::Bfly(1),
+                            })
+                            .with_role(Role::Check),
+                        );
+                        out.push(
+                            Instr::new(Op::SetP {
+                                p: CHECK_PRED,
+                                cmp: CmpOp::Ne,
+                                ty: CmpTy::U32,
+                                a: r,
+                                b: Src::Reg(s1),
+                            })
+                            .with_role(Role::Check),
+                        );
+                        out.push(
+                            Instr::guarded(
+                                Op::Bra {
+                                    target: trap_placeholder,
+                                },
+                                CHECK_PRED,
+                                true,
+                            )
+                            .with_role(Role::Check),
+                        );
+                    }
+                }
+                // Only the even (original) lane performs the write.
+                let mut st = *instr;
+                st.guard = Some((SHADOW_PRED, false));
+                out.push(st);
+            }
+            _ => out.push(*instr),
+        }
+    }
+
+    out.push(Instr::new(Op::Exit).with_role(Role::CompilerInserted));
+    let trap_index = out.len();
+    out.push(Instr::new(Op::Trap).with_role(Role::Check));
+
+    for i in &mut out[prologue..] {
+        if let Op::Bra { target } = &mut i.op {
+            if *target == trap_placeholder {
+                *target = trap_index;
+            } else {
+                *target = new_index[*target];
+            }
+        }
+    }
+
+    let launch = Launch {
+        ctas: launch.ctas,
+        threads_per_cta: doubled,
+        shared_words: launch.shared_words,
+    };
+    Ok((
+        Kernel::from_instrs(format!("{}.interthread", kernel.name()), out),
+        launch,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcodes_isa::{KernelBuilder, MemSpace, MemWidth};
+
+    fn store_kernel() -> Kernel {
+        let mut k = KernelBuilder::new("s");
+        k.push(Op::S2R {
+            d: Reg(0),
+            sr: SpecialReg::TidX,
+        });
+        k.push(Op::Shl {
+            d: Reg(1),
+            a: Reg(0),
+            b: Src::Imm(2),
+        });
+        k.push(Op::St {
+            space: MemSpace::Global,
+            addr: Reg(1),
+            offset: 0,
+            v: Reg(0),
+            width: MemWidth::W32,
+        });
+        k.push(Op::Exit);
+        k.finish()
+    }
+
+    #[test]
+    fn doubles_threads_and_guards_stores() {
+        let (out, launch) =
+            transform(&store_kernel(), Launch::grid(4, 128), true).expect("transform");
+        assert_eq!(launch.threads_per_cta, 256);
+        let st = out
+            .instrs()
+            .iter()
+            .find(|i| matches!(i.op, Op::St { .. }))
+            .expect("store kept");
+        assert_eq!(st.guard, Some((SHADOW_PRED, false)));
+        // Checking shuffles present for address and value.
+        let shfls = out
+            .instrs()
+            .iter()
+            .filter(|i| matches!(i.op, Op::Shfl { .. }))
+            .count();
+        assert_eq!(shfls, 2);
+    }
+
+    #[test]
+    fn unchecked_variant_has_no_checks() {
+        let (out, _) =
+            transform(&store_kernel(), Launch::grid(4, 128), false).expect("transform");
+        assert!(!out.instrs().iter().any(|i| i.role == Role::Check && !matches!(i.op, Op::Trap)));
+    }
+
+    #[test]
+    fn rejects_oversized_ctas() {
+        let err = transform(&store_kernel(), Launch::grid(1, 768), true).unwrap_err();
+        assert!(matches!(err, TransformError::TooManyThreads { .. }));
+    }
+
+    #[test]
+    fn rejects_shuffle_kernels() {
+        let mut k = KernelBuilder::new("sh");
+        k.push(Op::Shfl {
+            d: Reg(0),
+            a: Reg(1),
+            mode: ShflMode::Bfly(16),
+        });
+        k.push(Op::Exit);
+        let err = transform(&k.finish(), Launch::grid(1, 128), true).unwrap_err();
+        assert_eq!(err, TransformError::UsesShuffles);
+    }
+
+    #[test]
+    fn tid_reads_are_halved() {
+        let (out, _) = transform(&store_kernel(), Launch::grid(1, 64), true).expect("t");
+        // S2R TidX followed by SHR by 1.
+        let pos = out
+            .instrs()
+            .iter()
+            .position(|i| matches!(i.op, Op::S2R { sr: SpecialReg::TidX, .. }))
+            .expect("tid read");
+        assert!(matches!(
+            out.instrs()[pos + 1].op,
+            Op::Shr { b: Src::Imm(1), .. }
+        ));
+    }
+}

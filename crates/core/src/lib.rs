@@ -1,0 +1,70 @@
+//! SwapCodes: hardware-software cooperative GPU pipeline error detection.
+//!
+//! This crate implements the paper's contribution on top of the
+//! [`swapcodes_isa`] IR and the [`swapcodes_sim`] streaming-multiprocessor
+//! model: the backend-compiler duplication passes and the protection schemes
+//! they pair with.
+//!
+//! * [`Scheme::SwDup`] — software-enforced intra-thread instruction
+//!   duplication with a shadow register space and explicit checking code
+//!   (the Base-DRDV-style baseline of §IV-A);
+//! * [`Scheme::SwapEcc`] — intra-thread duplication with *swapped
+//!   codewords*: the shadow re-executes each instruction but writes back
+//!   only the ECC check bits, letting the register-file decoder detect
+//!   pipeline errors on every read with no checking instructions, no shadow
+//!   registers, and end-to-end move propagation (§III-A);
+//! * [`Scheme::SwapPredict`] — Swap-ECC plus selective hardware check-bit
+//!   prediction, eliminating shadow copies for predictable operations
+//!   (§III-C, Fig. 16's predictor ladder);
+//! * [`Scheme::InterThread`] — the §V comparison point: warp-splitting
+//!   redundant multithreading with shuffle-based checking.
+//!
+//! # Example
+//!
+//! ```
+//! use swapcodes_core::{apply, PredictorSet, Scheme};
+//! use swapcodes_isa::{KernelBuilder, Op, Reg, Src};
+//! use swapcodes_sim::Launch;
+//!
+//! let mut k = KernelBuilder::new("axpy");
+//! k.push(Op::IAdd { d: Reg(0), a: Reg(1), b: Src::Imm(7) });
+//! k.push(Op::Exit);
+//! let kernel = k.finish();
+//!
+//! let t = apply(Scheme::SwapEcc, &kernel, Launch::grid(1, 32)).unwrap();
+//! // The add gained an ECC-only shadow; no checking code was added.
+//! assert_eq!(t.kernel.len(), 3);
+//! # let _ = Scheme::SwapPredict(PredictorSet::MAD);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod interthread;
+pub mod report;
+mod scheme;
+mod swapecc;
+mod swdup;
+
+pub use report::{report, TransformReport};
+pub use scheme::{PredictorSet, Scheme, TransformError, Transformed};
+
+use swapcodes_isa::Kernel;
+use swapcodes_sim::Launch;
+
+/// Apply `scheme` to a kernel, producing the transformed kernel, the
+/// (possibly adjusted) launch geometry and the register-file protection it
+/// requires.
+///
+/// # Errors
+///
+/// Returns [`TransformError`] when inter-thread duplication cannot be
+/// applied (too many threads per CTA, or the kernel uses warp shuffles) —
+/// the §V transparency failures.
+pub fn apply(
+    scheme: Scheme,
+    kernel: &Kernel,
+    launch: Launch,
+) -> Result<Transformed, TransformError> {
+    scheme.apply(kernel, launch)
+}

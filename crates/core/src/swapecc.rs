@@ -1,0 +1,302 @@
+//! The Swap-ECC / Swap-Predict backend pass (§III-A, §III-C).
+//!
+//! Each duplication-eligible instruction is re-executed by a shadow copy
+//! that writes back *only* the ECC check bits of the destination register
+//! (the masked write of Table II), creating the write-after-write dependence
+//! that serialises consumers behind both halves. There is no checking code —
+//! the register-file decoder checks implicitly on every read — and no shadow
+//! register space.
+//!
+//! Two refinements from the paper:
+//!
+//! * **end-to-end move propagation** (Fig. 4): register moves propagate the
+//!   full swapped codeword and need no shadow copy;
+//! * **single-register accumulation** (`d = d op x`) is impossible because
+//!   source and destination registers are shared between the original and
+//!   shadow instruction; the pass renames colliding sources through scratch
+//!   moves (which themselves ride move propagation).
+//!
+//! With a non-empty [`PredictorSet`], operations covered by hardware
+//! check-bit prediction units keep a single copy marked `predicted`
+//! (Swap-Predict, Fig. 8).
+
+use std::collections::{HashMap, HashSet};
+
+use swapcodes_isa::{Instr, Kernel, Op, Reg, RegRole, Role, Src};
+
+use crate::scheme::PredictorSet;
+
+/// Apply the Swap-ECC/Swap-Predict transformation.
+///
+/// # Panics
+///
+/// Panics if the scratch registers needed for accumulation renaming do not
+/// fit in the architectural register space.
+#[must_use]
+pub fn transform(kernel: &Kernel, predictors: PredictorSet) -> Kernel {
+    let regs = kernel.register_count();
+    let scratch_base = regs.div_ceil(2) * 2;
+    assert!(
+        scratch_base + 8 <= 255,
+        "no scratch space above {regs} registers"
+    );
+
+    let mut out: Vec<Instr> = Vec::with_capacity(kernel.len() * 2);
+    let mut new_index = vec![0usize; kernel.len()];
+
+    for (idx, instr) in kernel.instrs().iter().enumerate() {
+        new_index[idx] = out.len();
+        if !instr.op.is_dup_eligible() {
+            out.push(*instr);
+            continue;
+        }
+        if instr.op.is_move() || predictors.covers(&instr.op) {
+            let mut i = *instr;
+            i.predicted = true;
+            out.push(i);
+            continue;
+        }
+
+        // Rename sources that collide with the destination through scratch
+        // moves (move-propagated, so they need no shadows themselves).
+        let (preludes, op) = rename_accumulation(&instr.op, scratch_base as u8);
+        for (src, dst, wide) in preludes {
+            let mut m = Instr::new(Op::Mov {
+                d: dst,
+                a: Src::Reg(src),
+            });
+            m.guard = instr.guard;
+            m.role = Role::CompilerInserted;
+            m.predicted = true;
+            out.push(m);
+            if wide {
+                let mut hi = Instr::new(Op::Mov {
+                    d: dst.pair_hi(),
+                    a: Src::Reg(src.pair_hi()),
+                });
+                hi.guard = instr.guard;
+                hi.role = Role::CompilerInserted;
+                hi.predicted = true;
+                out.push(hi);
+            }
+        }
+
+        let mut original = *instr;
+        original.op = op;
+        out.push(original);
+
+        let mut shadow = original;
+        shadow.role = Role::Shadow;
+        shadow.ecc_only = true;
+        out.push(shadow);
+    }
+
+    for i in &mut out {
+        if let Op::Bra { target } = &mut i.op {
+            *target = new_index[*target];
+        }
+    }
+
+    Kernel::from_instrs(format!("{}.swapecc", kernel.name()), out)
+}
+
+/// Pair-width source operands of an op (bases of 64-bit reads).
+fn wide_use_bases(op: &Op) -> Vec<Reg> {
+    match *op {
+        Op::IMadWide { c, .. } => vec![c],
+        Op::DAdd { a, b, .. } | Op::DMul { a, b, .. } => vec![a, b],
+        Op::DFma { a, b, c, .. } => vec![a, b, c],
+        Op::St { v, width: swapcodes_isa::MemWidth::W64, .. } => vec![v],
+        _ => Vec::new(),
+    }
+}
+
+/// If any source register collides with a destination register, rewrite the
+/// op to read renamed scratch copies. Returns the prelude moves
+/// `(src, scratch, wide)` and the rewritten op.
+fn rename_accumulation(op: &Op, scratch_base: u8) -> (Vec<(Reg, Reg, bool)>, Op) {
+    let defs: HashSet<Reg> = op.defs().into_iter().collect();
+    if defs.is_empty() {
+        return (Vec::new(), *op);
+    }
+    let wide: HashSet<Reg> = wide_use_bases(op).into_iter().collect();
+    let collides = |r: Reg| {
+        defs.contains(&r) || (wide.contains(&r) && defs.contains(&r.pair_hi()))
+    };
+    if !op.uses().iter().any(|&r| collides(r) || defs.contains(&r)) {
+        return (Vec::new(), *op);
+    }
+
+    let mut next = scratch_base;
+    let mut map: HashMap<Reg, Reg> = HashMap::new();
+    let mut preludes: Vec<(Reg, Reg, bool)> = Vec::new();
+    let new_op = op.map_regs(|r, role| {
+        if role != RegRole::Use || !collides(r) {
+            return r;
+        }
+        if let Some(&s) = map.get(&r) {
+            return s;
+        }
+        let is_wide = wide.contains(&r);
+        // Keep scratch pairs even-aligned.
+        if is_wide && !next.is_multiple_of(2) {
+            next += 1;
+        }
+        let s = Reg(next);
+        next += if is_wide { 2 } else { 1 };
+        map.insert(r, s);
+        preludes.push((r, s, is_wide));
+        s
+    });
+    (preludes, new_op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcodes_isa::{KernelBuilder, MemSpace, MemWidth, SpecialReg};
+
+    #[test]
+    fn shadows_are_ecc_only_and_no_checks_exist() {
+        let mut k = KernelBuilder::new("s");
+        k.push(Op::FFma {
+            d: Reg(0),
+            a: Reg(1),
+            b: Reg(2),
+            c: Reg(3),
+        });
+        k.push(Op::Exit);
+        let out = transform(&k.finish(), PredictorSet::NONE);
+        assert_eq!(out.len(), 3);
+        let shadow = &out.instrs()[1];
+        assert!(shadow.ecc_only);
+        assert_eq!(shadow.role, Role::Shadow);
+        assert_eq!(shadow.op, out.instrs()[0].op, "same registers, swapped write");
+        assert!(!out.instrs().iter().any(|i| i.role == Role::Check));
+        // No shadow register space: register count unchanged.
+        assert_eq!(out.register_count(), 4);
+    }
+
+    #[test]
+    fn moves_ride_propagation() {
+        let mut k = KernelBuilder::new("m");
+        k.push(Op::Mov {
+            d: Reg(0),
+            a: Src::Reg(Reg(1)),
+        });
+        k.push(Op::Exit);
+        let out = transform(&k.finish(), PredictorSet::NONE);
+        assert_eq!(out.len(), 2);
+        assert!(out.instrs()[0].predicted);
+    }
+
+    #[test]
+    fn predicted_ops_are_not_duplicated() {
+        let mut k = KernelBuilder::new("p");
+        k.push(Op::IAdd {
+            d: Reg(0),
+            a: Reg(1),
+            b: Src::Imm(1),
+        });
+        k.push(Op::FFma {
+            d: Reg(2),
+            a: Reg(3),
+            b: Reg(4),
+            c: Reg(5),
+        });
+        k.push(Op::Exit);
+        let out = transform(&k.finish(), PredictorSet::ADD_SUB);
+        // IADD predicted (1 instr), FFMA duplicated (2), EXIT (1).
+        assert_eq!(out.len(), 4);
+        assert!(out.instrs()[0].predicted);
+        assert!(out.instrs()[2].ecc_only);
+    }
+
+    #[test]
+    fn accumulation_is_renamed() {
+        let mut k = KernelBuilder::new("acc");
+        k.push(Op::FFma {
+            d: Reg(4),
+            a: Reg(0),
+            b: Reg(1),
+            c: Reg(4),
+        });
+        k.push(Op::Exit);
+        let out = transform(&k.finish(), PredictorSet::NONE);
+        // MOV scratch<-R4, FFMA d=R4 c=scratch, shadow, EXIT.
+        assert_eq!(out.len(), 4);
+        match out.instrs()[0].op {
+            Op::Mov { d, a: Src::Reg(s) } => {
+                assert_eq!(s, Reg(4));
+                assert!(d.0 >= 6);
+            }
+            ref other => panic!("expected scratch move, got {other:?}"),
+        }
+        match out.instrs()[1].op {
+            Op::FFma { d, c, .. } => {
+                assert_eq!(d, Reg(4));
+                assert_ne!(c, Reg(4));
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+        assert!(out.instrs()[2].ecc_only);
+    }
+
+    #[test]
+    fn wide_accumulation_renames_pairs() {
+        let mut k = KernelBuilder::new("dacc");
+        k.push(Op::DFma {
+            d: Reg(2),
+            a: Reg(4),
+            b: Reg(6),
+            c: Reg(2),
+        });
+        k.push(Op::Exit);
+        let out = transform(&k.finish(), PredictorSet::NONE);
+        // Two scratch moves (pair), rewritten DFMA, shadow, EXIT.
+        assert_eq!(out.len(), 5);
+        match out.instrs()[2].op {
+            Op::DFma { d, c, .. } => {
+                assert_eq!(d, Reg(2));
+                assert_ne!(c, Reg(2));
+                assert_eq!(c.0 % 2, 0, "scratch pair must stay aligned");
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_targets_survive() {
+        let mut k = KernelBuilder::new("b");
+        let end = k.label();
+        k.push(Op::IAdd {
+            d: Reg(0),
+            a: Reg(1),
+            b: Src::Imm(1),
+        });
+        k.branch_to(end);
+        k.push(Op::S2R {
+            d: Reg(0),
+            sr: SpecialReg::TidX,
+        });
+        k.bind(end);
+        k.push(Op::St {
+            space: MemSpace::Global,
+            addr: Reg(0),
+            offset: 0,
+            v: Reg(1),
+            width: MemWidth::W32,
+        });
+        k.push(Op::Exit);
+        let out = transform(&k.finish(), PredictorSet::NONE);
+        let bra = out
+            .instrs()
+            .iter()
+            .find_map(|i| match i.op {
+                Op::Bra { target } => Some(target),
+                _ => None,
+            })
+            .expect("branch present");
+        assert!(matches!(out.instrs()[bra].op, Op::St { .. }));
+    }
+}

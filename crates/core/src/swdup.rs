@@ -1,0 +1,237 @@
+//! Software-enforced intra-thread instruction duplication (the paper's
+//! SW-Dup baseline, a Base-DRDV-style pass).
+//!
+//! Every duplication-eligible instruction is doubled into a shadow register
+//! space; explicit checking code (compare + branch to a trap) is inserted
+//! before every instruction that consumes a duplicated value without itself
+//! being duplicated — memory operations, address computations feeding them,
+//! predicate writes and control flow. This gives the classic three costs:
+//! checking instructions, doubled register pressure, doubled arithmetic.
+
+use std::collections::HashSet;
+
+use swapcodes_isa::{CmpOp, CmpTy, Instr, Kernel, Op, Pred, Reg, Role, Src};
+
+/// The predicate register reserved for checking code.
+pub const CHECK_PRED: Pred = Pred(6);
+
+/// Apply software duplication to `kernel`.
+///
+/// # Panics
+///
+/// Panics if the kernel's register usage cannot be doubled within the
+/// 255-register architectural space.
+#[must_use]
+pub fn transform(kernel: &Kernel) -> Kernel {
+    let regs = kernel.register_count();
+    let off = regs.div_ceil(2) * 2; // keep 64-bit pairs aligned
+    assert!(
+        off + regs <= 255,
+        "cannot double {regs} registers within the register file"
+    );
+    let off = off as u8;
+
+    // Registers that ever carry a duplicated (shadow-tracked) value.
+    let mut shadowed: HashSet<Reg> = HashSet::new();
+    for i in kernel.instrs() {
+        if i.op.is_dup_eligible() {
+            shadowed.extend(i.op.defs());
+        }
+    }
+
+    // Conservative control-flow handling for check caching: any instruction
+    // that is a branch target invalidates the cache (values may arrive from
+    // multiple paths with different check states).
+    let mut is_target = vec![false; kernel.len()];
+    for i in kernel.instrs() {
+        if let Op::Bra { target } = i.op {
+            if target < kernel.len() {
+                is_target[target] = true;
+            }
+        }
+    }
+
+    let mut out: Vec<Instr> = Vec::with_capacity(kernel.len() * 3);
+    let mut new_index = vec![0usize; kernel.len()];
+    let mut checked: HashSet<Reg> = HashSet::new();
+    // Branches to the trap block are fixed up at the end.
+    let trap_placeholder = usize::MAX - 1;
+
+    for (idx, instr) in kernel.instrs().iter().enumerate() {
+        new_index[idx] = out.len();
+        if is_target[idx] {
+            checked.clear();
+        }
+        if instr.op.is_dup_eligible() {
+            for d in instr.op.defs() {
+                checked.remove(&d);
+            }
+            out.push(*instr);
+            let shadow_op = instr.op.map_regs(|r, _role| {
+                if shadowed.contains(&r) {
+                    Reg(r.0 + off)
+                } else {
+                    r
+                }
+            });
+            let mut s = *instr;
+            s.op = shadow_op;
+            s.role = Role::Shadow;
+            out.push(s);
+        } else {
+            // Check every duplicated source before the unprotected consumer.
+            // A register already checked and not redefined since needs no
+            // re-check (the standard DRDV redundancy elimination, which is
+            // what keeps the paper's checking bloat in the 11-35% band).
+            for r in instr.op.uses() {
+                if !shadowed.contains(&r) || !checked.insert(r) {
+                    continue;
+                }
+                out.push(
+                    Instr::new(Op::SetP {
+                        p: CHECK_PRED,
+                        cmp: CmpOp::Ne,
+                        ty: CmpTy::U32,
+                        a: r,
+                        b: Src::Reg(Reg(r.0 + off)),
+                    })
+                    .with_role(Role::Check),
+                );
+                out.push(
+                    Instr::guarded(
+                        Op::Bra {
+                            target: trap_placeholder,
+                        },
+                        CHECK_PRED,
+                        true,
+                    )
+                    .with_role(Role::Check),
+                );
+            }
+            out.push(*instr);
+            // Keep the shadow space coherent after non-duplicated writers
+            // (loads, shuffles) so later checks do not trip falsely.
+            for d in instr.op.defs() {
+                checked.remove(&d);
+                if shadowed.contains(&d) {
+                    let mut m = Instr::new(Op::Mov {
+                        d: Reg(d.0 + off),
+                        a: Src::Reg(d),
+                    });
+                    m.guard = instr.guard;
+                    m.role = Role::CompilerInserted;
+                    out.push(m);
+                }
+            }
+        }
+    }
+
+    // Trap block: never reached by fall-through (a defensive EXIT guards it).
+    out.push(Instr::new(Op::Exit).with_role(Role::CompilerInserted));
+    let trap_index = out.len();
+    out.push(Instr::new(Op::Trap).with_role(Role::Check));
+
+    // Retarget branches.
+    for i in &mut out {
+        if let Op::Bra { target } = &mut i.op {
+            if *target == trap_placeholder {
+                *target = trap_index;
+            } else if *target != trap_index {
+                *target = new_index[*target];
+            }
+        }
+    }
+
+    Kernel::from_instrs(format!("{}.swdup", kernel.name()), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcodes_isa::{KernelBuilder, MemSpace, MemWidth};
+
+    fn sample() -> Kernel {
+        let mut k = KernelBuilder::new("s");
+        k.push(Op::S2R {
+            d: Reg(0),
+            sr: swapcodes_isa::SpecialReg::TidX,
+        });
+        k.push(Op::IAdd {
+            d: Reg(1),
+            a: Reg(0),
+            b: Src::Imm(4),
+        });
+        k.push(Op::St {
+            space: MemSpace::Global,
+            addr: Reg(1),
+            offset: 0,
+            v: Reg(0),
+            width: MemWidth::W32,
+        });
+        k.push(Op::Exit);
+        k.finish()
+    }
+
+    #[test]
+    fn duplicates_eligible_and_checks_stores() {
+        let out = transform(&sample());
+        let shadows = out
+            .instrs()
+            .iter()
+            .filter(|i| i.role == Role::Shadow)
+            .count();
+        assert_eq!(shadows, 2, "S2R and IADD get shadows");
+        let checks = out
+            .instrs()
+            .iter()
+            .filter(|i| i.role == Role::Check)
+            .count();
+        // Two checked registers (addr R1, value R0) * 2 instructions + trap.
+        assert_eq!(checks, 5);
+        // Register pressure doubled.
+        assert!(out.register_count() >= 2 * sample().register_count());
+    }
+
+    #[test]
+    fn branch_targets_survive() {
+        let mut k = KernelBuilder::new("b");
+        let end = k.label();
+        k.push(Op::IAdd {
+            d: Reg(0),
+            a: Reg(0),
+            b: Src::Imm(1),
+        });
+        k.branch_to(end);
+        k.push(Op::IAdd {
+            d: Reg(0),
+            a: Reg(0),
+            b: Src::Imm(100),
+        });
+        k.bind(end);
+        k.push(Op::Exit);
+        let out = transform(&k.finish());
+        // Find the unconditional branch and confirm it lands on the Exit.
+        let bra = out
+            .instrs()
+            .iter()
+            .find_map(|i| match i.op {
+                Op::Bra { target } if i.role == Role::Original => Some(target),
+                _ => None,
+            })
+            .expect("branch present");
+        assert!(matches!(out.instrs()[bra].op, Op::Exit));
+    }
+
+    #[test]
+    fn trap_block_is_terminal() {
+        let out = transform(&sample());
+        let last = out.instrs().last().expect("non-empty");
+        assert!(matches!(last.op, Op::Trap));
+        // Guarded check branches point at it.
+        let trap_idx = out.len() - 1;
+        assert!(out.instrs().iter().any(|i| matches!(
+            i.op,
+            Op::Bra { target } if target == trap_idx
+        )));
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based semantic-equivalence tests: every transformation must
+//! preserve the results of randomly generated straight-line kernels.
+
+use proptest::prelude::*;
+use swapcodes_core::{apply, PredictorSet, Scheme};
+use swapcodes_isa::{
+    Instr, Kernel, KernelBuilder, MemSpace, MemWidth, Op, Reg, SpecialReg, Src,
+};
+use swapcodes_sim::exec::{Detection, ExecConfig, Executor};
+use swapcodes_sim::{GlobalMemory, Launch};
+
+/// One randomly chosen arithmetic operation over registers R0..R7 (results
+/// masked into safe ranges so address math stays in bounds).
+#[derive(Debug, Clone, Copy)]
+enum RandOp {
+    IAdd(u8, u8, i32),
+    ISub(u8, u8, i32),
+    IMul(u8, u8, i32),
+    And(u8, u8, i32),
+    Xor(u8, u8, u8),
+    Shl(u8, u8, u8),
+    IMin(u8, u8, u8),
+    FAdd(u8, u8),
+    FMul(u8, u8),
+    FFma(u8, u8, u8, u8),
+    Mov(u8, u8),
+}
+
+fn rand_op() -> impl Strategy<Value = RandOp> {
+    let r = 0u8..8;
+    prop_oneof![
+        (r.clone(), r.clone(), -64i32..64).prop_map(|(d, a, i)| RandOp::IAdd(d, a, i)),
+        (r.clone(), r.clone(), -64i32..64).prop_map(|(d, a, i)| RandOp::ISub(d, a, i)),
+        (r.clone(), r.clone(), -4i32..4).prop_map(|(d, a, i)| RandOp::IMul(d, a, i)),
+        (r.clone(), r.clone(), 0i32..0xFFFF).prop_map(|(d, a, i)| RandOp::And(d, a, i)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(d, a, b)| RandOp::Xor(d, a, b)),
+        (r.clone(), r.clone(), 0u8..8).prop_map(|(d, a, s)| RandOp::Shl(d, a, s)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(d, a, b)| RandOp::IMin(d, a, b)),
+        (r.clone(), r.clone()).prop_map(|(d, a)| RandOp::FAdd(d, a)),
+        (r.clone(), r.clone()).prop_map(|(d, a)| RandOp::FMul(d, a)),
+        (r.clone(), r.clone(), r.clone(), r.clone())
+            .prop_map(|(d, a, b, c)| RandOp::FFma(d, a, b, c)),
+        (r.clone(), r).prop_map(|(d, a)| RandOp::Mov(d, a)),
+    ]
+}
+
+fn build_kernel(ops: &[RandOp]) -> Kernel {
+    let mut k = KernelBuilder::new("random");
+    // Seed registers from the thread id so lanes differ.
+    k.push(Op::S2R {
+        d: Reg(0),
+        sr: SpecialReg::TidX,
+    });
+    for i in 1..8u8 {
+        k.push(Op::IMad {
+            d: Reg(i),
+            a: Reg(0),
+            b: Reg(i - 1),
+            c: Reg(0),
+        });
+    }
+    for &op in ops {
+        let instr = match op {
+            RandOp::IAdd(d, a, i) => Op::IAdd { d: Reg(d), a: Reg(a), b: Src::Imm(i) },
+            RandOp::ISub(d, a, i) => Op::ISub { d: Reg(d), a: Reg(a), b: Src::Imm(i) },
+            RandOp::IMul(d, a, i) => Op::IMul { d: Reg(d), a: Reg(a), b: Src::Imm(i) },
+            RandOp::And(d, a, i) => Op::And { d: Reg(d), a: Reg(a), b: Src::Imm(i) },
+            RandOp::Xor(d, a, b) => Op::Xor { d: Reg(d), a: Reg(a), b: Src::Reg(Reg(b)) },
+            RandOp::Shl(d, a, s) => Op::Shl { d: Reg(d), a: Reg(a), b: Src::Imm(i32::from(s)) },
+            RandOp::IMin(d, a, b) => Op::IMin { d: Reg(d), a: Reg(a), b: Src::Reg(Reg(b)) },
+            RandOp::FAdd(d, a) => Op::FAdd { d: Reg(d), a: Reg(a), b: Src::Imm(0x3F00_0000) },
+            RandOp::FMul(d, a) => Op::FMul { d: Reg(d), a: Reg(a), b: Src::Imm(0x3F40_0000) },
+            RandOp::FFma(d, a, b, c) => Op::FFma { d: Reg(d), a: Reg(a), b: Reg(b), c: Reg(c) },
+            RandOp::Mov(d, a) => Op::Mov { d: Reg(d), a: Src::Reg(Reg(a)) },
+        };
+        k.push_instr(Instr::new(instr));
+    }
+    // Store the XOR of all registers to out[tid].
+    for i in 1..8u8 {
+        k.push(Op::Xor {
+            d: Reg(8),
+            a: if i == 1 { Reg(0) } else { Reg(8) },
+            b: Src::Reg(Reg(i)),
+        });
+    }
+    k.push(Op::Shl {
+        d: Reg(9),
+        a: Reg(0),
+        b: Src::Imm(2),
+    });
+    k.push(Op::And {
+        d: Reg(9),
+        a: Reg(9),
+        b: Src::Imm(0xFF),
+    });
+    k.push(Op::St {
+        space: MemSpace::Global,
+        addr: Reg(9),
+        offset: 0,
+        v: Reg(8),
+        width: MemWidth::W32,
+    });
+    k.push(Op::Exit);
+    k.finish()
+}
+
+fn run(kernel: &Kernel, scheme: Scheme) -> Vec<u32> {
+    let launch = Launch::grid(1, 64);
+    let t = apply(scheme, kernel, launch).expect("intra-thread schemes apply");
+    let mut mem = GlobalMemory::new(1024);
+    let exec = Executor {
+        config: ExecConfig {
+            protection: t.protection,
+            ..ExecConfig::default()
+        },
+    };
+    let out = exec.run(&t.kernel, t.launch, &mut mem);
+    assert_eq!(out.detection, Detection::None, "{scheme:?} false positive");
+    mem.read_u32_slice(0, 64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every intra-thread scheme computes exactly what the baseline computes
+    /// on random straight-line programs, and never raises a false DUE/trap.
+    #[test]
+    fn transforms_preserve_random_programs(ops in prop::collection::vec(rand_op(), 1..24)) {
+        let kernel = build_kernel(&ops);
+        let base = run(&kernel, Scheme::Baseline);
+        for scheme in [
+            Scheme::SwDup,
+            Scheme::SwapEcc,
+            Scheme::SwapPredict(PredictorSet::ADD_SUB),
+            Scheme::SwapPredict(PredictorSet::MAD),
+            Scheme::SwapPredict(PredictorSet::OTHER_FXP),
+            Scheme::SwapPredict(PredictorSet::FP_MAD),
+        ] {
+            prop_assert_eq!(&run(&kernel, scheme), &base, "{:?} diverged", scheme);
+        }
+    }
+
+    /// Transformed kernels keep branch targets in range and never shrink.
+    #[test]
+    fn transforms_are_well_formed(ops in prop::collection::vec(rand_op(), 1..24)) {
+        let kernel = build_kernel(&ops);
+        for scheme in [Scheme::SwDup, Scheme::SwapEcc] {
+            let t = apply(scheme, &kernel, Launch::grid(1, 32)).expect("applies");
+            prop_assert!(t.kernel.len() >= kernel.len());
+            for i in t.kernel.instrs() {
+                if let Op::Bra { target } = i.op {
+                    prop_assert!(target < t.kernel.len());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Hamming (38,32) single-error-correcting code (the SEC of SEC-DP).
+
+use crate::code::{RawDecode, SystematicCode};
+
+/// Number of check bits in the (38,32) code.
+pub const CHECK_BITS: u32 = 6;
+
+/// A Hamming (38,32) single-error-correcting code.
+///
+/// Six check bits give 63 non-zero syndromes, enough to point at any of the
+/// 38 bit positions. Data columns use the weight-2 and weight-3 six-bit
+/// vectors (in increasing numeric order); check columns are the weight-1 unit
+/// vectors. SEC alone has minimum distance 3, so double-bit errors may
+/// miscorrect — the SEC-DP organization (§III-B of the paper) layers a data
+/// parity bit and careful codeword layout on top to recover SEC-DED-class
+/// protection within 7 total redundant bits.
+///
+/// # Example
+///
+/// ```
+/// use swapcodes_ecc::{SecCode, SystematicCode, RawDecode};
+///
+/// let code = SecCode::new();
+/// let check = code.encode(7);
+/// assert!(matches!(code.decode(7 ^ (1 << 3), check),
+///         RawDecode::CorrectedData { bit: 3, .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SecCode {
+    columns: [u8; 32],
+}
+
+impl SecCode {
+    /// Build the code.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut columns = [0u8; 32];
+        let mut next = 0usize;
+        for weight in [2u32, 3] {
+            for c in 1u8..64 {
+                if c.count_ones() == weight && next < 32 {
+                    columns[next] = c;
+                    next += 1;
+                }
+            }
+        }
+        debug_assert_eq!(next, 32);
+        Self { columns }
+    }
+
+    /// The parity-check column for data bit `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= 32`.
+    #[must_use]
+    pub fn column(&self, j: u32) -> u8 {
+        self.columns[j as usize]
+    }
+
+    /// Syndrome of a stored pair: zero iff the pair is a codeword.
+    #[must_use]
+    pub fn syndrome(&self, data: u32, check: u16) -> u8 {
+        (self.encode(data) ^ (check & self.check_mask())) as u8
+    }
+}
+
+impl Default for SecCode {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SystematicCode for SecCode {
+    fn check_width(&self) -> u32 {
+        CHECK_BITS
+    }
+
+    fn encode(&self, data: u32) -> u16 {
+        let mut check = 0u8;
+        let mut bits = data;
+        while bits != 0 {
+            let j = bits.trailing_zeros();
+            check ^= self.columns[j as usize];
+            bits &= bits - 1;
+        }
+        u16::from(check)
+    }
+
+    fn decode(&self, data: u32, check: u16) -> RawDecode {
+        let s = self.syndrome(data, check);
+        if s == 0 {
+            return RawDecode::Clean;
+        }
+        if s.count_ones() == 1 {
+            return RawDecode::CorrectedCheck {
+                bit: s.trailing_zeros(),
+            };
+        }
+        if let Some(j) = self.columns.iter().position(|&c| c == s) {
+            return RawDecode::CorrectedData {
+                bit: j as u32,
+                data: data ^ (1 << j),
+            };
+        }
+        // Syndromes that match no column: detectable multi-bit error.
+        RawDecode::Detected
+    }
+
+    fn corrects(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_are_distinct_and_multibit() {
+        let code = SecCode::new();
+        let mut seen = std::collections::HashSet::new();
+        for j in 0..32 {
+            let c = code.column(j);
+            assert!(c.count_ones() >= 2);
+            assert!(seen.insert(c));
+        }
+    }
+
+    #[test]
+    fn single_bit_errors_correct() {
+        let code = SecCode::new();
+        let data = 0xFEED_0F0F_u32;
+        let check = code.encode(data);
+        for bit in 0..32 {
+            assert_eq!(
+                code.decode(data ^ (1 << bit), check),
+                RawDecode::CorrectedData { bit, data }
+            );
+        }
+        for bit in 0..6 {
+            assert_eq!(
+                code.decode(data, check ^ (1 << bit)),
+                RawDecode::CorrectedCheck { bit }
+            );
+        }
+    }
+
+    #[test]
+    fn some_double_bit_errors_miscorrect() {
+        // SEC has distance 3: there must exist double errors that alias to a
+        // single-bit correction. This is the hole SEC-DP closes.
+        let code = SecCode::new();
+        let data = 0u32;
+        let check = code.encode(data);
+        let mut miscorrected = 0u32;
+        for i in 0..32u32 {
+            for j in (i + 1)..32 {
+                let d = data ^ (1 << i) ^ (1 << j);
+                if let RawDecode::CorrectedData { data: fixed, .. } = code.decode(d, check) {
+                    if fixed != data {
+                        miscorrected += 1;
+                    }
+                }
+            }
+        }
+        assert!(miscorrected > 0, "SEC unexpectedly behaves like SEC-DED");
+    }
+
+    #[test]
+    fn clean_round_trip() {
+        let code = SecCode::new();
+        for data in [0u32, u32::MAX, 0x8000_0000, 0x0000_0001, 0xDEAD_BEEF] {
+            assert_eq!(code.decode(data, code.encode(data)), RawDecode::Clean);
+        }
+    }
+}

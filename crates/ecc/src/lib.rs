@@ -1,0 +1,77 @@
+//! Error detecting and correcting codes for SwapCodes.
+//!
+//! This crate implements every error code the SwapCodes paper (MICRO 2018)
+//! evaluates for GPU register-file protection, plus the SwapCodes-specific
+//! machinery built on top of them:
+//!
+//! * [`HsiaoSecDed`] — a Hsiao single-error-correcting, double-error-detecting
+//!   (39,32) code with odd-weight columns, the conventional compute-GPU
+//!   register-file code. Used detection-only it is a triple-error-detecting
+//!   (TED) code.
+//! * [`SecCode`] — a Hamming (38,32) single-error-correcting code, the basis of
+//!   the SEC-DP organization.
+//! * [`ParityCode`] — single-bit even parity (the weakest detection-only code).
+//! * [`ResidueCode`] — low-cost residue codes with checking moduli
+//!   `A = 2^a - 1`, including the full residue *arithmetic* needed by
+//!   Swap-Predict: residue addition/multiplication, mixed-operand-width MAD
+//!   prediction (Eq. 1 of the paper), and the recoding encoder that splits a
+//!   64-bit result residue into per-32-bit-register residues (Fig. 9b,
+//!   Table III).
+//! * [`report`] — the SEC-DED-DP and SEC-DP error-reporting algorithms
+//!   (Fig. 5) that retain storage-error correction without ever miscorrecting
+//!   a pipeline error.
+//! * [`swap`] — swapped-codeword composition and the pipeline-error detection
+//!   predicates used by the fault-injection campaigns (Fig. 11).
+//! * [`layout`] — register-file codeword layout analysis showing how careful
+//!   physical placement closes the SEC-DP double-bit coverage holes (Fig. 7).
+//!
+//! # Example
+//!
+//! ```
+//! use swapcodes_ecc::{HsiaoSecDed, SystematicCode, RawDecode};
+//!
+//! let code = HsiaoSecDed::new();
+//! let data = 0xDEAD_BEEF_u32;
+//! let check = code.encode(data);
+//!
+//! // A clean word decodes cleanly.
+//! assert_eq!(code.decode(data, check), RawDecode::Clean);
+//!
+//! // A single-bit storage error is corrected.
+//! let flipped = data ^ (1 << 7);
+//! match code.decode(flipped, check) {
+//!     RawDecode::CorrectedData { bit, data: d } => {
+//!         assert_eq!(bit, 7);
+//!         assert_eq!(d, data);
+//!     }
+//!     other => panic!("expected correction, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod code;
+mod hamming;
+mod hsiao;
+mod parity;
+pub mod layout;
+pub mod report;
+mod residue;
+pub mod swap;
+
+pub use code::{AnyCode, CodeKind, RawDecode, SystematicCode};
+pub use hamming::SecCode;
+pub use hsiao::HsiaoSecDed;
+pub use parity::ParityCode;
+pub use residue::{
+    carry_adjustment, Residue, ResidueCode, ResidueMadPredictor, ResidueRecoder,
+};
+
+/// Even parity of a 32-bit word (`true` if the number of set bits is odd).
+#[inline]
+#[must_use]
+pub fn parity32(x: u32) -> bool {
+    x.count_ones() % 2 == 1
+}

@@ -1,0 +1,68 @@
+//! Single-bit even-parity code (detection only).
+
+use crate::code::{RawDecode, SystematicCode};
+use crate::parity32;
+
+/// Single-bit even parity over a 32-bit word.
+///
+/// The weakest detection-only code in the Fig. 11 sweep: it catches every
+/// odd-weight error pattern and misses every even-weight one, so with
+/// SwapCodes roughly half of multi-bit pipeline error patterns slip through.
+///
+/// # Example
+///
+/// ```
+/// use swapcodes_ecc::{ParityCode, SystematicCode, RawDecode};
+///
+/// let code = ParityCode::new();
+/// let check = code.encode(0b1011);
+/// assert_eq!(check, 1); // odd number of ones
+/// assert_eq!(code.decode(0b1010, check), RawDecode::Detected);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParityCode;
+
+impl ParityCode {
+    /// Build the code.
+    #[must_use]
+    pub fn new() -> Self {
+        ParityCode
+    }
+}
+
+impl SystematicCode for ParityCode {
+    fn check_width(&self) -> u32 {
+        1
+    }
+
+    fn encode(&self, data: u32) -> u16 {
+        u16::from(parity32(data))
+    }
+
+    fn decode(&self, data: u32, check: u16) -> RawDecode {
+        if self.encode(data) == (check & 1) {
+            RawDecode::Clean
+        } else {
+            RawDecode::Detected
+        }
+    }
+
+    fn corrects(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_odd_misses_even() {
+        let code = ParityCode::new();
+        let data = 0x00FF_AA55_u32;
+        let check = code.encode(data);
+        assert_eq!(code.decode(data ^ 1, check), RawDecode::Detected);
+        assert_eq!(code.decode(data ^ 0b111, check), RawDecode::Detected);
+        assert_eq!(code.decode(data ^ 0b11, check), RawDecode::Clean);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the error-code invariants.
+
+use proptest::prelude::*;
+use swapcodes_ecc::report::{DpWord, SecDedDp, SecDp};
+use swapcodes_ecc::swap::{shadow_strike, StrikeOutcome};
+use swapcodes_ecc::{
+    parity32, CodeKind, HsiaoSecDed, RawDecode, ResidueCode, ResidueMadPredictor,
+    ResidueRecoder, SecCode, SystematicCode,
+};
+
+proptest! {
+    /// Every code decodes its own encoding as clean.
+    #[test]
+    fn clean_round_trip(data: u32) {
+        for kind in CodeKind::figure11_sweep() {
+            let code = kind.build();
+            prop_assert_eq!(code.decode(data, code.encode(data)), RawDecode::Clean);
+        }
+    }
+
+    /// Every single-bit data error is corrected back to the original by the
+    /// correcting codes.
+    #[test]
+    fn secded_corrects_any_single_bit(data: u32, bit in 0u32..32) {
+        let code = HsiaoSecDed::new();
+        let check = code.encode(data);
+        prop_assert_eq!(
+            code.decode(data ^ (1 << bit), check),
+            RawDecode::CorrectedData { bit, data }
+        );
+        let sec = SecCode::new();
+        let check = sec.encode(data);
+        prop_assert_eq!(
+            sec.decode(data ^ (1 << bit), check),
+            RawDecode::CorrectedData { bit, data }
+        );
+    }
+
+    /// SEC-DED never misses a double-bit data error.
+    #[test]
+    fn secded_detects_doubles(data: u32, i in 0u32..32, j in 0u32..32) {
+        prop_assume!(i != j);
+        let code = HsiaoSecDed::new();
+        let check = code.encode(data);
+        prop_assert_eq!(
+            code.decode(data ^ (1 << i) ^ (1 << j), check),
+            RawDecode::Detected
+        );
+    }
+
+    /// Linearity: check bits of x^y equal the XOR of the check bits.
+    #[test]
+    fn hsiao_is_linear(x: u32, y: u32) {
+        let code = HsiaoSecDed::new();
+        prop_assert_eq!(code.encode(x ^ y), code.encode(x) ^ code.encode(y));
+    }
+
+    /// Residue arithmetic is a homomorphism of wrapping integer arithmetic.
+    #[test]
+    fn residue_homomorphism(a in 2u8..=8, x: u32, y: u32) {
+        let code = ResidueCode::new(a);
+        let sum = u64::from(x) + u64::from(y);
+        prop_assert_eq!(code.of_u32(x).add(code.of_u32(y)), code.of_u64(sum));
+        let prod = u64::from(x) * u64::from(y);
+        prop_assert_eq!(code.of_u32(x).mul(code.of_u32(y)), code.of_u64(prod));
+    }
+
+    /// The mixed-width MAD prediction (Eq. 1 + carry handling) matches the
+    /// wrapped 64-bit datapath result for arbitrary operands.
+    #[test]
+    fn mad_prediction_exact(a in 2u8..=8, x: u32, y: u32, c: u64) {
+        let code = ResidueCode::new(a);
+        let pred = ResidueMadPredictor::new(code);
+        let full = u128::from(x) * u128::from(y) + u128::from(c);
+        let got = pred.predict_wrapped(
+            code.of_u32(x),
+            code.of_u32(y),
+            code.of_u32((c >> 32) as u32),
+            code.of_u32(c as u32),
+            (full >> 64) != 0,
+        );
+        prop_assert_eq!(got, code.of_u64(full as u64));
+    }
+
+    /// The Fig. 9b recoding encoder reproduces per-register residues for any
+    /// 64-bit result.
+    #[test]
+    fn recoder_splits_any_result(a in 2u8..=8, z: u64) {
+        let code = ResidueCode::new(a);
+        let rec = ResidueRecoder::new(code);
+        let (lo, hi) = rec.recode(code.of_u64(z), z as u32, (z >> 32) as u32);
+        prop_assert_eq!(lo, code.of_u32(z as u32));
+        prop_assert_eq!(hi, code.of_u32((z >> 32) as u32));
+    }
+
+    /// SEC-DED-DP corrects every single-bit storage error, anywhere in the
+    /// word, for any data value.
+    #[test]
+    fn dp_corrects_all_storage_singles(data: u32, bit in 0u32..40) {
+        let rep = SecDedDp::new_secded_dp();
+        let mut w = rep.encode_original(data);
+        match bit {
+            0..=31 => w.data ^= 1 << bit,
+            32..=38 => w.check ^= 1 << (bit - 32),
+            _ => w.data_parity = !w.data_parity,
+        }
+        let r = rep.read(w);
+        prop_assert_eq!(r.value, data);
+        prop_assert!(!r.event.is_due());
+    }
+
+    /// The DP rule never lets a shadow-side pipeline error corrupt data —
+    /// for ANY wrong shadow value, not just single-bit ones.
+    #[test]
+    fn dp_never_miscorrects_shadow_errors(golden: u32, shadow: u32) {
+        prop_assume!(golden != shadow);
+        for rep_read in [
+            SecDedDp::new_secded_dp().read(DpWord {
+                data: golden,
+                check: SecDedDp::new_secded_dp().shadow_check(shadow),
+                data_parity: parity32(golden),
+            }),
+            SecDp::new_sec_dp().read(DpWord {
+                data: golden,
+                check: SecDp::new_sec_dp().shadow_check(shadow),
+                data_parity: parity32(golden),
+            }),
+        ] {
+            prop_assert_eq!(rep_read.value, golden, "data must survive untouched");
+        }
+    }
+
+    /// Shadow strikes are never silent corruption under any code: the data
+    /// register always holds the golden value.
+    #[test]
+    fn shadow_strikes_never_sdc(golden: u32, faulty: u32) {
+        for kind in CodeKind::figure11_sweep() {
+            let code = kind.build();
+            let out = shadow_strike(&code, golden, faulty);
+            prop_assert_ne!(out, StrikeOutcome::SilentCorruption);
+        }
+    }
+
+    /// An original strike is silent under a residue code exactly when the
+    /// value delta is a multiple of the modulus.
+    #[test]
+    fn residue_sdc_iff_modulus_aliased(a in 2u8..=8, golden: u32, faulty: u32) {
+        prop_assume!(golden != faulty);
+        let code = ResidueCode::new(a);
+        let m = u64::from(code.modulus());
+        let aliased = u64::from(golden) % m == u64::from(faulty) % m;
+        let out = swapcodes_ecc::swap::original_strike(&code, golden, faulty);
+        prop_assert_eq!(out == StrikeOutcome::SilentCorruption, aliased);
+    }
+}

@@ -1,0 +1,326 @@
+//! Netlist optimisation: constant folding, identity simplification and dead
+//! node elimination.
+//!
+//! The structural builder leaves constants threaded through circuits (column
+//! comparators, gated operands, zero-extensions). Folding them before area
+//! accounting or injection makes the netlists closer to what synthesis would
+//! produce — and shrinks the fault-injection site population to gates that
+//! actually exist.
+
+use crate::netlist::{Gate, Netlist, NodeId};
+
+/// What an optimised node turned into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lowered {
+    /// Maps to node id in the new netlist.
+    Node(NodeId),
+    /// Constant false.
+    False,
+    /// Constant true.
+    True,
+}
+
+/// Optimisation statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Nodes in the input netlist.
+    pub before: usize,
+    /// Nodes in the optimised netlist.
+    pub after: usize,
+}
+
+impl OptStats {
+    /// Fraction of nodes removed.
+    #[must_use]
+    pub fn reduction(&self) -> f64 {
+        if self.before == 0 {
+            0.0
+        } else {
+            1.0 - self.after as f64 / self.before as f64
+        }
+    }
+}
+
+/// Optimise a netlist: fold constants, simplify identities (`x AND 1 -> x`,
+/// `x XOR 0 -> x`, muxes with constant selects, …) and drop every node not
+/// reachable from an output. The result is functionally identical on all
+/// inputs.
+#[must_use]
+pub fn optimize(net: &Netlist) -> (Netlist, OptStats) {
+    let n = net.len();
+    let mut lowered: Vec<Option<Lowered>> = vec![None; n];
+    let mut out = Netlist::new(net.input_words());
+    // Canonical constants in the new netlist, created lazily.
+    let mut const_false: Option<NodeId> = None;
+    let mut const_true: Option<NodeId> = None;
+
+    // Pass 1: fold forward. (We materialise nodes for everything reachable;
+    // dead ones are pruned in pass 2.)
+    let fold = |i: usize,
+                    gate: &Gate,
+                    lowered: &mut Vec<Option<Lowered>>,
+                    out: &mut Netlist| {
+        use Lowered::{False, Node, True};
+        let get = |x: NodeId, lowered: &[Option<Lowered>]| lowered[x as usize].expect("topo order");
+        let l = match *gate {
+            Gate::Input { word, bit } => Node(out.push(Gate::Input { word, bit })),
+            Gate::Const(c) => {
+                if c {
+                    True
+                } else {
+                    False
+                }
+            }
+            Gate::Not(a) => match get(a, lowered) {
+                False => True,
+                True => False,
+                Node(x) => Node(out.push(Gate::Not(x))),
+            },
+            Gate::Ff(a) => match get(a, lowered) {
+                // A flip-flop of a constant is still a constant after reset
+                // settles; treat it as transparent like evaluation does.
+                False => False,
+                True => True,
+                Node(x) => Node(out.push(Gate::Ff(x))),
+            },
+            Gate::And(a, b) => match (get(a, lowered), get(b, lowered)) {
+                (False, _) | (_, False) => False,
+                (True, o) | (o, True) => o,
+                (Node(x), Node(y)) => {
+                    if x == y {
+                        Node(x)
+                    } else {
+                        Node(out.push(Gate::And(x, y)))
+                    }
+                }
+            },
+            Gate::Or(a, b) => match (get(a, lowered), get(b, lowered)) {
+                (True, _) | (_, True) => True,
+                (False, o) | (o, False) => o,
+                (Node(x), Node(y)) => {
+                    if x == y {
+                        Node(x)
+                    } else {
+                        Node(out.push(Gate::Or(x, y)))
+                    }
+                }
+            },
+            Gate::Xor(a, b) => match (get(a, lowered), get(b, lowered)) {
+                (False, o) | (o, False) => o,
+                (True, True) => False,
+                (True, Node(x)) | (Node(x), True) => Node(out.push(Gate::Not(x))),
+                (Node(x), Node(y)) => {
+                    if x == y {
+                        False
+                    } else {
+                        Node(out.push(Gate::Xor(x, y)))
+                    }
+                }
+            },
+            Gate::Xnor(a, b) => match (get(a, lowered), get(b, lowered)) {
+                (True, o) | (o, True) => o,
+                (False, False) => True,
+                (False, Node(x)) | (Node(x), False) => Node(out.push(Gate::Not(x))),
+                (Node(x), Node(y)) => {
+                    if x == y {
+                        True
+                    } else {
+                        Node(out.push(Gate::Xnor(x, y)))
+                    }
+                }
+            },
+            Gate::Nand(a, b) => match (get(a, lowered), get(b, lowered)) {
+                (False, _) | (_, False) => True,
+                (True, True) => False,
+                (True, Node(x)) | (Node(x), True) => Node(out.push(Gate::Not(x))),
+                (Node(x), Node(y)) => Node(out.push(Gate::Nand(x, y))),
+            },
+            Gate::Nor(a, b) => match (get(a, lowered), get(b, lowered)) {
+                (True, _) | (_, True) => False,
+                (False, False) => True,
+                (False, Node(x)) | (Node(x), False) => Node(out.push(Gate::Not(x))),
+                (Node(x), Node(y)) => Node(out.push(Gate::Nor(x, y))),
+            },
+            Gate::Mux { s, a, b } => match (get(s, lowered), get(a, lowered), get(b, lowered)) {
+                (True, a, _) => a,
+                (False, _, b) => b,
+                (Node(_), a, b) if a == b => a,
+                (Node(_), False, False) => False,
+                (Node(_), True, True) => True,
+                (Node(sv), Node(x), Node(y)) => Node(out.push(Gate::Mux { s: sv, a: x, b: y })),
+                (Node(sv), True, False) => Node(sv),
+                (Node(sv), False, True) => Node(out.push(Gate::Not(sv))),
+                (Node(sv), True, Node(y)) => Node(out.push(Gate::Or(sv, y))),
+                (Node(sv), Node(x), False) => Node(out.push(Gate::And(sv, x))),
+                (Node(sv), False, Node(y)) => {
+                    let ns = out.push(Gate::Not(sv));
+                    Node(out.push(Gate::And(ns, y)))
+                }
+                (Node(sv), Node(x), True) => {
+                    let ns = out.push(Gate::Not(sv));
+                    Node(out.push(Gate::Or(ns, x)))
+                }
+            },
+        };
+        lowered[i] = Some(l);
+    };
+
+    for (i, gate) in net.nodes().iter().enumerate() {
+        fold(i, gate, &mut lowered, &mut out);
+    }
+
+    // Outputs: materialise constants only if some output needs them.
+    let mut resolve = |l: Lowered, out: &mut Netlist| -> NodeId {
+        match l {
+            Lowered::Node(x) => x,
+            Lowered::False => *const_false.get_or_insert_with(|| out.push(Gate::Const(false))),
+            Lowered::True => *const_true.get_or_insert_with(|| out.push(Gate::Const(true))),
+        }
+    };
+    let mut mapped_outputs: Vec<Vec<NodeId>> = Vec::with_capacity(net.output_words());
+    for w in 0..net.output_words() {
+        let bits = net
+            .output_bits(w)
+            .iter()
+            .map(|&b| resolve(lowered[b as usize].expect("lowered"), &mut out))
+            .collect();
+        mapped_outputs.push(bits);
+    }
+
+    // Pass 2: dead-node elimination via reachability.
+    let mut live = vec![false; out.len()];
+    let mut stack: Vec<NodeId> = mapped_outputs.iter().flatten().copied().collect();
+    while let Some(x) = stack.pop() {
+        let xi = x as usize;
+        if live[xi] {
+            continue;
+        }
+        live[xi] = true;
+        match out.nodes()[xi] {
+            Gate::Input { .. } | Gate::Const(_) => {}
+            Gate::Not(a) | Gate::Ff(a) => stack.push(a),
+            Gate::And(a, b)
+            | Gate::Or(a, b)
+            | Gate::Xor(a, b)
+            | Gate::Nand(a, b)
+            | Gate::Nor(a, b)
+            | Gate::Xnor(a, b) => {
+                stack.push(a);
+                stack.push(b);
+            }
+            Gate::Mux { s, a, b } => {
+                stack.push(s);
+                stack.push(a);
+                stack.push(b);
+            }
+        }
+    }
+    let mut remap: Vec<NodeId> = vec![NodeId::MAX; out.len()];
+    let mut pruned = Netlist::new(net.input_words());
+    for (i, gate) in out.nodes().iter().enumerate() {
+        if !live[i] {
+            continue;
+        }
+        let m = |x: NodeId| remap[x as usize];
+        let g = match *gate {
+            Gate::Input { word, bit } => Gate::Input { word, bit },
+            Gate::Const(c) => Gate::Const(c),
+            Gate::Not(a) => Gate::Not(m(a)),
+            Gate::Ff(a) => Gate::Ff(m(a)),
+            Gate::And(a, b) => Gate::And(m(a), m(b)),
+            Gate::Or(a, b) => Gate::Or(m(a), m(b)),
+            Gate::Xor(a, b) => Gate::Xor(m(a), m(b)),
+            Gate::Nand(a, b) => Gate::Nand(m(a), m(b)),
+            Gate::Nor(a, b) => Gate::Nor(m(a), m(b)),
+            Gate::Xnor(a, b) => Gate::Xnor(m(a), m(b)),
+            Gate::Mux { s, a, b } => Gate::Mux {
+                s: m(s),
+                a: m(a),
+                b: m(b),
+            },
+        };
+        remap[i] = pruned.push(g);
+    }
+    for bits in mapped_outputs {
+        pruned.add_output(bits.into_iter().map(|b| remap[b as usize]).collect());
+    }
+
+    let stats = OptStats {
+        before: net.len(),
+        after: pruned.len(),
+    };
+    (pruned, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::units::{fxp_add32, secded_decoder};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn folds_constant_logic() {
+        let mut cb = CircuitBuilder::new(1);
+        let a = cb.input(0, 1);
+        let t = cb.and(a.bit(0), cb.one());
+        let u = cb.xor(t, cb.zero());
+        let v = cb.or(u, cb.zero());
+        cb.output(&crate::builder::Bv::from_bits(vec![v]));
+        let net = cb.finish();
+        let (opt, stats) = optimize(&net);
+        // Everything folds down to the input wire.
+        assert!(stats.after < stats.before);
+        assert_eq!(opt.evaluate(&[1])[0], 1);
+        assert_eq!(opt.evaluate(&[0])[0], 0);
+    }
+
+    #[test]
+    fn decoder_shrinks_and_stays_equivalent() {
+        let net = secded_decoder();
+        let (opt, stats) = optimize(&net);
+        assert!(
+            stats.reduction() > 0.10,
+            "expected constant-laden decoder to shrink, got {stats:?}"
+        );
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let d: u32 = rng.gen();
+            let c: u64 = rng.gen_range(0..128);
+            assert_eq!(
+                net.evaluate(&[u64::from(d), c]),
+                opt.evaluate(&[u64::from(d), c])
+            );
+        }
+    }
+
+    #[test]
+    fn adder_stays_equivalent() {
+        let unit = fxp_add32();
+        let (opt, _) = optimize(unit.netlist());
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let a: u32 = rng.gen();
+            let b: u32 = rng.gen();
+            assert_eq!(
+                opt.evaluate(&[u64::from(a), u64::from(b)])[0],
+                u64::from(a.wrapping_add(b))
+            );
+        }
+    }
+
+    #[test]
+    fn dead_logic_is_removed() {
+        let mut cb = CircuitBuilder::new(2);
+        let a = cb.input(0, 8);
+        let b = cb.input(1, 8);
+        let (sum, _) = cb.add(&a, &b, cb.zero());
+        // A whole multiplier that no output uses.
+        let _dead = cb.mul(&a, &b);
+        cb.output(&sum);
+        let net = cb.finish();
+        let (opt, stats) = optimize(&net);
+        assert!(stats.after < stats.before / 2, "{stats:?}");
+        assert_eq!(opt.evaluate(&[100, 55])[0], 155);
+    }
+}

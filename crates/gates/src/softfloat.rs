@@ -1,0 +1,158 @@
+//! Software reference model for the gate-level floating-point units.
+//!
+//! The gate-level datapaths implement IEEE-754 round-to-nearest-even with
+//! *flush-to-zero* subnormal handling (the standard GPU fast-path: subnormal
+//! inputs are treated as zero and subnormal results flush to zero), which is
+//! also how the traced GPU operands behave in practice. The reference
+//! semantics are therefore the native Rust `f32`/`f64` operations wrapped in
+//! FTZ at inputs and outputs. Every gate-level FP unit is tested bit-exact
+//! against these functions on normal operands.
+
+/// A binary floating-point format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpFormat {
+    /// Exponent field width in bits.
+    pub exp_bits: u32,
+    /// Mantissa (fraction) field width in bits, excluding the hidden bit.
+    pub man_bits: u32,
+}
+
+/// IEEE-754 binary32.
+pub const BINARY32: FpFormat = FpFormat {
+    exp_bits: 8,
+    man_bits: 23,
+};
+
+/// IEEE-754 binary64.
+pub const BINARY64: FpFormat = FpFormat {
+    exp_bits: 11,
+    man_bits: 52,
+};
+
+impl FpFormat {
+    /// Total encoding width (1 + exp + man).
+    #[must_use]
+    pub fn width(self) -> u32 {
+        1 + self.exp_bits + self.man_bits
+    }
+
+    /// Exponent bias.
+    #[must_use]
+    pub fn bias(self) -> u32 {
+        (1 << (self.exp_bits - 1)) - 1
+    }
+
+    /// The biased exponent field of an encoded value.
+    #[must_use]
+    pub fn exponent(self, bits: u64) -> u32 {
+        ((bits >> self.man_bits) & ((1 << self.exp_bits) - 1)) as u32
+    }
+
+    /// Whether the encoding is subnormal (or zero).
+    #[must_use]
+    pub fn is_subnormal_or_zero(self, bits: u64) -> bool {
+        self.exponent(bits) == 0
+    }
+
+    /// Whether the encoding is a normal, finite, non-zero number.
+    #[must_use]
+    pub fn is_normal(self, bits: u64) -> bool {
+        let e = self.exponent(bits);
+        e != 0 && e != (1 << self.exp_bits) - 1
+    }
+
+    /// Flush subnormals to (same-signed) zero.
+    #[must_use]
+    pub fn flush(self, bits: u64) -> u64 {
+        if self.is_subnormal_or_zero(bits) {
+            bits & (1u64 << (self.width() - 1)) // keep the sign, zero the rest
+        } else {
+            bits
+        }
+    }
+}
+
+/// FTZ binary32 addition.
+#[must_use]
+pub fn add32(a: u64, b: u64) -> u64 {
+    let fa = f32::from_bits(BINARY32.flush(a) as u32);
+    let fb = f32::from_bits(BINARY32.flush(b) as u32);
+    u64::from(BINARY32.flush(u64::from((fa + fb).to_bits())) as u32)
+}
+
+/// FTZ binary32 fused multiply-add (`a * b + c`).
+#[must_use]
+pub fn fma32(a: u64, b: u64, c: u64) -> u64 {
+    let fa = f32::from_bits(BINARY32.flush(a) as u32);
+    let fb = f32::from_bits(BINARY32.flush(b) as u32);
+    let fc = f32::from_bits(BINARY32.flush(c) as u32);
+    u64::from(BINARY32.flush(u64::from(fa.mul_add(fb, fc).to_bits())) as u32)
+}
+
+/// FTZ binary64 addition.
+#[must_use]
+pub fn add64(a: u64, b: u64) -> u64 {
+    let fa = f64::from_bits(BINARY64.flush(a));
+    let fb = f64::from_bits(BINARY64.flush(b));
+    BINARY64.flush((fa + fb).to_bits())
+}
+
+/// FTZ binary64 fused multiply-add.
+#[must_use]
+pub fn fma64(a: u64, b: u64, c: u64) -> u64 {
+    let fa = f64::from_bits(BINARY64.flush(a));
+    let fb = f64::from_bits(BINARY64.flush(b));
+    let fc = f64::from_bits(BINARY64.flush(c));
+    BINARY64.flush(fa.mul_add(fb, fc).to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flush_preserves_normals() {
+        let x = 1.5f32.to_bits() as u64;
+        assert_eq!(BINARY32.flush(x), x);
+        let y = (-2.25f64).to_bits();
+        assert_eq!(BINARY64.flush(y), y);
+    }
+
+    #[test]
+    fn flush_zeroes_subnormals() {
+        let tiny = f32::from_bits(1); // smallest positive subnormal
+        assert!(tiny > 0.0);
+        assert_eq!(BINARY32.flush(u64::from(tiny.to_bits())), 0);
+        let neg_tiny = f32::from_bits(0x8000_0001);
+        assert_eq!(
+            BINARY32.flush(u64::from(neg_tiny.to_bits())),
+            0x8000_0000u64
+        );
+    }
+
+    #[test]
+    fn add_and_fma_match_native_on_normals() {
+        let a = 3.25f32.to_bits() as u64;
+        let b = (-1.5f32).to_bits() as u64;
+        let c = 10.0f32.to_bits() as u64;
+        assert_eq!(add32(a, b), u64::from((3.25f32 - 1.5).to_bits()));
+        assert_eq!(
+            fma32(a, b, c),
+            u64::from(3.25f32.mul_add(-1.5, 10.0).to_bits())
+        );
+        let a = 3.25f64.to_bits();
+        let b = (-1.5f64).to_bits();
+        assert_eq!(add64(a, b), (3.25f64 - 1.5).to_bits());
+        assert_eq!(fma64(a, b, b), 3.25f64.mul_add(-1.5, -1.5).to_bits());
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(BINARY32.bias(), 127);
+        assert_eq!(BINARY64.bias(), 1023);
+        assert_eq!(BINARY32.width(), 32);
+        assert_eq!(BINARY64.width(), 64);
+        assert!(BINARY32.is_normal(1.0f32.to_bits() as u64));
+        assert!(!BINARY32.is_normal(0));
+    }
+}

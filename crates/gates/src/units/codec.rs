@@ -1,0 +1,570 @@
+//! SwapCodes support circuitry: the SEC-DED decoder, residue encoders and
+//! predictors, the Fig. 9b recoding encoder, the Fig. 5 augmented error
+//! reporting, and the move-propagation muxes — i.e. every hardware line item
+//! of the paper's Table IV.
+
+use swapcodes_ecc::{HsiaoSecDed, ResidueCode};
+
+use crate::builder::{Bv, CircuitBuilder};
+use crate::netlist::Netlist;
+
+/// The Hsiao SEC-DED (39,32) decoder.
+///
+/// Inputs: word 0 = data (32b), word 1 = check (7b).
+/// Outputs: word 0 = corrected data (32b), word 1 = flags
+/// `[clean, corrected_data, corrected_check, detected]` (LSB first).
+#[must_use]
+pub fn secded_decoder() -> Netlist {
+    let code = HsiaoSecDed::new();
+    let mut cb = CircuitBuilder::new(2);
+    let data = cb.input(0, 32);
+    let check = cb.input(1, 7);
+
+    // Syndrome: per-row XOR tree over the data bits in that row, XOR the
+    // stored check bit.
+    let mut syndrome_bits = Vec::with_capacity(7);
+    for r in 0..7u32 {
+        let taps: Vec<_> = (0..32u32)
+            .filter(|&j| code.column(j) & (1 << r) != 0)
+            .map(|j| data.bit(j as usize))
+            .collect();
+        let row = cb.reduce_xor(&Bv::from_bits(taps));
+        syndrome_bits.push(cb.xor(row, check.bit(r as usize)));
+    }
+    let syndrome = Bv::from_bits(syndrome_bits);
+
+    let clean = cb.is_zero(&syndrome);
+    // Weight-1 syndrome: check-bit correction.
+    let mut corrected_check = cb.zero();
+    for r in 0..7 {
+        let unit = cb.constant(1 << r, 7);
+        let m = cb.eq(&syndrome, &unit);
+        corrected_check = cb.or(corrected_check, m);
+    }
+    // Column match per data bit, and the corrected data word.
+    let mut any_data = cb.zero();
+    let mut corrected = Vec::with_capacity(32);
+    for j in 0..32u32 {
+        let col = cb.constant(u64::from(code.column(j)), 7);
+        let m = cb.eq(&syndrome, &col);
+        any_data = cb.or(any_data, m);
+        corrected.push(cb.xor(data.bit(j as usize), m));
+    }
+    let not_clean = cb.not(clean);
+    let not_check = cb.not(corrected_check);
+    let not_data = cb.not(any_data);
+    let t = cb.and(not_clean, not_check);
+    let detected = cb.and(t, not_data);
+
+    cb.output(&Bv::from_bits(corrected));
+    cb.output(&Bv::from_bits(vec![clean, any_data, corrected_check, detected]));
+    cb.finish()
+}
+
+/// A low-cost residue encoder: fold a 32-bit word into its `a`-bit residue
+/// through a carry-save multi-operand modular adder (CS-MOMA) and an
+/// end-around-carry adder, canonicalising the double zero.
+///
+/// Inputs: word 0 = data (32b). Output: word 0 = residue (`a` bits).
+#[must_use]
+pub fn residue_encoder(a: u8) -> Netlist {
+    let mut cb = CircuitBuilder::new(1);
+    let data = cb.input(0, 32);
+    let r = fold_residue(&mut cb, &data, a);
+    cb.output(&r);
+    cb.finish()
+}
+
+/// Residue add predictor: `|x + y|_A` from two input residues (an `a`-bit
+/// end-around-carry adder), with a registered output (one pipe stage, like
+/// the datapath it shadows).
+///
+/// Inputs: words 0,1 = residues. Output: word 0 = predicted residue.
+#[must_use]
+pub fn residue_add_predictor(a: u8) -> Netlist {
+    let mut cb = CircuitBuilder::new(2);
+    let x = cb.input(0, a as usize);
+    let y = cb.input(1, a as usize);
+    let s = eac_add(&mut cb, &x, &y);
+    let c = canonicalize(&mut cb, &s);
+    let out = cb.register(&c);
+    cb.output(&out);
+    cb.finish()
+}
+
+/// Residue MAD predictor for the mixed-width GPU multiply-add (Fig. 9a):
+/// predicts `|x*y + c|_A` of the *wrapped* 64-bit result from the operand
+/// residues, the two 32-bit addend-half residues (corrected by `|2^32|_A`,
+/// Eq. 1) and the datapath's bit-64 carry-out. Two pipe stages.
+///
+/// Inputs: word 0 = `|x|`, word 1 = `|y|`, word 2 = `|c_hi|`, word 3 =
+/// `|c_lo|`, word 4 = carry-out bit. Output: predicted residue.
+#[must_use]
+pub fn mad_residue_predictor(a: u8) -> Netlist {
+    let code = ResidueCode::new(a);
+    let aw = a as usize;
+    let mut cb = CircuitBuilder::new(5);
+    let x = cb.input(0, aw);
+    let y = cb.input(1, aw);
+    let c_hi = cb.input(2, aw);
+    let c_lo = cb.input(3, aw);
+    let cout = cb.input(4, 1);
+
+    // Stage 1: modular multiply x*y. For a low-cost modulus the shifted
+    // partial products are cyclic rotations (wiring only).
+    let mut rows: Vec<Bv> = Vec::with_capacity(aw + 2);
+    for i in 0..aw {
+        let rot = rotate_left(&x, i);
+        rows.push(cb.bv_gate(&rot, y.bit(i)));
+    }
+    // Addend correction (Eq. 1): |c_hi| * |2^32|_A is a rotation by
+    // 32 mod a — pure wiring — then add |c_lo|.
+    let corr = rotate_left(&c_hi, 32 % aw);
+    rows.push(corr);
+    rows.push(c_lo.clone());
+    // Wrap adjustment: subtract cout * |2^64|_A by adding its modular
+    // complement when the carry-out is set.
+    let k = u64::from(code.pow2(64).value());
+    let neg_k = (u64::from(code.modulus()) - k) % u64::from(code.modulus());
+    let neg_k_bv = cb.constant(neg_k, aw);
+    let cout_bit = cout.bit(0);
+    rows.push(cb.bv_gate(&neg_k_bv, cout_bit));
+
+    let reduced = moma(&mut cb, rows, a);
+    let staged = cb.register(&reduced);
+
+    // Stage 2: canonicalize and register.
+    let canon = canonicalize(&mut cb, &staged);
+    let out = cb.register(&canon);
+    cb.output(&out);
+    cb.finish()
+}
+
+/// The Fig. 9b modified ("recoding") residue encoder.
+///
+/// With `Pred? = 0` it encodes the 32-bit write-back value directly; with
+/// `Pred? = 1` it recodes the predicted full-result residue `Rz` by adding
+/// the bitwise inverse of the folded `Zadj` (the 64-bit result segment not
+/// being written back) and, for the high half, rotating by `|2^-32|_A`.
+///
+/// Inputs: word 0 = write-back value (32b), word 1 = `Rz` (`a` bits), word 2
+/// = `Zadj` (32b), word 3 = flags `[pred, high_half]`. Output: check bits.
+#[must_use]
+pub fn recoding_residue_encoder(a: u8) -> Netlist {
+    let aw = a as usize;
+    let mut cb = CircuitBuilder::new(4);
+    let value = cb.input(0, 32);
+    let rz = cb.input(1, aw);
+    let zadj = cb.input(2, 32);
+    let flags = cb.input(3, 2);
+    let pred = flags.bit(0);
+    let high_half = flags.bit(1);
+
+    // Direct encode path (Pred? = 0).
+    let direct = fold_residue(&mut cb, &value, a);
+
+    // Recode path: Rz - |Zadj|_A, with the correction factor applied on the
+    // proper side (low half: subtract |Zadj_hi| * |2^32|; high half:
+    // subtract |Zadj_lo| then multiply by |2^-32| — both rotations).
+    let r_adj = fold_residue(&mut cb, &zadj, a);
+    let r_adj_hi = rotate_left(&r_adj, 32 % aw); // |Zadj|*|2^32|
+    let sub_lo = {
+        let inv = cb.bv_not(&r_adj_hi);
+        let s = eac_add(&mut cb, &rz, &inv);
+        canonicalize(&mut cb, &s)
+    };
+    let sub_hi = {
+        let inv = cb.bv_not(&r_adj);
+        let s = eac_add(&mut cb, &rz, &inv);
+        let c = canonicalize(&mut cb, &s);
+        let rot = rotate_left(&c, (aw - (32 % aw)) % aw); // * |2^-32|
+        canonicalize(&mut cb, &rot)
+    };
+    let recoded = cb.bv_mux(high_half, &sub_hi, &sub_lo);
+    let chosen = cb.bv_mux(pred, &recoded, &direct);
+    let out = cb.register(&chosen);
+    cb.output(&out);
+    cb.finish()
+}
+
+/// The Fig. 5 augmented error-reporting logic for SEC-DED-DP / SEC-DP:
+/// regenerates the data parity and gates the decoder's correction flags.
+///
+/// Inputs: word 0 = data (32b), word 1 = stored parity bit, word 2 = decoder
+/// flags `[clean, corrected_data, corrected_check, detected]`.
+/// Outputs: word 0 = `[allow_correction, due, due_pipeline]`.
+#[must_use]
+pub fn secded_dp_report_logic() -> Netlist {
+    let mut cb = CircuitBuilder::new(3);
+    let data = cb.input(0, 32);
+    let parity = cb.input(1, 1);
+    let flags = cb.input(2, 4);
+    let clean = flags.bit(0);
+    let corr_data = flags.bit(1);
+    let corr_check = flags.bit(2);
+    let detected = flags.bit(3);
+
+    let regen = cb.reduce_xor(&data);
+    let parity_consistent = cb.xnor(regen, parity.bit(0));
+    let parity_mismatch = cb.not(parity_consistent);
+
+    // Correction allowed only when the data parity confirms a data error.
+    let allow = cb.and(corr_data, parity_mismatch);
+    // Pipeline DUE: correctable-looking syndrome with consistent parity.
+    let due_pipe = cb.and(corr_data, parity_consistent);
+    // Other DUEs: detected, or a check correction alongside a parity upset.
+    let t = cb.and(corr_check, parity_mismatch);
+    let due_other = cb.or(detected, t);
+    let due = cb.or(due_pipe, due_other);
+    let _ = clean;
+
+    cb.output(&Bv::from_bits(vec![allow, due, due_pipe]));
+    cb.finish()
+}
+
+/// The end-to-end move-propagation datapath (Fig. 4): a 2:1 mux per ECC bit
+/// that either passes the pipeline-encoded check bits or propagates the
+/// swapped codeword's stored ECC straight back to the register file, with a
+/// pipeline register on each side.
+///
+/// Inputs: word 0 = encoder check bits, word 1 = stored check bits, word 2 =
+/// propagate select. Output: check bits to write back.
+#[must_use]
+pub fn move_propagate_mux(check_bits: u8) -> Netlist {
+    let w = check_bits as usize;
+    let mut cb = CircuitBuilder::new(3);
+    let enc = cb.input(0, w);
+    let stored_raw = cb.input(1, w);
+    let sel = cb.input(2, 1);
+    let stored = cb.register(&stored_raw);
+    let muxed = cb.bv_mux(sel.bit(0), &stored, &enc);
+    let out = cb.register(&muxed);
+    cb.output(&out);
+    cb.finish()
+}
+
+// ---- shared residue building blocks ---------------------------------------
+
+/// Rotate a residue vector left by `k` (multiplication by `2^k` mod
+/// `2^a - 1` is a cyclic rotation: wiring only, no gates).
+fn rotate_left(x: &Bv, k: usize) -> Bv {
+    let a = x.width();
+    let k = k % a;
+    let mut bits = Vec::with_capacity(a);
+    for i in 0..a {
+        bits.push(x.bit((i + a - k) % a));
+    }
+    Bv::from_bits(bits)
+}
+
+/// a-bit end-around-carry addition: `(x + y) mod (2^a - 1)`, possibly
+/// leaving the all-ones double zero.
+fn eac_add(cb: &mut CircuitBuilder, x: &Bv, y: &Bv) -> Bv {
+    let (s, cout) = cb.add(x, y, cb.zero());
+    // Re-propagate the carry-out into the LSB.
+    let zero = cb.constant(0, s.width());
+    let (s2, _) = cb.add(&s, &zero, cout);
+    s2
+}
+
+/// Carry-save multi-operand modular adder: reduce rows with 3:2 compressors
+/// whose carries rotate end-around, then one EAC carry-propagate add.
+fn moma(cb: &mut CircuitBuilder, mut rows: Vec<Bv>, a: u8) -> Bv {
+    let aw = a as usize;
+    while rows.len() > 2 {
+        let mut next = Vec::with_capacity(rows.len() * 2 / 3 + 1);
+        for chunk in rows.chunks(3) {
+            match chunk {
+                [x, y, z] => {
+                    let (s, carry) = cb.csa(&x.clone(), &y.clone(), &z.clone());
+                    next.push(s);
+                    // End-around carry rotation: carry bit i feeds column
+                    // (i+1) mod a.
+                    next.push(rotate_left(&carry, 1));
+                }
+                rest => next.extend(rest.iter().cloned()),
+            }
+        }
+        rows = next;
+    }
+    match rows.len() {
+        2 => {
+            let (x, y) = (rows[0].clone(), rows[1].clone());
+            eac_add(cb, &x, &y)
+        }
+        1 => rows.pop().expect("one row"),
+        _ => cb.constant(0, aw),
+    }
+}
+
+/// Map the all-ones double zero to the canonical zero.
+fn canonicalize(cb: &mut CircuitBuilder, x: &Bv) -> Bv {
+    let all_ones = cb.reduce_and(x);
+    let keep = cb.not(all_ones);
+    cb.bv_gate(x, keep)
+}
+
+/// Fold a 32-bit word into its `a`-bit residue.
+fn fold_residue(cb: &mut CircuitBuilder, data: &Bv, a: u8) -> Bv {
+    let aw = a as usize;
+    let mut rows: Vec<Bv> = Vec::new();
+    let mut lo = 0usize;
+    while lo < data.width() {
+        let hi = (lo + aw).min(data.width());
+        let slice = data.slice(lo, hi);
+        rows.push(cb.zext(&slice, aw));
+        lo = hi;
+    }
+    let folded = moma(cb, rows, a);
+    canonicalize(cb, &folded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcodes_ecc::{RawDecode, Residue, ResidueMadPredictor, ResidueRecoder, SystematicCode};
+
+    #[test]
+    fn decoder_circuit_matches_software_decoder() {
+        let code = HsiaoSecDed::new();
+        let net = secded_decoder();
+        let data = 0x5A5A_1234_u32;
+        let check = u64::from(code.encode(data));
+        // Clean word.
+        let out = net.evaluate(&[u64::from(data), check]);
+        assert_eq!(out[0], u64::from(data));
+        assert_eq!(out[1] & 1, 1, "clean flag");
+        // Every single-bit data error corrects.
+        for bit in 0..32 {
+            let out = net.evaluate(&[u64::from(data ^ (1 << bit)), check]);
+            assert_eq!(out[0], u64::from(data), "bit {bit}");
+            assert_eq!(out[1], 0b0010, "flags for bit {bit}");
+        }
+        // Check-bit errors flag corrected_check.
+        for bit in 0..7 {
+            let out = net.evaluate(&[u64::from(data), check ^ (1 << bit)]);
+            assert_eq!(out[1], 0b0100);
+        }
+        // Double errors detect.
+        let out = net.evaluate(&[u64::from(data ^ 0b11), check]);
+        assert_eq!(out[1], 0b1000);
+        assert_eq!(code.decode(data ^ 0b11, check as u16), RawDecode::Detected);
+    }
+
+    #[test]
+    fn residue_encoder_matches_software() {
+        for a in [2u8, 3, 4, 5, 6, 7, 8] {
+            let code = ResidueCode::new(a);
+            let net = residue_encoder(a);
+            for v in [0u32, 1, 7, 0xFFFF_FFFF, 0xDEAD_BEEF, 0x8000_0000] {
+                let got = net.evaluate(&[u64::from(v)])[0];
+                assert_eq!(got, u64::from(code.of_u32(v).value()), "a={a} v={v:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_predictor_matches_software() {
+        for a in [2u8, 3, 7] {
+            let code = ResidueCode::new(a);
+            let net = residue_add_predictor(a);
+            let m = u64::from(code.modulus());
+            for x in 0..m {
+                for y in 0..m {
+                    let got = net.evaluate(&[x, y])[0];
+                    assert_eq!(got, (x + y) % m, "a={a} {x}+{y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mad_predictor_matches_software() {
+        for a in [2u8, 3, 7, 8] {
+            let code = ResidueCode::new(a);
+            let pred = ResidueMadPredictor::new(code);
+            let net = mad_residue_predictor(a);
+            let cases = [
+                (3u32, 5u32, 0x0000_0001_0000_0002_u64),
+                (u32::MAX, u32::MAX, u64::MAX),
+                (12345, 67890, 0xDEAD_BEEF_CAFE_F00D),
+                (0, 7, 42),
+            ];
+            for (x, y, c) in cases {
+                let full = u128::from(x) * u128::from(y) + u128::from(c);
+                let cout = (full >> 64) & 1;
+                let rx = code.of_u32(x);
+                let ry = code.of_u32(y);
+                let chi = code.of_u32((c >> 32) as u32);
+                let clo = code.of_u32(c as u32);
+                let want = pred.predict_wrapped(rx, ry, chi, clo, cout != 0);
+                let got = net.evaluate(&[
+                    u64::from(rx.value()),
+                    u64::from(ry.value()),
+                    u64::from(chi.value()),
+                    u64::from(clo.value()),
+                    cout as u64,
+                ])[0];
+                assert_eq!(got, u64::from(want.value()), "a={a} {x}*{y}+{c:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn recoding_encoder_matches_software() {
+        for a in [2u8, 3, 7] {
+            let code = ResidueCode::new(a);
+            let rec = ResidueRecoder::new(code);
+            let net = recoding_residue_encoder(a);
+            let z: u64 = 0xFEDC_BA98_7654_3210;
+            let (z_lo, z_hi) = (z as u32, (z >> 32) as u32);
+            let rz = code.of_u64(z);
+            // Direct path.
+            let got = net.evaluate(&[u64::from(z_lo), 0, 0, 0b00])[0];
+            assert_eq!(got, u64::from(code.of_u32(z_lo).value()), "direct a={a}");
+            // Recode low: Zadj = Z_hi.
+            let got = net.evaluate(&[
+                0,
+                u64::from(rz.value()),
+                u64::from(z_hi),
+                0b01,
+            ])[0];
+            let want = rec.recode_low(rz, code.of_u32(z_hi));
+            assert_eq!(got, u64::from(want.value()), "low a={a}");
+            assert_eq!(want, code.of_u32(z_lo));
+            // Recode high: Zadj = Z_lo.
+            let got = net.evaluate(&[
+                0,
+                u64::from(rz.value()),
+                u64::from(z_lo),
+                0b11,
+            ])[0];
+            let want = rec.recode_high(rz, code.of_u32(z_lo));
+            assert_eq!(got, u64::from(want.value()), "high a={a}");
+            assert_eq!(want, code.of_u32(z_hi));
+        }
+    }
+
+    #[test]
+    fn report_logic_matches_fig5_policy() {
+        use swapcodes_ecc::parity32;
+        let net = secded_dp_report_logic();
+        let data = 0xABCD_0123_u32;
+        let good_parity = u64::from(parity32(data));
+        // Correctable-looking + consistent parity -> pipeline DUE, no
+        // correction.
+        let out = net.evaluate(&[u64::from(data), good_parity, 0b0010])[0];
+        assert_eq!(out, 0b110); // due_pipe | due, no allow
+        // Correctable + inconsistent parity -> storage correction allowed.
+        let out = net.evaluate(&[u64::from(data), good_parity ^ 1, 0b0010])[0];
+        assert_eq!(out, 0b001);
+        // Detected -> DUE.
+        let out = net.evaluate(&[u64::from(data), good_parity, 0b1000])[0];
+        assert_eq!(out, 0b010);
+        // Clean -> nothing.
+        let out = net.evaluate(&[u64::from(data), good_parity, 0b0001])[0];
+        assert_eq!(out, 0b000);
+    }
+
+    #[test]
+    fn move_propagation_selects_stored_ecc() {
+        let net = move_propagate_mux(7);
+        assert_eq!(net.evaluate(&[0b1010101, 0b0101010, 1])[0], 0b0101010);
+        assert_eq!(net.evaluate(&[0b1010101, 0b0101010, 0])[0], 0b1010101);
+        assert_eq!(net.flip_flop_count(), 14); // matches Table IV
+    }
+
+    #[test]
+    fn residue_values_are_canonical() {
+        // The circuit canonicalizes the double zero like `Residue` does.
+        let net = residue_encoder(3);
+        let got = net.evaluate(&[7])[0];
+        assert_eq!(got, 0);
+        let code = ResidueCode::new(3);
+        assert_eq!(Residue::value(code.of_u32(7)), 0);
+    }
+}
+
+/// A SEC-DED check-bit predictor for 32-bit addition (§VI, "Swap-Predict
+/// with SEC-DED ECC").
+///
+/// Because the Hsiao code is linear over GF(2) and `sum = a ^ b ^ carries`,
+/// the sum's check bits are `c(a) ^ c(b) ^ c(carries)` — so a predictor only
+/// needs the adder's internal carry vector (tapped from the datapath for
+/// free) and one extra encoder-sized XOR tree. Operations other than
+/// add/subtract have no such shortcut, which is why the paper pairs SEC-DED
+/// prediction with add/sub only and prefers residues elsewhere.
+///
+/// Inputs: word 0 = `c(a)` (7b), word 1 = `c(b)` (7b), word 2 = the adder's
+/// carry-in vector (32b, carry into each bit position). Output: predicted
+/// check bits of the sum.
+#[must_use]
+pub fn secded_add_predictor() -> Netlist {
+    let code = HsiaoSecDed::new();
+    let mut cb = CircuitBuilder::new(3);
+    let ca = cb.input(0, 7);
+    let cbits = cb.input(1, 7);
+    let carries = cb.input(2, 32);
+    // Encode the carry vector through the same column XOR trees.
+    let mut rows = Vec::with_capacity(7);
+    for r in 0..7u32 {
+        let taps: Vec<_> = (0..32u32)
+            .filter(|&j| code.column(j) & (1 << r) != 0)
+            .map(|j| carries.bit(j as usize))
+            .collect();
+        let cc = cb.reduce_xor(&Bv::from_bits(taps));
+        let t = cb.xor(ca.bit(r as usize), cbits.bit(r as usize));
+        rows.push(cb.xor(t, cc));
+    }
+    let out_bv = Bv::from_bits(rows);
+    let out = cb.register(&out_bv);
+    cb.output(&out);
+    cb.finish()
+}
+
+#[cfg(test)]
+mod secded_predict_tests {
+    use super::*;
+    use swapcodes_ecc::SystematicCode;
+
+    /// Carry-into-bit vector of `a + b` (carry into position i).
+    fn carry_vector(a: u32, b: u32) -> u32 {
+        // carries = (a + b) ^ a ^ b gives carry-INTO each bit.
+        (a.wrapping_add(b)) ^ a ^ b
+    }
+
+    #[test]
+    fn predicts_sum_check_bits_exactly() {
+        let code = HsiaoSecDed::new();
+        let net = secded_add_predictor();
+        for (a, b) in [
+            (0u32, 0u32),
+            (1, 1),
+            (u32::MAX, 1),
+            (0xDEAD_BEEF, 0x1234_5678),
+            (0x8000_0000, 0x8000_0000),
+        ] {
+            let sum = a.wrapping_add(b);
+            let got = net.evaluate(&[
+                u64::from(code.encode(a)),
+                u64::from(code.encode(b)),
+                u64::from(carry_vector(a, b)),
+            ])[0];
+            assert_eq!(got, u64::from(code.encode(sum)), "{a:#x}+{b:#x}");
+        }
+    }
+
+    #[test]
+    fn predictor_is_cheap_relative_to_the_adder() {
+        use crate::area::area;
+        use crate::optimize::optimize;
+        let pred = area(&optimize(&secded_add_predictor()).0);
+        let add = area(&optimize(crate::units::fxp_add32().netlist()).0);
+        // The paper (§VI) argues SEC-DED add/sub prediction is viable; the
+        // predictor must be a small fraction of the adder it covers.
+        assert!(
+            pred.nand2_logic < add.nand2_logic,
+            "{pred:?} vs {add:?}"
+        );
+    }
+}

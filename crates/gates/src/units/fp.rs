@@ -1,0 +1,580 @@
+//! Gate-level IEEE-754 floating-point adder and fused multiply-add,
+//! parameterized over the format (binary32 / binary64).
+//!
+//! Both datapaths implement round-to-nearest-even with flush-to-zero
+//! subnormal handling, matching [`crate::softfloat`] bit-for-bit on
+//! normal/zero operands (the regime the traced GPU operands live in; Inf/NaN
+//! propagation is out of scope for the injection study and documented as
+//! such). The adder is the classic swap → align-with-sticky → add/sub →
+//! normalize → round pipeline; the FMA keeps the exact double-width product,
+//! aligns the addend into a wide window anchored on the product, and rounds
+//! once at the end.
+
+use crate::builder::{Bv, CircuitBuilder};
+use crate::netlist::NodeId;
+use crate::softfloat::FpFormat;
+use crate::units::{ArithUnit, UnitKind};
+
+/// One unpacked operand.
+struct Unpacked {
+    sign: NodeId,
+    exp: Bv,
+    /// Mantissa with hidden bit (m+1 bits); zero when the encoding is
+    /// zero/subnormal (FTZ).
+    frac: Bv,
+}
+
+fn unpack(cb: &mut CircuitBuilder, x: &Bv, fmt: FpFormat) -> Unpacked {
+    let m = fmt.man_bits as usize;
+    let e = fmt.exp_bits as usize;
+    let man_field = x.slice(0, m);
+    let exp = x.slice(m, m + e);
+    let sign = x.bit(m + e);
+    let normal = cb.reduce_or(&exp); // exp != 0 (FTZ for subnormals)
+    // Hidden bit = normal; frac field is gated off when flushing to zero.
+    let gated = cb.bv_gate(&man_field, normal);
+    let frac = gated.concat(&Bv::from_bits(vec![normal]));
+    Unpacked { sign, exp, frac }
+}
+
+fn pack(sign: NodeId, exp: &Bv, man: &Bv) -> Bv {
+    man.concat(exp).concat(&Bv::from_bits(vec![sign]))
+}
+
+/// Round a normalized window (leading one at the top bit) to `m` mantissa
+/// bits with RNE, apply FTZ/overflow policy, and pack the result.
+///
+/// `exp_biased` is the signed biased exponent of the window's leading-one
+/// position, in `ew`-bit two's complement; `extra_sticky` ORs into the
+/// sticky; `force_zero` overrides everything with a (+/-)0 of `zero_sign`.
+#[allow(clippy::too_many_arguments)]
+fn round_pack(
+    cb: &mut CircuitBuilder,
+    fmt: FpFormat,
+    norm: &Bv,
+    exp_biased: &Bv,
+    sign: NodeId,
+    extra_sticky: NodeId,
+    force_zero: NodeId,
+    zero_sign: NodeId,
+) -> Bv {
+    let m = fmt.man_bits as usize;
+    let e = fmt.exp_bits as usize;
+    let w = norm.width();
+    let ew = exp_biased.width();
+    assert!(w >= m + 3, "window too narrow to round");
+
+    // Mantissa (with hidden bit), guard, sticky.
+    let mant = norm.slice(w - 1 - m, w); // m+1 bits
+    let guard = norm.bit(w - 2 - m);
+    let below = norm.slice(0, w - 2 - m);
+    let below_any = cb.reduce_or(&below);
+    let sticky = cb.or(below_any, extra_sticky);
+    let lsb = mant.bit(0);
+    let tie_break = cb.or(sticky, lsb);
+    let round_up = cb.and(guard, tie_break);
+
+    // mant + round_up, watching for mantissa overflow.
+    let mant_ext = cb.zext(&mant, m + 2);
+    let ru = Bv::from_bits(vec![round_up]);
+    let ru_ext = cb.zext(&ru, m + 2);
+    let (rounded, _) = cb.add(&mant_ext, &ru_ext, cb.zero());
+    let carry = rounded.bit(m + 1);
+    let man_no_carry = rounded.slice(0, m);
+    let man_carry = rounded.slice(1, m + 1);
+    let man_field = cb.bv_mux(carry, &man_carry, &man_no_carry);
+
+    // Final exponent: exp_biased + carry.
+    let carry_v = Bv::from_bits(vec![carry]);
+    let carry_ext = cb.zext(&carry_v, ew);
+    let (e_final, _) = cb.add(exp_biased, &carry_ext, cb.zero());
+
+    // Underflow (FTZ): e_final <= 0. Overflow: e_final >= 2^e - 1.
+    let neg = e_final.msb();
+    let zero_e = cb.is_zero(&e_final);
+    let underflow = cb.or(neg, zero_e);
+    let max_e = cb.constant((1u64 << e) - 1, ew);
+    let (_, no_borrow) = cb.sub(&e_final, &max_e);
+    // Signed >=: since e_final in range (not hugely positive), the unsigned
+    // no-borrow test is only meaningful when e_final is non-negative.
+    let not_neg = cb.not(neg);
+    let overflow = cb.and(no_borrow, not_neg);
+
+    let exp_field = e_final.slice(0, e);
+    let inf_exp = cb.constant((1u64 << e) - 1, e);
+    let zero_exp = cb.constant(0, e);
+    let zero_man = cb.constant(0, m);
+
+    // Priority: force_zero / underflow -> zero; overflow -> inf; else value.
+    let exp1 = cb.bv_mux(overflow, &inf_exp, &exp_field);
+    let man1 = cb.bv_mux(overflow, &zero_man, &man_field);
+    let flush = cb.or(force_zero, underflow);
+    let exp2 = cb.bv_mux(flush, &zero_exp, &exp1);
+    let man2 = cb.bv_mux(flush, &zero_man, &man1);
+    // An exact-zero result takes the dedicated zero sign; FTZ underflow keeps
+    // the computed sign (signed flush-to-zero).
+    let sign2 = cb.mux(force_zero, zero_sign, sign);
+
+    pack(sign2, &exp2, &man2)
+}
+
+/// Build the pipelined floating-point adder for `fmt` (two stages).
+#[must_use]
+pub fn fp_add(fmt: FpFormat) -> ArithUnit {
+    let m = fmt.man_bits as usize;
+    let e = fmt.exp_bits as usize;
+    let ew = e + 3;
+    let w = fmt.width() as usize;
+
+    let mut cb = CircuitBuilder::new(2);
+    let a_raw = cb.input(0, w);
+    let b_raw = cb.input(1, w);
+    let a_in = cb.register(&a_raw);
+    let b_in = cb.register(&b_raw);
+
+    let ua = unpack(&mut cb, &a_in, fmt);
+    let ub = unpack(&mut cb, &b_in, fmt);
+
+    // Magnitude comparison on (exp, man-field): monotonic for normals/zero.
+    let key_a = a_in.slice(0, m + e);
+    let key_b = b_in.slice(0, m + e);
+    let a_lt_b = cb.lt(&key_a, &key_b);
+    let b_ge = a_lt_b; // b is the big operand
+    let e_big = cb.bv_mux(b_ge, &ub.exp, &ua.exp);
+    let e_small = cb.bv_mux(b_ge, &ua.exp, &ub.exp);
+    let f_big = cb.bv_mux(b_ge, &ub.frac, &ua.frac);
+    let f_small = cb.bv_mux(b_ge, &ua.frac, &ub.frac);
+    let sign_big = cb.mux(b_ge, ub.sign, ua.sign);
+    let eff_sub = cb.xor(ua.sign, ub.sign);
+
+    // Align the small operand with 3 extension bits (guard, round, sticky).
+    let (d, _) = cb.sub(&e_big, &e_small);
+    let f_big_ext = cb.zext(&f_big, m + 4);
+    let big3 = cb.shl_const(&f_big_ext, 3, m + 4);
+    let f_small_ext = cb.zext(&f_small, m + 4);
+    let small3 = cb.shl_const(&f_small_ext, 3, m + 4);
+    let (shifted, lost) = cb.shr_var_sticky(&small3, &d);
+    // Fold the sticky into the lowest extension bit.
+    let mut aligned_bits = shifted.bits().to_vec();
+    aligned_bits[0] = cb.or(aligned_bits[0], lost);
+    let aligned = Bv::from_bits(aligned_bits);
+
+    // ---- pipeline stage boundary -----------------------------------------
+    let big3 = cb.register(&big3);
+    let aligned = cb.register(&aligned);
+    let e_big = cb.register(&e_big);
+    let eff_sub = cb.ff(eff_sub);
+    let sign_big = cb.ff(sign_big);
+    let sign_a = cb.ff(ua.sign);
+    let sign_b = cb.ff(ub.sign);
+
+    // Add or subtract in an m+5-bit window.
+    let big_w = cb.zext(&big3, m + 5);
+    let small_w = cb.zext(&aligned, m + 5);
+    let small_inv = cb.bv_not(&small_w);
+    let addend = cb.bv_mux(eff_sub, &small_inv, &small_w);
+    let (sum, _) = cb.add(&big_w, &addend, eff_sub);
+
+    // Normalize: leading one to the window top.
+    let lzc = cb.lzc(&sum);
+    let norm = cb.shl_var(&sum, &lzc);
+    let is_zero_res = cb.is_zero(&sum);
+
+    // Biased result exponent: e_big + 1 - lzc.
+    let e_big_w = cb.zext(&e_big, ew);
+    let one = cb.constant(1, ew);
+    let (e_p1, _) = cb.add(&e_big_w, &one, cb.zero());
+    let lzc_w = cb.zext(&lzc, ew);
+    let (e_res, _) = cb.sub(&e_p1, &lzc_w);
+
+    // Result sign: sign of the larger operand; exact-zero results get +0
+    // except (+/-0) + (+/-0) which keeps the AND of the signs.
+    let zero_sign = cb.and(sign_a, sign_b);
+    let no_extra_sticky = cb.zero();
+    let out = round_pack(
+        &mut cb,
+        fmt,
+        &norm,
+        &e_res,
+        sign_big,
+        no_extra_sticky,
+        is_zero_res,
+        zero_sign,
+    );
+    let out = cb.register(&out);
+    cb.output(&out);
+
+    let kind = if fmt.exp_bits == 8 {
+        UnitKind::FpAdd32
+    } else {
+        UnitKind::FpAdd64
+    };
+    ArithUnit::new(kind, cb.finish())
+}
+
+/// Build the pipelined fused multiply-add (`a * b + c`) for `fmt`
+/// (two stages).
+#[must_use]
+pub fn fp_fma(fmt: FpFormat) -> ArithUnit {
+    let m = fmt.man_bits as usize;
+    let e = fmt.exp_bits as usize;
+    let ew = e + 3;
+    let w = fmt.width() as usize;
+    let bias = u64::from(fmt.bias());
+
+    // Wide accumulation window: product anchored at bit 2m+7, addend
+    // left-shifted by s' = (3m+7) - d where d = (ea + eb - bias) - ec.
+    let window = 5 * m + 16;
+    let s_max = 4 * m + 13; // Case-A cutoff: d <= -(m+6)
+    let sh_bits = usize::BITS as usize - s_max.leading_zeros() as usize;
+
+    let mut cb = CircuitBuilder::new(3);
+    let a_raw = cb.input(0, w);
+    let b_raw = cb.input(1, w);
+    let c_raw = cb.input(2, w);
+    let a_in = cb.register(&a_raw);
+    let b_in = cb.register(&b_raw);
+    let c_in = cb.register(&c_raw);
+
+    let ua = unpack(&mut cb, &a_in, fmt);
+    let ub = unpack(&mut cb, &b_in, fmt);
+    let uc = unpack(&mut cb, &c_in, fmt);
+    let sp = cb.xor(ua.sign, ub.sign);
+
+    // The FTZ-flushed addend, used by every "result is exactly c" path.
+    let c_flushed = {
+        let normal_c = cb.reduce_or(&uc.exp);
+        let man_raw = c_in.slice(0, m);
+        let man = cb.bv_gate(&man_raw, normal_c);
+        pack(uc.sign, &uc.exp, &man)
+    };
+
+    // Exact product (2m+2 bits) via the multiplier array.
+    let product = cb.mul(&ua.frac, &ub.frac);
+    let product_any = cb.reduce_or(&product);
+    let product_zero = cb.not(product_any);
+
+    // Addend alignment: s' = 3m + 7 + bias + ec - ea - eb (signed, ew bits).
+    let base = cb.constant(3 * m as u64 + 7 + bias, ew);
+    let ec_w = cb.zext(&uc.exp, ew);
+    let (t1, _) = cb.add(&base, &ec_w, cb.zero());
+    let ea_w = cb.zext(&ua.exp, ew);
+    let eb_w = cb.zext(&ub.exp, ew);
+    let (t2, _) = cb.sub(&t1, &ea_w);
+    let (s_amt, _) = cb.sub(&t2, &eb_w);
+    let s_neg = s_amt.msb();
+
+    // Case A: the addend dominates so completely that the result is exactly
+    // c (s' >= 4m+13 <=> d <= -(m+6)), provided the product is non-zero to
+    // need no rounding nudge — and if the product IS zero the result is c
+    // anyway, so the test is just on s'.
+    let s_case_a = {
+        let cut = cb.constant(s_max as u64, ew);
+        let (_, no_borrow) = cb.sub(&s_amt, &cut);
+        let nn = cb.not(s_neg);
+        cb.and(no_borrow, nn)
+    };
+
+    // In-window addend: gate off when s' < 0 (sticky only) or Case A.
+    let in_window = {
+        let a = cb.not(s_neg);
+        let b = cb.not(s_case_a);
+        cb.and(a, b)
+    };
+    let fc_any = cb.reduce_or(&uc.frac);
+    let below_window = cb.and(s_neg, fc_any);
+    let fc_gated = cb.bv_gate(&uc.frac, in_window);
+    let fc_wide = cb.zext(&fc_gated, window);
+    let aligned_c = cb.shl_var(&fc_wide, &s_amt.slice(0, sh_bits));
+
+    let product_anchored = {
+        let wide = cb.zext(&product, window);
+        cb.shl_const(&wide, 2 * m + 7, window)
+    };
+
+    // ---- pipeline stage boundary -----------------------------------------
+    let product_anchored = cb.register(&product_anchored);
+    let aligned_c = cb.register(&aligned_c);
+    let sp = cb.ff(sp);
+    let sc = cb.ff(uc.sign);
+    let sticky_c = cb.ff(below_window);
+    // "Result is exactly c": the huge-addend Case A, or a zero product.
+    let pass_c = cb.or(s_case_a, product_zero);
+    let pass_c = cb.ff(pass_c);
+    let c_pass = cb.register(&c_flushed);
+    let ea_r = cb.register(&ua.exp);
+    let eb_r = cb.register(&ub.exp);
+
+    // Effective subtraction with exact floor semantics for the sticky tail:
+    // S = P + (sub ? !C : C) + (sub & !sticky).
+    let eff_sub = cb.xor(sp, sc);
+    let c_inv = cb.bv_not(&aligned_c);
+    let addend = cb.bv_mux(eff_sub, &c_inv, &aligned_c);
+    let not_sticky = cb.not(sticky_c);
+    let cin = cb.and(eff_sub, not_sticky);
+    let (s_val, cout) = cb.add(&product_anchored, &addend, cin);
+
+    // Negative difference: negate (~S, +1 unless sticky).
+    let not_cout = cb.not(cout);
+    let negated = cb.and(eff_sub, not_cout);
+    let s_not = cb.bv_not(&s_val);
+    let neg_cin = cb.and(negated, not_sticky);
+    let zero_c = cb.constant(0, window);
+    let (s_neg_val, _) = cb.add(&s_not, &zero_c, neg_cin);
+    let n_val = cb.bv_mux(negated, &s_neg_val, &s_val);
+
+    // Normalize.
+    let lzc = cb.lzc(&n_val);
+    let norm = cb.shl_var(&n_val, &lzc);
+    let n_zero = cb.is_zero(&n_val);
+    let zero_res = {
+        let ns = cb.not(sticky_c);
+        cb.and(n_zero, ns)
+    };
+    // n == 0 but sticky: magnitude below the window -> FTZ zero as well.
+    let tiny_res = cb.and(n_zero, sticky_c);
+    let force_zero = cb.or(zero_res, tiny_res);
+
+    // Biased exponent: ea + eb - bias + (m + 8) - lzc.
+    let ea_w = cb.zext(&ea_r, ew);
+    let eb_w = cb.zext(&eb_r, ew);
+    let (epe, _) = cb.add(&ea_w, &eb_w, cb.zero());
+    let k = cb.constant((m as u64) + 8, ew);
+    let (epk, _) = cb.add(&epe, &k, cb.zero());
+    let bias_c = cb.constant(bias, ew);
+    let (eb2, _) = cb.sub(&epk, &bias_c);
+    let lzc_w = cb.zext(&lzc, ew);
+    let (e_res, _) = cb.sub(&eb2, &lzc_w);
+
+    let sign_res = cb.mux(negated, sc, sp);
+    let zero_sign = cb.and(sp, sc);
+    let computed = round_pack(
+        &mut cb,
+        fmt,
+        &norm,
+        &e_res,
+        sign_res,
+        sticky_c,
+        force_zero,
+        zero_sign,
+    );
+
+    // Case A / zero product: the result is exactly (flushed) c.
+    let out = cb.bv_mux(pass_c, &c_pass, &computed);
+    let out = cb.register(&out);
+    cb.output(&out);
+
+    let kind = if fmt.exp_bits == 8 {
+        UnitKind::FpFma32
+    } else {
+        UnitKind::FpFma64
+    };
+    ArithUnit::new(kind, cb.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::softfloat::{BINARY32, BINARY64};
+
+    fn same32(a: u64, b: u64) -> bool {
+        // Treat +/-0 as equal (FTZ sign-of-zero corners are unspecified).
+        let canon = |x: u64| if x & 0x7FFF_FFFF == 0 { 0 } else { x };
+        canon(a) == canon(b)
+    }
+
+    fn same64(a: u64, b: u64) -> bool {
+        let canon = |x: u64| if x & 0x7FFF_FFFF_FFFF_FFFF == 0 { 0 } else { x };
+        canon(a) == canon(b)
+    }
+
+    #[test]
+    fn add32_directed_cases() {
+        let unit = fp_add(BINARY32);
+        let cases: &[(f32, f32)] = &[
+            (1.0, 2.0),
+            (1.5, -1.5),
+            (0.1, 0.2),
+            (1e20, -1.0),
+            (1.0, -0.9999999),
+            (3.25, 0.0),
+            (0.0, 0.0),
+            (-0.0, -0.0),
+            (1e-30, -1e-30),
+            (123456.78, -123456.70),
+            (f32::MIN_POSITIVE, f32::MIN_POSITIVE),
+        ];
+        for &(x, y) in cases {
+            let (a, b) = (u64::from(x.to_bits()), u64::from(y.to_bits()));
+            let got = unit.netlist().evaluate(&[a, b])[0];
+            let want = unit.reference([a, b, 0]);
+            assert!(same32(got, want), "{x} + {y}: got {got:#x} want {want:#x}");
+        }
+    }
+
+    #[test]
+    fn fma32_directed_cases() {
+        let unit = fp_fma(BINARY32);
+        let cases: &[(f32, f32, f32)] = &[
+            (1.0, 2.0, 3.0),
+            (1.5, -1.5, 2.25),
+            (0.1, 0.2, -0.02),
+            (1e19, 1e19, -1.0),
+            (1.0, 1.0, -1.0),
+            (3.0, 4.0, 0.0),
+            (0.0, 5.0, 7.5),
+            (5.0, 0.0, -7.5),
+            (1e-20, 1e-20, 1.0),
+            (1e-20, 1e-20, -1.0),
+            (2.0, 3.0, -6.000001),
+            (1.0000001, 1.0000001, -1.0),
+            (f32::MAX, 2.0, 0.0),
+        ];
+        for &(x, y, z) in cases {
+            let (a, b, c) = (
+                u64::from(x.to_bits()),
+                u64::from(y.to_bits()),
+                u64::from(z.to_bits()),
+            );
+            let got = unit.netlist().evaluate(&[a, b, c])[0];
+            let want = unit.reference([a, b, c]);
+            assert!(
+                same32(got, want),
+                "{x} * {y} + {z}: got {got:#x} want {want:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn add64_and_fma64_directed_cases() {
+        let addu = fp_add(BINARY64);
+        let fmau = fp_fma(BINARY64);
+        let cases: &[(f64, f64, f64)] = &[
+            (1.0, 2.0, 3.0),
+            (0.1, 0.2, 0.3),
+            (1e300, -1e284, 1.0),
+            (1.0, -0.9999999999999999, 0.5),
+            (2.0, 3.0, -6.0),
+            (1e-150, 1e-150, -1.0),
+        ];
+        for &(x, y, z) in cases {
+            let (a, b, c) = (x.to_bits(), y.to_bits(), z.to_bits());
+            let got = addu.netlist().evaluate(&[a, b])[0];
+            let want = addu.reference([a, b, 0]);
+            assert!(same64(got, want), "{x} + {y}: got {got:#x} want {want:#x}");
+            let got = fmau.netlist().evaluate(&[a, b, c])[0];
+            let want = fmau.reference([a, b, c]);
+            assert!(
+                same64(got, want),
+                "{x} * {y} + {z}: got {got:#x} want {want:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn add32_randomized_against_reference() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0xF00D);
+        let unit = fp_add(BINARY32);
+        for _ in 0..400 {
+            let x = random_normal32(&mut rng);
+            let y = if rng.gen_bool(0.3) {
+                // Near-cancellation stress.
+                f32::from_bits(x.to_bits() ^ (rng.gen_range(0u32..8))) * -1.0
+            } else {
+                random_normal32(&mut rng)
+            };
+            let (a, b) = (u64::from(x.to_bits()), u64::from(y.to_bits()));
+            let got = unit.netlist().evaluate(&[a, b])[0];
+            let want = unit.reference([a, b, 0]);
+            assert!(same32(got, want), "{x:e} + {y:e}: got {got:#x} want {want:#x}");
+        }
+    }
+
+    #[test]
+    fn fma32_randomized_against_reference() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0xBEEF);
+        let unit = fp_fma(BINARY32);
+        for _ in 0..400 {
+            let x = random_normal32(&mut rng);
+            let y = random_normal32(&mut rng);
+            let z = if rng.gen_bool(0.3) {
+                // Force heavy cancellation: z ~ -x*y.
+                -(x * y)
+            } else {
+                random_normal32(&mut rng)
+            };
+            if !z.is_finite() || (z != 0.0 && !BINARY32.is_normal(u64::from(z.to_bits()))) {
+                continue;
+            }
+            let (a, b, c) = (
+                u64::from(x.to_bits()),
+                u64::from(y.to_bits()),
+                u64::from(z.to_bits()),
+            );
+            let want = unit.reference([a, b, c]);
+            if BINARY32.exponent(want) == 0xFF {
+                continue; // overflow to Inf: out of modelled scope
+            }
+            let got = unit.netlist().evaluate(&[a, b, c])[0];
+            assert!(
+                same32(got, want),
+                "{x:e} * {y:e} + {z:e}: got {got:#x} want {want:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn fma64_randomized_against_reference() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0xCAFE);
+        let unit = fp_fma(BINARY64);
+        for _ in 0..120 {
+            let x = random_normal64(&mut rng);
+            let y = random_normal64(&mut rng);
+            let z = if rng.gen_bool(0.3) {
+                -(x * y)
+            } else {
+                random_normal64(&mut rng)
+            };
+            if !z.is_finite() || (z != 0.0 && !BINARY64.is_normal(z.to_bits())) {
+                continue;
+            }
+            let (a, b, c) = (x.to_bits(), y.to_bits(), z.to_bits());
+            let want = unit.reference([a, b, c]);
+            if BINARY64.exponent(want) == 0x7FF {
+                continue;
+            }
+            let got = unit.netlist().evaluate(&[a, b, c])[0];
+            assert!(
+                same64(got, want),
+                "{x:e} * {y:e} + {z:e}: got {got:#x} want {want:#x}"
+            );
+        }
+    }
+
+    fn random_normal32(rng: &mut impl rand::Rng) -> f32 {
+        loop {
+            let sign = if rng.gen_bool(0.5) { -1.0f32 } else { 1.0 };
+            let exp = rng.gen_range(-30i32..30);
+            let frac: f32 = rng.gen_range(1.0..2.0);
+            let v = sign * frac * (exp as f32).exp2();
+            if v.is_finite() && BINARY32.is_normal(u64::from(v.to_bits())) {
+                return v;
+            }
+        }
+    }
+
+    fn random_normal64(rng: &mut impl rand::Rng) -> f64 {
+        loop {
+            let sign = if rng.gen_bool(0.5) { -1.0f64 } else { 1.0 };
+            let exp = rng.gen_range(-60i32..60);
+            let frac: f64 = rng.gen_range(1.0..2.0);
+            let v = sign * frac * (exp as f64).exp2();
+            if v.is_finite() && BINARY64.is_normal(v.to_bits()) {
+                return v;
+            }
+        }
+    }
+}

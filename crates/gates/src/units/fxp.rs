@@ -1,0 +1,174 @@
+//! Fixed-point arithmetic units: 32-bit add and 32x32+64 multiply-add.
+
+use crate::builder::{Bv, CircuitBuilder};
+use crate::units::{ArithUnit, UnitKind};
+
+/// 32-bit fixed-point adder, one pipeline stage (registered inputs and
+/// outputs), Kogge–Stone carry network.
+#[must_use]
+pub fn fxp_add32() -> ArithUnit {
+    let mut cb = CircuitBuilder::new(2);
+    let a_in = cb.input(0, 32);
+    let b_in = cb.input(1, 32);
+    let a = cb.register(&a_in);
+    let b = cb.register(&b_in);
+    let (sum, _) = cb.add(&a, &b, cb.zero());
+    let out = cb.register(&sum);
+    cb.output(&out);
+    ArithUnit::new(UnitKind::FxpAdd32, cb.finish())
+}
+
+/// 32-bit fixed-point adder built from a ripple-carry chain instead of the
+/// Kogge–Stone prefix network — the ablation point for studying how adder
+/// architecture shapes transient-error patterns (deep carry chains propagate
+/// single faults into long burst errors).
+#[must_use]
+pub fn fxp_add32_ripple() -> ArithUnit {
+    let mut cb = CircuitBuilder::new(2);
+    let a_in = cb.input(0, 32);
+    let b_in = cb.input(1, 32);
+    let a = cb.register(&a_in);
+    let b = cb.register(&b_in);
+    let (sum, _) = cb.ripple_add(&a, &b, cb.zero());
+    let out = cb.register(&sum);
+    cb.output(&out);
+    ArithUnit::new(UnitKind::FxpAdd32, cb.finish())
+}
+
+/// 32x32+64 fixed-point multiply-add producing a 64-bit result, two pipeline
+/// stages: stage 1 forms the partial products and compresses them (together
+/// with the 64-bit addend) through a carry-save tree to two rows; stage 2
+/// runs the final carry-propagate adder.
+///
+/// Output word 0 is the 64-bit result; output word 1 is the carry-out of
+/// bit 64 (consumed by the residue MAD predictor, Table III).
+#[must_use]
+pub fn fxp_mad32() -> ArithUnit {
+    let mut cb = CircuitBuilder::new(3);
+    let a_in = cb.input(0, 32);
+    let b_in = cb.input(1, 32);
+    let c_in = cb.input(2, 64);
+    let a = cb.register(&a_in);
+    let b = cb.register(&b_in);
+    let c = cb.register(&c_in);
+
+    const W: usize = 65; // 64-bit result + carry-out
+
+    // Partial products of a*b, plus the addend as one more row.
+    let mut rows: Vec<Bv> = Vec::with_capacity(33);
+    for i in 0..32 {
+        let gated = cb.bv_gate(&a, b.bit(i));
+        let wide = cb.zext(&gated, W);
+        rows.push(cb.shl_const(&wide, i, W));
+    }
+    rows.push(cb.zext(&c, W));
+
+    // Carry-save compression to two rows (stage 1)...
+    let two_rows = compress_to_two(&mut cb, rows, W);
+    let r0 = cb.register(&two_rows.0);
+    let r1 = cb.register(&two_rows.1);
+
+    // ...final carry-propagate add (stage 2).
+    let (sum, _) = cb.add(&r0, &r1, cb.zero());
+    let result = cb.register(&sum.slice(0, 64));
+    let cout = cb.register(&sum.slice(64, 65));
+    cb.output(&result);
+    cb.output(&cout);
+    ArithUnit::new(UnitKind::FxpMad32, cb.finish())
+}
+
+/// Compress addend rows with a 3:2 CSA tree until exactly two remain.
+fn compress_to_two(cb: &mut CircuitBuilder, mut rows: Vec<Bv>, w: usize) -> (Bv, Bv) {
+    for r in &mut rows {
+        *r = cb.zext(r, w);
+    }
+    while rows.len() > 2 {
+        let mut next = Vec::with_capacity(rows.len() * 2 / 3 + 1);
+        for chunk in rows.chunks(3) {
+            match chunk {
+                [a, b, c] => {
+                    let (s, carry) = cb.csa(&a.clone(), &b.clone(), &c.clone());
+                    next.push(s);
+                    next.push(cb.shl_const(&carry, 1, w));
+                }
+                rest => next.extend(rest.iter().cloned()),
+            }
+        }
+        rows = next;
+    }
+    let hi = rows.pop().expect("two rows");
+    let lo = rows.pop().expect("two rows");
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add32_matches_reference() {
+        let unit = fxp_add32();
+        for (a, b) in [
+            (0u64, 0u64),
+            (1, u64::from(u32::MAX)),
+            (0xDEAD_BEEF, 0x1234_5678),
+            (u64::from(u32::MAX), u64::from(u32::MAX)),
+        ] {
+            let got = unit.netlist().evaluate(&[a, b])[0];
+            assert_eq!(got, unit.reference([a, b, 0]), "{a:#x} + {b:#x}");
+        }
+    }
+
+    #[test]
+    fn mad32_matches_reference() {
+        let unit = fxp_mad32();
+        for (a, b, c) in [
+            (0u64, 0u64, 0u64),
+            (3, 4, 5),
+            (u64::from(u32::MAX), u64::from(u32::MAX), u64::MAX),
+            (0xFFFF_0001, 0x8000_0000, 0x0123_4567_89AB_CDEF),
+        ] {
+            let out = unit.netlist().evaluate(&[a, b, c]);
+            assert_eq!(out[0], unit.reference([a, b, c]), "{a:#x}*{b:#x}+{c:#x}");
+            let full = u128::from(a as u32) * u128::from(b as u32) + u128::from(c);
+            assert_eq!(out[1], (full >> 64) as u64, "carry-out");
+        }
+    }
+
+    #[test]
+    fn mad32_has_two_register_stages() {
+        let unit = fxp_mad32();
+        // inputs (128) + two 65-bit mid rows (130) + result (64) + cout (1).
+        assert_eq!(unit.netlist().flip_flop_count(), 128 + 130 + 64 + 1);
+    }
+
+    #[test]
+    fn add32_flip_flop_budget_matches_paper_shape() {
+        // The paper's Table IV lists 96 FFs for the pipelined 32-bit adder:
+        // 64 input + 32 output.
+        assert_eq!(fxp_add32().netlist().flip_flop_count(), 96);
+    }
+}
+#[cfg(test)]
+mod ripple_tests {
+    use super::*;
+
+    #[test]
+    fn ripple_adder_matches_reference() {
+        let unit = fxp_add32_ripple();
+        for (a, b) in [(0u64, 0u64), (u64::from(u32::MAX), 1), (0xDEAD, 0xBEEF)] {
+            assert_eq!(
+                unit.netlist().evaluate(&[a, b])[0],
+                unit.reference([a, b, 0])
+            );
+        }
+    }
+
+    #[test]
+    fn ripple_is_smaller_than_kogge_stone() {
+        use crate::area::area;
+        let ks = area(fxp_add32().netlist());
+        let rc = area(fxp_add32_ripple().netlist());
+        assert!(rc.nand2_logic < ks.nand2_logic, "{rc:?} vs {ks:?}");
+    }
+}

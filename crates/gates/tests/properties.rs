@@ -1,0 +1,146 @@
+//! Property-based tests: the gate-level units are bit-exact against their
+//! software references across random operands.
+
+use proptest::prelude::*;
+use swapcodes_gates::units::{
+    build_unit, mad_residue_predictor, residue_encoder, secded_decoder, UnitKind,
+};
+use swapcodes_gates::softfloat::{BINARY32, BINARY64};
+use swapcodes_ecc::{HsiaoSecDed, RawDecode, ResidueCode, ResidueMadPredictor, SystematicCode};
+
+/// A strategy for normal (or zero) binary32 encodings.
+fn normal32() -> impl Strategy<Value = u64> {
+    (any::<bool>(), 64u32..190, 0u32..(1 << 23)).prop_map(|(s, e, m)| {
+        u64::from((u32::from(s) << 31) | (e << 23) | m)
+    })
+}
+
+fn normal64() -> impl Strategy<Value = u64> {
+    (any::<bool>(), 800u64..1250, 0u64..(1 << 52)).prop_map(|(s, e, m)| {
+        (u64::from(s) << 63) | (e << 52) | m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fxp_add_matches_wrapping_add(a: u32, b: u32) {
+        let unit = build_unit(UnitKind::FxpAdd32);
+        let got = unit.netlist().evaluate(&[u64::from(a), u64::from(b)])[0];
+        prop_assert_eq!(got, u64::from(a.wrapping_add(b)));
+    }
+
+    #[test]
+    fn fxp_mad_matches_wide_mad(a: u32, b: u32, c: u64) {
+        let unit = build_unit(UnitKind::FxpMad32);
+        let out = unit.netlist().evaluate(&[u64::from(a), u64::from(b), c]);
+        let full = u128::from(a) * u128::from(b) + u128::from(c);
+        prop_assert_eq!(out[0], full as u64);
+        prop_assert_eq!(out[1], (full >> 64) as u64, "carry-out");
+    }
+
+    #[test]
+    fn fp32_add_matches_reference(a in normal32(), b in normal32()) {
+        let unit = build_unit(UnitKind::FpAdd32);
+        let want = unit.reference([a, b, 0]);
+        prop_assume!(BINARY32.exponent(want) != 0xFF);
+        let got = unit.netlist().evaluate(&[a, b])[0];
+        // +/-0 equivalence at FTZ corners.
+        let canon = |x: u64| if x & 0x7FFF_FFFF == 0 { 0 } else { x };
+        prop_assert_eq!(canon(got), canon(want));
+    }
+
+    #[test]
+    fn fp32_fma_matches_reference(a in normal32(), b in normal32(), c in normal32()) {
+        let unit = build_unit(UnitKind::FpFma32);
+        let want = unit.reference([a, b, c]);
+        prop_assume!(BINARY32.exponent(want) != 0xFF);
+        let got = unit.netlist().evaluate(&[a, b, c])[0];
+        let canon = |x: u64| if x & 0x7FFF_FFFF == 0 { 0 } else { x };
+        prop_assert_eq!(canon(got), canon(want));
+    }
+
+    #[test]
+    fn fp64_fma_matches_reference(a in normal64(), b in normal64(), c in normal64()) {
+        let unit = build_unit(UnitKind::FpFma64);
+        let want = unit.reference([a, b, c]);
+        prop_assume!(BINARY64.exponent(want) != 0x7FF);
+        let got = unit.netlist().evaluate(&[a, b, c])[0];
+        let canon = |x: u64| if x & 0x7FFF_FFFF_FFFF_FFFF == 0 { 0 } else { x };
+        prop_assert_eq!(canon(got), canon(want));
+    }
+
+    /// The residue-encoder circuit equals the software fold for every width.
+    #[test]
+    fn residue_encoder_circuit_exact(a in 2u8..=8, v: u32) {
+        let net = residue_encoder(a);
+        let code = ResidueCode::new(a);
+        prop_assert_eq!(
+            net.evaluate(&[u64::from(v)])[0],
+            u64::from(code.of_u32(v).value())
+        );
+    }
+
+    /// The MAD residue predictor circuit equals the software predictor.
+    #[test]
+    fn mad_predictor_circuit_exact(a in 2u8..=8, x: u32, y: u32, c: u64) {
+        let code = ResidueCode::new(a);
+        let pred = ResidueMadPredictor::new(code);
+        let net = mad_residue_predictor(a);
+        let full = u128::from(x) * u128::from(y) + u128::from(c);
+        let cout = (full >> 64) != 0;
+        let want = pred.predict_wrapped(
+            code.of_u32(x),
+            code.of_u32(y),
+            code.of_u32((c >> 32) as u32),
+            code.of_u32(c as u32),
+            cout,
+        );
+        let got = net.evaluate(&[
+            u64::from(code.of_u32(x).value()),
+            u64::from(code.of_u32(y).value()),
+            u64::from(code.of_u32((c >> 32) as u32).value()),
+            u64::from(code.of_u32(c as u32).value()),
+            u64::from(cout),
+        ])[0];
+        prop_assert_eq!(got, u64::from(want.value()));
+    }
+
+    /// The decoder circuit agrees with the software decoder on random
+    /// (data, check) pairs, including corrupted ones.
+    #[test]
+    fn decoder_circuit_agrees_with_software(data: u32, check in 0u16..128) {
+        let code = HsiaoSecDed::new();
+        let net = secded_decoder();
+        let out = net.evaluate(&[u64::from(data), u64::from(check)]);
+        match code.decode(data, check) {
+            RawDecode::Clean => {
+                prop_assert_eq!(out[1], 0b0001);
+                prop_assert_eq!(out[0], u64::from(data));
+            }
+            RawDecode::CorrectedData { data: fixed, .. } => {
+                prop_assert_eq!(out[1], 0b0010);
+                prop_assert_eq!(out[0], u64::from(fixed));
+            }
+            RawDecode::CorrectedCheck { .. } => {
+                prop_assert_eq!(out[1], 0b0100);
+                prop_assert_eq!(out[0], u64::from(data));
+            }
+            RawDecode::Detected => prop_assert_eq!(out[1], 0b1000),
+        }
+    }
+
+    /// Single-node injection changes at most the output (sanity: the golden
+    /// lane of a batch is never affected by the faulty lanes).
+    #[test]
+    fn batch_golden_lane_is_clean(a: u32, b: u32, pick in 0usize..600) {
+        let unit = build_unit(UnitKind::FxpAdd32);
+        let nodes = unit.netlist().injectable_nodes();
+        let node = nodes[pick % nodes.len()];
+        let batch = unit
+            .netlist()
+            .evaluate_batch(&[u64::from(a), u64::from(b)], &[node]);
+        prop_assert_eq!(batch.golden(0), u64::from(a.wrapping_add(b)));
+    }
+}

@@ -1,0 +1,31 @@
+//! Fault-injection campaigns: the reproduction of the paper's Hamartia
+//! gate-level methodology (§IV-A/B) plus architecture-level end-to-end
+//! injection on the SM simulator.
+//!
+//! * [`gate`] — single-event injection into the pipelined arithmetic units:
+//!   for every traced input tuple, flip random gate/flip-flop outputs until
+//!   one corrupts the unit output, then record the golden/faulty pair
+//!   (Fig. 10's error patterns);
+//! * [`detection`] — evaluate each recorded error against every register-file
+//!   code through the swapped-codeword predicates (Fig. 11's SDC risk);
+//! * [`arch`] — whole-program injection: corrupt one dynamic instruction of
+//!   a protected workload and observe trap/DUE/masked/SDC at the output;
+//! * [`stats`] — Wilson 95% binomial confidence intervals (the error bars of
+//!   Figs. 10–11);
+//! * [`trace`] — operand capture from the workload suite, standing in for
+//!   the paper's SASSI-based value tracer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod detection;
+pub mod gate;
+pub mod stats;
+pub mod trace;
+
+pub use arch::{arch_campaign, ArchOutcomes};
+pub use detection::{sdc_risk, DetectionTally};
+pub use gate::{run_unit_campaign, CampaignConfig, PatternCounts, UnitCampaignResult};
+pub use stats::Proportion;
+pub use trace::workload_operand_streams;

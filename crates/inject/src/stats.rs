@@ -1,0 +1,101 @@
+//! Binomial proportion statistics (Wilson score interval, 95%).
+
+use serde::{Deserialize, Serialize};
+
+/// A binomial proportion: `successes` out of `trials`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Proportion {
+    /// Number of successes.
+    pub successes: u64,
+    /// Number of trials.
+    pub trials: u64,
+}
+
+impl Proportion {
+    /// Build a proportion.
+    #[must_use]
+    pub fn new(successes: u64, trials: u64) -> Self {
+        debug_assert!(successes <= trials);
+        Self { successes, trials }
+    }
+
+    /// The point estimate (0 when there are no trials).
+    #[must_use]
+    pub fn point(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// The Wilson score 95% confidence interval `(lo, hi)`.
+    ///
+    /// Wilson is well-behaved at the extremes (0 or all successes), which
+    /// matters here because several codes reach 0% SDC in a finite sample.
+    #[must_use]
+    pub fn wilson95(&self) -> (f64, f64) {
+        if self.trials == 0 {
+            return (0.0, 1.0);
+        }
+        let z = 1.959_963_985; // 97.5th percentile of the normal
+        let n = self.trials as f64;
+        let p = self.point();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let centre = p + z2 / (2.0 * n);
+        let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        (
+            ((centre - half) / denom).max(0.0),
+            ((centre + half) / denom).min(1.0),
+        )
+    }
+}
+
+impl std::fmt::Display for Proportion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (lo, hi) = self.wilson95();
+        write!(
+            f,
+            "{:.2}% [{:.2}%, {:.2}%]",
+            self.point() * 100.0,
+            lo * 100.0,
+            hi * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_estimates() {
+        assert_eq!(Proportion::new(0, 0).point(), 0.0);
+        assert_eq!(Proportion::new(1, 4).point(), 0.25);
+    }
+
+    #[test]
+    fn wilson_contains_point_and_is_ordered() {
+        for (s, n) in [(0u64, 100u64), (1, 100), (50, 100), (100, 100), (3, 10_000)] {
+            let p = Proportion::new(s, n);
+            let (lo, hi) = p.wilson95();
+            assert!(lo <= p.point() + 1e-12 && p.point() <= hi + 1e-12, "{s}/{n}");
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        }
+    }
+
+    #[test]
+    fn zero_successes_has_nonzero_upper_bound() {
+        let (lo, hi) = Proportion::new(0, 1000).wilson95();
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.01);
+    }
+
+    #[test]
+    fn interval_narrows_with_more_trials() {
+        let wide = Proportion::new(5, 100).wilson95();
+        let narrow = Proportion::new(500, 10_000).wilson95();
+        assert!((narrow.1 - narrow.0) < (wide.1 - wide.0));
+    }
+}

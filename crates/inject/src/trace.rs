@@ -1,0 +1,70 @@
+//! Operand tracing from the workload suite — the stand-in for the paper's
+//! SASSI arithmetic value tracer ("trace only the Rodinia programs, ...
+//! halt after 100,000 instructions", §IV-A).
+
+use std::collections::HashMap;
+
+use swapcodes_gates::units::UnitKind;
+use swapcodes_sim::exec::{ExecConfig, Executor};
+use swapcodes_sim::profiler::{OperandTrace, TracedUnit};
+use swapcodes_workloads::Workload;
+
+/// Gather operand streams per arithmetic unit by functionally executing the
+/// given workloads with value tracing enabled.
+///
+/// Streams are capped at `cap_per_unit` tuples; tracing executes at most
+/// `max_dynamic` warp-instructions per workload (mirroring the paper's
+/// trace-size bounds).
+#[must_use]
+pub fn workload_operand_streams(
+    workloads: &[Workload],
+    cap_per_unit: usize,
+    max_dynamic: u64,
+) -> HashMap<UnitKind, Vec<[u64; 3]>> {
+    let mut merged = OperandTrace::with_cap(cap_per_unit);
+    for w in workloads {
+        let mut mem = w.build_memory();
+        let exec = Executor {
+            config: ExecConfig {
+                trace_operands: true,
+                operand_cap: cap_per_unit,
+                max_dynamic,
+                cta_limit: Some(2),
+                ..ExecConfig::default()
+            },
+        };
+        let out = exec.run(&w.kernel, w.launch, &mut mem);
+        merged.merge(&out.operands);
+    }
+    let map_unit = |t: TracedUnit| match t {
+        TracedUnit::FxpAdd32 => UnitKind::FxpAdd32,
+        TracedUnit::FxpMad32 => UnitKind::FxpMad32,
+        TracedUnit::FpAdd32 => UnitKind::FpAdd32,
+        TracedUnit::FpFma32 => UnitKind::FpFma32,
+        TracedUnit::FpAdd64 => UnitKind::FpAdd64,
+        TracedUnit::FpFma64 => UnitKind::FpFma64,
+    };
+    TracedUnit::all()
+        .into_iter()
+        .map(|t| (map_unit(t), merged.stream(t).to_vec()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcodes_workloads::all;
+
+    #[test]
+    fn every_unit_gets_a_stream_from_the_suite() {
+        let streams = workload_operand_streams(&all(), 500, 200_000);
+        for (unit, tuples) in &streams {
+            assert!(
+                !tuples.is_empty(),
+                "no traced operands for {unit:?} — a workload should exercise it"
+            );
+        }
+        // FP64 comes from the SNAP-like sweep.
+        assert!(!streams[&UnitKind::FpFma64].is_empty());
+    }
+}

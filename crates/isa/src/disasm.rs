@@ -1,0 +1,231 @@
+//! SASS-style disassembly: full operand-level formatting for instructions
+//! and kernels.
+
+use crate::instr::{Instr, Role};
+use crate::kernel::Kernel;
+use crate::op::{CmpOp, CmpTy, MemSpace, MemWidth, Op, ShflMode, SpecialReg, Src};
+
+fn src(s: Src) -> String {
+    match s {
+        Src::Reg(r) => r.to_string(),
+        Src::Imm(i) => {
+            if (-4096..=4096).contains(&i) {
+                format!("{i}")
+            } else {
+                format!("{:#x}", i as u32)
+            }
+        }
+    }
+}
+
+fn cmp(c: CmpOp) -> &'static str {
+    match c {
+        CmpOp::Eq => "EQ",
+        CmpOp::Ne => "NE",
+        CmpOp::Lt => "LT",
+        CmpOp::Le => "LE",
+        CmpOp::Gt => "GT",
+        CmpOp::Ge => "GE",
+    }
+}
+
+fn cmp_ty(t: CmpTy) -> &'static str {
+    match t {
+        CmpTy::I32 => "S32",
+        CmpTy::U32 => "U32",
+        CmpTy::F32 => "F32",
+    }
+}
+
+/// Render one operation with full operands, SASS-style.
+#[must_use]
+pub fn disasm_op(op: &Op) -> String {
+    let m = op.mnemonic();
+    match *op {
+        Op::Mov { d, a } => format!("{m} {d}, {}", src(a)),
+        Op::S2R { d, sr } => format!(
+            "{m} {d}, SR_{}",
+            match sr {
+                SpecialReg::TidX => "TID.X",
+                SpecialReg::NTidX => "NTID.X",
+                SpecialReg::CtaIdX => "CTAID.X",
+                SpecialReg::NCtaIdX => "NCTAID.X",
+                SpecialReg::LaneId => "LANEID",
+                SpecialReg::WarpId => "WARPID",
+            }
+        ),
+        Op::IAdd { d, a, b }
+        | Op::ISub { d, a, b }
+        | Op::IMul { d, a, b }
+        | Op::IMin { d, a, b }
+        | Op::IMax { d, a, b }
+        | Op::Shl { d, a, b }
+        | Op::Shr { d, a, b }
+        | Op::And { d, a, b }
+        | Op::Or { d, a, b }
+        | Op::Xor { d, a, b }
+        | Op::FAdd { d, a, b }
+        | Op::FMul { d, a, b }
+        | Op::FMin { d, a, b }
+        | Op::FMax { d, a, b } => format!("{m} {d}, {a}, {}", src(b)),
+        Op::Not { d, a }
+        | Op::MufuRcp { d, a }
+        | Op::MufuSqrt { d, a }
+        | Op::MufuEx2 { d, a }
+        | Op::MufuLg2 { d, a }
+        | Op::I2F { d, a }
+        | Op::F2I { d, a } => format!("{m} {d}, {a}"),
+        Op::IMad { d, a, b, c } | Op::FFma { d, a, b, c } => {
+            format!("{m} {d}, {a}, {b}, {c}")
+        }
+        Op::IMadWide { d, a, b, c } => {
+            format!("{m} {d}:{}, {a}, {b}, {c}:{}", d.pair_hi(), c.pair_hi())
+        }
+        Op::DAdd { d, a, b } | Op::DMul { d, a, b } => {
+            format!("{m} {d}:{}, {a}:{}, {b}:{}", d.pair_hi(), a.pair_hi(), b.pair_hi())
+        }
+        Op::DFma { d, a, b, c } => format!(
+            "{m} {d}:{}, {a}:{}, {b}:{}, {c}:{}",
+            d.pair_hi(),
+            a.pair_hi(),
+            b.pair_hi(),
+            c.pair_hi()
+        ),
+        Op::SetP { p, cmp: c, ty, a, b } => {
+            format!("{m}.{}.{} {p}, {a}, {}", cmp(c), cmp_ty(ty), src(b))
+        }
+        Op::Sel { d, p, a, b } => format!("{m} {d}, {p}, {a}, {}", src(b)),
+        Op::Ld { d, space, addr, offset, width } => format!(
+            "{m}{} {d}, [{addr}{offset:+}]{}",
+            if width == MemWidth::W64 { ".64" } else { "" },
+            if space == MemSpace::Shared { "  // shared" } else { "" }
+        ),
+        Op::St { space, addr, offset, v, width } => format!(
+            "{m}{} [{addr}{offset:+}], {v}{}",
+            if width == MemWidth::W64 { ".64" } else { "" },
+            if space == MemSpace::Shared { "  // shared" } else { "" }
+        ),
+        Op::AtomAdd { addr, offset, v } => format!("{m} [{addr}{offset:+}], {v}"),
+        Op::Shfl { d, a, mode } => match mode {
+            ShflMode::Idx(s) => format!("{m}.IDX {d}, {a}, {}", src(s)),
+            ShflMode::Bfly(x) => format!("{m}.BFLY {d}, {a}, {x:#x}"),
+            ShflMode::Down(x) => format!("{m}.DOWN {d}, {a}, {x}"),
+            ShflMode::Up(x) => format!("{m}.UP {d}, {a}, {x}"),
+        },
+        Op::Bra { target } => format!("{m} .L{target}"),
+        Op::Bar | Op::Exit | Op::Trap | Op::Nop => m.to_owned(),
+    }
+}
+
+/// Render one instruction, including guard and SwapCodes annotations.
+#[must_use]
+pub fn disasm_instr(instr: &Instr) -> String {
+    let mut s = String::new();
+    if let Some((p, pol)) = instr.guard {
+        s.push_str(&format!("@{}{} ", if pol { "" } else { "!" }, p));
+    }
+    s.push_str(&disasm_op(&instr.op));
+    match instr.role {
+        Role::Shadow if instr.ecc_only => s.push_str("  // shadow [ECC-only write]"),
+        Role::Shadow => s.push_str("  // shadow"),
+        Role::Check => s.push_str("  // check"),
+        Role::CompilerInserted => s.push_str("  // compiler"),
+        Role::Original => {}
+    }
+    if instr.predicted {
+        s.push_str("  // predicted");
+    }
+    s
+}
+
+/// Render a whole kernel as an assembly listing with branch-target labels.
+#[must_use]
+pub fn disasm_kernel(kernel: &Kernel) -> String {
+    let mut targets = vec![false; kernel.len()];
+    for i in kernel.instrs() {
+        if let Op::Bra { target } = i.op {
+            if target < kernel.len() {
+                targets[target] = true;
+            }
+        }
+    }
+    let mut out = format!(
+        "// kernel '{}': {} instructions, {} registers\n",
+        kernel.name(),
+        kernel.len(),
+        kernel.register_count()
+    );
+    for (i, instr) in kernel.instrs().iter().enumerate() {
+        if targets[i] {
+            out.push_str(&format!(".L{i}:\n"));
+        }
+        out.push_str(&format!("  /*{i:04}*/  {}\n", disasm_instr(instr)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelBuilder;
+    use crate::reg::{Pred, Reg};
+
+    #[test]
+    fn formats_operands() {
+        let op = Op::FFma {
+            d: Reg(1),
+            a: Reg(2),
+            b: Reg(3),
+            c: Reg(1),
+        };
+        assert_eq!(disasm_op(&op), "FFMA R1, R2, R3, R1");
+        let op = Op::Ld {
+            d: Reg(4),
+            space: MemSpace::Global,
+            addr: Reg(5),
+            offset: -8,
+            width: MemWidth::W64,
+        };
+        assert_eq!(disasm_op(&op), "LDG.64 R4, [R5-8]");
+        let op = Op::SetP {
+            p: Pred(2),
+            cmp: CmpOp::Ge,
+            ty: CmpTy::U32,
+            a: Reg(0),
+            b: Src::Imm(7),
+        };
+        assert_eq!(disasm_op(&op), "ISETP.GE.U32 P2, R0, 7");
+    }
+
+    #[test]
+    fn pairs_are_annotated() {
+        let op = Op::DFma {
+            d: Reg(4),
+            a: Reg(6),
+            b: Reg(8),
+            c: Reg(4),
+        };
+        assert_eq!(disasm_op(&op), "DFMA R4:R5, R6:R7, R8:R9, R4:R5");
+    }
+
+    #[test]
+    fn listing_emits_labels() {
+        let mut k = KernelBuilder::new("t");
+        let top = k.label();
+        k.bind(top);
+        k.push(Op::Nop);
+        k.branch_to(top);
+        k.push(Op::Exit);
+        let text = disasm_kernel(&k.finish());
+        assert!(text.contains(".L0:"), "{text}");
+        assert!(text.contains("BRA .L0"), "{text}");
+    }
+
+    #[test]
+    fn annotations_survive() {
+        let i = Instr::new(Op::Nop).with_role(Role::Shadow).with_ecc_only();
+        assert!(disasm_instr(&i).contains("ECC-only"));
+        let i = Instr::guarded(Op::Trap, Pred(6), true).with_role(Role::Check);
+        assert_eq!(disasm_instr(&i), "@P6 BPT.TRAP  // check");
+    }
+}

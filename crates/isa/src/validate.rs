@@ -1,0 +1,179 @@
+//! Static kernel validation: catch malformed programs before they reach the
+//! simulator or a compiler pass.
+
+use crate::kernel::Kernel;
+use crate::op::{MemWidth, Op};
+use crate::reg::Reg;
+
+/// A structural problem found in a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A branch targets an instruction index outside the kernel.
+    BranchOutOfRange {
+        /// Index of the branching instruction.
+        at: usize,
+        /// The out-of-range target.
+        target: usize,
+    },
+    /// A 64-bit operand's register pair would extend past the register file.
+    PairOverflow {
+        /// Index of the offending instruction.
+        at: usize,
+        /// The pair base register.
+        base: Reg,
+    },
+    /// A 64-bit operand's pair base is odd (pairs must be even-aligned).
+    PairMisaligned {
+        /// Index of the offending instruction.
+        at: usize,
+        /// The misaligned base register.
+        base: Reg,
+    },
+    /// The kernel has no `EXIT`, so every warp would run off the end.
+    NoExit,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::BranchOutOfRange { at, target } => {
+                write!(f, "instruction {at}: branch to out-of-range target {target}")
+            }
+            ValidationError::PairOverflow { at, base } => {
+                write!(f, "instruction {at}: register pair at {base} overflows the file")
+            }
+            ValidationError::PairMisaligned { at, base } => {
+                write!(f, "instruction {at}: register pair base {base} is odd")
+            }
+            ValidationError::NoExit => write!(f, "kernel has no EXIT instruction"),
+        }
+    }
+}
+
+/// Pair-base registers referenced by an op (destinations and sources).
+fn pair_bases(op: &Op) -> Vec<Reg> {
+    match *op {
+        Op::IMadWide { d, c, .. } => vec![d, c],
+        Op::DAdd { d, a, b } | Op::DMul { d, a, b } => vec![d, a, b],
+        Op::DFma { d, a, b, c } => vec![d, a, b, c],
+        Op::Ld { d, width: MemWidth::W64, .. } => vec![d],
+        Op::St { v, width: MemWidth::W64, .. } => vec![v],
+        _ => Vec::new(),
+    }
+}
+
+/// Validate a kernel's structure, returning every problem found.
+///
+/// # Errors
+///
+/// Returns the list of [`ValidationError`]s (empty list never returned — a
+/// valid kernel yields `Ok(())`).
+pub fn validate(kernel: &Kernel) -> Result<(), Vec<ValidationError>> {
+    let mut errors = Vec::new();
+    let mut has_exit = false;
+    for (at, instr) in kernel.instrs().iter().enumerate() {
+        match instr.op {
+            Op::Bra { target }
+                if target >= kernel.len() => {
+                    errors.push(ValidationError::BranchOutOfRange { at, target });
+                }
+            Op::Exit => has_exit = true,
+            _ => {}
+        }
+        for base in pair_bases(&instr.op) {
+            if base.is_zero() {
+                continue;
+            }
+            if base.0 >= 254 {
+                errors.push(ValidationError::PairOverflow { at, base });
+            } else if base.0 % 2 != 0 {
+                errors.push(ValidationError::PairMisaligned { at, base });
+            }
+        }
+    }
+    if !has_exit {
+        errors.push(ValidationError::NoExit);
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instr;
+    use crate::kernel::KernelBuilder;
+
+    #[test]
+    fn valid_kernel_passes() {
+        let mut k = KernelBuilder::new("ok");
+        k.push(Op::DAdd {
+            d: Reg(2),
+            a: Reg(4),
+            b: Reg(6),
+        });
+        k.push(Op::Exit);
+        assert_eq!(validate(&k.finish()), Ok(()));
+    }
+
+    #[test]
+    fn detects_bad_branch() {
+        let kernel = Kernel::from_instrs(
+            "bad",
+            vec![
+                Instr::new(Op::Bra { target: 99 }),
+                Instr::new(Op::Exit),
+            ],
+        );
+        let errs = validate(&kernel).unwrap_err();
+        assert!(matches!(
+            errs[0],
+            ValidationError::BranchOutOfRange { at: 0, target: 99 }
+        ));
+    }
+
+    #[test]
+    fn detects_misaligned_pair_and_missing_exit() {
+        let kernel = Kernel::from_instrs(
+            "bad",
+            vec![Instr::new(Op::DMul {
+                d: Reg(3),
+                a: Reg(4),
+                b: Reg(6),
+            })],
+        );
+        let errs = validate(&kernel).unwrap_err();
+        assert!(errs.contains(&ValidationError::PairMisaligned { at: 0, base: Reg(3) }));
+        assert!(errs.contains(&ValidationError::NoExit));
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = ValidationError::PairOverflow { at: 3, base: Reg(254) };
+        assert!(e.to_string().contains("R254"));
+    }
+
+    #[test]
+    fn all_workload_style_ops_validate() {
+        // Pair bases at the top of the register space overflow.
+        let kernel = Kernel::from_instrs(
+            "edge",
+            vec![
+                Instr::new(Op::IMadWide {
+                    d: Reg(254),
+                    a: Reg(0),
+                    b: Reg(1),
+                    c: Reg(2),
+                }),
+                Instr::new(Op::Exit),
+            ],
+        );
+        let errs = validate(&kernel).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::PairOverflow { .. })));
+    }
+}

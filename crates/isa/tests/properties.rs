@@ -1,0 +1,89 @@
+//! Property-based tests for the IR's static-analysis invariants.
+
+use proptest::prelude::*;
+use swapcodes_isa::{CmpOp, CmpTy, MemSpace, MemWidth, Op, Pred, Reg, RegRole, Src};
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..100).prop_map(Reg)
+}
+
+fn even_reg() -> impl Strategy<Value = Reg> {
+    (0u8..50).prop_map(|r| Reg(r * 2))
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (reg(), reg(), any::<i32>()).prop_map(|(d, a, i)| Op::IAdd { d, a, b: Src::Imm(i) }),
+        (reg(), reg(), reg(), reg()).prop_map(|(d, a, b, c)| Op::IMad { d, a, b, c }),
+        (even_reg(), reg(), reg(), even_reg())
+            .prop_map(|(d, a, b, c)| Op::IMadWide { d, a, b, c }),
+        (even_reg(), even_reg(), even_reg(), even_reg())
+            .prop_map(|(d, a, b, c)| Op::DFma { d, a, b, c }),
+        (reg(), reg(), reg()).prop_map(|(d, a, b)| Op::FFma { d, a, b, c: b }),
+        (reg(), reg()).prop_map(|(d, a)| Op::Mov { d, a: Src::Reg(a) }),
+        (reg(), reg(), any::<i32>()).prop_map(|(d, addr, o)| Op::Ld {
+            d,
+            space: MemSpace::Global,
+            addr,
+            offset: o,
+            width: MemWidth::W32
+        }),
+        (reg(), reg(), any::<i32>()).prop_map(|(v, addr, o)| Op::St {
+            space: MemSpace::Shared,
+            addr,
+            offset: o,
+            v,
+            width: MemWidth::W64
+        }),
+        (reg(), reg()).prop_map(|(a, b)| Op::SetP {
+            p: Pred(1),
+            cmp: CmpOp::Lt,
+            ty: CmpTy::I32,
+            a,
+            b: Src::Reg(b)
+        }),
+    ]
+}
+
+proptest! {
+    /// Identity register mapping leaves the op untouched.
+    #[test]
+    fn map_regs_identity(op in arb_op()) {
+        prop_assert_eq!(op.map_regs(|r, _| r), op);
+    }
+
+    /// A uniform register shift shifts every def and use by the same amount
+    /// (pairs included, so pair structure is preserved).
+    #[test]
+    fn map_regs_shift_translates_defs_and_uses(op in arb_op()) {
+        let shifted = op.map_regs(|r, _| Reg(r.0 + 100));
+        let shift_all = |v: Vec<Reg>| -> Vec<Reg> { v.into_iter().map(|r| Reg(r.0 + 100)).collect() };
+        prop_assert_eq!(shifted.defs(), shift_all(op.defs()));
+        prop_assert_eq!(shifted.uses(), shift_all(op.uses()));
+    }
+
+    /// Role-selective mapping touches only the selected role.
+    #[test]
+    fn map_regs_respects_roles(op in arb_op()) {
+        let defs_only = op.map_regs(|r, role| if role == RegRole::Def { Reg(r.0 + 100) } else { r });
+        prop_assert_eq!(defs_only.uses(), op.uses());
+        let uses_only = op.map_regs(|r, role| if role == RegRole::Use { Reg(r.0 + 100) } else { r });
+        prop_assert_eq!(uses_only.defs(), op.defs());
+    }
+
+    /// Defs and uses never report the zero register.
+    #[test]
+    fn rz_never_reported(op in arb_op()) {
+        for r in op.defs().into_iter().chain(op.uses()) {
+            prop_assert!(!r.is_zero());
+        }
+    }
+
+    /// Memory/control ops are never duplication-eligible; pure arithmetic is.
+    #[test]
+    fn eligibility_is_consistent_with_class(op in arb_op()) {
+        if op.is_mem() || op.is_control() || op.pred_def().is_some() {
+            prop_assert!(!op.is_dup_eligible());
+        }
+    }
+}

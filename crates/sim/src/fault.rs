@@ -1,0 +1,73 @@
+//! Architecture-level transient fault specification.
+//!
+//! A pipeline fault corrupts the *result* of one dynamic instruction in one
+//! lane before write-back — the architectural manifestation of the
+//! gate-level single-event errors studied in Fig. 10. Which half of a
+//! duplicated pair absorbs the hit decides whether the data or the check
+//! bits of the swapped codeword are affected.
+
+use serde::{Deserialize, Serialize};
+
+/// Which instruction of a duplicated pair the fault strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultTarget {
+    /// The data-producing instruction (an `ecc_only` shadow is never hit by
+    /// this target).
+    Original,
+    /// The check-producing shadow instruction (requires Swap-ECC-style
+    /// duplication to be meaningful).
+    Shadow,
+}
+
+/// A single transient fault to inject during functional execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Strike the `n`-th *duplication-eligible* dynamic warp-instruction
+    /// (counted across the whole execution, zero-based) whose role matches
+    /// `target`.
+    pub eligible_index: u64,
+    /// Lane whose result is corrupted.
+    pub lane: u32,
+    /// XOR pattern applied to the 32-bit (or 64-bit, for pair results)
+    /// output.
+    pub xor_mask: u64,
+    /// Which half of the duplicated pair absorbs the hit.
+    pub target: FaultTarget,
+}
+
+impl FaultSpec {
+    /// A single-bit flip of `bit` in the result of eligible instruction
+    /// `eligible_index`, lane `lane`, hitting the original instruction.
+    #[must_use]
+    pub fn single_bit(eligible_index: u64, lane: u32, bit: u32) -> Self {
+        Self {
+            eligible_index,
+            lane,
+            xor_mask: 1u64 << bit,
+            target: FaultTarget::Original,
+        }
+    }
+
+    /// The same flip, striking the shadow instruction instead.
+    #[must_use]
+    pub fn single_bit_shadow(eligible_index: u64, lane: u32, bit: u32) -> Self {
+        Self {
+            target: FaultTarget::Shadow,
+            ..Self::single_bit(eligible_index, lane, bit)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let f = FaultSpec::single_bit(10, 3, 7);
+        assert_eq!(f.xor_mask, 0x80);
+        assert_eq!(f.target, FaultTarget::Original);
+        let s = FaultSpec::single_bit_shadow(10, 3, 7);
+        assert_eq!(s.target, FaultTarget::Shadow);
+    }
+}

@@ -1,0 +1,239 @@
+//! Global and shared memory (word-backed, byte-addressed).
+//!
+//! The memory subsystem lies outside the SwapCodes sphere of replication
+//! (Fig. 1) — it is assumed protected by conventional storage ECC — so it is
+//! modelled functionally, without error state.
+
+/// Device global memory. Addresses are byte addresses; accesses must be
+/// 4-byte aligned.
+#[derive(Debug, Clone)]
+pub struct GlobalMemory {
+    words: Vec<u32>,
+}
+
+impl GlobalMemory {
+    /// Allocate `bytes` of zeroed global memory (rounded up to words).
+    #[must_use]
+    pub fn new(bytes: usize) -> Self {
+        Self {
+            words: vec![0; bytes.div_ceil(4)],
+        }
+    }
+
+    /// Size in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Whether the memory has zero size.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Read the 32-bit word at byte address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned or out-of-bounds access.
+    #[must_use]
+    pub fn read(&self, addr: u32) -> u32 {
+        self.words[Self::index(addr, self.words.len())]
+    }
+
+    /// Write the 32-bit word at byte address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned or out-of-bounds access.
+    pub fn write(&mut self, addr: u32, value: u32) {
+        let i = Self::index(addr, self.words.len());
+        self.words[i] = value;
+    }
+
+    /// Atomically add `value` to the word at `addr`, returning the old value.
+    pub fn atomic_add(&mut self, addr: u32, value: u32) -> u32 {
+        let i = Self::index(addr, self.words.len());
+        let old = self.words[i];
+        self.words[i] = old.wrapping_add(value);
+        old
+    }
+
+    /// Checked read: `None` on misaligned or out-of-bounds access.
+    #[must_use]
+    pub fn try_read(&self, addr: u32) -> Option<u32> {
+        self.checked_index(addr).map(|i| self.words[i])
+    }
+
+    /// Checked write: `false` on misaligned or out-of-bounds access.
+    pub fn try_write(&mut self, addr: u32, value: u32) -> bool {
+        if let Some(i) = self.checked_index(addr) {
+            self.words[i] = value;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Checked atomic add: `None` on misaligned or out-of-bounds access.
+    pub fn try_atomic_add(&mut self, addr: u32, value: u32) -> Option<u32> {
+        let i = self.checked_index(addr)?;
+        let old = self.words[i];
+        self.words[i] = old.wrapping_add(value);
+        Some(old)
+    }
+
+    fn checked_index(&self, addr: u32) -> Option<usize> {
+        if !addr.is_multiple_of(4) {
+            return None;
+        }
+        let i = (addr / 4) as usize;
+        (i < self.words.len()).then_some(i)
+    }
+
+    /// Copy a slice of f32 values to byte address `addr`.
+    pub fn write_f32_slice(&mut self, addr: u32, data: &[f32]) {
+        for (i, &v) in data.iter().enumerate() {
+            self.write(addr + 4 * i as u32, v.to_bits());
+        }
+    }
+
+    /// Copy a slice of u32 values to byte address `addr`.
+    pub fn write_u32_slice(&mut self, addr: u32, data: &[u32]) {
+        for (i, &v) in data.iter().enumerate() {
+            self.write(addr + 4 * i as u32, v);
+        }
+    }
+
+    /// Read `n` f32 values from byte address `addr`.
+    #[must_use]
+    pub fn read_f32_slice(&self, addr: u32, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| f32::from_bits(self.read(addr + 4 * i as u32)))
+            .collect()
+    }
+
+    /// Read `n` u32 values from byte address `addr`.
+    #[must_use]
+    pub fn read_u32_slice(&self, addr: u32, n: usize) -> Vec<u32> {
+        (0..n).map(|i| self.read(addr + 4 * i as u32)).collect()
+    }
+
+    /// The raw backing words (for whole-memory comparisons).
+    #[must_use]
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    fn index(addr: u32, len: usize) -> usize {
+        assert_eq!(addr % 4, 0, "unaligned access at {addr:#x}");
+        let i = (addr / 4) as usize;
+        assert!(i < len, "global memory access at {addr:#x} out of bounds");
+        i
+    }
+}
+
+/// Per-CTA shared memory (scratchpad).
+#[derive(Debug, Clone)]
+pub struct SharedMemory {
+    words: Vec<u32>,
+}
+
+impl SharedMemory {
+    /// Allocate `words` 32-bit words of zeroed shared memory.
+    #[must_use]
+    pub fn new(words: usize) -> Self {
+        Self {
+            words: vec![0; words],
+        }
+    }
+
+    /// Read the word at byte address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned or out-of-bounds access.
+    #[must_use]
+    pub fn read(&self, addr: u32) -> u32 {
+        assert_eq!(addr % 4, 0, "unaligned shared access");
+        self.words[(addr / 4) as usize]
+    }
+
+    /// Write the word at byte address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned or out-of-bounds access.
+    pub fn write(&mut self, addr: u32, value: u32) {
+        assert_eq!(addr % 4, 0, "unaligned shared access");
+        let i = (addr / 4) as usize;
+        self.words[i] = value;
+    }
+
+    /// Checked read: `None` on misaligned or out-of-bounds access.
+    #[must_use]
+    pub fn try_read(&self, addr: u32) -> Option<u32> {
+        if !addr.is_multiple_of(4) {
+            return None;
+        }
+        self.words.get((addr / 4) as usize).copied()
+    }
+
+    /// Checked write: `false` on misaligned or out-of-bounds access.
+    pub fn try_write(&mut self, addr: u32, value: u32) -> bool {
+        if !addr.is_multiple_of(4) {
+            return false;
+        }
+        if let Some(w) = self.words.get_mut((addr / 4) as usize) {
+            *w = value;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = GlobalMemory::new(64);
+        m.write(0, 42);
+        m.write(60, 0xFFFF_FFFF);
+        assert_eq!(m.read(0), 42);
+        assert_eq!(m.read(60), 0xFFFF_FFFF);
+        assert_eq!(m.read(4), 0);
+    }
+
+    #[test]
+    fn atomic_add_returns_old() {
+        let mut m = GlobalMemory::new(8);
+        assert_eq!(m.atomic_add(4, 10), 0);
+        assert_eq!(m.atomic_add(4, 5), 10);
+        assert_eq!(m.read(4), 15);
+    }
+
+    #[test]
+    fn f32_slices() {
+        let mut m = GlobalMemory::new(32);
+        m.write_f32_slice(8, &[1.5, -2.25]);
+        assert_eq!(m.read_f32_slice(8, 2), vec![1.5, -2.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_panics() {
+        let m = GlobalMemory::new(8);
+        let _ = m.read(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_panics() {
+        let m = GlobalMemory::new(8);
+        let _ = m.read(8);
+    }
+}

@@ -1,0 +1,353 @@
+//! The ECC-protected vector register file.
+//!
+//! Every register physically stores its data segment alongside ECC check
+//! bits (and, for the DP schemes, the data-parity bit). Original-instruction
+//! writes fill the whole word; Swap-ECC shadow instructions perform a masked
+//! write of only the check bits (Table II's data write enable); Swap-Predict
+//! writes pair the datapath result with check bits formed by the prediction
+//! pipeline. Every operand read runs the decoder, which is where SwapCodes
+//! turns pipeline errors into DUEs.
+
+use serde::{Deserialize, Serialize};
+use swapcodes_ecc::report::{DpWord, ReadEvent, SecDedDp, SecDp};
+use swapcodes_ecc::{parity32, AnyCode, CodeKind, RawDecode, SystematicCode};
+
+/// Register-file protection configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Protection {
+    /// No ECC (or ECC modelling disabled).
+    None,
+    /// A detection-only code: residue, parity, or SEC-DED-used-as-TED.
+    DetectOnly(CodeKind),
+    /// SEC-DED with the data-parity reporting algorithm (storage correction
+    /// preserved, pipeline miscorrection impossible).
+    SecDedDp,
+    /// SEC + data parity within SEC-DED redundancy.
+    SecDp,
+}
+
+/// What a protected register read observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegFileEvent {
+    /// Word decoded cleanly.
+    Clean,
+    /// A storage error was corrected (DP schemes only).
+    Corrected,
+    /// Detected-uncorrectable error; `pipeline_suspected` is set when the
+    /// augmented reporting attributes it to a compute error.
+    Due {
+        /// Whether the Fig. 5 reporting attributed the error to the pipeline.
+        pipeline_suspected: bool,
+    },
+}
+
+impl RegFileEvent {
+    /// Whether this read must raise a machine check.
+    #[must_use]
+    pub fn is_due(self) -> bool {
+        matches!(self, RegFileEvent::Due { .. })
+    }
+}
+
+/// One stored register word.
+#[derive(Debug, Clone, Copy, Default)]
+struct Stored {
+    data: u32,
+    check: u16,
+    parity: bool,
+}
+
+enum Decoder {
+    None,
+    Detect(AnyCode),
+    SecDedDp(SecDedDp),
+    SecDp(SecDp),
+}
+
+impl std::fmt::Debug for Decoder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Decoder::None => "None",
+            Decoder::Detect(_) => "Detect",
+            Decoder::SecDedDp(_) => "SecDedDp",
+            Decoder::SecDp(_) => "SecDp",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The register file of one warp: 32 lanes x `regs` registers, each with
+/// stored check bits.
+#[derive(Debug)]
+pub struct WarpRegFile {
+    regs: u32,
+    words: Vec<Stored>,
+    decoder: Decoder,
+    /// Fast path: when no fault has been injected the file cannot hold a
+    /// non-codeword, so decode is skipped until the first raw write.
+    armed: bool,
+}
+
+impl WarpRegFile {
+    /// Create a zeroed register file for one warp.
+    #[must_use]
+    pub fn new(regs: u32, protection: Protection) -> Self {
+        let decoder = match protection {
+            Protection::None => Decoder::None,
+            Protection::DetectOnly(kind) => Decoder::Detect(kind.build()),
+            Protection::SecDedDp => Decoder::SecDedDp(SecDedDp::new_secded_dp()),
+            Protection::SecDp => Decoder::SecDp(SecDp::new_sec_dp()),
+        };
+        // A zeroed word is a codeword for every supported code
+        // (linear codes: encode(0) == 0; residue of 0 is 0).
+        Self {
+            regs,
+            words: vec![Stored::default(); 32 * regs as usize],
+            decoder,
+            armed: false,
+        }
+    }
+
+    /// Number of registers per lane.
+    #[must_use]
+    pub fn regs(&self) -> u32 {
+        self.regs
+    }
+
+    #[inline]
+    fn idx(&self, lane: u32, reg: u8) -> usize {
+        debug_assert!(lane < 32);
+        debug_assert!(u32::from(reg) < self.regs, "R{reg} out of range");
+        lane as usize * self.regs as usize + usize::from(reg)
+    }
+
+    fn encode(&self, value: u32) -> (u16, bool) {
+        match &self.decoder {
+            Decoder::None => (0, false),
+            Decoder::Detect(code) => (code.encode(value), false),
+            Decoder::SecDedDp(rep) => (rep.code().encode(value), parity32(value)),
+            Decoder::SecDp(rep) => (rep.code().encode(value), parity32(value)),
+        }
+    }
+
+    /// Full write by an original (or un-duplicated) instruction: data, check
+    /// bits and data parity all from `value`.
+    pub fn write_full(&mut self, lane: u32, reg: u8, value: u32) {
+        let (check, parity) = self.encode(value);
+        let i = self.idx(lane, reg);
+        self.words[i] = Stored {
+            data: value,
+            check,
+            parity,
+        };
+    }
+
+    /// Masked write by a Swap-ECC shadow instruction: only the check bits,
+    /// computed from the shadow's own result.
+    pub fn write_ecc_only(&mut self, lane: u32, reg: u8, shadow_value: u32) {
+        let (check, _) = self.encode(shadow_value);
+        let i = self.idx(lane, reg);
+        if self.words[i].check != check {
+            // A disagreeing shadow means someone computed a wrong value —
+            // leave the fast path so reads start decoding.
+            self.armed = true;
+        }
+        self.words[i].check = check;
+    }
+
+    /// Write by a Swap-Predict-covered instruction: the data comes from the
+    /// (possibly faulty) datapath while the check bits come from the
+    /// prediction pipeline operating on the input residues — i.e. from the
+    /// fault-free `predicted_value`.
+    pub fn write_predicted(&mut self, lane: u32, reg: u8, value: u32, predicted_value: u32) {
+        let (check, _) = self.encode(predicted_value);
+        // The data-parity bit is produced from the datapath output.
+        let parity = match &self.decoder {
+            Decoder::None | Decoder::Detect(_) => false,
+            _ => parity32(value),
+        };
+        let i = self.idx(lane, reg);
+        self.words[i] = Stored {
+            data: value,
+            check,
+            parity,
+        };
+        if value != predicted_value {
+            self.armed = true;
+        }
+    }
+
+    /// Write a value whose data may be faulty while the check segment
+    /// reflects `check_source` (the swapped-codeword composition used when a
+    /// fault is injected into an original instruction).
+    pub fn write_split(&mut self, lane: u32, reg: u8, data: u32, check_source: u32) {
+        let (check, _) = self.encode(check_source);
+        let i = self.idx(lane, reg);
+        self.words[i] = Stored {
+            data,
+            check,
+            parity: match &self.decoder {
+                Decoder::None | Decoder::Detect(_) => false,
+                _ => parity32(data),
+            },
+        };
+        if data != check_source {
+            self.armed = true;
+        }
+    }
+
+    /// Read a register through the decoder.
+    pub fn read(&mut self, lane: u32, reg: u8) -> (u32, RegFileEvent) {
+        let i = self.idx(lane, reg);
+        let w = self.words[i];
+        if !self.armed {
+            return (w.data, RegFileEvent::Clean);
+        }
+        match &self.decoder {
+            Decoder::None => (w.data, RegFileEvent::Clean),
+            Decoder::Detect(code) => {
+                if code.decode(w.data, w.check) == RawDecode::Clean {
+                    (w.data, RegFileEvent::Clean)
+                } else {
+                    (
+                        w.data,
+                        RegFileEvent::Due {
+                            pipeline_suspected: true,
+                        },
+                    )
+                }
+            }
+            Decoder::SecDedDp(rep) => {
+                let word = DpWord {
+                    data: w.data,
+                    check: w.check,
+                    data_parity: w.parity,
+                };
+                let r = rep.read(word);
+                (r.value, convert(r.event))
+            }
+            Decoder::SecDp(rep) => {
+                let word = DpWord {
+                    data: w.data,
+                    check: w.check,
+                    data_parity: w.parity,
+                };
+                let r = rep.read(word);
+                (r.value, convert(r.event))
+            }
+        }
+    }
+
+    /// Read without decoding (debugger view; §III-A explains why error-free
+    /// Swap-ECC registers are always valid codewords, keeping this safe).
+    #[must_use]
+    pub fn peek(&self, lane: u32, reg: u8) -> u32 {
+        self.words[self.idx(lane, reg)].data
+    }
+
+    /// Inject a raw storage bit-flip (for storage-error testing).
+    pub fn flip_storage_bit(&mut self, lane: u32, reg: u8, bit: u32) {
+        let i = self.idx(lane, reg);
+        match bit {
+            0..=31 => self.words[i].data ^= 1 << bit,
+            32..=47 => self.words[i].check ^= 1 << (bit - 32),
+            _ => self.words[i].parity = !self.words[i].parity,
+        }
+        self.armed = true;
+    }
+}
+
+fn convert(e: ReadEvent) -> RegFileEvent {
+    match e {
+        ReadEvent::Clean => RegFileEvent::Clean,
+        ReadEvent::CorrectedData { .. }
+        | ReadEvent::CorrectedCheck { .. }
+        | ReadEvent::CorrectedParity => RegFileEvent::Corrected,
+        ReadEvent::DuePipeline => RegFileEvent::Due {
+            pipeline_suspected: true,
+        },
+        ReadEvent::DueStorage => RegFileEvent::Due {
+            pipeline_suspected: false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_swap_ecc_round_trip() {
+        let mut rf = WarpRegFile::new(8, Protection::SecDedDp);
+        rf.write_full(0, 3, 0xDEAD_BEEF);
+        rf.write_ecc_only(0, 3, 0xDEAD_BEEF); // error-free shadow
+        let (v, e) = rf.read(0, 3);
+        assert_eq!(v, 0xDEAD_BEEF);
+        assert_eq!(e, RegFileEvent::Clean);
+    }
+
+    #[test]
+    fn faulty_original_is_detected_on_read() {
+        let mut rf = WarpRegFile::new(8, Protection::SecDedDp);
+        // Original computed 41 (faulty), shadow computed 42 (golden).
+        rf.write_split(2, 1, 41, 42);
+        let (v, e) = rf.read(2, 1);
+        assert_eq!(v, 41, "data must not be miscorrected");
+        assert!(e.is_due());
+    }
+
+    #[test]
+    fn faulty_shadow_is_detected_and_never_corrupts() {
+        let mut rf = WarpRegFile::new(8, Protection::SecDedDp);
+        rf.write_full(0, 1, 42);
+        rf.write_ecc_only(0, 1, 43); // shadow took the hit
+        let (v, e) = rf.read(0, 1);
+        assert_eq!(v, 42);
+        assert!(e.is_due());
+    }
+
+    #[test]
+    fn storage_error_corrected_under_dp() {
+        let mut rf = WarpRegFile::new(8, Protection::SecDedDp);
+        rf.write_full(5, 2, 0x1234_5678);
+        rf.flip_storage_bit(5, 2, 9);
+        let (v, e) = rf.read(5, 2);
+        assert_eq!(v, 0x1234_5678);
+        assert_eq!(e, RegFileEvent::Corrected);
+    }
+
+    #[test]
+    fn detect_only_residue_catches_original_strike() {
+        let mut rf = WarpRegFile::new(8, Protection::DetectOnly(CodeKind::Residue { a: 7 }));
+        rf.write_split(0, 0, 100, 101);
+        let (_, e) = rf.read(0, 0);
+        assert!(e.is_due());
+    }
+
+    #[test]
+    fn predicted_write_detects_datapath_fault() {
+        let mut rf = WarpRegFile::new(8, Protection::SecDedDp);
+        // Datapath produced 7 (faulty); predictor derived check bits for 5.
+        rf.write_predicted(1, 4, 7, 5);
+        let (v, e) = rf.read(1, 4);
+        assert_eq!(v, 7);
+        assert!(e.is_due());
+    }
+
+    #[test]
+    fn unprotected_file_sees_nothing() {
+        let mut rf = WarpRegFile::new(8, Protection::None);
+        rf.write_split(0, 0, 1, 2);
+        let (v, e) = rf.read(0, 0);
+        assert_eq!(v, 1);
+        assert_eq!(e, RegFileEvent::Clean);
+    }
+
+    #[test]
+    fn fast_path_stays_clean_until_armed() {
+        let mut rf = WarpRegFile::new(4, Protection::SecDedDp);
+        rf.write_full(0, 0, 7);
+        let (_, e) = rf.read(0, 0);
+        assert_eq!(e, RegFileEvent::Clean);
+    }
+}

@@ -1,0 +1,463 @@
+//! Cycle-level SM timing: replay functional traces against schedulers,
+//! scoreboard, functional-unit throughput and memory bandwidth.
+//!
+//! The model captures the three first-order effects duplication has on a
+//! SIMT core (§I of the paper): extra issue slots for checking code, lost
+//! occupancy from shadow register pressure, and saturation of arithmetic
+//! throughput from doubled operations — while remaining fast enough to sweep
+//! every workload under every protection scheme.
+
+use serde::{Deserialize, Serialize};
+use swapcodes_isa::{FuncUnit, Kernel, Op};
+
+use crate::exec::{ExecConfig, Executor, Launch, WarpTrace};
+use crate::memory::GlobalMemory;
+use crate::occupancy::{occupancy, GpuConfig, Occupancy};
+use crate::regfile::Protection;
+
+/// Timing-model parameters (defaults approximate a P100-class SM; times in
+/// quarter-cycles where noted).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimingConfig {
+    /// Hardware limits.
+    pub gpu: GpuConfig,
+    /// Global-memory load-to-use latency in cycles.
+    pub mem_latency: u32,
+    /// Shared-memory load-to-use latency in cycles.
+    pub shared_latency: u32,
+    /// Quarter-cycles of DRAM bandwidth consumed per 128-byte transaction.
+    pub txn_interval_qc: u64,
+    /// Safety cap on simulated cycles per wave.
+    pub max_cycles: u64,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        Self {
+            gpu: GpuConfig {
+                // The timing model simulates a single SM and scales waves
+                // over the grid; occupancy limits stay P100-like.
+                sms: 1,
+                ..GpuConfig::default()
+            },
+            mem_latency: 380,
+            shared_latency: 30,
+            txn_interval_qc: 2,
+            max_cycles: 200_000_000,
+        }
+    }
+}
+
+/// Per-SM issue interval of a functional unit, in quarter-cycles per warp
+/// instruction (aggregated over the SM's lanes).
+fn fu_interval_qc(fu: FuncUnit) -> u64 {
+    match fu {
+        FuncUnit::Int | FuncUnit::F32 | FuncUnit::Mov | FuncUnit::Ctrl => 2,
+        FuncUnit::F64 | FuncUnit::Mem => 4,
+        FuncUnit::Sfu => 8,
+    }
+}
+
+/// Per-wave resource-pressure statistics from the cycle-level replay.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct WaveStats {
+    /// Cycles in which no scheduler issued anything (all warps stalled).
+    pub idle_cycles: u64,
+    /// Issue attempts rejected by the scoreboard (operands in flight).
+    pub scoreboard_rejects: u64,
+    /// Issue attempts rejected by a busy functional-unit port.
+    pub fu_rejects: u64,
+    /// Warp instructions issued per functional-unit class
+    /// `[Int, F32, F64, Sfu, Mem, Ctrl, Mov]`.
+    pub issued_per_fu: [u64; 7],
+    /// Peak DRAM queueing delay observed by any access, in cycles.
+    pub peak_mem_queue: u64,
+}
+
+impl WaveStats {
+    /// Instructions issued per cycle over the wave.
+    #[must_use]
+    pub fn ipc(&self, wave_cycles: u64) -> f64 {
+        if wave_cycles == 0 {
+            0.0
+        } else {
+            self.issued_per_fu.iter().sum::<u64>() as f64 / wave_cycles as f64
+        }
+    }
+}
+
+/// Timing result for one kernel launch.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct KernelTiming {
+    /// Estimated cycles for the whole grid.
+    pub cycles: u64,
+    /// Cycles for one resident wave on one SM.
+    pub wave_cycles: u64,
+    /// Number of sequential waves across the device.
+    pub waves: u64,
+    /// Occupancy achieved.
+    pub occupancy: Occupancy,
+    /// Warp instructions issued in the simulated wave.
+    pub issued: u64,
+    /// Dynamic warp instructions of the simulated (functional) portion.
+    pub dynamic_instructions: u64,
+    /// Resource-pressure statistics of the simulated wave.
+    pub stats: WaveStats,
+}
+
+impl KernelTiming {
+    /// Runtime relative to a baseline timing (the paper's y-axes).
+    #[must_use]
+    pub fn relative_to(&self, base: &KernelTiming) -> f64 {
+        self.cycles as f64 / base.cycles as f64
+    }
+}
+
+/// Simulate `kernel` end to end: functional execution of one occupancy wave
+/// (capturing traces), then cycle-level replay, then extrapolation over the
+/// full grid.
+///
+/// # Panics
+///
+/// Panics if the kernel cannot fit on the SM at all, or on malformed
+/// kernels.
+#[must_use]
+pub fn simulate_kernel(
+    kernel: &Kernel,
+    launch: Launch,
+    mem: &mut GlobalMemory,
+    cfg: &TimingConfig,
+) -> KernelTiming {
+    let regs = kernel.register_count().max(1);
+    let occ = occupancy(&cfg.gpu, regs, launch.threads_per_cta, launch.shared_words);
+    assert!(
+        occ.ctas > 0,
+        "kernel with {regs} regs/thread cannot fit on the SM"
+    );
+    let wave_ctas = occ.ctas.min(launch.ctas);
+
+    let exec = Executor {
+        config: ExecConfig {
+            protection: Protection::None,
+            collect_trace: true,
+            cta_limit: Some(wave_ctas),
+            ..ExecConfig::default()
+        },
+    };
+    let out = exec.run(kernel, launch, mem);
+    let (wave_cycles, stats) = replay_wave(kernel, &out.traces, cfg);
+
+    // The timing model simulates one SM and scales the simulated wave over
+    // the grid fractionally: grids are assumed large enough (or the device
+    // small enough) that per-SM residency matches the occupancy limit.
+    // Relative runtimes between schemes are unaffected by the device size.
+    let ctas_per_device_wave = f64::from(occ.ctas) * f64::from(cfg.gpu.sms);
+    let waves = (f64::from(launch.ctas) / ctas_per_device_wave).max(1.0);
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let cycles = (wave_cycles as f64 * waves).round() as u64;
+    KernelTiming {
+        cycles,
+        wave_cycles,
+        waves: waves.ceil() as u64,
+        occupancy: occ,
+        issued: out.traces.iter().map(|t| t.entries.len() as u64).sum(),
+        dynamic_instructions: out.dynamic_instructions,
+        stats,
+    }
+}
+
+struct TWarp<'a> {
+    cta: u32,
+    entries: &'a [crate::exec::TraceEntry],
+    pos: usize,
+    /// Cycle at which each register's pending write completes.
+    ready: Vec<u64>,
+    waiting_bar: bool,
+    last_issue: u64,
+}
+
+impl TWarp<'_> {
+    fn done(&self) -> bool {
+        self.pos >= self.entries.len()
+    }
+}
+
+/// Replay one wave of traces on the SM model, returning the cycle count.
+#[allow(clippy::too_many_lines)]
+fn replay_wave(kernel: &Kernel, traces: &[WarpTrace], cfg: &TimingConfig) -> (u64, WaveStats) {
+    let mut stats = WaveStats::default();
+    if traces.is_empty() {
+        return (0, stats);
+    }
+    let regs = kernel.register_count().max(1) as usize;
+    let mut warps: Vec<TWarp<'_>> = traces
+        .iter()
+        .map(|t| TWarp {
+            cta: t.cta,
+            entries: &t.entries,
+            pos: 0,
+            ready: vec![0; regs],
+            waiting_bar: false,
+            last_issue: 0,
+        })
+        .collect();
+
+    let schedulers = cfg.gpu.schedulers as usize;
+    let mut fu_free_qc = [0u64; 7];
+    let mut mem_pipe_qc = 0u64;
+    let mut cycle: u64 = 0;
+
+    let fu_idx = |fu: FuncUnit| match fu {
+        FuncUnit::Int => 0,
+        FuncUnit::F32 => 1,
+        FuncUnit::F64 => 2,
+        FuncUnit::Sfu => 3,
+        FuncUnit::Mem => 4,
+        FuncUnit::Ctrl => 5,
+        FuncUnit::Mov => 6,
+    };
+
+    loop {
+        if warps.iter().all(TWarp::done) {
+            break;
+        }
+        assert!(cycle < cfg.max_cycles, "timing wave exceeded cycle cap");
+
+        // Barrier release: per CTA, all unfinished warps waiting.
+        let ctas: Vec<u32> = {
+            let mut v: Vec<u32> = warps.iter().map(|w| w.cta).collect();
+            v.dedup();
+            v
+        };
+        for cta in ctas {
+            let members: Vec<usize> = warps
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.cta == cta && !w.done())
+                .map(|(i, _)| i)
+                .collect();
+            if !members.is_empty() && members.iter().all(|&i| warps[i].waiting_bar) {
+                for i in members {
+                    warps[i].waiting_bar = false;
+                    warps[i].pos += 1; // retire the barrier entry
+                }
+            }
+        }
+
+        let now_qc = cycle * 4;
+        let mut issued_any = false;
+        let mut next_event = u64::MAX;
+
+        for s in 0..schedulers {
+            // Greedy-then-oldest: most recently issued first, then oldest.
+            let mut order: Vec<usize> = (0..warps.len()).filter(|i| i % schedulers == s).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(warps[i].last_issue));
+
+            let mut issued_this_sched = 0u32;
+            for &wi in &order {
+                let w = &warps[wi];
+                if w.done() || w.waiting_bar {
+                    continue;
+                }
+                let entry = w.entries[w.pos];
+                let instr = &kernel.instrs()[entry.kidx as usize];
+                let op = &instr.op;
+
+                // Barrier: mark waiting (retired at release).
+                if matches!(op, Op::Bar) {
+                    warps[wi].waiting_bar = true;
+                    issued_any = true;
+                    break;
+                }
+
+                // Scoreboard: all sources (and the guard-implied reads) ready.
+                let mut src_ready = 0u64;
+                for r in op.uses() {
+                    src_ready = src_ready.max(w.ready[usize::from(r.0)]);
+                }
+                if src_ready > cycle {
+                    next_event = next_event.min(src_ready);
+                    stats.scoreboard_rejects += 1;
+                    continue;
+                }
+
+                // Structural: functional unit issue port.
+                let fu = op.func_unit();
+                let fi = fu_idx(fu);
+                if fu_free_qc[fi] > now_qc {
+                    next_event = next_event.min(fu_free_qc[fi].div_ceil(4));
+                    stats.fu_rejects += 1;
+                    continue;
+                }
+
+                // Issue.
+                fu_free_qc[fi] = now_qc + fu_interval_qc(fu);
+                let mut complete = cycle + u64::from(op.dep_latency());
+                if instr.predicted && matches!(op, Op::Mov { .. }) {
+                    // End-to-end move propagation (Fig. 4): the swapped
+                    // codeword is copied register-file-internally without a
+                    // datapath round trip.
+                    complete = cycle + 2;
+                }
+                stats.issued_per_fu[fi] += 1;
+                if fu == FuncUnit::Mem {
+                    // Bandwidth queueing for global transactions.
+                    let txn_cost = u64::from(entry.txns) * cfg.txn_interval_qc;
+                    mem_pipe_qc = mem_pipe_qc.max(now_qc) + txn_cost;
+                    let queue_cycles = (mem_pipe_qc - now_qc) / 4;
+                    stats.peak_mem_queue = stats.peak_mem_queue.max(queue_cycles);
+                    let lat = match op {
+                        Op::Ld { space: swapcodes_isa::MemSpace::Shared, .. }
+                        | Op::St { space: swapcodes_isa::MemSpace::Shared, .. } => {
+                            u64::from(cfg.shared_latency)
+                        }
+                        _ => {
+                            // DRAM bank/row variability: deterministic jitter
+                            // of +/-25% around the base latency decorrelates
+                            // warp wake-ups (a constant latency makes every
+                            // warp convoy in lockstep forever, which no real
+                            // memory system does).
+                            let base = u64::from(cfg.mem_latency);
+                            let h = (wi as u64)
+                                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                                .wrapping_add((w.pos as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+                            let h = (h ^ (h >> 31)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                            base * 3 / 4 + (h >> 33) % (base / 2)
+                        }
+                    };
+                    complete = cycle + lat + queue_cycles;
+                }
+                let w = &mut warps[wi];
+                for r in op.defs() {
+                    let slot = &mut w.ready[usize::from(r.0)];
+                    *slot = (*slot).max(complete);
+                }
+                w.pos += 1;
+                w.last_issue = cycle;
+                issued_any = true;
+                issued_this_sched += 1;
+                if issued_this_sched >= 2 {
+                    break; // dual dispatch per scheduler per cycle (Pascal)
+                }
+            }
+        }
+
+        if issued_any {
+            cycle += 1;
+        } else if next_event != u64::MAX && next_event > cycle {
+            stats.idle_cycles += next_event - cycle;
+            cycle = next_event;
+        } else {
+            stats.idle_cycles += 1;
+            cycle += 1;
+        }
+    }
+    (cycle, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcodes_isa::{KernelBuilder, Reg, Src};
+
+    fn trivial_kernel(arith: usize) -> Kernel {
+        let mut k = KernelBuilder::new("t");
+        for i in 0..arith {
+            k.push(Op::IAdd {
+                d: Reg((i % 8) as u8),
+                a: Reg(((i + 1) % 8) as u8),
+                b: Src::Imm(1),
+            });
+        }
+        k.push(Op::Exit);
+        k.finish()
+    }
+
+    #[test]
+    fn more_work_takes_more_cycles() {
+        let cfg = TimingConfig::default();
+        let mut mem = GlobalMemory::new(64);
+        let small = simulate_kernel(
+            &trivial_kernel(16),
+            Launch::grid(8, 128),
+            &mut mem,
+            &cfg,
+        );
+        let big = simulate_kernel(
+            &trivial_kernel(160),
+            Launch::grid(8, 128),
+            &mut mem,
+            &cfg,
+        );
+        assert!(big.cycles > small.cycles, "{small:?} vs {big:?}");
+    }
+
+    #[test]
+    fn grid_scales_in_waves() {
+        let cfg = TimingConfig::default();
+        let mut mem = GlobalMemory::new(64);
+        let k = trivial_kernel(32);
+        let one = simulate_kernel(&k, Launch::grid(56, 256), &mut mem, &cfg);
+        let many = simulate_kernel(&k, Launch::grid(56 * 32, 256), &mut mem, &cfg);
+        assert!(many.waves > one.waves);
+        assert!(many.cycles >= one.cycles * 2);
+    }
+
+    #[test]
+    fn dependent_chain_is_slower_than_independent() {
+        let cfg = TimingConfig::default();
+        let mut mem = GlobalMemory::new(64);
+        // Dependent chain on one register.
+        let mut k = KernelBuilder::new("chain");
+        for _ in 0..64 {
+            k.push(Op::IAdd {
+                d: Reg(0),
+                a: Reg(0),
+                b: Src::Imm(1),
+            });
+        }
+        k.push(Op::Exit);
+        let chain = simulate_kernel(&k.finish(), Launch::grid(1, 32), &mut mem, &cfg);
+        let indep = simulate_kernel(&trivial_kernel(64), Launch::grid(1, 32), &mut mem, &cfg);
+        assert!(chain.cycles > indep.cycles, "{chain:?} vs {indep:?}");
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+    use swapcodes_isa::{KernelBuilder, MemSpace, MemWidth, Reg, SpecialReg, Src};
+
+    #[test]
+    fn stats_account_for_issued_work() {
+        let mut k = KernelBuilder::new("mix");
+        k.push(Op::S2R { d: Reg(0), sr: SpecialReg::TidX });
+        for i in 0..6u8 {
+            k.push(Op::FAdd {
+                d: Reg(1 + i),
+                a: Reg(0),
+                b: Src::Imm(0x3F80_0000),
+            });
+        }
+        k.push(Op::Shl { d: Reg(7), a: Reg(0), b: Src::Imm(2) });
+        k.push(Op::Ld {
+            d: Reg(8),
+            space: MemSpace::Global,
+            addr: Reg(7),
+            offset: 0,
+            width: MemWidth::W32,
+        });
+        k.push(Op::Exit);
+        let kernel = k.finish();
+        let cfg = TimingConfig::default();
+        let mut mem = GlobalMemory::new(4096);
+        let t = simulate_kernel(&kernel, crate::exec::Launch::grid(2, 64), &mut mem, &cfg);
+        let total: u64 = t.stats.issued_per_fu.iter().sum();
+        assert_eq!(total, t.issued, "per-FU counts must sum to issued");
+        assert!(t.stats.issued_per_fu[1] > 0, "F32 work recorded");
+        assert!(t.stats.issued_per_fu[4] > 0, "memory work recorded");
+        assert!(t.stats.ipc(t.wave_cycles) > 0.0);
+        // A load-tailed kernel has idle cycles while the loads return.
+        assert!(t.stats.idle_cycles > 0);
+    }
+}

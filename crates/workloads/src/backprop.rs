@@ -1,0 +1,110 @@
+//! `backprop`-like neural layer forward pass: FP32 FMA plus heavy integer
+//! MAD address arithmetic and a shared-memory partial-sum reduction — a
+//! benchmark that benefits strongly from fixed-point MAD prediction.
+
+use swapcodes_isa::{KernelBuilder, MemSpace, MemWidth, Op, Reg, SpecialReg, Src};
+use swapcodes_sim::Launch;
+
+use crate::util::{addr4, counted_loop, fill_f32, fimm, global_tid};
+use crate::Workload;
+
+const X: i32 = 0; // 512 inputs
+const W: i32 = 0x1000; // 512 x 256 weights
+const OUT: u32 = 0x81000;
+const UNITS: u32 = 4 * 1024;
+
+/// Build the workload.
+#[must_use]
+pub fn workload() -> Workload {
+    let mut k = KernelBuilder::new("bprop");
+    let gid = Reg(0);
+    global_tid(&mut k, gid, Reg(1), Reg(2));
+    let j = Reg(2); // output unit within layer
+    k.push(Op::And { d: j, a: gid, b: Src::Imm(255) });
+    // Layer width constant used by the indexing IMADs.
+    k.push(Op::Mov { d: Reg(7), a: Src::Imm(256) });
+
+    // Rotated accumulator pair (unrolled dot product).
+    let accs = (Reg(3), Reg(17));
+    k.push(Op::Mov { d: accs.0, a: fimm(0.0) });
+
+    let counters = (Reg(5), Reg(18));
+    counted_loop(&mut k, counters, 40, |k, p| {
+        let ctr = if p == 0 { counters.0 } else { counters.1 };
+        let (ain, aout) = if p == 0 { (accs.0, accs.1) } else { (accs.1, accs.0) };
+        // widx = ctr * 256 + j, waddr = W + widx*4 (the IMAD-heavy part).
+        let widx = Reg(6);
+        k.push(Op::IMad { d: widx, a: ctr, b: Reg(7), c: j });
+        let wsh = Reg(8);
+        k.push(Op::Shl { d: wsh, a: widx, b: Src::Imm(2) });
+        let waddr = Reg(19);
+        k.push(Op::IAdd { d: waddr, a: wsh, b: Src::Imm(W) });
+        let xaddr = Reg(9);
+        addr4(k, xaddr, Reg(20), ctr, X);
+        let wv = Reg(10);
+        let xv = Reg(11);
+        k.push(Op::Ld { d: wv, space: MemSpace::Global, addr: waddr, offset: 0, width: MemWidth::W32 });
+        k.push(Op::Ld { d: xv, space: MemSpace::Global, addr: xaddr, offset: 0, width: MemWidth::W32 });
+        k.push(Op::FFma { d: aout, a: wv, b: xv, c: ain });
+    });
+    let acc = accs.0; // even trip count: result back in the first register
+
+    // Shared-memory partial sum with a barrier (CTA reduction flavour).
+    let tid = Reg(12);
+    k.push(Op::S2R { d: tid, sr: SpecialReg::TidX });
+    let saddr = Reg(13);
+    k.push(Op::Shl { d: saddr, a: tid, b: Src::Imm(2) });
+    k.push(Op::St { space: MemSpace::Shared, addr: saddr, offset: 0, v: acc, width: MemWidth::W32 });
+    k.push(Op::Bar);
+    let other = Reg(14);
+    k.push(Op::Xor { d: other, a: saddr, b: Src::Imm(4) });
+    let nv = Reg(15);
+    k.push(Op::Ld { d: nv, space: MemSpace::Shared, addr: other, offset: 0, width: MemWidth::W32 });
+    let total = Reg(21);
+    k.push(Op::FAdd { d: total, a: acc, b: Src::Reg(nv) });
+
+    let oaddr = Reg(16);
+    addr4(&mut k, oaddr, Reg(6), gid, OUT as i32);
+    k.push(Op::St { space: MemSpace::Global, addr: oaddr, offset: 0, v: total, width: MemWidth::W32 });
+    k.push(Op::Exit);
+
+    Workload {
+        name: "bprop",
+        kernel: k.finish(),
+        launch: Launch {
+            ctas: UNITS / 256,
+            threads_per_cta: 256,
+            shared_words: 256,
+        },
+        mem_bytes: OUT + UNITS * 4,
+        init: |mem| {
+            fill_f32(mem, X as u32, 512, 0xB2, -0.5, 0.5);
+            fill_f32(mem, W as u32, 512 * 256, 0xB3, -0.25, 0.25);
+        },
+        output: (OUT, UNITS),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcodes_sim::exec::{Detection, ExecConfig};
+    use swapcodes_sim::Executor;
+
+    #[test]
+    fn runs_with_barrier_and_finishes() {
+        let w = workload();
+        let mut mem = w.build_memory();
+        let exec = Executor {
+            config: ExecConfig {
+                cta_limit: Some(1),
+                ..ExecConfig::default()
+            },
+        };
+        let out = exec.run(&w.kernel, w.launch, &mut mem);
+        assert_eq!(out.detection, Detection::None);
+        for v in mem.read_f32_slice(OUT, 256) {
+            assert!(v.is_finite());
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! `bfs`-like frontier expansion: extremely branchy, memory-latency-bound
+//! graph traversal with atomics — high checking bloat and little arithmetic.
+
+use swapcodes_isa::{CmpOp, CmpTy, KernelBuilder, MemSpace, MemWidth, Op, Pred, Reg, Src};
+use swapcodes_sim::Launch;
+
+use crate::util::{addr4, fill_u32, global_tid};
+use crate::Workload;
+
+const ROWS: i32 = 0; // row offsets, 4K+1 nodes
+const COLS: i32 = 0x8000; // edges, 16K
+const FRONTIER: i32 = 0x18000; // node in current frontier?
+const DIST: u32 = 0x1C000; // output distances
+const COUNTER: u32 = 0x20000; // next-frontier size (atomic)
+const NODES: u32 = 4 * 1024;
+
+/// Build the workload.
+#[must_use]
+pub fn workload() -> Workload {
+    let mut k = KernelBuilder::new("bfs");
+    let gid = Reg(0);
+    global_tid(&mut k, gid, Reg(1), Reg(2));
+    let node = Reg(2);
+    k.push(Op::And { d: node, a: gid, b: Src::Imm((NODES - 1) as i32) });
+
+    // Skip nodes outside the frontier (divergent!).
+    let faddr = Reg(3);
+    addr4(&mut k, faddr, Reg(16), node, FRONTIER);
+    let inf = Reg(4);
+    k.push(Op::Ld { d: inf, space: MemSpace::Global, addr: faddr, offset: 0, width: MemWidth::W32 });
+    k.push(Op::SetP { p: Pred(1), cmp: CmpOp::Eq, ty: CmpTy::U32, a: inf, b: Src::Imm(0) });
+    let done = k.label();
+    k.branch_if(done, Pred(1), true);
+
+    // Edge range.
+    let raddr = Reg(5);
+    addr4(&mut k, raddr, Reg(16), node, ROWS);
+    let start = Reg(6);
+    let end = Reg(7);
+    k.push(Op::Ld { d: start, space: MemSpace::Global, addr: raddr, offset: 0, width: MemWidth::W32 });
+    k.push(Op::Ld { d: end, space: MemSpace::Global, addr: raddr, offset: 4, width: MemWidth::W32 });
+
+    // The edge walk is a data-dependent while loop: rotate the edge cursor
+    // and visited counter through register pairs (an unrolled-by-two body).
+    let es = (Reg(8), Reg(17));
+    k.push(Op::Mov { d: es.0, a: Src::Reg(start) });
+    let visits = (Reg(9), Reg(18));
+    k.push(Op::Mov { d: visits.0, a: Src::Imm(0) });
+
+    let loop_top = k.label();
+    k.bind(loop_top);
+    for p in 0..2u8 {
+        let (ein, eout) = if p == 0 { (es.0, es.1) } else { (es.1, es.0) };
+        let (vin, vout) = if p == 0 { (visits.0, visits.1) } else { (visits.1, visits.0) };
+        k.push(Op::SetP { p: Pred(2), cmp: CmpOp::Ge, ty: CmpTy::U32, a: ein, b: Src::Reg(end) });
+        // Keep the rotation coherent before a possible exit.
+        k.push(Op::Mov { d: eout, a: Src::Reg(ein) });
+        k.push(Op::Mov { d: vout, a: Src::Reg(vin) });
+        k.branch_if(done, Pred(2), true);
+        // Neighbour and its distance.
+        let caddr = Reg(10);
+        addr4(&mut k, caddr, Reg(16), ein, COLS);
+        let nb = Reg(11);
+        k.push(Op::Ld { d: nb, space: MemSpace::Global, addr: caddr, offset: 0, width: MemWidth::W32 });
+        let daddr = Reg(12);
+        addr4(&mut k, daddr, Reg(16), nb, DIST as i32);
+        let dv = Reg(13);
+        k.push(Op::Ld { d: dv, space: MemSpace::Global, addr: daddr, offset: 0, width: MemWidth::W32 });
+        k.push(Op::SetP { p: Pred(3), cmp: CmpOp::Ne, ty: CmpTy::U32, a: dv, b: Src::Imm(-1) });
+        let next = k.label();
+        k.branch_if(next, Pred(3), true);
+        // Unvisited: relax and count (atomic at the end).
+        let nd = Reg(14);
+        k.push(Op::IAdd { d: nd, a: inf, b: Src::Imm(1) });
+        k.push(Op::St { space: MemSpace::Global, addr: daddr, offset: 0, v: nd, width: MemWidth::W32 });
+        k.push(Op::IAdd { d: vout, a: vin, b: Src::Imm(1) });
+        k.bind(next);
+        k.push(Op::IAdd { d: eout, a: ein, b: Src::Imm(1) });
+    }
+    k.branch_to(loop_top);
+
+    k.bind(done);
+    // Count discovered nodes (one atomic per thread). The rotation parks the
+    // live values in both registers before any exit path, so either name is
+    // valid here; exits happen at even or odd parity, landing in .0 or .1 —
+    // the pre-exit moves make them equal.
+    let visited = visits.1;
+    let cnt_addr = Reg(15);
+    k.push(Op::Mov { d: cnt_addr, a: Src::Imm(COUNTER as i32) });
+    k.push(Op::AtomAdd { addr: cnt_addr, offset: 0, v: visited });
+    k.push(Op::Exit);
+
+    Workload {
+        name: "bfs",
+        kernel: k.finish(),
+        launch: Launch::grid(NODES / 128, 128),
+        mem_bytes: COUNTER + 64,
+        init: |mem| {
+            // Row offsets: ~4 edges/node, monotone.
+            let mut off = 0u32;
+            for n in 0..=NODES {
+                mem.write(ROWS as u32 + 4 * n, off);
+                off = (off + 3 + (n % 3)).min(16 * 1024 - 1);
+            }
+            fill_u32(mem, COLS as u32, 16 * 1024, 0x51, NODES);
+            // Half the nodes start in the frontier with distance 5.
+            for n in 0..NODES {
+                mem.write(FRONTIER as u32 + 4 * n, u32::from(n % 2 == 0) * 5);
+                mem.write(DIST + 4 * n, u32::MAX);
+            }
+        },
+        output: (DIST, NODES),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcodes_sim::exec::{Detection, ExecConfig};
+    use swapcodes_sim::Executor;
+
+    #[test]
+    fn frontier_expansion_completes() {
+        let w = workload();
+        let mut mem = w.build_memory();
+        let exec = Executor {
+            config: ExecConfig { cta_limit: Some(2), ..ExecConfig::default() },
+        };
+        let out = exec.run(&w.kernel, w.launch, &mut mem);
+        assert_eq!(out.detection, Detection::None);
+        // The atomic counter advanced.
+        assert!(mem.read(COUNTER) > 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! `b+tree`-like search: latency-bound pointer chasing with integer
+//! compares and branches — the benchmark where explicit checking code hurts
+//! software duplication the most (worst case in Fig. 12).
+
+use swapcodes_isa::{CmpOp, CmpTy, KernelBuilder, MemSpace, MemWidth, Op, Pred, Reg, Src};
+use swapcodes_sim::Launch;
+
+use crate::util::{addr4, counted_loop, fill_u32, global_tid};
+use crate::Workload;
+
+const NODES: i32 = 0; // node array: [key, left, right] * 8192
+const QUERIES: i32 = 0x18000;
+const OUT: u32 = 0x20000;
+const THREADS: u32 = 8 * 1024;
+
+/// Build the workload.
+#[must_use]
+pub fn workload() -> Workload {
+    let mut k = KernelBuilder::new("b+tree");
+    let gid = Reg(0);
+    global_tid(&mut k, gid, Reg(1), Reg(2));
+
+    // Load this thread's query key.
+    let qaddr = Reg(2);
+    let qi = Reg(3);
+    k.push(Op::And { d: qi, a: gid, b: Src::Imm((THREADS - 1) as i32) });
+    addr4(&mut k, qaddr, Reg(13), qi, QUERIES);
+    let key = Reg(4);
+    k.push(Op::Ld { d: key, space: MemSpace::Global, addr: qaddr, offset: 0, width: MemWidth::W32 });
+
+    // Rotated node and depth-sum registers (the walk is loop-carried).
+    let nodes = (Reg(5), Reg(14));
+    k.push(Op::Mov { d: nodes.0, a: Src::Imm(0) });
+    let sums = (Reg(6), Reg(15));
+    k.push(Op::Mov { d: sums.0, a: Src::Imm(0) });
+
+    let counters = (Reg(7), Reg(16));
+    counted_loop(&mut k, counters, 12, |k, p| {
+        let (nin, nout) = if p == 0 { (nodes.0, nodes.1) } else { (nodes.1, nodes.0) };
+        let (sin, sout) = if p == 0 { (sums.0, sums.1) } else { (sums.1, sums.0) };
+        let nsc = Reg(17);
+        k.push(Op::IMul { d: nsc, a: nin, b: Src::Imm(12) });
+        let naddr = Reg(8);
+        k.push(Op::IAdd { d: naddr, a: nsc, b: Src::Imm(NODES) });
+        let nkey = Reg(9);
+        let left = Reg(10);
+        let right = Reg(11);
+        k.push(Op::Ld { d: nkey, space: MemSpace::Global, addr: naddr, offset: 0, width: MemWidth::W32 });
+        k.push(Op::Ld { d: left, space: MemSpace::Global, addr: naddr, offset: 4, width: MemWidth::W32 });
+        k.push(Op::Ld { d: right, space: MemSpace::Global, addr: naddr, offset: 8, width: MemWidth::W32 });
+        // Divergent descent.
+        k.push(Op::SetP { p: Pred(1), cmp: CmpOp::Lt, ty: CmpTy::U32, a: key, b: Src::Reg(nkey) });
+        let skip = k.label();
+        k.branch_if(skip, Pred(1), false);
+        k.push(Op::Mov { d: right, a: Src::Reg(left) });
+        k.bind(skip);
+        k.push(Op::And { d: nout, a: right, b: Src::Imm(8191) });
+        k.push(Op::IAdd { d: sout, a: sin, b: Src::Reg(nout) });
+    });
+    let depth_sum = sums.0;
+
+    let oaddr = Reg(12);
+    addr4(&mut k, oaddr, Reg(17), qi, OUT as i32);
+    k.push(Op::St { space: MemSpace::Global, addr: oaddr, offset: 0, v: depth_sum, width: MemWidth::W32 });
+    k.push(Op::Exit);
+
+    Workload {
+        name: "b+tree",
+        kernel: k.finish(),
+        launch: Launch::grid(THREADS / 128, 128),
+        mem_bytes: OUT + THREADS * 4,
+        init: |mem| {
+            fill_u32(mem, NODES as u32, 3 * 8192, 0xF1, 8192);
+            fill_u32(mem, QUERIES as u32, THREADS as usize, 0xF2, 8192);
+        },
+        output: (OUT, THREADS),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcodes_sim::exec::{Detection, ExecConfig};
+    use swapcodes_sim::Executor;
+
+    #[test]
+    fn pointer_chase_completes_with_divergence() {
+        let w = workload();
+        let mut mem = w.build_memory();
+        let exec = Executor {
+            config: ExecConfig { cta_limit: Some(1), ..ExecConfig::default() },
+        };
+        let out = exec.run(&w.kernel, w.launch, &mut mem);
+        assert_eq!(out.detection, Detection::None);
+        // Branch-heavy: the not-eligible share is large.
+        assert!(out.profile.not_eligible > 0);
+    }
+}

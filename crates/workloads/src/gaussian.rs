@@ -1,0 +1,109 @@
+//! `gaussian`-like elimination sweep: streaming global loads/stores around a
+//! single FMA — strongly memory-bound.
+
+use swapcodes_isa::{KernelBuilder, MemSpace, MemWidth, Op, Reg, Src};
+use swapcodes_sim::Launch;
+
+use crate::util::{addr4, counted_loop, fill_f32, global_tid};
+use crate::Workload;
+
+const M: i32 = 0; // multipliers, 16K
+const A: i32 = 0x10000; // matrix rows, 64K
+const OUT: u32 = 0x50000;
+const ELEMS: u32 = 16 * 1024;
+
+/// Build the workload.
+#[must_use]
+pub fn workload() -> Workload {
+    let mut k = KernelBuilder::new("gauss");
+    let gid = Reg(0);
+    global_tid(&mut k, gid, Reg(1), Reg(2));
+    let e = Reg(2);
+    k.push(Op::And { d: e, a: gid, b: Src::Imm((ELEMS - 1) as i32) });
+
+    let maddr = Reg(3);
+    addr4(&mut k, maddr, Reg(7), e, M);
+    let m0 = Reg(4);
+    k.push(Op::Ld { d: m0, space: MemSpace::Global, addr: maddr, offset: 0, width: MemWidth::W32 });
+    let m = Reg(14);
+    k.push(Op::FMul { d: m, a: m0, b: crate::util::fimm(-0.01) });
+
+    let accs = (Reg(5), Reg(15));
+    k.push(Op::Mov { d: accs.0, a: crate::util::fimm(0.0) });
+
+    let counters = (Reg(6), Reg(16));
+    counted_loop(&mut k, counters, 16, |k, p| {
+        let ctr = if p == 0 { counters.0 } else { counters.1 };
+        let (ain, aout) = if p == 0 { (accs.0, accs.1) } else { (accs.1, accs.0) };
+        // a[k][j] -= m * a[pivot][j]: two loads, one FMA, one store.
+        let off0 = Reg(7);
+        k.push(Op::IMad { d: off0, a: ctr, b: Reg(8), c: e });
+        let off = Reg(17);
+        k.push(Op::And { d: off, a: off0, b: Src::Imm((ELEMS - 1) as i32) });
+        let aaddr = Reg(9);
+        addr4(k, aaddr, Reg(7), off, A);
+        let av = Reg(10);
+        k.push(Op::Ld { d: av, space: MemSpace::Global, addr: aaddr, offset: 0, width: MemWidth::W32 });
+        let pv = Reg(11);
+        k.push(Op::Ld { d: pv, space: MemSpace::Global, addr: aaddr, offset: 4, width: MemWidth::W32 });
+        let nv = Reg(12);
+        k.push(Op::FFma { d: nv, a: m, b: pv, c: av });
+        k.push(Op::St { space: MemSpace::Global, addr: aaddr, offset: 0, v: nv, width: MemWidth::W32 });
+        k.push(Op::FAdd { d: aout, a: ain, b: Src::Reg(nv) });
+    });
+    let acc = accs.0;
+
+    let oaddr = Reg(13);
+    addr4(&mut k, oaddr, Reg(7), e, OUT as i32);
+    k.push(Op::St { space: MemSpace::Global, addr: oaddr, offset: 0, v: acc, width: MemWidth::W32 });
+    k.push(Op::Exit);
+
+    // R8: row stride constant.
+    let kern = prepend_const(k, Reg(8), 257);
+
+    Workload {
+        name: "gauss",
+        kernel: kern,
+        launch: Launch::grid(ELEMS / 256, 256),
+        mem_bytes: OUT + ELEMS * 4,
+        init: |mem| {
+            fill_f32(mem, M as u32, ELEMS as usize, 0xE1, 0.5, 1.5);
+            fill_f32(mem, A as u32, ELEMS as usize, 0xE2, -1.0, 1.0);
+        },
+        output: (OUT, ELEMS),
+    }
+}
+
+/// Prepend `Mov d, imm` to a finished builder's kernel (fixing targets).
+fn prepend_const(k: KernelBuilder, d: Reg, imm: i32) -> swapcodes_isa::Kernel {
+    let kern = k.finish();
+    let mut v = vec![swapcodes_isa::Instr::new(Op::Mov { d, a: Src::Imm(imm) })];
+    for ins in kern.instrs() {
+        let mut i2 = *ins;
+        if let Op::Bra { target } = &mut i2.op {
+            *target += 1;
+        }
+        v.push(i2);
+    }
+    swapcodes_isa::Kernel::from_instrs(kern.name().to_owned(), v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcodes_sim::exec::{Detection, ExecConfig};
+    use swapcodes_sim::Executor;
+
+    #[test]
+    fn streaming_elimination_completes() {
+        let w = workload();
+        let mut mem = w.build_memory();
+        let exec = Executor {
+            config: ExecConfig { cta_limit: Some(1), ..ExecConfig::default() },
+        };
+        let out = exec.run(&w.kernel, w.launch, &mut mem);
+        assert_eq!(out.detection, Detection::None);
+        // Memory-heavy mix: plenty of non-eligible instructions.
+        assert!(out.profile.not_eligible * 3 > out.profile.eligible_plain);
+    }
+}

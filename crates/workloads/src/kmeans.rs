@@ -1,0 +1,129 @@
+//! `kmeans`-like nearest-centroid assignment: streaming loads with FP32
+//! distance FMAs and min-tracking — memory-bound with a moderate mix.
+
+use swapcodes_isa::{CmpOp, CmpTy, KernelBuilder, MemSpace, MemWidth, Op, Pred, Reg, Src};
+use swapcodes_sim::Launch;
+
+use crate::util::{addr4, counted_loop, fill_f32, fimm, global_tid};
+use crate::Workload;
+
+const FEAT: i32 = 0; // 8192 points x 4 features
+const CENT: i32 = 0x20000; // 6 centroids x 4 features
+const OUT: u32 = 0x21000;
+const POINTS: u32 = 8 * 1024;
+
+/// Build the workload.
+#[must_use]
+pub fn workload() -> Workload {
+    let mut k = KernelBuilder::new("kmeans");
+    let gid = Reg(0);
+    global_tid(&mut k, gid, Reg(1), Reg(2));
+    let p = Reg(2);
+    k.push(Op::And { d: p, a: gid, b: Src::Imm((POINTS - 1) as i32) });
+
+    // Load the point's 4 features once.
+    let faddr = Reg(3);
+    k.push(Op::Shl { d: faddr, a: p, b: Src::Imm(4) }); // *16 bytes
+    k.push(Op::IAdd { d: faddr, a: faddr, b: Src::Imm(FEAT) });
+    let f = [Reg(4), Reg(5), Reg(6), Reg(7)];
+    for (i, r) in f.into_iter().enumerate() {
+        k.push(Op::Ld {
+            d: r,
+            space: MemSpace::Global,
+            addr: faddr,
+            offset: 4 * i as i32,
+            width: MemWidth::W32,
+        });
+    }
+
+    // Rotated best/index/centroid-counter registers.
+    let bests = (Reg(8), Reg(18));
+    let idxs = (Reg(9), Reg(19));
+    k.push(Op::Mov { d: bests.0, a: fimm(1e30) });
+    k.push(Op::Mov { d: idxs.0, a: Src::Imm(0) });
+    let neg1 = Reg(11);
+    k.push(Op::Mov { d: neg1, a: fimm(-1.0) });
+
+    let counters = (Reg(12), Reg(20));
+    counted_loop(&mut k, counters, 6, |k, p| {
+        let ctr = if p == 0 { counters.0 } else { counters.1 };
+        let (bin, bout) = if p == 0 { (bests.0, bests.1) } else { (bests.1, bests.0) };
+        let (iin, iout) = if p == 0 { (idxs.0, idxs.1) } else { (idxs.1, idxs.0) };
+        let csh = Reg(10);
+        k.push(Op::Shl { d: csh, a: ctr, b: Src::Imm(4) });
+        let caddr = Reg(13);
+        k.push(Op::IAdd { d: caddr, a: csh, b: Src::Imm(CENT) });
+        // Rotated distance accumulation through the four features.
+        let dists = [Reg(14), Reg(21), Reg(14), Reg(21), Reg(14)];
+        k.push(Op::Mov { d: dists[0], a: fimm(0.0) });
+        for (i, fr) in f.into_iter().enumerate() {
+            let cv = Reg(15);
+            let d = Reg(16);
+            k.push(Op::Ld {
+                d: cv,
+                space: MemSpace::Global,
+                addr: caddr,
+                offset: 4 * i as i32,
+                width: MemWidth::W32,
+            });
+            k.push(Op::FFma { d, a: cv, b: neg1, c: fr });
+            k.push(Op::FFma { d: dists[i + 1], a: d, b: d, c: dists[i] });
+        }
+        let dist = dists[4];
+        // Track the minimum distance and its index.
+        k.push(Op::SetP {
+            p: Pred(1),
+            cmp: CmpOp::Lt,
+            ty: CmpTy::F32,
+            a: dist,
+            b: Src::Reg(bin),
+        });
+        k.push(Op::Sel { d: iout, p: Pred(1), a: ctr, b: Src::Reg(iin) });
+        k.push(Op::FMin { d: bout, a: bin, b: Src::Reg(dist) });
+    });
+    let best_idx = idxs.0;
+
+    let oaddr = Reg(17);
+    addr4(&mut k, oaddr, Reg(10), gid, OUT as i32);
+    k.push(Op::St {
+        space: MemSpace::Global,
+        addr: oaddr,
+        offset: 0,
+        v: best_idx,
+        width: MemWidth::W32,
+    });
+    k.push(Op::Exit);
+
+    Workload {
+        name: "kmeans",
+        kernel: k.finish(),
+        launch: Launch::grid(POINTS / 256, 256),
+        mem_bytes: OUT + POINTS * 4,
+        init: |mem| {
+            fill_f32(mem, FEAT as u32, 4 * POINTS as usize, 0xC1, -2.0, 2.0);
+            fill_f32(mem, CENT as u32, 4 * 6, 0xC2, -2.0, 2.0);
+        },
+        output: (OUT, POINTS),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcodes_sim::exec::{Detection, ExecConfig};
+    use swapcodes_sim::Executor;
+
+    #[test]
+    fn assigns_valid_cluster_indices() {
+        let w = workload();
+        let mut mem = w.build_memory();
+        let exec = Executor {
+            config: ExecConfig { cta_limit: Some(1), ..ExecConfig::default() },
+        };
+        let out = exec.run(&w.kernel, w.launch, &mut mem);
+        assert_eq!(out.detection, Detection::None);
+        for v in mem.read_u32_slice(OUT, 256) {
+            assert!(v <= 6, "cluster index {v} out of range");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! `lavaMD`-like particle interaction kernel: floating-point-FMA bound with
+//! very little memory traffic or checking-eligible code — the paper's
+//! worst case for every scheme until floating-point check-bit prediction
+//! (Fig. 16).
+
+use swapcodes_isa::{KernelBuilder, MemSpace, MemWidth, Op, Reg, Src};
+use swapcodes_sim::Launch;
+
+use crate::util::{addr4, counted_loop, fill_f32, fimm, global_tid};
+use crate::Workload;
+
+const POS: i32 = 0; // 1024 particles * 3 f32
+const OUT: u32 = 0x8000;
+const THREADS: u32 = 8 * 1024;
+
+/// Build the workload.
+#[must_use]
+pub fn workload() -> Workload {
+    let mut k = KernelBuilder::new("lavaMD");
+    let gid = Reg(0);
+    let t = Reg(1);
+    global_tid(&mut k, gid, t, Reg(2));
+
+    // Own particle position.
+    let idx = Reg(2);
+    k.push(Op::And { d: idx, a: gid, b: Src::Imm(1023) });
+    let paddr = Reg(3);
+    k.push(Op::IMul { d: paddr, a: idx, b: Src::Imm(12) });
+    let (px, py, pz) = (Reg(4), Reg(5), Reg(6));
+    for (i, r) in [px, py, pz].into_iter().enumerate() {
+        k.push(Op::Ld {
+            d: r,
+            space: MemSpace::Global,
+            addr: paddr,
+            offset: POS + 4 * i as i32,
+            width: MemWidth::W32,
+        });
+    }
+
+    // Force accumulators: two rotated sets plus a staging set, as a
+    // register-rotating production compiler would allocate the unrolled
+    // accumulation (Swap-ECC forbids same-source-and-destination pairs).
+    let acc = [[Reg(7), Reg(8), Reg(9)], [Reg(23), Reg(24), Reg(25)]];
+    let tmp = [Reg(26), Reg(27), Reg(28)];
+    for r in acc[0] {
+        k.push(Op::Mov { d: r, a: fimm(0.0) });
+    }
+    let neg1 = Reg(10);
+    k.push(Op::Mov { d: neg1, a: fimm(-1.0) });
+
+    let counters = (Reg(11), Reg(29));
+    counted_loop(&mut k, counters, 48, |k, p| {
+        let ctr = if p == 0 { counters.0 } else { counters.1 };
+        let (ain, aout) = (acc[p as usize], acc[1 - p as usize]);
+        // Neighbour index and position.
+        let n0 = Reg(12);
+        k.push(Op::IMad { d: n0, a: ctr, b: ctr, c: Reg(0) });
+        let n = Reg(30);
+        k.push(Op::And { d: n, a: n0, b: Src::Imm(1023) });
+        let naddr = Reg(13);
+        k.push(Op::IMul { d: naddr, a: n, b: Src::Imm(12) });
+        let (nx, ny, nz) = (Reg(14), Reg(15), Reg(16));
+        for (i, r) in [nx, ny, nz].into_iter().enumerate() {
+            k.push(Op::Ld {
+                d: r,
+                space: MemSpace::Global,
+                addr: naddr,
+                offset: POS + 4 * i as i32,
+                width: MemWidth::W32,
+            });
+        }
+        // Displacement, squared distance, interaction strength.
+        let (dx, dy, dz) = (Reg(17), Reg(18), Reg(19));
+        k.push(Op::FFma { d: dx, a: nx, b: neg1, c: px });
+        k.push(Op::FFma { d: dy, a: ny, b: neg1, c: py });
+        k.push(Op::FFma { d: dz, a: nz, b: neg1, c: pz });
+        let r2a = Reg(20);
+        let r2b = Reg(31);
+        k.push(Op::FMul { d: r2a, a: dx, b: Src::Reg(dx) });
+        k.push(Op::FFma { d: r2b, a: dy, b: dy, c: r2a });
+        let r2 = Reg(12);
+        k.push(Op::FFma { d: r2, a: dz, b: dz, c: r2b });
+        let u0 = Reg(21);
+        let u = Reg(22);
+        k.push(Op::FMul { d: u0, a: r2, b: fimm(-0.35) });
+        k.push(Op::MufuEx2 { d: u, a: u0 });
+        // Two chained interaction terms, rotating in -> tmp -> out.
+        k.push(Op::FFma { d: tmp[0], a: u, b: dx, c: ain[0] });
+        k.push(Op::FFma { d: tmp[1], a: u, b: dy, c: ain[1] });
+        k.push(Op::FFma { d: tmp[2], a: u, b: dz, c: ain[2] });
+        let v = Reg(21);
+        k.push(Op::FMul { d: v, a: u, b: Src::Reg(u) });
+        k.push(Op::FFma { d: aout[0], a: v, b: dx, c: tmp[0] });
+        k.push(Op::FFma { d: aout[1], a: v, b: dy, c: tmp[1] });
+        k.push(Op::FFma { d: aout[2], a: v, b: dz, c: tmp[2] });
+    });
+
+    // total = fx + fy + fz -> out[gid] (even trip count: result in set 0).
+    let s = Reg(20);
+    k.push(Op::FAdd { d: s, a: acc[0][0], b: Src::Reg(acc[0][1]) });
+    let s2 = Reg(17);
+    k.push(Op::FAdd { d: s2, a: s, b: Src::Reg(acc[0][2]) });
+    let oaddr = Reg(13);
+    addr4(&mut k, oaddr, Reg(12), gid, OUT as i32);
+    k.push(Op::St {
+        space: MemSpace::Global,
+        addr: oaddr,
+        offset: 0,
+        v: s2,
+        width: MemWidth::W32,
+    });
+    k.push(Op::Exit);
+
+    Workload {
+        name: "lavaMD",
+        kernel: k.finish(),
+        launch: Launch::grid(THREADS / 128, 128),
+        mem_bytes: OUT + THREADS * 4,
+        init: |mem| fill_f32(mem, POS as u32, 3 * 1024, 0xA1, -1.0, 1.0),
+        output: (OUT, THREADS),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcodes_sim::exec::{Detection, ExecConfig};
+    use swapcodes_sim::Executor;
+
+    #[test]
+    fn runs_and_produces_finite_forces() {
+        let w = workload();
+        let mut mem = w.build_memory();
+        let exec = Executor {
+            config: ExecConfig {
+                cta_limit: Some(1),
+                ..ExecConfig::default()
+            },
+        };
+        let out = exec.run(&w.kernel, w.launch, &mut mem);
+        assert_eq!(out.detection, Detection::None);
+        for v in mem.read_f32_slice(OUT, 128) {
+            assert!(v.is_finite());
+        }
+        // FMA-dominated mix.
+        let p = out.profile;
+        assert!(p.eligible_plain > p.not_eligible, "{p:?}");
+    }
+}

@@ -1,0 +1,108 @@
+//! CUDA-SDK-style matrix multiply: FFMA-dense inner product with 1024
+//! threads per CTA — which is why thread-doubling inter-thread duplication
+//! cannot run it (§V footnote 7).
+
+use swapcodes_isa::{KernelBuilder, MemSpace, MemWidth, Op, Reg, Src};
+use swapcodes_sim::Launch;
+
+use crate::util::{addr4, counted_loop, fill_f32, fimm, global_tid};
+use crate::Workload;
+
+const A: i32 = 0; // 64x64
+const B: i32 = 0x4000;
+const C: u32 = 0x8000;
+const N: u32 = 64;
+
+/// Build the workload.
+#[must_use]
+pub fn workload() -> Workload {
+    let mut k = KernelBuilder::new("matmul");
+    let gid = Reg(0);
+    global_tid(&mut k, gid, Reg(1), Reg(2));
+    let row = Reg(2);
+    k.push(Op::Shr { d: row, a: gid, b: Src::Imm(6) });
+    k.push(Op::And { d: row, a: row, b: Src::Imm((N - 1) as i32) });
+    let col = Reg(3);
+    k.push(Op::And { d: col, a: gid, b: Src::Imm((N - 1) as i32) });
+
+    // Row/column base addresses, rotated across the unrolled halves.
+    let abases = (Reg(4), Reg(14));
+    let ash = Reg(18);
+    k.push(Op::Shl { d: ash, a: row, b: Src::Imm(8) }); // row * 64 * 4
+    k.push(Op::IAdd { d: abases.0, a: ash, b: Src::Imm(A) });
+    let bbases = (Reg(5), Reg(15));
+    let bsh = Reg(19);
+    k.push(Op::Shl { d: bsh, a: col, b: Src::Imm(2) });
+    k.push(Op::IAdd { d: bbases.0, a: bsh, b: Src::Imm(B) });
+
+    let accs = (Reg(6), Reg(16));
+    k.push(Op::Mov { d: accs.0, a: fimm(0.0) });
+    // Unrolled inner product over K = 64 (two elements per body).
+    let counters = (Reg(7), Reg(20));
+    counted_loop(&mut k, counters, 32, |k, p| {
+        let (abin, about) = if p == 0 { (abases.0, abases.1) } else { (abases.1, abases.0) };
+        let (bbin, bbout) = if p == 0 { (bbases.0, bbases.1) } else { (bbases.1, bbases.0) };
+        let (ain, aout) = if p == 0 { (accs.0, accs.1) } else { (accs.1, accs.0) };
+        let av0 = Reg(8);
+        let av1 = Reg(9);
+        k.push(Op::Ld { d: av0, space: MemSpace::Global, addr: abin, offset: 0, width: MemWidth::W32 });
+        k.push(Op::Ld { d: av1, space: MemSpace::Global, addr: abin, offset: 4, width: MemWidth::W32 });
+        let bv0 = Reg(10);
+        let bv1 = Reg(11);
+        k.push(Op::Ld { d: bv0, space: MemSpace::Global, addr: bbin, offset: 0, width: MemWidth::W32 });
+        k.push(Op::Ld { d: bv1, space: MemSpace::Global, addr: bbin, offset: 256, width: MemWidth::W32 });
+        let t = Reg(17);
+        k.push(Op::FFma { d: t, a: av0, b: bv0, c: ain });
+        k.push(Op::FFma { d: aout, a: av1, b: bv1, c: t });
+        k.push(Op::IAdd { d: about, a: abin, b: Src::Imm(8) });
+        k.push(Op::IAdd { d: bbout, a: bbin, b: Src::Imm(512) });
+    });
+    let acc = accs.0;
+
+    let ci = Reg(12);
+    k.push(Op::And { d: ci, a: gid, b: Src::Imm((N * N - 1) as i32) });
+    let caddr = Reg(13);
+    addr4(&mut k, caddr, Reg(8), ci, C as i32);
+    k.push(Op::St { space: MemSpace::Global, addr: caddr, offset: 0, v: acc, width: MemWidth::W32 });
+    k.push(Op::Exit);
+
+    Workload {
+        name: "matmul",
+        kernel: k.finish(),
+        launch: Launch::grid(4, 1024),
+        mem_bytes: C + N * N * 4,
+        init: |mem| {
+            fill_f32(mem, A as u32, (N * N) as usize, 0x21, -1.0, 1.0);
+            fill_f32(mem, B as u32, (N * N) as usize, 0x22, -1.0, 1.0);
+        },
+        output: (C, N * N),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcodes_sim::exec::{Detection, ExecConfig};
+    use swapcodes_sim::Executor;
+
+    #[test]
+    fn inner_products_match_host_reference() {
+        let w = workload();
+        let mut mem = w.build_memory();
+        let a = mem.read_f32_slice(A as u32, (N * N) as usize);
+        let b = mem.read_f32_slice(B as u32, (N * N) as usize);
+        let exec = Executor {
+            config: ExecConfig { cta_limit: Some(4), ..ExecConfig::default() },
+        };
+        let out = exec.run(&w.kernel, w.launch, &mut mem);
+        assert_eq!(out.detection, Detection::None);
+        // Spot-check one element against a host dot product.
+        let (r, c) = (3usize, 17usize);
+        let mut want = 0.0f32;
+        for kk in 0..N as usize {
+            want = a[r * 64 + kk].mul_add(b[kk * 64 + c], want);
+        }
+        let got = mem.read_f32_slice(C + 4 * (r as u32 * 64 + c as u32), 1)[0];
+        assert!((got - want).abs() < 1e-3, "got {got}, want {want}");
+    }
+}

@@ -1,0 +1,111 @@
+//! `srad_v2`-like diffusion stencil: FP32 derivatives with SFU reciprocals
+//! and four directional stores per cell — the highest checking-code bloat in
+//! the suite.
+
+use swapcodes_isa::{KernelBuilder, MemSpace, MemWidth, Op, Reg, Src};
+use swapcodes_sim::Launch;
+
+use crate::util::{addr4, counted_loop, fill_f32, fimm, global_tid};
+use crate::Workload;
+
+const IMG: i32 = 0; // 16K pixels
+const DN: u32 = 0x10000;
+const DS: u32 = 0x20000;
+const DW: u32 = 0x30000;
+const DE: u32 = 0x40000;
+const CELLS: u32 = 8 * 1024;
+
+/// Build the workload.
+#[must_use]
+pub fn workload() -> Workload {
+    let mut k = KernelBuilder::new("srad_v2");
+    let gid = Reg(0);
+    global_tid(&mut k, gid, Reg(1), Reg(2));
+    let cell = Reg(2);
+    k.push(Op::And { d: cell, a: gid, b: Src::Imm((CELLS - 1) as i32) });
+    let neg1 = Reg(3);
+    k.push(Op::Mov { d: neg1, a: fimm(-1.0) });
+
+    let counters = (Reg(4), Reg(20));
+    counted_loop(&mut k, counters, 8, |k, p| {
+        let ctr = if p == 0 { counters.0 } else { counters.1 };
+        let idx0 = Reg(5);
+        k.push(Op::IMad { d: idx0, a: ctr, b: Reg(6), c: cell });
+        let idx = Reg(21);
+        k.push(Op::And { d: idx, a: idx0, b: Src::Imm(16 * 1024 - 1) });
+        let addr = Reg(7);
+        addr4(k, addr, Reg(5), idx, IMG);
+        // Centre and 4 neighbours.
+        let c = Reg(8);
+        k.push(Op::Ld { d: c, space: MemSpace::Global, addr, offset: 0, width: MemWidth::W32 });
+        let n = Reg(9);
+        k.push(Op::Ld { d: n, space: MemSpace::Global, addr, offset: -512, width: MemWidth::W32 });
+        let s = Reg(10);
+        k.push(Op::Ld { d: s, space: MemSpace::Global, addr, offset: 512, width: MemWidth::W32 });
+        let wv = Reg(11);
+        k.push(Op::Ld { d: wv, space: MemSpace::Global, addr, offset: -4, width: MemWidth::W32 });
+        let e = Reg(12);
+        k.push(Op::Ld { d: e, space: MemSpace::Global, addr, offset: 4, width: MemWidth::W32 });
+        // Directional derivatives, normalised by 1/c (SFU).
+        let rc = Reg(13);
+        k.push(Op::MufuRcp { d: rc, a: c });
+        let oa = Reg(14);
+        addr4(k, oa, Reg(22), cell, 0);
+        for (nb, base, t, t2) in [
+            (n, DN, Reg(15), Reg(23)),
+            (s, DS, Reg(16), Reg(24)),
+            (wv, DW, Reg(17), Reg(25)),
+            (e, DE, Reg(18), Reg(26)),
+        ] {
+            k.push(Op::FFma { d: t, a: c, b: neg1, c: nb }); // nb - c
+            k.push(Op::FMul { d: t2, a: t, b: Src::Reg(rc) });
+            let sa = Reg(19);
+            k.push(Op::IAdd { d: sa, a: oa, b: Src::Imm(base as i32) });
+            k.push(Op::St { space: MemSpace::Global, addr: sa, offset: 0, v: t2, width: MemWidth::W32 });
+        }
+    });
+    k.push(Op::Exit);
+
+    // R6: row stride constant.
+    let kern = k.finish();
+    let mut v = vec![swapcodes_isa::Instr::new(Op::Mov {
+        d: Reg(6),
+        a: Src::Imm(129),
+    })];
+    for ins in kern.instrs() {
+        let mut i2 = *ins;
+        if let Op::Bra { target } = &mut i2.op {
+            *target += 1;
+        }
+        v.push(i2);
+    }
+
+    Workload {
+        name: "srad_v2",
+        kernel: swapcodes_isa::Kernel::from_instrs("srad_v2", v),
+        launch: Launch::grid(CELLS / 256, 256),
+        mem_bytes: DE + CELLS * 4,
+        init: |mem| fill_f32(mem, 512, 16 * 1024 - 256, 0x31, 0.5, 2.0),
+        output: (DN, CELLS),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcodes_sim::exec::{Detection, ExecConfig};
+    use swapcodes_sim::Executor;
+
+    #[test]
+    fn derivative_stores_complete() {
+        let w = workload();
+        let mut mem = w.build_memory();
+        let exec = Executor {
+            config: ExecConfig { cta_limit: Some(1), ..ExecConfig::default() },
+        };
+        let out = exec.run(&w.kernel, w.launch, &mut mem);
+        assert_eq!(out.detection, Detection::None);
+        // Store-dense kernel: high not-eligible share.
+        assert!(out.profile.not_eligible > 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Shared kernel-construction idioms and deterministic input generators.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use swapcodes_isa::{CmpOp, CmpTy, KernelBuilder, Op, Pred, Reg, SpecialReg, Src};
+use swapcodes_sim::GlobalMemory;
+
+/// The loop-counter predicate used by [`counted_loop`] (kernels must not
+/// reuse it inside loop bodies).
+pub const LOOP_PRED: Pred = Pred(0);
+
+/// Encode an `f32` immediate.
+#[must_use]
+pub fn fimm(x: f32) -> Src {
+    Src::Imm(x.to_bits() as i32)
+}
+
+/// Emit `d = ctaid * ntid + tid` (the global thread id), clobbering `t1`
+/// and `t2` (rotation-friendly: no instruction writes a register it reads).
+pub fn global_tid(k: &mut KernelBuilder, d: Reg, t1: Reg, t2: Reg) {
+    k.push(Op::S2R {
+        d,
+        sr: SpecialReg::CtaIdX,
+    });
+    k.push(Op::S2R {
+        d: t1,
+        sr: SpecialReg::NTidX,
+    });
+    k.push(Op::IMul {
+        d: t2,
+        a: d,
+        b: Src::Reg(t1),
+    });
+    k.push(Op::S2R {
+        d: t1,
+        sr: SpecialReg::TidX,
+    });
+    k.push(Op::IAdd {
+        d,
+        a: t2,
+        b: Src::Reg(t1),
+    });
+}
+
+/// Emit `d = base + idx * 4` (byte address of a 32-bit array element),
+/// staging the shifted index in `t` so no instruction reuses its destination
+/// as a source (real unrolled SASS is register-rotated the same way, which
+/// is what Swap-ECC's shared-register duplication requires, §III-A).
+pub fn addr4(k: &mut KernelBuilder, d: Reg, t: Reg, idx: Reg, base: i32) {
+    debug_assert_ne!(d, t, "address staging needs a distinct temp");
+    k.push(Op::Shl {
+        d: t,
+        a: idx,
+        b: Src::Imm(2),
+    });
+    k.push(Op::IAdd {
+        d,
+        a: t,
+        b: Src::Imm(base),
+    });
+}
+
+/// Emit a `count`-iteration loop unrolled by two, with a ping-ponged counter
+/// pair `(c0, c1)` so the trip count maintenance never writes a register it
+/// reads (mirroring production register rotation). The body closure receives
+/// the unroll parity (0/1) so workloads can rotate their own loop-carried
+/// registers.
+///
+/// # Panics
+///
+/// Panics unless `count` is positive and even.
+pub fn counted_loop(
+    k: &mut KernelBuilder,
+    counters: (Reg, Reg),
+    count: i32,
+    mut body: impl FnMut(&mut KernelBuilder, u32),
+) {
+    assert!(count > 0 && count % 2 == 0, "count must be positive and even");
+    let (c0, c1) = counters;
+    assert_ne!(c0, c1, "counter pair must be distinct");
+    k.push(Op::Mov {
+        d: c0,
+        a: Src::Imm(count),
+    });
+    let top = k.label();
+    k.bind(top);
+    body(k, 0);
+    k.push(Op::ISub {
+        d: c1,
+        a: c0,
+        b: Src::Imm(1),
+    });
+    body(k, 1);
+    k.push(Op::ISub {
+        d: c0,
+        a: c1,
+        b: Src::Imm(1),
+    });
+    k.push(Op::SetP {
+        p: LOOP_PRED,
+        cmp: CmpOp::Ne,
+        ty: CmpTy::I32,
+        a: c0,
+        b: Src::Imm(0),
+    });
+    k.branch_if(top, LOOP_PRED, true);
+}
+
+/// Fill `n` f32 words at `addr` with deterministic values in `lo..hi`.
+pub fn fill_f32(mem: &mut GlobalMemory, addr: u32, n: usize, seed: u64, lo: f32, hi: f32) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in 0..n {
+        let v: f32 = rng.gen_range(lo..hi);
+        mem.write(addr + 4 * i as u32, v.to_bits());
+    }
+}
+
+/// Fill `n` u32 words at `addr` with deterministic values below `bound`.
+pub fn fill_u32(mem: &mut GlobalMemory, addr: u32, n: usize, seed: u64, bound: u32) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in 0..n {
+        let v: u32 = rng.gen_range(0..bound);
+        mem.write(addr + 4 * i as u32, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcodes_sim::{Executor, Launch};
+
+    #[test]
+    fn counted_loop_runs_count_times() {
+        let mut k = KernelBuilder::new("loop");
+        // R0 accumulates iterations; store to [0].
+        k.push(Op::Mov {
+            d: Reg(0),
+            a: Src::Imm(0),
+        });
+        counted_loop(&mut k, (Reg(1), Reg(3)), 10, |k, _parity| {
+            k.push(Op::IAdd {
+                d: Reg(0),
+                a: Reg(0),
+                b: Src::Imm(1),
+            });
+        });
+        k.push(Op::Mov {
+            d: Reg(2),
+            a: Src::Imm(0),
+        });
+        k.push(Op::St {
+            space: swapcodes_isa::MemSpace::Global,
+            addr: Reg(2),
+            offset: 0,
+            v: Reg(0),
+            width: swapcodes_isa::MemWidth::W32,
+        });
+        k.push(Op::Exit);
+        let kernel = k.finish();
+        let mut mem = GlobalMemory::new(64);
+        let out = Executor::new().run(&kernel, Launch::grid(1, 32), &mut mem);
+        assert_eq!(out.detection, swapcodes_sim::exec::Detection::None);
+        assert_eq!(mem.read(0), 10);
+    }
+
+    #[test]
+    fn global_tid_is_unique_across_grid() {
+        let mut k = KernelBuilder::new("gid");
+        global_tid(&mut k, Reg(0), Reg(1), Reg(2));
+        addr4(&mut k, Reg(2), Reg(3), Reg(0), 0);
+        k.push(Op::St {
+            space: swapcodes_isa::MemSpace::Global,
+            addr: Reg(2),
+            offset: 0,
+            v: Reg(0),
+            width: swapcodes_isa::MemWidth::W32,
+        });
+        k.push(Op::Exit);
+        let kernel = k.finish();
+        let mut mem = GlobalMemory::new(4 * 64);
+        Executor::new().run(&kernel, Launch::grid(2, 32), &mut mem);
+        let got = mem.read_u32_slice(0, 64);
+        let want: Vec<u32> = (0..64).collect();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,50 @@
+//! End-to-end architecture-level fault injection: sweep random pipeline
+//! faults through a workload under each protection scheme and tabulate the
+//! trap / DUE / crash / masked / SDC outcomes.
+//!
+//! Run with: `cargo run --release --example pipeline_fault_injection [trials]`
+
+use swapcodes::core::{PredictorSet, Scheme};
+use swapcodes::inject::arch::arch_campaign;
+use swapcodes::workloads::by_name;
+
+fn main() {
+    let trials: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let w = by_name("matmul").expect("matmul workload");
+    println!(
+        "injecting {trials} random single-bit pipeline faults per scheme into '{}'\n",
+        w.name
+    );
+    println!(
+        "{:<14} {:>5} {:>5} {:>6} {:>7} {:>5} {:>9}",
+        "scheme", "trap", "due", "crash", "masked", "sdc", "coverage"
+    );
+    for (i, scheme) in [
+        Scheme::Baseline,
+        Scheme::SwDup,
+        Scheme::SwapEcc,
+        Scheme::SwapPredict(PredictorSet::MAD),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let out = arch_campaign(&w, scheme, trials, 0xFA57 + i as u64);
+        println!(
+            "{:<14} {:>5} {:>5} {:>6} {:>7} {:>5} {:>8.1}%",
+            scheme.label(),
+            out.trap,
+            out.due,
+            out.crash,
+            out.masked,
+            out.sdc,
+            out.coverage() * 100.0
+        );
+    }
+    println!(
+        "\ncoverage = detected / unmasked. The baseline detects nothing it \
+         doesn't crash on; every duplication scheme contains the rest."
+    );
+}

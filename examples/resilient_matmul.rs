@@ -1,0 +1,48 @@
+//! Protect the matrix-multiply workload with every scheme and compare
+//! performance, code size, register pressure and occupancy — a miniature
+//! Fig. 12 for one benchmark.
+//!
+//! Run with: `cargo run --release --example resilient_matmul`
+
+use swapcodes::core::{apply, PredictorSet, Scheme};
+use swapcodes::sim::timing::{simulate_kernel, TimingConfig};
+use swapcodes::workloads::by_name;
+
+fn main() {
+    let w = by_name("matmul").expect("matmul workload");
+    let cfg = TimingConfig::default();
+
+    println!(
+        "{:<22} {:>7} {:>6} {:>6} {:>10} {:>9}",
+        "scheme", "instrs", "regs", "warps", "cycles", "runtime"
+    );
+    let mut base_cycles = None;
+    for scheme in [
+        Scheme::Baseline,
+        Scheme::SwDup,
+        Scheme::SwapEcc,
+        Scheme::SwapPredict(PredictorSet::ADD_SUB),
+        Scheme::SwapPredict(PredictorSet::MAD),
+        Scheme::SwapPredict(PredictorSet::FP_MAD),
+    ] {
+        let t = apply(scheme, &w.kernel, w.launch).expect("intra-thread schemes apply");
+        let mut mem = w.build_memory();
+        let timing = simulate_kernel(&t.kernel, t.launch, &mut mem, &cfg);
+        let base = *base_cycles.get_or_insert(timing.cycles);
+        println!(
+            "{:<22} {:>7} {:>6} {:>6} {:>10} {:>8.2}x",
+            scheme.label(),
+            t.kernel.len(),
+            t.kernel.register_count(),
+            timing.occupancy.warps,
+            timing.cycles,
+            timing.cycles as f64 / base as f64,
+        );
+    }
+
+    // Inter-thread duplication cannot run matmul at all (1024-thread CTAs).
+    match apply(Scheme::InterThread { checked: true }, &w.kernel, w.launch) {
+        Err(e) => println!("\ninter-thread duplication: {e}"),
+        Ok(_) => unreachable!("matmul CTAs are too large to split"),
+    }
+}

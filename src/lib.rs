@@ -1,0 +1,27 @@
+//! SwapCodes: a full reproduction of "SwapCodes: Error Codes for Hardware-
+//! Software Cooperative GPU Pipeline Error Detection" (MICRO 2018).
+//!
+//! This facade crate re-exports the workspace's public surface:
+//!
+//! * [`ecc`] — error codes (Hsiao SEC-DED, SEC, parity, low-cost residues),
+//!   the SEC-DED-DP / SEC-DP reporting algorithms and residue arithmetic;
+//! * [`gates`] — gate-level arithmetic units, fault injection and NAND2
+//!   area accounting;
+//! * [`isa`] — the SASS-like kernel IR;
+//! * [`sim`] — the SIMT SM simulator with an ECC-protected register file;
+//! * [`core`] — the SwapCodes compiler passes and protection schemes;
+//! * [`workloads`] — the Rodinia/SNAP/matmul-like benchmark suite;
+//! * [`inject`] — gate-level and architecture-level injection campaigns.
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for the paper-figure
+//! reproductions.
+
+#![forbid(unsafe_code)]
+
+pub use swapcodes_core as core;
+pub use swapcodes_ecc as ecc;
+pub use swapcodes_gates as gates;
+pub use swapcodes_inject as inject;
+pub use swapcodes_isa as isa;
+pub use swapcodes_sim as sim;
+pub use swapcodes_workloads as workloads;

@@ -1,0 +1,209 @@
+//! Cross-crate integration tests: every protection scheme must preserve
+//! program semantics, and the detection machinery must catch injected
+//! pipeline errors end to end.
+
+use swapcodes_core::{apply, PredictorSet, Scheme};
+use swapcodes_sim::exec::{Detection, ExecConfig};
+use swapcodes_sim::{Executor, FaultSpec, GlobalMemory};
+use swapcodes_workloads::{all, by_name, Workload};
+
+fn run_scheme(w: &Workload, scheme: Scheme, ctas: u32) -> (GlobalMemory, Detection) {
+    let t = apply(scheme, &w.kernel, w.launch).expect("transform");
+    let mut mem = w.build_memory();
+    let exec = Executor {
+        config: ExecConfig {
+            protection: t.protection,
+            cta_limit: Some(ctas),
+            ..ExecConfig::default()
+        },
+    };
+    let out = exec.run(&t.kernel, t.launch, &mut mem);
+    assert!(!out.truncated, "{}/{:?} truncated", w.name, scheme);
+    (mem, out.detection)
+}
+
+#[test]
+fn every_scheme_preserves_every_workload_output() {
+    for w in all() {
+        let (base, d) = run_scheme(&w, Scheme::Baseline, 2);
+        assert_eq!(d, Detection::None, "{} baseline", w.name);
+        let mut schemes = vec![
+            Scheme::SwDup,
+            Scheme::SwapEcc,
+            Scheme::SwapPredict(PredictorSet::ADD_SUB),
+            Scheme::SwapPredict(PredictorSet::MAD),
+            Scheme::SwapPredict(PredictorSet::FP_MAD),
+        ];
+        if apply(Scheme::InterThread { checked: true }, &w.kernel, w.launch).is_ok() {
+            schemes.push(Scheme::InterThread { checked: true });
+            schemes.push(Scheme::InterThread { checked: false });
+        }
+        for scheme in schemes {
+            let (mem, det) = run_scheme(&w, scheme, 2);
+            assert_eq!(det, Detection::None, "{} {:?} flagged a fault-free run", w.name, scheme);
+            assert_eq!(
+                w.output_words(&base),
+                w.output_words(&mem),
+                "{} output diverged under {:?}",
+                w.name,
+                scheme
+            );
+        }
+    }
+}
+
+#[test]
+fn interthread_rejects_matmul_and_snap() {
+    let mm = by_name("matmul").expect("matmul");
+    assert!(apply(Scheme::InterThread { checked: true }, &mm.kernel, mm.launch).is_err());
+    let snap = by_name("snap").expect("snap");
+    assert!(apply(Scheme::InterThread { checked: true }, &snap.kernel, snap.launch).is_err());
+}
+
+fn inject(
+    w: &Workload,
+    scheme: Scheme,
+    fault: FaultSpec,
+) -> (Detection, bool /* output corrupted */) {
+    let t = apply(scheme, &w.kernel, w.launch).expect("transform");
+    let golden = {
+        let mut mem = w.build_memory();
+        let exec = Executor {
+            config: ExecConfig {
+                protection: t.protection,
+                cta_limit: Some(1),
+                ..ExecConfig::default()
+            },
+        };
+        exec.run(&t.kernel, t.launch, &mut mem);
+        w.output_words(&mem)
+    };
+    let mut mem = w.build_memory();
+    let exec = Executor {
+        config: ExecConfig {
+            protection: t.protection,
+            fault: Some(fault),
+            cta_limit: Some(1),
+            ..ExecConfig::default()
+        },
+    };
+    let out = exec.run(&t.kernel, t.launch, &mut mem);
+    assert!(out.faults_applied > 0 || out.detection != Detection::None);
+    (out.detection, w.output_words(&mem) != golden)
+}
+
+#[test]
+fn baseline_faults_corrupt_silently() {
+    // Not every strike corrupts (some are architecturally masked); at least
+    // one of these must reach the output silently.
+    let w = by_name("matmul").expect("matmul");
+    let mut corrupted_any = false;
+    for idx in [100u64, 300, 500, 700, 900] {
+        let (det, corrupted) = inject(&w, Scheme::Baseline, FaultSpec::single_bit(idx, 3, 4));
+        assert_eq!(det, Detection::None, "baseline has no detection");
+        corrupted_any |= corrupted;
+    }
+    assert!(corrupted_any, "no strike reached the output");
+}
+
+#[test]
+fn swdup_traps_on_original_strike() {
+    // Some strikes are architecturally masked (e.g. a flipped bit that a
+    // following AND discards); any unmasked strike must trap, and at least
+    // one of these must be unmasked.
+    let w = by_name("matmul").expect("matmul");
+    let mut trapped = false;
+    for (idx, bit) in [(500u64, 30u32), (500, 4), (700, 12), (900, 3)] {
+        let (det, corrupted) = inject(&w, Scheme::SwDup, FaultSpec::single_bit(idx, 3, bit));
+        match det {
+            Detection::Trap { .. } => trapped = true,
+            Detection::None => assert!(!corrupted, "SDC escaped the checks"),
+            other => panic!("unexpected detection {other:?}"),
+        }
+    }
+    assert!(trapped, "no strike reached a software check");
+}
+
+#[test]
+fn swdup_traps_on_shadow_strike() {
+    let w = by_name("matmul").expect("matmul");
+    let (det, corrupted) =
+        inject(&w, Scheme::SwDup, FaultSpec::single_bit_shadow(500, 3, 30));
+    assert!(matches!(det, Detection::Trap { .. }), "got {det:?}");
+    let _ = corrupted;
+}
+
+#[test]
+fn swapecc_raises_due_on_original_strike() {
+    let w = by_name("matmul").expect("matmul");
+    let (det, _) = inject(&w, Scheme::SwapEcc, FaultSpec::single_bit(500, 3, 30));
+    assert!(
+        matches!(det, Detection::Due { pipeline_suspected: true, .. }),
+        "expected a pipeline DUE, got {det:?}"
+    );
+}
+
+#[test]
+fn swapecc_raises_due_on_shadow_strike() {
+    // A shadow strike leaves the data correct but poisons the check bits:
+    // the next read of the register must raise a DUE (error containment —
+    // the corrupted codeword never reaches memory).
+    let w = by_name("matmul").expect("matmul");
+    let (det, _) = inject(&w, Scheme::SwapEcc, FaultSpec::single_bit_shadow(500, 3, 30));
+    assert!(matches!(det, Detection::Due { .. }), "got {det:?}");
+}
+
+#[test]
+fn swap_predict_detects_faults_in_predicted_instructions() {
+    let w = by_name("matmul").expect("matmul");
+    // Under Pre-MAD the FFMA stays duplicated but integer adds are
+    // predicted; strike an original (predicted instructions count as
+    // originals).
+    let (det, _) = inject(
+        &w,
+        Scheme::SwapPredict(PredictorSet::FP_MAD),
+        FaultSpec::single_bit(500, 3, 30),
+    );
+    assert!(
+        matches!(det, Detection::Due { .. }),
+        "prediction must still detect datapath faults, got {det:?}"
+    );
+}
+
+#[test]
+fn interthread_traps_on_corrupted_store_operand() {
+    // Corrupt lane 0's thread-index computation in the prologue: its pair
+    // partner (lane 1) disagrees, so the shuffle check before the atomic
+    // must trap.
+    let w = by_name("bfs").expect("bfs");
+    let (det, _) = inject(
+        &w,
+        Scheme::InterThread { checked: true },
+        FaultSpec::single_bit(2, 0, 3),
+    );
+    assert!(
+        matches!(det, Detection::Trap { .. }),
+        "expected a shuffle-check trap, got {det:?}"
+    );
+}
+
+#[test]
+fn every_workload_and_transform_validates() {
+    use swapcodes_isa::validate::validate;
+    for w in all() {
+        validate(&w.kernel).unwrap_or_else(|e| panic!("{} invalid: {e:?}", w.name));
+        for scheme in [
+            Scheme::SwDup,
+            Scheme::SwapEcc,
+            Scheme::SwapPredict(PredictorSet::FP_MAD),
+        ] {
+            let t = apply(scheme, &w.kernel, w.launch).expect("applies");
+            validate(&t.kernel)
+                .unwrap_or_else(|e| panic!("{} under {scheme:?} invalid: {e:?}", w.name));
+        }
+        if let Ok(t) = apply(Scheme::InterThread { checked: true }, &w.kernel, w.launch) {
+            validate(&t.kernel)
+                .unwrap_or_else(|e| panic!("{} inter-thread invalid: {e:?}", w.name));
+        }
+    }
+}

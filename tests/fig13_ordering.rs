@@ -1,0 +1,39 @@
+//! The paper sorts its benchmarks by checking-code bloat (Fig. 13's x-axis):
+//! lavaMD needs the least checking, srad_v2 the most. The synthetic suite
+//! must preserve those endpoints, since several of the paper's arguments
+//! (e.g. which programs benefit most from Swap-ECC) hinge on them.
+
+use swapcodes_core::{apply, Scheme};
+use swapcodes_sim::exec::{ExecConfig, Executor};
+use swapcodes_workloads::rodinia;
+
+fn checking_fraction(w: &swapcodes_workloads::Workload) -> f64 {
+    let t = apply(Scheme::SwDup, &w.kernel, w.launch).expect("sw-dup applies");
+    let mut mem = w.build_memory();
+    let exec = Executor {
+        config: ExecConfig {
+            cta_limit: Some(2),
+            ..ExecConfig::default()
+        },
+    };
+    let p = exec.run(&t.kernel, t.launch, &mut mem).profile;
+    p.checking as f64 / p.original_program() as f64
+}
+
+#[test]
+fn checking_bloat_ordering_matches_the_paper() {
+    let mut v: Vec<(&'static str, f64)> = rodinia()
+        .iter()
+        .map(|w| (w.name, checking_fraction(w)))
+        .collect();
+    v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fractions"));
+    let names: Vec<&str> = v.iter().map(|(n, _)| *n).collect();
+    // Paper's endpoints: lavaMD needs the least checking code, srad_v2 the
+    // most (Fig. 13 is sorted by this metric).
+    assert_eq!(names.first(), Some(&"lavaMD"), "{v:?}");
+    assert_eq!(names.last(), Some(&"srad_v2"), "{v:?}");
+    // And the paper's range statement: checking is a two-digit percentage of
+    // the original program for the heavy cases.
+    assert!(v.last().expect("non-empty").1 > 0.30);
+    assert!(v.first().expect("non-empty").1 < 0.25);
+}
