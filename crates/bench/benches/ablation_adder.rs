@@ -23,8 +23,13 @@ fn main() {
             ]
         })
         .collect();
-    let mut t = Table::new(vec!["adder", "gates", "masking", "1 bit", "2-3 bits", ">=4 bits"]);
-    for (name, unit) in [("Kogge-Stone", fxp_add32()), ("ripple-carry", fxp_add32_ripple())] {
+    let mut t = Table::new(vec![
+        "adder", "gates", "masking", "1 bit", "2-3 bits", ">=4 bits",
+    ]);
+    for (name, unit) in [
+        ("Kogge-Stone", fxp_add32()),
+        ("ripple-carry", fxp_add32_ripple()),
+    ] {
         let res = run_unit_campaign(&unit, &inputs, &CampaignConfig::default());
         let p = res.patterns();
         let pct = |x: u64| format!("{:.1}%", x as f64 / p.total() as f64 * 100.0);

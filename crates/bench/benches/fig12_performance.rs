@@ -1,42 +1,9 @@
 //! Figure 12: runtime of SW-Dup, Swap-ECC and the Swap-Predict variants
 //! relative to the un-duplicated program, per benchmark and mean.
 
-use swapcodes_bench::{banner, mean, measure, pct_over, Table};
-use swapcodes_core::Scheme;
-use swapcodes_workloads::all;
+use swapcodes_bench::{figures, SweepEngine};
 
 fn main() {
-    banner(
-        "Figure 12 — SwapCodes performance",
-        "Runtime relative to the original program on the simulated SM \
-         (paper means: SW-Dup +49%, Swap-ECC +21%, Pre AddSub +16%, Pre MAD +15%).",
-    );
-
-    let schemes = Scheme::figure12_sweep();
-    let mut headers = vec!["benchmark".to_owned(), "regs".to_owned(), "warps".to_owned()];
-    headers.extend(schemes.iter().map(Scheme::label));
-    let mut table = Table::new(headers);
-
-    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
-    for w in all() {
-        let base = measure(&w, Scheme::Baseline).expect("baseline always applies");
-        let mut cells = vec![
-            w.name.to_owned(),
-            w.kernel.register_count().to_string(),
-            base.occupancy.warps.to_string(),
-        ];
-        for (i, &s) in schemes.iter().enumerate() {
-            let t = measure(&w, s).expect("intra-thread schemes always apply");
-            let rel = t.relative_to(&base);
-            sums[i].push(rel);
-            cells.push(pct_over(rel));
-        }
-        table.row(cells);
-    }
-    let mut mean_cells = vec!["MEAN".to_owned(), String::new(), String::new()];
-    for col in &sums {
-        mean_cells.push(pct_over(mean(col)));
-    }
-    table.row(mean_cells);
-    table.print();
+    let engine = SweepEngine::new();
+    figures::fig12_performance(&engine);
 }

@@ -3,48 +3,9 @@
 //! checked-duplicated, compiler-inserted, checking), measured through the
 //! simulator's instruction-classifying profiler.
 
-use swapcodes_bench::{banner, profile, Table};
-use swapcodes_core::Scheme;
-use swapcodes_workloads::all;
+use swapcodes_bench::{figures, SweepEngine};
 
 fn main() {
-    banner(
-        "Figure 13 — dynamic instruction bloat",
-        "Per-category dynamic instructions relative to the original program \
-         (paper means: SW-Dup 191%, Swap-ECC 163%, Pre AddSub 145%, Pre MAD 133%; \
-         checking code alone is 11-35% of the original program).",
-    );
-
-    let schemes = Scheme::figure12_sweep();
-    let mut table = Table::new(vec![
-        "benchmark", "scheme", "total", "not-elig", "predicted", "duplicated", "compiler",
-        "checking",
-    ]);
-
-    let mut totals: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
-    for w in all() {
-        for (i, &s) in schemes.iter().enumerate() {
-            let p = profile(&w, s).expect("profiles");
-            let orig = p.original_program() as f64;
-            let pc = |x: u64| format!("{:.0}%", x as f64 / orig * 100.0);
-            totals[i].push(p.total() as f64 / orig);
-            table.row(vec![
-                w.name.to_owned(),
-                s.label(),
-                format!("{:.0}%", p.bloat() * 100.0),
-                pc(p.not_eligible),
-                pc(p.eligible_predicted),
-                pc(p.eligible_plain + p.shadow),
-                pc(p.compiler_inserted),
-                pc(p.checking),
-            ]);
-        }
-    }
-    table.print();
-
-    println!();
-    for (i, &s) in schemes.iter().enumerate() {
-        let m = swapcodes_bench::mean(&totals[i]);
-        println!("  mean total bloat {:<12} {:>5.0}%", s.label(), m * 100.0);
-    }
+    let engine = SweepEngine::new();
+    figures::fig13_instruction_bloat(&engine);
 }

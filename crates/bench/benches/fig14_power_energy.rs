@@ -2,49 +2,9 @@
 //! duplication and the SwapCodes variants for the two highest-utilisation
 //! workloads (the paper uses SNAP and lavaMD-class kernels).
 
-use swapcodes_bench::{banner, traces_and_timing, Table};
-use swapcodes_core::{PredictorSet, Scheme};
-use swapcodes_sim::power::{estimate, PowerModel};
-use swapcodes_workloads::by_name;
+use swapcodes_bench::{figures, SweepEngine};
 
 fn main() {
-    banner(
-        "Figure 14 — power and energy overheads",
-        "Relative GPU power and energy vs the original program (paper: worst-\
-         case +15% power for every scheme; energy tracks the slowdown, e.g. \
-         SNAP >2x energy under SW-Dup but only ~1.11x under Swap-ECC).",
-    );
-
-    let model = PowerModel::default();
-    let mut table = Table::new(vec!["benchmark", "scheme", "power", "energy", "runtime"]);
-    for name in ["snap", "lavaMD"] {
-        let w = by_name(name).expect("workload exists");
-        let (bt, btiming) = traces_and_timing(&w, Scheme::Baseline).expect("baseline");
-        let base = estimate(&model, &apply_kernel(&w, Scheme::Baseline), &bt, &btiming);
-        for scheme in [
-            Scheme::SwDup,
-            Scheme::SwapEcc,
-            Scheme::SwapPredict(PredictorSet::MAD),
-        ] {
-            let (traces, timing) = traces_and_timing(&w, scheme).expect("scheme applies");
-            let est = estimate(&model, &apply_kernel(&w, scheme), &traces, &timing);
-            table.row(vec![
-                name.to_owned(),
-                scheme.label(),
-                format!("{:.2}x", est.power_rel(&base)),
-                format!(
-                    "{:.2}x",
-                    est.energy_rel(&base) * timing.waves as f64 / btiming.waves as f64
-                ),
-                format!("{:.2}x", timing.relative_to(&btiming)),
-            ]);
-        }
-    }
-    table.print();
-}
-
-fn apply_kernel(w: &swapcodes_workloads::Workload, s: Scheme) -> swapcodes_isa::Kernel {
-    swapcodes_core::apply(s, &w.kernel, w.launch)
-        .expect("scheme applies")
-        .kernel
+    let engine = SweepEngine::new();
+    figures::fig14_power_energy(&engine);
 }

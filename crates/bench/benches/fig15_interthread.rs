@@ -1,55 +1,9 @@
 //! Figure 15: inter-thread (warp-splitting) duplication performance, with
 //! and without checking instructions, against the intra-thread baseline.
 
-use swapcodes_bench::{banner, mean, measure, pct_over, Table};
-use swapcodes_core::Scheme;
-use swapcodes_workloads::all;
+use swapcodes_bench::{figures, SweepEngine};
 
 fn main() {
-    banner(
-        "Figure 15 — inter-thread duplication",
-        "Runtime relative to the original program (paper: inter-thread mean \
-         +113% / worst +241%, vs intra-thread +49% / +99%; removing checking \
-         still leaves +57% / +114%, so intra-thread is the stronger baseline; \
-         matmul and SNAP are not transformable at all).",
-    );
-
-    let mut table = Table::new(vec![
-        "benchmark",
-        "Inter-Thread",
-        "Inter (no checks)",
-        "SW-Dup (intra)",
-    ]);
-    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    for w in all() {
-        let base = measure(&w, Scheme::Baseline).expect("baseline");
-        let mut cells = vec![w.name.to_owned()];
-        let schemes = [
-            Scheme::InterThread { checked: true },
-            Scheme::InterThread { checked: false },
-            Scheme::SwDup,
-        ];
-        let mut applicable = true;
-        for (i, &s) in schemes.iter().enumerate() {
-            match measure(&w, s) {
-                Some(t) => {
-                    let rel = t.relative_to(&base);
-                    sums[i].push(rel);
-                    cells.push(pct_over(rel));
-                }
-                None => {
-                    applicable = false;
-                    cells.push("n/a".to_owned());
-                }
-            }
-        }
-        let _ = applicable;
-        table.row(cells);
-    }
-    let mut mean_cells = vec!["MEAN (where applicable)".to_owned()];
-    for col in &sums {
-        mean_cells.push(pct_over(mean(col)));
-    }
-    table.row(mean_cells);
-    table.print();
+    let engine = SweepEngine::new();
+    figures::fig15_interthread(&engine);
 }

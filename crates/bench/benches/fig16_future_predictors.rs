@@ -3,52 +3,9 @@
 //! other-fixed-point, floating-point add/sub and floating-point MAD
 //! prediction.
 
-use swapcodes_bench::{banner, mean, measure, pct_over, Table};
-use swapcodes_core::Scheme;
-use swapcodes_workloads::all;
+use swapcodes_bench::{figures, SweepEngine};
 
 fn main() {
-    banner(
-        "Figure 16 — future check-bit predictors",
-        "Runtime relative to the original program (paper: mean falls from \
-         +15% with Pre MAD to +5% with Fp-MAD, and the lavaMD worst case \
-         from +74% to +28%, motivating floating-point predictors).",
-    );
-
-    let schemes = Scheme::figure16_sweep();
-    let mut headers = vec!["benchmark".to_owned()];
-    headers.extend(schemes.iter().map(Scheme::label));
-    let mut table = Table::new(headers);
-
-    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
-    let mut worst: Vec<(f64, String)> = vec![(0.0, String::new()); schemes.len()];
-    for w in all() {
-        let base = measure(&w, Scheme::Baseline).expect("baseline");
-        let mut cells = vec![w.name.to_owned()];
-        for (i, &s) in schemes.iter().enumerate() {
-            let t = measure(&w, s).expect("swap-predict always applies");
-            let rel = t.relative_to(&base);
-            sums[i].push(rel);
-            if rel > worst[i].0 {
-                worst[i] = (rel, w.name.to_owned());
-            }
-            cells.push(pct_over(rel));
-        }
-        table.row(cells);
-    }
-    let mut mean_cells = vec!["MEAN".to_owned()];
-    for col in &sums {
-        mean_cells.push(pct_over(mean(col)));
-    }
-    table.row(mean_cells);
-    table.print();
-    println!();
-    for (i, s) in schemes.iter().enumerate() {
-        println!(
-            "  worst case {:<12} {} ({})",
-            s.label(),
-            pct_over(worst[i].0),
-            worst[i].1
-        );
-    }
+    let engine = SweepEngine::new();
+    figures::fig16_future_predictors(&engine);
 }

@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use swapcodes_core::{apply, Scheme};
-use swapcodes_ecc::{
-    CodeKind, HsiaoSecDed, ResidueCode, ResidueMadPredictor, SystematicCode,
-};
+use swapcodes_ecc::{CodeKind, HsiaoSecDed, ResidueCode, ResidueMadPredictor, SystematicCode};
 use swapcodes_gates::units::fxp_add32;
 use swapcodes_sim::timing::{simulate_kernel, TimingConfig};
 use swapcodes_workloads::by_name;
@@ -31,7 +29,7 @@ fn bench_codes(c: &mut Criterion) {
         g.bench_function(format!("{}_encode", kind.label()), |b| {
             let mut x = 0u32;
             b.iter(|| {
-                x = x.wrapping_add(0x1234_567);
+                x = x.wrapping_add(0x0123_4567);
                 black_box(code.encode(black_box(x)))
             });
         });
@@ -55,7 +53,12 @@ fn bench_gates(c: &mut Criterion) {
     let nodes = unit.netlist().injectable_nodes();
     let batch: Vec<_> = nodes.into_iter().take(63).collect();
     g.bench_function("fxp_add32_batch63_inject", |b| {
-        b.iter(|| black_box(unit.netlist().evaluate_batch(black_box(&[123, 456]), &batch)));
+        b.iter(|| {
+            black_box(
+                unit.netlist()
+                    .evaluate_batch(black_box(&[123, 456]), &batch),
+            )
+        });
     });
     g.finish();
 }

@@ -30,9 +30,16 @@ fn main() {
     let enc127 = opt(&residue_encoder(7));
 
     let mut t = Table::new(vec!["unit", "FFs", "NAND2", "overhead vs", "ours", "paper"]);
-    let row = |t: &mut Table, name: &str, r: &swapcodes_gates::area::AreaReport, base: Option<(&str, f64)>, paper: &str| {
+    let row = |t: &mut Table,
+               name: &str,
+               r: &swapcodes_gates::area::AreaReport,
+               base: Option<(&str, f64)>,
+               paper: &str| {
         let (vs, ours) = match base {
-            Some((b, a)) => (b.to_owned(), format!("+{:.1}%", (r.nand2_total / a) * 100.0)),
+            Some((b, a)) => (
+                b.to_owned(),
+                format!("+{:.1}%", (r.nand2_total / a) * 100.0),
+            ),
             None => ("-".to_owned(), "-".to_owned()),
         };
         t.row(vec![
@@ -52,25 +59,79 @@ fn main() {
     row(&mut t, "Mod-127 encoder", &enc127, None, "392");
 
     let mp = opt(&move_propagate_mux(7));
-    row(&mut t, "Move-propagate", &mp, Some(("SECDED dec.", dec.nand2_total)), "+27.39%");
+    row(
+        &mut t,
+        "Move-propagate",
+        &mp,
+        Some(("SECDED dec.", dec.nand2_total)),
+        "+27.39%",
+    );
     let dp = opt(&secded_dp_report_logic());
-    row(&mut t, "SEC-(DED)-DP report", &dp, Some(("SECDED dec.", dec.nand2_total)), "+22.65%");
+    row(
+        &mut t,
+        "SEC-(DED)-DP report",
+        &dp,
+        Some(("SECDED dec.", dec.nand2_total)),
+        "+22.65%",
+    );
 
     let a3 = opt(&residue_add_predictor(2));
-    row(&mut t, "Add predictor mod-3", &a3, Some(("Add", add.nand2_total)), "+5.91%");
+    row(
+        &mut t,
+        "Add predictor mod-3",
+        &a3,
+        Some(("Add", add.nand2_total)),
+        "+5.91%",
+    );
     let a127 = opt(&residue_add_predictor(7));
-    row(&mut t, "Add predictor mod-127", &a127, Some(("Add", add.nand2_total)), "+21.57%");
+    row(
+        &mut t,
+        "Add predictor mod-127",
+        &a127,
+        Some(("Add", add.nand2_total)),
+        "+21.57%",
+    );
     let m3 = opt(&mad_residue_predictor(2));
-    row(&mut t, "MAD predictor mod-3", &m3, Some(("MAD", mad.nand2_total)), "+0.98%");
+    row(
+        &mut t,
+        "MAD predictor mod-3",
+        &m3,
+        Some(("MAD", mad.nand2_total)),
+        "+0.98%",
+    );
     let m127 = opt(&mad_residue_predictor(7));
-    row(&mut t, "MAD predictor mod-127", &m127, Some(("MAD", mad.nand2_total)), "+5.87%");
+    row(
+        &mut t,
+        "MAD predictor mod-127",
+        &m127,
+        Some(("MAD", mad.nand2_total)),
+        "+5.87%",
+    );
     let r3 = opt(&recoding_residue_encoder(2));
-    row(&mut t, "Recoding enc. mod-3", &r3, Some(("Mod-3 enc.", enc3.nand2_total)), "+108.84%");
+    row(
+        &mut t,
+        "Recoding enc. mod-3",
+        &r3,
+        Some(("Mod-3 enc.", enc3.nand2_total)),
+        "+108.84%",
+    );
     let r127 = opt(&recoding_residue_encoder(7));
-    row(&mut t, "Recoding enc. mod-127", &r127, Some(("Mod-127 enc.", enc127.nand2_total)), "+119.86%");
+    row(
+        &mut t,
+        "Recoding enc. mod-127",
+        &r127,
+        Some(("Mod-127 enc.", enc127.nand2_total)),
+        "+119.86%",
+    );
     // The §VI discussion point: SEC-DED check-bit prediction for add/sub.
     let sp = opt(&secded_add_predictor());
-    row(&mut t, "SECDED add predictor", &sp, Some(("Add", add.nand2_total)), "(§VI: viable)");
+    row(
+        &mut t,
+        "SECDED add predictor",
+        &sp,
+        Some(("Add", add.nand2_total)),
+        "(§VI: viable)",
+    );
 
     t.print();
     println!(

@@ -1,0 +1,203 @@
+//! Perf baseline: wall-clock comparison of the pre-optimization paths
+//! against this revision, written to `BENCH_sweep.json`.
+//!
+//! Two comparisons, both on identical work:
+//!
+//! * **Figure sweep** — the five figure benches' cells walked the old way
+//!   (each figure recomputes its own cells serially through the seed
+//!   `replay_wave`, kept as `simulate_kernel_reference`) versus the shared
+//!   parallel memoized [`SweepEngine`] over the optimized simulator.
+//! * **Gate campaign** — the seed injection loop (clone + full shuffle +
+//!   truncate, fresh buffers per input, single-threaded) versus the
+//!   work-stealing allocation-free campaign.
+//!
+//! Run with `cargo run --release -p swapcodes-bench --example perf_baseline`.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use swapcodes_bench::{profile, traces_for, SweepEngine};
+use swapcodes_core::{apply, PredictorSet, Scheme};
+use swapcodes_gates::units::{build_unit, ArithUnit, UnitKind};
+use swapcodes_inject::{default_thread_count, run_unit_campaign, CampaignConfig};
+use swapcodes_sim::timing::{simulate_kernel_reference, KernelTiming, TimingConfig};
+use swapcodes_workloads::{all, by_name, Workload};
+
+/// The timing cells each figure bench walks, duplication included — exactly
+/// what the five standalone benches used to recompute.
+fn figure_timing_cells() -> Vec<(usize, Scheme)> {
+    let n = all().len();
+    let mut cells = Vec::new();
+    // fig12: baseline + the four intra-thread schemes, every workload.
+    for w in 0..n {
+        cells.push((w, Scheme::Baseline));
+        for s in Scheme::figure12_sweep() {
+            cells.push((w, s));
+        }
+    }
+    // fig15: baseline again, inter-thread twice, SW-Dup again.
+    for w in 0..n {
+        cells.push((w, Scheme::Baseline));
+        cells.push((w, Scheme::InterThread { checked: true }));
+        cells.push((w, Scheme::InterThread { checked: false }));
+        cells.push((w, Scheme::SwDup));
+    }
+    // fig16: baseline a third time + the predictor ladder.
+    for w in 0..n {
+        cells.push((w, Scheme::Baseline));
+        for s in Scheme::figure16_sweep() {
+            cells.push((w, s));
+        }
+    }
+    cells
+}
+
+/// `measure` as the seed revision computed it: per-cycle-allocating replay.
+fn measure_reference(w: &Workload, scheme: Scheme) -> Option<KernelTiming> {
+    let t = apply(scheme, &w.kernel, w.launch).ok()?;
+    let mut mem = w.build_memory();
+    let cfg = TimingConfig::default();
+    Some(simulate_kernel_reference(
+        &t.kernel, t.launch, &mut mem, &cfg,
+    ))
+}
+
+/// The seed campaign loop: clone the node list, shuffle it fully, truncate,
+/// and scan with per-chunk allocations, one input after another.
+fn campaign_reference(unit: &ArithUnit, inputs: &[[u64; 3]], cfg: &CampaignConfig) -> (u64, u64) {
+    let net = unit.netlist();
+    let nodes = net.injectable_nodes();
+    let n_inputs = unit.kind().input_count();
+    let mut found = 0u64;
+    let mut attempts = 0u64;
+    for (index, tuple) in inputs.iter().enumerate() {
+        let mut rng =
+            SmallRng::seed_from_u64(cfg.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let words = &tuple[..n_inputs];
+        let mut order = nodes.clone();
+        order.shuffle(&mut rng);
+        order.truncate(cfg.max_attempts_per_input);
+        'scan: for chunk in order.chunks(63) {
+            let batch = net.evaluate_batch(words, chunk);
+            let golden = batch.golden(0);
+            attempts += chunk.len() as u64;
+            for lane in 0..chunk.len() {
+                if batch.output(0, lane) != golden {
+                    attempts -= (chunk.len() - lane - 1) as u64;
+                    found += 1;
+                    break 'scan;
+                }
+            }
+        }
+    }
+    (found, attempts)
+}
+
+fn main() {
+    let workloads = all();
+    let threads = default_thread_count();
+    println!("perf baseline: {threads} worker thread(s)");
+
+    let fig14_schemes = [
+        Scheme::Baseline,
+        Scheme::SwDup,
+        Scheme::SwapEcc,
+        Scheme::SwapPredict(PredictorSet::MAD),
+    ];
+    let fig14_names = ["snap", "lavaMD"];
+
+    // --- Old path: per-figure serial recomputation, seed replay loop. -----
+    let timing_cells = figure_timing_cells();
+    let t0 = Instant::now();
+    for &(w, s) in &timing_cells {
+        std::hint::black_box(measure_reference(&workloads[w], s));
+    }
+    // fig13 profiles (profiling never used the replay loop; unchanged cost).
+    for w in &workloads {
+        for s in Scheme::figure12_sweep() {
+            std::hint::black_box(profile(w, s));
+        }
+    }
+    // fig14: the old traces_and_timing simulated timing, then re-executed
+    // the same wave again with tracing on.
+    for name in fig14_names {
+        let w = by_name(name).expect("workload");
+        for s in fig14_schemes {
+            let timing = measure_reference(&w, s).expect("fig14 schemes apply");
+            std::hint::black_box(traces_for(&w, s, &timing));
+        }
+    }
+    let serial_s = t0.elapsed().as_secs_f64();
+    println!(
+        "  per-figure serial (seed replay)   {serial_s:7.2}s ({} timing cells)",
+        timing_cells.len()
+    );
+
+    // --- New path: shared engine, optimized replay, worker pool. ----------
+    let t1 = Instant::now();
+    let engine = SweepEngine::new();
+    let distinct: HashSet<Scheme> = timing_cells.iter().map(|&(_, s)| s).collect();
+    let matrix: Vec<Scheme> = distinct.into_iter().collect();
+    engine.prewarm_timings(&workloads, &matrix);
+    engine.prewarm_profiles(&workloads, &Scheme::figure12_sweep());
+    let fig14_workloads: Vec<_> = fig14_names
+        .iter()
+        .map(|n| by_name(n).expect("workload"))
+        .collect();
+    engine.prewarm_traces(&fig14_workloads, &fig14_schemes);
+    // Re-walk every figure's cells: all cache hits now.
+    for &(w, s) in &timing_cells {
+        std::hint::black_box(engine.timing(&workloads[w], s));
+    }
+    let sweep_s = t1.elapsed().as_secs_f64();
+    let sweep_speedup = serial_s / sweep_s;
+    println!(
+        "  parallel memoized sweep           {sweep_s:7.2}s ({sweep_speedup:.1}x, {} cached cells)",
+        engine.cached_cells()
+    );
+
+    // Sanity: the optimized sweep reproduces the reference numbers.
+    let spot = &workloads[0];
+    assert_eq!(
+        *engine.timing(spot, Scheme::Baseline),
+        measure_reference(spot, Scheme::Baseline),
+        "optimized sweep must reproduce the reference timings"
+    );
+
+    // --- Gate-level injection campaign: seed loop vs the pool. ------------
+    let unit = build_unit(UnitKind::FxpMad32);
+    let inputs: Vec<[u64; 3]> = (0..2_000u64)
+        .map(|i| {
+            let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            [x & 0xFFFF_FFFF, (x >> 32) & 0xFFFF_FFFF, x.rotate_left(17)]
+        })
+        .collect();
+    let cfg = CampaignConfig::default();
+    let t2 = Instant::now();
+    let (ref_found, ref_attempts) = campaign_reference(&unit, &inputs, &cfg);
+    let campaign_serial_s = t2.elapsed().as_secs_f64();
+    let t3 = Instant::now();
+    let res = run_unit_campaign(&unit, &inputs, &cfg);
+    let campaign_parallel_s = t3.elapsed().as_secs_f64();
+    let campaign_speedup = campaign_serial_s / campaign_parallel_s;
+    println!("  campaign seed loop (1 thread)     {campaign_serial_s:7.2}s ({ref_found} errors, {ref_attempts} attempts)");
+    println!(
+        "  campaign pool ({threads} thread(s))       {campaign_parallel_s:7.2}s ({campaign_speedup:.1}x, {} errors, {} attempts)",
+        res.records.len(),
+        res.attempts
+    );
+
+    // --- Report. ----------------------------------------------------------
+    let json = format!(
+        "{{\n  \"threads\": {threads},\n  \"sweep\": {{\n    \"serial_seed_s\": {serial_s:.3},\n    \"parallel_memoized_s\": {sweep_s:.3},\n    \"speedup\": {sweep_speedup:.2},\n    \"timing_cells_walked\": {},\n    \"distinct_cells_cached\": {}\n  }},\n  \"gate_campaign\": {{\n    \"unit\": \"FxpMad32\",\n    \"inputs\": {},\n    \"seed_loop_s\": {campaign_serial_s:.3},\n    \"pool_s\": {campaign_parallel_s:.3},\n    \"speedup\": {campaign_speedup:.2}\n  }}\n}}\n",
+        timing_cells.len(),
+        engine.cached_cells(),
+        inputs.len(),
+    );
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    println!("\nwrote BENCH_sweep.json");
+    print!("{json}");
+}

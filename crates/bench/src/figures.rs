@@ -1,0 +1,287 @@
+//! The figure 12–16 reports as library functions over a shared
+//! [`SweepEngine`].
+//!
+//! Each `cargo bench` target used to recompute its own slice of the
+//! (workload × scheme) matrix from scratch. The logic now lives here: every
+//! report takes a `&SweepEngine`, prewarms exactly the cells it needs (a
+//! parallel fan-out), and then renders from cache. Running several figures
+//! against one engine — as `examples/perf_baseline.rs` and a combined
+//! `cargo bench` session do — shares every overlapping cell: the fifteen
+//! `Baseline` timings are computed once instead of four times, and the four
+//! schemes common to fig12 and fig16 are computed once instead of twice.
+
+use swapcodes_core::{apply, PredictorSet, Scheme};
+use swapcodes_sim::power::{estimate, PowerModel};
+use swapcodes_workloads::{all, by_name};
+
+use crate::{banner, mean, pct_over, SweepEngine, Table};
+
+/// Figure 12: runtime of SW-Dup, Swap-ECC and the Swap-Predict variants
+/// relative to the un-duplicated program, per benchmark and mean.
+pub fn fig12_performance(engine: &SweepEngine) {
+    banner(
+        "Figure 12 — SwapCodes performance",
+        "Runtime relative to the original program on the simulated SM \
+         (paper means: SW-Dup +49%, Swap-ECC +21%, Pre AddSub +16%, Pre MAD +15%).",
+    );
+
+    let workloads = all();
+    let schemes = Scheme::figure12_sweep();
+    let mut matrix = vec![Scheme::Baseline];
+    matrix.extend_from_slice(&schemes);
+    engine.prewarm_timings(&workloads, &matrix);
+
+    let mut headers = vec![
+        "benchmark".to_owned(),
+        "regs".to_owned(),
+        "warps".to_owned(),
+    ];
+    headers.extend(schemes.iter().map(Scheme::label));
+    let mut table = Table::new(headers);
+
+    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for w in &workloads {
+        let base = engine.timing(w, Scheme::Baseline);
+        let base = base.expect("baseline always applies");
+        let mut cells = vec![
+            w.name.to_owned(),
+            w.kernel.register_count().to_string(),
+            base.occupancy.warps.to_string(),
+        ];
+        for (i, &s) in schemes.iter().enumerate() {
+            let t = engine.timing(w, s);
+            let t = t.expect("intra-thread schemes always apply");
+            let rel = t.relative_to(&base);
+            sums[i].push(rel);
+            cells.push(pct_over(rel));
+        }
+        table.row(cells);
+    }
+    let mut mean_cells = vec!["MEAN".to_owned(), String::new(), String::new()];
+    for col in &sums {
+        mean_cells.push(pct_over(mean(col)));
+    }
+    table.row(mean_cells);
+    table.print();
+}
+
+/// Figure 13: dynamic instruction bloat of each scheme, broken into the
+/// paper's categories, measured through the instruction-classifying
+/// profiler.
+pub fn fig13_instruction_bloat(engine: &SweepEngine) {
+    banner(
+        "Figure 13 — dynamic instruction bloat",
+        "Per-category dynamic instructions relative to the original program \
+         (paper means: SW-Dup 191%, Swap-ECC 163%, Pre AddSub 145%, Pre MAD 133%; \
+         checking code alone is 11-35% of the original program).",
+    );
+
+    let workloads = all();
+    let schemes = Scheme::figure12_sweep();
+    engine.prewarm_profiles(&workloads, &schemes);
+
+    let mut table = Table::new(vec![
+        "benchmark",
+        "scheme",
+        "total",
+        "not-elig",
+        "predicted",
+        "duplicated",
+        "compiler",
+        "checking",
+    ]);
+
+    let mut totals: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for w in &workloads {
+        for (i, &s) in schemes.iter().enumerate() {
+            let p = engine.profile(w, s);
+            let p = p.expect("profiles");
+            let orig = p.original_program() as f64;
+            let pc = |x: u64| format!("{:.0}%", x as f64 / orig * 100.0);
+            totals[i].push(p.total() as f64 / orig);
+            table.row(vec![
+                w.name.to_owned(),
+                s.label(),
+                format!("{:.0}%", p.bloat() * 100.0),
+                pc(p.not_eligible),
+                pc(p.eligible_predicted),
+                pc(p.eligible_plain + p.shadow),
+                pc(p.compiler_inserted),
+                pc(p.checking),
+            ]);
+        }
+    }
+    table.print();
+
+    println!();
+    for (i, &s) in schemes.iter().enumerate() {
+        let m = mean(&totals[i]);
+        println!("  mean total bloat {:<12} {:>5.0}%", s.label(), m * 100.0);
+    }
+}
+
+/// Figure 14: estimated GPU power and energy overheads for the two
+/// highest-utilisation workloads (the paper uses SNAP and lavaMD-class
+/// kernels).
+pub fn fig14_power_energy(engine: &SweepEngine) {
+    banner(
+        "Figure 14 — power and energy overheads",
+        "Relative GPU power and energy vs the original program (paper: worst-\
+         case +15% power for every scheme; energy tracks the slowdown, e.g. \
+         SNAP >2x energy under SW-Dup but only ~1.11x under Swap-ECC).",
+    );
+
+    let schemes = [
+        Scheme::SwDup,
+        Scheme::SwapEcc,
+        Scheme::SwapPredict(PredictorSet::MAD),
+    ];
+    let workloads: Vec<_> = ["snap", "lavaMD"]
+        .iter()
+        .map(|n| by_name(n).expect("workload exists"))
+        .collect();
+    let mut matrix = vec![Scheme::Baseline];
+    matrix.extend_from_slice(&schemes);
+    engine.prewarm_traces(&workloads, &matrix);
+
+    let model = PowerModel::default();
+    let mut table = Table::new(vec!["benchmark", "scheme", "power", "energy", "runtime"]);
+    for w in &workloads {
+        let cell = engine.traces_and_timing(w, Scheme::Baseline);
+        let (bt, btiming) = cell.as_ref().as_ref().expect("baseline");
+        let base = estimate(
+            &model,
+            &transformed_kernel(w, Scheme::Baseline),
+            bt,
+            btiming,
+        );
+        for scheme in schemes {
+            let cell = engine.traces_and_timing(w, scheme);
+            let (traces, timing) = cell.as_ref().as_ref().expect("scheme applies");
+            let est = estimate(&model, &transformed_kernel(w, scheme), traces, timing);
+            table.row(vec![
+                w.name.to_owned(),
+                scheme.label(),
+                format!("{:.2}x", est.power_rel(&base)),
+                format!(
+                    "{:.2}x",
+                    est.energy_rel(&base) * timing.waves as f64 / btiming.waves as f64
+                ),
+                format!("{:.2}x", timing.relative_to(btiming)),
+            ]);
+        }
+    }
+    table.print();
+}
+
+/// Figure 15: inter-thread (warp-splitting) duplication performance, with
+/// and without checking instructions, against the intra-thread baseline.
+pub fn fig15_interthread(engine: &SweepEngine) {
+    banner(
+        "Figure 15 — inter-thread duplication",
+        "Runtime relative to the original program (paper: inter-thread mean \
+         +113% / worst +241%, vs intra-thread +49% / +99%; removing checking \
+         still leaves +57% / +114%, so intra-thread is the stronger baseline; \
+         matmul and SNAP are not transformable at all).",
+    );
+
+    let workloads = all();
+    let schemes = [
+        Scheme::InterThread { checked: true },
+        Scheme::InterThread { checked: false },
+        Scheme::SwDup,
+    ];
+    let mut matrix = vec![Scheme::Baseline];
+    matrix.extend_from_slice(&schemes);
+    engine.prewarm_timings(&workloads, &matrix);
+
+    let mut table = Table::new(vec![
+        "benchmark",
+        "Inter-Thread",
+        "Inter (no checks)",
+        "SW-Dup (intra)",
+    ]);
+    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for w in &workloads {
+        let base = engine.timing(w, Scheme::Baseline);
+        let base = base.expect("baseline");
+        let mut cells = vec![w.name.to_owned()];
+        for (i, &s) in schemes.iter().enumerate() {
+            match *engine.timing(w, s) {
+                Some(t) => {
+                    let rel = t.relative_to(&base);
+                    sums[i].push(rel);
+                    cells.push(pct_over(rel));
+                }
+                None => cells.push("n/a".to_owned()),
+            }
+        }
+        table.row(cells);
+    }
+    let mut mean_cells = vec!["MEAN (where applicable)".to_owned()];
+    for col in &sums {
+        mean_cells.push(pct_over(mean(col)));
+    }
+    table.row(mean_cells);
+    table.print();
+}
+
+/// Figure 16: Swap-Predict with plausible future check-bit predictors.
+pub fn fig16_future_predictors(engine: &SweepEngine) {
+    banner(
+        "Figure 16 — future check-bit predictors",
+        "Runtime relative to the original program (paper: mean falls from \
+         +15% with Pre MAD to +5% with Fp-MAD, and the lavaMD worst case \
+         from +74% to +28%, motivating floating-point predictors).",
+    );
+
+    let workloads = all();
+    let schemes = Scheme::figure16_sweep();
+    let mut matrix = vec![Scheme::Baseline];
+    matrix.extend_from_slice(&schemes);
+    engine.prewarm_timings(&workloads, &matrix);
+
+    let mut headers = vec!["benchmark".to_owned()];
+    headers.extend(schemes.iter().map(Scheme::label));
+    let mut table = Table::new(headers);
+
+    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    let mut worst: Vec<(f64, String)> = vec![(0.0, String::new()); schemes.len()];
+    for w in &workloads {
+        let base = engine.timing(w, Scheme::Baseline);
+        let base = base.expect("baseline");
+        let mut cells = vec![w.name.to_owned()];
+        for (i, &s) in schemes.iter().enumerate() {
+            let t = engine.timing(w, s);
+            let t = t.expect("swap-predict always applies");
+            let rel = t.relative_to(&base);
+            sums[i].push(rel);
+            if rel > worst[i].0 {
+                worst[i] = (rel, w.name.to_owned());
+            }
+            cells.push(pct_over(rel));
+        }
+        table.row(cells);
+    }
+    let mut mean_cells = vec!["MEAN".to_owned()];
+    for col in &sums {
+        mean_cells.push(pct_over(mean(col)));
+    }
+    table.row(mean_cells);
+    table.print();
+    println!();
+    for (i, s) in schemes.iter().enumerate() {
+        println!(
+            "  worst case {:<12} {} ({})",
+            s.label(),
+            pct_over(worst[i].0),
+            worst[i].1
+        );
+    }
+}
+
+fn transformed_kernel(w: &swapcodes_workloads::Workload, s: Scheme) -> swapcodes_isa::Kernel {
+    apply(s, &w.kernel, w.launch)
+        .expect("scheme applies")
+        .kernel
+}

@@ -16,6 +16,15 @@ use swapcodes_sim::profiler::ProfileCounts;
 use swapcodes_sim::timing::{simulate_kernel, KernelTiming, TimingConfig};
 use swapcodes_workloads::Workload;
 
+pub mod figures;
+pub mod sweep;
+
+pub use sweep::SweepEngine;
+
+/// Traces plus the timing they were captured under (the fig. 14 power
+/// estimation inputs).
+pub type TracesAndTiming = (Vec<WarpTrace>, KernelTiming);
+
 /// Whether the quick mode is enabled (`SWAPCODES_FAST=1`), shrinking
 /// campaign sizes so the whole bench suite completes in seconds.
 #[must_use]
@@ -63,12 +72,19 @@ pub fn profile(w: &Workload, scheme: Scheme) -> Option<ProfileCounts> {
 
 /// Traces + timing for power estimation.
 #[must_use]
-pub fn traces_and_timing(w: &Workload, scheme: Scheme) -> Option<(Vec<WarpTrace>, KernelTiming)> {
+pub fn traces_and_timing(w: &Workload, scheme: Scheme) -> Option<TracesAndTiming> {
+    let timing = measure(w, scheme)?;
+    let traces = traces_for(w, scheme, &timing)?;
+    Some((traces, timing))
+}
+
+/// Traces for power estimation, given an already-computed timing for the
+/// same `(workload, scheme)` cell — lets callers holding a timing cache
+/// (the sweep engine) skip re-simulating the kernel.
+#[must_use]
+pub fn traces_for(w: &Workload, scheme: Scheme, timing: &KernelTiming) -> Option<Vec<WarpTrace>> {
     let t = apply(scheme, &w.kernel, w.launch).ok()?;
-    let cfg = TimingConfig::default();
     let mut mem = w.build_memory();
-    let timing = simulate_kernel(&t.kernel, t.launch, &mut mem, &cfg);
-    let mut mem2 = w.build_memory();
     let exec = Executor {
         config: ExecConfig {
             collect_trace: true,
@@ -76,8 +92,8 @@ pub fn traces_and_timing(w: &Workload, scheme: Scheme) -> Option<(Vec<WarpTrace>
             ..ExecConfig::default()
         },
     };
-    let out = exec.run(&t.kernel, t.launch, &mut mem2);
-    Some((out.traces, timing))
+    let out = exec.run(&t.kernel, t.launch, &mut mem);
+    Some(out.traces)
 }
 
 /// A fixed-width text table printer for the bench reports.

@@ -1,0 +1,253 @@
+//! Parallel, memoized (workload × scheme) sweep engine.
+//!
+//! Every figure bench in this crate walks some slice of the same matrix:
+//! each workload transformed under each protection scheme, then timed
+//! ([`KernelTiming`]), profiled ([`ProfileCounts`]) or traced
+//! ([`WarpTrace`]) on the simulator. Run standalone, the five benches
+//! quintuplicate those simulations — every one re-times `Baseline` for every
+//! workload, fig12 and fig16 share four schemes, and so on.
+//!
+//! [`SweepEngine`] computes each cell of the matrix exactly once, caches it
+//! behind a [`parking_lot::RwLock`] keyed by `(workload name, scheme)`, and
+//! fans batch requests over a crossbeam-scoped worker pool with a
+//! work-stealing index counter. All simulations are deterministic pure
+//! functions of `(workload, scheme)`, so cell values are identical no matter
+//! which thread computes them or in what order — results are byte-identical
+//! to the serial [`measure`]/[`profile`]/[`traces_and_timing`] paths for any
+//! `SWAPCODES_THREADS` setting (a property locked in by
+//! `tests/sweep_matches_serial.rs`).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use swapcodes_core::Scheme;
+use swapcodes_inject::default_thread_count;
+use swapcodes_sim::profiler::ProfileCounts;
+use swapcodes_sim::timing::KernelTiming;
+use swapcodes_workloads::Workload;
+
+use crate::{measure, profile, TracesAndTiming};
+
+/// Cache key: workload names are `&'static str` interned in the workload
+/// table, so the key is `Copy` and hashing never touches the kernel body.
+type Key = (&'static str, Scheme);
+
+/// Which artefact of a matrix cell a prewarm request should produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Artefact {
+    Timing,
+    Profile,
+    Traces,
+}
+
+/// Shared sweep cache. Cheap to clone conceptually (hold it behind a `&` or
+/// `Arc`); all interior mutability is lock-guarded.
+#[derive(Debug, Default)]
+pub struct SweepEngine {
+    timings: RwLock<HashMap<Key, Arc<Option<KernelTiming>>>>,
+    profiles: RwLock<HashMap<Key, Arc<Option<ProfileCounts>>>>,
+    traces: RwLock<HashMap<Key, Arc<Option<TracesAndTiming>>>>,
+    threads: Option<usize>,
+}
+
+impl SweepEngine {
+    /// Engine with the default worker count (`SWAPCODES_THREADS`, else
+    /// available parallelism).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Engine with an explicit worker count (tests pin this to compare
+    /// scheduling-independent results).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: Some(threads.max(1)),
+            ..Self::default()
+        }
+    }
+
+    fn worker_count(&self, tasks: usize) -> usize {
+        self.threads
+            .unwrap_or_else(default_thread_count)
+            .clamp(1, tasks.max(1))
+    }
+
+    /// Timing for one cell; `None` when the scheme does not apply to the
+    /// workload. Computes and caches on miss.
+    pub fn timing(&self, w: &Workload, scheme: Scheme) -> Arc<Option<KernelTiming>> {
+        if let Some(hit) = self.timings.read().get(&(w.name, scheme)) {
+            return Arc::clone(hit);
+        }
+        let value = Arc::new(measure(w, scheme));
+        Arc::clone(
+            self.timings
+                .write()
+                .entry((w.name, scheme))
+                .or_insert(value),
+        )
+    }
+
+    /// Dynamic-instruction profile for one cell; cached on miss.
+    pub fn profile(&self, w: &Workload, scheme: Scheme) -> Arc<Option<ProfileCounts>> {
+        if let Some(hit) = self.profiles.read().get(&(w.name, scheme)) {
+            return Arc::clone(hit);
+        }
+        let value = Arc::new(profile(w, scheme));
+        Arc::clone(
+            self.profiles
+                .write()
+                .entry((w.name, scheme))
+                .or_insert(value),
+        )
+    }
+
+    /// Warp traces + timing for one cell (power estimation); cached on
+    /// miss. The timing half comes through the timing cache, so a traces
+    /// cell whose timing was already swept costs only the traced execution.
+    pub fn traces_and_timing(&self, w: &Workload, scheme: Scheme) -> Arc<Option<TracesAndTiming>> {
+        if let Some(hit) = self.traces.read().get(&(w.name, scheme)) {
+            return Arc::clone(hit);
+        }
+        let value = Arc::new(match *self.timing(w, scheme) {
+            Some(timing) => crate::traces_for(w, scheme, &timing).map(|traces| (traces, timing)),
+            None => None,
+        });
+        Arc::clone(self.traces.write().entry((w.name, scheme)).or_insert(value))
+    }
+
+    /// Fill the timing cache for the full `workloads × schemes` matrix in
+    /// parallel. Subsequent [`Self::timing`] calls for those cells are pure
+    /// cache reads.
+    pub fn prewarm_timings(&self, workloads: &[Workload], schemes: &[Scheme]) {
+        self.prewarm(workloads, schemes, Artefact::Timing);
+    }
+
+    /// Fill the profile cache for the full matrix in parallel.
+    pub fn prewarm_profiles(&self, workloads: &[Workload], schemes: &[Scheme]) {
+        self.prewarm(workloads, schemes, Artefact::Profile);
+    }
+
+    /// Fill the traces cache for the full matrix in parallel.
+    pub fn prewarm_traces(&self, workloads: &[Workload], schemes: &[Scheme]) {
+        self.prewarm(workloads, schemes, Artefact::Traces);
+    }
+
+    /// Number of cached cells across all three artefact caches (test and
+    /// reporting hook).
+    #[must_use]
+    pub fn cached_cells(&self) -> usize {
+        self.timings.read().len() + self.profiles.read().len() + self.traces.read().len()
+    }
+
+    fn prewarm(&self, workloads: &[Workload], schemes: &[Scheme], what: Artefact) {
+        // Skip cells that are already cached so repeated prewarms (e.g. the
+        // fig16 sweep after fig12 already ran) only pay for the new cells.
+        let tasks: Vec<(&Workload, Scheme)> = pairs(workloads, schemes)
+            .filter(|&(w, s)| !self.is_cached((w.name, s), what))
+            .collect();
+        self.run_pool(&tasks, what);
+    }
+
+    fn is_cached(&self, key: Key, what: Artefact) -> bool {
+        match what {
+            Artefact::Timing => self.timings.read().contains_key(&key),
+            Artefact::Profile => self.profiles.read().contains_key(&key),
+            Artefact::Traces => self.traces.read().contains_key(&key),
+        }
+    }
+
+    fn run_pool(&self, tasks: &[(&Workload, Scheme)], what: Artefact) {
+        if tasks.is_empty() {
+            return;
+        }
+        let workers = self.worker_count(tasks.len());
+        if workers == 1 {
+            for &(w, s) in tasks {
+                self.compute_into_cache(w, s, what);
+            }
+            return;
+        }
+        // Work-stealing over a shared index: workers grab the next
+        // unclaimed cell, so a slow cell (snap under SwDup) never idles the
+        // rest of the pool behind a static chunk boundary.
+        let next = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(w, s)) = tasks.get(i) else { break };
+                    self.compute_into_cache(w, s, what);
+                });
+            }
+        })
+        .expect("sweep worker panicked");
+    }
+
+    fn compute_into_cache(&self, w: &Workload, s: Scheme, what: Artefact) {
+        match what {
+            Artefact::Timing => {
+                let _ = self.timing(w, s);
+            }
+            Artefact::Profile => {
+                let _ = self.profile(w, s);
+            }
+            Artefact::Traces => {
+                let _ = self.traces_and_timing(w, s);
+            }
+        }
+    }
+}
+
+fn pairs<'a>(
+    workloads: &'a [Workload],
+    schemes: &'a [Scheme],
+) -> impl Iterator<Item = (&'a Workload, Scheme)> + 'a {
+    workloads
+        .iter()
+        .flat_map(move |w| schemes.iter().map(move |&s| (w, s)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcodes_workloads::all;
+
+    #[test]
+    fn cache_hit_returns_same_arc() {
+        let engine = SweepEngine::with_threads(2);
+        let ws = all();
+        let a = engine.timing(&ws[0], Scheme::Baseline);
+        let b = engine.timing(&ws[0], Scheme::Baseline);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must be a cache hit");
+        assert_eq!(engine.cached_cells(), 1);
+    }
+
+    #[test]
+    fn prewarm_skips_cached_cells() {
+        let engine = SweepEngine::with_threads(4);
+        let ws: Vec<Workload> = all().into_iter().take(3).collect();
+        let schemes = [Scheme::Baseline, Scheme::SwDup];
+        engine.prewarm_timings(&ws, &schemes);
+        assert_eq!(engine.cached_cells(), ws.len() * schemes.len());
+        let before = engine.timing(&ws[0], Scheme::Baseline);
+        engine.prewarm_timings(&ws, &schemes);
+        let after = engine.timing(&ws[0], Scheme::Baseline);
+        assert!(Arc::ptr_eq(&before, &after), "prewarm must not recompute");
+    }
+
+    #[test]
+    fn inapplicable_scheme_is_cached_as_none() {
+        let engine = SweepEngine::new();
+        // matmul is not inter-thread transformable (paper §VII).
+        let w = swapcodes_workloads::by_name("matmul").expect("workload");
+        let t = engine.timing(&w, Scheme::InterThread { checked: true });
+        assert!(t.is_none());
+        // The miss itself is memoized.
+        let again = engine.timing(&w, Scheme::InterThread { checked: true });
+        assert!(Arc::ptr_eq(&t, &again));
+    }
+}

@@ -1,0 +1,84 @@
+//! The parallel memoized sweep must be invisible in the results: every cell
+//! of the (workload × scheme) matrix computed through [`SweepEngine`] must
+//! equal the serial `measure`/`profile` paths exactly, for any worker count.
+
+use swapcodes_bench::{measure, profile, SweepEngine};
+use swapcodes_core::Scheme;
+use swapcodes_workloads::all;
+
+fn fig12_matrix() -> Vec<Scheme> {
+    let mut schemes = vec![Scheme::Baseline];
+    schemes.extend(Scheme::figure12_sweep());
+    schemes
+}
+
+#[test]
+fn parallel_timings_equal_serial_measure() {
+    let workloads = all();
+    let schemes = fig12_matrix();
+    let engine = SweepEngine::new();
+    engine.prewarm_timings(&workloads, &schemes);
+    for w in &workloads {
+        for &s in &schemes {
+            let parallel = *engine.timing(w, s);
+            let serial = measure(w, s);
+            assert_eq!(
+                parallel,
+                serial,
+                "timing mismatch for {} / {}",
+                w.name,
+                s.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_profiles_equal_serial_profile() {
+    let workloads = all();
+    let schemes = fig12_matrix();
+    let engine = SweepEngine::new();
+    engine.prewarm_profiles(&workloads, &schemes);
+    for w in &workloads {
+        for &s in &schemes {
+            let parallel = *engine.profile(w, s);
+            let serial = profile(w, s);
+            assert_eq!(
+                parallel,
+                serial,
+                "profile mismatch for {} / {}",
+                w.name,
+                s.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    // Inter-thread schemes include inapplicable (None) cells, exercising the
+    // miss-memoization path under contention too.
+    let workloads = all();
+    let schemes = [
+        Scheme::Baseline,
+        Scheme::SwDup,
+        Scheme::InterThread { checked: true },
+    ];
+    let serial = SweepEngine::with_threads(1);
+    serial.prewarm_timings(&workloads, &schemes);
+    for threads in [2, 8] {
+        let parallel = SweepEngine::with_threads(threads);
+        parallel.prewarm_timings(&workloads, &schemes);
+        for w in &workloads {
+            for &s in &schemes {
+                assert_eq!(
+                    *serial.timing(w, s),
+                    *parallel.timing(w, s),
+                    "{} / {} differs between 1 and {threads} workers",
+                    w.name,
+                    s.label()
+                );
+            }
+        }
+    }
+}

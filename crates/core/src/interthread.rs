@@ -8,9 +8,7 @@
 //! it fails for CTAs that already use more than half the thread limit and
 //! for kernels that communicate with warp shuffles.
 
-use swapcodes_isa::{
-    CmpOp, CmpTy, Instr, Kernel, Op, Pred, Reg, Role, ShflMode, SpecialReg, Src,
-};
+use swapcodes_isa::{CmpOp, CmpTy, Instr, Kernel, Op, Pred, Reg, Role, ShflMode, SpecialReg, Src};
 use swapcodes_sim::Launch;
 
 use crate::scheme::TransformError;
@@ -53,7 +51,10 @@ pub fn transform(
 
     let regs = kernel.register_count();
     let scratch = regs.div_ceil(2) * 2;
-    assert!(scratch + 2 <= 255, "no scratch space for inter-thread checks");
+    assert!(
+        scratch + 2 <= 255,
+        "no scratch space for inter-thread checks"
+    );
     let s0 = Reg(scratch as u8);
     let s1 = Reg(scratch as u8 + 1);
 
@@ -89,7 +90,10 @@ pub fn transform(
         match instr.op {
             // Thread-indexing fix-up: both lanes of a pair see the same
             // logical thread index.
-            Op::S2R { d, sr: sr @ (SpecialReg::TidX | SpecialReg::NTidX) } => {
+            Op::S2R {
+                d,
+                sr: sr @ (SpecialReg::TidX | SpecialReg::NTidX),
+            } => {
                 out.push(*instr);
                 let mut fix = Instr::new(Op::Shr {
                     d,
@@ -237,9 +241,11 @@ mod tests {
 
     #[test]
     fn unchecked_variant_has_no_checks() {
-        let (out, _) =
-            transform(&store_kernel(), Launch::grid(4, 128), false).expect("transform");
-        assert!(!out.instrs().iter().any(|i| i.role == Role::Check && !matches!(i.op, Op::Trap)));
+        let (out, _) = transform(&store_kernel(), Launch::grid(4, 128), false).expect("transform");
+        assert!(!out
+            .instrs()
+            .iter()
+            .any(|i| i.role == Role::Check && !matches!(i.op, Op::Trap)));
     }
 
     #[test]
@@ -268,7 +274,15 @@ mod tests {
         let pos = out
             .instrs()
             .iter()
-            .position(|i| matches!(i.op, Op::S2R { sr: SpecialReg::TidX, .. }))
+            .position(|i| {
+                matches!(
+                    i.op,
+                    Op::S2R {
+                        sr: SpecialReg::TidX,
+                        ..
+                    }
+                )
+            })
             .expect("tid read");
         assert!(matches!(
             out.instrs()[pos + 1].op,

@@ -114,7 +114,7 @@ impl PredictorSet {
 }
 
 /// A pipeline error protection scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Scheme {
     /// The un-duplicated program.
     Baseline,
@@ -243,7 +243,10 @@ impl std::fmt::Display for TransformError {
                 "inter-thread duplication needs {required} threads per CTA (limit {limit})"
             ),
             TransformError::UsesShuffles => {
-                write!(f, "inter-thread duplication cannot split shuffle-using warps")
+                write!(
+                    f,
+                    "inter-thread duplication cannot split shuffle-using warps"
+                )
             }
         }
     }
@@ -287,10 +290,7 @@ mod tests {
     fn labels() {
         assert_eq!(Scheme::SwDup.label(), "SW-Dup");
         assert_eq!(Scheme::SwapPredict(PredictorSet::MAD).label(), "Pre MAD");
-        assert_eq!(
-            Scheme::SwapPredict(PredictorSet::FP_MAD).label(),
-            "Fp-MAD"
-        );
+        assert_eq!(Scheme::SwapPredict(PredictorSet::FP_MAD).label(), "Fp-MAD");
     }
 
     #[test]

@@ -106,7 +106,11 @@ fn wide_use_bases(op: &Op) -> Vec<Reg> {
         Op::IMadWide { c, .. } => vec![c],
         Op::DAdd { a, b, .. } | Op::DMul { a, b, .. } => vec![a, b],
         Op::DFma { a, b, c, .. } => vec![a, b, c],
-        Op::St { v, width: swapcodes_isa::MemWidth::W64, .. } => vec![v],
+        Op::St {
+            v,
+            width: swapcodes_isa::MemWidth::W64,
+            ..
+        } => vec![v],
         _ => Vec::new(),
     }
 }
@@ -120,9 +124,7 @@ fn rename_accumulation(op: &Op, scratch_base: u8) -> (Vec<(Reg, Reg, bool)>, Op)
         return (Vec::new(), *op);
     }
     let wide: HashSet<Reg> = wide_use_bases(op).into_iter().collect();
-    let collides = |r: Reg| {
-        defs.contains(&r) || (wide.contains(&r) && defs.contains(&r.pair_hi()))
-    };
+    let collides = |r: Reg| defs.contains(&r) || (wide.contains(&r) && defs.contains(&r.pair_hi()));
     if !op.uses().iter().any(|&r| collides(r) || defs.contains(&r)) {
         return (Vec::new(), *op);
     }
@@ -171,7 +173,11 @@ mod tests {
         let shadow = &out.instrs()[1];
         assert!(shadow.ecc_only);
         assert_eq!(shadow.role, Role::Shadow);
-        assert_eq!(shadow.op, out.instrs()[0].op, "same registers, swapped write");
+        assert_eq!(
+            shadow.op,
+            out.instrs()[0].op,
+            "same registers, swapped write"
+        );
         assert!(!out.instrs().iter().any(|i| i.role == Role::Check));
         // No shadow register space: register count unchanged.
         assert_eq!(out.register_count(), 4);

@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 use swapcodes_core::{apply, PredictorSet, Scheme};
-use swapcodes_isa::{
-    Instr, Kernel, KernelBuilder, MemSpace, MemWidth, Op, Reg, SpecialReg, Src,
-};
+use swapcodes_isa::{Instr, Kernel, KernelBuilder, MemSpace, MemWidth, Op, Reg, SpecialReg, Src};
 use swapcodes_sim::exec::{Detection, ExecConfig, Executor};
 use swapcodes_sim::{GlobalMemory, Launch};
 
@@ -61,17 +59,61 @@ fn build_kernel(ops: &[RandOp]) -> Kernel {
     }
     for &op in ops {
         let instr = match op {
-            RandOp::IAdd(d, a, i) => Op::IAdd { d: Reg(d), a: Reg(a), b: Src::Imm(i) },
-            RandOp::ISub(d, a, i) => Op::ISub { d: Reg(d), a: Reg(a), b: Src::Imm(i) },
-            RandOp::IMul(d, a, i) => Op::IMul { d: Reg(d), a: Reg(a), b: Src::Imm(i) },
-            RandOp::And(d, a, i) => Op::And { d: Reg(d), a: Reg(a), b: Src::Imm(i) },
-            RandOp::Xor(d, a, b) => Op::Xor { d: Reg(d), a: Reg(a), b: Src::Reg(Reg(b)) },
-            RandOp::Shl(d, a, s) => Op::Shl { d: Reg(d), a: Reg(a), b: Src::Imm(i32::from(s)) },
-            RandOp::IMin(d, a, b) => Op::IMin { d: Reg(d), a: Reg(a), b: Src::Reg(Reg(b)) },
-            RandOp::FAdd(d, a) => Op::FAdd { d: Reg(d), a: Reg(a), b: Src::Imm(0x3F00_0000) },
-            RandOp::FMul(d, a) => Op::FMul { d: Reg(d), a: Reg(a), b: Src::Imm(0x3F40_0000) },
-            RandOp::FFma(d, a, b, c) => Op::FFma { d: Reg(d), a: Reg(a), b: Reg(b), c: Reg(c) },
-            RandOp::Mov(d, a) => Op::Mov { d: Reg(d), a: Src::Reg(Reg(a)) },
+            RandOp::IAdd(d, a, i) => Op::IAdd {
+                d: Reg(d),
+                a: Reg(a),
+                b: Src::Imm(i),
+            },
+            RandOp::ISub(d, a, i) => Op::ISub {
+                d: Reg(d),
+                a: Reg(a),
+                b: Src::Imm(i),
+            },
+            RandOp::IMul(d, a, i) => Op::IMul {
+                d: Reg(d),
+                a: Reg(a),
+                b: Src::Imm(i),
+            },
+            RandOp::And(d, a, i) => Op::And {
+                d: Reg(d),
+                a: Reg(a),
+                b: Src::Imm(i),
+            },
+            RandOp::Xor(d, a, b) => Op::Xor {
+                d: Reg(d),
+                a: Reg(a),
+                b: Src::Reg(Reg(b)),
+            },
+            RandOp::Shl(d, a, s) => Op::Shl {
+                d: Reg(d),
+                a: Reg(a),
+                b: Src::Imm(i32::from(s)),
+            },
+            RandOp::IMin(d, a, b) => Op::IMin {
+                d: Reg(d),
+                a: Reg(a),
+                b: Src::Reg(Reg(b)),
+            },
+            RandOp::FAdd(d, a) => Op::FAdd {
+                d: Reg(d),
+                a: Reg(a),
+                b: Src::Imm(0x3F00_0000),
+            },
+            RandOp::FMul(d, a) => Op::FMul {
+                d: Reg(d),
+                a: Reg(a),
+                b: Src::Imm(0x3F40_0000),
+            },
+            RandOp::FFma(d, a, b, c) => Op::FFma {
+                d: Reg(d),
+                a: Reg(a),
+                b: Reg(b),
+                c: Reg(c),
+            },
+            RandOp::Mov(d, a) => Op::Mov {
+                d: Reg(d),
+                a: Src::Reg(Reg(a)),
+            },
         };
         k.push_instr(Instr::new(instr));
     }

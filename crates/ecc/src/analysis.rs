@@ -92,7 +92,10 @@ pub fn storage_coverage<C: SystematicCode>(code: &C, data: u32, weight: u32) -> 
 /// parity — produced from the faulty data itself — always reads consistent.
 #[must_use]
 pub fn pipeline_coverage<C: SystematicCode>(code: &C, data: u32, weight: u32) -> CoverageReport {
-    assert!((1..=32).contains(&weight), "bad pipeline error weight {weight}");
+    assert!(
+        (1..=32).contains(&weight),
+        "bad pipeline error weight {weight}"
+    );
     let check = code.encode(data);
     let mut report = CoverageReport::default();
     for_each_pattern(32, weight, &mut |bits| {
@@ -149,11 +152,7 @@ fn classify<C: SystematicCode>(
 /// such that every storage error of weight `<= d` is corrected-or-detected
 /// (checked empirically up to `max_weight` on the given data word).
 #[must_use]
-pub fn guaranteed_strength<C: SystematicCode>(
-    code: &C,
-    data: u32,
-    max_weight: u32,
-) -> (u32, u32) {
+pub fn guaranteed_strength<C: SystematicCode>(code: &C, data: u32, max_weight: u32) -> (u32, u32) {
     let mut correct_to = 0;
     let mut detect_to = 0;
     for w in 1..=max_weight {

@@ -55,8 +55,8 @@ pub mod analysis;
 mod code;
 mod hamming;
 mod hsiao;
-mod parity;
 pub mod layout;
+mod parity;
 pub mod report;
 mod residue;
 pub mod swap;
@@ -65,9 +65,7 @@ pub use code::{AnyCode, CodeKind, RawDecode, SystematicCode};
 pub use hamming::SecCode;
 pub use hsiao::HsiaoSecDed;
 pub use parity::ParityCode;
-pub use residue::{
-    carry_adjustment, Residue, ResidueCode, ResidueMadPredictor, ResidueRecoder,
-};
+pub use residue::{carry_adjustment, Residue, ResidueCode, ResidueMadPredictor, ResidueRecoder};
 
 /// Even parity of a 32-bit word (`true` if the number of set bits is odd).
 #[inline]

@@ -130,7 +130,10 @@ impl<C: SystematicCode> DpReporter<C> {
     /// make *correction* safe).
     #[must_use]
     pub fn new(code: C) -> Self {
-        assert!(code.corrects(), "data-parity reporting needs a correcting code");
+        assert!(
+            code.corrects(),
+            "data-parity reporting needs a correcting code"
+        );
         Self { code }
     }
 
@@ -413,11 +416,7 @@ mod tests {
                     }
                 }
                 let r = rep.read(w);
-                assert!(
-                    r.event.is_due(),
-                    "double ({i},{j}) produced {:?}",
-                    r.event
-                );
+                assert!(r.event.is_due(), "double ({i},{j}) produced {:?}", r.event);
             }
         }
     }

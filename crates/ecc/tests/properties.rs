@@ -4,8 +4,8 @@ use proptest::prelude::*;
 use swapcodes_ecc::report::{DpWord, SecDedDp, SecDp};
 use swapcodes_ecc::swap::{shadow_strike, StrikeOutcome};
 use swapcodes_ecc::{
-    parity32, CodeKind, HsiaoSecDed, RawDecode, ResidueCode, ResidueMadPredictor,
-    ResidueRecoder, SecCode, SystematicCode,
+    parity32, CodeKind, HsiaoSecDed, RawDecode, ResidueCode, ResidueMadPredictor, ResidueRecoder,
+    SecCode, SystematicCode,
 };
 
 proptest! {

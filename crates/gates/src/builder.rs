@@ -616,7 +616,12 @@ mod tests {
         cb.output(&out);
         cb.output(&Bv::from_bits(vec![sticky]));
         let n = cb.finish();
-        for (a, s) in [(0b1011_0000u64, 4u64), (0b1011_0001, 4), (1, 1), (0xFFFF, 16)] {
+        for (a, s) in [
+            (0b1011_0000u64, 4u64),
+            (0b1011_0001, 4),
+            (1, 1),
+            (0xFFFF, 16),
+        ] {
             let r = n.evaluate(&[a, s]);
             assert_eq!(r[0], a >> s, "{a} >> {s}");
             let lost = a & ((1u64 << s.min(16)) - 1);
@@ -644,7 +649,7 @@ mod tests {
         let c = cb.lzc(&a);
         cb.output(&c);
         let n = cb.finish();
-        for v in [0u64, 1, 0x80_0000, 0x40_0000, 0x0000_F0, 0xFF_FFFF] {
+        for v in [0u64, 1, 0x0080_0000, 0x0040_0000, 0x0000_00F0, 0x00FF_FFFF] {
             let expect = u64::from(v.leading_zeros()) - 40; // 24-bit view
             assert_eq!(n.evaluate(&[v])[0], expect, "lzc({v:#x})");
         }

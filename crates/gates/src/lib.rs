@@ -40,4 +40,4 @@ pub mod softfloat;
 pub mod units;
 
 pub use builder::{Bv, CircuitBuilder};
-pub use netlist::{Gate, Netlist, NodeId};
+pub use netlist::{BatchResult, EvalScratch, Gate, Netlist, NodeId};

@@ -200,47 +200,73 @@ impl Netlist {
     /// indexed like `flips` with one extra trailing entry for the fault-free
     /// lane.
     ///
+    /// Allocates fresh buffers per call; hot callers (injection campaigns)
+    /// should hold an [`EvalScratch`] and a [`BatchResult`] and use
+    /// [`Netlist::evaluate_batch_with`] instead.
+    ///
     /// # Panics
     ///
     /// Panics if `flips.len() > 63` or inputs are missing.
     #[must_use]
     pub fn evaluate_batch(&self, inputs: &[u64], flips: &[NodeId]) -> BatchResult {
-        assert!(flips.len() <= 63, "at most 63 faulty lanes per batch");
-        let lanes = self.evaluate_lanes(inputs, flips);
-        let per_output: Vec<Vec<u64>> = self
-            .outputs
-            .iter()
-            .map(|bits| {
-                let mut words = vec![0u64; flips.len() + 1];
-                for (pos, &bit_node) in bits.iter().enumerate() {
-                    let lane_bits = lanes[bit_node as usize];
-                    for (lane, w) in words.iter_mut().enumerate() {
-                        // Lane `flips.len()` is the fault-free lane.
-                        let lane_idx = if lane == flips.len() { 63 } else { lane };
-                        if lane_bits >> lane_idx & 1 != 0 {
-                            *w |= 1u64 << pos;
-                        }
-                    }
-                }
-                words
-            })
-            .collect();
-        BatchResult { per_output }
+        let mut scratch = EvalScratch::new();
+        let mut out = BatchResult::default();
+        self.evaluate_batch_with(inputs, flips, &mut scratch, &mut out);
+        out
     }
 
-    /// Per-node lane evaluation. Lane 63 is always fault-free; lane `i`
-    /// (i < flips.len()) has `flips[i]` inverted.
-    fn evaluate_lanes(&self, inputs: &[u64], flips: &[NodeId]) -> Vec<u64> {
+    /// Allocation-free form of [`Netlist::evaluate_batch`]: node values and
+    /// flip masks live in `scratch`, per-lane output words in `out`, and
+    /// both are reused across calls (the first call sizes them, later calls
+    /// only overwrite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flips.len() > 63` or inputs are missing.
+    pub fn evaluate_batch_with(
+        &self,
+        inputs: &[u64],
+        flips: &[NodeId],
+        scratch: &mut EvalScratch,
+        out: &mut BatchResult,
+    ) {
+        assert!(flips.len() <= 63, "at most 63 faulty lanes per batch");
+        self.evaluate_lanes_into(inputs, flips, scratch);
+        let lanes = &scratch.values;
+        out.per_output.resize(self.outputs.len(), Vec::new());
+        for (bits, words) in self.outputs.iter().zip(out.per_output.iter_mut()) {
+            words.clear();
+            words.resize(flips.len() + 1, 0);
+            for (pos, &bit_node) in bits.iter().enumerate() {
+                let lane_bits = lanes[bit_node as usize];
+                for (lane, w) in words.iter_mut().enumerate() {
+                    // Lane `flips.len()` is the fault-free lane.
+                    let lane_idx = if lane == flips.len() { 63 } else { lane };
+                    if lane_bits >> lane_idx & 1 != 0 {
+                        *w |= 1u64 << pos;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Per-node lane evaluation into `scratch`. Lane 63 is always
+    /// fault-free; lane `i` (i < flips.len()) has `flips[i]` inverted.
+    ///
+    /// The flip-mask buffer is kept all-zero between calls by sparsely
+    /// resetting exactly the nodes in `flips` on the way out, so no
+    /// node-count-sized buffer is zeroed (or allocated) per call.
+    fn evaluate_lanes_into(&self, inputs: &[u64], flips: &[NodeId], scratch: &mut EvalScratch) {
         assert_eq!(
             inputs.len(),
             usize::from(self.input_words),
             "wrong number of input words"
         );
-        let mut flip_mask = vec![0u64; self.nodes.len()];
+        scratch.ensure_capacity(self.nodes.len());
         for (lane, &node) in flips.iter().enumerate() {
-            flip_mask[node as usize] |= 1u64 << lane;
+            scratch.flip_mask[node as usize] |= 1u64 << lane;
         }
-        let mut v = vec![0u64; self.nodes.len()];
+        let v = &mut scratch.values;
         for (i, gate) in self.nodes.iter().enumerate() {
             let val = match *gate {
                 Gate::Input { word, bit } => {
@@ -270,21 +296,25 @@ impl Netlist {
                 }
                 Gate::Ff(a) => v[a as usize],
             };
-            v[i] = val ^ flip_mask[i];
+            v[i] = val ^ scratch.flip_mask[i];
         }
-        v
+        // Sparse reset: `flips` is exactly the dirty set.
+        for &node in flips {
+            scratch.flip_mask[node as usize] = 0;
+        }
     }
 
     fn evaluate_words(&self, inputs: &[u64], flips: &[NodeId]) -> Vec<u64> {
         // Single-lane path: run the faulty configuration in lane 0.
-        let lanes = self.evaluate_lanes(inputs, flips);
+        let mut scratch = EvalScratch::new();
+        self.evaluate_lanes_into(inputs, flips, &mut scratch);
         let lane = if flips.is_empty() { 63 } else { 0 };
         self.outputs
             .iter()
             .map(|bits| {
                 let mut w = 0u64;
                 for (pos, &bit_node) in bits.iter().enumerate() {
-                    if lanes[bit_node as usize] >> lane & 1 != 0 {
+                    if scratch.values[bit_node as usize] >> lane & 1 != 0 {
                         w |= 1u64 << pos;
                     }
                 }
@@ -294,8 +324,40 @@ impl Netlist {
     }
 }
 
+/// Reusable evaluation buffers for [`Netlist::evaluate_batch_with`].
+///
+/// One scratch serves netlists of any size (buffers grow to the largest
+/// netlist seen and are then reused); the flip-mask invariant — all zeros
+/// between calls — is maintained by sparse resets, never by re-zeroing the
+/// whole buffer.
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    /// Per-node lane values (fully overwritten every evaluation).
+    values: Vec<u64>,
+    /// Per-node flip masks (all-zero between evaluations).
+    flip_mask: Vec<u64>,
+}
+
+impl EvalScratch {
+    /// Create an empty scratch; buffers are sized on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure_capacity(&mut self, nodes: usize) {
+        if self.values.len() < nodes {
+            self.values.resize(nodes, 0);
+            self.flip_mask.resize(nodes, 0);
+        }
+    }
+}
+
 /// Result of a batched fault-injection evaluation.
-#[derive(Debug, Clone)]
+///
+/// `BatchResult::default()` is an empty result intended as a reusable
+/// output buffer for [`Netlist::evaluate_batch_with`].
+#[derive(Debug, Clone, Default)]
 pub struct BatchResult {
     per_output: Vec<Vec<u64>>,
 }
@@ -361,6 +423,38 @@ mod tests {
             assert_eq!(batch.output(0, lane), n.evaluate_flipped(&[1, 1], f)[0]);
         }
         assert_eq!(batch.golden(0), n.evaluate(&[1, 1])[0]);
+
+        // The scratch-reusing form is bit-identical across repeated calls on
+        // the same buffers (the flip-mask sparse reset must leave no residue
+        // between batches with different flip sets and inputs).
+        let mut scratch = EvalScratch::new();
+        let mut out = BatchResult::default();
+        for inputs in [[1u64, 1], [1, 0], [0, 1], [0, 0]] {
+            for flip_set in [&flips[..], &flips[..1], &[]] {
+                n.evaluate_batch_with(&inputs, flip_set, &mut scratch, &mut out);
+                for (lane, &f) in flip_set.iter().enumerate() {
+                    assert_eq!(out.output(0, lane), n.evaluate_flipped(&inputs, f)[0]);
+                }
+                assert_eq!(out.golden(0), n.evaluate(&inputs)[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn one_scratch_serves_netlists_of_different_sizes() {
+        let big = half_adder();
+        let mut small = Netlist::new(1);
+        let a = small.push(Gate::Input { word: 0, bit: 0 });
+        let inv = small.push(Gate::Not(a));
+        small.add_output(vec![inv]);
+
+        let mut scratch = EvalScratch::new();
+        let mut out = BatchResult::default();
+        big.evaluate_batch_with(&[1, 1], &big.injectable_nodes(), &mut scratch, &mut out);
+        assert_eq!(out.golden(0), 0b10);
+        small.evaluate_batch_with(&[1], &[inv], &mut scratch, &mut out);
+        assert_eq!(out.golden(0), 0);
+        assert_eq!(out.output(0, 0), 1, "flipping the inverter restores 1");
     }
 
     #[test]

@@ -56,10 +56,7 @@ pub fn optimize(net: &Netlist) -> (Netlist, OptStats) {
 
     // Pass 1: fold forward. (We materialise nodes for everything reachable;
     // dead ones are pruned in pass 2.)
-    let fold = |i: usize,
-                    gate: &Gate,
-                    lowered: &mut Vec<Option<Lowered>>,
-                    out: &mut Netlist| {
+    let fold = |i: usize, gate: &Gate, lowered: &mut Vec<Option<Lowered>>, out: &mut Netlist| {
         use Lowered::{False, Node, True};
         let get = |x: NodeId, lowered: &[Option<Lowered>]| lowered[x as usize].expect("topo order");
         let l = match *gate {

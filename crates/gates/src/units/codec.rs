@@ -57,7 +57,12 @@ pub fn secded_decoder() -> Netlist {
     let detected = cb.and(t, not_data);
 
     cb.output(&Bv::from_bits(corrected));
-    cb.output(&Bv::from_bits(vec![clean, any_data, corrected_check, detected]));
+    cb.output(&Bv::from_bits(vec![
+        clean,
+        any_data,
+        corrected_check,
+        detected,
+    ]));
     cb.finish()
 }
 
@@ -423,22 +428,12 @@ mod tests {
             let got = net.evaluate(&[u64::from(z_lo), 0, 0, 0b00])[0];
             assert_eq!(got, u64::from(code.of_u32(z_lo).value()), "direct a={a}");
             // Recode low: Zadj = Z_hi.
-            let got = net.evaluate(&[
-                0,
-                u64::from(rz.value()),
-                u64::from(z_hi),
-                0b01,
-            ])[0];
+            let got = net.evaluate(&[0, u64::from(rz.value()), u64::from(z_hi), 0b01])[0];
             let want = rec.recode_low(rz, code.of_u32(z_hi));
             assert_eq!(got, u64::from(want.value()), "low a={a}");
             assert_eq!(want, code.of_u32(z_lo));
             // Recode high: Zadj = Z_lo.
-            let got = net.evaluate(&[
-                0,
-                u64::from(rz.value()),
-                u64::from(z_lo),
-                0b11,
-            ])[0];
+            let got = net.evaluate(&[0, u64::from(rz.value()), u64::from(z_lo), 0b11])[0];
             let want = rec.recode_high(rz, code.of_u32(z_lo));
             assert_eq!(got, u64::from(want.value()), "high a={a}");
             assert_eq!(want, code.of_u32(z_hi));
@@ -455,7 +450,7 @@ mod tests {
         // correction.
         let out = net.evaluate(&[u64::from(data), good_parity, 0b0010])[0];
         assert_eq!(out, 0b110); // due_pipe | due, no allow
-        // Correctable + inconsistent parity -> storage correction allowed.
+                                // Correctable + inconsistent parity -> storage correction allowed.
         let out = net.evaluate(&[u64::from(data), good_parity ^ 1, 0b0010])[0];
         assert_eq!(out, 0b001);
         // Detected -> DUE.
@@ -562,9 +557,6 @@ mod secded_predict_tests {
         let add = area(&optimize(crate::units::fxp_add32().netlist()).0);
         // The paper (§VI) argues SEC-DED add/sub prediction is viable; the
         // predictor must be a small fraction of the adder it covers.
-        assert!(
-            pred.nand2_logic < add.nand2_logic,
-            "{pred:?} vs {add:?}"
-        );
+        assert!(pred.nand2_logic < add.nand2_logic, "{pred:?} vs {add:?}");
     }
 }

@@ -31,7 +31,7 @@ fn unpack(cb: &mut CircuitBuilder, x: &Bv, fmt: FpFormat) -> Unpacked {
     let exp = x.slice(m, m + e);
     let sign = x.bit(m + e);
     let normal = cb.reduce_or(&exp); // exp != 0 (FTZ for subnormals)
-    // Hidden bit = normal; frac field is gated off when flushing to zero.
+                                     // Hidden bit = normal; frac field is gated off when flushing to zero.
     let gated = cb.bv_gate(&man_field, normal);
     let frac = gated.concat(&Bv::from_bits(vec![normal]));
     Unpacked { sign, exp, frac }
@@ -349,14 +349,7 @@ pub fn fp_fma(fmt: FpFormat) -> ArithUnit {
     let sign_res = cb.mux(negated, sc, sp);
     let zero_sign = cb.and(sp, sc);
     let computed = round_pack(
-        &mut cb,
-        fmt,
-        &norm,
-        &e_res,
-        sign_res,
-        sticky_c,
-        force_zero,
-        zero_sign,
+        &mut cb, fmt, &norm, &e_res, sign_res, sticky_c, force_zero, zero_sign,
     );
 
     // Case A / zero product: the result is exactly (flushed) c.
@@ -401,7 +394,7 @@ mod tests {
             (0.0, 0.0),
             (-0.0, -0.0),
             (1e-30, -1e-30),
-            (123456.78, -123456.70),
+            (123_456.78, -123_456.7),
             (f32::MIN_POSITIVE, f32::MIN_POSITIVE),
         ];
         for &(x, y) in cases {
@@ -480,14 +473,17 @@ mod tests {
             let x = random_normal32(&mut rng);
             let y = if rng.gen_bool(0.3) {
                 // Near-cancellation stress.
-                f32::from_bits(x.to_bits() ^ (rng.gen_range(0u32..8))) * -1.0
+                -f32::from_bits(x.to_bits() ^ (rng.gen_range(0u32..8)))
             } else {
                 random_normal32(&mut rng)
             };
             let (a, b) = (u64::from(x.to_bits()), u64::from(y.to_bits()));
             let got = unit.netlist().evaluate(&[a, b])[0];
             let want = unit.reference([a, b, 0]);
-            assert!(same32(got, want), "{x:e} + {y:e}: got {got:#x} want {want:#x}");
+            assert!(
+                same32(got, want),
+                "{x:e} + {y:e}: got {got:#x} want {want:#x}"
+            );
         }
     }
 

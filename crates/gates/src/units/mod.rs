@@ -14,7 +14,7 @@ mod fxp;
 
 pub use codec::{
     mad_residue_predictor, move_propagate_mux, recoding_residue_encoder, residue_add_predictor,
-    residue_encoder, secded_add_predictor, secded_dp_report_logic, secded_decoder,
+    residue_encoder, secded_add_predictor, secded_decoder, secded_dp_report_logic,
 };
 pub use fp::{fp_add, fp_fma};
 pub use fxp::{fxp_add32, fxp_add32_ripple, fxp_mad32};

@@ -2,23 +2,22 @@
 //! software references across random operands.
 
 use proptest::prelude::*;
+use swapcodes_ecc::{HsiaoSecDed, RawDecode, ResidueCode, ResidueMadPredictor, SystematicCode};
+use swapcodes_gates::softfloat::{BINARY32, BINARY64};
 use swapcodes_gates::units::{
     build_unit, mad_residue_predictor, residue_encoder, secded_decoder, UnitKind,
 };
-use swapcodes_gates::softfloat::{BINARY32, BINARY64};
-use swapcodes_ecc::{HsiaoSecDed, RawDecode, ResidueCode, ResidueMadPredictor, SystematicCode};
+use swapcodes_gates::{EvalScratch, Gate, Netlist, NodeId};
 
 /// A strategy for normal (or zero) binary32 encodings.
 fn normal32() -> impl Strategy<Value = u64> {
-    (any::<bool>(), 64u32..190, 0u32..(1 << 23)).prop_map(|(s, e, m)| {
-        u64::from((u32::from(s) << 31) | (e << 23) | m)
-    })
+    (any::<bool>(), 64u32..190, 0u32..(1 << 23))
+        .prop_map(|(s, e, m)| u64::from((u32::from(s) << 31) | (e << 23) | m))
 }
 
 fn normal64() -> impl Strategy<Value = u64> {
-    (any::<bool>(), 800u64..1250, 0u64..(1 << 52)).prop_map(|(s, e, m)| {
-        (u64::from(s) << 63) | (e << 52) | m
-    })
+    (any::<bool>(), 800u64..1250, 0u64..(1 << 52))
+        .prop_map(|(s, e, m)| (u64::from(s) << 63) | (e << 52) | m)
 }
 
 proptest! {
@@ -142,5 +141,91 @@ proptest! {
             .netlist()
             .evaluate_batch(&[u64::from(a), u64::from(b)], &[node]);
         prop_assert_eq!(batch.golden(0), u64::from(a.wrapping_add(b)));
+    }
+}
+
+/// Build a random but well-formed netlist from a gate recipe: each entry
+/// selects a gate kind and operand nodes among the nodes pushed so far.
+fn random_netlist(recipe: &[(u8, u32, u32, u32)]) -> Netlist {
+    let mut net = Netlist::new(2);
+    let mut nodes: Vec<NodeId> = Vec::new();
+    for word in 0..2u16 {
+        for bit in 0..8u8 {
+            nodes.push(net.push(Gate::Input { word, bit }));
+        }
+    }
+    for &(kind, a, b, c) in recipe {
+        let pick = |x: u32| nodes[x as usize % nodes.len()];
+        let gate = match kind % 10 {
+            0 => Gate::Const(a % 2 == 1),
+            1 => Gate::Not(pick(a)),
+            2 => Gate::And(pick(a), pick(b)),
+            3 => Gate::Or(pick(a), pick(b)),
+            4 => Gate::Xor(pick(a), pick(b)),
+            5 => Gate::Nand(pick(a), pick(b)),
+            6 => Gate::Nor(pick(a), pick(b)),
+            7 => Gate::Xnor(pick(a), pick(b)),
+            8 => Gate::Mux {
+                s: pick(a),
+                a: pick(b),
+                b: pick(c),
+            },
+            _ => Gate::Ff(pick(a)),
+        };
+        nodes.push(net.push(gate));
+    }
+    let tail: Vec<NodeId> = nodes.iter().rev().take(16).copied().collect();
+    net.add_output(tail);
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On arbitrary random netlists, batch evaluation through one reused
+    /// [`EvalScratch`] is bit-identical to a fresh-allocation batch and to
+    /// per-flip serial evaluation — i.e. scratch reuse leaves no residue
+    /// between calls, netlists, or flip sets.
+    #[test]
+    fn scratch_reuse_matches_fresh_on_random_netlists(
+        recipe in proptest::collection::vec(
+            (any::<u8>(), any::<u32>(), any::<u32>(), any::<u32>()),
+            4..96,
+        ),
+        in_a: u64,
+        in_b: u64,
+        flip_seed: u64,
+    ) {
+        let net = random_netlist(&recipe);
+        let nodes = net.injectable_nodes();
+        let inputs = [in_a, in_b];
+
+        let mut scratch = EvalScratch::new();
+        let mut out = swapcodes_gates::BatchResult::default();
+        // Several flip sets of different sizes through the same scratch.
+        for round in 0..4u64 {
+            let k = 1 + (flip_seed.rotate_left(8 * round as u32) as usize) % 63.min(nodes.len());
+            let flips: Vec<NodeId> = (0..k)
+                .map(|i| {
+                    let ix = flip_seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(round * 1_000 + i as u64);
+                    nodes[ix as usize % nodes.len()]
+                })
+                .collect();
+            net.evaluate_batch_with(&inputs, &flips, &mut scratch, &mut out);
+            let fresh = net.evaluate_batch(&inputs, &flips);
+            for w in 0..net.output_words() {
+                prop_assert_eq!(out.golden(w), fresh.golden(w), "golden lane, word {}", w);
+                prop_assert_eq!(out.golden(w), net.evaluate(&inputs)[w]);
+                for (lane, &flip) in flips.iter().enumerate() {
+                    prop_assert_eq!(
+                        out.output(w, lane),
+                        net.evaluate_flipped(&inputs, flip)[w],
+                        "lane {} flipping node {}", lane, flip
+                    );
+                }
+            }
+        }
     }
 }

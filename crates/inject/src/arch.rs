@@ -50,12 +50,7 @@ impl ArchOutcomes {
 ///
 /// Panics if the scheme cannot be applied to the workload.
 #[must_use]
-pub fn arch_campaign(
-    workload: &Workload,
-    scheme: Scheme,
-    trials: u32,
-    seed: u64,
-) -> ArchOutcomes {
+pub fn arch_campaign(workload: &Workload, scheme: Scheme, trials: u32, seed: u64) -> ArchOutcomes {
     let t = swapcodes_core::apply(scheme, &workload.kernel, workload.launch)
         .expect("scheme applies to workload");
     // Golden run (also counts the eligible instructions for targeting).

@@ -98,8 +98,14 @@ mod tests {
     #[test]
     fn residue_misses_multiples_of_the_modulus() {
         let records = vec![
-            InjectionRecord { golden: 100, faulty: 103 }, // +3: aliases mod 3
-            InjectionRecord { golden: 100, faulty: 101 }, // +1: detected
+            InjectionRecord {
+                golden: 100,
+                faulty: 103,
+            }, // +3: aliases mod 3
+            InjectionRecord {
+                golden: 100,
+                faulty: 101,
+            }, // +1: detected
         ];
         let tally = sdc_risk(&fake_result(records, 32), CodeKind::Residue { a: 2 });
         assert_eq!(tally.sdc, 1);

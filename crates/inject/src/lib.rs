@@ -26,6 +26,8 @@ pub mod trace;
 
 pub use arch::{arch_campaign, ArchOutcomes};
 pub use detection::{sdc_risk, DetectionTally};
-pub use gate::{run_unit_campaign, CampaignConfig, PatternCounts, UnitCampaignResult};
+pub use gate::{
+    default_thread_count, run_unit_campaign, CampaignConfig, PatternCounts, UnitCampaignResult,
+};
 pub use stats::Proportion;
 pub use trace::workload_operand_streams;

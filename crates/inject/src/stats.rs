@@ -80,7 +80,10 @@ mod tests {
         for (s, n) in [(0u64, 100u64), (1, 100), (50, 100), (100, 100), (3, 10_000)] {
             let p = Proportion::new(s, n);
             let (lo, hi) = p.wilson95();
-            assert!(lo <= p.point() + 1e-12 && p.point() <= hi + 1e-12, "{s}/{n}");
+            assert!(
+                lo <= p.point() + 1e-12 && p.point() <= hi + 1e-12,
+                "{s}/{n}"
+            );
             assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
         }
     }

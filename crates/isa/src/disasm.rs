@@ -82,7 +82,12 @@ pub fn disasm_op(op: &Op) -> String {
             format!("{m} {d}:{}, {a}, {b}, {c}:{}", d.pair_hi(), c.pair_hi())
         }
         Op::DAdd { d, a, b } | Op::DMul { d, a, b } => {
-            format!("{m} {d}:{}, {a}:{}, {b}:{}", d.pair_hi(), a.pair_hi(), b.pair_hi())
+            format!(
+                "{m} {d}:{}, {a}:{}, {b}:{}",
+                d.pair_hi(),
+                a.pair_hi(),
+                b.pair_hi()
+            )
         }
         Op::DFma { d, a, b, c } => format!(
             "{m} {d}:{}, {a}:{}, {b}:{}, {c}:{}",
@@ -91,19 +96,45 @@ pub fn disasm_op(op: &Op) -> String {
             b.pair_hi(),
             c.pair_hi()
         ),
-        Op::SetP { p, cmp: c, ty, a, b } => {
+        Op::SetP {
+            p,
+            cmp: c,
+            ty,
+            a,
+            b,
+        } => {
             format!("{m}.{}.{} {p}, {a}, {}", cmp(c), cmp_ty(ty), src(b))
         }
         Op::Sel { d, p, a, b } => format!("{m} {d}, {p}, {a}, {}", src(b)),
-        Op::Ld { d, space, addr, offset, width } => format!(
+        Op::Ld {
+            d,
+            space,
+            addr,
+            offset,
+            width,
+        } => format!(
             "{m}{} {d}, [{addr}{offset:+}]{}",
             if width == MemWidth::W64 { ".64" } else { "" },
-            if space == MemSpace::Shared { "  // shared" } else { "" }
+            if space == MemSpace::Shared {
+                "  // shared"
+            } else {
+                ""
+            }
         ),
-        Op::St { space, addr, offset, v, width } => format!(
+        Op::St {
+            space,
+            addr,
+            offset,
+            v,
+            width,
+        } => format!(
             "{m}{} [{addr}{offset:+}], {v}{}",
             if width == MemWidth::W64 { ".64" } else { "" },
-            if space == MemSpace::Shared { "  // shared" } else { "" }
+            if space == MemSpace::Shared {
+                "  // shared"
+            } else {
+                ""
+            }
         ),
         Op::AtomAdd { addr, offset, v } => format!("{m} [{addr}{offset:+}], {v}"),
         Op::Shfl { d, a, mode } => match mode {

@@ -39,7 +39,5 @@ pub mod validate;
 
 pub use instr::{Instr, Role};
 pub use kernel::{Kernel, KernelBuilder, Label};
-pub use op::{
-    CmpOp, CmpTy, FuncUnit, MemSpace, MemWidth, Op, RegRole, ShflMode, SpecialReg, Src,
-};
+pub use op::{CmpOp, CmpTy, FuncUnit, MemSpace, MemWidth, Op, RegRole, ShflMode, SpecialReg, Src};
 pub use reg::{Pred, Reg, PT, RZ};

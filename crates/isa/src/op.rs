@@ -119,59 +119,203 @@ pub enum RegRole {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum Op {
-    Mov { d: Reg, a: Src },
-    S2R { d: Reg, sr: SpecialReg },
-    IAdd { d: Reg, a: Reg, b: Src },
-    ISub { d: Reg, a: Reg, b: Src },
-    IMul { d: Reg, a: Reg, b: Src },
+    Mov {
+        d: Reg,
+        a: Src,
+    },
+    S2R {
+        d: Reg,
+        sr: SpecialReg,
+    },
+    IAdd {
+        d: Reg,
+        a: Reg,
+        b: Src,
+    },
+    ISub {
+        d: Reg,
+        a: Reg,
+        b: Src,
+    },
+    IMul {
+        d: Reg,
+        a: Reg,
+        b: Src,
+    },
     /// 32-bit multiply-add: `d = a*b + c` (low 32 bits).
-    IMad { d: Reg, a: Reg, b: Reg, c: Reg },
+    IMad {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+        c: Reg,
+    },
     /// Mixed-width multiply-add: pair `d = a*b + pair c` (the GPU MAD of
     /// §III-C, with 32-bit multiplicands and a 64-bit addend/result).
-    IMadWide { d: Reg, a: Reg, b: Reg, c: Reg },
-    IMin { d: Reg, a: Reg, b: Src },
-    IMax { d: Reg, a: Reg, b: Src },
-    Shl { d: Reg, a: Reg, b: Src },
-    Shr { d: Reg, a: Reg, b: Src },
-    And { d: Reg, a: Reg, b: Src },
-    Or { d: Reg, a: Reg, b: Src },
-    Xor { d: Reg, a: Reg, b: Src },
-    Not { d: Reg, a: Reg },
-    FAdd { d: Reg, a: Reg, b: Src },
-    FMul { d: Reg, a: Reg, b: Src },
-    FFma { d: Reg, a: Reg, b: Reg, c: Reg },
-    FMin { d: Reg, a: Reg, b: Src },
-    FMax { d: Reg, a: Reg, b: Src },
+    IMadWide {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+        c: Reg,
+    },
+    IMin {
+        d: Reg,
+        a: Reg,
+        b: Src,
+    },
+    IMax {
+        d: Reg,
+        a: Reg,
+        b: Src,
+    },
+    Shl {
+        d: Reg,
+        a: Reg,
+        b: Src,
+    },
+    Shr {
+        d: Reg,
+        a: Reg,
+        b: Src,
+    },
+    And {
+        d: Reg,
+        a: Reg,
+        b: Src,
+    },
+    Or {
+        d: Reg,
+        a: Reg,
+        b: Src,
+    },
+    Xor {
+        d: Reg,
+        a: Reg,
+        b: Src,
+    },
+    Not {
+        d: Reg,
+        a: Reg,
+    },
+    FAdd {
+        d: Reg,
+        a: Reg,
+        b: Src,
+    },
+    FMul {
+        d: Reg,
+        a: Reg,
+        b: Src,
+    },
+    FFma {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+        c: Reg,
+    },
+    FMin {
+        d: Reg,
+        a: Reg,
+        b: Src,
+    },
+    FMax {
+        d: Reg,
+        a: Reg,
+        b: Src,
+    },
     /// SFU reciprocal approximation.
-    MufuRcp { d: Reg, a: Reg },
+    MufuRcp {
+        d: Reg,
+        a: Reg,
+    },
     /// SFU square root.
-    MufuSqrt { d: Reg, a: Reg },
+    MufuSqrt {
+        d: Reg,
+        a: Reg,
+    },
     /// SFU `2^x`.
-    MufuEx2 { d: Reg, a: Reg },
+    MufuEx2 {
+        d: Reg,
+        a: Reg,
+    },
     /// SFU `log2(x)`.
-    MufuLg2 { d: Reg, a: Reg },
+    MufuLg2 {
+        d: Reg,
+        a: Reg,
+    },
     /// Convert signed int to f32.
-    I2F { d: Reg, a: Reg },
+    I2F {
+        d: Reg,
+        a: Reg,
+    },
     /// Convert f32 to signed int (truncating).
-    F2I { d: Reg, a: Reg },
+    F2I {
+        d: Reg,
+        a: Reg,
+    },
     /// 64-bit float add on register pairs.
-    DAdd { d: Reg, a: Reg, b: Reg },
-    DMul { d: Reg, a: Reg, b: Reg },
-    DFma { d: Reg, a: Reg, b: Reg, c: Reg },
-    SetP { p: Pred, cmp: CmpOp, ty: CmpTy, a: Reg, b: Src },
+    DAdd {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    DMul {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    DFma {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+        c: Reg,
+    },
+    SetP {
+        p: Pred,
+        cmp: CmpOp,
+        ty: CmpTy,
+        a: Reg,
+        b: Src,
+    },
     /// `d = p ? a : b`.
-    Sel { d: Reg, p: Pred, a: Reg, b: Src },
-    Ld { d: Reg, space: MemSpace, addr: Reg, offset: i32, width: MemWidth },
-    St { space: MemSpace, addr: Reg, offset: i32, v: Reg, width: MemWidth },
+    Sel {
+        d: Reg,
+        p: Pred,
+        a: Reg,
+        b: Src,
+    },
+    Ld {
+        d: Reg,
+        space: MemSpace,
+        addr: Reg,
+        offset: i32,
+        width: MemWidth,
+    },
+    St {
+        space: MemSpace,
+        addr: Reg,
+        offset: i32,
+        v: Reg,
+        width: MemWidth,
+    },
     /// Atomic 32-bit add to global memory.
-    AtomAdd { addr: Reg, offset: i32, v: Reg },
+    AtomAdd {
+        addr: Reg,
+        offset: i32,
+        v: Reg,
+    },
     /// Warp shuffle: `d` = `a` of the addressed lane.
-    Shfl { d: Reg, a: Reg, mode: ShflMode },
+    Shfl {
+        d: Reg,
+        a: Reg,
+        mode: ShflMode,
+    },
     /// CTA-wide barrier.
     Bar,
     /// Branch to a resolved instruction index (guarded by the instruction
     /// predicate).
-    Bra { target: usize },
+    Bra {
+        target: usize,
+    },
     Exit,
     /// Error trap (BPT): the software-duplication detector endpoint.
     Trap,
@@ -217,7 +361,9 @@ impl Op {
             | Op::F2I { d, .. }
             | Op::Sel { d, .. }
             | Op::Shfl { d, .. } => d32(d),
-            Op::IMadWide { d, .. } | Op::DAdd { d, .. } | Op::DMul { d, .. }
+            Op::IMadWide { d, .. }
+            | Op::DAdd { d, .. }
+            | Op::DMul { d, .. }
             | Op::DFma { d, .. } => {
                 d32(d);
                 d32(d.pair_hi());
@@ -289,10 +435,18 @@ impl Op {
                 | Op::MufuLg2 { a, .. }
                 | Op::I2F { a, .. }
                 | Op::F2I { a, .. }
-                | Op::Shfl { a, mode: ShflMode::Bfly(_) | ShflMode::Down(_) | ShflMode::Up(_), .. } => {
+                | Op::Shfl {
+                    a,
+                    mode: ShflMode::Bfly(_) | ShflMode::Down(_) | ShflMode::Up(_),
+                    ..
+                } => {
                     u32_(&mut v, a);
                 }
-                Op::Shfl { a, mode: ShflMode::Idx(s), .. } => {
+                Op::Shfl {
+                    a,
+                    mode: ShflMode::Idx(s),
+                    ..
+                } => {
                     u32_(&mut v, a);
                     u_src(&mut v, s);
                 }
@@ -324,7 +478,12 @@ impl Op {
                     u_src(&mut v, b);
                 }
                 Op::Ld { addr, .. } => u32_(&mut v, addr),
-                Op::St { addr, v: val, width, .. } => {
+                Op::St {
+                    addr,
+                    v: val,
+                    width,
+                    ..
+                } => {
                     u32_(&mut v, addr);
                     if width == MemWidth::W64 {
                         u64_(&mut v, val);
@@ -370,11 +529,26 @@ impl Op {
             other => other,
         };
         match *self {
-            Op::Mov { d, a } => Op::Mov { d: m(d, Def), a: ms(a, &mut m) },
+            Op::Mov { d, a } => Op::Mov {
+                d: m(d, Def),
+                a: ms(a, &mut m),
+            },
             Op::S2R { d, sr } => Op::S2R { d: m(d, Def), sr },
-            Op::IAdd { d, a, b } => Op::IAdd { d: m(d, Def), a: m(a, Use), b: ms(b, &mut m) },
-            Op::ISub { d, a, b } => Op::ISub { d: m(d, Def), a: m(a, Use), b: ms(b, &mut m) },
-            Op::IMul { d, a, b } => Op::IMul { d: m(d, Def), a: m(a, Use), b: ms(b, &mut m) },
+            Op::IAdd { d, a, b } => Op::IAdd {
+                d: m(d, Def),
+                a: m(a, Use),
+                b: ms(b, &mut m),
+            },
+            Op::ISub { d, a, b } => Op::ISub {
+                d: m(d, Def),
+                a: m(a, Use),
+                b: ms(b, &mut m),
+            },
+            Op::IMul { d, a, b } => Op::IMul {
+                d: m(d, Def),
+                a: m(a, Use),
+                b: ms(b, &mut m),
+            },
             Op::IMad { d, a, b, c } => Op::IMad {
                 d: m(d, Def),
                 a: m(a, Use),
@@ -387,32 +561,105 @@ impl Op {
                 b: m(b, Use),
                 c: m(c, Use),
             },
-            Op::IMin { d, a, b } => Op::IMin { d: m(d, Def), a: m(a, Use), b: ms(b, &mut m) },
-            Op::IMax { d, a, b } => Op::IMax { d: m(d, Def), a: m(a, Use), b: ms(b, &mut m) },
-            Op::Shl { d, a, b } => Op::Shl { d: m(d, Def), a: m(a, Use), b: ms(b, &mut m) },
-            Op::Shr { d, a, b } => Op::Shr { d: m(d, Def), a: m(a, Use), b: ms(b, &mut m) },
-            Op::And { d, a, b } => Op::And { d: m(d, Def), a: m(a, Use), b: ms(b, &mut m) },
-            Op::Or { d, a, b } => Op::Or { d: m(d, Def), a: m(a, Use), b: ms(b, &mut m) },
-            Op::Xor { d, a, b } => Op::Xor { d: m(d, Def), a: m(a, Use), b: ms(b, &mut m) },
-            Op::Not { d, a } => Op::Not { d: m(d, Def), a: m(a, Use) },
-            Op::FAdd { d, a, b } => Op::FAdd { d: m(d, Def), a: m(a, Use), b: ms(b, &mut m) },
-            Op::FMul { d, a, b } => Op::FMul { d: m(d, Def), a: m(a, Use), b: ms(b, &mut m) },
+            Op::IMin { d, a, b } => Op::IMin {
+                d: m(d, Def),
+                a: m(a, Use),
+                b: ms(b, &mut m),
+            },
+            Op::IMax { d, a, b } => Op::IMax {
+                d: m(d, Def),
+                a: m(a, Use),
+                b: ms(b, &mut m),
+            },
+            Op::Shl { d, a, b } => Op::Shl {
+                d: m(d, Def),
+                a: m(a, Use),
+                b: ms(b, &mut m),
+            },
+            Op::Shr { d, a, b } => Op::Shr {
+                d: m(d, Def),
+                a: m(a, Use),
+                b: ms(b, &mut m),
+            },
+            Op::And { d, a, b } => Op::And {
+                d: m(d, Def),
+                a: m(a, Use),
+                b: ms(b, &mut m),
+            },
+            Op::Or { d, a, b } => Op::Or {
+                d: m(d, Def),
+                a: m(a, Use),
+                b: ms(b, &mut m),
+            },
+            Op::Xor { d, a, b } => Op::Xor {
+                d: m(d, Def),
+                a: m(a, Use),
+                b: ms(b, &mut m),
+            },
+            Op::Not { d, a } => Op::Not {
+                d: m(d, Def),
+                a: m(a, Use),
+            },
+            Op::FAdd { d, a, b } => Op::FAdd {
+                d: m(d, Def),
+                a: m(a, Use),
+                b: ms(b, &mut m),
+            },
+            Op::FMul { d, a, b } => Op::FMul {
+                d: m(d, Def),
+                a: m(a, Use),
+                b: ms(b, &mut m),
+            },
             Op::FFma { d, a, b, c } => Op::FFma {
                 d: m(d, Def),
                 a: m(a, Use),
                 b: m(b, Use),
                 c: m(c, Use),
             },
-            Op::FMin { d, a, b } => Op::FMin { d: m(d, Def), a: m(a, Use), b: ms(b, &mut m) },
-            Op::FMax { d, a, b } => Op::FMax { d: m(d, Def), a: m(a, Use), b: ms(b, &mut m) },
-            Op::MufuRcp { d, a } => Op::MufuRcp { d: m(d, Def), a: m(a, Use) },
-            Op::MufuSqrt { d, a } => Op::MufuSqrt { d: m(d, Def), a: m(a, Use) },
-            Op::MufuEx2 { d, a } => Op::MufuEx2 { d: m(d, Def), a: m(a, Use) },
-            Op::MufuLg2 { d, a } => Op::MufuLg2 { d: m(d, Def), a: m(a, Use) },
-            Op::I2F { d, a } => Op::I2F { d: m(d, Def), a: m(a, Use) },
-            Op::F2I { d, a } => Op::F2I { d: m(d, Def), a: m(a, Use) },
-            Op::DAdd { d, a, b } => Op::DAdd { d: m(d, Def), a: m(a, Use), b: m(b, Use) },
-            Op::DMul { d, a, b } => Op::DMul { d: m(d, Def), a: m(a, Use), b: m(b, Use) },
+            Op::FMin { d, a, b } => Op::FMin {
+                d: m(d, Def),
+                a: m(a, Use),
+                b: ms(b, &mut m),
+            },
+            Op::FMax { d, a, b } => Op::FMax {
+                d: m(d, Def),
+                a: m(a, Use),
+                b: ms(b, &mut m),
+            },
+            Op::MufuRcp { d, a } => Op::MufuRcp {
+                d: m(d, Def),
+                a: m(a, Use),
+            },
+            Op::MufuSqrt { d, a } => Op::MufuSqrt {
+                d: m(d, Def),
+                a: m(a, Use),
+            },
+            Op::MufuEx2 { d, a } => Op::MufuEx2 {
+                d: m(d, Def),
+                a: m(a, Use),
+            },
+            Op::MufuLg2 { d, a } => Op::MufuLg2 {
+                d: m(d, Def),
+                a: m(a, Use),
+            },
+            Op::I2F { d, a } => Op::I2F {
+                d: m(d, Def),
+                a: m(a, Use),
+            },
+            Op::F2I { d, a } => Op::F2I {
+                d: m(d, Def),
+                a: m(a, Use),
+            },
+            Op::DAdd { d, a, b } => Op::DAdd {
+                d: m(d, Def),
+                a: m(a, Use),
+                b: m(b, Use),
+            },
+            Op::DMul { d, a, b } => Op::DMul {
+                d: m(d, Def),
+                a: m(a, Use),
+                b: m(b, Use),
+            },
             Op::DFma { d, a, b, c } => Op::DFma {
                 d: m(d, Def),
                 a: m(a, Use),
@@ -432,14 +679,26 @@ impl Op {
                 a: m(a, Use),
                 b: ms(b, &mut m),
             },
-            Op::Ld { d, space, addr, offset, width } => Op::Ld {
+            Op::Ld {
+                d,
+                space,
+                addr,
+                offset,
+                width,
+            } => Op::Ld {
                 d: m(d, Def),
                 space,
                 addr: m(addr, Use),
                 offset,
                 width,
             },
-            Op::St { space, addr, offset, v, width } => Op::St {
+            Op::St {
+                space,
+                addr,
+                offset,
+                v,
+                width,
+            } => Op::St {
                 space,
                 addr: m(addr, Use),
                 offset,
@@ -508,7 +767,10 @@ impl Op {
             | Op::Xor { .. }
             | Op::Not { .. }
             | Op::SetP { .. } => FuncUnit::Int,
-            Op::FAdd { .. } | Op::FMul { .. } | Op::FFma { .. } | Op::FMin { .. }
+            Op::FAdd { .. }
+            | Op::FMul { .. }
+            | Op::FFma { .. }
+            | Op::FMin { .. }
             | Op::FMax { .. } => FuncUnit::F32,
             Op::MufuRcp { .. } | Op::MufuSqrt { .. } | Op::MufuEx2 { .. } | Op::MufuLg2 { .. } => {
                 FuncUnit::Sfu
@@ -530,8 +792,14 @@ impl Op {
             FuncUnit::F64 => 10,
             FuncUnit::Sfu => 14,
             FuncUnit::Mem => match self {
-                Op::Ld { space: MemSpace::Shared, .. }
-                | Op::St { space: MemSpace::Shared, .. } => 30,
+                Op::Ld {
+                    space: MemSpace::Shared,
+                    ..
+                }
+                | Op::St {
+                    space: MemSpace::Shared,
+                    ..
+                } => 30,
                 _ => 380,
             },
             FuncUnit::Ctrl => 1,
@@ -585,10 +853,22 @@ impl Op {
             Op::DFma { .. } => "DFMA",
             Op::SetP { .. } => "ISETP",
             Op::Sel { .. } => "SEL",
-            Op::Ld { space: MemSpace::Global, .. } => "LDG",
-            Op::Ld { space: MemSpace::Shared, .. } => "LDS",
-            Op::St { space: MemSpace::Global, .. } => "STG",
-            Op::St { space: MemSpace::Shared, .. } => "STS",
+            Op::Ld {
+                space: MemSpace::Global,
+                ..
+            } => "LDG",
+            Op::Ld {
+                space: MemSpace::Shared,
+                ..
+            } => "LDS",
+            Op::St {
+                space: MemSpace::Global,
+                ..
+            } => "STG",
+            Op::St {
+                space: MemSpace::Shared,
+                ..
+            } => "STS",
             Op::AtomAdd { .. } => "ATOM.ADD",
             Op::Shfl { .. } => "SHFL",
             Op::Bar => "BAR.SYNC",
@@ -650,8 +930,17 @@ mod tests {
 
     #[test]
     fn eligibility_classification() {
-        assert!(Op::FAdd { d: Reg(0), a: Reg(1), b: Src::Imm(0) }.is_dup_eligible());
-        assert!(Op::Mov { d: Reg(0), a: Src::Reg(Reg(1)) }.is_dup_eligible());
+        assert!(Op::FAdd {
+            d: Reg(0),
+            a: Reg(1),
+            b: Src::Imm(0)
+        }
+        .is_dup_eligible());
+        assert!(Op::Mov {
+            d: Reg(0),
+            a: Src::Reg(Reg(1))
+        }
+        .is_dup_eligible());
         assert!(!Op::Ld {
             d: Reg(0),
             space: MemSpace::Global,
@@ -669,13 +958,26 @@ mod tests {
             b: Src::Imm(0)
         }
         .is_dup_eligible());
-        assert!(!Op::Shfl { d: Reg(0), a: Reg(1), mode: ShflMode::Bfly(16) }.is_dup_eligible());
+        assert!(!Op::Shfl {
+            d: Reg(0),
+            a: Reg(1),
+            mode: ShflMode::Bfly(16)
+        }
+        .is_dup_eligible());
     }
 
     #[test]
     fn move_detection() {
-        assert!(Op::Mov { d: Reg(0), a: Src::Reg(Reg(1)) }.is_move());
-        assert!(!Op::Mov { d: Reg(0), a: Src::Imm(5) }.is_move());
+        assert!(Op::Mov {
+            d: Reg(0),
+            a: Src::Reg(Reg(1))
+        }
+        .is_move());
+        assert!(!Op::Mov {
+            d: Reg(0),
+            a: Src::Imm(5)
+        }
+        .is_move());
     }
 
     #[test]
@@ -692,8 +994,17 @@ mod tests {
 
     #[test]
     fn latencies_are_ordered() {
-        let int = Op::IAdd { d: Reg(0), a: Reg(1), b: Src::Imm(1) }.dep_latency();
-        let sfu = Op::MufuRcp { d: Reg(0), a: Reg(1) }.dep_latency();
+        let int = Op::IAdd {
+            d: Reg(0),
+            a: Reg(1),
+            b: Src::Imm(1),
+        }
+        .dep_latency();
+        let sfu = Op::MufuRcp {
+            d: Reg(0),
+            a: Reg(1),
+        }
+        .dep_latency();
         let mem = Op::Ld {
             d: Reg(0),
             space: MemSpace::Global,

@@ -37,10 +37,16 @@ impl std::fmt::Display for ValidationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ValidationError::BranchOutOfRange { at, target } => {
-                write!(f, "instruction {at}: branch to out-of-range target {target}")
+                write!(
+                    f,
+                    "instruction {at}: branch to out-of-range target {target}"
+                )
             }
             ValidationError::PairOverflow { at, base } => {
-                write!(f, "instruction {at}: register pair at {base} overflows the file")
+                write!(
+                    f,
+                    "instruction {at}: register pair at {base} overflows the file"
+                )
             }
             ValidationError::PairMisaligned { at, base } => {
                 write!(f, "instruction {at}: register pair base {base} is odd")
@@ -56,8 +62,16 @@ fn pair_bases(op: &Op) -> Vec<Reg> {
         Op::IMadWide { d, c, .. } => vec![d, c],
         Op::DAdd { d, a, b } | Op::DMul { d, a, b } => vec![d, a, b],
         Op::DFma { d, a, b, c } => vec![d, a, b, c],
-        Op::Ld { d, width: MemWidth::W64, .. } => vec![d],
-        Op::St { v, width: MemWidth::W64, .. } => vec![v],
+        Op::Ld {
+            d,
+            width: MemWidth::W64,
+            ..
+        } => vec![d],
+        Op::St {
+            v,
+            width: MemWidth::W64,
+            ..
+        } => vec![v],
         _ => Vec::new(),
     }
 }
@@ -73,10 +87,9 @@ pub fn validate(kernel: &Kernel) -> Result<(), Vec<ValidationError>> {
     let mut has_exit = false;
     for (at, instr) in kernel.instrs().iter().enumerate() {
         match instr.op {
-            Op::Bra { target }
-                if target >= kernel.len() => {
-                    errors.push(ValidationError::BranchOutOfRange { at, target });
-                }
+            Op::Bra { target } if target >= kernel.len() => {
+                errors.push(ValidationError::BranchOutOfRange { at, target });
+            }
             Op::Exit => has_exit = true,
             _ => {}
         }
@@ -123,10 +136,7 @@ mod tests {
     fn detects_bad_branch() {
         let kernel = Kernel::from_instrs(
             "bad",
-            vec![
-                Instr::new(Op::Bra { target: 99 }),
-                Instr::new(Op::Exit),
-            ],
+            vec![Instr::new(Op::Bra { target: 99 }), Instr::new(Op::Exit)],
         );
         let errs = validate(&kernel).unwrap_err();
         assert!(matches!(
@@ -146,13 +156,19 @@ mod tests {
             })],
         );
         let errs = validate(&kernel).unwrap_err();
-        assert!(errs.contains(&ValidationError::PairMisaligned { at: 0, base: Reg(3) }));
+        assert!(errs.contains(&ValidationError::PairMisaligned {
+            at: 0,
+            base: Reg(3)
+        }));
         assert!(errs.contains(&ValidationError::NoExit));
     }
 
     #[test]
     fn error_messages_are_descriptive() {
-        let e = ValidationError::PairOverflow { at: 3, base: Reg(254) };
+        let e = ValidationError::PairOverflow {
+            at: 3,
+            base: Reg(254),
+        };
         assert!(e.to_string().contains("R254"));
     }
 

@@ -13,12 +13,19 @@ fn even_reg() -> impl Strategy<Value = Reg> {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (reg(), reg(), any::<i32>()).prop_map(|(d, a, i)| Op::IAdd { d, a, b: Src::Imm(i) }),
+        (reg(), reg(), any::<i32>()).prop_map(|(d, a, i)| Op::IAdd {
+            d,
+            a,
+            b: Src::Imm(i)
+        }),
         (reg(), reg(), reg(), reg()).prop_map(|(d, a, b, c)| Op::IMad { d, a, b, c }),
-        (even_reg(), reg(), reg(), even_reg())
-            .prop_map(|(d, a, b, c)| Op::IMadWide { d, a, b, c }),
-        (even_reg(), even_reg(), even_reg(), even_reg())
-            .prop_map(|(d, a, b, c)| Op::DFma { d, a, b, c }),
+        (even_reg(), reg(), reg(), even_reg()).prop_map(|(d, a, b, c)| Op::IMadWide { d, a, b, c }),
+        (even_reg(), even_reg(), even_reg(), even_reg()).prop_map(|(d, a, b, c)| Op::DFma {
+            d,
+            a,
+            b,
+            c
+        }),
         (reg(), reg(), reg()).prop_map(|(d, a, b)| Op::FFma { d, a, b, c: b }),
         (reg(), reg()).prop_map(|(d, a)| Op::Mov { d, a: Src::Reg(a) }),
         (reg(), reg(), any::<i32>()).prop_map(|(d, addr, o)| Op::Ld {

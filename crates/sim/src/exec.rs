@@ -301,8 +301,7 @@ impl Runner<'_> {
                     }
                 }
                 // Barrier release: all live warps waiting.
-                let live: Vec<&mut Warp> =
-                    warps.iter_mut().filter(|w| !w.done()).collect();
+                let live: Vec<&mut Warp> = warps.iter_mut().filter(|w| !w.done()).collect();
                 if !live.is_empty() && live.iter().all(|w| w.waiting_bar) {
                     for w in live {
                         w.waiting_bar = false;
@@ -499,7 +498,10 @@ fn exec_op(
     let lanes = (0..32u32).filter(|l| exec_mask & (1 << l) != 0);
 
     // Arithmetic with a 32-bit result.
-    let simple32 = |r: &mut Runner<'_>, w: &mut Warp, d: Reg, f: &dyn Fn(&mut Runner<'_>, &mut Warp, u32) -> u32| {
+    let simple32 = |r: &mut Runner<'_>,
+                    w: &mut Warp,
+                    d: Reg,
+                    f: &dyn Fn(&mut Runner<'_>, &mut Warp, u32) -> u32| {
         for lane in 0..32u32 {
             if exec_mask & (1 << lane) == 0 {
                 continue;
@@ -663,15 +665,21 @@ fn exec_op(
             w.frags[fi].pc += 1;
         }
         Op::And { d, a, b } => {
-            simple32(r, w, d, &|r, w, lane| rd(r, w, lane, a) & rsrc(r, w, lane, b));
+            simple32(r, w, d, &|r, w, lane| {
+                rd(r, w, lane, a) & rsrc(r, w, lane, b)
+            });
             w.frags[fi].pc += 1;
         }
         Op::Or { d, a, b } => {
-            simple32(r, w, d, &|r, w, lane| rd(r, w, lane, a) | rsrc(r, w, lane, b));
+            simple32(r, w, d, &|r, w, lane| {
+                rd(r, w, lane, a) | rsrc(r, w, lane, b)
+            });
             w.frags[fi].pc += 1;
         }
         Op::Xor { d, a, b } => {
-            simple32(r, w, d, &|r, w, lane| rd(r, w, lane, a) ^ rsrc(r, w, lane, b));
+            simple32(r, w, d, &|r, w, lane| {
+                rd(r, w, lane, a) ^ rsrc(r, w, lane, b)
+            });
             w.frags[fi].pc += 1;
         }
         Op::Not { d, a } => {
@@ -720,34 +728,48 @@ fn exec_op(
         }
         Op::FMin { d, a, b } => {
             simple32(r, w, d, &|r, w, lane| {
-                f32b(rd(r, w, lane, a)).min(f32b(rsrc(r, w, lane, b))).to_bits()
+                f32b(rd(r, w, lane, a))
+                    .min(f32b(rsrc(r, w, lane, b)))
+                    .to_bits()
             });
             w.frags[fi].pc += 1;
         }
         Op::FMax { d, a, b } => {
             simple32(r, w, d, &|r, w, lane| {
-                f32b(rd(r, w, lane, a)).max(f32b(rsrc(r, w, lane, b))).to_bits()
+                f32b(rd(r, w, lane, a))
+                    .max(f32b(rsrc(r, w, lane, b)))
+                    .to_bits()
             });
             w.frags[fi].pc += 1;
         }
         Op::MufuRcp { d, a } => {
-            simple32(r, w, d, &|r, w, lane| (1.0 / f32b(rd(r, w, lane, a))).to_bits());
+            simple32(r, w, d, &|r, w, lane| {
+                (1.0 / f32b(rd(r, w, lane, a))).to_bits()
+            });
             w.frags[fi].pc += 1;
         }
         Op::MufuSqrt { d, a } => {
-            simple32(r, w, d, &|r, w, lane| f32b(rd(r, w, lane, a)).sqrt().to_bits());
+            simple32(r, w, d, &|r, w, lane| {
+                f32b(rd(r, w, lane, a)).sqrt().to_bits()
+            });
             w.frags[fi].pc += 1;
         }
         Op::MufuEx2 { d, a } => {
-            simple32(r, w, d, &|r, w, lane| f32b(rd(r, w, lane, a)).exp2().to_bits());
+            simple32(r, w, d, &|r, w, lane| {
+                f32b(rd(r, w, lane, a)).exp2().to_bits()
+            });
             w.frags[fi].pc += 1;
         }
         Op::MufuLg2 { d, a } => {
-            simple32(r, w, d, &|r, w, lane| f32b(rd(r, w, lane, a)).log2().to_bits());
+            simple32(r, w, d, &|r, w, lane| {
+                f32b(rd(r, w, lane, a)).log2().to_bits()
+            });
             w.frags[fi].pc += 1;
         }
         Op::I2F { d, a } => {
-            simple32(r, w, d, &|r, w, lane| (rd(r, w, lane, a) as i32 as f32).to_bits());
+            simple32(r, w, d, &|r, w, lane| {
+                (rd(r, w, lane, a) as i32 as f32).to_bits()
+            });
             w.frags[fi].pc += 1;
         }
         Op::F2I { d, a } => {
@@ -840,7 +862,13 @@ fn exec_op(
             });
             w.frags[fi].pc += 1;
         }
-        Op::Ld { d, space, addr, offset, width } => {
+        Op::Ld {
+            d,
+            space,
+            addr,
+            offset,
+            width,
+        } => {
             let mut segments: Vec<u32> = Vec::new();
             for lane in 0..32u32 {
                 if exec_mask & (1 << lane) == 0 {
@@ -880,7 +908,13 @@ fn exec_op(
             }
             w.frags[fi].pc += 1;
         }
-        Op::St { space, addr, offset, v, width } => {
+        Op::St {
+            space,
+            addr,
+            offset,
+            v,
+            width,
+        } => {
             let mut segments: Vec<u32> = Vec::new();
             for lane in 0..32u32 {
                 if exec_mask & (1 << lane) == 0 {
@@ -941,11 +975,7 @@ fn exec_op(
             // Gather the source operand across all warp lanes first.
             let mut vals = [0u32; 32];
             for lane in 0..32u32 {
-                vals[lane as usize] = if a.is_zero() {
-                    0
-                } else {
-                    w.rf.peek(lane, a.0)
-                };
+                vals[lane as usize] = if a.is_zero() { 0 } else { w.rf.peek(lane, a.0) };
             }
             for lane in 0..32u32 {
                 if exec_mask & (1 << lane) == 0 {

@@ -89,8 +89,8 @@ pub fn occupancy(
         (cfg.max_ctas, Limiter::Ctas),
         (cfg.regfile_regs / regs_per_cta, Limiter::Registers),
     ];
-    if shared_words_per_cta > 0 {
-        candidates.push((cfg.shared_words / shared_words_per_cta, Limiter::SharedMemory));
+    if let Some(shared_limit) = cfg.shared_words.checked_div(shared_words_per_cta) {
+        candidates.push((shared_limit, Limiter::SharedMemory));
     }
     let (ctas, limiter) = candidates
         .into_iter()

@@ -84,13 +84,17 @@ pub fn estimate(
                 FuncUnit::F32 => model.f32_pj,
                 FuncUnit::F64 => model.f64_pj,
                 FuncUnit::Sfu => model.sfu_pj,
-                FuncUnit::Mem => {
-                    model.mem_pj + f64::from(e.txns) * model.txn_pj
-                }
+                FuncUnit::Mem => model.mem_pj + f64::from(e.txns) * model.txn_pj,
             };
             // Shared-memory traffic is cheaper than DRAM: discount.
-            if let Op::Ld { space: swapcodes_isa::MemSpace::Shared, .. }
-            | Op::St { space: swapcodes_isa::MemSpace::Shared, .. } = op
+            if let Op::Ld {
+                space: swapcodes_isa::MemSpace::Shared,
+                ..
+            }
+            | Op::St {
+                space: swapcodes_isa::MemSpace::Shared,
+                ..
+            } = op
             {
                 dynamic_pj -= f64::from(e.txns) * model.txn_pj * 0.85;
             }

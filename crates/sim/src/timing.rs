@@ -59,7 +59,7 @@ fn fu_interval_qc(fu: FuncUnit) -> u64 {
 }
 
 /// Per-wave resource-pressure statistics from the cycle-level replay.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WaveStats {
     /// Cycles in which no scheduler issued anything (all warps stalled).
     pub idle_cycles: u64,
@@ -87,7 +87,7 @@ impl WaveStats {
 }
 
 /// Timing result for one kernel launch.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KernelTiming {
     /// Estimated cycles for the whole grid.
     pub cycles: u64,
@@ -128,6 +128,31 @@ pub fn simulate_kernel(
     mem: &mut GlobalMemory,
     cfg: &TimingConfig,
 ) -> KernelTiming {
+    simulate_with(kernel, launch, mem, cfg, replay_wave)
+}
+
+/// Pre-optimization replay retained verbatim as a differential-testing and
+/// perf-baseline reference: same scheduling semantics as [`simulate_kernel`]
+/// (asserted by `reference_replay_matches_optimized`), but rebuilding its
+/// working sets from scratch every cycle. Not part of the public API.
+#[doc(hidden)]
+#[must_use]
+pub fn simulate_kernel_reference(
+    kernel: &Kernel,
+    launch: Launch,
+    mem: &mut GlobalMemory,
+    cfg: &TimingConfig,
+) -> KernelTiming {
+    simulate_with(kernel, launch, mem, cfg, replay_wave_reference)
+}
+
+fn simulate_with(
+    kernel: &Kernel,
+    launch: Launch,
+    mem: &mut GlobalMemory,
+    cfg: &TimingConfig,
+    replay: fn(&Kernel, &[WarpTrace], &TimingConfig) -> (u64, WaveStats),
+) -> KernelTiming {
     let regs = kernel.register_count().max(1);
     let occ = occupancy(&cfg.gpu, regs, launch.threads_per_cta, launch.shared_words);
     assert!(
@@ -145,7 +170,7 @@ pub fn simulate_kernel(
         },
     };
     let out = exec.run(kernel, launch, mem);
-    let (wave_cycles, stats) = replay_wave(kernel, &out.traces, cfg);
+    let (wave_cycles, stats) = replay(kernel, &out.traces, cfg);
 
     // The timing model simulates one SM and scales the simulated wave over
     // the grid fractionally: grids are assumed large enough (or the device
@@ -185,6 +210,223 @@ impl TWarp<'_> {
 /// Replay one wave of traces on the SM model, returning the cycle count.
 #[allow(clippy::too_many_lines)]
 fn replay_wave(kernel: &Kernel, traces: &[WarpTrace], cfg: &TimingConfig) -> (u64, WaveStats) {
+    let mut stats = WaveStats::default();
+    if traces.is_empty() {
+        return (0, stats);
+    }
+    let regs = kernel.register_count().max(1) as usize;
+    let mut warps: Vec<TWarp<'_>> = traces
+        .iter()
+        .map(|t| TWarp {
+            cta: t.cta,
+            entries: &t.entries,
+            pos: 0,
+            ready: vec![0; regs],
+            waiting_bar: false,
+            last_issue: 0,
+        })
+        .collect();
+
+    let schedulers = cfg.gpu.schedulers as usize;
+    let mut fu_free_qc = [0u64; 7];
+    let mut mem_pipe_qc = 0u64;
+    let mut cycle: u64 = 0;
+
+    // Loop-invariant structure, hoisted out of the cycle loop: warp→CTA
+    // membership and each scheduler's warp partition never change, so both
+    // are computed once and the cycle loop never allocates.
+    let cta_members: Vec<Vec<usize>> = {
+        let mut ids: Vec<u32> = warps.iter().map(|w| w.cta).collect();
+        ids.dedup();
+        ids.iter()
+            .map(|&cta| {
+                warps
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, w)| w.cta == cta)
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect()
+    };
+    // Per-scheduler issue order, kept across cycles. Sorting the persistent
+    // list by `(Reverse(last_issue), warp index)` yields exactly what the
+    // old per-cycle rebuild (index order, then stable sort by
+    // `Reverse(last_issue)`) produced, but on an almost-sorted input the
+    // adaptive sort is near-linear.
+    let mut orders: Vec<Vec<usize>> = (0..schedulers)
+        .map(|s| (0..warps.len()).filter(|i| i % schedulers == s).collect())
+        .collect();
+    // Warps currently parked at a barrier; lets barrier-free cycles skip
+    // the release scan entirely.
+    let mut waiting_count: usize = 0;
+
+    let fu_idx = |fu: FuncUnit| match fu {
+        FuncUnit::Int => 0,
+        FuncUnit::F32 => 1,
+        FuncUnit::F64 => 2,
+        FuncUnit::Sfu => 3,
+        FuncUnit::Mem => 4,
+        FuncUnit::Ctrl => 5,
+        FuncUnit::Mov => 6,
+    };
+
+    loop {
+        if warps.iter().all(TWarp::done) {
+            break;
+        }
+        assert!(cycle < cfg.max_cycles, "timing wave exceeded cycle cap");
+
+        // Barrier release: per CTA, all unfinished warps waiting.
+        if waiting_count > 0 {
+            for members in &cta_members {
+                let mut alive = 0usize;
+                let mut waiting = 0usize;
+                for &i in members {
+                    if !warps[i].done() {
+                        alive += 1;
+                        waiting += usize::from(warps[i].waiting_bar);
+                    }
+                }
+                if alive > 0 && alive == waiting {
+                    for &i in members {
+                        if !warps[i].done() {
+                            warps[i].waiting_bar = false;
+                            warps[i].pos += 1; // retire the barrier entry
+                        }
+                    }
+                    waiting_count -= waiting;
+                }
+            }
+        }
+
+        let now_qc = cycle * 4;
+        let mut issued_any = false;
+        let mut next_event = u64::MAX;
+
+        for order in &mut orders {
+            // Greedy-then-oldest: most recently issued first, then oldest,
+            // ties broken by warp id (the trailing `i` in the sort key).
+            order.sort_by_key(|&i| (std::cmp::Reverse(warps[i].last_issue), i));
+
+            let mut issued_this_sched = 0u32;
+            for &wi in order.iter() {
+                let w = &warps[wi];
+                if w.done() || w.waiting_bar {
+                    continue;
+                }
+                let entry = w.entries[w.pos];
+                let instr = &kernel.instrs()[entry.kidx as usize];
+                let op = &instr.op;
+
+                // Barrier: mark waiting (retired at release).
+                if matches!(op, Op::Bar) {
+                    warps[wi].waiting_bar = true;
+                    waiting_count += 1;
+                    issued_any = true;
+                    break;
+                }
+
+                // Scoreboard: all sources (and the guard-implied reads) ready.
+                let mut src_ready = 0u64;
+                for r in op.uses() {
+                    src_ready = src_ready.max(w.ready[usize::from(r.0)]);
+                }
+                if src_ready > cycle {
+                    next_event = next_event.min(src_ready);
+                    stats.scoreboard_rejects += 1;
+                    continue;
+                }
+
+                // Structural: functional unit issue port.
+                let fu = op.func_unit();
+                let fi = fu_idx(fu);
+                if fu_free_qc[fi] > now_qc {
+                    next_event = next_event.min(fu_free_qc[fi].div_ceil(4));
+                    stats.fu_rejects += 1;
+                    continue;
+                }
+
+                // Issue.
+                fu_free_qc[fi] = now_qc + fu_interval_qc(fu);
+                let mut complete = cycle + u64::from(op.dep_latency());
+                if instr.predicted && matches!(op, Op::Mov { .. }) {
+                    // End-to-end move propagation (Fig. 4): the swapped
+                    // codeword is copied register-file-internally without a
+                    // datapath round trip.
+                    complete = cycle + 2;
+                }
+                stats.issued_per_fu[fi] += 1;
+                if fu == FuncUnit::Mem {
+                    // Bandwidth queueing for global transactions.
+                    let txn_cost = u64::from(entry.txns) * cfg.txn_interval_qc;
+                    mem_pipe_qc = mem_pipe_qc.max(now_qc) + txn_cost;
+                    let queue_cycles = (mem_pipe_qc - now_qc) / 4;
+                    stats.peak_mem_queue = stats.peak_mem_queue.max(queue_cycles);
+                    let lat = match op {
+                        Op::Ld {
+                            space: swapcodes_isa::MemSpace::Shared,
+                            ..
+                        }
+                        | Op::St {
+                            space: swapcodes_isa::MemSpace::Shared,
+                            ..
+                        } => u64::from(cfg.shared_latency),
+                        _ => {
+                            // DRAM bank/row variability: deterministic jitter
+                            // of +/-25% around the base latency decorrelates
+                            // warp wake-ups (a constant latency makes every
+                            // warp convoy in lockstep forever, which no real
+                            // memory system does).
+                            let base = u64::from(cfg.mem_latency);
+                            let h = (wi as u64)
+                                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                                .wrapping_add((w.pos as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+                            let h = (h ^ (h >> 31)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                            base * 3 / 4 + (h >> 33) % (base / 2)
+                        }
+                    };
+                    complete = cycle + lat + queue_cycles;
+                }
+                let w = &mut warps[wi];
+                for r in op.defs() {
+                    let slot = &mut w.ready[usize::from(r.0)];
+                    *slot = (*slot).max(complete);
+                }
+                w.pos += 1;
+                w.last_issue = cycle;
+                issued_any = true;
+                issued_this_sched += 1;
+                if issued_this_sched >= 2 {
+                    break; // dual dispatch per scheduler per cycle (Pascal)
+                }
+            }
+        }
+
+        if issued_any {
+            cycle += 1;
+        } else if next_event != u64::MAX && next_event > cycle {
+            stats.idle_cycles += next_event - cycle;
+            cycle = next_event;
+        } else {
+            stats.idle_cycles += 1;
+            cycle += 1;
+        }
+    }
+    (cycle, stats)
+}
+
+/// The seed-revision replay loop, kept bit-for-bit: allocates the CTA
+/// list, barrier membership and scheduler order vectors anew every
+/// cycle. `reference_replay_matches_optimized` pins the optimized
+/// [`replay_wave`] to this behaviour; `perf_baseline` measures the
+/// difference.
+#[allow(clippy::too_many_lines)]
+fn replay_wave_reference(
+    kernel: &Kernel,
+    traces: &[WarpTrace],
+    cfg: &TimingConfig,
+) -> (u64, WaveStats) {
     let mut stats = WaveStats::default();
     if traces.is_empty() {
         return (0, stats);
@@ -307,10 +549,14 @@ fn replay_wave(kernel: &Kernel, traces: &[WarpTrace], cfg: &TimingConfig) -> (u6
                     let queue_cycles = (mem_pipe_qc - now_qc) / 4;
                     stats.peak_mem_queue = stats.peak_mem_queue.max(queue_cycles);
                     let lat = match op {
-                        Op::Ld { space: swapcodes_isa::MemSpace::Shared, .. }
-                        | Op::St { space: swapcodes_isa::MemSpace::Shared, .. } => {
-                            u64::from(cfg.shared_latency)
+                        Op::Ld {
+                            space: swapcodes_isa::MemSpace::Shared,
+                            ..
                         }
+                        | Op::St {
+                            space: swapcodes_isa::MemSpace::Shared,
+                            ..
+                        } => u64::from(cfg.shared_latency),
                         _ => {
                             // DRAM bank/row variability: deterministic jitter
                             // of +/-25% around the base latency decorrelates
@@ -377,18 +623,8 @@ mod tests {
     fn more_work_takes_more_cycles() {
         let cfg = TimingConfig::default();
         let mut mem = GlobalMemory::new(64);
-        let small = simulate_kernel(
-            &trivial_kernel(16),
-            Launch::grid(8, 128),
-            &mut mem,
-            &cfg,
-        );
-        let big = simulate_kernel(
-            &trivial_kernel(160),
-            Launch::grid(8, 128),
-            &mut mem,
-            &cfg,
-        );
+        let small = simulate_kernel(&trivial_kernel(16), Launch::grid(8, 128), &mut mem, &cfg);
+        let big = simulate_kernel(&trivial_kernel(160), Launch::grid(8, 128), &mut mem, &cfg);
         assert!(big.cycles > small.cycles, "{small:?} vs {big:?}");
     }
 
@@ -431,7 +667,10 @@ mod stats_tests {
     #[test]
     fn stats_account_for_issued_work() {
         let mut k = KernelBuilder::new("mix");
-        k.push(Op::S2R { d: Reg(0), sr: SpecialReg::TidX });
+        k.push(Op::S2R {
+            d: Reg(0),
+            sr: SpecialReg::TidX,
+        });
         for i in 0..6u8 {
             k.push(Op::FAdd {
                 d: Reg(1 + i),
@@ -439,7 +678,11 @@ mod stats_tests {
                 b: Src::Imm(0x3F80_0000),
             });
         }
-        k.push(Op::Shl { d: Reg(7), a: Reg(0), b: Src::Imm(2) });
+        k.push(Op::Shl {
+            d: Reg(7),
+            a: Reg(0),
+            b: Src::Imm(2),
+        });
         k.push(Op::Ld {
             d: Reg(8),
             space: MemSpace::Global,
@@ -459,5 +702,144 @@ mod stats_tests {
         assert!(t.stats.ipc(t.wave_cycles) > 0.0);
         // A load-tailed kernel has idle cycles while the loads return.
         assert!(t.stats.idle_cycles > 0);
+    }
+}
+
+#[cfg(test)]
+mod reference_tests {
+    use super::*;
+    use swapcodes_isa::{KernelBuilder, MemSpace, MemWidth, Reg, SpecialReg, Src};
+
+    /// The optimized replay (persistent issue order, counted barrier scan,
+    /// reused buffers) must be cycle-for-cycle identical to the seed
+    /// reference across the model's three stall mechanisms: dependences,
+    /// memory latency/bandwidth, and barriers.
+    #[test]
+    fn reference_replay_matches_optimized() {
+        let cfg = TimingConfig::default();
+
+        // ILP mix with loads (memory path).
+        let mut k = KernelBuilder::new("mix");
+        k.push(Op::S2R {
+            d: Reg(0),
+            sr: SpecialReg::TidX,
+        });
+        for i in 0..6u8 {
+            k.push(Op::FAdd {
+                d: Reg(1 + i),
+                a: Reg(0),
+                b: Src::Imm(0x3F80_0000),
+            });
+        }
+        k.push(Op::Shl {
+            d: Reg(7),
+            a: Reg(0),
+            b: Src::Imm(2),
+        });
+        k.push(Op::Ld {
+            d: Reg(8),
+            space: MemSpace::Global,
+            addr: Reg(7),
+            offset: 0,
+            width: MemWidth::W32,
+        });
+        k.push(Op::Exit);
+        let mix = k.finish();
+
+        // Barrier kernel (release/retire path).
+        let mut k = KernelBuilder::new("bar");
+        k.push(Op::S2R {
+            d: Reg(0),
+            sr: SpecialReg::TidX,
+        });
+        k.push(Op::IAdd {
+            d: Reg(1),
+            a: Reg(0),
+            b: Src::Imm(3),
+        });
+        k.push(Op::Bar);
+        k.push(Op::IAdd {
+            d: Reg(2),
+            a: Reg(1),
+            b: Src::Imm(5),
+        });
+        k.push(Op::Bar);
+        k.push(Op::IAdd {
+            d: Reg(3),
+            a: Reg(2),
+            b: Src::Imm(7),
+        });
+        k.push(Op::Exit);
+        let barriers = k.finish();
+
+        for (kernel, launch) in [
+            (&mix, Launch::grid(4, 128)),
+            (&barriers, Launch::grid(3, 96)),
+        ] {
+            let mut mem = GlobalMemory::new(4096);
+            let fast = simulate_kernel(kernel, launch, &mut mem, &cfg);
+            let mut mem = GlobalMemory::new(4096);
+            let reference = simulate_kernel_reference(kernel, launch, &mut mem, &cfg);
+            assert_eq!(fast, reference, "kernel {}", kernel.name());
+        }
+    }
+}
+
+#[cfg(test)]
+mod golden_tests {
+    use super::*;
+    use swapcodes_isa::{KernelBuilder, Reg, Src};
+
+    /// Golden cycle counts for two small kernels. These pin the replay
+    /// model's exact behaviour so hot-loop refactors (buffer reuse, sort
+    /// strategy) cannot silently change scheduling decisions.
+    #[test]
+    fn golden_cycle_counts_are_stable() {
+        let cfg = TimingConfig::default();
+        let mut mem = GlobalMemory::new(64);
+
+        // Independent adds across 8 registers: ILP-rich, issue-limited.
+        let mut k = KernelBuilder::new("indep");
+        for i in 0..24usize {
+            k.push(Op::IAdd {
+                d: Reg((i % 8) as u8),
+                a: Reg(((i + 1) % 8) as u8),
+                b: Src::Imm(1),
+            });
+        }
+        k.push(Op::Exit);
+        let indep = simulate_kernel(&k.finish(), Launch::grid(8, 128), &mut mem, &cfg);
+        assert_eq!(
+            (
+                indep.cycles,
+                indep.issued,
+                indep.dynamic_instructions,
+                indep.waves
+            ),
+            (769, 800, 800, 1),
+            "indep kernel timing drifted: {indep:?}"
+        );
+
+        // Single-register dependent chain: latency-limited.
+        let mut k = KernelBuilder::new("chain");
+        for _ in 0..32 {
+            k.push(Op::IAdd {
+                d: Reg(0),
+                a: Reg(0),
+                b: Src::Imm(1),
+            });
+        }
+        k.push(Op::Exit);
+        let chain = simulate_kernel(&k.finish(), Launch::grid(4, 64), &mut mem, &cfg);
+        assert_eq!(
+            (
+                chain.cycles,
+                chain.issued,
+                chain.dynamic_instructions,
+                chain.waves
+            ),
+            (381, 264, 264, 1),
+            "chain kernel timing drifted: {chain:?}"
+        );
     }
 }

@@ -20,52 +20,129 @@ pub fn workload() -> Workload {
     let gid = Reg(0);
     global_tid(&mut k, gid, Reg(1), Reg(2));
     let j = Reg(2); // output unit within layer
-    k.push(Op::And { d: j, a: gid, b: Src::Imm(255) });
+    k.push(Op::And {
+        d: j,
+        a: gid,
+        b: Src::Imm(255),
+    });
     // Layer width constant used by the indexing IMADs.
-    k.push(Op::Mov { d: Reg(7), a: Src::Imm(256) });
+    k.push(Op::Mov {
+        d: Reg(7),
+        a: Src::Imm(256),
+    });
 
     // Rotated accumulator pair (unrolled dot product).
     let accs = (Reg(3), Reg(17));
-    k.push(Op::Mov { d: accs.0, a: fimm(0.0) });
+    k.push(Op::Mov {
+        d: accs.0,
+        a: fimm(0.0),
+    });
 
     let counters = (Reg(5), Reg(18));
     counted_loop(&mut k, counters, 40, |k, p| {
         let ctr = if p == 0 { counters.0 } else { counters.1 };
-        let (ain, aout) = if p == 0 { (accs.0, accs.1) } else { (accs.1, accs.0) };
+        let (ain, aout) = if p == 0 {
+            (accs.0, accs.1)
+        } else {
+            (accs.1, accs.0)
+        };
         // widx = ctr * 256 + j, waddr = W + widx*4 (the IMAD-heavy part).
         let widx = Reg(6);
-        k.push(Op::IMad { d: widx, a: ctr, b: Reg(7), c: j });
+        k.push(Op::IMad {
+            d: widx,
+            a: ctr,
+            b: Reg(7),
+            c: j,
+        });
         let wsh = Reg(8);
-        k.push(Op::Shl { d: wsh, a: widx, b: Src::Imm(2) });
+        k.push(Op::Shl {
+            d: wsh,
+            a: widx,
+            b: Src::Imm(2),
+        });
         let waddr = Reg(19);
-        k.push(Op::IAdd { d: waddr, a: wsh, b: Src::Imm(W) });
+        k.push(Op::IAdd {
+            d: waddr,
+            a: wsh,
+            b: Src::Imm(W),
+        });
         let xaddr = Reg(9);
         addr4(k, xaddr, Reg(20), ctr, X);
         let wv = Reg(10);
         let xv = Reg(11);
-        k.push(Op::Ld { d: wv, space: MemSpace::Global, addr: waddr, offset: 0, width: MemWidth::W32 });
-        k.push(Op::Ld { d: xv, space: MemSpace::Global, addr: xaddr, offset: 0, width: MemWidth::W32 });
-        k.push(Op::FFma { d: aout, a: wv, b: xv, c: ain });
+        k.push(Op::Ld {
+            d: wv,
+            space: MemSpace::Global,
+            addr: waddr,
+            offset: 0,
+            width: MemWidth::W32,
+        });
+        k.push(Op::Ld {
+            d: xv,
+            space: MemSpace::Global,
+            addr: xaddr,
+            offset: 0,
+            width: MemWidth::W32,
+        });
+        k.push(Op::FFma {
+            d: aout,
+            a: wv,
+            b: xv,
+            c: ain,
+        });
     });
     let acc = accs.0; // even trip count: result back in the first register
 
     // Shared-memory partial sum with a barrier (CTA reduction flavour).
     let tid = Reg(12);
-    k.push(Op::S2R { d: tid, sr: SpecialReg::TidX });
+    k.push(Op::S2R {
+        d: tid,
+        sr: SpecialReg::TidX,
+    });
     let saddr = Reg(13);
-    k.push(Op::Shl { d: saddr, a: tid, b: Src::Imm(2) });
-    k.push(Op::St { space: MemSpace::Shared, addr: saddr, offset: 0, v: acc, width: MemWidth::W32 });
+    k.push(Op::Shl {
+        d: saddr,
+        a: tid,
+        b: Src::Imm(2),
+    });
+    k.push(Op::St {
+        space: MemSpace::Shared,
+        addr: saddr,
+        offset: 0,
+        v: acc,
+        width: MemWidth::W32,
+    });
     k.push(Op::Bar);
     let other = Reg(14);
-    k.push(Op::Xor { d: other, a: saddr, b: Src::Imm(4) });
+    k.push(Op::Xor {
+        d: other,
+        a: saddr,
+        b: Src::Imm(4),
+    });
     let nv = Reg(15);
-    k.push(Op::Ld { d: nv, space: MemSpace::Shared, addr: other, offset: 0, width: MemWidth::W32 });
+    k.push(Op::Ld {
+        d: nv,
+        space: MemSpace::Shared,
+        addr: other,
+        offset: 0,
+        width: MemWidth::W32,
+    });
     let total = Reg(21);
-    k.push(Op::FAdd { d: total, a: acc, b: Src::Reg(nv) });
+    k.push(Op::FAdd {
+        d: total,
+        a: acc,
+        b: Src::Reg(nv),
+    });
 
     let oaddr = Reg(16);
     addr4(&mut k, oaddr, Reg(6), gid, OUT as i32);
-    k.push(Op::St { space: MemSpace::Global, addr: oaddr, offset: 0, v: total, width: MemWidth::W32 });
+    k.push(Op::St {
+        space: MemSpace::Global,
+        addr: oaddr,
+        offset: 0,
+        v: total,
+        width: MemWidth::W32,
+    });
     k.push(Op::Exit);
 
     Workload {

@@ -21,14 +21,30 @@ pub fn workload() -> Workload {
     let gid = Reg(0);
     global_tid(&mut k, gid, Reg(1), Reg(2));
     let node = Reg(2);
-    k.push(Op::And { d: node, a: gid, b: Src::Imm((NODES - 1) as i32) });
+    k.push(Op::And {
+        d: node,
+        a: gid,
+        b: Src::Imm((NODES - 1) as i32),
+    });
 
     // Skip nodes outside the frontier (divergent!).
     let faddr = Reg(3);
     addr4(&mut k, faddr, Reg(16), node, FRONTIER);
     let inf = Reg(4);
-    k.push(Op::Ld { d: inf, space: MemSpace::Global, addr: faddr, offset: 0, width: MemWidth::W32 });
-    k.push(Op::SetP { p: Pred(1), cmp: CmpOp::Eq, ty: CmpTy::U32, a: inf, b: Src::Imm(0) });
+    k.push(Op::Ld {
+        d: inf,
+        space: MemSpace::Global,
+        addr: faddr,
+        offset: 0,
+        width: MemWidth::W32,
+    });
+    k.push(Op::SetP {
+        p: Pred(1),
+        cmp: CmpOp::Eq,
+        ty: CmpTy::U32,
+        a: inf,
+        b: Src::Imm(0),
+    });
     let done = k.label();
     k.branch_if(done, Pred(1), true);
 
@@ -37,45 +53,115 @@ pub fn workload() -> Workload {
     addr4(&mut k, raddr, Reg(16), node, ROWS);
     let start = Reg(6);
     let end = Reg(7);
-    k.push(Op::Ld { d: start, space: MemSpace::Global, addr: raddr, offset: 0, width: MemWidth::W32 });
-    k.push(Op::Ld { d: end, space: MemSpace::Global, addr: raddr, offset: 4, width: MemWidth::W32 });
+    k.push(Op::Ld {
+        d: start,
+        space: MemSpace::Global,
+        addr: raddr,
+        offset: 0,
+        width: MemWidth::W32,
+    });
+    k.push(Op::Ld {
+        d: end,
+        space: MemSpace::Global,
+        addr: raddr,
+        offset: 4,
+        width: MemWidth::W32,
+    });
 
     // The edge walk is a data-dependent while loop: rotate the edge cursor
     // and visited counter through register pairs (an unrolled-by-two body).
     let es = (Reg(8), Reg(17));
-    k.push(Op::Mov { d: es.0, a: Src::Reg(start) });
+    k.push(Op::Mov {
+        d: es.0,
+        a: Src::Reg(start),
+    });
     let visits = (Reg(9), Reg(18));
-    k.push(Op::Mov { d: visits.0, a: Src::Imm(0) });
+    k.push(Op::Mov {
+        d: visits.0,
+        a: Src::Imm(0),
+    });
 
     let loop_top = k.label();
     k.bind(loop_top);
     for p in 0..2u8 {
         let (ein, eout) = if p == 0 { (es.0, es.1) } else { (es.1, es.0) };
-        let (vin, vout) = if p == 0 { (visits.0, visits.1) } else { (visits.1, visits.0) };
-        k.push(Op::SetP { p: Pred(2), cmp: CmpOp::Ge, ty: CmpTy::U32, a: ein, b: Src::Reg(end) });
+        let (vin, vout) = if p == 0 {
+            (visits.0, visits.1)
+        } else {
+            (visits.1, visits.0)
+        };
+        k.push(Op::SetP {
+            p: Pred(2),
+            cmp: CmpOp::Ge,
+            ty: CmpTy::U32,
+            a: ein,
+            b: Src::Reg(end),
+        });
         // Keep the rotation coherent before a possible exit.
-        k.push(Op::Mov { d: eout, a: Src::Reg(ein) });
-        k.push(Op::Mov { d: vout, a: Src::Reg(vin) });
+        k.push(Op::Mov {
+            d: eout,
+            a: Src::Reg(ein),
+        });
+        k.push(Op::Mov {
+            d: vout,
+            a: Src::Reg(vin),
+        });
         k.branch_if(done, Pred(2), true);
         // Neighbour and its distance.
         let caddr = Reg(10);
         addr4(&mut k, caddr, Reg(16), ein, COLS);
         let nb = Reg(11);
-        k.push(Op::Ld { d: nb, space: MemSpace::Global, addr: caddr, offset: 0, width: MemWidth::W32 });
+        k.push(Op::Ld {
+            d: nb,
+            space: MemSpace::Global,
+            addr: caddr,
+            offset: 0,
+            width: MemWidth::W32,
+        });
         let daddr = Reg(12);
         addr4(&mut k, daddr, Reg(16), nb, DIST as i32);
         let dv = Reg(13);
-        k.push(Op::Ld { d: dv, space: MemSpace::Global, addr: daddr, offset: 0, width: MemWidth::W32 });
-        k.push(Op::SetP { p: Pred(3), cmp: CmpOp::Ne, ty: CmpTy::U32, a: dv, b: Src::Imm(-1) });
+        k.push(Op::Ld {
+            d: dv,
+            space: MemSpace::Global,
+            addr: daddr,
+            offset: 0,
+            width: MemWidth::W32,
+        });
+        k.push(Op::SetP {
+            p: Pred(3),
+            cmp: CmpOp::Ne,
+            ty: CmpTy::U32,
+            a: dv,
+            b: Src::Imm(-1),
+        });
         let next = k.label();
         k.branch_if(next, Pred(3), true);
         // Unvisited: relax and count (atomic at the end).
         let nd = Reg(14);
-        k.push(Op::IAdd { d: nd, a: inf, b: Src::Imm(1) });
-        k.push(Op::St { space: MemSpace::Global, addr: daddr, offset: 0, v: nd, width: MemWidth::W32 });
-        k.push(Op::IAdd { d: vout, a: vin, b: Src::Imm(1) });
+        k.push(Op::IAdd {
+            d: nd,
+            a: inf,
+            b: Src::Imm(1),
+        });
+        k.push(Op::St {
+            space: MemSpace::Global,
+            addr: daddr,
+            offset: 0,
+            v: nd,
+            width: MemWidth::W32,
+        });
+        k.push(Op::IAdd {
+            d: vout,
+            a: vin,
+            b: Src::Imm(1),
+        });
         k.bind(next);
-        k.push(Op::IAdd { d: eout, a: ein, b: Src::Imm(1) });
+        k.push(Op::IAdd {
+            d: eout,
+            a: ein,
+            b: Src::Imm(1),
+        });
     }
     k.branch_to(loop_top);
 
@@ -86,8 +172,15 @@ pub fn workload() -> Workload {
     // the pre-exit moves make them equal.
     let visited = visits.1;
     let cnt_addr = Reg(15);
-    k.push(Op::Mov { d: cnt_addr, a: Src::Imm(COUNTER as i32) });
-    k.push(Op::AtomAdd { addr: cnt_addr, offset: 0, v: visited });
+    k.push(Op::Mov {
+        d: cnt_addr,
+        a: Src::Imm(COUNTER as i32),
+    });
+    k.push(Op::AtomAdd {
+        addr: cnt_addr,
+        offset: 0,
+        v: visited,
+    });
     k.push(Op::Exit);
 
     Workload {
@@ -124,7 +217,10 @@ mod tests {
         let w = workload();
         let mut mem = w.build_memory();
         let exec = Executor {
-            config: ExecConfig { cta_limit: Some(2), ..ExecConfig::default() },
+            config: ExecConfig {
+                cta_limit: Some(2),
+                ..ExecConfig::default()
+            },
         };
         let out = exec.run(&w.kernel, w.launch, &mut mem);
         assert_eq!(out.detection, Detection::None);

@@ -23,45 +23,118 @@ pub fn workload() -> Workload {
     // Load this thread's query key.
     let qaddr = Reg(2);
     let qi = Reg(3);
-    k.push(Op::And { d: qi, a: gid, b: Src::Imm((THREADS - 1) as i32) });
+    k.push(Op::And {
+        d: qi,
+        a: gid,
+        b: Src::Imm((THREADS - 1) as i32),
+    });
     addr4(&mut k, qaddr, Reg(13), qi, QUERIES);
     let key = Reg(4);
-    k.push(Op::Ld { d: key, space: MemSpace::Global, addr: qaddr, offset: 0, width: MemWidth::W32 });
+    k.push(Op::Ld {
+        d: key,
+        space: MemSpace::Global,
+        addr: qaddr,
+        offset: 0,
+        width: MemWidth::W32,
+    });
 
     // Rotated node and depth-sum registers (the walk is loop-carried).
     let nodes = (Reg(5), Reg(14));
-    k.push(Op::Mov { d: nodes.0, a: Src::Imm(0) });
+    k.push(Op::Mov {
+        d: nodes.0,
+        a: Src::Imm(0),
+    });
     let sums = (Reg(6), Reg(15));
-    k.push(Op::Mov { d: sums.0, a: Src::Imm(0) });
+    k.push(Op::Mov {
+        d: sums.0,
+        a: Src::Imm(0),
+    });
 
     let counters = (Reg(7), Reg(16));
     counted_loop(&mut k, counters, 12, |k, p| {
-        let (nin, nout) = if p == 0 { (nodes.0, nodes.1) } else { (nodes.1, nodes.0) };
-        let (sin, sout) = if p == 0 { (sums.0, sums.1) } else { (sums.1, sums.0) };
+        let (nin, nout) = if p == 0 {
+            (nodes.0, nodes.1)
+        } else {
+            (nodes.1, nodes.0)
+        };
+        let (sin, sout) = if p == 0 {
+            (sums.0, sums.1)
+        } else {
+            (sums.1, sums.0)
+        };
         let nsc = Reg(17);
-        k.push(Op::IMul { d: nsc, a: nin, b: Src::Imm(12) });
+        k.push(Op::IMul {
+            d: nsc,
+            a: nin,
+            b: Src::Imm(12),
+        });
         let naddr = Reg(8);
-        k.push(Op::IAdd { d: naddr, a: nsc, b: Src::Imm(NODES) });
+        k.push(Op::IAdd {
+            d: naddr,
+            a: nsc,
+            b: Src::Imm(NODES),
+        });
         let nkey = Reg(9);
         let left = Reg(10);
         let right = Reg(11);
-        k.push(Op::Ld { d: nkey, space: MemSpace::Global, addr: naddr, offset: 0, width: MemWidth::W32 });
-        k.push(Op::Ld { d: left, space: MemSpace::Global, addr: naddr, offset: 4, width: MemWidth::W32 });
-        k.push(Op::Ld { d: right, space: MemSpace::Global, addr: naddr, offset: 8, width: MemWidth::W32 });
+        k.push(Op::Ld {
+            d: nkey,
+            space: MemSpace::Global,
+            addr: naddr,
+            offset: 0,
+            width: MemWidth::W32,
+        });
+        k.push(Op::Ld {
+            d: left,
+            space: MemSpace::Global,
+            addr: naddr,
+            offset: 4,
+            width: MemWidth::W32,
+        });
+        k.push(Op::Ld {
+            d: right,
+            space: MemSpace::Global,
+            addr: naddr,
+            offset: 8,
+            width: MemWidth::W32,
+        });
         // Divergent descent.
-        k.push(Op::SetP { p: Pred(1), cmp: CmpOp::Lt, ty: CmpTy::U32, a: key, b: Src::Reg(nkey) });
+        k.push(Op::SetP {
+            p: Pred(1),
+            cmp: CmpOp::Lt,
+            ty: CmpTy::U32,
+            a: key,
+            b: Src::Reg(nkey),
+        });
         let skip = k.label();
         k.branch_if(skip, Pred(1), false);
-        k.push(Op::Mov { d: right, a: Src::Reg(left) });
+        k.push(Op::Mov {
+            d: right,
+            a: Src::Reg(left),
+        });
         k.bind(skip);
-        k.push(Op::And { d: nout, a: right, b: Src::Imm(8191) });
-        k.push(Op::IAdd { d: sout, a: sin, b: Src::Reg(nout) });
+        k.push(Op::And {
+            d: nout,
+            a: right,
+            b: Src::Imm(8191),
+        });
+        k.push(Op::IAdd {
+            d: sout,
+            a: sin,
+            b: Src::Reg(nout),
+        });
     });
     let depth_sum = sums.0;
 
     let oaddr = Reg(12);
     addr4(&mut k, oaddr, Reg(17), qi, OUT as i32);
-    k.push(Op::St { space: MemSpace::Global, addr: oaddr, offset: 0, v: depth_sum, width: MemWidth::W32 });
+    k.push(Op::St {
+        space: MemSpace::Global,
+        addr: oaddr,
+        offset: 0,
+        v: depth_sum,
+        width: MemWidth::W32,
+    });
     k.push(Op::Exit);
 
     Workload {
@@ -88,7 +161,10 @@ mod tests {
         let w = workload();
         let mut mem = w.build_memory();
         let exec = Executor {
-            config: ExecConfig { cta_limit: Some(1), ..ExecConfig::default() },
+            config: ExecConfig {
+                cta_limit: Some(1),
+                ..ExecConfig::default()
+            },
         };
         let out = exec.run(&w.kernel, w.launch, &mut mem);
         assert_eq!(out.detection, Detection::None);

@@ -19,43 +19,106 @@ pub fn workload() -> Workload {
     let gid = Reg(0);
     global_tid(&mut k, gid, Reg(1), Reg(2));
     let e = Reg(2);
-    k.push(Op::And { d: e, a: gid, b: Src::Imm((ELEMS - 1) as i32) });
+    k.push(Op::And {
+        d: e,
+        a: gid,
+        b: Src::Imm((ELEMS - 1) as i32),
+    });
 
     let maddr = Reg(3);
     addr4(&mut k, maddr, Reg(7), e, M);
     let m0 = Reg(4);
-    k.push(Op::Ld { d: m0, space: MemSpace::Global, addr: maddr, offset: 0, width: MemWidth::W32 });
+    k.push(Op::Ld {
+        d: m0,
+        space: MemSpace::Global,
+        addr: maddr,
+        offset: 0,
+        width: MemWidth::W32,
+    });
     let m = Reg(14);
-    k.push(Op::FMul { d: m, a: m0, b: crate::util::fimm(-0.01) });
+    k.push(Op::FMul {
+        d: m,
+        a: m0,
+        b: crate::util::fimm(-0.01),
+    });
 
     let accs = (Reg(5), Reg(15));
-    k.push(Op::Mov { d: accs.0, a: crate::util::fimm(0.0) });
+    k.push(Op::Mov {
+        d: accs.0,
+        a: crate::util::fimm(0.0),
+    });
 
     let counters = (Reg(6), Reg(16));
     counted_loop(&mut k, counters, 16, |k, p| {
         let ctr = if p == 0 { counters.0 } else { counters.1 };
-        let (ain, aout) = if p == 0 { (accs.0, accs.1) } else { (accs.1, accs.0) };
+        let (ain, aout) = if p == 0 {
+            (accs.0, accs.1)
+        } else {
+            (accs.1, accs.0)
+        };
         // a[k][j] -= m * a[pivot][j]: two loads, one FMA, one store.
         let off0 = Reg(7);
-        k.push(Op::IMad { d: off0, a: ctr, b: Reg(8), c: e });
+        k.push(Op::IMad {
+            d: off0,
+            a: ctr,
+            b: Reg(8),
+            c: e,
+        });
         let off = Reg(17);
-        k.push(Op::And { d: off, a: off0, b: Src::Imm((ELEMS - 1) as i32) });
+        k.push(Op::And {
+            d: off,
+            a: off0,
+            b: Src::Imm((ELEMS - 1) as i32),
+        });
         let aaddr = Reg(9);
         addr4(k, aaddr, Reg(7), off, A);
         let av = Reg(10);
-        k.push(Op::Ld { d: av, space: MemSpace::Global, addr: aaddr, offset: 0, width: MemWidth::W32 });
+        k.push(Op::Ld {
+            d: av,
+            space: MemSpace::Global,
+            addr: aaddr,
+            offset: 0,
+            width: MemWidth::W32,
+        });
         let pv = Reg(11);
-        k.push(Op::Ld { d: pv, space: MemSpace::Global, addr: aaddr, offset: 4, width: MemWidth::W32 });
+        k.push(Op::Ld {
+            d: pv,
+            space: MemSpace::Global,
+            addr: aaddr,
+            offset: 4,
+            width: MemWidth::W32,
+        });
         let nv = Reg(12);
-        k.push(Op::FFma { d: nv, a: m, b: pv, c: av });
-        k.push(Op::St { space: MemSpace::Global, addr: aaddr, offset: 0, v: nv, width: MemWidth::W32 });
-        k.push(Op::FAdd { d: aout, a: ain, b: Src::Reg(nv) });
+        k.push(Op::FFma {
+            d: nv,
+            a: m,
+            b: pv,
+            c: av,
+        });
+        k.push(Op::St {
+            space: MemSpace::Global,
+            addr: aaddr,
+            offset: 0,
+            v: nv,
+            width: MemWidth::W32,
+        });
+        k.push(Op::FAdd {
+            d: aout,
+            a: ain,
+            b: Src::Reg(nv),
+        });
     });
     let acc = accs.0;
 
     let oaddr = Reg(13);
     addr4(&mut k, oaddr, Reg(7), e, OUT as i32);
-    k.push(Op::St { space: MemSpace::Global, addr: oaddr, offset: 0, v: acc, width: MemWidth::W32 });
+    k.push(Op::St {
+        space: MemSpace::Global,
+        addr: oaddr,
+        offset: 0,
+        v: acc,
+        width: MemWidth::W32,
+    });
     k.push(Op::Exit);
 
     // R8: row stride constant.
@@ -77,7 +140,10 @@ pub fn workload() -> Workload {
 /// Prepend `Mov d, imm` to a finished builder's kernel (fixing targets).
 fn prepend_const(k: KernelBuilder, d: Reg, imm: i32) -> swapcodes_isa::Kernel {
     let kern = k.finish();
-    let mut v = vec![swapcodes_isa::Instr::new(Op::Mov { d, a: Src::Imm(imm) })];
+    let mut v = vec![swapcodes_isa::Instr::new(Op::Mov {
+        d,
+        a: Src::Imm(imm),
+    })];
     for ins in kern.instrs() {
         let mut i2 = *ins;
         if let Op::Bra { target } = &mut i2.op {
@@ -99,7 +165,10 @@ mod tests {
         let w = workload();
         let mut mem = w.build_memory();
         let exec = Executor {
-            config: ExecConfig { cta_limit: Some(1), ..ExecConfig::default() },
+            config: ExecConfig {
+                cta_limit: Some(1),
+                ..ExecConfig::default()
+            },
         };
         let out = exec.run(&w.kernel, w.launch, &mut mem);
         assert_eq!(out.detection, Detection::None);

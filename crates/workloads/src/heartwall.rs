@@ -19,33 +19,81 @@ pub fn workload() -> Workload {
     let gid = Reg(0);
     global_tid(&mut k, gid, Reg(1), Reg(2));
     let base = Reg(2);
-    k.push(Op::And { d: base, a: gid, b: Src::Imm(16 * 1024 - 256 - 1) });
+    k.push(Op::And {
+        d: base,
+        a: gid,
+        b: Src::Imm(16 * 1024 - 256 - 1),
+    });
 
     // Rotated correlation/norm accumulator pairs.
     let corrs = (Reg(3), Reg(13));
     let norms = (Reg(4), Reg(14));
-    k.push(Op::Mov { d: corrs.0, a: fimm(0.0) });
-    k.push(Op::Mov { d: norms.0, a: fimm(1e-6) });
+    k.push(Op::Mov {
+        d: corrs.0,
+        a: fimm(0.0),
+    });
+    k.push(Op::Mov {
+        d: norms.0,
+        a: fimm(1e-6),
+    });
 
     let counters = (Reg(6), Reg(15));
     counted_loop(&mut k, counters, 32, |k, p| {
         let ctr = if p == 0 { counters.0 } else { counters.1 };
-        let (cin, cout) = if p == 0 { (corrs.0, corrs.1) } else { (corrs.1, corrs.0) };
-        let (nin, nout) = if p == 0 { (norms.0, norms.1) } else { (norms.1, norms.0) };
+        let (cin, cout) = if p == 0 {
+            (corrs.0, corrs.1)
+        } else {
+            (corrs.1, corrs.0)
+        };
+        let (nin, nout) = if p == 0 {
+            (norms.0, norms.1)
+        } else {
+            (norms.1, norms.0)
+        };
         let fi = Reg(7);
-        k.push(Op::IAdd { d: fi, a: base, b: Src::Reg(ctr) });
+        k.push(Op::IAdd {
+            d: fi,
+            a: base,
+            b: Src::Reg(ctr),
+        });
         let faddr = Reg(8);
         addr4(k, faddr, Reg(5), fi, FRAME);
         let taddr = Reg(9);
         let ti = Reg(10);
-        k.push(Op::And { d: ti, a: ctr, b: Src::Imm(255) });
+        k.push(Op::And {
+            d: ti,
+            a: ctr,
+            b: Src::Imm(255),
+        });
         addr4(k, taddr, Reg(5), ti, TMPL);
         let fv = Reg(11);
         let tv = Reg(12);
-        k.push(Op::Ld { d: fv, space: MemSpace::Global, addr: faddr, offset: 0, width: MemWidth::W32 });
-        k.push(Op::Ld { d: tv, space: MemSpace::Global, addr: taddr, offset: 0, width: MemWidth::W32 });
-        k.push(Op::FFma { d: cout, a: fv, b: tv, c: cin });
-        k.push(Op::FFma { d: nout, a: fv, b: fv, c: nin });
+        k.push(Op::Ld {
+            d: fv,
+            space: MemSpace::Global,
+            addr: faddr,
+            offset: 0,
+            width: MemWidth::W32,
+        });
+        k.push(Op::Ld {
+            d: tv,
+            space: MemSpace::Global,
+            addr: taddr,
+            offset: 0,
+            width: MemWidth::W32,
+        });
+        k.push(Op::FFma {
+            d: cout,
+            a: fv,
+            b: tv,
+            c: cin,
+        });
+        k.push(Op::FFma {
+            d: nout,
+            a: fv,
+            b: fv,
+            c: nin,
+        });
     });
     let corr = corrs.0;
     let norm = norms.0;
@@ -56,13 +104,27 @@ pub fn workload() -> Workload {
     let s1 = Reg(17);
     k.push(Op::MufuRcp { d: s1, a: s0 });
     let s = Reg(18);
-    k.push(Op::FMul { d: s, a: s1, b: Src::Reg(corr) });
+    k.push(Op::FMul {
+        d: s,
+        a: s1,
+        b: Src::Reg(corr),
+    });
 
     let oi = Reg(19);
-    k.push(Op::And { d: oi, a: gid, b: Src::Imm((THREADS - 1) as i32) });
+    k.push(Op::And {
+        d: oi,
+        a: gid,
+        b: Src::Imm((THREADS - 1) as i32),
+    });
     let oaddr = Reg(20);
     addr4(&mut k, oaddr, Reg(7), oi, OUT as i32);
-    k.push(Op::St { space: MemSpace::Global, addr: oaddr, offset: 0, v: s, width: MemWidth::W32 });
+    k.push(Op::St {
+        space: MemSpace::Global,
+        addr: oaddr,
+        offset: 0,
+        v: s,
+        width: MemWidth::W32,
+    });
     k.push(Op::Exit);
 
     Workload {
@@ -89,7 +151,10 @@ mod tests {
         let w = workload();
         let mut mem = w.build_memory();
         let exec = Executor {
-            config: ExecConfig { cta_limit: Some(1), ..ExecConfig::default() },
+            config: ExecConfig {
+                cta_limit: Some(1),
+                ..ExecConfig::default()
+            },
         };
         let out = exec.run(&w.kernel, w.launch, &mut mem);
         assert_eq!(out.detection, Detection::None);

@@ -20,30 +20,65 @@ pub fn workload() -> Workload {
     let gid = Reg(0);
     global_tid(&mut k, gid, Reg(1), Reg(2));
     let tid = Reg(2);
-    k.push(Op::S2R { d: tid, sr: SpecialReg::TidX });
+    k.push(Op::S2R {
+        d: tid,
+        sr: SpecialReg::TidX,
+    });
     let cell = Reg(3);
-    k.push(Op::And { d: cell, a: gid, b: Src::Imm((N * N - 1) as i32) });
+    k.push(Op::And {
+        d: cell,
+        a: gid,
+        b: Src::Imm((N * N - 1) as i32),
+    });
 
     // Stage the cell temperature into shared memory.
     let gaddr = Reg(4);
     addr4(&mut k, gaddr, Reg(12), cell, TEMP);
     let t0 = Reg(5);
-    k.push(Op::Ld { d: t0, space: MemSpace::Global, addr: gaddr, offset: 0, width: MemWidth::W32 });
+    k.push(Op::Ld {
+        d: t0,
+        space: MemSpace::Global,
+        addr: gaddr,
+        offset: 0,
+        width: MemWidth::W32,
+    });
     let saddr = Reg(6);
-    k.push(Op::Shl { d: saddr, a: tid, b: Src::Imm(2) });
-    k.push(Op::St { space: MemSpace::Shared, addr: saddr, offset: 0, v: t0, width: MemWidth::W32 });
+    k.push(Op::Shl {
+        d: saddr,
+        a: tid,
+        b: Src::Imm(2),
+    });
+    k.push(Op::St {
+        space: MemSpace::Shared,
+        addr: saddr,
+        offset: 0,
+        v: t0,
+        width: MemWidth::W32,
+    });
     k.push(Op::Bar);
 
     let paddr = Reg(7);
     addr4(&mut k, paddr, Reg(12), cell, POWER);
     let p = Reg(8);
-    k.push(Op::Ld { d: p, space: MemSpace::Global, addr: paddr, offset: 0, width: MemWidth::W32 });
+    k.push(Op::Ld {
+        d: p,
+        space: MemSpace::Global,
+        addr: paddr,
+        offset: 0,
+        width: MemWidth::W32,
+    });
 
     // Rotated temperature registers across unrolled halves.
     let ts = (Reg(9), Reg(21));
-    k.push(Op::Mov { d: ts.0, a: Src::Reg(t0) });
+    k.push(Op::Mov {
+        d: ts.0,
+        a: Src::Reg(t0),
+    });
     let rowc = Reg(10);
-    k.push(Op::Mov { d: rowc, a: Src::Imm(N as i32) });
+    k.push(Op::Mov {
+        d: rowc,
+        a: Src::Imm(N as i32),
+    });
 
     let counters = (Reg(11), Reg(22));
     counted_loop(&mut k, counters, 16, |k, pr| {
@@ -51,40 +86,103 @@ pub fn workload() -> Workload {
         let (tin, tout) = if pr == 0 { (ts.0, ts.1) } else { (ts.1, ts.0) };
         // Neighbour shared indices via IMADs (row * N + col arithmetic).
         let up0 = Reg(12);
-        k.push(Op::IMad { d: up0, a: ctr, b: rowc, c: tid });
+        k.push(Op::IMad {
+            d: up0,
+            a: ctr,
+            b: rowc,
+            c: tid,
+        });
         let up1 = Reg(23);
-        k.push(Op::And { d: up1, a: up0, b: Src::Imm(255) });
+        k.push(Op::And {
+            d: up1,
+            a: up0,
+            b: Src::Imm(255),
+        });
         let up = Reg(24);
-        k.push(Op::Shl { d: up, a: up1, b: Src::Imm(2) });
+        k.push(Op::Shl {
+            d: up,
+            a: up1,
+            b: Src::Imm(2),
+        });
         let tu = Reg(13);
-        k.push(Op::Ld { d: tu, space: MemSpace::Shared, addr: up, offset: 0, width: MemWidth::W32 });
+        k.push(Op::Ld {
+            d: tu,
+            space: MemSpace::Shared,
+            addr: up,
+            offset: 0,
+            width: MemWidth::W32,
+        });
         let down = Reg(14);
-        k.push(Op::Xor { d: down, a: up, b: Src::Imm(4) });
+        k.push(Op::Xor {
+            d: down,
+            a: up,
+            b: Src::Imm(4),
+        });
         let td = Reg(15);
-        k.push(Op::Ld { d: td, space: MemSpace::Shared, addr: down, offset: 0, width: MemWidth::W32 });
+        k.push(Op::Ld {
+            d: td,
+            space: MemSpace::Shared,
+            addr: down,
+            offset: 0,
+            width: MemWidth::W32,
+        });
         // delta = 0.1*(tu + td - 2t) + 0.05*p
         let sum0 = Reg(16);
-        k.push(Op::FAdd { d: sum0, a: tu, b: Src::Reg(td) });
+        k.push(Op::FAdd {
+            d: sum0,
+            a: tu,
+            b: Src::Reg(td),
+        });
         let sum = Reg(25);
-        k.push(Op::FFma { d: sum, a: tin, b: Reg(17), c: sum0 });
+        k.push(Op::FFma {
+            d: sum,
+            a: tin,
+            b: Reg(17),
+            c: sum0,
+        });
         let delta0 = Reg(18);
-        k.push(Op::FMul { d: delta0, a: sum, b: fimm(0.1) });
+        k.push(Op::FMul {
+            d: delta0,
+            a: sum,
+            b: fimm(0.1),
+        });
         let delta = Reg(26);
-        k.push(Op::FFma { d: delta, a: p, b: Reg(19), c: delta0 });
-        k.push(Op::FAdd { d: tout, a: tin, b: Src::Reg(delta) });
+        k.push(Op::FFma {
+            d: delta,
+            a: p,
+            b: Reg(19),
+            c: delta0,
+        });
+        k.push(Op::FAdd {
+            d: tout,
+            a: tin,
+            b: Src::Reg(delta),
+        });
     });
     let t = ts.0;
 
     let oaddr = Reg(20);
     addr4(&mut k, oaddr, Reg(12), cell, OUT as i32);
-    k.push(Op::St { space: MemSpace::Global, addr: oaddr, offset: 0, v: t, width: MemWidth::W32 });
+    k.push(Op::St {
+        space: MemSpace::Global,
+        addr: oaddr,
+        offset: 0,
+        v: t,
+        width: MemWidth::W32,
+    });
     k.push(Op::Exit);
 
     // Constants R17 = -2.0f, R19 = 0.05f prepended.
     let kern = k.finish();
     let mut v = vec![
-        swapcodes_isa::Instr::new(Op::Mov { d: Reg(17), a: fimm(-2.0) }),
-        swapcodes_isa::Instr::new(Op::Mov { d: Reg(19), a: fimm(0.05) }),
+        swapcodes_isa::Instr::new(Op::Mov {
+            d: Reg(17),
+            a: fimm(-2.0),
+        }),
+        swapcodes_isa::Instr::new(Op::Mov {
+            d: Reg(19),
+            a: fimm(0.05),
+        }),
     ];
     for ins in kern.instrs() {
         let mut i2 = *ins;
@@ -123,7 +221,10 @@ mod tests {
         let w = workload();
         let mut mem = w.build_memory();
         let exec = Executor {
-            config: ExecConfig { cta_limit: Some(1), ..ExecConfig::default() },
+            config: ExecConfig {
+                cta_limit: Some(1),
+                ..ExecConfig::default()
+            },
         };
         let out = exec.run(&w.kernel, w.launch, &mut mem);
         assert_eq!(out.detection, Detection::None);

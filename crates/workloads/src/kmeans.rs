@@ -19,12 +19,24 @@ pub fn workload() -> Workload {
     let gid = Reg(0);
     global_tid(&mut k, gid, Reg(1), Reg(2));
     let p = Reg(2);
-    k.push(Op::And { d: p, a: gid, b: Src::Imm((POINTS - 1) as i32) });
+    k.push(Op::And {
+        d: p,
+        a: gid,
+        b: Src::Imm((POINTS - 1) as i32),
+    });
 
     // Load the point's 4 features once.
     let faddr = Reg(3);
-    k.push(Op::Shl { d: faddr, a: p, b: Src::Imm(4) }); // *16 bytes
-    k.push(Op::IAdd { d: faddr, a: faddr, b: Src::Imm(FEAT) });
+    k.push(Op::Shl {
+        d: faddr,
+        a: p,
+        b: Src::Imm(4),
+    }); // *16 bytes
+    k.push(Op::IAdd {
+        d: faddr,
+        a: faddr,
+        b: Src::Imm(FEAT),
+    });
     let f = [Reg(4), Reg(5), Reg(6), Reg(7)];
     for (i, r) in f.into_iter().enumerate() {
         k.push(Op::Ld {
@@ -39,23 +51,51 @@ pub fn workload() -> Workload {
     // Rotated best/index/centroid-counter registers.
     let bests = (Reg(8), Reg(18));
     let idxs = (Reg(9), Reg(19));
-    k.push(Op::Mov { d: bests.0, a: fimm(1e30) });
-    k.push(Op::Mov { d: idxs.0, a: Src::Imm(0) });
+    k.push(Op::Mov {
+        d: bests.0,
+        a: fimm(1e30),
+    });
+    k.push(Op::Mov {
+        d: idxs.0,
+        a: Src::Imm(0),
+    });
     let neg1 = Reg(11);
-    k.push(Op::Mov { d: neg1, a: fimm(-1.0) });
+    k.push(Op::Mov {
+        d: neg1,
+        a: fimm(-1.0),
+    });
 
     let counters = (Reg(12), Reg(20));
     counted_loop(&mut k, counters, 6, |k, p| {
         let ctr = if p == 0 { counters.0 } else { counters.1 };
-        let (bin, bout) = if p == 0 { (bests.0, bests.1) } else { (bests.1, bests.0) };
-        let (iin, iout) = if p == 0 { (idxs.0, idxs.1) } else { (idxs.1, idxs.0) };
+        let (bin, bout) = if p == 0 {
+            (bests.0, bests.1)
+        } else {
+            (bests.1, bests.0)
+        };
+        let (iin, iout) = if p == 0 {
+            (idxs.0, idxs.1)
+        } else {
+            (idxs.1, idxs.0)
+        };
         let csh = Reg(10);
-        k.push(Op::Shl { d: csh, a: ctr, b: Src::Imm(4) });
+        k.push(Op::Shl {
+            d: csh,
+            a: ctr,
+            b: Src::Imm(4),
+        });
         let caddr = Reg(13);
-        k.push(Op::IAdd { d: caddr, a: csh, b: Src::Imm(CENT) });
+        k.push(Op::IAdd {
+            d: caddr,
+            a: csh,
+            b: Src::Imm(CENT),
+        });
         // Rotated distance accumulation through the four features.
         let dists = [Reg(14), Reg(21), Reg(14), Reg(21), Reg(14)];
-        k.push(Op::Mov { d: dists[0], a: fimm(0.0) });
+        k.push(Op::Mov {
+            d: dists[0],
+            a: fimm(0.0),
+        });
         for (i, fr) in f.into_iter().enumerate() {
             let cv = Reg(15);
             let d = Reg(16);
@@ -66,8 +106,18 @@ pub fn workload() -> Workload {
                 offset: 4 * i as i32,
                 width: MemWidth::W32,
             });
-            k.push(Op::FFma { d, a: cv, b: neg1, c: fr });
-            k.push(Op::FFma { d: dists[i + 1], a: d, b: d, c: dists[i] });
+            k.push(Op::FFma {
+                d,
+                a: cv,
+                b: neg1,
+                c: fr,
+            });
+            k.push(Op::FFma {
+                d: dists[i + 1],
+                a: d,
+                b: d,
+                c: dists[i],
+            });
         }
         let dist = dists[4];
         // Track the minimum distance and its index.
@@ -78,8 +128,17 @@ pub fn workload() -> Workload {
             a: dist,
             b: Src::Reg(bin),
         });
-        k.push(Op::Sel { d: iout, p: Pred(1), a: ctr, b: Src::Reg(iin) });
-        k.push(Op::FMin { d: bout, a: bin, b: Src::Reg(dist) });
+        k.push(Op::Sel {
+            d: iout,
+            p: Pred(1),
+            a: ctr,
+            b: Src::Reg(iin),
+        });
+        k.push(Op::FMin {
+            d: bout,
+            a: bin,
+            b: Src::Reg(dist),
+        });
     });
     let best_idx = idxs.0;
 
@@ -118,7 +177,10 @@ mod tests {
         let w = workload();
         let mut mem = w.build_memory();
         let exec = Executor {
-            config: ExecConfig { cta_limit: Some(1), ..ExecConfig::default() },
+            config: ExecConfig {
+                cta_limit: Some(1),
+                ..ExecConfig::default()
+            },
         };
         let out = exec.run(&w.kernel, w.launch, &mut mem);
         assert_eq!(out.detection, Detection::None);

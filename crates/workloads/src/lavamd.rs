@@ -23,9 +23,17 @@ pub fn workload() -> Workload {
 
     // Own particle position.
     let idx = Reg(2);
-    k.push(Op::And { d: idx, a: gid, b: Src::Imm(1023) });
+    k.push(Op::And {
+        d: idx,
+        a: gid,
+        b: Src::Imm(1023),
+    });
     let paddr = Reg(3);
-    k.push(Op::IMul { d: paddr, a: idx, b: Src::Imm(12) });
+    k.push(Op::IMul {
+        d: paddr,
+        a: idx,
+        b: Src::Imm(12),
+    });
     let (px, py, pz) = (Reg(4), Reg(5), Reg(6));
     for (i, r) in [px, py, pz].into_iter().enumerate() {
         k.push(Op::Ld {
@@ -46,7 +54,10 @@ pub fn workload() -> Workload {
         k.push(Op::Mov { d: r, a: fimm(0.0) });
     }
     let neg1 = Reg(10);
-    k.push(Op::Mov { d: neg1, a: fimm(-1.0) });
+    k.push(Op::Mov {
+        d: neg1,
+        a: fimm(-1.0),
+    });
 
     let counters = (Reg(11), Reg(29));
     counted_loop(&mut k, counters, 48, |k, p| {
@@ -54,11 +65,24 @@ pub fn workload() -> Workload {
         let (ain, aout) = (acc[p as usize], acc[1 - p as usize]);
         // Neighbour index and position.
         let n0 = Reg(12);
-        k.push(Op::IMad { d: n0, a: ctr, b: ctr, c: Reg(0) });
+        k.push(Op::IMad {
+            d: n0,
+            a: ctr,
+            b: ctr,
+            c: Reg(0),
+        });
         let n = Reg(30);
-        k.push(Op::And { d: n, a: n0, b: Src::Imm(1023) });
+        k.push(Op::And {
+            d: n,
+            a: n0,
+            b: Src::Imm(1023),
+        });
         let naddr = Reg(13);
-        k.push(Op::IMul { d: naddr, a: n, b: Src::Imm(12) });
+        k.push(Op::IMul {
+            d: naddr,
+            a: n,
+            b: Src::Imm(12),
+        });
         let (nx, ny, nz) = (Reg(14), Reg(15), Reg(16));
         for (i, r) in [nx, ny, nz].into_iter().enumerate() {
             k.push(Op::Ld {
@@ -71,35 +95,110 @@ pub fn workload() -> Workload {
         }
         // Displacement, squared distance, interaction strength.
         let (dx, dy, dz) = (Reg(17), Reg(18), Reg(19));
-        k.push(Op::FFma { d: dx, a: nx, b: neg1, c: px });
-        k.push(Op::FFma { d: dy, a: ny, b: neg1, c: py });
-        k.push(Op::FFma { d: dz, a: nz, b: neg1, c: pz });
+        k.push(Op::FFma {
+            d: dx,
+            a: nx,
+            b: neg1,
+            c: px,
+        });
+        k.push(Op::FFma {
+            d: dy,
+            a: ny,
+            b: neg1,
+            c: py,
+        });
+        k.push(Op::FFma {
+            d: dz,
+            a: nz,
+            b: neg1,
+            c: pz,
+        });
         let r2a = Reg(20);
         let r2b = Reg(31);
-        k.push(Op::FMul { d: r2a, a: dx, b: Src::Reg(dx) });
-        k.push(Op::FFma { d: r2b, a: dy, b: dy, c: r2a });
+        k.push(Op::FMul {
+            d: r2a,
+            a: dx,
+            b: Src::Reg(dx),
+        });
+        k.push(Op::FFma {
+            d: r2b,
+            a: dy,
+            b: dy,
+            c: r2a,
+        });
         let r2 = Reg(12);
-        k.push(Op::FFma { d: r2, a: dz, b: dz, c: r2b });
+        k.push(Op::FFma {
+            d: r2,
+            a: dz,
+            b: dz,
+            c: r2b,
+        });
         let u0 = Reg(21);
         let u = Reg(22);
-        k.push(Op::FMul { d: u0, a: r2, b: fimm(-0.35) });
+        k.push(Op::FMul {
+            d: u0,
+            a: r2,
+            b: fimm(-0.35),
+        });
         k.push(Op::MufuEx2 { d: u, a: u0 });
         // Two chained interaction terms, rotating in -> tmp -> out.
-        k.push(Op::FFma { d: tmp[0], a: u, b: dx, c: ain[0] });
-        k.push(Op::FFma { d: tmp[1], a: u, b: dy, c: ain[1] });
-        k.push(Op::FFma { d: tmp[2], a: u, b: dz, c: ain[2] });
+        k.push(Op::FFma {
+            d: tmp[0],
+            a: u,
+            b: dx,
+            c: ain[0],
+        });
+        k.push(Op::FFma {
+            d: tmp[1],
+            a: u,
+            b: dy,
+            c: ain[1],
+        });
+        k.push(Op::FFma {
+            d: tmp[2],
+            a: u,
+            b: dz,
+            c: ain[2],
+        });
         let v = Reg(21);
-        k.push(Op::FMul { d: v, a: u, b: Src::Reg(u) });
-        k.push(Op::FFma { d: aout[0], a: v, b: dx, c: tmp[0] });
-        k.push(Op::FFma { d: aout[1], a: v, b: dy, c: tmp[1] });
-        k.push(Op::FFma { d: aout[2], a: v, b: dz, c: tmp[2] });
+        k.push(Op::FMul {
+            d: v,
+            a: u,
+            b: Src::Reg(u),
+        });
+        k.push(Op::FFma {
+            d: aout[0],
+            a: v,
+            b: dx,
+            c: tmp[0],
+        });
+        k.push(Op::FFma {
+            d: aout[1],
+            a: v,
+            b: dy,
+            c: tmp[1],
+        });
+        k.push(Op::FFma {
+            d: aout[2],
+            a: v,
+            b: dz,
+            c: tmp[2],
+        });
     });
 
     // total = fx + fy + fz -> out[gid] (even trip count: result in set 0).
     let s = Reg(20);
-    k.push(Op::FAdd { d: s, a: acc[0][0], b: Src::Reg(acc[0][1]) });
+    k.push(Op::FAdd {
+        d: s,
+        a: acc[0][0],
+        b: Src::Reg(acc[0][1]),
+    });
     let s2 = Reg(17);
-    k.push(Op::FAdd { d: s2, a: s, b: Src::Reg(acc[0][2]) });
+    k.push(Op::FAdd {
+        d: s2,
+        a: s,
+        b: Src::Reg(acc[0][2]),
+    });
     let oaddr = Reg(13);
     addr4(&mut k, oaddr, Reg(12), gid, OUT as i32);
     k.push(Op::St {

@@ -145,7 +145,11 @@ mod tests {
     fn memory_fits_launch() {
         for w in all() {
             let mem = w.build_memory();
-            assert!(w.output.0 + w.output.1 * 4 <= mem.len() as u32, "{}", w.name);
+            assert!(
+                w.output.0 + w.output.1 * 4 <= mem.len() as u32,
+                "{}",
+                w.name
+            );
             assert!(w.launch.ctas > 0 && w.launch.threads_per_cta > 0);
         }
     }

@@ -18,52 +18,126 @@ pub fn workload() -> Workload {
     let gid = Reg(0);
     global_tid(&mut k, gid, Reg(1), Reg(2));
     let tid = Reg(2);
-    k.push(Op::S2R { d: tid, sr: SpecialReg::TidX });
+    k.push(Op::S2R {
+        d: tid,
+        sr: SpecialReg::TidX,
+    });
 
     // Stage one matrix row chunk into shared memory.
     let row = Reg(3);
-    k.push(Op::And { d: row, a: gid, b: Src::Imm((N - 1) as i32) });
+    k.push(Op::And {
+        d: row,
+        a: gid,
+        b: Src::Imm((N - 1) as i32),
+    });
     let gaddr = Reg(4);
     addr4(&mut k, gaddr, Reg(9), row, A);
     let v = Reg(5);
-    k.push(Op::Ld { d: v, space: MemSpace::Global, addr: gaddr, offset: 0, width: MemWidth::W32 });
+    k.push(Op::Ld {
+        d: v,
+        space: MemSpace::Global,
+        addr: gaddr,
+        offset: 0,
+        width: MemWidth::W32,
+    });
     let saddr = Reg(6);
-    k.push(Op::Shl { d: saddr, a: tid, b: Src::Imm(2) });
-    k.push(Op::St { space: MemSpace::Shared, addr: saddr, offset: 0, v, width: MemWidth::W32 });
+    k.push(Op::Shl {
+        d: saddr,
+        a: tid,
+        b: Src::Imm(2),
+    });
+    k.push(Op::St {
+        space: MemSpace::Shared,
+        addr: saddr,
+        offset: 0,
+        v,
+        width: MemWidth::W32,
+    });
     k.push(Op::Bar);
 
     // Elimination: acc -= pivot * shared[j], walking the staged tile with
     // rotated accumulators (acc -> tmp -> acc').
     let accs = (Reg(7), Reg(14));
     let tmp = Reg(15);
-    k.push(Op::Mov { d: accs.0, a: fimm(1.0) });
+    k.push(Op::Mov {
+        d: accs.0,
+        a: fimm(1.0),
+    });
     let pivot0 = Reg(8);
-    k.push(Op::Ld { d: pivot0, space: MemSpace::Shared, addr: saddr, offset: 0, width: MemWidth::W32 });
+    k.push(Op::Ld {
+        d: pivot0,
+        space: MemSpace::Shared,
+        addr: saddr,
+        offset: 0,
+        width: MemWidth::W32,
+    });
     let pivot = Reg(16);
-    k.push(Op::FMul { d: pivot, a: pivot0, b: fimm(0.015625) });
+    k.push(Op::FMul {
+        d: pivot,
+        a: pivot0,
+        b: fimm(0.015625),
+    });
     let negp = Reg(10);
-    k.push(Op::FMul { d: negp, a: pivot, b: fimm(-1.0) });
+    k.push(Op::FMul {
+        d: negp,
+        a: pivot,
+        b: fimm(-1.0),
+    });
 
     let counters = (Reg(11), Reg(17));
     counted_loop(&mut k, counters, 64, |k, p| {
         let ctr = if p == 0 { counters.0 } else { counters.1 };
-        let (ain, aout) = if p == 0 { (accs.0, accs.1) } else { (accs.1, accs.0) };
+        let (ain, aout) = if p == 0 {
+            (accs.0, accs.1)
+        } else {
+            (accs.1, accs.0)
+        };
         let jm = Reg(9);
-        k.push(Op::And { d: jm, a: ctr, b: Src::Imm(127) });
+        k.push(Op::And {
+            d: jm,
+            a: ctr,
+            b: Src::Imm(127),
+        });
         let ja = Reg(12);
-        k.push(Op::Shl { d: ja, a: jm, b: Src::Imm(2) });
+        k.push(Op::Shl {
+            d: ja,
+            a: jm,
+            b: Src::Imm(2),
+        });
         let sv = Reg(13);
-        k.push(Op::Ld { d: sv, space: MemSpace::Shared, addr: ja, offset: 0, width: MemWidth::W32 });
-        k.push(Op::FFma { d: tmp, a: negp, b: sv, c: ain });
+        k.push(Op::Ld {
+            d: sv,
+            space: MemSpace::Shared,
+            addr: ja,
+            offset: 0,
+            width: MemWidth::W32,
+        });
+        k.push(Op::FFma {
+            d: tmp,
+            a: negp,
+            b: sv,
+            c: ain,
+        });
         // Second FMA models the U-row update.
-        k.push(Op::FFma { d: aout, a: sv, b: sv, c: tmp });
+        k.push(Op::FFma {
+            d: aout,
+            a: sv,
+            b: sv,
+            c: tmp,
+        });
     });
     let acc = accs.0;
     k.push(Op::Bar);
 
     let oaddr = Reg(18);
     addr4(&mut k, oaddr, Reg(9), gid, OUT as i32);
-    k.push(Op::St { space: MemSpace::Global, addr: oaddr, offset: 0, v: acc, width: MemWidth::W32 });
+    k.push(Op::St {
+        space: MemSpace::Global,
+        addr: oaddr,
+        offset: 0,
+        v: acc,
+        width: MemWidth::W32,
+    });
     k.push(Op::Exit);
 
     Workload {
@@ -91,7 +165,10 @@ mod tests {
         let w = workload();
         let mut mem = w.build_memory();
         let exec = Executor {
-            config: ExecConfig { cta_limit: Some(1), ..ExecConfig::default() },
+            config: ExecConfig {
+                cta_limit: Some(1),
+                ..ExecConfig::default()
+            },
         };
         let out = exec.run(&w.kernel, w.launch, &mut mem);
         assert_eq!(out.detection, Detection::None);

@@ -20,50 +20,145 @@ pub fn workload() -> Workload {
     let gid = Reg(0);
     global_tid(&mut k, gid, Reg(1), Reg(2));
     let row = Reg(2);
-    k.push(Op::Shr { d: row, a: gid, b: Src::Imm(6) });
-    k.push(Op::And { d: row, a: row, b: Src::Imm((N - 1) as i32) });
+    k.push(Op::Shr {
+        d: row,
+        a: gid,
+        b: Src::Imm(6),
+    });
+    k.push(Op::And {
+        d: row,
+        a: row,
+        b: Src::Imm((N - 1) as i32),
+    });
     let col = Reg(3);
-    k.push(Op::And { d: col, a: gid, b: Src::Imm((N - 1) as i32) });
+    k.push(Op::And {
+        d: col,
+        a: gid,
+        b: Src::Imm((N - 1) as i32),
+    });
 
     // Row/column base addresses, rotated across the unrolled halves.
     let abases = (Reg(4), Reg(14));
     let ash = Reg(18);
-    k.push(Op::Shl { d: ash, a: row, b: Src::Imm(8) }); // row * 64 * 4
-    k.push(Op::IAdd { d: abases.0, a: ash, b: Src::Imm(A) });
+    k.push(Op::Shl {
+        d: ash,
+        a: row,
+        b: Src::Imm(8),
+    }); // row * 64 * 4
+    k.push(Op::IAdd {
+        d: abases.0,
+        a: ash,
+        b: Src::Imm(A),
+    });
     let bbases = (Reg(5), Reg(15));
     let bsh = Reg(19);
-    k.push(Op::Shl { d: bsh, a: col, b: Src::Imm(2) });
-    k.push(Op::IAdd { d: bbases.0, a: bsh, b: Src::Imm(B) });
+    k.push(Op::Shl {
+        d: bsh,
+        a: col,
+        b: Src::Imm(2),
+    });
+    k.push(Op::IAdd {
+        d: bbases.0,
+        a: bsh,
+        b: Src::Imm(B),
+    });
 
     let accs = (Reg(6), Reg(16));
-    k.push(Op::Mov { d: accs.0, a: fimm(0.0) });
+    k.push(Op::Mov {
+        d: accs.0,
+        a: fimm(0.0),
+    });
     // Unrolled inner product over K = 64 (two elements per body).
     let counters = (Reg(7), Reg(20));
     counted_loop(&mut k, counters, 32, |k, p| {
-        let (abin, about) = if p == 0 { (abases.0, abases.1) } else { (abases.1, abases.0) };
-        let (bbin, bbout) = if p == 0 { (bbases.0, bbases.1) } else { (bbases.1, bbases.0) };
-        let (ain, aout) = if p == 0 { (accs.0, accs.1) } else { (accs.1, accs.0) };
+        let (abin, about) = if p == 0 {
+            (abases.0, abases.1)
+        } else {
+            (abases.1, abases.0)
+        };
+        let (bbin, bbout) = if p == 0 {
+            (bbases.0, bbases.1)
+        } else {
+            (bbases.1, bbases.0)
+        };
+        let (ain, aout) = if p == 0 {
+            (accs.0, accs.1)
+        } else {
+            (accs.1, accs.0)
+        };
         let av0 = Reg(8);
         let av1 = Reg(9);
-        k.push(Op::Ld { d: av0, space: MemSpace::Global, addr: abin, offset: 0, width: MemWidth::W32 });
-        k.push(Op::Ld { d: av1, space: MemSpace::Global, addr: abin, offset: 4, width: MemWidth::W32 });
+        k.push(Op::Ld {
+            d: av0,
+            space: MemSpace::Global,
+            addr: abin,
+            offset: 0,
+            width: MemWidth::W32,
+        });
+        k.push(Op::Ld {
+            d: av1,
+            space: MemSpace::Global,
+            addr: abin,
+            offset: 4,
+            width: MemWidth::W32,
+        });
         let bv0 = Reg(10);
         let bv1 = Reg(11);
-        k.push(Op::Ld { d: bv0, space: MemSpace::Global, addr: bbin, offset: 0, width: MemWidth::W32 });
-        k.push(Op::Ld { d: bv1, space: MemSpace::Global, addr: bbin, offset: 256, width: MemWidth::W32 });
+        k.push(Op::Ld {
+            d: bv0,
+            space: MemSpace::Global,
+            addr: bbin,
+            offset: 0,
+            width: MemWidth::W32,
+        });
+        k.push(Op::Ld {
+            d: bv1,
+            space: MemSpace::Global,
+            addr: bbin,
+            offset: 256,
+            width: MemWidth::W32,
+        });
         let t = Reg(17);
-        k.push(Op::FFma { d: t, a: av0, b: bv0, c: ain });
-        k.push(Op::FFma { d: aout, a: av1, b: bv1, c: t });
-        k.push(Op::IAdd { d: about, a: abin, b: Src::Imm(8) });
-        k.push(Op::IAdd { d: bbout, a: bbin, b: Src::Imm(512) });
+        k.push(Op::FFma {
+            d: t,
+            a: av0,
+            b: bv0,
+            c: ain,
+        });
+        k.push(Op::FFma {
+            d: aout,
+            a: av1,
+            b: bv1,
+            c: t,
+        });
+        k.push(Op::IAdd {
+            d: about,
+            a: abin,
+            b: Src::Imm(8),
+        });
+        k.push(Op::IAdd {
+            d: bbout,
+            a: bbin,
+            b: Src::Imm(512),
+        });
     });
     let acc = accs.0;
 
     let ci = Reg(12);
-    k.push(Op::And { d: ci, a: gid, b: Src::Imm((N * N - 1) as i32) });
+    k.push(Op::And {
+        d: ci,
+        a: gid,
+        b: Src::Imm((N * N - 1) as i32),
+    });
     let caddr = Reg(13);
     addr4(&mut k, caddr, Reg(8), ci, C as i32);
-    k.push(Op::St { space: MemSpace::Global, addr: caddr, offset: 0, v: acc, width: MemWidth::W32 });
+    k.push(Op::St {
+        space: MemSpace::Global,
+        addr: caddr,
+        offset: 0,
+        v: acc,
+        width: MemWidth::W32,
+    });
     k.push(Op::Exit);
 
     Workload {
@@ -92,7 +187,10 @@ mod tests {
         let a = mem.read_f32_slice(A as u32, (N * N) as usize);
         let b = mem.read_f32_slice(B as u32, (N * N) as usize);
         let exec = Executor {
-            config: ExecConfig { cta_limit: Some(4), ..ExecConfig::default() },
+            config: ExecConfig {
+                cta_limit: Some(4),
+                ..ExecConfig::default()
+            },
         };
         let out = exec.run(&w.kernel, w.launch, &mut mem);
         assert_eq!(out.detection, Detection::None);

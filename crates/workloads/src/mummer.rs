@@ -19,51 +19,113 @@ pub fn workload() -> Workload {
     let gid = Reg(0);
     global_tid(&mut k, gid, Reg(1), Reg(2));
     let start = Reg(2);
-    k.push(Op::And { d: start, a: gid, b: Src::Imm(16 * 1024 - 64 - 1) });
+    k.push(Op::And {
+        d: start,
+        a: gid,
+        b: Src::Imm(16 * 1024 - 64 - 1),
+    });
 
     // Rotated match counter (updated under divergence: keep both halves in
     // sync with a select instead of a guarded add).
     let matches = (Reg(3), Reg(13));
-    k.push(Op::Mov { d: matches.0, a: Src::Imm(0) });
+    k.push(Op::Mov {
+        d: matches.0,
+        a: Src::Imm(0),
+    });
 
     let counters = (Reg(5), Reg(14));
     counted_loop(&mut k, counters, 24, |k, p| {
         let ctr = if p == 0 { counters.0 } else { counters.1 };
-        let (min_, mout) = if p == 0 { (matches.0, matches.1) } else { (matches.1, matches.0) };
+        let (min_, mout) = if p == 0 {
+            (matches.0, matches.1)
+        } else {
+            (matches.1, matches.0)
+        };
         let ti = Reg(6);
-        k.push(Op::IAdd { d: ti, a: start, b: Src::Reg(ctr) });
+        k.push(Op::IAdd {
+            d: ti,
+            a: start,
+            b: Src::Reg(ctr),
+        });
         let taddr = Reg(7);
         addr4(k, taddr, Reg(4), ti, TEXT);
         let paddr = Reg(8);
         let pi = Reg(9);
-        k.push(Op::And { d: pi, a: ctr, b: Src::Imm(63) });
+        k.push(Op::And {
+            d: pi,
+            a: ctr,
+            b: Src::Imm(63),
+        });
         addr4(k, paddr, Reg(4), pi, PATTERN);
         let tv = Reg(10);
         let pv = Reg(11);
-        k.push(Op::Ld { d: tv, space: MemSpace::Global, addr: taddr, offset: 0, width: MemWidth::W32 });
-        k.push(Op::Ld { d: pv, space: MemSpace::Global, addr: paddr, offset: 0, width: MemWidth::W32 });
+        k.push(Op::Ld {
+            d: tv,
+            space: MemSpace::Global,
+            addr: taddr,
+            offset: 0,
+            width: MemWidth::W32,
+        });
+        k.push(Op::Ld {
+            d: pv,
+            space: MemSpace::Global,
+            addr: paddr,
+            offset: 0,
+            width: MemWidth::W32,
+        });
         // Compare and branch (mismatch restarts the walk — divergent).
         let diff0 = Reg(12);
-        k.push(Op::Xor { d: diff0, a: tv, b: Src::Reg(pv) });
+        k.push(Op::Xor {
+            d: diff0,
+            a: tv,
+            b: Src::Reg(pv),
+        });
         let diff = Reg(15);
-        k.push(Op::And { d: diff, a: diff0, b: Src::Imm(0xFF) });
-        k.push(Op::SetP { p: Pred(1), cmp: CmpOp::Eq, ty: CmpTy::U32, a: diff, b: Src::Imm(0) });
+        k.push(Op::And {
+            d: diff,
+            a: diff0,
+            b: Src::Imm(0xFF),
+        });
+        k.push(Op::SetP {
+            p: Pred(1),
+            cmp: CmpOp::Eq,
+            ty: CmpTy::U32,
+            a: diff,
+            b: Src::Imm(0),
+        });
         let miss = k.label();
         let join = k.label();
         k.branch_if(miss, Pred(1), false);
-        k.push(Op::IAdd { d: mout, a: min_, b: Src::Imm(1) });
+        k.push(Op::IAdd {
+            d: mout,
+            a: min_,
+            b: Src::Imm(1),
+        });
         k.branch_to(join);
         k.bind(miss);
-        k.push(Op::Mov { d: mout, a: Src::Reg(min_) });
+        k.push(Op::Mov {
+            d: mout,
+            a: Src::Reg(min_),
+        });
         k.bind(join);
     });
     let match_count = matches.0;
 
     let oaddr = Reg(17);
     let oi = Reg(18);
-    k.push(Op::And { d: oi, a: gid, b: Src::Imm((THREADS - 1) as i32) });
+    k.push(Op::And {
+        d: oi,
+        a: gid,
+        b: Src::Imm((THREADS - 1) as i32),
+    });
     addr4(&mut k, oaddr, Reg(6), oi, OUT as i32);
-    k.push(Op::St { space: MemSpace::Global, addr: oaddr, offset: 0, v: match_count, width: MemWidth::W32 });
+    k.push(Op::St {
+        space: MemSpace::Global,
+        addr: oaddr,
+        offset: 0,
+        v: match_count,
+        width: MemWidth::W32,
+    });
     k.push(Op::Exit);
 
     Workload {
@@ -90,7 +152,10 @@ mod tests {
         let w = workload();
         let mut mem = w.build_memory();
         let exec = Executor {
-            config: ExecConfig { cta_limit: Some(1), ..ExecConfig::default() },
+            config: ExecConfig {
+                cta_limit: Some(1),
+                ..ExecConfig::default()
+            },
         };
         let out = exec.run(&w.kernel, w.launch, &mut mem);
         assert_eq!(out.detection, Detection::None);

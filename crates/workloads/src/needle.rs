@@ -19,58 +19,145 @@ pub fn workload() -> Workload {
     let gid = Reg(0);
     global_tid(&mut k, gid, Reg(1), Reg(2));
     let tid = Reg(2);
-    k.push(Op::S2R { d: tid, sr: SpecialReg::TidX });
+    k.push(Op::S2R {
+        d: tid,
+        sr: SpecialReg::TidX,
+    });
     let cell = Reg(3);
-    k.push(Op::And { d: cell, a: gid, b: Src::Imm((CELLS - 1) as i32) });
+    k.push(Op::And {
+        d: cell,
+        a: gid,
+        b: Src::Imm((CELLS - 1) as i32),
+    });
 
     // Seed the DP row in shared memory.
     let saddr = Reg(4);
-    k.push(Op::Shl { d: saddr, a: tid, b: Src::Imm(2) });
-    k.push(Op::St { space: MemSpace::Shared, addr: saddr, offset: 0, v: tid, width: MemWidth::W32 });
+    k.push(Op::Shl {
+        d: saddr,
+        a: tid,
+        b: Src::Imm(2),
+    });
+    k.push(Op::St {
+        space: MemSpace::Shared,
+        addr: saddr,
+        offset: 0,
+        v: tid,
+        width: MemWidth::W32,
+    });
     k.push(Op::Bar);
 
     // Rotated running-score pair.
     let scores = (Reg(5), Reg(17));
-    k.push(Op::Mov { d: scores.0, a: Src::Imm(0) });
+    k.push(Op::Mov {
+        d: scores.0,
+        a: Src::Imm(0),
+    });
 
     let counters = (Reg(6), Reg(18));
     counted_loop(&mut k, counters, 24, |k, p| {
         let ctr = if p == 0 { counters.0 } else { counters.1 };
-        let (sin, sout) = if p == 0 { (scores.0, scores.1) } else { (scores.1, scores.0) };
+        let (sin, sout) = if p == 0 {
+            (scores.0, scores.1)
+        } else {
+            (scores.1, scores.0)
+        };
         // nw / w / n cells from the shared row, reference from global.
         let left = Reg(7);
-        k.push(Op::Xor { d: left, a: saddr, b: Src::Imm(4) });
+        k.push(Op::Xor {
+            d: left,
+            a: saddr,
+            b: Src::Imm(4),
+        });
         let wv = Reg(8);
-        k.push(Op::Ld { d: wv, space: MemSpace::Shared, addr: left, offset: 0, width: MemWidth::W32 });
+        k.push(Op::Ld {
+            d: wv,
+            space: MemSpace::Shared,
+            addr: left,
+            offset: 0,
+            width: MemWidth::W32,
+        });
         let nv = Reg(9);
-        k.push(Op::Ld { d: nv, space: MemSpace::Shared, addr: saddr, offset: 0, width: MemWidth::W32 });
+        k.push(Op::Ld {
+            d: nv,
+            space: MemSpace::Shared,
+            addr: saddr,
+            offset: 0,
+            width: MemWidth::W32,
+        });
         let ri0 = Reg(10);
-        k.push(Op::IMad { d: ri0, a: ctr, b: Reg(11), c: cell });
+        k.push(Op::IMad {
+            d: ri0,
+            a: ctr,
+            b: Reg(11),
+            c: cell,
+        });
         let ri = Reg(19);
-        k.push(Op::And { d: ri, a: ri0, b: Src::Imm(16 * 1024 - 1) });
+        k.push(Op::And {
+            d: ri,
+            a: ri0,
+            b: Src::Imm(16 * 1024 - 1),
+        });
         let raddr = Reg(12);
         addr4(k, raddr, Reg(10), ri, REF);
         let rv = Reg(13);
-        k.push(Op::Ld { d: rv, space: MemSpace::Global, addr: raddr, offset: 0, width: MemWidth::W32 });
+        k.push(Op::Ld {
+            d: rv,
+            space: MemSpace::Global,
+            addr: raddr,
+            offset: 0,
+            width: MemWidth::W32,
+        });
         // score = max(w - gap, n - gap, nw + ref)
         let c1 = Reg(14);
-        k.push(Op::IAdd { d: c1, a: wv, b: Src::Imm(-2) });
+        k.push(Op::IAdd {
+            d: c1,
+            a: wv,
+            b: Src::Imm(-2),
+        });
         let c2 = Reg(15);
-        k.push(Op::IAdd { d: c2, a: nv, b: Src::Imm(-2) });
+        k.push(Op::IAdd {
+            d: c2,
+            a: nv,
+            b: Src::Imm(-2),
+        });
         let c3 = Reg(16);
-        k.push(Op::IAdd { d: c3, a: sin, b: Src::Reg(rv) });
+        k.push(Op::IAdd {
+            d: c3,
+            a: sin,
+            b: Src::Reg(rv),
+        });
         let m1 = Reg(20);
-        k.push(Op::IMax { d: m1, a: c1, b: Src::Reg(c2) });
-        k.push(Op::IMax { d: sout, a: m1, b: Src::Reg(c3) });
+        k.push(Op::IMax {
+            d: m1,
+            a: c1,
+            b: Src::Reg(c2),
+        });
+        k.push(Op::IMax {
+            d: sout,
+            a: m1,
+            b: Src::Reg(c3),
+        });
         // Write the running score back to the shared row and re-sync.
-        k.push(Op::St { space: MemSpace::Shared, addr: saddr, offset: 0, v: sout, width: MemWidth::W32 });
+        k.push(Op::St {
+            space: MemSpace::Shared,
+            addr: saddr,
+            offset: 0,
+            v: sout,
+            width: MemWidth::W32,
+        });
         k.push(Op::Bar);
     });
     let score = scores.0;
 
     let oaddr = Reg(21);
     addr4(&mut k, oaddr, Reg(7), cell, OUT as i32);
-    k.push(Op::St { space: MemSpace::Global, addr: oaddr, offset: 0, v: score, width: MemWidth::W32 });
+    k.push(Op::St {
+        space: MemSpace::Global,
+        addr: oaddr,
+        offset: 0,
+        v: score,
+        width: MemWidth::W32,
+    });
     k.push(Op::Exit);
 
     // R11: diagonal stride constant.
@@ -112,7 +199,10 @@ mod tests {
         let w = workload();
         let mut mem = w.build_memory();
         let exec = Executor {
-            config: ExecConfig { cta_limit: Some(1), ..ExecConfig::default() },
+            config: ExecConfig {
+                cta_limit: Some(1),
+                ..ExecConfig::default()
+            },
         };
         let out = exec.run(&w.kernel, w.launch, &mut mem);
         assert_eq!(out.detection, Detection::None);

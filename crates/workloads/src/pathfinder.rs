@@ -18,18 +18,38 @@ pub fn workload() -> Workload {
     let gid = Reg(0);
     global_tid(&mut k, gid, Reg(1), Reg(2));
     let tid = Reg(2);
-    k.push(Op::S2R { d: tid, sr: SpecialReg::TidX });
+    k.push(Op::S2R {
+        d: tid,
+        sr: SpecialReg::TidX,
+    });
     let col = Reg(3);
-    k.push(Op::And { d: col, a: gid, b: Src::Imm((COLS - 1) as i32) });
+    k.push(Op::And {
+        d: col,
+        a: gid,
+        b: Src::Imm((COLS - 1) as i32),
+    });
 
     let saddr = Reg(4);
-    k.push(Op::Shl { d: saddr, a: tid, b: Src::Imm(2) });
-    k.push(Op::St { space: MemSpace::Shared, addr: saddr, offset: 0, v: col, width: MemWidth::W32 });
+    k.push(Op::Shl {
+        d: saddr,
+        a: tid,
+        b: Src::Imm(2),
+    });
+    k.push(Op::St {
+        space: MemSpace::Shared,
+        addr: saddr,
+        offset: 0,
+        v: col,
+        width: MemWidth::W32,
+    });
     k.push(Op::Bar);
 
     // Rotated running-cost pair; the row index derives from the counter.
     let costs = (Reg(5), Reg(19));
-    k.push(Op::Mov { d: costs.0, a: Src::Imm(0) });
+    k.push(Op::Mov {
+        d: costs.0,
+        a: Src::Imm(0),
+    });
 
     let counters = (Reg(7), Reg(6));
     counted_loop(&mut k, counters, 24, |k, p| {
@@ -37,38 +57,103 @@ pub fn workload() -> Workload {
         let cout = if p == 0 { costs.1 } else { costs.0 };
         // Read left/center/right from the shared row.
         let la = Reg(8);
-        k.push(Op::Xor { d: la, a: saddr, b: Src::Imm(4) });
+        k.push(Op::Xor {
+            d: la,
+            a: saddr,
+            b: Src::Imm(4),
+        });
         let lv = Reg(9);
-        k.push(Op::Ld { d: lv, space: MemSpace::Shared, addr: la, offset: 0, width: MemWidth::W32 });
+        k.push(Op::Ld {
+            d: lv,
+            space: MemSpace::Shared,
+            addr: la,
+            offset: 0,
+            width: MemWidth::W32,
+        });
         let cv = Reg(10);
-        k.push(Op::Ld { d: cv, space: MemSpace::Shared, addr: saddr, offset: 0, width: MemWidth::W32 });
+        k.push(Op::Ld {
+            d: cv,
+            space: MemSpace::Shared,
+            addr: saddr,
+            offset: 0,
+            width: MemWidth::W32,
+        });
         let ra = Reg(11);
-        k.push(Op::Xor { d: ra, a: saddr, b: Src::Imm(8) });
+        k.push(Op::Xor {
+            d: ra,
+            a: saddr,
+            b: Src::Imm(8),
+        });
         let rv = Reg(12);
-        k.push(Op::Ld { d: rv, space: MemSpace::Shared, addr: ra, offset: 0, width: MemWidth::W32 });
+        k.push(Op::Ld {
+            d: rv,
+            space: MemSpace::Shared,
+            addr: ra,
+            offset: 0,
+            width: MemWidth::W32,
+        });
         // min of three plus wall cost.
         let m0 = Reg(13);
-        k.push(Op::IMin { d: m0, a: lv, b: Src::Reg(cv) });
+        k.push(Op::IMin {
+            d: m0,
+            a: lv,
+            b: Src::Reg(cv),
+        });
         let m = Reg(20);
-        k.push(Op::IMin { d: m, a: m0, b: Src::Reg(rv) });
+        k.push(Op::IMin {
+            d: m,
+            a: m0,
+            b: Src::Reg(rv),
+        });
         let wi0 = Reg(14);
-        k.push(Op::IMad { d: wi0, a: ctr, b: Reg(15), c: col });
+        k.push(Op::IMad {
+            d: wi0,
+            a: ctr,
+            b: Reg(15),
+            c: col,
+        });
         let wi = Reg(21);
-        k.push(Op::And { d: wi, a: wi0, b: Src::Imm(32 * 1024 - 1) });
+        k.push(Op::And {
+            d: wi,
+            a: wi0,
+            b: Src::Imm(32 * 1024 - 1),
+        });
         let waddr = Reg(16);
         addr4(k, waddr, Reg(14), wi, WALL);
         let wv = Reg(17);
-        k.push(Op::Ld { d: wv, space: MemSpace::Global, addr: waddr, offset: 0, width: MemWidth::W32 });
-        k.push(Op::IAdd { d: cout, a: m, b: Src::Reg(wv) });
+        k.push(Op::Ld {
+            d: wv,
+            space: MemSpace::Global,
+            addr: waddr,
+            offset: 0,
+            width: MemWidth::W32,
+        });
+        k.push(Op::IAdd {
+            d: cout,
+            a: m,
+            b: Src::Reg(wv),
+        });
         // Publish for the next row.
-        k.push(Op::St { space: MemSpace::Shared, addr: saddr, offset: 0, v: cout, width: MemWidth::W32 });
+        k.push(Op::St {
+            space: MemSpace::Shared,
+            addr: saddr,
+            offset: 0,
+            v: cout,
+            width: MemWidth::W32,
+        });
         k.push(Op::Bar);
     });
     let cost = costs.0;
 
     let oaddr = Reg(18);
     addr4(&mut k, oaddr, Reg(8), col, OUT as i32);
-    k.push(Op::St { space: MemSpace::Global, addr: oaddr, offset: 0, v: cost, width: MemWidth::W32 });
+    k.push(Op::St {
+        space: MemSpace::Global,
+        addr: oaddr,
+        offset: 0,
+        v: cost,
+        width: MemWidth::W32,
+    });
     k.push(Op::Exit);
 
     // R15: row stride constant.
@@ -110,7 +195,10 @@ mod tests {
         let w = workload();
         let mut mem = w.build_memory();
         let exec = Executor {
-            config: ExecConfig { cta_limit: Some(1), ..ExecConfig::default() },
+            config: ExecConfig {
+                cta_limit: Some(1),
+                ..ExecConfig::default()
+            },
         };
         let out = exec.run(&w.kernel, w.launch, &mut mem);
         assert_eq!(out.detection, Detection::None);

@@ -19,15 +19,45 @@ pub fn workload() -> Workload {
     let gid = Reg(0);
     global_tid(&mut k, gid, Reg(1), Reg(2));
     let cell = Reg(2);
-    k.push(Op::And { d: cell, a: gid, b: Src::Imm(8 * 1024 - 2) });
+    k.push(Op::And {
+        d: cell,
+        a: gid,
+        b: Src::Imm(8 * 1024 - 2),
+    });
 
     // psi (R4:R5), sigma (R6:R7), acc (R8:R9) — f64 register pairs.
     let aaddr = Reg(3);
-    k.push(Op::Shl { d: aaddr, a: cell, b: Src::Imm(3) }); // *8 bytes
-    k.push(Op::IAdd { d: aaddr, a: aaddr, b: Src::Imm(FLUX) });
-    k.push(Op::Ld { d: Reg(4), space: MemSpace::Global, addr: aaddr, offset: 0, width: MemWidth::W64 });
-    k.push(Op::Ld { d: Reg(6), space: MemSpace::Global, addr: aaddr, offset: 8, width: MemWidth::W64 });
-    k.push(Op::Ld { d: Reg(8), space: MemSpace::Global, addr: aaddr, offset: 16, width: MemWidth::W64 });
+    k.push(Op::Shl {
+        d: aaddr,
+        a: cell,
+        b: Src::Imm(3),
+    }); // *8 bytes
+    k.push(Op::IAdd {
+        d: aaddr,
+        a: aaddr,
+        b: Src::Imm(FLUX),
+    });
+    k.push(Op::Ld {
+        d: Reg(4),
+        space: MemSpace::Global,
+        addr: aaddr,
+        offset: 0,
+        width: MemWidth::W64,
+    });
+    k.push(Op::Ld {
+        d: Reg(6),
+        space: MemSpace::Global,
+        addr: aaddr,
+        offset: 8,
+        width: MemWidth::W64,
+    });
+    k.push(Op::Ld {
+        d: Reg(8),
+        space: MemSpace::Global,
+        addr: aaddr,
+        offset: 16,
+        width: MemWidth::W64,
+    });
 
     // Rotated f64 register pairs: psi (R4/R16), acc (R8/R18); staging pairs
     // R12 and R20 carry the intermediate products.
@@ -36,32 +66,83 @@ pub fn workload() -> Workload {
     let sig = Reg(6);
     let counters = (Reg(10), Reg(11));
     counted_loop(&mut k, counters, 40, |k, p| {
-        let (pin, pout) = if p == 0 { (psis.0, psis.1) } else { (psis.1, psis.0) };
-        let (ain, aout) = if p == 0 { (accs.0, accs.1) } else { (accs.1, accs.0) };
+        let (pin, pout) = if p == 0 {
+            (psis.0, psis.1)
+        } else {
+            (psis.1, psis.0)
+        };
+        let (ain, aout) = if p == 0 {
+            (accs.0, accs.1)
+        } else {
+            (accs.1, accs.0)
+        };
         // Angular sweep: chained DFMA updates (the FP64 MAD hot loop).
-        k.push(Op::DFma { d: Reg(12), a: pin, b: sig, c: ain });
-        k.push(Op::DMul { d: Reg(20), a: Reg(12), b: sig });
-        k.push(Op::DFma { d: pout, a: Reg(20), b: sig, c: pin });
-        k.push(Op::DAdd { d: aout, a: Reg(12), b: Reg(20) });
+        k.push(Op::DFma {
+            d: Reg(12),
+            a: pin,
+            b: sig,
+            c: ain,
+        });
+        k.push(Op::DMul {
+            d: Reg(20),
+            a: Reg(12),
+            b: sig,
+        });
+        k.push(Op::DFma {
+            d: pout,
+            a: Reg(20),
+            b: sig,
+            c: pin,
+        });
+        k.push(Op::DAdd {
+            d: aout,
+            a: Reg(12),
+            b: Reg(20),
+        });
     });
 
     // Warp reduction of the low word via butterfly shuffles (what breaks
     // inter-thread duplication), itself register-rotated.
     let los = (Reg(14), Reg(22));
-    k.push(Op::Mov { d: los.0, a: Src::Reg(accs.0) });
+    k.push(Op::Mov {
+        d: los.0,
+        a: Src::Reg(accs.0),
+    });
     for (i, sh) in [16u32, 8, 4, 2, 1].into_iter().enumerate() {
-        let (lin, lout) = if i % 2 == 0 { (los.0, los.1) } else { (los.1, los.0) };
+        let (lin, lout) = if i % 2 == 0 {
+            (los.0, los.1)
+        } else {
+            (los.1, los.0)
+        };
         let t = Reg(15);
-        k.push(Op::Shfl { d: t, a: lin, mode: ShflMode::Bfly(sh) });
-        k.push(Op::IAdd { d: lout, a: lin, b: Src::Reg(t) });
+        k.push(Op::Shfl {
+            d: t,
+            a: lin,
+            mode: ShflMode::Bfly(sh),
+        });
+        k.push(Op::IAdd {
+            d: lout,
+            a: lin,
+            b: Src::Reg(t),
+        });
     }
     let lo = los.1; // 5 steps: final value in the second register
 
     let oi = Reg(23);
-    k.push(Op::And { d: oi, a: gid, b: Src::Imm((THREADS - 1) as i32) });
+    k.push(Op::And {
+        d: oi,
+        a: gid,
+        b: Src::Imm((THREADS - 1) as i32),
+    });
     let oaddr = Reg(17);
     addr4(&mut k, oaddr, Reg(21), oi, OUT as i32);
-    k.push(Op::St { space: MemSpace::Global, addr: oaddr, offset: 0, v: lo, width: MemWidth::W32 });
+    k.push(Op::St {
+        space: MemSpace::Global,
+        addr: oaddr,
+        offset: 0,
+        v: lo,
+        width: MemWidth::W32,
+    });
     k.push(Op::Exit);
 
     Workload {
@@ -95,7 +176,10 @@ mod tests {
         assert!(w.kernel.uses_shuffles());
         let mut mem = w.build_memory();
         let exec = Executor {
-            config: ExecConfig { cta_limit: Some(1), ..ExecConfig::default() },
+            config: ExecConfig {
+                cta_limit: Some(1),
+                ..ExecConfig::default()
+            },
         };
         let out = exec.run(&w.kernel, w.launch, &mut mem);
         assert_eq!(out.detection, Detection::None);

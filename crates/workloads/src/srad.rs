@@ -22,30 +22,76 @@ pub fn workload() -> Workload {
     let gid = Reg(0);
     global_tid(&mut k, gid, Reg(1), Reg(2));
     let cell = Reg(2);
-    k.push(Op::And { d: cell, a: gid, b: Src::Imm((CELLS - 1) as i32) });
+    k.push(Op::And {
+        d: cell,
+        a: gid,
+        b: Src::Imm((CELLS - 1) as i32),
+    });
     let neg1 = Reg(3);
-    k.push(Op::Mov { d: neg1, a: fimm(-1.0) });
+    k.push(Op::Mov {
+        d: neg1,
+        a: fimm(-1.0),
+    });
 
     let counters = (Reg(4), Reg(20));
     counted_loop(&mut k, counters, 8, |k, p| {
         let ctr = if p == 0 { counters.0 } else { counters.1 };
         let idx0 = Reg(5);
-        k.push(Op::IMad { d: idx0, a: ctr, b: Reg(6), c: cell });
+        k.push(Op::IMad {
+            d: idx0,
+            a: ctr,
+            b: Reg(6),
+            c: cell,
+        });
         let idx = Reg(21);
-        k.push(Op::And { d: idx, a: idx0, b: Src::Imm(16 * 1024 - 1) });
+        k.push(Op::And {
+            d: idx,
+            a: idx0,
+            b: Src::Imm(16 * 1024 - 1),
+        });
         let addr = Reg(7);
         addr4(k, addr, Reg(5), idx, IMG);
         // Centre and 4 neighbours.
         let c = Reg(8);
-        k.push(Op::Ld { d: c, space: MemSpace::Global, addr, offset: 0, width: MemWidth::W32 });
+        k.push(Op::Ld {
+            d: c,
+            space: MemSpace::Global,
+            addr,
+            offset: 0,
+            width: MemWidth::W32,
+        });
         let n = Reg(9);
-        k.push(Op::Ld { d: n, space: MemSpace::Global, addr, offset: -512, width: MemWidth::W32 });
+        k.push(Op::Ld {
+            d: n,
+            space: MemSpace::Global,
+            addr,
+            offset: -512,
+            width: MemWidth::W32,
+        });
         let s = Reg(10);
-        k.push(Op::Ld { d: s, space: MemSpace::Global, addr, offset: 512, width: MemWidth::W32 });
+        k.push(Op::Ld {
+            d: s,
+            space: MemSpace::Global,
+            addr,
+            offset: 512,
+            width: MemWidth::W32,
+        });
         let wv = Reg(11);
-        k.push(Op::Ld { d: wv, space: MemSpace::Global, addr, offset: -4, width: MemWidth::W32 });
+        k.push(Op::Ld {
+            d: wv,
+            space: MemSpace::Global,
+            addr,
+            offset: -4,
+            width: MemWidth::W32,
+        });
         let e = Reg(12);
-        k.push(Op::Ld { d: e, space: MemSpace::Global, addr, offset: 4, width: MemWidth::W32 });
+        k.push(Op::Ld {
+            d: e,
+            space: MemSpace::Global,
+            addr,
+            offset: 4,
+            width: MemWidth::W32,
+        });
         // Directional derivatives, normalised by 1/c (SFU).
         let rc = Reg(13);
         k.push(Op::MufuRcp { d: rc, a: c });
@@ -57,11 +103,30 @@ pub fn workload() -> Workload {
             (wv, DW, Reg(17), Reg(25)),
             (e, DE, Reg(18), Reg(26)),
         ] {
-            k.push(Op::FFma { d: t, a: c, b: neg1, c: nb }); // nb - c
-            k.push(Op::FMul { d: t2, a: t, b: Src::Reg(rc) });
+            k.push(Op::FFma {
+                d: t,
+                a: c,
+                b: neg1,
+                c: nb,
+            }); // nb - c
+            k.push(Op::FMul {
+                d: t2,
+                a: t,
+                b: Src::Reg(rc),
+            });
             let sa = Reg(19);
-            k.push(Op::IAdd { d: sa, a: oa, b: Src::Imm(base as i32) });
-            k.push(Op::St { space: MemSpace::Global, addr: sa, offset: 0, v: t2, width: MemWidth::W32 });
+            k.push(Op::IAdd {
+                d: sa,
+                a: oa,
+                b: Src::Imm(base as i32),
+            });
+            k.push(Op::St {
+                space: MemSpace::Global,
+                addr: sa,
+                offset: 0,
+                v: t2,
+                width: MemWidth::W32,
+            });
         }
     });
     k.push(Op::Exit);
@@ -101,7 +166,10 @@ mod tests {
         let w = workload();
         let mut mem = w.build_memory();
         let exec = Executor {
-            config: ExecConfig { cta_limit: Some(1), ..ExecConfig::default() },
+            config: ExecConfig {
+                cta_limit: Some(1),
+                ..ExecConfig::default()
+            },
         };
         let out = exec.run(&w.kernel, w.launch, &mut mem);
         assert_eq!(out.detection, Detection::None);

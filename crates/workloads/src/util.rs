@@ -75,7 +75,10 @@ pub fn counted_loop(
     count: i32,
     mut body: impl FnMut(&mut KernelBuilder, u32),
 ) {
-    assert!(count > 0 && count % 2 == 0, "count must be positive and even");
+    assert!(
+        count > 0 && count % 2 == 0,
+        "count must be positive and even"
+    );
     let (c0, c1) = counters;
     assert_ne!(c0, c1, "counter pair must be distinct");
     k.push(Op::Mov {

@@ -7,9 +7,7 @@
 
 use swapcodes::ecc::CodeKind;
 use swapcodes::gates::area::area;
-use swapcodes::gates::units::{
-    build_unit, mad_residue_predictor, residue_add_predictor, UnitKind,
-};
+use swapcodes::gates::units::{build_unit, mad_residue_predictor, residue_add_predictor, UnitKind};
 use swapcodes::inject::detection::sdc_risk;
 use swapcodes::inject::gate::{run_unit_campaign, CampaignConfig};
 

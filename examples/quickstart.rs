@@ -11,10 +11,25 @@ use swapcodes::sim::{FaultSpec, GlobalMemory, Launch};
 fn main() {
     // A tiny kernel: out[tid] = tid * 3 + 7.
     let mut k = KernelBuilder::new("axpb");
-    k.push(Op::S2R { d: Reg(0), sr: SpecialReg::TidX });
-    k.push(Op::IMul { d: Reg(1), a: Reg(0), b: Src::Imm(3) });
-    k.push(Op::IAdd { d: Reg(2), a: Reg(1), b: Src::Imm(7) });
-    k.push(Op::Shl { d: Reg(3), a: Reg(0), b: Src::Imm(2) });
+    k.push(Op::S2R {
+        d: Reg(0),
+        sr: SpecialReg::TidX,
+    });
+    k.push(Op::IMul {
+        d: Reg(1),
+        a: Reg(0),
+        b: Src::Imm(3),
+    });
+    k.push(Op::IAdd {
+        d: Reg(2),
+        a: Reg(1),
+        b: Src::Imm(7),
+    });
+    k.push(Op::Shl {
+        d: Reg(3),
+        a: Reg(0),
+        b: Src::Imm(2),
+    });
     k.push(Op::St {
         space: MemSpace::Global,
         addr: Reg(3),
@@ -67,7 +82,10 @@ fn main() {
     };
     let out = exec.run(&t.kernel, t.launch, &mut mem);
     match out.detection {
-        Detection::Due { pipeline_suspected, at } => println!(
+        Detection::Due {
+            pipeline_suspected,
+            at,
+        } => println!(
             "\nswap-ecc: register-file DUE at dynamic instruction {at} \
              (pipeline_suspected = {pipeline_suspected}) — error contained \
              before reaching memory."

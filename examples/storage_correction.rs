@@ -22,7 +22,10 @@ fn main() {
     println!("storage error (bit 9 flipped in the SRAM):");
     println!("  SEC-DED-DP: value {:#010x}, event {:?}", r.value, r.event);
     let p = plain.read(w.data, w.check);
-    println!("  plain SEC-DED: value {:#010x}, event {:?}\n", p.value, p.event);
+    println!(
+        "  plain SEC-DED: value {:#010x}, event {:?}\n",
+        p.value, p.event
+    );
 
     // Case 2: a single-bit PIPELINE error in the ECC-producing shadow
     // instruction. The data is fine; the check bits describe a wrong value.

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_adder-53bc76016b7e40b5.d: crates/bench/benches/ablation_adder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_adder-53bc76016b7e40b5.rmeta: crates/bench/benches/ablation_adder.rs Cargo.toml
+
+crates/bench/benches/ablation_adder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coverage_campaigns-650bc009172c2204.d: tests/coverage_campaigns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoverage_campaigns-650bc009172c2204.rmeta: tests/coverage_campaigns.rs Cargo.toml
+
+tests/coverage_campaigns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coverage_campaigns-7859654df40cf117.d: tests/coverage_campaigns.rs
+
+/root/repo/target/debug/deps/coverage_campaigns-7859654df40cf117: tests/coverage_campaigns.rs
+
+tests/coverage_campaigns.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coverage_campaigns-b27c3cb22837df4b.d: tests/coverage_campaigns.rs
+
+/root/repo/target/debug/deps/coverage_campaigns-b27c3cb22837df4b: tests/coverage_campaigns.rs
+
+tests/coverage_campaigns.rs:

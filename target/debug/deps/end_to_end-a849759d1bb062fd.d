@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a849759d1bb062fd.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a849759d1bb062fd: tests/end_to_end.rs
+
+tests/end_to_end.rs:

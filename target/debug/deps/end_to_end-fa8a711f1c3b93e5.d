@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-fa8a711f1c3b93e5.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-fa8a711f1c3b93e5: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_error_patterns-39b606e0bb525e0b.d: crates/bench/benches/fig10_error_patterns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_error_patterns-39b606e0bb525e0b.rmeta: crates/bench/benches/fig10_error_patterns.rs Cargo.toml
+
+crates/bench/benches/fig10_error_patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

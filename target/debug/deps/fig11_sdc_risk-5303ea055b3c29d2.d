@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_sdc_risk-5303ea055b3c29d2.d: crates/bench/benches/fig11_sdc_risk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_sdc_risk-5303ea055b3c29d2.rmeta: crates/bench/benches/fig11_sdc_risk.rs Cargo.toml
+
+crates/bench/benches/fig11_sdc_risk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

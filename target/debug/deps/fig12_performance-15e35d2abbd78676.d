@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_performance-15e35d2abbd78676.d: crates/bench/benches/fig12_performance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_performance-15e35d2abbd78676.rmeta: crates/bench/benches/fig12_performance.rs Cargo.toml
+
+crates/bench/benches/fig12_performance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_instruction_bloat-2f287049ba8df5b3.d: crates/bench/benches/fig13_instruction_bloat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_instruction_bloat-2f287049ba8df5b3.rmeta: crates/bench/benches/fig13_instruction_bloat.rs Cargo.toml
+
+crates/bench/benches/fig13_instruction_bloat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_ordering-25554e78a51087bc.d: tests/fig13_ordering.rs
+
+/root/repo/target/debug/deps/fig13_ordering-25554e78a51087bc: tests/fig13_ordering.rs
+
+tests/fig13_ordering.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_ordering-5b89351316d6c739.d: tests/fig13_ordering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_ordering-5b89351316d6c739.rmeta: tests/fig13_ordering.rs Cargo.toml
+
+tests/fig13_ordering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_ordering-f822593108acfd72.d: tests/fig13_ordering.rs
+
+/root/repo/target/debug/deps/fig13_ordering-f822593108acfd72: tests/fig13_ordering.rs
+
+tests/fig13_ordering.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_power_energy-838fe7ea5f25fe81.d: crates/bench/benches/fig14_power_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_power_energy-838fe7ea5f25fe81.rmeta: crates/bench/benches/fig14_power_energy.rs Cargo.toml
+
+crates/bench/benches/fig14_power_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_interthread-5fab1eeb763329f9.d: crates/bench/benches/fig15_interthread.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_interthread-5fab1eeb763329f9.rmeta: crates/bench/benches/fig15_interthread.rs Cargo.toml
+
+crates/bench/benches/fig15_interthread.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

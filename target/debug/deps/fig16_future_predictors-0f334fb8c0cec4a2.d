@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_future_predictors-0f334fb8c0cec4a2.d: crates/bench/benches/fig16_future_predictors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_future_predictors-0f334fb8c0cec4a2.rmeta: crates/bench/benches/fig16_future_predictors.rs Cargo.toml
+
+crates/bench/benches/fig16_future_predictors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

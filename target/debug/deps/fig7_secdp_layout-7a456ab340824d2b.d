@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_secdp_layout-7a456ab340824d2b.d: crates/bench/benches/fig7_secdp_layout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_secdp_layout-7a456ab340824d2b.rmeta: crates/bench/benches/fig7_secdp_layout.rs Cargo.toml
+
+crates/bench/benches/fig7_secdp_layout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-2586e73482584461.d: crates/gates/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-2586e73482584461.rmeta: crates/gates/tests/properties.rs Cargo.toml
+
+crates/gates/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

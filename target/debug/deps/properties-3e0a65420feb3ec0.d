@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-3e0a65420feb3ec0.d: crates/isa/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-3e0a65420feb3ec0.rmeta: crates/isa/tests/properties.rs Cargo.toml
+
+crates/isa/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

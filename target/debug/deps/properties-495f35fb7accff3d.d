@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-495f35fb7accff3d.d: crates/ecc/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-495f35fb7accff3d: crates/ecc/tests/properties.rs
+
+crates/ecc/tests/properties.rs:

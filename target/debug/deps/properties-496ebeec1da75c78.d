@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-496ebeec1da75c78.d: crates/ecc/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-496ebeec1da75c78.rmeta: crates/ecc/tests/properties.rs Cargo.toml
+
+crates/ecc/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6fb4f888917317f0.d: crates/gates/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6fb4f888917317f0: crates/gates/tests/properties.rs
+
+crates/gates/tests/properties.rs:

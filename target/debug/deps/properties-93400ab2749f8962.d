@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-93400ab2749f8962.d: crates/ecc/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-93400ab2749f8962: crates/ecc/tests/properties.rs
+
+crates/ecc/tests/properties.rs:

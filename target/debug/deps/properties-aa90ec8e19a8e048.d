@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-aa90ec8e19a8e048.d: crates/isa/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-aa90ec8e19a8e048: crates/isa/tests/properties.rs
+
+crates/isa/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d7cab96950bc5866.d: crates/isa/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d7cab96950bc5866: crates/isa/tests/properties.rs
+
+crates/isa/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d80d6056c841d5b0.d: crates/gates/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d80d6056c841d5b0: crates/gates/tests/properties.rs
+
+crates/gates/tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-00fce6bae96fea5a.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-00fce6bae96fea5a.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-00fce6bae96fea5a.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-8356da9258d116de.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-8356da9258d116de: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simt_semantics-d75228334d62ccac.d: tests/simt_semantics.rs
+
+/root/repo/target/debug/deps/simt_semantics-d75228334d62ccac: tests/simt_semantics.rs
+
+tests/simt_semantics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simt_semantics-def2f99f32640e50.d: tests/simt_semantics.rs
+
+/root/repo/target/debug/deps/simt_semantics-def2f99f32640e50: tests/simt_semantics.rs
+
+tests/simt_semantics.rs:

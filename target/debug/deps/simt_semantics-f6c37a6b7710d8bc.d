@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simt_semantics-f6c37a6b7710d8bc.d: tests/simt_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimt_semantics-f6c37a6b7710d8bc.rmeta: tests/simt_semantics.rs Cargo.toml
+
+tests/simt_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

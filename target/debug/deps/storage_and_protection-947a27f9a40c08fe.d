@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/storage_and_protection-947a27f9a40c08fe.d: tests/storage_and_protection.rs
+
+/root/repo/target/debug/deps/storage_and_protection-947a27f9a40c08fe: tests/storage_and_protection.rs
+
+tests/storage_and_protection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/storage_and_protection-a75f8e18e7649595.d: tests/storage_and_protection.rs
+
+/root/repo/target/debug/deps/storage_and_protection-a75f8e18e7649595: tests/storage_and_protection.rs
+
+tests/storage_and_protection.rs:

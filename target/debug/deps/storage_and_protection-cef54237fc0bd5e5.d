@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/storage_and_protection-cef54237fc0bd5e5.d: tests/storage_and_protection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorage_and_protection-cef54237fc0bd5e5.rmeta: tests/storage_and_protection.rs Cargo.toml
+
+tests/storage_and_protection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

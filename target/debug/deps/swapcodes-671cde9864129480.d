@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/swapcodes-671cde9864129480.d: src/lib.rs
+
+/root/repo/target/debug/deps/libswapcodes-671cde9864129480.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libswapcodes-671cde9864129480.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swapcodes-6786e0662bbac75d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswapcodes-6786e0662bbac75d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

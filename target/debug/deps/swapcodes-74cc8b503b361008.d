@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/swapcodes-74cc8b503b361008.d: src/lib.rs
+
+/root/repo/target/debug/deps/libswapcodes-74cc8b503b361008.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libswapcodes-74cc8b503b361008.rmeta: src/lib.rs
+
+src/lib.rs:

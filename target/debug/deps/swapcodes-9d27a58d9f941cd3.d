@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swapcodes-9d27a58d9f941cd3.d: src/lib.rs
+
+/root/repo/target/debug/deps/swapcodes-9d27a58d9f941cd3: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swapcodes-b5f337107fdd4b2c.d: src/lib.rs
+
+/root/repo/target/debug/deps/swapcodes-b5f337107fdd4b2c: src/lib.rs
+
+src/lib.rs:

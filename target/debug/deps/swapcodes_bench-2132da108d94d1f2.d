@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swapcodes_bench-2132da108d94d1f2.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libswapcodes_bench-2132da108d94d1f2.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libswapcodes_bench-2132da108d94d1f2.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/sweep.rs:

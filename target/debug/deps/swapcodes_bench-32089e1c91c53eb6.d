@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/swapcodes_bench-32089e1c91c53eb6.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/swapcodes_bench-32089e1c91c53eb6: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/sweep.rs:

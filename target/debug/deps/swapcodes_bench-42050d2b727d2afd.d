@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/swapcodes_bench-42050d2b727d2afd.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libswapcodes_bench-42050d2b727d2afd.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libswapcodes_bench-42050d2b727d2afd.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

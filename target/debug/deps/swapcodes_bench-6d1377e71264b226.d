@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/swapcodes_bench-6d1377e71264b226.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/swapcodes_bench-6d1377e71264b226: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/sweep.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/swapcodes_bench-83da8d2a6626946e.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/swapcodes_bench-83da8d2a6626946e: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/sweep.rs:

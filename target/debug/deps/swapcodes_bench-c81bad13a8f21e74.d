@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/swapcodes_bench-c81bad13a8f21e74.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswapcodes_bench-c81bad13a8f21e74.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swapcodes_bench-d687a418f1cb39ff.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libswapcodes_bench-d687a418f1cb39ff.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libswapcodes_bench-d687a418f1cb39ff.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/sweep.rs:

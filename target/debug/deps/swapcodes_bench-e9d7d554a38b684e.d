@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swapcodes_bench-e9d7d554a38b684e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/swapcodes_bench-e9d7d554a38b684e: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/swapcodes_core-020697ea8bc9851f.d: crates/core/src/lib.rs crates/core/src/interthread.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/swapecc.rs crates/core/src/swdup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswapcodes_core-020697ea8bc9851f.rmeta: crates/core/src/lib.rs crates/core/src/interthread.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/swapecc.rs crates/core/src/swdup.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/interthread.rs:
+crates/core/src/report.rs:
+crates/core/src/scheme.rs:
+crates/core/src/swapecc.rs:
+crates/core/src/swdup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

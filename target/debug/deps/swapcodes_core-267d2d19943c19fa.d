@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/swapcodes_core-267d2d19943c19fa.d: crates/core/src/lib.rs crates/core/src/interthread.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/swapecc.rs crates/core/src/swdup.rs
+
+/root/repo/target/debug/deps/swapcodes_core-267d2d19943c19fa: crates/core/src/lib.rs crates/core/src/interthread.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/swapecc.rs crates/core/src/swdup.rs
+
+crates/core/src/lib.rs:
+crates/core/src/interthread.rs:
+crates/core/src/report.rs:
+crates/core/src/scheme.rs:
+crates/core/src/swapecc.rs:
+crates/core/src/swdup.rs:

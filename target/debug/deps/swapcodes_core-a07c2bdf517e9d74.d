@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/swapcodes_core-a07c2bdf517e9d74.d: crates/core/src/lib.rs crates/core/src/interthread.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/swapecc.rs crates/core/src/swdup.rs
+
+/root/repo/target/debug/deps/libswapcodes_core-a07c2bdf517e9d74.rlib: crates/core/src/lib.rs crates/core/src/interthread.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/swapecc.rs crates/core/src/swdup.rs
+
+/root/repo/target/debug/deps/libswapcodes_core-a07c2bdf517e9d74.rmeta: crates/core/src/lib.rs crates/core/src/interthread.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/swapecc.rs crates/core/src/swdup.rs
+
+crates/core/src/lib.rs:
+crates/core/src/interthread.rs:
+crates/core/src/report.rs:
+crates/core/src/scheme.rs:
+crates/core/src/swapecc.rs:
+crates/core/src/swdup.rs:

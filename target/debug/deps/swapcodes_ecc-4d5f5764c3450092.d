@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/swapcodes_ecc-4d5f5764c3450092.d: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/code.rs crates/ecc/src/hamming.rs crates/ecc/src/hsiao.rs crates/ecc/src/layout.rs crates/ecc/src/parity.rs crates/ecc/src/report.rs crates/ecc/src/residue.rs crates/ecc/src/swap.rs
+
+/root/repo/target/debug/deps/swapcodes_ecc-4d5f5764c3450092: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/code.rs crates/ecc/src/hamming.rs crates/ecc/src/hsiao.rs crates/ecc/src/layout.rs crates/ecc/src/parity.rs crates/ecc/src/report.rs crates/ecc/src/residue.rs crates/ecc/src/swap.rs
+
+crates/ecc/src/lib.rs:
+crates/ecc/src/analysis.rs:
+crates/ecc/src/code.rs:
+crates/ecc/src/hamming.rs:
+crates/ecc/src/hsiao.rs:
+crates/ecc/src/layout.rs:
+crates/ecc/src/parity.rs:
+crates/ecc/src/report.rs:
+crates/ecc/src/residue.rs:
+crates/ecc/src/swap.rs:

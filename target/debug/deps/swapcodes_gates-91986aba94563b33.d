@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/swapcodes_gates-91986aba94563b33.d: crates/gates/src/lib.rs crates/gates/src/area.rs crates/gates/src/builder.rs crates/gates/src/netlist.rs crates/gates/src/optimize.rs crates/gates/src/softfloat.rs crates/gates/src/units/mod.rs crates/gates/src/units/codec.rs crates/gates/src/units/fp.rs crates/gates/src/units/fxp.rs
+
+/root/repo/target/debug/deps/libswapcodes_gates-91986aba94563b33.rlib: crates/gates/src/lib.rs crates/gates/src/area.rs crates/gates/src/builder.rs crates/gates/src/netlist.rs crates/gates/src/optimize.rs crates/gates/src/softfloat.rs crates/gates/src/units/mod.rs crates/gates/src/units/codec.rs crates/gates/src/units/fp.rs crates/gates/src/units/fxp.rs
+
+/root/repo/target/debug/deps/libswapcodes_gates-91986aba94563b33.rmeta: crates/gates/src/lib.rs crates/gates/src/area.rs crates/gates/src/builder.rs crates/gates/src/netlist.rs crates/gates/src/optimize.rs crates/gates/src/softfloat.rs crates/gates/src/units/mod.rs crates/gates/src/units/codec.rs crates/gates/src/units/fp.rs crates/gates/src/units/fxp.rs
+
+crates/gates/src/lib.rs:
+crates/gates/src/area.rs:
+crates/gates/src/builder.rs:
+crates/gates/src/netlist.rs:
+crates/gates/src/optimize.rs:
+crates/gates/src/softfloat.rs:
+crates/gates/src/units/mod.rs:
+crates/gates/src/units/codec.rs:
+crates/gates/src/units/fp.rs:
+crates/gates/src/units/fxp.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/swapcodes_gates-bcfdaabe9865cb8c.d: crates/gates/src/lib.rs crates/gates/src/area.rs crates/gates/src/builder.rs crates/gates/src/netlist.rs crates/gates/src/optimize.rs crates/gates/src/softfloat.rs crates/gates/src/units/mod.rs crates/gates/src/units/codec.rs crates/gates/src/units/fp.rs crates/gates/src/units/fxp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswapcodes_gates-bcfdaabe9865cb8c.rmeta: crates/gates/src/lib.rs crates/gates/src/area.rs crates/gates/src/builder.rs crates/gates/src/netlist.rs crates/gates/src/optimize.rs crates/gates/src/softfloat.rs crates/gates/src/units/mod.rs crates/gates/src/units/codec.rs crates/gates/src/units/fp.rs crates/gates/src/units/fxp.rs Cargo.toml
+
+crates/gates/src/lib.rs:
+crates/gates/src/area.rs:
+crates/gates/src/builder.rs:
+crates/gates/src/netlist.rs:
+crates/gates/src/optimize.rs:
+crates/gates/src/softfloat.rs:
+crates/gates/src/units/mod.rs:
+crates/gates/src/units/codec.rs:
+crates/gates/src/units/fp.rs:
+crates/gates/src/units/fxp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/swapcodes_inject-2b6529d27bfddd07.d: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+
+/root/repo/target/debug/deps/libswapcodes_inject-2b6529d27bfddd07.rlib: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+
+/root/repo/target/debug/deps/libswapcodes_inject-2b6529d27bfddd07.rmeta: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+
+crates/inject/src/lib.rs:
+crates/inject/src/arch.rs:
+crates/inject/src/detection.rs:
+crates/inject/src/gate.rs:
+crates/inject/src/stats.rs:
+crates/inject/src/trace.rs:

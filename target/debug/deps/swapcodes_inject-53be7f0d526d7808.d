@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/swapcodes_inject-53be7f0d526d7808.d: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+
+/root/repo/target/debug/deps/libswapcodes_inject-53be7f0d526d7808.rlib: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+
+/root/repo/target/debug/deps/libswapcodes_inject-53be7f0d526d7808.rmeta: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+
+crates/inject/src/lib.rs:
+crates/inject/src/arch.rs:
+crates/inject/src/detection.rs:
+crates/inject/src/gate.rs:
+crates/inject/src/stats.rs:
+crates/inject/src/trace.rs:

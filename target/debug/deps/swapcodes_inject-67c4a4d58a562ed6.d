@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/swapcodes_inject-67c4a4d58a562ed6.d: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+
+/root/repo/target/debug/deps/swapcodes_inject-67c4a4d58a562ed6: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+
+crates/inject/src/lib.rs:
+crates/inject/src/arch.rs:
+crates/inject/src/detection.rs:
+crates/inject/src/gate.rs:
+crates/inject/src/stats.rs:
+crates/inject/src/trace.rs:

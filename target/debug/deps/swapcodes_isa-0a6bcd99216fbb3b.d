@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/swapcodes_isa-0a6bcd99216fbb3b.d: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/instr.rs crates/isa/src/kernel.rs crates/isa/src/op.rs crates/isa/src/reg.rs crates/isa/src/validate.rs
+
+/root/repo/target/debug/deps/libswapcodes_isa-0a6bcd99216fbb3b.rlib: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/instr.rs crates/isa/src/kernel.rs crates/isa/src/op.rs crates/isa/src/reg.rs crates/isa/src/validate.rs
+
+/root/repo/target/debug/deps/libswapcodes_isa-0a6bcd99216fbb3b.rmeta: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/instr.rs crates/isa/src/kernel.rs crates/isa/src/op.rs crates/isa/src/reg.rs crates/isa/src/validate.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/kernel.rs:
+crates/isa/src/op.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/validate.rs:

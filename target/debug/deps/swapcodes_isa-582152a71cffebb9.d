@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/swapcodes_isa-582152a71cffebb9.d: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/instr.rs crates/isa/src/kernel.rs crates/isa/src/op.rs crates/isa/src/reg.rs crates/isa/src/validate.rs
+
+/root/repo/target/debug/deps/libswapcodes_isa-582152a71cffebb9.rlib: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/instr.rs crates/isa/src/kernel.rs crates/isa/src/op.rs crates/isa/src/reg.rs crates/isa/src/validate.rs
+
+/root/repo/target/debug/deps/libswapcodes_isa-582152a71cffebb9.rmeta: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/instr.rs crates/isa/src/kernel.rs crates/isa/src/op.rs crates/isa/src/reg.rs crates/isa/src/validate.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/kernel.rs:
+crates/isa/src/op.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/validate.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/swapcodes_isa-e818a4e41f436cea.d: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/instr.rs crates/isa/src/kernel.rs crates/isa/src/op.rs crates/isa/src/reg.rs crates/isa/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswapcodes_isa-e818a4e41f436cea.rmeta: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/instr.rs crates/isa/src/kernel.rs crates/isa/src/op.rs crates/isa/src/reg.rs crates/isa/src/validate.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/kernel.rs:
+crates/isa/src/op.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

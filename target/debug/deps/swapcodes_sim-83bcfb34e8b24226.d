@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/swapcodes_sim-83bcfb34e8b24226.d: crates/sim/src/lib.rs crates/sim/src/exec.rs crates/sim/src/fault.rs crates/sim/src/memory.rs crates/sim/src/occupancy.rs crates/sim/src/power.rs crates/sim/src/profiler.rs crates/sim/src/regfile.rs crates/sim/src/timing.rs
+
+/root/repo/target/debug/deps/libswapcodes_sim-83bcfb34e8b24226.rlib: crates/sim/src/lib.rs crates/sim/src/exec.rs crates/sim/src/fault.rs crates/sim/src/memory.rs crates/sim/src/occupancy.rs crates/sim/src/power.rs crates/sim/src/profiler.rs crates/sim/src/regfile.rs crates/sim/src/timing.rs
+
+/root/repo/target/debug/deps/libswapcodes_sim-83bcfb34e8b24226.rmeta: crates/sim/src/lib.rs crates/sim/src/exec.rs crates/sim/src/fault.rs crates/sim/src/memory.rs crates/sim/src/occupancy.rs crates/sim/src/power.rs crates/sim/src/profiler.rs crates/sim/src/regfile.rs crates/sim/src/timing.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/occupancy.rs:
+crates/sim/src/power.rs:
+crates/sim/src/profiler.rs:
+crates/sim/src/regfile.rs:
+crates/sim/src/timing.rs:

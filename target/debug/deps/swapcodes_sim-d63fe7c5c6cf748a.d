@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/swapcodes_sim-d63fe7c5c6cf748a.d: crates/sim/src/lib.rs crates/sim/src/exec.rs crates/sim/src/fault.rs crates/sim/src/memory.rs crates/sim/src/occupancy.rs crates/sim/src/power.rs crates/sim/src/profiler.rs crates/sim/src/regfile.rs crates/sim/src/timing.rs
+
+/root/repo/target/debug/deps/libswapcodes_sim-d63fe7c5c6cf748a.rlib: crates/sim/src/lib.rs crates/sim/src/exec.rs crates/sim/src/fault.rs crates/sim/src/memory.rs crates/sim/src/occupancy.rs crates/sim/src/power.rs crates/sim/src/profiler.rs crates/sim/src/regfile.rs crates/sim/src/timing.rs
+
+/root/repo/target/debug/deps/libswapcodes_sim-d63fe7c5c6cf748a.rmeta: crates/sim/src/lib.rs crates/sim/src/exec.rs crates/sim/src/fault.rs crates/sim/src/memory.rs crates/sim/src/occupancy.rs crates/sim/src/power.rs crates/sim/src/profiler.rs crates/sim/src/regfile.rs crates/sim/src/timing.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/occupancy.rs:
+crates/sim/src/power.rs:
+crates/sim/src/profiler.rs:
+crates/sim/src/regfile.rs:
+crates/sim/src/timing.rs:

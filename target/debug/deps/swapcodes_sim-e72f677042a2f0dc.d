@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/swapcodes_sim-e72f677042a2f0dc.d: crates/sim/src/lib.rs crates/sim/src/exec.rs crates/sim/src/fault.rs crates/sim/src/memory.rs crates/sim/src/occupancy.rs crates/sim/src/power.rs crates/sim/src/profiler.rs crates/sim/src/regfile.rs crates/sim/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswapcodes_sim-e72f677042a2f0dc.rmeta: crates/sim/src/lib.rs crates/sim/src/exec.rs crates/sim/src/fault.rs crates/sim/src/memory.rs crates/sim/src/occupancy.rs crates/sim/src/power.rs crates/sim/src/profiler.rs crates/sim/src/regfile.rs crates/sim/src/timing.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/occupancy.rs:
+crates/sim/src/power.rs:
+crates/sim/src/profiler.rs:
+crates/sim/src/regfile.rs:
+crates/sim/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

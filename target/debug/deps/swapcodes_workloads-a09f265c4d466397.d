@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/swapcodes_workloads-a09f265c4d466397.d: crates/workloads/src/lib.rs crates/workloads/src/backprop.rs crates/workloads/src/bfs.rs crates/workloads/src/btree.rs crates/workloads/src/gaussian.rs crates/workloads/src/heartwall.rs crates/workloads/src/hotspot.rs crates/workloads/src/kmeans.rs crates/workloads/src/lavamd.rs crates/workloads/src/lud.rs crates/workloads/src/matmul.rs crates/workloads/src/mummer.rs crates/workloads/src/needle.rs crates/workloads/src/pathfinder.rs crates/workloads/src/snap.rs crates/workloads/src/srad.rs crates/workloads/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswapcodes_workloads-a09f265c4d466397.rmeta: crates/workloads/src/lib.rs crates/workloads/src/backprop.rs crates/workloads/src/bfs.rs crates/workloads/src/btree.rs crates/workloads/src/gaussian.rs crates/workloads/src/heartwall.rs crates/workloads/src/hotspot.rs crates/workloads/src/kmeans.rs crates/workloads/src/lavamd.rs crates/workloads/src/lud.rs crates/workloads/src/matmul.rs crates/workloads/src/mummer.rs crates/workloads/src/needle.rs crates/workloads/src/pathfinder.rs crates/workloads/src/snap.rs crates/workloads/src/srad.rs crates/workloads/src/util.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/backprop.rs:
+crates/workloads/src/bfs.rs:
+crates/workloads/src/btree.rs:
+crates/workloads/src/gaussian.rs:
+crates/workloads/src/heartwall.rs:
+crates/workloads/src/hotspot.rs:
+crates/workloads/src/kmeans.rs:
+crates/workloads/src/lavamd.rs:
+crates/workloads/src/lud.rs:
+crates/workloads/src/matmul.rs:
+crates/workloads/src/mummer.rs:
+crates/workloads/src/needle.rs:
+crates/workloads/src/pathfinder.rs:
+crates/workloads/src/snap.rs:
+crates/workloads/src/srad.rs:
+crates/workloads/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

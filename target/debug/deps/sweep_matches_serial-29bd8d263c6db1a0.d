@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_matches_serial-29bd8d263c6db1a0.d: crates/bench/tests/sweep_matches_serial.rs
+
+/root/repo/target/debug/deps/sweep_matches_serial-29bd8d263c6db1a0: crates/bench/tests/sweep_matches_serial.rs
+
+crates/bench/tests/sweep_matches_serial.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_matches_serial-3f50aa8cbfbd5697.d: crates/bench/tests/sweep_matches_serial.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_matches_serial-3f50aa8cbfbd5697.rmeta: crates/bench/tests/sweep_matches_serial.rs Cargo.toml
+
+crates/bench/tests/sweep_matches_serial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

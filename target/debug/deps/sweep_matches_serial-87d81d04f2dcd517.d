@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_matches_serial-87d81d04f2dcd517.d: crates/bench/tests/sweep_matches_serial.rs
+
+/root/repo/target/debug/deps/sweep_matches_serial-87d81d04f2dcd517: crates/bench/tests/sweep_matches_serial.rs
+
+crates/bench/tests/sweep_matches_serial.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_matches_serial-b11e1970e311e6fa.d: crates/bench/tests/sweep_matches_serial.rs
+
+/root/repo/target/debug/deps/sweep_matches_serial-b11e1970e311e6fa: crates/bench/tests/sweep_matches_serial.rs
+
+crates/bench/tests/sweep_matches_serial.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_area-65f97615d14c1e9d.d: crates/bench/benches/table4_area.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_area-65f97615d14c1e9d.rmeta: crates/bench/benches/table4_area.rs Cargo.toml
+
+crates/bench/benches/table4_area.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

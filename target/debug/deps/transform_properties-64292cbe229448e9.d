@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transform_properties-64292cbe229448e9.d: crates/core/tests/transform_properties.rs
+
+/root/repo/target/debug/deps/transform_properties-64292cbe229448e9: crates/core/tests/transform_properties.rs
+
+crates/core/tests/transform_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transform_properties-72f74699bf22b72f.d: crates/core/tests/transform_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransform_properties-72f74699bf22b72f.rmeta: crates/core/tests/transform_properties.rs Cargo.toml
+
+crates/core/tests/transform_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transform_properties-901d5040d2518359.d: crates/core/tests/transform_properties.rs
+
+/root/repo/target/debug/deps/transform_properties-901d5040d2518359: crates/core/tests/transform_properties.rs
+
+crates/core/tests/transform_properties.rs:

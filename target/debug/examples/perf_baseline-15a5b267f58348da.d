@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/perf_baseline-15a5b267f58348da.d: crates/bench/examples/perf_baseline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libperf_baseline-15a5b267f58348da.rmeta: crates/bench/examples/perf_baseline.rs Cargo.toml
+
+crates/bench/examples/perf_baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

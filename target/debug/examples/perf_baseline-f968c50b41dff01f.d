@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/perf_baseline-f968c50b41dff01f.d: crates/bench/examples/perf_baseline.rs
+
+/root/repo/target/debug/examples/perf_baseline-f968c50b41dff01f: crates/bench/examples/perf_baseline.rs
+
+crates/bench/examples/perf_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_fault_injection-56d4472cb5f9a98e.d: examples/pipeline_fault_injection.rs
+
+/root/repo/target/debug/examples/pipeline_fault_injection-56d4472cb5f9a98e: examples/pipeline_fault_injection.rs
+
+examples/pipeline_fault_injection.rs:

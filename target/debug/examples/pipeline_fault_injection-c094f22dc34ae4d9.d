@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_fault_injection-c094f22dc34ae4d9.d: examples/pipeline_fault_injection.rs
+
+/root/repo/target/debug/examples/pipeline_fault_injection-c094f22dc34ae4d9: examples/pipeline_fault_injection.rs
+
+examples/pipeline_fault_injection.rs:

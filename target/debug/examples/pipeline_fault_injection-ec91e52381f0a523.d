@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pipeline_fault_injection-ec91e52381f0a523.d: examples/pipeline_fault_injection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpipeline_fault_injection-ec91e52381f0a523.rmeta: examples/pipeline_fault_injection.rs Cargo.toml
+
+examples/pipeline_fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

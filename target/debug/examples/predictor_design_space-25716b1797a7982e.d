@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/predictor_design_space-25716b1797a7982e.d: examples/predictor_design_space.rs
+
+/root/repo/target/debug/examples/predictor_design_space-25716b1797a7982e: examples/predictor_design_space.rs
+
+examples/predictor_design_space.rs:

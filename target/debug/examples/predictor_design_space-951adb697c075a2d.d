@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/predictor_design_space-951adb697c075a2d.d: examples/predictor_design_space.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpredictor_design_space-951adb697c075a2d.rmeta: examples/predictor_design_space.rs Cargo.toml
+
+examples/predictor_design_space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/predictor_design_space-f51d75faf0ad6976.d: examples/predictor_design_space.rs
+
+/root/repo/target/debug/examples/predictor_design_space-f51d75faf0ad6976: examples/predictor_design_space.rs
+
+examples/predictor_design_space.rs:

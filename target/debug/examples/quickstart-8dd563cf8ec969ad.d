@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8dd563cf8ec969ad.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8dd563cf8ec969ad: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bce90c135cb23598.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bce90c135cb23598: examples/quickstart.rs
+
+examples/quickstart.rs:

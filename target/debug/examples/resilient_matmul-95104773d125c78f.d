@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/resilient_matmul-95104773d125c78f.d: examples/resilient_matmul.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresilient_matmul-95104773d125c78f.rmeta: examples/resilient_matmul.rs Cargo.toml
+
+examples/resilient_matmul.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resilient_matmul-e024379f7e460909.d: examples/resilient_matmul.rs
+
+/root/repo/target/debug/examples/resilient_matmul-e024379f7e460909: examples/resilient_matmul.rs
+
+examples/resilient_matmul.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resilient_matmul-e6933bbf892a93c6.d: examples/resilient_matmul.rs
+
+/root/repo/target/debug/examples/resilient_matmul-e6933bbf892a93c6: examples/resilient_matmul.rs
+
+examples/resilient_matmul.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/storage_correction-27c3d7afa22bc17f.d: examples/storage_correction.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstorage_correction-27c3d7afa22bc17f.rmeta: examples/storage_correction.rs Cargo.toml
+
+examples/storage_correction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

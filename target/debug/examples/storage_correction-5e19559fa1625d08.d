@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/storage_correction-5e19559fa1625d08.d: examples/storage_correction.rs
+
+/root/repo/target/debug/examples/storage_correction-5e19559fa1625d08: examples/storage_correction.rs
+
+examples/storage_correction.rs:

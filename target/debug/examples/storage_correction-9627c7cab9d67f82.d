@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/storage_correction-9627c7cab9d67f82.d: examples/storage_correction.rs
+
+/root/repo/target/debug/examples/storage_correction-9627c7cab9d67f82: examples/storage_correction.rs
+
+examples/storage_correction.rs:

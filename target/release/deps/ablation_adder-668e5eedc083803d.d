@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_adder-668e5eedc083803d.d: crates/bench/benches/ablation_adder.rs
+
+/root/repo/target/release/deps/ablation_adder-668e5eedc083803d: crates/bench/benches/ablation_adder.rs
+
+crates/bench/benches/ablation_adder.rs:

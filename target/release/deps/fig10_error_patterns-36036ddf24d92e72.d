@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_error_patterns-36036ddf24d92e72.d: crates/bench/benches/fig10_error_patterns.rs
+
+/root/repo/target/release/deps/fig10_error_patterns-36036ddf24d92e72: crates/bench/benches/fig10_error_patterns.rs
+
+crates/bench/benches/fig10_error_patterns.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_sdc_risk-9c7a93a637531ce1.d: crates/bench/benches/fig11_sdc_risk.rs
+
+/root/repo/target/release/deps/fig11_sdc_risk-9c7a93a637531ce1: crates/bench/benches/fig11_sdc_risk.rs
+
+crates/bench/benches/fig11_sdc_risk.rs:

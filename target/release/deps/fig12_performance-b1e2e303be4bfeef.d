@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_performance-b1e2e303be4bfeef.d: crates/bench/benches/fig12_performance.rs
+
+/root/repo/target/release/deps/fig12_performance-b1e2e303be4bfeef: crates/bench/benches/fig12_performance.rs
+
+crates/bench/benches/fig12_performance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_instruction_bloat-7b075b14ece33488.d: crates/bench/benches/fig13_instruction_bloat.rs
+
+/root/repo/target/release/deps/fig13_instruction_bloat-7b075b14ece33488: crates/bench/benches/fig13_instruction_bloat.rs
+
+crates/bench/benches/fig13_instruction_bloat.rs:

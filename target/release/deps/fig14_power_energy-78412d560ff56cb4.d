@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_power_energy-78412d560ff56cb4.d: crates/bench/benches/fig14_power_energy.rs
+
+/root/repo/target/release/deps/fig14_power_energy-78412d560ff56cb4: crates/bench/benches/fig14_power_energy.rs
+
+crates/bench/benches/fig14_power_energy.rs:

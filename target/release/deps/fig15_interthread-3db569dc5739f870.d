@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_interthread-3db569dc5739f870.d: crates/bench/benches/fig15_interthread.rs
+
+/root/repo/target/release/deps/fig15_interthread-3db569dc5739f870: crates/bench/benches/fig15_interthread.rs
+
+crates/bench/benches/fig15_interthread.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_future_predictors-f469661962df419b.d: crates/bench/benches/fig16_future_predictors.rs
+
+/root/repo/target/release/deps/fig16_future_predictors-f469661962df419b: crates/bench/benches/fig16_future_predictors.rs
+
+crates/bench/benches/fig16_future_predictors.rs:

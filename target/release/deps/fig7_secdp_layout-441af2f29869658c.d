@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_secdp_layout-441af2f29869658c.d: crates/bench/benches/fig7_secdp_layout.rs
+
+/root/repo/target/release/deps/fig7_secdp_layout-441af2f29869658c: crates/bench/benches/fig7_secdp_layout.rs
+
+crates/bench/benches/fig7_secdp_layout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-8154c5cc9dfccc66.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-8154c5cc9dfccc66: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

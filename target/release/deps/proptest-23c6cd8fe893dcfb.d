@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-23c6cd8fe893dcfb.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-23c6cd8fe893dcfb.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-23c6cd8fe893dcfb.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-275460a8c9461ae6.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-275460a8c9461ae6.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-275460a8c9461ae6.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/swapcodes-3628eaf2e0785ba7.d: src/lib.rs
+
+/root/repo/target/release/deps/libswapcodes-3628eaf2e0785ba7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libswapcodes-3628eaf2e0785ba7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/swapcodes-8b028c9c684e4763.d: src/lib.rs
+
+/root/repo/target/release/deps/libswapcodes-8b028c9c684e4763.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libswapcodes-8b028c9c684e4763.rmeta: src/lib.rs
+
+src/lib.rs:

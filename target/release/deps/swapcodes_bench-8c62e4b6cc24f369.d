@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/swapcodes_bench-8c62e4b6cc24f369.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libswapcodes_bench-8c62e4b6cc24f369.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libswapcodes_bench-8c62e4b6cc24f369.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/sweep.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/swapcodes_bench-c4696f3392e46183.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/swapcodes_bench-c4696f3392e46183: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/sweep.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/swapcodes_core-a6df29fc266bb482.d: crates/core/src/lib.rs crates/core/src/interthread.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/swapecc.rs crates/core/src/swdup.rs
+
+/root/repo/target/release/deps/libswapcodes_core-a6df29fc266bb482.rlib: crates/core/src/lib.rs crates/core/src/interthread.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/swapecc.rs crates/core/src/swdup.rs
+
+/root/repo/target/release/deps/libswapcodes_core-a6df29fc266bb482.rmeta: crates/core/src/lib.rs crates/core/src/interthread.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/swapecc.rs crates/core/src/swdup.rs
+
+crates/core/src/lib.rs:
+crates/core/src/interthread.rs:
+crates/core/src/report.rs:
+crates/core/src/scheme.rs:
+crates/core/src/swapecc.rs:
+crates/core/src/swdup.rs:

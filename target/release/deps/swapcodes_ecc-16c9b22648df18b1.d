@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/swapcodes_ecc-16c9b22648df18b1.d: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/code.rs crates/ecc/src/hamming.rs crates/ecc/src/hsiao.rs crates/ecc/src/layout.rs crates/ecc/src/parity.rs crates/ecc/src/report.rs crates/ecc/src/residue.rs crates/ecc/src/swap.rs
+
+/root/repo/target/release/deps/libswapcodes_ecc-16c9b22648df18b1.rlib: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/code.rs crates/ecc/src/hamming.rs crates/ecc/src/hsiao.rs crates/ecc/src/layout.rs crates/ecc/src/parity.rs crates/ecc/src/report.rs crates/ecc/src/residue.rs crates/ecc/src/swap.rs
+
+/root/repo/target/release/deps/libswapcodes_ecc-16c9b22648df18b1.rmeta: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/code.rs crates/ecc/src/hamming.rs crates/ecc/src/hsiao.rs crates/ecc/src/layout.rs crates/ecc/src/parity.rs crates/ecc/src/report.rs crates/ecc/src/residue.rs crates/ecc/src/swap.rs
+
+crates/ecc/src/lib.rs:
+crates/ecc/src/analysis.rs:
+crates/ecc/src/code.rs:
+crates/ecc/src/hamming.rs:
+crates/ecc/src/hsiao.rs:
+crates/ecc/src/layout.rs:
+crates/ecc/src/parity.rs:
+crates/ecc/src/report.rs:
+crates/ecc/src/residue.rs:
+crates/ecc/src/swap.rs:

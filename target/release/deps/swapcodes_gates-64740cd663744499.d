@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/swapcodes_gates-64740cd663744499.d: crates/gates/src/lib.rs crates/gates/src/area.rs crates/gates/src/builder.rs crates/gates/src/netlist.rs crates/gates/src/optimize.rs crates/gates/src/softfloat.rs crates/gates/src/units/mod.rs crates/gates/src/units/codec.rs crates/gates/src/units/fp.rs crates/gates/src/units/fxp.rs
+
+/root/repo/target/release/deps/libswapcodes_gates-64740cd663744499.rlib: crates/gates/src/lib.rs crates/gates/src/area.rs crates/gates/src/builder.rs crates/gates/src/netlist.rs crates/gates/src/optimize.rs crates/gates/src/softfloat.rs crates/gates/src/units/mod.rs crates/gates/src/units/codec.rs crates/gates/src/units/fp.rs crates/gates/src/units/fxp.rs
+
+/root/repo/target/release/deps/libswapcodes_gates-64740cd663744499.rmeta: crates/gates/src/lib.rs crates/gates/src/area.rs crates/gates/src/builder.rs crates/gates/src/netlist.rs crates/gates/src/optimize.rs crates/gates/src/softfloat.rs crates/gates/src/units/mod.rs crates/gates/src/units/codec.rs crates/gates/src/units/fp.rs crates/gates/src/units/fxp.rs
+
+crates/gates/src/lib.rs:
+crates/gates/src/area.rs:
+crates/gates/src/builder.rs:
+crates/gates/src/netlist.rs:
+crates/gates/src/optimize.rs:
+crates/gates/src/softfloat.rs:
+crates/gates/src/units/mod.rs:
+crates/gates/src/units/codec.rs:
+crates/gates/src/units/fp.rs:
+crates/gates/src/units/fxp.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/swapcodes_isa-df10903c26f380bf.d: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/instr.rs crates/isa/src/kernel.rs crates/isa/src/op.rs crates/isa/src/reg.rs crates/isa/src/validate.rs
+
+/root/repo/target/release/deps/libswapcodes_isa-df10903c26f380bf.rlib: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/instr.rs crates/isa/src/kernel.rs crates/isa/src/op.rs crates/isa/src/reg.rs crates/isa/src/validate.rs
+
+/root/repo/target/release/deps/libswapcodes_isa-df10903c26f380bf.rmeta: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/instr.rs crates/isa/src/kernel.rs crates/isa/src/op.rs crates/isa/src/reg.rs crates/isa/src/validate.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/kernel.rs:
+crates/isa/src/op.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/validate.rs:

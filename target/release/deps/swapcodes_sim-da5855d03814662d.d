@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/swapcodes_sim-da5855d03814662d.d: crates/sim/src/lib.rs crates/sim/src/exec.rs crates/sim/src/fault.rs crates/sim/src/memory.rs crates/sim/src/occupancy.rs crates/sim/src/power.rs crates/sim/src/profiler.rs crates/sim/src/regfile.rs crates/sim/src/timing.rs
+
+/root/repo/target/release/deps/libswapcodes_sim-da5855d03814662d.rlib: crates/sim/src/lib.rs crates/sim/src/exec.rs crates/sim/src/fault.rs crates/sim/src/memory.rs crates/sim/src/occupancy.rs crates/sim/src/power.rs crates/sim/src/profiler.rs crates/sim/src/regfile.rs crates/sim/src/timing.rs
+
+/root/repo/target/release/deps/libswapcodes_sim-da5855d03814662d.rmeta: crates/sim/src/lib.rs crates/sim/src/exec.rs crates/sim/src/fault.rs crates/sim/src/memory.rs crates/sim/src/occupancy.rs crates/sim/src/power.rs crates/sim/src/profiler.rs crates/sim/src/regfile.rs crates/sim/src/timing.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/occupancy.rs:
+crates/sim/src/power.rs:
+crates/sim/src/profiler.rs:
+crates/sim/src/regfile.rs:
+crates/sim/src/timing.rs:

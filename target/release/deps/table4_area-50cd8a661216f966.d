@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_area-50cd8a661216f966.d: crates/bench/benches/table4_area.rs
+
+/root/repo/target/release/deps/table4_area-50cd8a661216f966: crates/bench/benches/table4_area.rs
+
+crates/bench/benches/table4_area.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/perf_baseline-b3510bbe869b5407.d: crates/bench/examples/perf_baseline.rs
+
+/root/repo/target/release/examples/perf_baseline-b3510bbe869b5407: crates/bench/examples/perf_baseline.rs
+
+crates/bench/examples/perf_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe-3b34036d4ab76c28.d: crates/bench/examples/probe.rs
+
+/root/repo/target/release/examples/probe-3b34036d4ab76c28: crates/bench/examples/probe.rs
+
+crates/bench/examples/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-935cf318ad39dccc.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-935cf318ad39dccc: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -39,7 +39,10 @@ fn swdup_detection_is_trap_based_swapecc_is_due_based() {
     let w = by_name("b+tree").expect("b+tree");
     let dup = arch_campaign(&w, Scheme::SwDup, 16, 0xD1CE);
     let swap = arch_campaign(&w, Scheme::SwapEcc, 16, 0xD1CE);
-    assert_eq!(dup.due, 0, "SW-Dup has no register-file protection: {dup:?}");
+    assert_eq!(
+        dup.due, 0,
+        "SW-Dup has no register-file protection: {dup:?}"
+    );
     assert_eq!(swap.trap, 0, "Swap-ECC emits no checking traps: {swap:?}");
     assert!(dup.trap > 0);
     assert!(swap.due > 0);
@@ -49,5 +52,8 @@ fn swdup_detection_is_trap_based_swapecc_is_due_based() {
 fn interthread_campaign_contains_faults() {
     let w = by_name("pathf").expect("pathfinder");
     let out = arch_campaign(&w, Scheme::InterThread { checked: true }, 12, 0x17);
-    assert_eq!(out.sdc, 0, "shuffle checks contain store-visible faults: {out:?}");
+    assert_eq!(
+        out.sdc, 0,
+        "shuffle checks contain store-visible faults: {out:?}"
+    );
 }

@@ -40,7 +40,13 @@ fn every_scheme_preserves_every_workload_output() {
         }
         for scheme in schemes {
             let (mem, det) = run_scheme(&w, scheme, 2);
-            assert_eq!(det, Detection::None, "{} {:?} flagged a fault-free run", w.name, scheme);
+            assert_eq!(
+                det,
+                Detection::None,
+                "{} {:?} flagged a fault-free run",
+                w.name,
+                scheme
+            );
             assert_eq!(
                 w.output_words(&base),
                 w.output_words(&mem),
@@ -57,7 +63,12 @@ fn interthread_rejects_matmul_and_snap() {
     let mm = by_name("matmul").expect("matmul");
     assert!(apply(Scheme::InterThread { checked: true }, &mm.kernel, mm.launch).is_err());
     let snap = by_name("snap").expect("snap");
-    assert!(apply(Scheme::InterThread { checked: true }, &snap.kernel, snap.launch).is_err());
+    assert!(apply(
+        Scheme::InterThread { checked: true },
+        &snap.kernel,
+        snap.launch
+    )
+    .is_err());
 }
 
 fn inject(
@@ -127,8 +138,7 @@ fn swdup_traps_on_original_strike() {
 #[test]
 fn swdup_traps_on_shadow_strike() {
     let w = by_name("matmul").expect("matmul");
-    let (det, corrupted) =
-        inject(&w, Scheme::SwDup, FaultSpec::single_bit_shadow(500, 3, 30));
+    let (det, corrupted) = inject(&w, Scheme::SwDup, FaultSpec::single_bit_shadow(500, 3, 30));
     assert!(matches!(det, Detection::Trap { .. }), "got {det:?}");
     let _ = corrupted;
 }
@@ -138,7 +148,13 @@ fn swapecc_raises_due_on_original_strike() {
     let w = by_name("matmul").expect("matmul");
     let (det, _) = inject(&w, Scheme::SwapEcc, FaultSpec::single_bit(500, 3, 30));
     assert!(
-        matches!(det, Detection::Due { pipeline_suspected: true, .. }),
+        matches!(
+            det,
+            Detection::Due {
+                pipeline_suspected: true,
+                ..
+            }
+        ),
         "expected a pipeline DUE, got {det:?}"
     );
 }
@@ -149,7 +165,11 @@ fn swapecc_raises_due_on_shadow_strike() {
     // the next read of the register must raise a DUE (error containment —
     // the corrupted codeword never reaches memory).
     let w = by_name("matmul").expect("matmul");
-    let (det, _) = inject(&w, Scheme::SwapEcc, FaultSpec::single_bit_shadow(500, 3, 30));
+    let (det, _) = inject(
+        &w,
+        Scheme::SwapEcc,
+        FaultSpec::single_bit_shadow(500, 3, 30),
+    );
     assert!(matches!(det, Detection::Due { .. }), "got {det:?}");
 }
 

@@ -39,7 +39,10 @@ fn store_tid_indexed(k: &mut KernelBuilder, value: Reg, tid: Reg, scratch: Reg) 
 fn divergent_if_else_reconverges() {
     // out[tid] = tid < 16 ? tid * 2 : tid + 100; then +1 for all (post-join).
     let mut k = KernelBuilder::new("ifelse");
-    k.push(Op::S2R { d: Reg(0), sr: SpecialReg::TidX });
+    k.push(Op::S2R {
+        d: Reg(0),
+        sr: SpecialReg::TidX,
+    });
     k.push(Op::SetP {
         p: Pred(1),
         cmp: CmpOp::Lt,
@@ -50,12 +53,24 @@ fn divergent_if_else_reconverges() {
     let else_l = k.label();
     let join = k.label();
     k.branch_if(else_l, Pred(1), false);
-    k.push(Op::Shl { d: Reg(1), a: Reg(0), b: Src::Imm(1) });
+    k.push(Op::Shl {
+        d: Reg(1),
+        a: Reg(0),
+        b: Src::Imm(1),
+    });
     k.branch_to(join);
     k.bind(else_l);
-    k.push(Op::IAdd { d: Reg(1), a: Reg(0), b: Src::Imm(100) });
+    k.push(Op::IAdd {
+        d: Reg(1),
+        a: Reg(0),
+        b: Src::Imm(100),
+    });
     k.bind(join);
-    k.push(Op::IAdd { d: Reg(1), a: Reg(1), b: Src::Imm(1) });
+    k.push(Op::IAdd {
+        d: Reg(1),
+        a: Reg(1),
+        b: Src::Imm(1),
+    });
     store_tid_indexed(&mut k, Reg(1), Reg(0), Reg(2));
     k.push(Op::Exit);
     let mem = run(k.finish(), Launch::grid(1, 32), 256);
@@ -69,9 +84,18 @@ fn divergent_if_else_reconverges() {
 fn data_dependent_loop_trip_counts() {
     // out[tid] = sum 1..=tid (per-lane loop trip counts differ).
     let mut k = KernelBuilder::new("tri");
-    k.push(Op::S2R { d: Reg(0), sr: SpecialReg::TidX });
-    k.push(Op::Mov { d: Reg(1), a: Src::Imm(0) }); // acc
-    k.push(Op::Mov { d: Reg(2), a: Src::Imm(0) }); // i
+    k.push(Op::S2R {
+        d: Reg(0),
+        sr: SpecialReg::TidX,
+    });
+    k.push(Op::Mov {
+        d: Reg(1),
+        a: Src::Imm(0),
+    }); // acc
+    k.push(Op::Mov {
+        d: Reg(2),
+        a: Src::Imm(0),
+    }); // i
     let top = k.label();
     let done = k.label();
     k.bind(top);
@@ -83,8 +107,16 @@ fn data_dependent_loop_trip_counts() {
         b: Src::Reg(Reg(0)),
     });
     k.branch_if(done, Pred(1), true);
-    k.push(Op::IAdd { d: Reg(2), a: Reg(2), b: Src::Imm(1) });
-    k.push(Op::IAdd { d: Reg(1), a: Reg(1), b: Src::Reg(Reg(2)) });
+    k.push(Op::IAdd {
+        d: Reg(2),
+        a: Reg(2),
+        b: Src::Imm(1),
+    });
+    k.push(Op::IAdd {
+        d: Reg(1),
+        a: Reg(1),
+        b: Src::Reg(Reg(2)),
+    });
     k.branch_to(top);
     k.bind(done);
     store_tid_indexed(&mut k, Reg(1), Reg(0), Reg(3));
@@ -98,15 +130,25 @@ fn data_dependent_loop_trip_counts() {
 #[test]
 fn butterfly_shuffle_reduction_sums_the_warp() {
     let mut k = KernelBuilder::new("reduce");
-    k.push(Op::S2R { d: Reg(0), sr: SpecialReg::TidX });
-    k.push(Op::Mov { d: Reg(1), a: Src::Reg(Reg(0)) });
+    k.push(Op::S2R {
+        d: Reg(0),
+        sr: SpecialReg::TidX,
+    });
+    k.push(Op::Mov {
+        d: Reg(1),
+        a: Src::Reg(Reg(0)),
+    });
     for sh in [16u32, 8, 4, 2, 1] {
         k.push(Op::Shfl {
             d: Reg(2),
             a: Reg(1),
             mode: ShflMode::Bfly(sh),
         });
-        k.push(Op::IAdd { d: Reg(1), a: Reg(1), b: Src::Reg(Reg(2)) });
+        k.push(Op::IAdd {
+            d: Reg(1),
+            a: Reg(1),
+            b: Src::Reg(Reg(2)),
+        });
     }
     store_tid_indexed(&mut k, Reg(1), Reg(0), Reg(3));
     k.push(Op::Exit);
@@ -119,8 +161,15 @@ fn butterfly_shuffle_reduction_sums_the_warp() {
 #[test]
 fn idx_shuffle_broadcasts_lane_zero() {
     let mut k = KernelBuilder::new("bcast");
-    k.push(Op::S2R { d: Reg(0), sr: SpecialReg::TidX });
-    k.push(Op::IAdd { d: Reg(1), a: Reg(0), b: Src::Imm(7) });
+    k.push(Op::S2R {
+        d: Reg(0),
+        sr: SpecialReg::TidX,
+    });
+    k.push(Op::IAdd {
+        d: Reg(1),
+        a: Reg(0),
+        b: Src::Imm(7),
+    });
     k.push(Op::Shfl {
         d: Reg(2),
         a: Reg(1),
@@ -139,9 +188,20 @@ fn barrier_orders_shared_memory_across_warps() {
     // Warp 0 lanes write shared[tid]; after the barrier every thread reads
     // shared[(tid + 1) % 64] — only correct if the barrier is real.
     let mut k = KernelBuilder::new("bar");
-    k.push(Op::S2R { d: Reg(0), sr: SpecialReg::TidX });
-    k.push(Op::Shl { d: Reg(1), a: Reg(0), b: Src::Imm(2) });
-    k.push(Op::IMul { d: Reg(2), a: Reg(0), b: Src::Imm(3) });
+    k.push(Op::S2R {
+        d: Reg(0),
+        sr: SpecialReg::TidX,
+    });
+    k.push(Op::Shl {
+        d: Reg(1),
+        a: Reg(0),
+        b: Src::Imm(2),
+    });
+    k.push(Op::IMul {
+        d: Reg(2),
+        a: Reg(0),
+        b: Src::Imm(3),
+    });
     k.push(Op::St {
         space: MemSpace::Shared,
         addr: Reg(1),
@@ -150,9 +210,21 @@ fn barrier_orders_shared_memory_across_warps() {
         width: MemWidth::W32,
     });
     k.push(Op::Bar);
-    k.push(Op::IAdd { d: Reg(3), a: Reg(0), b: Src::Imm(1) });
-    k.push(Op::And { d: Reg(3), a: Reg(3), b: Src::Imm(63) });
-    k.push(Op::Shl { d: Reg(3), a: Reg(3), b: Src::Imm(2) });
+    k.push(Op::IAdd {
+        d: Reg(3),
+        a: Reg(0),
+        b: Src::Imm(1),
+    });
+    k.push(Op::And {
+        d: Reg(3),
+        a: Reg(3),
+        b: Src::Imm(63),
+    });
+    k.push(Op::Shl {
+        d: Reg(3),
+        a: Reg(3),
+        b: Src::Imm(2),
+    });
     k.push(Op::Ld {
         d: Reg(4),
         space: MemSpace::Shared,
@@ -179,9 +251,19 @@ fn barrier_orders_shared_memory_across_warps() {
 #[test]
 fn atomics_accumulate_across_ctas() {
     let mut k = KernelBuilder::new("atom");
-    k.push(Op::Mov { d: Reg(0), a: Src::Imm(0) });
-    k.push(Op::Mov { d: Reg(1), a: Src::Imm(1) });
-    k.push(Op::AtomAdd { addr: Reg(0), offset: 0, v: Reg(1) });
+    k.push(Op::Mov {
+        d: Reg(0),
+        a: Src::Imm(0),
+    });
+    k.push(Op::Mov {
+        d: Reg(1),
+        a: Src::Imm(1),
+    });
+    k.push(Op::AtomAdd {
+        addr: Reg(0),
+        offset: 0,
+        v: Reg(1),
+    });
     k.push(Op::Exit);
     let mem = run(k.finish(), Launch::grid(4, 96), 64);
     assert_eq!(mem.read(0), 4 * 96);
@@ -191,8 +273,15 @@ fn atomics_accumulate_across_ctas() {
 fn guarded_instructions_respect_per_lane_predicates() {
     // @P1 adds 1000 only on even lanes.
     let mut k = KernelBuilder::new("guard");
-    k.push(Op::S2R { d: Reg(0), sr: SpecialReg::TidX });
-    k.push(Op::And { d: Reg(1), a: Reg(0), b: Src::Imm(1) });
+    k.push(Op::S2R {
+        d: Reg(0),
+        sr: SpecialReg::TidX,
+    });
+    k.push(Op::And {
+        d: Reg(1),
+        a: Reg(0),
+        b: Src::Imm(1),
+    });
     k.push(Op::SetP {
         p: Pred(1),
         cmp: CmpOp::Eq,
@@ -200,9 +289,16 @@ fn guarded_instructions_respect_per_lane_predicates() {
         a: Reg(1),
         b: Src::Imm(0),
     });
-    k.push(Op::Mov { d: Reg(2), a: Src::Reg(Reg(0)) });
+    k.push(Op::Mov {
+        d: Reg(2),
+        a: Src::Reg(Reg(0)),
+    });
     k.push_instr(Instr::guarded(
-        Op::IAdd { d: Reg(2), a: Reg(2), b: Src::Imm(1000) },
+        Op::IAdd {
+            d: Reg(2),
+            a: Reg(2),
+            b: Src::Imm(1000),
+        },
         Pred(1),
         true,
     ));
@@ -219,10 +315,23 @@ fn guarded_instructions_respect_per_lane_predicates() {
 fn partial_warps_mask_inactive_lanes() {
     // 40 threads: the second warp has only 8 active lanes.
     let mut k = KernelBuilder::new("partial");
-    k.push(Op::S2R { d: Reg(0), sr: SpecialReg::TidX });
-    k.push(Op::Mov { d: Reg(1), a: Src::Imm(1) });
-    k.push(Op::Mov { d: Reg(2), a: Src::Imm(0) });
-    k.push(Op::AtomAdd { addr: Reg(2), offset: 0, v: Reg(1) });
+    k.push(Op::S2R {
+        d: Reg(0),
+        sr: SpecialReg::TidX,
+    });
+    k.push(Op::Mov {
+        d: Reg(1),
+        a: Src::Imm(1),
+    });
+    k.push(Op::Mov {
+        d: Reg(2),
+        a: Src::Imm(0),
+    });
+    k.push(Op::AtomAdd {
+        addr: Reg(2),
+        offset: 0,
+        v: Reg(1),
+    });
     k.push(Op::Exit);
     let mem = run(k.finish(), Launch::grid(1, 40), 64);
     assert_eq!(mem.read(0), 40);

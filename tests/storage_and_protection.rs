@@ -44,7 +44,12 @@ fn regfile_distinguishes_storage_from_pipeline() {
     rf.write_full(0, 1, 42);
     rf.write_ecc_only(0, 1, 43);
     let (_, e) = rf.read(0, 1);
-    assert_eq!(e, RegFileEvent::Due { pipeline_suspected: true });
+    assert_eq!(
+        e,
+        RegFileEvent::Due {
+            pipeline_suspected: true
+        }
+    );
 }
 
 #[test]

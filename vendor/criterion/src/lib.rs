@@ -1,0 +1,153 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! Provides the `Criterion` / benchmark-group / `Bencher` surface the
+//! workspace's micro benches use, with a simple adaptive timer instead of
+//! criterion's statistical machinery: each benchmark is warmed up, then
+//! iterated until a wall-clock budget is reached, and the mean time per
+//! iteration is printed. Good enough to spot order-of-magnitude regressions
+//! offline; swap in the real crate for publication-quality statistics.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement_budget: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let budget = self.measurement_budget;
+        run_one(&id.into(), budget, f);
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Hint for criterion's sampler; accepted and ignored here (the adaptive
+    /// timer already bounds wall-clock per benchmark).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark one function.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.criterion.measurement_budget, f);
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(id: &str, budget: Duration, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        budget,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = if b.iters == 0 {
+        Duration::ZERO
+    } else {
+        b.elapsed / u32::try_from(b.iters.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)
+    };
+    println!("  {id:<40} {per_iter:>12.2?}/iter ({} iters)", b.iters);
+}
+
+/// Timer handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        // Warmup + calibration: find an iteration count that fills a
+        // per-batch time slice, then measure whole batches.
+        let mut batch = 1u64;
+        let start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let dt = t0.elapsed();
+            self.iters += batch;
+            self.elapsed += dt;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+            if dt < Duration::from_millis(10) {
+                batch = batch.saturating_mul(2);
+            }
+        }
+    }
+}
+
+/// Define a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Define `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion {
+            measurement_budget: Duration::from_millis(5),
+        };
+        let mut g = c.benchmark_group("t");
+        g.sample_size(10)
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

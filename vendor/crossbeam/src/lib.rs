@@ -1,0 +1,77 @@
+//! Offline drop-in subset of the `crossbeam` API used by this workspace:
+//! [`scope`]d threads, implemented over `std::thread::scope` (stable since
+//! Rust 1.63, which post-dates crossbeam's scoped-thread API).
+//!
+//! Semantic difference from real crossbeam: a panic in a spawned thread
+//! propagates out of [`scope`] (as `std` scoped threads do) instead of being
+//! captured in the returned `Result`. Every caller in this workspace
+//! immediately `expect`s the `Ok` value, so the observable behavior — abort
+//! the program with the worker's panic message — is the same.
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread namespace, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// Error type carried by the [`scope`] result (never constructed here;
+    /// see the crate docs on panic propagation).
+    pub type ScopeError = Box<dyn std::any::Any + Send + 'static>;
+
+    /// A scope handle passed to the closure and to each spawned thread.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope handle,
+        /// matching crossbeam's nested-spawn-capable signature.
+        pub fn spawn<F, T>(&self, f: F) -> std_thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be spawned;
+    /// all spawned threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1u64, 2, 3, 4];
+        let total = super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let n = super::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

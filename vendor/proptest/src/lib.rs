@@ -1,0 +1,540 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! Implements the slice of proptest this workspace's property tests use:
+//! the [`proptest!`] macro (with `#![proptest_config(...)]` and both
+//! `name: Type` and `name in strategy` parameter forms), [`Strategy`] with
+//! `prop_map`, `any::<T>()`, integer/float range strategies, tuple
+//! strategies, [`prop_oneof!`], `prop::collection::vec`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest: generation is driven by a fixed
+//! deterministic seed (no `PROPTEST_*` env handling, no persisted failure
+//! files) and failing cases are reported without shrinking. Both are
+//! acceptable here — the tests are CI gates, not exploratory fuzzing, and
+//! determinism is a feature for reproducibility.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum `prop_assume!` rejections tolerated before the test aborts.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is not counted.
+    Reject,
+    /// A `prop_assert*` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    #[must_use]
+    pub fn fail(msg: String) -> Self {
+        Self::Fail(msg)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Reject => write!(f, "rejected by prop_assume!"),
+            Self::Fail(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// The deterministic generator threaded through strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(rand::rngs::SmallRng);
+
+impl TestRng {
+    /// Deterministic generator for one test run.
+    #[must_use]
+    pub fn deterministic(seed: u64) -> Self {
+        use rand::SeedableRng;
+        Self(rand::rngs::SmallRng::seed_from_u64(seed))
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> strategy::Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        strategy::Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw a value from the full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_via_rand {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rand::Rng::gen(rng)
+            }
+        }
+    )*};
+}
+arbitrary_via_rand!(bool, u8, u16, u32, u64, usize, i32, i64, f32, f64);
+
+/// The `any::<T>()` whole-domain strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Strategy generating any value of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy combinators and adapters.
+pub mod strategy {
+    use super::{Strategy, TestRng};
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed strategies ([`prop_oneof!`]).
+    pub struct Union<V> {
+        options: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// Build from the alternatives.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        #[must_use]
+        pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rand::Rng::gen_range(rng, 0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Box a strategy for use in a [`Union`] (monomorphization helper for
+    /// the `prop_oneof!` expansion).
+    #[must_use]
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+}
+
+pub use strategy::Just;
+
+macro_rules! range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($n,)+) = self;
+                ($($n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for variable-length vectors.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Vector of `element`-generated values with length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rand::Rng::gen_range(rng, self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[doc(hidden)]
+pub mod __runner {
+    use super::{ProptestConfig, TestCaseError, TestRng};
+
+    /// Drive one property test: repeatedly generate-and-run until the
+    /// configured number of cases passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the enclosing `#[test]`) on the first failing case
+    /// or when `prop_assume!` rejects too many inputs.
+    pub fn run(
+        name: &str,
+        config: &ProptestConfig,
+        mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    ) {
+        // Stable per-test seed: deterministic across runs and processes.
+        let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+        });
+        let mut rng = TestRng::deterministic(seed);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < config.cases {
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    assert!(
+                        rejected < config.max_global_rejects,
+                        "{name}: too many prop_assume! rejections ({rejected})"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("{name}: property failed after {passed} cases: {msg}")
+                }
+            }
+        }
+    }
+}
+
+/// Define property tests (see crate docs for the supported subset).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            $crate::__runner::run(
+                concat!(module_path!(), "::", stringify!($name)),
+                &__config,
+                |__rng| {
+                    $crate::__proptest_bind! { __rng, ($($params)*) }
+                    let mut __case = move || -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    __case()
+                },
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, ()) => {};
+    ($rng:ident, ($name:ident in $strat:expr, $($rest:tt)*)) => {
+        let $name = $crate::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_bind! { $rng, ($($rest)*) }
+    };
+    ($rng:ident, ($name:ident in $strat:expr)) => {
+        let $name = $crate::Strategy::generate(&($strat), $rng);
+    };
+    ($rng:ident, ($name:ident : $ty:ty, $($rest:tt)*)) => {
+        let $name: $ty = $crate::Strategy::generate(&$crate::any::<$ty>(), $rng);
+        $crate::__proptest_bind! { $rng, ($($rest)*) }
+    };
+    ($rng:ident, ($name:ident : $ty:ty)) => {
+        let $name: $ty = $crate::Strategy::generate(&$crate::any::<$ty>(), $rng);
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Property-test assertion: fails the current case (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {}: {}",
+                    stringify!($cond),
+                    ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    };
+}
+
+/// Equality assertion for property tests.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assert_eq failed: {:?} != {:?}", __a, __b),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!(
+                    "assert_eq failed: {:?} != {:?}: {}",
+                    __a,
+                    __b,
+                    ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion for property tests.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assert_ne failed: both {:?}", __a),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!(
+                    "assert_ne failed: both {:?}: {}",
+                    __a,
+                    ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Reject the current inputs without failing the test.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn addition_commutes(a: u32, b: u32) {
+            prop_assert_eq!(u64::from(a) + u64::from(b), u64::from(b) + u64::from(a));
+        }
+
+        #[test]
+        fn ranges_and_assume(x in 10u32..20, y in 0u8..=4) {
+            prop_assume!(x != 15);
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y <= 4, "y was {}", y);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn oneof_map_and_vec(v in prop::collection::vec(
+            prop_oneof![
+                (0u8..4, 0u8..4).prop_map(|(a, b)| u32::from(a) + u32::from(b)),
+                (10u32..12).prop_map(|x| x * 2),
+            ],
+            1..8,
+        )) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            for x in v {
+                prop_assert!(x <= 7 || (20..24).contains(&x));
+            }
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline drop-in subset of the `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` widely but has no
+//! serializer crate, so only the derive macro names need to resolve; they
+//! expand to nothing (see `serde_derive`). If a future change introduces an
+//! actual serializer, replace this stub with the real crate.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline no-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace annotates many types with `#[derive(Serialize,
+//! Deserialize)]` but never calls any serde API (there is no serializer
+//! dependency), so the derives can legally expand to nothing. The
+//! `attributes(serde)` registration keeps any future `#[serde(...)]` field
+//! attributes from being rejected by the compiler.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
