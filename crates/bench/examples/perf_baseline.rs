@@ -60,9 +60,7 @@ fn measure_reference(w: &Workload, scheme: Scheme) -> Option<KernelTiming> {
     let t = apply(scheme, &w.kernel, w.launch).ok()?;
     let mut mem = w.build_memory();
     let cfg = TimingConfig::default();
-    Some(simulate_kernel_reference(
-        &t.kernel, t.launch, &mut mem, &cfg,
-    ))
+    simulate_kernel_reference(&t.kernel, t.launch, &mut mem, &cfg).ok()
 }
 
 /// The seed campaign loop: clone the node list, shuffle it fully, truncate,
@@ -159,12 +157,18 @@ fn main() {
         engine.cached_cells()
     );
 
-    // Sanity: the optimized sweep reproduces the reference numbers.
+    // Sanity: the optimized sweep reproduces the reference numbers, and no
+    // cell of the matrix degraded to a failure.
     let spot = &workloads[0];
     assert_eq!(
-        *engine.timing(spot, Scheme::Baseline),
+        engine.timing(spot, Scheme::Baseline).value().copied(),
         measure_reference(spot, Scheme::Baseline),
         "optimized sweep must reproduce the reference timings"
+    );
+    assert!(
+        engine.failures().is_empty(),
+        "sweep cells failed: {:?}",
+        engine.failures()
     );
 
     // --- Gate-level injection campaign: seed loop vs the pool. ------------

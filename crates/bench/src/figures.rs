@@ -12,9 +12,26 @@
 
 use swapcodes_core::{apply, PredictorSet, Scheme};
 use swapcodes_sim::power::{estimate, PowerModel};
+use swapcodes_sim::timing::KernelTiming;
 use swapcodes_workloads::{all, by_name};
 
-use crate::{banner, mean, pct_over, SweepEngine, Table};
+use crate::{banner, mean, pct_over, Cell, SweepEngine, Table};
+
+/// Render one relative-timing cell: a value contributes to the column mean,
+/// an inapplicable scheme prints `n/a`, and a failed cell prints `FAIL`
+/// (details go to the engine's failure summary) so the rest of the figure
+/// still renders.
+fn rel_cell(cell: &Cell<KernelTiming>, base: &KernelTiming, sums: &mut Vec<f64>) -> String {
+    match cell {
+        Cell::Value(t) => {
+            let rel = t.relative_to(base);
+            sums.push(rel);
+            pct_over(rel)
+        }
+        Cell::NotApplicable => "n/a".to_owned(),
+        Cell::Failed(_) => "FAIL".to_owned(),
+    }
+}
 
 /// Figure 12: runtime of SW-Dup, Swap-ECC and the Swap-Predict variants
 /// relative to the un-duplicated program, per benchmark and mean.
@@ -42,18 +59,19 @@ pub fn fig12_performance(engine: &SweepEngine) {
     let mut sums: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
     for w in &workloads {
         let base = engine.timing(w, Scheme::Baseline);
-        let base = base.expect("baseline always applies");
+        let Some(base) = base.value() else {
+            let mut cells = vec![w.name.to_owned(), String::new(), String::new()];
+            cells.extend(schemes.iter().map(|_| "FAIL".to_owned()));
+            table.row(cells);
+            continue;
+        };
         let mut cells = vec![
             w.name.to_owned(),
             w.kernel.register_count().to_string(),
             base.occupancy.warps.to_string(),
         ];
         for (i, &s) in schemes.iter().enumerate() {
-            let t = engine.timing(w, s);
-            let t = t.expect("intra-thread schemes always apply");
-            let rel = t.relative_to(&base);
-            sums[i].push(rel);
-            cells.push(pct_over(rel));
+            cells.push(rel_cell(&engine.timing(w, s), base, &mut sums[i]));
         }
         table.row(cells);
     }
@@ -63,6 +81,7 @@ pub fn fig12_performance(engine: &SweepEngine) {
     }
     table.row(mean_cells);
     table.print();
+    engine.print_failure_summary();
 }
 
 /// Figure 13: dynamic instruction bloat of each scheme, broken into the
@@ -94,8 +113,20 @@ pub fn fig13_instruction_bloat(engine: &SweepEngine) {
     let mut totals: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
     for w in &workloads {
         for (i, &s) in schemes.iter().enumerate() {
-            let p = engine.profile(w, s);
-            let p = p.expect("profiles");
+            let cell = engine.profile(w, s);
+            let Some(p) = cell.value() else {
+                table.row(vec![
+                    w.name.to_owned(),
+                    s.label(),
+                    if cell.is_failed() { "FAIL" } else { "n/a" }.to_owned(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ]);
+                continue;
+            };
             let orig = p.original_program() as f64;
             let pc = |x: u64| format!("{:.0}%", x as f64 / orig * 100.0);
             totals[i].push(p.total() as f64 / orig);
@@ -118,6 +149,7 @@ pub fn fig13_instruction_bloat(engine: &SweepEngine) {
         let m = mean(&totals[i]);
         println!("  mean total bloat {:<12} {:>5.0}%", s.label(), m * 100.0);
     }
+    engine.print_failure_summary();
 }
 
 /// Figure 14: estimated GPU power and energy overheads for the two
@@ -148,7 +180,16 @@ pub fn fig14_power_energy(engine: &SweepEngine) {
     let mut table = Table::new(vec!["benchmark", "scheme", "power", "energy", "runtime"]);
     for w in &workloads {
         let cell = engine.traces_and_timing(w, Scheme::Baseline);
-        let (bt, btiming) = cell.as_ref().as_ref().expect("baseline");
+        let Some((bt, btiming)) = cell.value() else {
+            table.row(vec![
+                w.name.to_owned(),
+                "(baseline)".to_owned(),
+                "FAIL".to_owned(),
+                String::new(),
+                String::new(),
+            ]);
+            continue;
+        };
         let base = estimate(
             &model,
             &transformed_kernel(w, Scheme::Baseline),
@@ -157,7 +198,16 @@ pub fn fig14_power_energy(engine: &SweepEngine) {
         );
         for scheme in schemes {
             let cell = engine.traces_and_timing(w, scheme);
-            let (traces, timing) = cell.as_ref().as_ref().expect("scheme applies");
+            let Some((traces, timing)) = cell.value() else {
+                table.row(vec![
+                    w.name.to_owned(),
+                    scheme.label(),
+                    if cell.is_failed() { "FAIL" } else { "n/a" }.to_owned(),
+                    String::new(),
+                    String::new(),
+                ]);
+                continue;
+            };
             let est = estimate(&model, &transformed_kernel(w, scheme), traces, timing);
             table.row(vec![
                 w.name.to_owned(),
@@ -172,6 +222,7 @@ pub fn fig14_power_energy(engine: &SweepEngine) {
         }
     }
     table.print();
+    engine.print_failure_summary();
 }
 
 /// Figure 15: inter-thread (warp-splitting) duplication performance, with
@@ -204,17 +255,15 @@ pub fn fig15_interthread(engine: &SweepEngine) {
     let mut sums: Vec<Vec<f64>> = vec![Vec::new(); 3];
     for w in &workloads {
         let base = engine.timing(w, Scheme::Baseline);
-        let base = base.expect("baseline");
+        let Some(base) = base.value() else {
+            let mut cells = vec![w.name.to_owned()];
+            cells.extend(schemes.iter().map(|_| "FAIL".to_owned()));
+            table.row(cells);
+            continue;
+        };
         let mut cells = vec![w.name.to_owned()];
         for (i, &s) in schemes.iter().enumerate() {
-            match *engine.timing(w, s) {
-                Some(t) => {
-                    let rel = t.relative_to(&base);
-                    sums[i].push(rel);
-                    cells.push(pct_over(rel));
-                }
-                None => cells.push("n/a".to_owned()),
-            }
+            cells.push(rel_cell(&engine.timing(w, s), base, &mut sums[i]));
         }
         table.row(cells);
     }
@@ -224,6 +273,7 @@ pub fn fig15_interthread(engine: &SweepEngine) {
     }
     table.row(mean_cells);
     table.print();
+    engine.print_failure_summary();
 }
 
 /// Figure 16: Swap-Predict with plausible future check-bit predictors.
@@ -249,17 +299,26 @@ pub fn fig16_future_predictors(engine: &SweepEngine) {
     let mut worst: Vec<(f64, String)> = vec![(0.0, String::new()); schemes.len()];
     for w in &workloads {
         let base = engine.timing(w, Scheme::Baseline);
-        let base = base.expect("baseline");
+        let Some(base) = base.value() else {
+            let mut cells = vec![w.name.to_owned()];
+            cells.extend(schemes.iter().map(|_| "FAIL".to_owned()));
+            table.row(cells);
+            continue;
+        };
         let mut cells = vec![w.name.to_owned()];
         for (i, &s) in schemes.iter().enumerate() {
-            let t = engine.timing(w, s);
-            let t = t.expect("swap-predict always applies");
-            let rel = t.relative_to(&base);
-            sums[i].push(rel);
-            if rel > worst[i].0 {
-                worst[i] = (rel, w.name.to_owned());
+            match &*engine.timing(w, s) {
+                Cell::Value(t) => {
+                    let rel = t.relative_to(base);
+                    sums[i].push(rel);
+                    if rel > worst[i].0 {
+                        worst[i] = (rel, w.name.to_owned());
+                    }
+                    cells.push(pct_over(rel));
+                }
+                Cell::NotApplicable => cells.push("n/a".to_owned()),
+                Cell::Failed(_) => cells.push("FAIL".to_owned()),
             }
-            cells.push(pct_over(rel));
         }
         table.row(cells);
     }
@@ -278,6 +337,7 @@ pub fn fig16_future_predictors(engine: &SweepEngine) {
             worst[i].1
         );
     }
+    engine.print_failure_summary();
 }
 
 fn transformed_kernel(w: &swapcodes_workloads::Workload, s: Scheme) -> swapcodes_isa::Kernel {

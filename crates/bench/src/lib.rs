@@ -19,11 +19,84 @@ use swapcodes_workloads::Workload;
 pub mod figures;
 pub mod sweep;
 
-pub use sweep::SweepEngine;
+pub use sweep::{SweepEngine, SweepFailure};
 
 /// Traces plus the timing they were captured under (the fig. 14 power
 /// estimation inputs).
 pub type TracesAndTiming = (Vec<WarpTrace>, KernelTiming);
+
+/// One cell of the (workload × scheme) matrix.
+///
+/// A sweep over many cells must keep going when one of them cannot be
+/// computed, so a cell distinguishes the *expected* miss (the scheme does
+/// not apply to the workload — the paper's §V transparency failures) from a
+/// *failure* (structured executor error or a contained panic). Failed cells
+/// are skipped by the figure reports and surfaced in the sweep summary
+/// instead of aborting the whole matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell<T> {
+    /// The computed artefact.
+    Value(T),
+    /// The scheme does not apply to this workload.
+    NotApplicable,
+    /// The computation failed; the payload says why.
+    Failed(String),
+}
+
+impl<T> Cell<T> {
+    /// The value, if this cell computed one.
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            Cell::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The failure reason, if the computation failed.
+    #[must_use]
+    pub fn failure(&self) -> Option<&str> {
+        match self {
+            Cell::Failed(why) => Some(why),
+            _ => None,
+        }
+    }
+
+    /// Whether this cell holds a value.
+    #[must_use]
+    pub fn is_value(&self) -> bool {
+        matches!(self, Cell::Value(_))
+    }
+
+    /// Whether the scheme was inapplicable.
+    #[must_use]
+    pub fn is_not_applicable(&self) -> bool {
+        matches!(self, Cell::NotApplicable)
+    }
+
+    /// Whether the computation failed.
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        matches!(self, Cell::Failed(_))
+    }
+
+    /// Map the value, preserving the miss/failure states.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Cell<U> {
+        match self {
+            Cell::Value(v) => Cell::Value(f(v)),
+            Cell::NotApplicable => Cell::NotApplicable,
+            Cell::Failed(why) => Cell::Failed(why),
+        }
+    }
+
+    /// Chain a fallible computation on the value.
+    pub fn and_then<U>(self, f: impl FnOnce(T) -> Cell<U>) -> Cell<U> {
+        match self {
+            Cell::Value(v) => f(v),
+            Cell::NotApplicable => Cell::NotApplicable,
+            Cell::Failed(why) => Cell::Failed(why),
+        }
+    }
+}
 
 /// Whether the quick mode is enabled (`SWAPCODES_FAST=1`), shrinking
 /// campaign sizes so the whole bench suite completes in seconds.
@@ -45,21 +118,29 @@ pub fn campaign_inputs() -> usize {
     }
 }
 
-/// Simulate a workload under a scheme; `None` when the scheme does not
-/// apply (inter-thread transparency failures).
+/// Simulate a workload under a scheme; `NotApplicable` when the scheme does
+/// not apply (inter-thread transparency failures), `Failed` when the fueled
+/// simulation reports a structured error.
 #[must_use]
-pub fn measure(w: &Workload, scheme: Scheme) -> Option<KernelTiming> {
-    let t = apply(scheme, &w.kernel, w.launch).ok()?;
+pub fn measure(w: &Workload, scheme: Scheme) -> Cell<KernelTiming> {
+    let Ok(t) = apply(scheme, &w.kernel, w.launch) else {
+        return Cell::NotApplicable;
+    };
     let mut mem = w.build_memory();
     let cfg = TimingConfig::default();
-    Some(simulate_kernel(&t.kernel, t.launch, &mut mem, &cfg))
+    match simulate_kernel(&t.kernel, t.launch, &mut mem, &cfg) {
+        Ok(timing) => Cell::Value(timing),
+        Err(e) => Cell::Failed(e.to_string()),
+    }
 }
 
 /// Dynamic-instruction profile of a workload under a scheme (one occupancy
 /// wave of CTAs, like the timing runs).
 #[must_use]
-pub fn profile(w: &Workload, scheme: Scheme) -> Option<ProfileCounts> {
-    let t = apply(scheme, &w.kernel, w.launch).ok()?;
+pub fn profile(w: &Workload, scheme: Scheme) -> Cell<ProfileCounts> {
+    let Ok(t) = apply(scheme, &w.kernel, w.launch) else {
+        return Cell::NotApplicable;
+    };
     let mut mem = w.build_memory();
     let exec = Executor {
         config: ExecConfig {
@@ -67,23 +148,27 @@ pub fn profile(w: &Workload, scheme: Scheme) -> Option<ProfileCounts> {
             ..ExecConfig::default()
         },
     };
-    Some(exec.run(&t.kernel, t.launch, &mut mem).profile)
+    match exec.run(&t.kernel, t.launch, &mut mem) {
+        Ok(out) => Cell::Value(out.profile),
+        Err(e) => Cell::Failed(e.to_string()),
+    }
 }
 
 /// Traces + timing for power estimation.
 #[must_use]
-pub fn traces_and_timing(w: &Workload, scheme: Scheme) -> Option<TracesAndTiming> {
-    let timing = measure(w, scheme)?;
-    let traces = traces_for(w, scheme, &timing)?;
-    Some((traces, timing))
+pub fn traces_and_timing(w: &Workload, scheme: Scheme) -> Cell<TracesAndTiming> {
+    measure(w, scheme)
+        .and_then(|timing| traces_for(w, scheme, &timing).map(|traces| (traces, timing)))
 }
 
 /// Traces for power estimation, given an already-computed timing for the
 /// same `(workload, scheme)` cell — lets callers holding a timing cache
 /// (the sweep engine) skip re-simulating the kernel.
 #[must_use]
-pub fn traces_for(w: &Workload, scheme: Scheme, timing: &KernelTiming) -> Option<Vec<WarpTrace>> {
-    let t = apply(scheme, &w.kernel, w.launch).ok()?;
+pub fn traces_for(w: &Workload, scheme: Scheme, timing: &KernelTiming) -> Cell<Vec<WarpTrace>> {
+    let Ok(t) = apply(scheme, &w.kernel, w.launch) else {
+        return Cell::NotApplicable;
+    };
     let mut mem = w.build_memory();
     let exec = Executor {
         config: ExecConfig {
@@ -92,8 +177,10 @@ pub fn traces_for(w: &Workload, scheme: Scheme, timing: &KernelTiming) -> Option
             ..ExecConfig::default()
         },
     };
-    let out = exec.run(&t.kernel, t.launch, &mut mem);
-    Some(out.traces)
+    match exec.run(&t.kernel, t.launch, &mut mem) {
+        Ok(out) => Cell::Value(out.traces),
+        Err(e) => Cell::Failed(e.to_string()),
+    }
 }
 
 /// A fixed-width text table printer for the bench reports.

@@ -23,12 +23,12 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use swapcodes_core::Scheme;
-use swapcodes_inject::default_thread_count;
+use swapcodes_inject::{contain, default_thread_count};
 use swapcodes_sim::profiler::ProfileCounts;
 use swapcodes_sim::timing::KernelTiming;
 use swapcodes_workloads::Workload;
 
-use crate::{measure, profile, TracesAndTiming};
+use crate::{measure, profile, Cell, TracesAndTiming};
 
 /// Cache key: workload names are `&'static str` interned in the workload
 /// table, so the key is `Copy` and hashing never touches the kernel body.
@@ -42,13 +42,30 @@ enum Artefact {
     Traces,
 }
 
+/// One failed cell of a sweep, as surfaced by [`SweepEngine::failures`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepFailure {
+    /// Workload name.
+    pub workload: &'static str,
+    /// The scheme of the failed cell.
+    pub scheme: Scheme,
+    /// Which artefact failed (`"timing"`, `"profile"` or `"traces"`).
+    pub artefact: &'static str,
+    /// Why the cell failed.
+    pub reason: String,
+}
+
 /// Shared sweep cache. Cheap to clone conceptually (hold it behind a `&` or
 /// `Arc`); all interior mutability is lock-guarded.
+///
+/// Every cell computation runs inside [`contain`], so a panicking or
+/// structurally failing cell is recorded as [`Cell::Failed`] — and skipped
+/// by the figure reports — while the rest of the matrix completes.
 #[derive(Debug, Default)]
 pub struct SweepEngine {
-    timings: RwLock<HashMap<Key, Arc<Option<KernelTiming>>>>,
-    profiles: RwLock<HashMap<Key, Arc<Option<ProfileCounts>>>>,
-    traces: RwLock<HashMap<Key, Arc<Option<TracesAndTiming>>>>,
+    timings: RwLock<HashMap<Key, Arc<Cell<KernelTiming>>>>,
+    profiles: RwLock<HashMap<Key, Arc<Cell<ProfileCounts>>>>,
+    traces: RwLock<HashMap<Key, Arc<Cell<TracesAndTiming>>>>,
     threads: Option<usize>,
 }
 
@@ -76,13 +93,14 @@ impl SweepEngine {
             .clamp(1, tasks.max(1))
     }
 
-    /// Timing for one cell; `None` when the scheme does not apply to the
-    /// workload. Computes and caches on miss.
-    pub fn timing(&self, w: &Workload, scheme: Scheme) -> Arc<Option<KernelTiming>> {
+    /// Timing for one cell; `NotApplicable` when the scheme does not apply
+    /// to the workload, `Failed` when the simulation errored or panicked.
+    /// Computes and caches on miss.
+    pub fn timing(&self, w: &Workload, scheme: Scheme) -> Arc<Cell<KernelTiming>> {
         if let Some(hit) = self.timings.read().get(&(w.name, scheme)) {
             return Arc::clone(hit);
         }
-        let value = Arc::new(measure(w, scheme));
+        let value = Arc::new(contain(1, |_| measure(w, scheme)).unwrap_or_else(Cell::Failed));
         Arc::clone(
             self.timings
                 .write()
@@ -92,11 +110,11 @@ impl SweepEngine {
     }
 
     /// Dynamic-instruction profile for one cell; cached on miss.
-    pub fn profile(&self, w: &Workload, scheme: Scheme) -> Arc<Option<ProfileCounts>> {
+    pub fn profile(&self, w: &Workload, scheme: Scheme) -> Arc<Cell<ProfileCounts>> {
         if let Some(hit) = self.profiles.read().get(&(w.name, scheme)) {
             return Arc::clone(hit);
         }
-        let value = Arc::new(profile(w, scheme));
+        let value = Arc::new(contain(1, |_| profile(w, scheme)).unwrap_or_else(Cell::Failed));
         Arc::clone(
             self.profiles
                 .write()
@@ -108,13 +126,19 @@ impl SweepEngine {
     /// Warp traces + timing for one cell (power estimation); cached on
     /// miss. The timing half comes through the timing cache, so a traces
     /// cell whose timing was already swept costs only the traced execution.
-    pub fn traces_and_timing(&self, w: &Workload, scheme: Scheme) -> Arc<Option<TracesAndTiming>> {
+    pub fn traces_and_timing(&self, w: &Workload, scheme: Scheme) -> Arc<Cell<TracesAndTiming>> {
         if let Some(hit) = self.traces.read().get(&(w.name, scheme)) {
             return Arc::clone(hit);
         }
-        let value = Arc::new(match *self.timing(w, scheme) {
-            Some(timing) => crate::traces_for(w, scheme, &timing).map(|traces| (traces, timing)),
-            None => None,
+        let value = Arc::new(match &*self.timing(w, scheme) {
+            Cell::Value(timing) => {
+                let timing = *timing;
+                contain(1, |_| crate::traces_for(w, scheme, &timing))
+                    .unwrap_or_else(Cell::Failed)
+                    .map(|traces| (traces, timing))
+            }
+            Cell::NotApplicable => Cell::NotApplicable,
+            Cell::Failed(why) => Cell::Failed(why.clone()),
         });
         Arc::clone(self.traces.write().entry((w.name, scheme)).or_insert(value))
     }
@@ -141,6 +165,63 @@ impl SweepEngine {
     #[must_use]
     pub fn cached_cells(&self) -> usize {
         self.timings.read().len() + self.profiles.read().len() + self.traces.read().len()
+    }
+
+    /// Every failed cell across all three artefact caches, sorted by
+    /// `(workload, artefact, scheme)` so the summary is deterministic no
+    /// matter which worker hit the failure.
+    #[must_use]
+    pub fn failures(&self) -> Vec<SweepFailure> {
+        fn collect<T>(
+            map: &RwLock<HashMap<Key, Arc<Cell<T>>>>,
+            artefact: &'static str,
+            out: &mut Vec<SweepFailure>,
+        ) {
+            for ((workload, scheme), cell) in map.read().iter() {
+                if let Some(reason) = cell.failure() {
+                    out.push(SweepFailure {
+                        workload,
+                        scheme: *scheme,
+                        artefact,
+                        reason: reason.to_owned(),
+                    });
+                }
+            }
+        }
+        let mut out = Vec::new();
+        collect(&self.timings, "timing", &mut out);
+        collect(&self.profiles, "profile", &mut out);
+        collect(&self.traces, "traces", &mut out);
+        out.sort_by(|a, b| {
+            (a.workload, a.artefact, a.scheme.label()).cmp(&(
+                b.workload,
+                b.artefact,
+                b.scheme.label(),
+            ))
+        });
+        out
+    }
+
+    /// Print the failed cells (if any) after a sweep, so a degraded matrix
+    /// is visible in the report rather than silently shorter.
+    pub fn print_failure_summary(&self) {
+        let failures = self.failures();
+        if failures.is_empty() {
+            return;
+        }
+        println!(
+            "\n  {} sweep cell(s) FAILED and were skipped:",
+            failures.len()
+        );
+        for f in &failures {
+            println!(
+                "    {} x {} [{}]: {}",
+                f.workload,
+                f.scheme.label(),
+                f.artefact,
+                f.reason
+            );
+        }
     }
 
     fn prewarm(&self, workloads: &[Workload], schemes: &[Scheme], what: Artefact) {
@@ -240,14 +321,55 @@ mod tests {
     }
 
     #[test]
-    fn inapplicable_scheme_is_cached_as_none() {
+    fn inapplicable_scheme_is_cached_as_not_applicable() {
         let engine = SweepEngine::new();
         // matmul is not inter-thread transformable (paper §VII).
         let w = swapcodes_workloads::by_name("matmul").expect("workload");
         let t = engine.timing(&w, Scheme::InterThread { checked: true });
-        assert!(t.is_none());
+        assert!(t.is_not_applicable());
         // The miss itself is memoized.
         let again = engine.timing(&w, Scheme::InterThread { checked: true });
         assert!(Arc::ptr_eq(&t, &again));
+        assert!(
+            engine.failures().is_empty(),
+            "inapplicable is not a failure"
+        );
+    }
+
+    #[test]
+    fn failed_cell_degrades_gracefully_and_is_surfaced() {
+        let engine = SweepEngine::with_threads(2);
+        let mut bad = swapcodes_workloads::by_name("bfs").expect("workload");
+        bad.name = "bfs-poisoned";
+        // Poison the input initialiser: the cell computation panics, which
+        // containment must turn into a Failed cell, not a dead worker pool.
+        bad.init = |_| panic!("poisoned initialiser");
+        let good = swapcodes_workloads::by_name("matmul").expect("workload");
+
+        let ws = vec![good, bad];
+        engine.prewarm_timings(&ws, &[Scheme::Baseline, Scheme::SwapEcc]);
+
+        // The healthy workload's cells completed...
+        assert!(engine.timing(&ws[0], Scheme::Baseline).is_value());
+        assert!(engine.timing(&ws[0], Scheme::SwapEcc).is_value());
+        // ...the poisoned one is marked failed (and memoized as such)...
+        let t = engine.timing(&ws[1], Scheme::Baseline);
+        assert!(t.is_failed());
+        assert!(Arc::ptr_eq(&t, &engine.timing(&ws[1], Scheme::Baseline)));
+        // ...and the failure is surfaced in the summary.
+        let failures = engine.failures();
+        assert_eq!(failures.len(), 2, "both poisoned cells: {failures:?}");
+        assert!(failures.iter().all(|f| f.workload == "bfs-poisoned"));
+        assert!(failures[0].reason.contains("poisoned initialiser"));
+    }
+
+    #[test]
+    fn traces_inherit_timing_failure() {
+        let engine = SweepEngine::with_threads(1);
+        let mut bad = swapcodes_workloads::by_name("bfs").expect("workload");
+        bad.name = "bfs-poisoned-traces";
+        bad.init = |_| panic!("poisoned initialiser");
+        let cell = engine.traces_and_timing(&bad, Scheme::Baseline);
+        assert!(cell.is_failed());
     }
 }

@@ -20,10 +20,10 @@ fn parallel_timings_equal_serial_measure() {
     engine.prewarm_timings(&workloads, &schemes);
     for w in &workloads {
         for &s in &schemes {
-            let parallel = *engine.timing(w, s);
+            let parallel = engine.timing(w, s);
             let serial = measure(w, s);
             assert_eq!(
-                parallel,
+                *parallel,
                 serial,
                 "timing mismatch for {} / {}",
                 w.name,
@@ -31,6 +31,7 @@ fn parallel_timings_equal_serial_measure() {
             );
         }
     }
+    assert!(engine.failures().is_empty());
 }
 
 #[test]
@@ -41,10 +42,10 @@ fn parallel_profiles_equal_serial_profile() {
     engine.prewarm_profiles(&workloads, &schemes);
     for w in &workloads {
         for &s in &schemes {
-            let parallel = *engine.profile(w, s);
+            let parallel = engine.profile(w, s);
             let serial = profile(w, s);
             assert_eq!(
-                parallel,
+                *parallel,
                 serial,
                 "profile mismatch for {} / {}",
                 w.name,

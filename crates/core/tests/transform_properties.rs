@@ -156,7 +156,9 @@ fn run(kernel: &Kernel, scheme: Scheme) -> Vec<u32> {
             ..ExecConfig::default()
         },
     };
-    let out = exec.run(&t.kernel, t.launch, &mut mem);
+    let out = exec
+        .run(&t.kernel, t.launch, &mut mem)
+        .expect("transformed kernels execute");
     assert_eq!(out.detection, Detection::None, "{scheme:?} false positive");
     mem.read_u32_slice(0, 64)
 }

@@ -1,15 +1,30 @@
 //! Architecture-level end-to-end injection: corrupt one dynamic instruction
 //! of a protected workload and observe the program-level outcome.
+//!
+//! Campaigns are **fueled** and **per-trial seeded**: every trial derives
+//! its fault from `(seed, trial index)` alone, so a campaign can be paused,
+//! killed and resumed (see [`crate::harness`]) — or split across workers —
+//! and still produce byte-identical tallies; and every trial runs under a
+//! hard step budget, so a fault that corrupts a loop bound or branch
+//! predicate surfaces as a `hang` outcome instead of spinning the host
+//! forever.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use swapcodes_core::Scheme;
-use swapcodes_sim::exec::{Detection, ExecConfig, Executor};
-use swapcodes_sim::{FaultSpec, FaultTarget};
+use swapcodes_sim::exec::{Detection, ExecConfig, ExecError, Executor};
+use swapcodes_sim::regfile::Protection;
+use swapcodes_sim::{FaultSpec, FaultTarget, Launch};
 use swapcodes_workloads::Workload;
 
 /// Outcome counts of an architecture-level campaign.
+///
+/// `trap`/`due` are code-detected, `crash` is a memory-protection kill, and
+/// `hang` is timeout-detected (divergent barrier or watchdog budget
+/// exhaustion). All four count toward DUE coverage but are reported
+/// separately so figure-style detection numbers can distinguish
+/// timeout-detected from code-detected errors.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ArchOutcomes {
     /// Detected by an explicit software check (trap).
@@ -18,6 +33,9 @@ pub struct ArchOutcomes {
     pub due: u64,
     /// Detected as a memory-protection crash (out-of-bounds access).
     pub crash: u64,
+    /// Detected by timeout: a divergent barrier or an exhausted step budget
+    /// (the driver watchdog killing a hung kernel).
+    pub hang: u64,
     /// No architectural effect (output identical to golden).
     pub masked: u64,
     /// Silent data corruption at the program output.
@@ -28,18 +46,222 @@ impl ArchOutcomes {
     /// Total trials.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.trap + self.due + self.crash + self.masked + self.sdc
+        self.trap + self.due + self.crash + self.hang + self.masked + self.sdc
     }
 
-    /// Detected fraction among unmasked faults.
+    /// Detected fraction among unmasked faults (hangs count as detected —
+    /// the watchdog is a detector, just a slow one).
     #[must_use]
     pub fn coverage(&self) -> f64 {
-        let unmasked = self.trap + self.due + self.crash + self.sdc;
+        let detected = self.trap + self.due + self.crash + self.hang;
+        let unmasked = detected + self.sdc;
         if unmasked == 0 {
             1.0
         } else {
-            (self.trap + self.due + self.crash) as f64 / unmasked as f64
+            detected as f64 / unmasked as f64
         }
+    }
+
+    /// Record one trial outcome.
+    pub fn record(&mut self, outcome: TrialOutcome) {
+        match outcome {
+            TrialOutcome::Trap => self.trap += 1,
+            TrialOutcome::Due => self.due += 1,
+            TrialOutcome::Crash => self.crash += 1,
+            TrialOutcome::Hang => self.hang += 1,
+            TrialOutcome::Masked => self.masked += 1,
+            TrialOutcome::Sdc => self.sdc += 1,
+        }
+    }
+}
+
+/// The program-level outcome of a single injected trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrialOutcome {
+    /// A software-duplication checking trap fired.
+    Trap,
+    /// The register-file decoder raised a DUE.
+    Due,
+    /// A memory-protection crash.
+    Crash,
+    /// Timeout-detected: divergent barrier or step-budget exhaustion.
+    Hang,
+    /// Output identical to golden.
+    Masked,
+    /// Silent data corruption.
+    Sdc,
+}
+
+/// Why a campaign could not even start (before any trial runs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrepError {
+    /// The scheme does not apply to the workload (§V transparency failure).
+    NotApplicable,
+    /// The fault-free golden run failed structurally.
+    Golden(ExecError),
+    /// The fault-free golden run tripped a detector (workload/scheme bug).
+    GoldenDetected,
+}
+
+impl std::fmt::Display for PrepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotApplicable => write!(f, "scheme does not apply to workload"),
+            Self::Golden(e) => write!(f, "golden run failed: {e}"),
+            Self::GoldenDetected => write!(f, "golden run tripped a detector"),
+        }
+    }
+}
+
+impl std::error::Error for PrepError {}
+
+/// A prepared architecture-level campaign: the transformed kernel, its
+/// golden output, and the per-trial fault sampler. Trials are independent
+/// pure functions of `(seed, trial index)`, which is what makes
+/// checkpoint/resume and parallel sharding byte-identical.
+#[derive(Debug)]
+pub struct ArchCampaign<'w> {
+    workload: &'w Workload,
+    kernel: swapcodes_isa::Kernel,
+    launch: Launch,
+    protection: Protection,
+    golden: Vec<u32>,
+    eligible: u64,
+    seed: u64,
+    /// Hard per-trial step budget. Defaults to a margin over the golden
+    /// run's dynamic instruction count (`SWAPCODES_FUEL` overrides).
+    pub fuel: u64,
+}
+
+impl<'w> ArchCampaign<'w> {
+    /// Transform the workload under `scheme` and run the fault-free golden
+    /// execution.
+    ///
+    /// # Errors
+    ///
+    /// [`PrepError::NotApplicable`] when the scheme cannot transform the
+    /// workload; [`PrepError::Golden`]/[`PrepError::GoldenDetected`] when
+    /// the fault-free run itself fails — a workload bug surfaced
+    /// structurally instead of panicking the campaign host.
+    pub fn prepare(workload: &'w Workload, scheme: Scheme, seed: u64) -> Result<Self, PrepError> {
+        let t = swapcodes_core::apply(scheme, &workload.kernel, workload.launch)
+            .map_err(|_| PrepError::NotApplicable)?;
+        let mut golden_mem = workload.build_memory();
+        let exec = Executor {
+            config: ExecConfig {
+                protection: t.protection,
+                cta_limit: Some(1),
+                ..ExecConfig::default()
+            },
+        };
+        let gout = exec
+            .run(&t.kernel, t.launch, &mut golden_mem)
+            .map_err(PrepError::Golden)?;
+        if gout.detection != Detection::None {
+            return Err(PrepError::GoldenDetected);
+        }
+        let golden = workload.output_words(&golden_mem);
+        let eligible = gout.profile.eligible_plain + gout.profile.eligible_predicted;
+        // Generous watchdog margin over the fault-free run: real injected
+        // control-flow faults either finish near the golden length or spin,
+        // and 8x + slack separates the two cheaply.
+        let fuel = crate::harness::fuel_from_env()
+            .unwrap_or_else(|| gout.dynamic_instructions.saturating_mul(8) + 10_000);
+        Ok(Self {
+            workload,
+            kernel: t.kernel,
+            launch: t.launch,
+            protection: t.protection,
+            golden,
+            eligible,
+            seed,
+            fuel,
+        })
+    }
+
+    /// The fault injected by trial `trial` (pure in `(seed, trial)`).
+    #[must_use]
+    pub fn trial_fault(&self, trial: u64) -> FaultSpec {
+        self.trial_fault_salted(trial, 0)
+    }
+
+    /// The fault injected by trial `trial` under retry `salt` (salt 0 is
+    /// the normal draw). The containment harness bumps the salt when a
+    /// trial's work item panics, so the bounded retry re-seeds
+    /// deterministically instead of replaying the identical crash.
+    #[must_use]
+    pub fn trial_fault_salted(&self, trial: u64, salt: u32) -> FaultSpec {
+        let mut rng = SmallRng::seed_from_u64(
+            self.seed
+                ^ (trial + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ u64::from(salt).wrapping_mul(0xA076_1D64_78BD_642F),
+        );
+        FaultSpec {
+            eligible_index: rng.gen_range(0..self.eligible.max(1)),
+            lane: rng.gen_range(0..32),
+            xor_mask: 1u64 << rng.gen_range(0..32u32),
+            target: if rng.gen_bool(0.5) {
+                FaultTarget::Original
+            } else {
+                FaultTarget::Shadow
+            },
+        }
+    }
+
+    /// Run one fueled trial and classify its outcome. Never panics and
+    /// never loops forever: memory violations become [`TrialOutcome::Crash`]
+    /// and budget exhaustion becomes [`TrialOutcome::Hang`].
+    #[must_use]
+    pub fn run_trial(&self, trial: u64) -> TrialOutcome {
+        self.run_trial_salted(trial, 0)
+    }
+
+    /// [`Self::run_trial`] with a containment-retry salt (see
+    /// [`Self::trial_fault_salted`]).
+    #[must_use]
+    pub fn run_trial_salted(&self, trial: u64, salt: u32) -> TrialOutcome {
+        let fault = self.trial_fault_salted(trial, salt);
+        let mut mem = self.workload.build_memory();
+        let exec = Executor {
+            config: ExecConfig {
+                protection: self.protection,
+                fault: Some(fault),
+                cta_limit: Some(1),
+                fuel: Some(self.fuel),
+                ..ExecConfig::default()
+            },
+        };
+        match exec.run(&self.kernel, self.launch, &mut mem) {
+            Ok(r) => match r.detection {
+                Detection::Trap { .. } => TrialOutcome::Trap,
+                Detection::Due { .. } => TrialOutcome::Due,
+                Detection::MemFault { .. } => TrialOutcome::Crash,
+                Detection::Hang { .. } => TrialOutcome::Hang,
+                Detection::None => {
+                    if self.workload.output_words(&mem) == self.golden {
+                        TrialOutcome::Masked
+                    } else {
+                        TrialOutcome::Sdc
+                    }
+                }
+            },
+            // Budget exhaustion and scheduler deadlock are both what the
+            // driver watchdog sees as a hung kernel.
+            Err(ExecError::Hang { .. } | ExecError::Trap { .. }) => TrialOutcome::Hang,
+            // Structural errors cannot occur on a faulted run (memory
+            // violations are trapped), but map conservatively.
+            Err(_) => TrialOutcome::Crash,
+        }
+    }
+
+    /// Run trials `[start, end)` and tally them.
+    #[must_use]
+    pub fn run_range(&self, start: u64, end: u64) -> ArchOutcomes {
+        let mut out = ArchOutcomes::default();
+        for trial in start..end {
+            out.record(self.run_trial(trial));
+        }
+        out
     }
 }
 
@@ -48,62 +270,14 @@ impl ArchOutcomes {
 ///
 /// # Panics
 ///
-/// Panics if the scheme cannot be applied to the workload.
+/// Panics if the scheme cannot be applied to the workload or the golden run
+/// fails. Use [`ArchCampaign::prepare`] (or the checkpointing harness in
+/// [`crate::harness`]) for structured error handling.
 #[must_use]
 pub fn arch_campaign(workload: &Workload, scheme: Scheme, trials: u32, seed: u64) -> ArchOutcomes {
-    let t = swapcodes_core::apply(scheme, &workload.kernel, workload.launch)
-        .expect("scheme applies to workload");
-    // Golden run (also counts the eligible instructions for targeting).
-    let mut golden_mem = workload.build_memory();
-    let exec = Executor {
-        config: ExecConfig {
-            protection: t.protection,
-            cta_limit: Some(1),
-            ..ExecConfig::default()
-        },
-    };
-    let gout = exec.run(&t.kernel, t.launch, &mut golden_mem);
-    assert_eq!(gout.detection, Detection::None, "golden run must be clean");
-    let golden = workload.output_words(&golden_mem);
-    let eligible = gout.profile.eligible_plain + gout.profile.eligible_predicted;
-
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut out = ArchOutcomes::default();
-    for _ in 0..trials {
-        let fault = FaultSpec {
-            eligible_index: rng.gen_range(0..eligible.max(1)),
-            lane: rng.gen_range(0..32),
-            xor_mask: 1u64 << rng.gen_range(0..32u32),
-            target: if rng.gen_bool(0.5) {
-                FaultTarget::Original
-            } else {
-                FaultTarget::Shadow
-            },
-        };
-        let mut mem = workload.build_memory();
-        let exec = Executor {
-            config: ExecConfig {
-                protection: t.protection,
-                fault: Some(fault),
-                cta_limit: Some(1),
-                ..ExecConfig::default()
-            },
-        };
-        let r = exec.run(&t.kernel, t.launch, &mut mem);
-        match r.detection {
-            Detection::Trap { .. } => out.trap += 1,
-            Detection::Due { .. } => out.due += 1,
-            Detection::MemFault { .. } | Detection::Hang { .. } => out.crash += 1,
-            Detection::None => {
-                if workload.output_words(&mem) == golden {
-                    out.masked += 1;
-                } else {
-                    out.sdc += 1;
-                }
-            }
-        }
-    }
-    out
+    let campaign =
+        ArchCampaign::prepare(workload, scheme, seed).expect("scheme applies to workload");
+    campaign.run_range(0, u64::from(trials))
 }
 
 #[cfg(test)]
@@ -126,5 +300,30 @@ mod tests {
         assert!(out.sdc > 0, "baseline should corrupt sometimes: {out:?}");
         assert_eq!(out.trap + out.due, 0);
         // Address faults may crash, which still counts as detected.
+    }
+
+    #[test]
+    fn trials_are_pure_in_seed_and_index() {
+        let w = by_name("kmeans").expect("kmeans");
+        let c = ArchCampaign::prepare(&w, Scheme::SwapEcc, 42).expect("prepare");
+        // Splitting the range must tally identically to one pass.
+        let whole = c.run_range(0, 10);
+        let mut split = c.run_range(0, 4);
+        let rest = c.run_range(4, 10);
+        split.trap += rest.trap;
+        split.due += rest.due;
+        split.crash += rest.crash;
+        split.hang += rest.hang;
+        split.masked += rest.masked;
+        split.sdc += rest.sdc;
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn interthread_not_applicable_is_structured() {
+        let w = by_name("matmul").expect("matmul");
+        let err = ArchCampaign::prepare(&w, Scheme::InterThread { checked: true }, 0)
+            .expect_err("matmul is not inter-thread transformable");
+        assert_eq!(err, PrepError::NotApplicable);
     }
 }

@@ -143,6 +143,19 @@ impl UnitCampaignResult {
     }
 }
 
+/// Per-input outcome of a campaign slice: the absolute input index (which
+/// alone determines the input's RNG stream), the unmasked record if one was
+/// found, and the injection attempts charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InputOutcome {
+    /// Absolute index of the input in the full operand stream.
+    pub index: u64,
+    /// The unmasked injection, or `None` when every attempt masked.
+    pub record: Option<InjectionRecord>,
+    /// Injection attempts charged to this input.
+    pub attempts: u64,
+}
+
 /// Per-worker reusable buffers: injection order, the Fisher–Yates undo
 /// journal, and the netlist evaluation scratch. Nothing here is allocated
 /// per input once warmed up.
@@ -177,6 +190,47 @@ pub fn run_unit_campaign(
     inputs: &[[u64; 3]],
     cfg: &CampaignConfig,
 ) -> UnitCampaignResult {
+    let outcomes = run_unit_campaign_slice(unit, inputs, cfg, 0);
+
+    let mut records = Vec::with_capacity(inputs.len());
+    let mut fully_masked = 0u64;
+    let mut attempts = 0u64;
+    for o in outcomes {
+        attempts += o.attempts;
+        match o.record {
+            Some(r) => records.push(r),
+            None => fully_masked += 1,
+        }
+    }
+
+    UnitCampaignResult {
+        unit_label: unit.kind().label(),
+        output_bits: unit.kind().output_bits(),
+        records,
+        fully_masked_inputs: fully_masked,
+        attempts,
+    }
+}
+
+/// Run a contiguous slice of a unit campaign whose first input sits at
+/// absolute index `first_index` of the full operand stream, returning
+/// per-input outcomes sorted by index.
+///
+/// Each input's RNG derives from `(seed, absolute index)` alone, so
+/// processing a stream in arbitrary slices — the resume path of
+/// [`crate::harness::run_unit_campaign_checkpointed`] — yields exactly the
+/// same outcomes as one uninterrupted pass.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+#[must_use]
+pub fn run_unit_campaign_slice(
+    unit: &ArithUnit,
+    inputs: &[[u64; 3]],
+    cfg: &CampaignConfig,
+    first_index: u64,
+) -> Vec<InputOutcome> {
     assert!(
         !inputs.is_empty(),
         "no operand stream for {:?}",
@@ -188,53 +242,51 @@ pub fn run_unit_campaign(
 
     // Per-input deterministic seeding keeps results identical regardless of
     // thread count or input-set size.
-    let run_one = |index: usize,
-                   tuple: &[u64; 3],
-                   ws: &mut WorkerScratch|
-     -> (Option<InjectionRecord>, u64) {
-        let mut rng =
-            SmallRng::seed_from_u64(cfg.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let words = &tuple[..n_inputs];
-        let k = cfg.max_attempts_per_input.min(ws.order.len());
+    let run_one =
+        |index: u64, tuple: &[u64; 3], ws: &mut WorkerScratch| -> (Option<InjectionRecord>, u64) {
+            let mut rng =
+                SmallRng::seed_from_u64(cfg.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let words = &tuple[..n_inputs];
+            let k = cfg.max_attempts_per_input.min(ws.order.len());
 
-        // Partial Fisher–Yates: draw a uniform k-element injection order
-        // with k RNG calls and k swaps, instead of shuffling the entire
-        // node list only to truncate it.
-        ws.swaps.clear();
-        for i in 0..k {
-            #[allow(clippy::cast_possible_truncation)]
-            let j = rng.gen_range(i..ws.order.len()) as u32;
-            ws.order.swap(i, j as usize);
-            ws.swaps.push(j);
-        }
+            // Partial Fisher–Yates: draw a uniform k-element injection order
+            // with k RNG calls and k swaps, instead of shuffling the entire
+            // node list only to truncate it.
+            ws.swaps.clear();
+            for i in 0..k {
+                #[allow(clippy::cast_possible_truncation)]
+                let j = rng.gen_range(i..ws.order.len()) as u32;
+                ws.order.swap(i, j as usize);
+                ws.swaps.push(j);
+            }
 
-        let mut attempts = 0u64;
-        let mut found = None;
-        'scan: for chunk in ws.order[..k].chunks(63) {
-            net.evaluate_batch_with(words, chunk, &mut ws.eval, &mut ws.batch);
-            let golden = ws.batch.golden(0);
-            attempts += chunk.len() as u64;
-            for lane in 0..chunk.len() {
-                let out = ws.batch.output(0, lane);
-                if out != golden {
-                    // Count only up to (and including) the corrupting try.
-                    attempts -= (chunk.len() - lane - 1) as u64;
-                    found = Some(InjectionRecord {
-                        golden,
-                        faulty: out,
-                    });
-                    break 'scan;
+            let mut attempts = 0u64;
+            let mut found = None;
+            'scan: for chunk in ws.order[..k].chunks(63) {
+                net.evaluate_batch_with(words, chunk, &mut ws.eval, &mut ws.batch);
+                let golden = ws.batch.golden(0);
+                attempts += chunk.len() as u64;
+                for lane in 0..chunk.len() {
+                    let out = ws.batch.output(0, lane);
+                    if out != golden {
+                        // Count only up to (and including) the corrupting try.
+                        attempts -= (chunk.len() - lane - 1) as u64;
+                        found = Some(InjectionRecord {
+                            golden,
+                            faulty: out,
+                        });
+                        break 'scan;
+                    }
                 }
             }
-        }
 
-        // Undo the swaps in reverse so `order` is the identity permutation
-        // again — the next input's sample must not depend on this one.
-        for (i, &j) in ws.swaps.iter().enumerate().rev() {
-            ws.order.swap(i, j as usize);
-        }
-        (found, attempts)
-    };
+            // Undo the swaps in reverse so `order` is the identity permutation
+            // again — the next input's sample must not depend on this one.
+            for (i, &j) in ws.swaps.iter().enumerate().rev() {
+                ws.order.swap(i, j as usize);
+            }
+            (found, attempts)
+        };
 
     let threads = cfg
         .threads
@@ -255,12 +307,17 @@ pub fn run_unit_campaign(
                     eval: EvalScratch::new(),
                     batch: BatchResult::default(),
                 };
-                let mut local: Vec<(usize, Option<InjectionRecord>, u64)> = Vec::new();
+                let mut local: Vec<InputOutcome> = Vec::new();
                 loop {
                     let i = next_input.fetch_add(1, Ordering::Relaxed);
                     let Some(tuple) = inputs.get(i) else { break };
-                    let (found, a) = run_one(i, tuple, &mut ws);
-                    local.push((i, found, a));
+                    let index = first_index + i as u64;
+                    let (found, a) = run_one(index, tuple, &mut ws);
+                    local.push(InputOutcome {
+                        index,
+                        record: found,
+                        attempts: a,
+                    });
                 }
                 collected.lock().append(&mut local);
             });
@@ -269,26 +326,8 @@ pub fn run_unit_campaign(
     .expect("injection workers do not panic");
 
     let mut all = collected.into_inner();
-    all.sort_unstable_by_key(|&(i, ..)| i);
-
-    let mut records = Vec::with_capacity(inputs.len());
-    let mut fully_masked = 0u64;
-    let mut attempts = 0u64;
-    for (_, found, a) in all {
-        attempts += a;
-        match found {
-            Some(r) => records.push(r),
-            None => fully_masked += 1,
-        }
-    }
-
-    UnitCampaignResult {
-        unit_label: unit.kind().label(),
-        output_bits: unit.kind().output_bits(),
-        records,
-        fully_masked_inputs: fully_masked,
-        attempts,
-    }
+    all.sort_unstable_by_key(|o| o.index);
+    all
 }
 
 #[cfg(test)]

@@ -1,0 +1,745 @@
+//! Crash containment and checkpoint/resume for injection campaigns.
+//!
+//! Real injection campaigns are huge (§IV runs hundreds of thousands of
+//! trials) and run for hours, so the harness treats the campaign host
+//! itself as unreliable:
+//!
+//! * every work item runs inside [`contain`] — a `catch_unwind` wrapper
+//!   with a bounded, deterministically re-seeded retry — so one pathological
+//!   trial cannot take down the whole campaign;
+//! * items that stay unrecoverable after the retries are appended to a
+//!   structured JSONL **anomaly log** ([`AnomalyLog`]) and the campaign
+//!   moves on;
+//! * progress (tallies + trial cursor) is periodically snapshotted with
+//!   [`write_atomic`] (write-temp-then-rename), so a campaign killed by a
+//!   crash, OOM or SIGKILL resumes from its last checkpoint — and because
+//!   trials are pure functions of `(seed, index)`, the resumed tallies are
+//!   byte-identical to an uninterrupted run.
+//!
+//! Checkpoints and the anomaly log live in the directory named by the
+//! `SWAPCODES_CHECKPOINT_DIR` environment variable (or an explicit
+//! [`CheckpointConfig::dir`]); with no directory configured the harness
+//! still contains panics but keeps no on-disk state. All on-disk formats
+//! are single-line flat JSON written by this module (the workspace vendors
+//! a no-op `serde` stub, so serialization is hand-rolled).
+
+use std::fs;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use swapcodes_core::Scheme;
+use swapcodes_gates::units::ArithUnit;
+use swapcodes_workloads::Workload;
+
+use crate::arch::{ArchCampaign, ArchOutcomes, PrepError, TrialOutcome};
+use crate::gate::{run_unit_campaign_slice, CampaignConfig, InputOutcome, UnitCampaignResult};
+
+/// The `SWAPCODES_FUEL` override: a hard per-trial step budget for fueled
+/// execution (see [`crate::arch::ArchCampaign::fuel`]).
+#[must_use]
+pub fn fuel_from_env() -> Option<u64> {
+    std::env::var("SWAPCODES_FUEL")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&f| f > 0)
+}
+
+/// The `SWAPCODES_CHECKPOINT_DIR` campaign state directory, if set.
+#[must_use]
+pub fn checkpoint_dir_from_env() -> Option<PathBuf> {
+    std::env::var_os("SWAPCODES_CHECKPOINT_DIR")
+        .filter(|p| !p.is_empty())
+        .map(PathBuf::from)
+}
+
+/// Write `contents` to `path` atomically: write and fsync a sibling
+/// temporary file, then rename it over the target. A crash at any point
+/// leaves either the old file or the new one, never a torn mix.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem errors.
+pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Run `item` (called with a retry salt, 0 first) under `catch_unwind`, at
+/// most `max_attempts` times. Returns the first non-panicking result, or
+/// the last panic message once the retry budget is exhausted.
+///
+/// The salt lets deterministic work items re-seed on retry: replaying a
+/// deterministic panic verbatim can never succeed, but a fresh draw for the
+/// same item index usually does — and stays reproducible.
+///
+/// # Errors
+///
+/// Returns the final panic payload (rendered to a string) when every
+/// attempt panicked.
+pub fn contain<T>(max_attempts: u32, mut item: impl FnMut(u32) -> T) -> Result<T, String> {
+    let mut last = String::new();
+    for salt in 0..max_attempts.max(1) {
+        match catch_unwind(AssertUnwindSafe(|| item(salt))) {
+            Ok(v) => return Ok(v),
+            Err(payload) => last = panic_message(payload.as_ref()),
+        }
+    }
+    Err(last)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// File-name-safe slug: lowercase alphanumerics, everything else `-`.
+fn slug(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Flat JSON (the vendored serde is a no-op stub, so this is hand-rolled).
+// ---------------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse one flat JSON object (`{"key":value,...}`) into raw `(key, value)`
+/// string pairs. Values are numbers, `true`/`false`, or strings without
+/// escapes beyond `\"`/`\\` — exactly what this module writes. Returns
+/// `None` on anything malformed (a torn or foreign line).
+fn parse_flat(line: &str) -> Option<Vec<(String, String)>> {
+    let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut fields = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        rest = rest.strip_prefix('"')?;
+        let close = rest.find('"')?;
+        let key = rest[..close].to_owned();
+        rest = rest[close + 1..]
+            .trim_start()
+            .strip_prefix(':')?
+            .trim_start();
+        let value;
+        if let Some(after) = rest.strip_prefix('"') {
+            let mut end = None;
+            let mut prev_backslash = false;
+            for (i, c) in after.char_indices() {
+                if prev_backslash {
+                    prev_backslash = false;
+                } else if c == '\\' {
+                    prev_backslash = true;
+                } else if c == '"' {
+                    end = Some(i);
+                    break;
+                }
+            }
+            let end = end?;
+            value = after[..end].replace("\\\"", "\"").replace("\\\\", "\\");
+            rest = after[end + 1..].trim_start();
+        } else {
+            let end = rest.find(',').unwrap_or(rest.len());
+            value = rest[..end].trim().to_owned();
+            rest = &rest[end..];
+        }
+        fields.push((key, value));
+        rest = rest.trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        } else {
+            break;
+        }
+    }
+    Some(fields)
+}
+
+fn field<'a>(fields: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+fn field_u64(fields: &[(String, String)], key: &str) -> Option<u64> {
+    field(fields, key)?.parse().ok()
+}
+
+// ---------------------------------------------------------------------------
+// Anomaly log
+// ---------------------------------------------------------------------------
+
+/// Append-only JSONL log of unrecoverable work items. Each line is
+/// `{"campaign":"…","item":N,"retries":R,"panic":"…"}`; the campaign keeps
+/// running after logging.
+#[derive(Debug)]
+pub struct AnomalyLog {
+    path: Option<PathBuf>,
+    /// Anomalies recorded through this handle.
+    pub count: u64,
+}
+
+impl AnomalyLog {
+    /// A log writing to `anomalies.jsonl` under `dir` (or a counting-only
+    /// log when no directory is configured).
+    #[must_use]
+    pub fn new(dir: Option<&Path>) -> Self {
+        Self {
+            path: dir.map(|d| d.join("anomalies.jsonl")),
+            count: 0,
+        }
+    }
+
+    /// Record one unrecoverable item. Logging is best-effort: a failed
+    /// append must not kill the campaign the log exists to protect.
+    pub fn record(&mut self, campaign: &str, item: u64, retries: u32, panic_msg: &str) {
+        self.count += 1;
+        let Some(path) = &self.path else { return };
+        let line = format!(
+            "{{\"campaign\":\"{}\",\"item\":{item},\"retries\":{retries},\"panic\":\"{}\"}}\n",
+            json_escape(campaign),
+            json_escape(panic_msg)
+        );
+        let _ = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint configuration
+// ---------------------------------------------------------------------------
+
+/// How a checkpointed campaign persists and contains its work.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Checkpoint/anomaly directory; `None` disables on-disk state (the
+    /// default comes from `SWAPCODES_CHECKPOINT_DIR`).
+    pub dir: Option<PathBuf>,
+    /// Snapshot progress every this many completed items.
+    pub interval: u64,
+    /// Containment attempts per work item (first try + re-seeded retries).
+    pub max_retries: u32,
+    /// Test hook: stop (as if killed) after completing this many items in
+    /// *this* invocation, leaving the checkpoint behind for a resume.
+    pub stop_after: Option<u64>,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        Self {
+            dir: checkpoint_dir_from_env(),
+            interval: 256,
+            max_retries: 3,
+            stop_after: None,
+        }
+    }
+}
+
+/// Progress of a checkpointed campaign invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignRun {
+    /// Tallies over every completed trial (resumed + this invocation).
+    pub outcomes: ArchOutcomes,
+    /// Trials completed so far.
+    pub completed: u64,
+    /// Whether the campaign ran to its trial target (false when the
+    /// `stop_after` hook cut it short).
+    pub finished: bool,
+    /// Unrecoverable items logged during this invocation.
+    pub anomalies: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Architecture-level campaign with checkpointing
+// ---------------------------------------------------------------------------
+
+fn arch_checkpoint_json(
+    workload: &str,
+    scheme: &str,
+    seed: u64,
+    fuel: u64,
+    trials: u64,
+    completed: u64,
+    t: &ArchOutcomes,
+) -> String {
+    format!(
+        "{{\"campaign\":\"arch\",\"workload\":\"{}\",\"scheme\":\"{}\",\"seed\":{seed},\
+         \"fuel\":{fuel},\"trials\":{trials},\"completed\":{completed},\"trap\":{},\
+         \"due\":{},\"crash\":{},\"hang\":{},\"masked\":{},\"sdc\":{}}}",
+        json_escape(workload),
+        json_escape(scheme),
+        t.trap,
+        t.due,
+        t.crash,
+        t.hang,
+        t.masked,
+        t.sdc
+    )
+}
+
+/// Parse an arch checkpoint, returning `(completed, tallies)` only when it
+/// matches this campaign's identity — a stale checkpoint from a different
+/// workload/scheme/seed/fuel/trial-count is ignored, not misapplied.
+fn load_arch_checkpoint(
+    path: &Path,
+    workload: &str,
+    scheme: &str,
+    seed: u64,
+    fuel: u64,
+    trials: u64,
+) -> Option<(u64, ArchOutcomes)> {
+    let text = fs::read_to_string(path).ok()?;
+    let f = parse_flat(&text)?;
+    if field(&f, "campaign")? != "arch"
+        || field(&f, "workload")? != workload
+        || field(&f, "scheme")? != scheme
+        || field_u64(&f, "seed")? != seed
+        || field_u64(&f, "fuel")? != fuel
+        || field_u64(&f, "trials")? != trials
+    {
+        return None;
+    }
+    let completed = field_u64(&f, "completed")?;
+    let tallies = ArchOutcomes {
+        trap: field_u64(&f, "trap")?,
+        due: field_u64(&f, "due")?,
+        crash: field_u64(&f, "crash")?,
+        hang: field_u64(&f, "hang")?,
+        masked: field_u64(&f, "masked")?,
+        sdc: field_u64(&f, "sdc")?,
+    };
+    (completed <= trials && tallies.total() == completed).then_some((completed, tallies))
+}
+
+/// Run (or resume) an architecture-level campaign with panic containment,
+/// anomaly logging and periodic atomic checkpoints.
+///
+/// Because trials are pure in `(seed, index)`, a resumed campaign tallies
+/// byte-identically to an uninterrupted one. Unrecoverable trials are
+/// logged and conservatively counted as `crash`.
+///
+/// # Errors
+///
+/// Propagates [`PrepError`] when the campaign cannot start at all.
+pub fn run_arch_campaign_checkpointed(
+    workload: &Workload,
+    scheme: Scheme,
+    trials: u64,
+    seed: u64,
+    ck: &CheckpointConfig,
+) -> Result<CampaignRun, PrepError> {
+    let campaign = ArchCampaign::prepare(workload, scheme, seed)?;
+    let scheme_label = scheme.label();
+    let name = format!("arch-{}-{}", slug(workload.name), slug(&scheme_label));
+    let ckpt_path = ck.dir.as_ref().map(|d| {
+        let _ = fs::create_dir_all(d);
+        d.join(format!("{name}.ckpt.json"))
+    });
+
+    let (mut completed, mut tallies) = ckpt_path
+        .as_deref()
+        .and_then(|p| {
+            load_arch_checkpoint(p, workload.name, &scheme_label, seed, campaign.fuel, trials)
+        })
+        .unwrap_or((0, ArchOutcomes::default()));
+
+    let mut log = AnomalyLog::new(ck.dir.as_deref());
+    let save = |completed: u64, tallies: &ArchOutcomes| {
+        if let Some(p) = &ckpt_path {
+            let _ = write_atomic(
+                p,
+                &arch_checkpoint_json(
+                    workload.name,
+                    &scheme_label,
+                    seed,
+                    campaign.fuel,
+                    trials,
+                    completed,
+                    tallies,
+                ),
+            );
+        }
+    };
+
+    let mut done_this_run = 0u64;
+    while completed < trials {
+        if ck.stop_after == Some(done_this_run) {
+            save(completed, &tallies);
+            return Ok(CampaignRun {
+                outcomes: tallies,
+                completed,
+                finished: false,
+                anomalies: log.count,
+            });
+        }
+        let outcome = contain(ck.max_retries, |salt| {
+            campaign.run_trial_salted(completed, salt)
+        })
+        .unwrap_or_else(|panic_msg| {
+            log.record(&name, completed, ck.max_retries, &panic_msg);
+            TrialOutcome::Crash
+        });
+        tallies.record(outcome);
+        completed += 1;
+        done_this_run += 1;
+        if ck.interval > 0 && completed % ck.interval == 0 {
+            save(completed, &tallies);
+        }
+    }
+    save(completed, &tallies);
+    Ok(CampaignRun {
+        outcomes: tallies,
+        completed,
+        finished: true,
+        anomalies: log.count,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Gate-level unit campaign with checkpointing
+// ---------------------------------------------------------------------------
+
+/// Progress of a checkpointed unit campaign invocation.
+#[derive(Debug)]
+pub struct UnitCampaignRun {
+    /// The assembled result — present only when the campaign finished.
+    pub result: Option<UnitCampaignResult>,
+    /// Inputs completed so far.
+    pub completed: u64,
+    /// Whether every input was processed.
+    pub finished: bool,
+    /// Unrecoverable items logged during this invocation.
+    pub anomalies: u64,
+}
+
+fn unit_checkpoint_json(unit: &str, seed: u64, inputs: u64, completed: u64) -> String {
+    format!(
+        "{{\"campaign\":\"unit\",\"unit\":\"{}\",\"seed\":{seed},\"inputs\":{inputs},\
+         \"completed\":{completed}}}",
+        json_escape(unit)
+    )
+}
+
+fn outcome_json(o: &InputOutcome) -> String {
+    match o.record {
+        Some(r) => format!(
+            "{{\"i\":{},\"golden\":{},\"faulty\":{},\"attempts\":{}}}",
+            o.index, r.golden, r.faulty, o.attempts
+        ),
+        None => format!(
+            "{{\"i\":{},\"masked\":true,\"attempts\":{}}}",
+            o.index, o.attempts
+        ),
+    }
+}
+
+fn parse_outcome(line: &str) -> Option<InputOutcome> {
+    let f = parse_flat(line)?;
+    let index = field_u64(&f, "i")?;
+    let attempts = field_u64(&f, "attempts")?;
+    let record = if field(&f, "masked") == Some("true") {
+        None
+    } else {
+        Some(crate::gate::InjectionRecord {
+            golden: field_u64(&f, "golden")?,
+            faulty: field_u64(&f, "faulty")?,
+        })
+    };
+    Some(InputOutcome {
+        index,
+        record,
+        attempts,
+    })
+}
+
+/// Load the trusted prefix of a unit campaign's records sidecar: lines with
+/// `i < completed`, deduplicated keep-first (a crash between a sidecar
+/// append and the checkpoint rename leaves untrusted or duplicate lines
+/// behind — they are simply re-run). Returns `None` unless the prefix is
+/// complete, in which case the campaign restarts from scratch.
+fn load_unit_records(path: &Path, completed: u64) -> Option<Vec<InputOutcome>> {
+    let text = fs::read_to_string(path).ok()?;
+    let mut by_index: Vec<Option<InputOutcome>> = std::iter::repeat_with(|| None)
+        .take(usize::try_from(completed).ok()?)
+        .collect();
+    for line in text.lines() {
+        let Some(o) = parse_outcome(line) else {
+            continue;
+        };
+        if o.index < completed {
+            let slot = &mut by_index[usize::try_from(o.index).ok()?];
+            if slot.is_none() {
+                *slot = Some(o);
+            }
+        }
+    }
+    by_index.into_iter().collect()
+}
+
+/// Run (or resume) a gate-level unit campaign with panic containment and
+/// periodic atomic checkpoints. Per-input outcomes stream to a
+/// `unit-<label>.records.jsonl` sidecar; the checkpoint records how many of
+/// those lines are trusted.
+///
+/// Unrecoverable chunks are anomaly-logged and their inputs counted as
+/// fully masked (they produced no record).
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+#[must_use]
+pub fn run_unit_campaign_checkpointed(
+    unit: &ArithUnit,
+    inputs: &[[u64; 3]],
+    cfg: &CampaignConfig,
+    ck: &CheckpointConfig,
+) -> UnitCampaignRun {
+    assert!(
+        !inputs.is_empty(),
+        "no operand stream for {:?}",
+        unit.kind()
+    );
+    let label = unit.kind().label();
+    let name = format!("unit-{}", slug(label));
+    let total = inputs.len() as u64;
+    let paths = ck.dir.as_ref().map(|d| {
+        let _ = fs::create_dir_all(d);
+        (
+            d.join(format!("{name}.ckpt.json")),
+            d.join(format!("{name}.records.jsonl")),
+        )
+    });
+
+    // Resume: trust the checkpoint only when its identity matches and the
+    // sidecar actually contains the full completed prefix.
+    let mut outcomes: Vec<InputOutcome> = Vec::with_capacity(inputs.len());
+    let mut completed = 0u64;
+    if let Some((ckpt, records)) = &paths {
+        let loaded = fs::read_to_string(ckpt)
+            .ok()
+            .and_then(|text| {
+                let f = parse_flat(&text)?;
+                (field(&f, "campaign")? == "unit"
+                    && field(&f, "unit")? == label
+                    && field_u64(&f, "seed")? == cfg.seed
+                    && field_u64(&f, "inputs")? == total)
+                    .then(|| field_u64(&f, "completed"))?
+            })
+            .filter(|&c| c <= total)
+            .and_then(|c| Some((c, load_unit_records(records, c)?)));
+        if let Some((c, recs)) = loaded {
+            completed = c;
+            outcomes = recs;
+        }
+    }
+
+    let mut log = AnomalyLog::new(ck.dir.as_deref());
+    let append_and_checkpoint = |chunk: &[InputOutcome], completed: u64| {
+        if let Some((ckpt, records)) = &paths {
+            let mut lines = String::new();
+            for o in chunk {
+                lines.push_str(&outcome_json(o));
+                lines.push('\n');
+            }
+            let _ = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(records)
+                .and_then(|mut f| {
+                    f.write_all(lines.as_bytes())?;
+                    f.sync_all()
+                });
+            let _ = write_atomic(
+                ckpt,
+                &unit_checkpoint_json(label, cfg.seed, total, completed),
+            );
+        }
+    };
+
+    let chunk_len = if ck.interval > 0 { ck.interval } else { total };
+    let mut done_this_run = 0u64;
+    while completed < total {
+        let remaining_budget = ck
+            .stop_after
+            .map_or(u64::MAX, |s| s.saturating_sub(done_this_run));
+        if remaining_budget == 0 {
+            return UnitCampaignRun {
+                result: None,
+                completed,
+                finished: false,
+                anomalies: log.count,
+            };
+        }
+        let end = (completed + chunk_len.min(remaining_budget)).min(total);
+        let lo = usize::try_from(completed).expect("input index fits usize");
+        let hi = usize::try_from(end).expect("input index fits usize");
+        let chunk = contain(ck.max_retries, |salt| {
+            // Retry re-seeds every input in the chunk deterministically.
+            let salted = CampaignConfig {
+                seed: cfg.seed ^ u64::from(salt).wrapping_mul(0xA076_1D64_78BD_642F),
+                ..*cfg
+            };
+            run_unit_campaign_slice(unit, &inputs[lo..hi], &salted, completed)
+        })
+        .unwrap_or_else(|panic_msg| {
+            log.record(&name, completed, ck.max_retries, &panic_msg);
+            (completed..end)
+                .map(|index| InputOutcome {
+                    index,
+                    record: None,
+                    attempts: 0,
+                })
+                .collect()
+        });
+        append_and_checkpoint(&chunk, end);
+        outcomes.extend(chunk);
+        done_this_run += end - completed;
+        completed = end;
+    }
+
+    let mut records = Vec::with_capacity(outcomes.len());
+    let mut fully_masked = 0u64;
+    let mut attempts = 0u64;
+    for o in &outcomes {
+        attempts += o.attempts;
+        match o.record {
+            Some(r) => records.push(r),
+            None => fully_masked += 1,
+        }
+    }
+    UnitCampaignRun {
+        result: Some(UnitCampaignResult {
+            unit_label: label,
+            output_bits: unit.kind().output_bits(),
+            records,
+            fully_masked_inputs: fully_masked,
+            attempts,
+        }),
+        completed,
+        finished: true,
+        anomalies: log.count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contain_succeeds_after_reseeded_retry() {
+        let out = contain(3, |salt| {
+            assert!(salt >= 2, "flaky below salt 2");
+            salt
+        });
+        assert_eq!(out, Ok(2));
+    }
+
+    #[test]
+    fn contain_reports_last_panic() {
+        let out: Result<(), String> = contain(2, |salt| panic!("boom {salt}"));
+        assert_eq!(out, Err("boom 1".to_owned()));
+    }
+
+    #[test]
+    fn flat_json_roundtrips() {
+        let t = ArchOutcomes {
+            trap: 1,
+            due: 2,
+            crash: 3,
+            hang: 4,
+            masked: 5,
+            sdc: 6,
+        };
+        let line = arch_checkpoint_json("bfs", "Swap-ECC", 9, 1000, 40, 21, &t);
+        let f = parse_flat(&line).expect("parses");
+        assert_eq!(field(&f, "workload"), Some("bfs"));
+        assert_eq!(field(&f, "scheme"), Some("Swap-ECC"));
+        assert_eq!(field_u64(&f, "completed"), Some(21));
+        assert_eq!(field_u64(&f, "hang"), Some(4));
+    }
+
+    #[test]
+    fn parse_flat_rejects_torn_lines() {
+        assert!(parse_flat("{\"a\":1").is_none());
+        assert!(parse_flat("").is_none());
+        assert!(parse_flat("{\"a\"}").is_none());
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_control() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let f = parse_flat("{\"panic\":\"index \\\"x\\\" out of range\"}").expect("parses");
+        assert_eq!(field(&f, "panic"), Some("index \"x\" out of range"));
+    }
+
+    #[test]
+    fn outcome_lines_roundtrip() {
+        let hit = InputOutcome {
+            index: 7,
+            record: Some(crate::gate::InjectionRecord {
+                golden: 10,
+                faulty: 14,
+            }),
+            attempts: 63,
+        };
+        let masked = InputOutcome {
+            index: 8,
+            record: None,
+            attempts: 4096,
+        };
+        for o in [hit, masked] {
+            let back = parse_outcome(&outcome_json(&o)).expect("roundtrip");
+            assert_eq!(back.index, o.index);
+            assert_eq!(back.record, o.record);
+            assert_eq!(back.attempts, o.attempts);
+        }
+    }
+
+    #[test]
+    fn write_atomic_replaces_contents() {
+        let path = std::env::temp_dir().join(format!(
+            "swapcodes-harness-atomic-{}.json",
+            std::process::id()
+        ));
+        write_atomic(&path, "first").expect("write");
+        write_atomic(&path, "second").expect("overwrite");
+        assert_eq!(fs::read_to_string(&path).expect("read"), "second");
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -9,7 +9,10 @@
 //! * [`detection`] — evaluate each recorded error against every register-file
 //!   code through the swapped-codeword predicates (Fig. 11's SDC risk);
 //! * [`arch`] — whole-program injection: corrupt one dynamic instruction of
-//!   a protected workload and observe trap/DUE/masked/SDC at the output;
+//!   a protected workload and observe trap/DUE/crash/hang/masked/SDC at the
+//!   output, under a fueled executor that cannot hang the host;
+//! * [`harness`] — panic containment, anomaly logging and crash-safe
+//!   checkpoint/resume around both campaign drivers;
 //! * [`stats`] — Wilson 95% binomial confidence intervals (the error bars of
 //!   Figs. 10–11);
 //! * [`trace`] — operand capture from the workload suite, standing in for
@@ -21,13 +24,19 @@
 pub mod arch;
 pub mod detection;
 pub mod gate;
+pub mod harness;
 pub mod stats;
 pub mod trace;
 
-pub use arch::{arch_campaign, ArchOutcomes};
+pub use arch::{arch_campaign, ArchCampaign, ArchOutcomes, PrepError, TrialOutcome};
 pub use detection::{sdc_risk, DetectionTally};
 pub use gate::{
-    default_thread_count, run_unit_campaign, CampaignConfig, PatternCounts, UnitCampaignResult,
+    default_thread_count, run_unit_campaign, run_unit_campaign_slice, CampaignConfig, InputOutcome,
+    PatternCounts, UnitCampaignResult,
+};
+pub use harness::{
+    checkpoint_dir_from_env, contain, fuel_from_env, run_arch_campaign_checkpointed,
+    run_unit_campaign_checkpointed, AnomalyLog, CampaignRun, CheckpointConfig, UnitCampaignRun,
 };
 pub use stats::Proportion;
 pub use trace::workload_operand_streams;

@@ -12,20 +12,27 @@ pub struct Proportion {
 }
 
 impl Proportion {
-    /// Build a proportion.
+    /// Build a proportion. `successes` is clamped to `trials`: campaign
+    /// tallies are computed by subtraction in places, and an off-by-one
+    /// there must degrade to a saturated estimate, not propagate `p > 1`
+    /// into the Wilson square root (which would go NaN in release builds
+    /// where the debug assertion is compiled out).
     #[must_use]
     pub fn new(successes: u64, trials: u64) -> Self {
-        debug_assert!(successes <= trials);
-        Self { successes, trials }
+        Self {
+            successes: successes.min(trials),
+            trials,
+        }
     }
 
-    /// The point estimate (0 when there are no trials).
+    /// The point estimate (0 when there are no trials). Saturates at 1 for
+    /// a hand-built proportion whose `successes` exceed `trials`.
     #[must_use]
     pub fn point(&self) -> f64 {
         if self.trials == 0 {
             0.0
         } else {
-            self.successes as f64 / self.trials as f64
+            self.successes.min(self.trials) as f64 / self.trials as f64
         }
     }
 
@@ -33,6 +40,8 @@ impl Proportion {
     ///
     /// Wilson is well-behaved at the extremes (0 or all successes), which
     /// matters here because several codes reach 0% SDC in a finite sample.
+    /// With no trials at all the interval is the vacuous `(0, 1)` rather
+    /// than a division by zero.
     #[must_use]
     pub fn wilson95(&self) -> (f64, f64) {
         if self.trials == 0 {
@@ -54,6 +63,9 @@ impl Proportion {
 
 impl std::fmt::Display for Proportion {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.trials == 0 {
+            return write!(f, "n/a (0 trials)");
+        }
         let (lo, hi) = self.wilson95();
         write!(
             f,
@@ -100,5 +112,42 @@ mod tests {
         let wide = Proportion::new(5, 100).wilson95();
         let narrow = Proportion::new(500, 10_000).wilson95();
         assert!((narrow.1 - narrow.0) < (wide.1 - wide.0));
+    }
+
+    #[test]
+    fn zero_trials_is_finite_everywhere() {
+        let p = Proportion::new(0, 0);
+        assert_eq!(p.point(), 0.0);
+        let (lo, hi) = p.wilson95();
+        assert_eq!((lo, hi), (0.0, 1.0));
+        assert!(lo.is_finite() && hi.is_finite());
+        assert_eq!(p.to_string(), "n/a (0 trials)");
+    }
+
+    #[test]
+    fn all_successes_is_finite_and_pinned_to_one() {
+        for n in [1u64, 2, 100, 1_000_000] {
+            let p = Proportion::new(n, n);
+            assert_eq!(p.point(), 1.0, "n={n}");
+            let (lo, hi) = p.wilson95();
+            assert!(lo.is_finite() && hi.is_finite(), "n={n}");
+            assert!(lo > 0.0 && lo < 1.0, "lower bound strictly inside: n={n}");
+            assert_eq!(hi, 1.0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn overshoot_saturates_instead_of_going_nan() {
+        // Release builds compile out the debug assertion; the estimate must
+        // stay well-defined anyway.
+        let p = Proportion {
+            successes: 7,
+            trials: 5,
+        };
+        let via_new = Proportion::new(u64::MAX, 5);
+        assert_eq!(via_new.successes, 5);
+        let (lo, hi) = p.wilson95();
+        assert!(lo.is_finite() && hi.is_finite());
+        assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
     }
 }

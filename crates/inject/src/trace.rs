@@ -33,7 +33,9 @@ pub fn workload_operand_streams(
                 ..ExecConfig::default()
             },
         };
-        let out = exec.run(&w.kernel, w.launch, &mut mem);
+        let out = exec
+            .run(&w.kernel, w.launch, &mut mem)
+            .expect("operand tracing runs fault-free");
         merged.merge(&out.operands);
     }
     let map_unit = |t: TracedUnit| match t {

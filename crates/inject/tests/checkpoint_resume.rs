@@ -1,0 +1,172 @@
+//! Kill-and-resume integration tests: a campaign interrupted mid-flight
+//! (modeling a crash or SIGKILL between checkpoints) must resume from its
+//! on-disk checkpoint and finish with tallies identical to an uninterrupted
+//! run of the same campaign.
+
+use std::path::PathBuf;
+
+use swapcodes_core::Scheme;
+use swapcodes_gates::units::fxp_add32;
+use swapcodes_inject::{
+    run_arch_campaign_checkpointed, run_unit_campaign, run_unit_campaign_checkpointed,
+    CampaignConfig, CheckpointConfig,
+};
+use swapcodes_workloads::by_name;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("swapcodes-ckpt-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn arch_campaign_resumes_byte_identically_after_interruption() {
+    let w = by_name("kmeans").expect("kmeans workload");
+    let trials = 20u64;
+    let seed = 0xC0FF_EE00;
+
+    // Reference: one uninterrupted run with no checkpoint directory at all.
+    let reference = run_arch_campaign_checkpointed(
+        &w,
+        Scheme::SwapEcc,
+        trials,
+        seed,
+        &CheckpointConfig {
+            dir: None,
+            ..CheckpointConfig::default()
+        },
+    )
+    .expect("swap-ecc applies to kmeans");
+    assert!(reference.finished);
+    assert_eq!(reference.completed, trials);
+
+    // Interrupted twice, resumed from disk each time.
+    let dir = scratch_dir("arch");
+    let ck = |stop_after: Option<u64>| CheckpointConfig {
+        dir: Some(dir.clone()),
+        interval: 4,
+        stop_after,
+        ..CheckpointConfig::default()
+    };
+    let first = run_arch_campaign_checkpointed(&w, Scheme::SwapEcc, trials, seed, &ck(Some(7)))
+        .expect("prepare");
+    assert!(!first.finished, "stop_after must interrupt the run");
+    assert_eq!(first.completed, 7);
+
+    let second = run_arch_campaign_checkpointed(&w, Scheme::SwapEcc, trials, seed, &ck(Some(9)))
+        .expect("prepare");
+    assert!(!second.finished);
+    assert_eq!(second.completed, 16, "second run resumes at trial 7");
+
+    let last = run_arch_campaign_checkpointed(&w, Scheme::SwapEcc, trials, seed, &ck(None))
+        .expect("prepare");
+    assert!(last.finished);
+    assert_eq!(last.completed, trials);
+    assert_eq!(
+        last.outcomes, reference.outcomes,
+        "resumed tallies diverge from the uninterrupted run"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn arch_checkpoint_for_other_campaign_is_ignored() {
+    let w = by_name("kmeans").expect("kmeans workload");
+    let dir = scratch_dir("arch-stale");
+    let ck = |stop_after: Option<u64>| CheckpointConfig {
+        dir: Some(dir.clone()),
+        interval: 2,
+        stop_after,
+        ..CheckpointConfig::default()
+    };
+    // Leave a half-finished checkpoint behind under seed A...
+    let partial =
+        run_arch_campaign_checkpointed(&w, Scheme::SwDup, 12, 1, &ck(Some(5))).expect("prepare");
+    assert!(!partial.finished);
+    // ...then run the same workload/scheme under seed B: the stale file must
+    // not be trusted, so the campaign starts from scratch and matches a
+    // checkpoint-free run.
+    let resumed =
+        run_arch_campaign_checkpointed(&w, Scheme::SwDup, 12, 2, &ck(None)).expect("prepare");
+    let reference = run_arch_campaign_checkpointed(
+        &w,
+        Scheme::SwDup,
+        12,
+        2,
+        &CheckpointConfig {
+            dir: None,
+            ..CheckpointConfig::default()
+        },
+    )
+    .expect("prepare");
+    assert!(resumed.finished);
+    assert_eq!(resumed.outcomes, reference.outcomes);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unit_campaign_resumes_byte_identically_after_interruption() {
+    let unit = fxp_add32();
+    let inputs: Vec<[u64; 3]> = (0..40)
+        .map(|i| [i * 0x1234_5678 % 0xFFFF_FFFF, i * 999 + 7, 0])
+        .collect();
+    let cfg = CampaignConfig::default();
+
+    // Reference semantics: the plain (non-checkpointed) campaign driver.
+    let reference = run_unit_campaign(&unit, &inputs, &cfg);
+
+    let dir = scratch_dir("unit");
+    let ck = |stop_after: Option<u64>| CheckpointConfig {
+        dir: Some(dir.clone()),
+        interval: 8,
+        stop_after,
+        ..CheckpointConfig::default()
+    };
+    let first = run_unit_campaign_checkpointed(&unit, &inputs, &cfg, &ck(Some(13)));
+    assert!(!first.finished);
+    assert!(first.result.is_none(), "interrupted runs carry no result");
+    assert_eq!(first.completed, 13);
+
+    let second = run_unit_campaign_checkpointed(&unit, &inputs, &cfg, &ck(None));
+    assert!(second.finished);
+    assert_eq!(second.completed, inputs.len() as u64);
+    let resumed = second.result.expect("finished runs carry a result");
+    assert_eq!(resumed.records, reference.records);
+    assert_eq!(resumed.fully_masked_inputs, reference.fully_masked_inputs);
+    assert_eq!(resumed.attempts, reference.attempts);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn default_config_reads_checkpoint_dir_from_env() {
+    // Safe against the other tests here: they all set `dir` explicitly, so
+    // a concurrent default() call never reaches their checkpoint paths.
+    std::env::set_var("SWAPCODES_CHECKPOINT_DIR", "/tmp/swapcodes-env-probe");
+    let picked = CheckpointConfig::default().dir;
+    std::env::remove_var("SWAPCODES_CHECKPOINT_DIR");
+    assert_eq!(picked, Some(PathBuf::from("/tmp/swapcodes-env-probe")));
+}
+
+#[test]
+fn unit_campaign_without_checkpoint_dir_matches_plain_driver() {
+    let unit = fxp_add32();
+    let inputs: Vec<[u64; 3]> = (0..10).map(|i| [i * 77 + 5, i * 13 + 1, 0]).collect();
+    let cfg = CampaignConfig::default();
+    let plain = run_unit_campaign(&unit, &inputs, &cfg);
+    let run = run_unit_campaign_checkpointed(
+        &unit,
+        &inputs,
+        &cfg,
+        &CheckpointConfig {
+            dir: None,
+            ..CheckpointConfig::default()
+        },
+    );
+    assert!(run.finished);
+    let result = run.result.expect("result");
+    assert_eq!(result.records, plain.records);
+    assert_eq!(result.attempts, plain.attempts);
+}

@@ -58,8 +58,15 @@ pub struct ExecConfig {
     pub trace_operands: bool,
     /// Cap on captured operand tuples per unit.
     pub operand_cap: usize,
-    /// Hard cap on executed dynamic warp-instructions.
+    /// Soft cap on executed dynamic warp-instructions: the run stops and is
+    /// flagged `truncated` (used to bound trace capture, mirroring the
+    /// paper's "halt after 100,000 instructions").
     pub max_dynamic: u64,
+    /// Hard step budget ("fuel"): exceeding it aborts the run with
+    /// [`ExecError::Hang`] — the simulator's driver-watchdog timeout.
+    /// Injection campaigns set this so a fault that corrupts a loop bound
+    /// or branch predicate cannot spin the host forever.
+    pub fuel: Option<u64>,
     /// Execute only the first `n` CTAs (e.g. one occupancy wave).
     pub cta_limit: Option<u32>,
 }
@@ -73,6 +80,7 @@ impl Default for ExecConfig {
             trace_operands: false,
             operand_cap: 10_000,
             max_dynamic: 80_000_000,
+            fuel: None,
             cta_limit: None,
         }
     }
@@ -133,6 +141,65 @@ pub enum Detection {
     },
 }
 
+/// Why a (fueled) execution could not run to completion.
+///
+/// These are *host-side* structured errors — conditions under which the
+/// simulator itself must give up — as opposed to [`Detection`], which models
+/// what the simulated GPU's protection hardware observes. Injection
+/// campaigns map these into outcome buckets (a hung kernel is a
+/// timeout-detected DUE) instead of panicking or looping forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecError {
+    /// The step budget ([`ExecConfig::fuel`]) was exhausted: the kernel is
+    /// treated as hung and killed by the driver watchdog.
+    Hang {
+        /// Dynamic warp-instructions executed before the budget ran out.
+        steps: u64,
+    },
+    /// A *fault-free* run accessed memory out of bounds or misaligned — a
+    /// workload or transform bug surfaced structurally. (Under fault
+    /// injection the same violation is modeled as a precise memory trap,
+    /// [`Detection::MemFault`], not a host error.)
+    OutOfBoundsAccess {
+        /// Faulting byte address.
+        addr: u32,
+        /// Dynamic warp-instruction index of the faulting access.
+        at: u64,
+    },
+    /// The kernel or launch is malformed (e.g. it cannot fit on the SM at
+    /// all), so no execution is possible.
+    InvalidOp {
+        /// Human-readable reason.
+        what: &'static str,
+    },
+    /// The executor's internal watchdog fired: live warps are blocked with
+    /// no forward progress possible (scheduler deadlock).
+    Trap {
+        /// Dynamic warp-instruction index at which progress stopped.
+        at: u64,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Hang { steps } => {
+                write!(f, "hang: step budget exhausted after {steps} instructions")
+            }
+            Self::OutOfBoundsAccess { addr, at } => {
+                write!(
+                    f,
+                    "out-of-bounds access at address {addr:#x} (instruction {at})"
+                )
+            }
+            Self::InvalidOp { what } => write!(f, "invalid kernel/launch: {what}"),
+            Self::Trap { at } => write!(f, "deadlock trap at instruction {at}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
 /// Result of a functional execution.
 #[derive(Debug)]
 pub struct ExecOutcome {
@@ -170,11 +237,20 @@ impl Executor {
 
     /// Run `kernel` over `launch`, mutating `mem` in place.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on malformed kernels (out-of-range registers, unaligned or
-    /// out-of-bounds memory accesses).
-    pub fn run(&self, kernel: &Kernel, launch: Launch, mem: &mut GlobalMemory) -> ExecOutcome {
+    /// Returns a structured [`ExecError`] instead of panicking or looping
+    /// forever: fuel exhaustion ([`ExecError::Hang`]), an out-of-bounds
+    /// access on a fault-free run ([`ExecError::OutOfBoundsAccess`]), or a
+    /// scheduler deadlock ([`ExecError::Trap`]). Under fault injection,
+    /// memory violations surface as [`Detection::MemFault`] in the `Ok`
+    /// outcome rather than as errors.
+    pub fn run(
+        &self,
+        kernel: &Kernel,
+        launch: Launch,
+        mem: &mut GlobalMemory,
+    ) -> Result<ExecOutcome, ExecError> {
         let regs = kernel.register_count().max(1);
         let mut r = Runner {
             kernel,
@@ -186,6 +262,7 @@ impl Executor {
             corrected: 0,
             dyn_count: 0,
             truncated: false,
+            error: None,
             traces: Vec::new(),
             profile: ProfileCounts::default(),
             operands: OperandTrace::with_cap(self.config.operand_cap),
@@ -194,7 +271,10 @@ impl Executor {
             pending_due: None,
         };
         r.run();
-        ExecOutcome {
+        if let Some(e) = r.error {
+            return Err(e);
+        }
+        Ok(ExecOutcome {
             detection: r.detection,
             corrected: r.corrected,
             dynamic_instructions: r.dyn_count,
@@ -203,7 +283,7 @@ impl Executor {
             profile: r.profile,
             operands: r.operands,
             faults_applied: r.faults_applied,
-        }
+        })
     }
 }
 
@@ -238,6 +318,7 @@ struct Runner<'a> {
     corrected: u64,
     dyn_count: u64,
     truncated: bool,
+    error: Option<ExecError>,
     traces: Vec<WarpTrace>,
     profile: ProfileCounts,
     operands: OperandTrace,
@@ -247,10 +328,24 @@ struct Runner<'a> {
 }
 
 impl Runner<'_> {
-    fn mem_fault(&mut self) {
-        if self.detection == Detection::None {
-            self.detection = Detection::MemFault { at: self.dyn_count };
+    /// A memory violation: under fault injection this is the GPU's precise
+    /// memory-protection trap (a detectable crash); on a fault-free run it
+    /// is a workload bug and becomes a structured host error.
+    fn mem_fault(&mut self, addr: u32) {
+        if self.cfg.fault.is_some() {
+            if self.detection == Detection::None {
+                self.detection = Detection::MemFault { at: self.dyn_count };
+            }
+        } else if self.error.is_none() {
+            self.error = Some(ExecError::OutOfBoundsAccess {
+                addr,
+                at: self.dyn_count,
+            });
         }
+    }
+
+    fn halted(&self) -> bool {
+        self.detection != Detection::None || self.truncated || self.error.is_some()
     }
 
     fn run(&mut self) {
@@ -295,7 +390,7 @@ impl Runner<'_> {
                         }
                         step(self, w, &mut shared);
                         progressed = true;
-                        if self.detection != Detection::None || self.truncated {
+                        if self.halted() {
                             break 'grid;
                         }
                     }
@@ -311,7 +406,13 @@ impl Runner<'_> {
                 if warps.iter().all(Warp::done) {
                     break;
                 }
-                assert!(progressed, "deadlock: warps blocked without progress");
+                if !progressed {
+                    // Live warps blocked with no release possible: the
+                    // internal watchdog turns the deadlock into an error
+                    // instead of asserting the host process away.
+                    self.error = Some(ExecError::Trap { at: self.dyn_count });
+                    break 'grid;
+                }
             }
 
             if self.cfg.collect_trace {
@@ -367,6 +468,13 @@ fn step(r: &mut Runner<'_>, w: &mut Warp, shared: &mut SharedMemory) {
     r.dyn_count += 1;
     if r.dyn_count >= r.cfg.max_dynamic {
         r.truncated = true;
+    }
+    if let Some(fuel) = r.cfg.fuel {
+        if r.dyn_count > fuel {
+            // Budget exhausted: the kernel is hung (driver-watchdog kill).
+            r.error = Some(ExecError::Hang { steps: r.dyn_count });
+            return;
+        }
     }
     r.profile.record(&instr);
 
@@ -886,7 +994,7 @@ fn exec_op(
                     MemSpace::Shared => shared.try_read(base),
                 };
                 let Some(lo) = lo else {
-                    r.mem_fault();
+                    r.mem_fault(base);
                     break;
                 };
                 write_result(w, instr, lane, d, lo, lo);
@@ -896,7 +1004,7 @@ fn exec_op(
                         MemSpace::Shared => shared.try_read(base.wrapping_add(4)),
                     };
                     let Some(hi) = hi else {
-                        r.mem_fault();
+                        r.mem_fault(base.wrapping_add(4));
                         break;
                     };
                     write_result(w, instr, lane, d.pair_hi(), hi, hi);
@@ -933,7 +1041,7 @@ fn exec_op(
                     MemSpace::Shared => shared.try_write(base, lo),
                 };
                 if !ok {
-                    r.mem_fault();
+                    r.mem_fault(base);
                     break;
                 }
                 if width == MemWidth::W64 {
@@ -943,7 +1051,7 @@ fn exec_op(
                         MemSpace::Shared => shared.try_write(base.wrapping_add(4), hi),
                     };
                     if !ok {
-                        r.mem_fault();
+                        r.mem_fault(base.wrapping_add(4));
                         break;
                     }
                 }
@@ -963,7 +1071,7 @@ fn exec_op(
                 let base = rd(r, w, lane, addr).wrapping_add(offset as u32);
                 let val = rd(r, w, lane, v);
                 if r.mem.try_atomic_add(base, val).is_none() {
-                    r.mem_fault();
+                    r.mem_fault(base);
                     break;
                 }
                 count += 1;

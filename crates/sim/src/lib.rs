@@ -34,7 +34,7 @@ pub mod profiler;
 pub mod regfile;
 pub mod timing;
 
-pub use exec::{ExecOutcome, Executor, Launch, TraceEntry, WarpTrace};
+pub use exec::{ExecError, ExecOutcome, Executor, Launch, TraceEntry, WarpTrace};
 pub use fault::{FaultSpec, FaultTarget};
 pub use memory::{GlobalMemory, SharedMemory};
 pub use occupancy::{occupancy, GpuConfig, Occupancy};

@@ -149,7 +149,7 @@ mod tests {
 
         let run = |k: &Kernel| {
             let mut mem = GlobalMemory::new(64);
-            let timing = simulate_kernel(k, launch, &mut mem, &cfg);
+            let timing = simulate_kernel(k, launch, &mut mem, &cfg).expect("timing");
             let exec = Executor {
                 config: ExecConfig {
                     collect_trace: true,
@@ -158,7 +158,7 @@ mod tests {
                 },
             };
             let mut mem2 = GlobalMemory::new(64);
-            let out = exec.run(k, launch, &mut mem2);
+            let out = exec.run(k, launch, &mut mem2).expect("clean run");
             estimate(&model, k, &out.traces, &timing)
         };
         let e_small = run(&small);

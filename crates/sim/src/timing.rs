@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 use swapcodes_isa::{FuncUnit, Kernel, Op};
 
-use crate::exec::{ExecConfig, Executor, Launch, WarpTrace};
+use crate::exec::{ExecConfig, ExecError, Executor, Launch, WarpTrace};
 use crate::memory::GlobalMemory;
 use crate::occupancy::{occupancy, GpuConfig, Occupancy};
 use crate::regfile::Protection;
@@ -117,17 +117,18 @@ impl KernelTiming {
 /// (capturing traces), then cycle-level replay, then extrapolation over the
 /// full grid.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the kernel cannot fit on the SM at all, or on malformed
-/// kernels.
-#[must_use]
+/// Returns [`ExecError::InvalidOp`] when the kernel cannot fit on the SM at
+/// all, [`ExecError::Hang`] when the replay exceeds its cycle budget
+/// ([`TimingConfig::max_cycles`]), and propagates any functional-execution
+/// error.
 pub fn simulate_kernel(
     kernel: &Kernel,
     launch: Launch,
     mem: &mut GlobalMemory,
     cfg: &TimingConfig,
-) -> KernelTiming {
+) -> Result<KernelTiming, ExecError> {
     simulate_with(kernel, launch, mem, cfg, replay_wave)
 }
 
@@ -135,30 +136,37 @@ pub fn simulate_kernel(
 /// perf-baseline reference: same scheduling semantics as [`simulate_kernel`]
 /// (asserted by `reference_replay_matches_optimized`), but rebuilding its
 /// working sets from scratch every cycle. Not part of the public API.
+///
+/// # Errors
+///
+/// Same contract as [`simulate_kernel`].
 #[doc(hidden)]
-#[must_use]
 pub fn simulate_kernel_reference(
     kernel: &Kernel,
     launch: Launch,
     mem: &mut GlobalMemory,
     cfg: &TimingConfig,
-) -> KernelTiming {
+) -> Result<KernelTiming, ExecError> {
     simulate_with(kernel, launch, mem, cfg, replay_wave_reference)
 }
+
+/// Signature shared by the optimized and reference wave-replay backends.
+type ReplayFn = fn(&Kernel, &[WarpTrace], &TimingConfig) -> Result<(u64, WaveStats), ExecError>;
 
 fn simulate_with(
     kernel: &Kernel,
     launch: Launch,
     mem: &mut GlobalMemory,
     cfg: &TimingConfig,
-    replay: fn(&Kernel, &[WarpTrace], &TimingConfig) -> (u64, WaveStats),
-) -> KernelTiming {
+    replay: ReplayFn,
+) -> Result<KernelTiming, ExecError> {
     let regs = kernel.register_count().max(1);
     let occ = occupancy(&cfg.gpu, regs, launch.threads_per_cta, launch.shared_words);
-    assert!(
-        occ.ctas > 0,
-        "kernel with {regs} regs/thread cannot fit on the SM"
-    );
+    if occ.ctas == 0 {
+        return Err(ExecError::InvalidOp {
+            what: "kernel cannot fit on the SM (zero-CTA occupancy)",
+        });
+    }
     let wave_ctas = occ.ctas.min(launch.ctas);
 
     let exec = Executor {
@@ -169,8 +177,8 @@ fn simulate_with(
             ..ExecConfig::default()
         },
     };
-    let out = exec.run(kernel, launch, mem);
-    let (wave_cycles, stats) = replay(kernel, &out.traces, cfg);
+    let out = exec.run(kernel, launch, mem)?;
+    let (wave_cycles, stats) = replay(kernel, &out.traces, cfg)?;
 
     // The timing model simulates one SM and scales the simulated wave over
     // the grid fractionally: grids are assumed large enough (or the device
@@ -180,7 +188,7 @@ fn simulate_with(
     let waves = (f64::from(launch.ctas) / ctas_per_device_wave).max(1.0);
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let cycles = (wave_cycles as f64 * waves).round() as u64;
-    KernelTiming {
+    Ok(KernelTiming {
         cycles,
         wave_cycles,
         waves: waves.ceil() as u64,
@@ -188,7 +196,7 @@ fn simulate_with(
         issued: out.traces.iter().map(|t| t.entries.len() as u64).sum(),
         dynamic_instructions: out.dynamic_instructions,
         stats,
-    }
+    })
 }
 
 struct TWarp<'a> {
@@ -209,10 +217,14 @@ impl TWarp<'_> {
 
 /// Replay one wave of traces on the SM model, returning the cycle count.
 #[allow(clippy::too_many_lines)]
-fn replay_wave(kernel: &Kernel, traces: &[WarpTrace], cfg: &TimingConfig) -> (u64, WaveStats) {
+fn replay_wave(
+    kernel: &Kernel,
+    traces: &[WarpTrace],
+    cfg: &TimingConfig,
+) -> Result<(u64, WaveStats), ExecError> {
     let mut stats = WaveStats::default();
     if traces.is_empty() {
-        return (0, stats);
+        return Ok((0, stats));
     }
     let regs = kernel.register_count().max(1) as usize;
     let mut warps: Vec<TWarp<'_>> = traces
@@ -275,7 +287,9 @@ fn replay_wave(kernel: &Kernel, traces: &[WarpTrace], cfg: &TimingConfig) -> (u6
         if warps.iter().all(TWarp::done) {
             break;
         }
-        assert!(cycle < cfg.max_cycles, "timing wave exceeded cycle cap");
+        if cycle >= cfg.max_cycles {
+            return Err(ExecError::Hang { steps: cycle });
+        }
 
         // Barrier release: per CTA, all unfinished warps waiting.
         if waiting_count > 0 {
@@ -413,7 +427,7 @@ fn replay_wave(kernel: &Kernel, traces: &[WarpTrace], cfg: &TimingConfig) -> (u6
             cycle += 1;
         }
     }
-    (cycle, stats)
+    Ok((cycle, stats))
 }
 
 /// The seed-revision replay loop, kept bit-for-bit: allocates the CTA
@@ -426,10 +440,10 @@ fn replay_wave_reference(
     kernel: &Kernel,
     traces: &[WarpTrace],
     cfg: &TimingConfig,
-) -> (u64, WaveStats) {
+) -> Result<(u64, WaveStats), ExecError> {
     let mut stats = WaveStats::default();
     if traces.is_empty() {
-        return (0, stats);
+        return Ok((0, stats));
     }
     let regs = kernel.register_count().max(1) as usize;
     let mut warps: Vec<TWarp<'_>> = traces
@@ -463,7 +477,9 @@ fn replay_wave_reference(
         if warps.iter().all(TWarp::done) {
             break;
         }
-        assert!(cycle < cfg.max_cycles, "timing wave exceeded cycle cap");
+        if cycle >= cfg.max_cycles {
+            return Err(ExecError::Hang { steps: cycle });
+        }
 
         // Barrier release: per CTA, all unfinished warps waiting.
         let ctas: Vec<u32> = {
@@ -598,7 +614,7 @@ fn replay_wave_reference(
             cycle += 1;
         }
     }
-    (cycle, stats)
+    Ok((cycle, stats))
 }
 
 #[cfg(test)]
@@ -623,8 +639,10 @@ mod tests {
     fn more_work_takes_more_cycles() {
         let cfg = TimingConfig::default();
         let mut mem = GlobalMemory::new(64);
-        let small = simulate_kernel(&trivial_kernel(16), Launch::grid(8, 128), &mut mem, &cfg);
-        let big = simulate_kernel(&trivial_kernel(160), Launch::grid(8, 128), &mut mem, &cfg);
+        let small = simulate_kernel(&trivial_kernel(16), Launch::grid(8, 128), &mut mem, &cfg)
+            .expect("timing");
+        let big = simulate_kernel(&trivial_kernel(160), Launch::grid(8, 128), &mut mem, &cfg)
+            .expect("timing");
         assert!(big.cycles > small.cycles, "{small:?} vs {big:?}");
     }
 
@@ -633,8 +651,8 @@ mod tests {
         let cfg = TimingConfig::default();
         let mut mem = GlobalMemory::new(64);
         let k = trivial_kernel(32);
-        let one = simulate_kernel(&k, Launch::grid(56, 256), &mut mem, &cfg);
-        let many = simulate_kernel(&k, Launch::grid(56 * 32, 256), &mut mem, &cfg);
+        let one = simulate_kernel(&k, Launch::grid(56, 256), &mut mem, &cfg).expect("timing");
+        let many = simulate_kernel(&k, Launch::grid(56 * 32, 256), &mut mem, &cfg).expect("timing");
         assert!(many.waves > one.waves);
         assert!(many.cycles >= one.cycles * 2);
     }
@@ -653,8 +671,10 @@ mod tests {
             });
         }
         k.push(Op::Exit);
-        let chain = simulate_kernel(&k.finish(), Launch::grid(1, 32), &mut mem, &cfg);
-        let indep = simulate_kernel(&trivial_kernel(64), Launch::grid(1, 32), &mut mem, &cfg);
+        let chain =
+            simulate_kernel(&k.finish(), Launch::grid(1, 32), &mut mem, &cfg).expect("timing");
+        let indep = simulate_kernel(&trivial_kernel(64), Launch::grid(1, 32), &mut mem, &cfg)
+            .expect("timing");
         assert!(chain.cycles > indep.cycles, "{chain:?} vs {indep:?}");
     }
 }
@@ -694,7 +714,8 @@ mod stats_tests {
         let kernel = k.finish();
         let cfg = TimingConfig::default();
         let mut mem = GlobalMemory::new(4096);
-        let t = simulate_kernel(&kernel, crate::exec::Launch::grid(2, 64), &mut mem, &cfg);
+        let t = simulate_kernel(&kernel, crate::exec::Launch::grid(2, 64), &mut mem, &cfg)
+            .expect("timing");
         let total: u64 = t.stats.issued_per_fu.iter().sum();
         assert_eq!(total, t.issued, "per-FU counts must sum to issued");
         assert!(t.stats.issued_per_fu[1] > 0, "F32 work recorded");
@@ -777,9 +798,10 @@ mod reference_tests {
             (&barriers, Launch::grid(3, 96)),
         ] {
             let mut mem = GlobalMemory::new(4096);
-            let fast = simulate_kernel(kernel, launch, &mut mem, &cfg);
+            let fast = simulate_kernel(kernel, launch, &mut mem, &cfg).expect("timing");
             let mut mem = GlobalMemory::new(4096);
-            let reference = simulate_kernel_reference(kernel, launch, &mut mem, &cfg);
+            let reference =
+                simulate_kernel_reference(kernel, launch, &mut mem, &cfg).expect("timing");
             assert_eq!(fast, reference, "kernel {}", kernel.name());
         }
     }
@@ -808,7 +830,8 @@ mod golden_tests {
             });
         }
         k.push(Op::Exit);
-        let indep = simulate_kernel(&k.finish(), Launch::grid(8, 128), &mut mem, &cfg);
+        let indep =
+            simulate_kernel(&k.finish(), Launch::grid(8, 128), &mut mem, &cfg).expect("timing");
         assert_eq!(
             (
                 indep.cycles,
@@ -830,7 +853,8 @@ mod golden_tests {
             });
         }
         k.push(Op::Exit);
-        let chain = simulate_kernel(&k.finish(), Launch::grid(4, 64), &mut mem, &cfg);
+        let chain =
+            simulate_kernel(&k.finish(), Launch::grid(4, 64), &mut mem, &cfg).expect("timing");
         assert_eq!(
             (
                 chain.cycles,

@@ -178,7 +178,9 @@ mod tests {
                 ..ExecConfig::default()
             },
         };
-        let out = exec.run(&w.kernel, w.launch, &mut mem);
+        let out = exec
+            .run(&w.kernel, w.launch, &mut mem)
+            .expect("workload runs clean");
         assert_eq!(out.detection, Detection::None);
         for v in mem.read_f32_slice(OUT, 256) {
             assert!(v.is_finite());

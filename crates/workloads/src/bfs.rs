@@ -222,7 +222,9 @@ mod tests {
                 ..ExecConfig::default()
             },
         };
-        let out = exec.run(&w.kernel, w.launch, &mut mem);
+        let out = exec
+            .run(&w.kernel, w.launch, &mut mem)
+            .expect("workload runs clean");
         assert_eq!(out.detection, Detection::None);
         // The atomic counter advanced.
         assert!(mem.read(COUNTER) > 0);

@@ -170,7 +170,9 @@ mod tests {
                 ..ExecConfig::default()
             },
         };
-        let out = exec.run(&w.kernel, w.launch, &mut mem);
+        let out = exec
+            .run(&w.kernel, w.launch, &mut mem)
+            .expect("workload runs clean");
         assert_eq!(out.detection, Detection::None);
         // Memory-heavy mix: plenty of non-eligible instructions.
         assert!(out.profile.not_eligible * 3 > out.profile.eligible_plain);

@@ -182,7 +182,9 @@ mod tests {
                 ..ExecConfig::default()
             },
         };
-        let out = exec.run(&w.kernel, w.launch, &mut mem);
+        let out = exec
+            .run(&w.kernel, w.launch, &mut mem)
+            .expect("workload runs clean");
         assert_eq!(out.detection, Detection::None);
         for v in mem.read_u32_slice(OUT, 256) {
             assert!(v <= 6, "cluster index {v} out of range");

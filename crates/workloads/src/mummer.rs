@@ -157,7 +157,9 @@ mod tests {
                 ..ExecConfig::default()
             },
         };
-        let out = exec.run(&w.kernel, w.launch, &mut mem);
+        let out = exec
+            .run(&w.kernel, w.launch, &mut mem)
+            .expect("workload runs clean");
         assert_eq!(out.detection, Detection::None);
         for v in mem.read_u32_slice(OUT, 128) {
             assert!(v <= 24);

@@ -200,7 +200,9 @@ mod tests {
                 ..ExecConfig::default()
             },
         };
-        let out = exec.run(&w.kernel, w.launch, &mut mem);
+        let out = exec
+            .run(&w.kernel, w.launch, &mut mem)
+            .expect("workload runs clean");
         assert_eq!(out.detection, Detection::None);
     }
 }

@@ -161,7 +161,9 @@ mod tests {
         k.push(Op::Exit);
         let kernel = k.finish();
         let mut mem = GlobalMemory::new(64);
-        let out = Executor::new().run(&kernel, Launch::grid(1, 32), &mut mem);
+        let out = Executor::new()
+            .run(&kernel, Launch::grid(1, 32), &mut mem)
+            .expect("clean run");
         assert_eq!(out.detection, swapcodes_sim::exec::Detection::None);
         assert_eq!(mem.read(0), 10);
     }
@@ -181,7 +183,9 @@ mod tests {
         k.push(Op::Exit);
         let kernel = k.finish();
         let mut mem = GlobalMemory::new(4 * 64);
-        Executor::new().run(&kernel, Launch::grid(2, 32), &mut mem);
+        Executor::new()
+            .run(&kernel, Launch::grid(2, 32), &mut mem)
+            .expect("clean run");
         let got = mem.read_u32_slice(0, 64);
         let want: Vec<u32> = (0..64).collect();
         assert_eq!(got, want);

@@ -1,6 +1,6 @@
 //! End-to-end architecture-level fault injection: sweep random pipeline
 //! faults through a workload under each protection scheme and tabulate the
-//! trap / DUE / crash / masked / SDC outcomes.
+//! trap / DUE / crash / hang / masked / SDC outcomes.
 //!
 //! Run with: `cargo run --release --example pipeline_fault_injection [trials]`
 
@@ -19,8 +19,8 @@ fn main() {
         w.name
     );
     println!(
-        "{:<14} {:>5} {:>5} {:>6} {:>7} {:>5} {:>9}",
-        "scheme", "trap", "due", "crash", "masked", "sdc", "coverage"
+        "{:<14} {:>5} {:>5} {:>6} {:>5} {:>7} {:>5} {:>9}",
+        "scheme", "trap", "due", "crash", "hang", "masked", "sdc", "coverage"
     );
     for (i, scheme) in [
         Scheme::Baseline,
@@ -33,18 +33,20 @@ fn main() {
     {
         let out = arch_campaign(&w, scheme, trials, 0xFA57 + i as u64);
         println!(
-            "{:<14} {:>5} {:>5} {:>6} {:>7} {:>5} {:>8.1}%",
+            "{:<14} {:>5} {:>5} {:>6} {:>5} {:>7} {:>5} {:>8.1}%",
             scheme.label(),
             out.trap,
             out.due,
             out.crash,
+            out.hang,
             out.masked,
             out.sdc,
             out.coverage() * 100.0
         );
     }
     println!(
-        "\ncoverage = detected / unmasked. The baseline detects nothing it \
-         doesn't crash on; every duplication scheme contains the rest."
+        "\ncoverage = detected / unmasked (hangs are timeout-detected by the \
+         watchdog). The baseline detects nothing it doesn't crash or hang \
+         on; every duplication scheme contains the rest."
     );
 }

@@ -50,7 +50,9 @@ fn main() {
             ..ExecConfig::default()
         },
     };
-    let out = exec.run(&kernel, launch, &mut mem);
+    let out = exec
+        .run(&kernel, launch, &mut mem)
+        .expect("tiny kernel executes");
     println!("baseline:  detection = {:?}", out.detection);
     println!(
         "baseline:  out[5] = {} (should be {}) -> silent data corruption!",
@@ -80,7 +82,9 @@ fn main() {
             ..ExecConfig::default()
         },
     };
-    let out = exec.run(&t.kernel, t.launch, &mut mem);
+    let out = exec
+        .run(&t.kernel, t.launch, &mut mem)
+        .expect("tiny kernel executes");
     match out.detection {
         Detection::Due {
             pipeline_suspected,

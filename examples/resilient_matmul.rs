@@ -27,7 +27,8 @@ fn main() {
     ] {
         let t = apply(scheme, &w.kernel, w.launch).expect("intra-thread schemes apply");
         let mut mem = w.build_memory();
-        let timing = simulate_kernel(&t.kernel, t.launch, &mut mem, &cfg);
+        let timing =
+            simulate_kernel(&t.kernel, t.launch, &mut mem, &cfg).expect("matmul simulates");
         let base = *base_cycles.get_or_insert(timing.cycles);
         println!(
             "{:<22} {:>7} {:>6} {:>6} {:>10} {:>8.2}x",

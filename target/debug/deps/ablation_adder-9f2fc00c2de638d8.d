@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_adder-9f2fc00c2de638d8.d: crates/bench/benches/ablation_adder.rs
+
+/root/repo/target/debug/deps/ablation_adder-9f2fc00c2de638d8: crates/bench/benches/ablation_adder.rs
+
+crates/bench/benches/ablation_adder.rs:

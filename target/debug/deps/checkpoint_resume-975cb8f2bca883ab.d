@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checkpoint_resume-975cb8f2bca883ab.d: crates/inject/tests/checkpoint_resume.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheckpoint_resume-975cb8f2bca883ab.rmeta: crates/inject/tests/checkpoint_resume.rs Cargo.toml
+
+crates/inject/tests/checkpoint_resume.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpoint_resume-e9e3c893bfa907db.d: crates/inject/tests/checkpoint_resume.rs
+
+/root/repo/target/debug/deps/checkpoint_resume-e9e3c893bfa907db: crates/inject/tests/checkpoint_resume.rs
+
+crates/inject/tests/checkpoint_resume.rs:

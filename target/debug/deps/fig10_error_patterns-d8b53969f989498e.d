@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_error_patterns-d8b53969f989498e.d: crates/bench/benches/fig10_error_patterns.rs
+
+/root/repo/target/debug/deps/fig10_error_patterns-d8b53969f989498e: crates/bench/benches/fig10_error_patterns.rs
+
+crates/bench/benches/fig10_error_patterns.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_sdc_risk-9f9cad0ab169da89.d: crates/bench/benches/fig11_sdc_risk.rs
+
+/root/repo/target/debug/deps/fig11_sdc_risk-9f9cad0ab169da89: crates/bench/benches/fig11_sdc_risk.rs
+
+crates/bench/benches/fig11_sdc_risk.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_performance-78d05bd023102abf.d: crates/bench/benches/fig12_performance.rs
+
+/root/repo/target/debug/deps/fig12_performance-78d05bd023102abf: crates/bench/benches/fig12_performance.rs
+
+crates/bench/benches/fig12_performance.rs:

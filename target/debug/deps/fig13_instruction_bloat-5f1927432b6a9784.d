@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_instruction_bloat-5f1927432b6a9784.d: crates/bench/benches/fig13_instruction_bloat.rs
+
+/root/repo/target/debug/deps/fig13_instruction_bloat-5f1927432b6a9784: crates/bench/benches/fig13_instruction_bloat.rs
+
+crates/bench/benches/fig13_instruction_bloat.rs:

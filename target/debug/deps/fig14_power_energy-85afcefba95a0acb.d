@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_power_energy-85afcefba95a0acb.d: crates/bench/benches/fig14_power_energy.rs
+
+/root/repo/target/debug/deps/fig14_power_energy-85afcefba95a0acb: crates/bench/benches/fig14_power_energy.rs
+
+crates/bench/benches/fig14_power_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_interthread-4914729c48f1f139.d: crates/bench/benches/fig15_interthread.rs
+
+/root/repo/target/debug/deps/fig15_interthread-4914729c48f1f139: crates/bench/benches/fig15_interthread.rs
+
+crates/bench/benches/fig15_interthread.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_future_predictors-99a14a98f78611a8.d: crates/bench/benches/fig16_future_predictors.rs
+
+/root/repo/target/debug/deps/fig16_future_predictors-99a14a98f78611a8: crates/bench/benches/fig16_future_predictors.rs
+
+crates/bench/benches/fig16_future_predictors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_secdp_layout-f36c5cd9a2e2cbc1.d: crates/bench/benches/fig7_secdp_layout.rs
+
+/root/repo/target/debug/deps/fig7_secdp_layout-f36c5cd9a2e2cbc1: crates/bench/benches/fig7_secdp_layout.rs
+
+crates/bench/benches/fig7_secdp_layout.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fueled_executor-3f850add3cffa511.d: tests/fueled_executor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfueled_executor-3f850add3cffa511.rmeta: tests/fueled_executor.rs Cargo.toml
+
+tests/fueled_executor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fueled_executor-8d170353b37ef03a.d: tests/fueled_executor.rs
+
+/root/repo/target/debug/deps/fueled_executor-8d170353b37ef03a: tests/fueled_executor.rs
+
+tests/fueled_executor.rs:

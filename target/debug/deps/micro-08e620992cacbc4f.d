@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-08e620992cacbc4f.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/micro-08e620992cacbc4f: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,14 +1,14 @@
-/root/repo/target/debug/deps/swapcodes_ecc-14593babff46f41f.d: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/code.rs crates/ecc/src/hamming.rs crates/ecc/src/hsiao.rs crates/ecc/src/parity.rs crates/ecc/src/layout.rs crates/ecc/src/report.rs crates/ecc/src/residue.rs crates/ecc/src/swap.rs Cargo.toml
+/root/repo/target/debug/deps/swapcodes_ecc-14593babff46f41f.d: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/code.rs crates/ecc/src/hamming.rs crates/ecc/src/hsiao.rs crates/ecc/src/layout.rs crates/ecc/src/parity.rs crates/ecc/src/report.rs crates/ecc/src/residue.rs crates/ecc/src/swap.rs Cargo.toml
 
-/root/repo/target/debug/deps/libswapcodes_ecc-14593babff46f41f.rmeta: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/code.rs crates/ecc/src/hamming.rs crates/ecc/src/hsiao.rs crates/ecc/src/parity.rs crates/ecc/src/layout.rs crates/ecc/src/report.rs crates/ecc/src/residue.rs crates/ecc/src/swap.rs Cargo.toml
+/root/repo/target/debug/deps/libswapcodes_ecc-14593babff46f41f.rmeta: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/code.rs crates/ecc/src/hamming.rs crates/ecc/src/hsiao.rs crates/ecc/src/layout.rs crates/ecc/src/parity.rs crates/ecc/src/report.rs crates/ecc/src/residue.rs crates/ecc/src/swap.rs Cargo.toml
 
 crates/ecc/src/lib.rs:
 crates/ecc/src/analysis.rs:
 crates/ecc/src/code.rs:
 crates/ecc/src/hamming.rs:
 crates/ecc/src/hsiao.rs:
-crates/ecc/src/parity.rs:
 crates/ecc/src/layout.rs:
+crates/ecc/src/parity.rs:
 crates/ecc/src/report.rs:
 crates/ecc/src/residue.rs:
 crates/ecc/src/swap.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/swapcodes_inject-ac2e2e07176c7460.d: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/stats.rs crates/inject/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/swapcodes_inject-ac2e2e07176c7460.d: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/stats.rs crates/inject/src/trace.rs Cargo.toml
 
-/root/repo/target/debug/deps/libswapcodes_inject-ac2e2e07176c7460.rmeta: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/stats.rs crates/inject/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/libswapcodes_inject-ac2e2e07176c7460.rmeta: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/stats.rs crates/inject/src/trace.rs Cargo.toml
 
 crates/inject/src/lib.rs:
 crates/inject/src/arch.rs:
 crates/inject/src/detection.rs:
 crates/inject/src/gate.rs:
+crates/inject/src/harness.rs:
 crates/inject/src/stats.rs:
 crates/inject/src/trace.rs:
 Cargo.toml:

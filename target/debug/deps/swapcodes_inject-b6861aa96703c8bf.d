@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/swapcodes_inject-b6861aa96703c8bf.d: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+/root/repo/target/debug/deps/swapcodes_inject-b6861aa96703c8bf.d: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
 
-/root/repo/target/debug/deps/swapcodes_inject-b6861aa96703c8bf: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+/root/repo/target/debug/deps/swapcodes_inject-b6861aa96703c8bf: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
 
 crates/inject/src/lib.rs:
 crates/inject/src/arch.rs:
 crates/inject/src/detection.rs:
 crates/inject/src/gate.rs:
+crates/inject/src/harness.rs:
 crates/inject/src/stats.rs:
 crates/inject/src/trace.rs:

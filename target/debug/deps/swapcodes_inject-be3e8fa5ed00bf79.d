@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/swapcodes_inject-be3e8fa5ed00bf79.d: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+/root/repo/target/debug/deps/swapcodes_inject-be3e8fa5ed00bf79.d: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
 
-/root/repo/target/debug/deps/libswapcodes_inject-be3e8fa5ed00bf79.rlib: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+/root/repo/target/debug/deps/libswapcodes_inject-be3e8fa5ed00bf79.rlib: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
 
-/root/repo/target/debug/deps/libswapcodes_inject-be3e8fa5ed00bf79.rmeta: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+/root/repo/target/debug/deps/libswapcodes_inject-be3e8fa5ed00bf79.rmeta: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
 
 crates/inject/src/lib.rs:
 crates/inject/src/arch.rs:
 crates/inject/src/detection.rs:
 crates/inject/src/gate.rs:
+crates/inject/src/harness.rs:
 crates/inject/src/stats.rs:
 crates/inject/src/trace.rs:

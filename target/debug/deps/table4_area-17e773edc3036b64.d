@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_area-17e773edc3036b64.d: crates/bench/benches/table4_area.rs
+
+/root/repo/target/debug/deps/table4_area-17e773edc3036b64: crates/bench/benches/table4_area.rs
+
+crates/bench/benches/table4_area.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/perf_baseline-e312f9e891799cdb.d: crates/bench/examples/perf_baseline.rs
+
+/root/repo/target/debug/examples/perf_baseline-e312f9e891799cdb: crates/bench/examples/perf_baseline.rs
+
+crates/bench/examples/perf_baseline.rs:

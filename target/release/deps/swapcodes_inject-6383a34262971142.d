@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/swapcodes_inject-6383a34262971142.d: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+/root/repo/target/release/deps/swapcodes_inject-6383a34262971142.d: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
 
-/root/repo/target/release/deps/libswapcodes_inject-6383a34262971142.rlib: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+/root/repo/target/release/deps/libswapcodes_inject-6383a34262971142.rlib: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
 
-/root/repo/target/release/deps/libswapcodes_inject-6383a34262971142.rmeta: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+/root/repo/target/release/deps/libswapcodes_inject-6383a34262971142.rmeta: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
 
 crates/inject/src/lib.rs:
 crates/inject/src/arch.rs:
 crates/inject/src/detection.rs:
 crates/inject/src/gate.rs:
+crates/inject/src/harness.rs:
 crates/inject/src/stats.rs:
 crates/inject/src/trace.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/swapcodes_inject-f76e1c721013e2e7.d: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+/root/repo/target/release/deps/swapcodes_inject-f76e1c721013e2e7.d: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
 
-/root/repo/target/release/deps/libswapcodes_inject-f76e1c721013e2e7.rlib: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+/root/repo/target/release/deps/libswapcodes_inject-f76e1c721013e2e7.rlib: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
 
-/root/repo/target/release/deps/libswapcodes_inject-f76e1c721013e2e7.rmeta: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+/root/repo/target/release/deps/libswapcodes_inject-f76e1c721013e2e7.rmeta: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
 
 crates/inject/src/lib.rs:
 crates/inject/src/arch.rs:
 crates/inject/src/detection.rs:
 crates/inject/src/gate.rs:
+crates/inject/src/harness.rs:
 crates/inject/src/stats.rs:
 crates/inject/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pipeline_fault_injection-619e346794c63790.d: examples/pipeline_fault_injection.rs
+
+/root/repo/target/release/examples/pipeline_fault_injection-619e346794c63790: examples/pipeline_fault_injection.rs
+
+examples/pipeline_fault_injection.rs:

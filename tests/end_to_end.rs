@@ -17,7 +17,9 @@ fn run_scheme(w: &Workload, scheme: Scheme, ctas: u32) -> (GlobalMemory, Detecti
             ..ExecConfig::default()
         },
     };
-    let out = exec.run(&t.kernel, t.launch, &mut mem);
+    let out = exec
+        .run(&t.kernel, t.launch, &mut mem)
+        .expect("fault-free workloads execute");
     assert!(!out.truncated, "{}/{:?} truncated", w.name, scheme);
     (mem, out.detection)
 }
@@ -86,7 +88,8 @@ fn inject(
                 ..ExecConfig::default()
             },
         };
-        exec.run(&t.kernel, t.launch, &mut mem);
+        exec.run(&t.kernel, t.launch, &mut mem)
+            .expect("golden run executes");
         w.output_words(&mem)
     };
     let mut mem = w.build_memory();
@@ -98,7 +101,9 @@ fn inject(
             ..ExecConfig::default()
         },
     };
-    let out = exec.run(&t.kernel, t.launch, &mut mem);
+    let out = exec
+        .run(&t.kernel, t.launch, &mut mem)
+        .expect("faulted runs trap rather than error");
     assert!(out.faults_applied > 0 || out.detection != Detection::None);
     (out.detection, w.output_words(&mem) != golden)
 }

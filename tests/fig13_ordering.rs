@@ -16,7 +16,10 @@ fn checking_fraction(w: &swapcodes_workloads::Workload) -> f64 {
             ..ExecConfig::default()
         },
     };
-    let p = exec.run(&t.kernel, t.launch, &mut mem).profile;
+    let p = exec
+        .run(&t.kernel, t.launch, &mut mem)
+        .expect("sw-dup workloads execute")
+        .profile;
     p.checking as f64 / p.original_program() as f64
 }
 

@@ -1,0 +1,129 @@
+//! Robustness property: the fueled executor is total. Whatever random fault
+//! is injected into whatever workload under whatever scheme, `Executor::run`
+//! must return — never panic, never spin — and a blown budget must surface
+//! as `ExecError::Hang`, not as silence.
+
+use proptest::prelude::*;
+use swapcodes_core::{apply, PredictorSet, Scheme};
+use swapcodes_isa::{KernelBuilder, Op, Reg, SpecialReg, Src};
+use swapcodes_sim::exec::{ExecConfig, ExecError, Executor};
+use swapcodes_sim::{FaultSpec, FaultTarget, Launch};
+use swapcodes_workloads::all;
+
+fn schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::Baseline,
+        Scheme::SwDup,
+        Scheme::SwapEcc,
+        Scheme::SwapPredict(PredictorSet::MAD),
+        Scheme::InterThread { checked: true },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random strikes never hang or panic any workload under any scheme:
+    /// the run either completes (with whatever detection the scheme
+    /// affords) or reports a structured hang/trap once the budget is gone.
+    #[test]
+    fn random_faults_never_escape_the_fuel_budget(
+        workload_idx in 0usize..64,
+        scheme_idx in 0usize..5,
+        eligible_index in 0u64..2_000,
+        lane in 0u32..32,
+        bit in 0u32..32,
+        shadow in any::<bool>(),
+        fuel in 50u64..5_000,
+    ) {
+        let workloads = all();
+        let w = &workloads[workload_idx % workloads.len()];
+        let scheme = schemes()[scheme_idx];
+        let Ok(t) = apply(scheme, &w.kernel, w.launch) else {
+            // Inter-thread duplication legitimately rejects wide CTAs.
+            return Ok(());
+        };
+        let fault = FaultSpec {
+            eligible_index,
+            lane,
+            xor_mask: 1u64 << bit,
+            target: if shadow { FaultTarget::Shadow } else { FaultTarget::Original },
+        };
+        let exec = Executor {
+            config: ExecConfig {
+                protection: t.protection,
+                fault: Some(fault),
+                cta_limit: Some(1),
+                fuel: Some(fuel),
+                ..ExecConfig::default()
+            },
+        };
+        let mut mem = w.build_memory();
+        match exec.run(&t.kernel, t.launch, &mut mem) {
+            Ok(_) => {}
+            Err(ExecError::Hang { steps }) => prop_assert!(steps > fuel),
+            Err(ExecError::Trap { .. }) => {}
+            Err(other) => {
+                return Err(TestCaseError::fail(format!(
+                    "{}/{:?} surfaced a host-side error under injection: {other}",
+                    w.name, scheme
+                )));
+            }
+        }
+    }
+}
+
+/// A literal infinite loop exhausts its budget and reports `Hang` instead
+/// of spinning the host.
+#[test]
+fn infinite_loop_exhausts_fuel_as_hang() {
+    let mut k = KernelBuilder::new("spin");
+    k.push(Op::S2R {
+        d: Reg(0),
+        sr: SpecialReg::TidX,
+    });
+    let top = k.label();
+    k.bind(top);
+    k.push(Op::IAdd {
+        d: Reg(1),
+        a: Reg(1),
+        b: Src::Imm(1),
+    });
+    k.branch_to(top);
+    k.push(Op::Exit);
+    let kernel = k.finish();
+
+    let exec = Executor {
+        config: ExecConfig {
+            fuel: Some(4_096),
+            ..ExecConfig::default()
+        },
+    };
+    let mut mem = swapcodes_sim::GlobalMemory::new(64);
+    match exec.run(&kernel, Launch::grid(1, 32), &mut mem) {
+        Err(ExecError::Hang { steps }) => assert!(steps > 4_096),
+        other => panic!("expected ExecError::Hang, got {other:?}"),
+    }
+}
+
+/// Fuel is a hard ceiling even on a perfectly healthy run: a budget smaller
+/// than the golden instruction count turns the run into a structured hang.
+#[test]
+fn undersized_fuel_reports_hang_on_clean_runs() {
+    let w = all()
+        .into_iter()
+        .find(|w| w.name == "matmul")
+        .expect("matmul");
+    let exec = Executor {
+        config: ExecConfig {
+            cta_limit: Some(1),
+            fuel: Some(8),
+            ..ExecConfig::default()
+        },
+    };
+    let mut mem = w.build_memory();
+    match exec.run(&w.kernel, w.launch, &mut mem) {
+        Err(ExecError::Hang { steps }) => assert!(steps > 8),
+        other => panic!("expected ExecError::Hang, got {other:?}"),
+    }
+}

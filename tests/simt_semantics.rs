@@ -15,7 +15,8 @@ fn run(k: swapcodes_isa::Kernel, launch: Launch, mem_bytes: usize) -> GlobalMemo
     let out = Executor {
         config: ExecConfig::default(),
     }
-    .run(&k, launch, &mut mem);
+    .run(&k, launch, &mut mem)
+    .expect("simt kernels execute");
     assert_eq!(out.detection, Detection::None);
     mem
 }
