@@ -1,0 +1,9 @@
+//! Static protection coverage: the dataflow verifier's per-scheme coverage
+//! proof across the workload suite — zero injection trials, exhaustive over
+//! paths instead of samples.
+
+use swapcodes_bench::figures;
+
+fn main() {
+    figures::static_coverage_report();
+}

@@ -3,7 +3,7 @@
 //! Every figure bench in this crate walks some slice of the same matrix:
 //! each workload transformed under each protection scheme, then timed
 //! ([`KernelTiming`]), profiled ([`ProfileCounts`]) or traced
-//! ([`WarpTrace`]) on the simulator. Run standalone, the five benches
+//! (`WarpTrace`) on the simulator. Run standalone, the five benches
 //! quintuplicate those simulations — every one re-times `Baseline` for every
 //! workload, fig12 and fig16 share four schemes, and so on.
 //!
@@ -13,7 +13,7 @@
 //! work-stealing index counter. All simulations are deterministic pure
 //! functions of `(workload, scheme)`, so cell values are identical no matter
 //! which thread computes them or in what order — results are byte-identical
-//! to the serial [`measure`]/[`profile`]/[`traces_and_timing`] paths for any
+//! to the serial `measure`/`profile`/`traces_and_timing` paths for any
 //! `SWAPCODES_THREADS` setting (a property locked in by
 //! `tests/sweep_matches_serial.rs`).
 

@@ -179,6 +179,13 @@ impl<'w> ArchCampaign<'w> {
         })
     }
 
+    /// The transformed kernel trials execute (the static verifier's input
+    /// for differential checking, see [`crate::oracle`]).
+    #[must_use]
+    pub fn kernel(&self) -> &swapcodes_isa::Kernel {
+        &self.kernel
+    }
+
     /// The fault injected by trial `trial` (pure in `(seed, trial)`).
     #[must_use]
     pub fn trial_fault(&self, trial: u64) -> FaultSpec {

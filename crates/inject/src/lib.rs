@@ -11,6 +11,8 @@
 //! * [`arch`] — whole-program injection: corrupt one dynamic instruction of
 //!   a protected workload and observe trap/DUE/crash/hang/masked/SDC at the
 //!   output, under a fueled executor that cannot hang the host;
+//! * [`oracle`] — the differential oracle pitting the static protection
+//!   verifier against dynamic injection over the same transformed kernel;
 //! * [`harness`] — panic containment, anomaly logging and crash-safe
 //!   checkpoint/resume around both campaign drivers;
 //! * [`stats`] — Wilson 95% binomial confidence intervals (the error bars of
@@ -25,6 +27,7 @@ pub mod arch;
 pub mod detection;
 pub mod gate;
 pub mod harness;
+pub mod oracle;
 pub mod stats;
 pub mod trace;
 
@@ -38,5 +41,6 @@ pub use harness::{
     checkpoint_dir_from_env, contain, fuel_from_env, run_arch_campaign_checkpointed,
     run_unit_campaign_checkpointed, AnomalyLog, CampaignRun, CheckpointConfig, UnitCampaignRun,
 };
+pub use oracle::{differential_oracle, OracleVerdict};
 pub use stats::Proportion;
 pub use trace::workload_operand_streams;

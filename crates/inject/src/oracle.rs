@@ -1,0 +1,144 @@
+//! Differential oracle: cross-check the *static* protection proof against
+//! *dynamic* fault injection.
+//!
+//! The static verifier ([`swapcodes_verify`]) claims that a clean report
+//! means no unprotected path from a covered definition to architectural
+//! state. Injection claims that faults get detected. This module pits the
+//! two against each other over the same transformed kernel:
+//!
+//! * a trial that ends in SDC while the static report is clean is an
+//!   **escape** — either the verifier's rules are unsound or the simulator's
+//!   detection model is broken, and either way it is a bug worth a test
+//!   failure;
+//! * a dirty static report on a stock transform output is a transform
+//!   regression caught before a single trial runs.
+//!
+//! The oracle reuses [`ArchCampaign`]'s pure per-trial fault derivation, so
+//! an escape's trial index is enough to replay it exactly.
+
+use swapcodes_core::Scheme;
+use swapcodes_verify::{verify, Report};
+
+use crate::arch::{ArchCampaign, PrepError, TrialOutcome};
+
+/// The verdict of one differential run: the static report and every trial
+/// that escaped as SDC.
+#[derive(Debug)]
+pub struct OracleVerdict {
+    /// The static verifier's report over the campaign's transformed kernel.
+    pub report: Report,
+    /// Trials executed.
+    pub trials: u64,
+    /// Trial indices that ended in silent data corruption.
+    pub escapes: Vec<u64>,
+}
+
+impl OracleVerdict {
+    /// `true` when statics and dynamics agree: a clean proof saw no SDC
+    /// escape. A dirty report is also "sound" in the logical sense (the
+    /// verifier promised nothing), but [`Self::is_clean_and_sound`] is what
+    /// stock transform outputs must satisfy.
+    #[must_use]
+    pub fn is_sound(&self) -> bool {
+        !self.report.is_clean() || self.escapes.is_empty()
+    }
+
+    /// Clean static proof AND no dynamic escape.
+    #[must_use]
+    pub fn is_clean_and_sound(&self) -> bool {
+        self.report.is_clean() && self.escapes.is_empty()
+    }
+}
+
+impl std::fmt::Display for OracleVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} findings, {}/{} trials escaped",
+            self.report.scheme,
+            self.report.findings.len(),
+            self.escapes.len(),
+            self.trials,
+        )
+    }
+}
+
+/// Statically verify `workload` under `scheme`, then fire `trials` injection
+/// trials at the same kernel and record every SDC escape.
+///
+/// # Errors
+///
+/// Propagates [`PrepError`] when the scheme does not apply or the golden run
+/// fails — same contract as [`ArchCampaign::prepare`].
+pub fn differential_oracle(
+    workload: &swapcodes_workloads::Workload,
+    scheme: Scheme,
+    trials: u64,
+    seed: u64,
+) -> Result<OracleVerdict, PrepError> {
+    let campaign = ArchCampaign::prepare(workload, scheme, seed)?;
+    let report = verify(scheme, campaign.kernel());
+    let mut escapes = Vec::new();
+    for trial in 0..trials {
+        if campaign.run_trial(trial) == TrialOutcome::Sdc {
+            escapes.push(trial);
+        }
+    }
+    Ok(OracleVerdict {
+        report,
+        trials,
+        escapes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcodes_core::PredictorSet;
+    use swapcodes_workloads::by_name;
+
+    /// The acceptance gate: across >=1000 sampled trials, no fault into a
+    /// statically-covered kernel escapes detection.
+    #[test]
+    fn no_statically_covered_fault_escapes_detection() {
+        let mut total = 0u64;
+        for name in ["matmul", "kmeans"] {
+            let w = by_name(name).expect("workload");
+            for scheme in [
+                Scheme::SwDup,
+                Scheme::SwapEcc,
+                Scheme::SwapPredict(PredictorSet::MAD),
+            ] {
+                let v = differential_oracle(&w, scheme, 200, 0x0AC1E).expect("prepare");
+                assert!(
+                    v.is_clean_and_sound(),
+                    "{name} x {scheme:?}: {v}\n{}",
+                    v.report
+                );
+                total += v.trials;
+            }
+        }
+        assert!(total >= 1000, "sampled only {total} trials");
+    }
+
+    /// The oracle's negative control: Baseline has no static findings (there
+    /// is nothing to verify) but plenty of dynamic escapes, so the two sides
+    /// are demonstrably measuring different things.
+    #[test]
+    fn baseline_escapes_are_visible() {
+        let w = by_name("matmul").expect("matmul");
+        let v = differential_oracle(&w, Scheme::Baseline, 40, 7).expect("prepare");
+        assert!(v.report.is_clean());
+        assert_eq!(v.report.coverage.covered, 0);
+        assert!(!v.escapes.is_empty(), "baseline should leak SDC: {v}");
+    }
+
+    /// Escape trial indices replay deterministically.
+    #[test]
+    fn verdict_is_pure_in_seed() {
+        let w = by_name("kmeans").expect("kmeans");
+        let a = differential_oracle(&w, Scheme::Baseline, 30, 99).expect("prepare");
+        let b = differential_oracle(&w, Scheme::Baseline, 30, 99).expect("prepare");
+        assert_eq!(a.escapes, b.escapes);
+    }
+}

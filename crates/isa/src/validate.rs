@@ -3,7 +3,7 @@
 
 use crate::kernel::Kernel;
 use crate::op::{MemWidth, Op};
-use crate::reg::Reg;
+use crate::reg::{Pred, Reg};
 
 /// A structural problem found in a kernel.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +29,14 @@ pub enum ValidationError {
         /// The misaligned base register.
         base: Reg,
     },
+    /// A predicate register index is outside the 8-entry predicate file
+    /// (`P0`–`P6` plus `PT`).
+    PredOutOfRange {
+        /// Index of the offending instruction.
+        at: usize,
+        /// The out-of-range predicate register.
+        pred: Pred,
+    },
     /// The kernel has no `EXIT`, so every warp would run off the end.
     NoExit,
 }
@@ -51,10 +59,19 @@ impl std::fmt::Display for ValidationError {
             ValidationError::PairMisaligned { at, base } => {
                 write!(f, "instruction {at}: register pair base {base} is odd")
             }
+            ValidationError::PredOutOfRange { at, pred } => {
+                write!(
+                    f,
+                    "instruction {at}: predicate index {} exceeds the 8-entry file",
+                    pred.0
+                )
+            }
             ValidationError::NoExit => write!(f, "kernel has no EXIT instruction"),
         }
     }
 }
+
+impl std::error::Error for ValidationError {}
 
 /// Pair-base registers referenced by an op (destinations and sources).
 fn pair_bases(op: &Op) -> Vec<Reg> {
@@ -103,6 +120,15 @@ pub fn validate(kernel: &Kernel) -> Result<(), Vec<ValidationError>> {
                 errors.push(ValidationError::PairMisaligned { at, base });
             }
         }
+        let guard_pred = instr.guard.map(|(p, _)| p);
+        for pred in [guard_pred, instr.op.pred_def(), instr.op.pred_use()]
+            .into_iter()
+            .flatten()
+        {
+            if pred.0 > 7 {
+                errors.push(ValidationError::PredOutOfRange { at, pred });
+            }
+        }
     }
     if !has_exit {
         errors.push(ValidationError::NoExit);
@@ -112,6 +138,116 @@ pub fn validate(kernel: &Kernel) -> Result<(), Vec<ValidationError>> {
     } else {
         Err(errors)
     }
+}
+
+/// A suspicious-but-legal construct found in a kernel.
+///
+/// Lints never make a kernel invalid: transformed kernels legitimately
+/// contain, for example, a defensive unreachable `EXIT` in front of the
+/// appended trap block. They are advisory output for pass authors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lint {
+    /// A warp shuffle executes under (structurally approximated) divergent
+    /// control flow, where inactive lanes contribute undefined data to their
+    /// partners.
+    ShflInDivergentFlow {
+        /// Index of the shuffle instruction.
+        at: usize,
+    },
+    /// First instruction of a run that no control path can reach.
+    UnreachableCode {
+        /// Index of the first unreachable instruction in the run.
+        at: usize,
+    },
+}
+
+impl std::fmt::Display for Lint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Lint::ShflInDivergentFlow { at } => {
+                write!(f, "instruction {at}: SHFL under divergent control flow")
+            }
+            Lint::UnreachableCode { at } => {
+                write!(f, "instruction {at}: unreachable code")
+            }
+        }
+    }
+}
+
+/// `true` when `target` is an unguarded `TRAP`/`EXIT`: a guarded branch
+/// there is an abort (check-style trap branch), not reconvergent divergence.
+fn is_abort_target(kernel: &Kernel, target: usize) -> bool {
+    kernel
+        .instrs()
+        .get(target)
+        .is_some_and(|i| matches!(i.op, Op::Trap | Op::Exit) && i.guard.is_none())
+}
+
+/// Lint a kernel for constructs that are legal but usually wrong.
+///
+/// Divergence is approximated structurally: a guarded branch at `i` with
+/// target `t > i + 1` makes `(i, t)` a divergent region (the fall-through
+/// executes with a partial warp until reconvergence at `t`). Guarded
+/// branches to `TRAP`/`EXIT` kill the taken lanes instead of splitting the
+/// warp, so they open no region; guarded *backward* branches (loops) are
+/// assumed warp-uniform — flagging every shuffle inside every counted loop
+/// would drown the signal.
+#[must_use]
+pub fn lint(kernel: &Kernel) -> Vec<Lint> {
+    let n = kernel.len();
+    let mut lints = Vec::new();
+
+    // Divergent regions from guarded branches.
+    let mut divergent = vec![false; n];
+    for (at, instr) in kernel.instrs().iter().enumerate() {
+        if let Op::Bra { target } = instr.op {
+            if instr.guard.is_none() || target >= n || is_abort_target(kernel, target) {
+                continue;
+            }
+            if target > at + 1 {
+                for flag in &mut divergent[at + 1..target] {
+                    *flag = true;
+                }
+            }
+        }
+    }
+    for (at, instr) in kernel.instrs().iter().enumerate() {
+        if matches!(instr.op, Op::Shfl { .. }) && (divergent[at] || instr.guard.is_some()) {
+            lints.push(Lint::ShflInDivergentFlow { at });
+        }
+    }
+
+    // Reachability: worklist over instruction indices from the entry.
+    let mut reachable = vec![false; n];
+    let mut work = vec![0usize];
+    while let Some(i) = work.pop() {
+        if i >= n || reachable[i] {
+            continue;
+        }
+        reachable[i] = true;
+        match kernel.instrs()[i].op {
+            Op::Exit | Op::Trap => {}
+            Op::Bra { target } => {
+                work.push(target);
+                if kernel.instrs()[i].guard.is_some() {
+                    work.push(i + 1);
+                }
+            }
+            _ => work.push(i + 1),
+        }
+    }
+    let mut prev_reachable = true;
+    for (at, r) in reachable.iter().enumerate() {
+        if !r && prev_reachable {
+            lints.push(Lint::UnreachableCode { at });
+        }
+        prev_reachable = *r;
+    }
+
+    lints.sort_by_key(|l| match *l {
+        Lint::ShflInDivergentFlow { at } | Lint::UnreachableCode { at } => at,
+    });
+    lints
 }
 
 #[cfg(test)]
@@ -170,6 +306,195 @@ mod tests {
             base: Reg(254),
         };
         assert!(e.to_string().contains("R254"));
+    }
+
+    #[test]
+    fn detects_pred_out_of_range() {
+        use crate::op::{CmpOp, CmpTy, Src};
+        use crate::reg::{Pred, PT};
+        let kernel = Kernel::from_instrs(
+            "bad-preds",
+            vec![
+                // Guard, definition and use sites are all checked.
+                Instr::guarded(Op::Exit, Pred(9), true),
+                Instr::new(Op::SetP {
+                    p: Pred(8),
+                    cmp: CmpOp::Ne,
+                    ty: CmpTy::U32,
+                    a: Reg(0),
+                    b: Src::Reg(Reg(1)),
+                }),
+                Instr::new(Op::Sel {
+                    d: Reg(2),
+                    p: Pred(200),
+                    a: Reg(0),
+                    b: Src::Reg(Reg(1)),
+                }),
+                Instr::guarded(Op::Exit, PT, true),
+            ],
+        );
+        let errs = validate(&kernel).unwrap_err();
+        let bad: Vec<_> = errs
+            .iter()
+            .filter_map(|e| match e {
+                ValidationError::PredOutOfRange { at, pred } => Some((*at, pred.0)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(bad, vec![(0, 9), (1, 8), (2, 200)]);
+        // PT itself (index 7) is in range.
+        assert_eq!(bad.iter().filter(|(at, _)| *at == 3).count(), 0);
+    }
+
+    #[test]
+    fn validation_error_implements_error() {
+        let e: Box<dyn std::error::Error> = Box::new(ValidationError::NoExit);
+        assert!(e.to_string().contains("EXIT"));
+    }
+
+    #[test]
+    fn display_covers_every_variant() {
+        use crate::reg::Pred;
+        let cases: Vec<(ValidationError, &str)> = vec![
+            (
+                ValidationError::BranchOutOfRange { at: 1, target: 9 },
+                "out-of-range",
+            ),
+            (
+                ValidationError::PairOverflow {
+                    at: 2,
+                    base: Reg(254),
+                },
+                "overflows",
+            ),
+            (
+                ValidationError::PairMisaligned {
+                    at: 3,
+                    base: Reg(3),
+                },
+                "odd",
+            ),
+            (
+                ValidationError::PredOutOfRange {
+                    at: 4,
+                    pred: Pred(8),
+                },
+                "predicate",
+            ),
+            (ValidationError::NoExit, "no EXIT"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn lints_shfl_in_divergent_region_and_under_guard() {
+        use crate::op::{ShflMode, Src};
+        use crate::reg::Pred;
+        let kernel = Kernel::from_instrs(
+            "divergent-shfl",
+            vec![
+                // Guarded skip over the shuffle: (0, 3) is divergent.
+                Instr::guarded(Op::Bra { target: 3 }, Pred(0), true),
+                Instr::new(Op::Shfl {
+                    d: Reg(1),
+                    a: Reg(0),
+                    mode: ShflMode::Bfly(1),
+                }),
+                Instr::new(Op::IAdd {
+                    d: Reg(2),
+                    a: Reg(1),
+                    b: Src::Reg(Reg(0)),
+                }),
+                // Reconverged: this shuffle is fine.
+                Instr::new(Op::Shfl {
+                    d: Reg(3),
+                    a: Reg(2),
+                    mode: ShflMode::Bfly(1),
+                }),
+                // Directly guarded shuffle: also divergent.
+                Instr::guarded(
+                    Op::Shfl {
+                        d: Reg(4),
+                        a: Reg(2),
+                        mode: ShflMode::Bfly(1),
+                    },
+                    Pred(0),
+                    false,
+                ),
+                Instr::new(Op::Exit),
+            ],
+        );
+        assert_eq!(
+            lint(&kernel),
+            vec![
+                Lint::ShflInDivergentFlow { at: 1 },
+                Lint::ShflInDivergentFlow { at: 4 },
+            ]
+        );
+    }
+
+    #[test]
+    fn guarded_abort_branch_opens_no_divergent_region() {
+        use crate::op::ShflMode;
+        use crate::reg::Pred;
+        // A check-style branch to a trap block kills the taken lanes; the
+        // fall-through shuffle still sees the full warp.
+        let kernel = Kernel::from_instrs(
+            "abort-branch",
+            vec![
+                Instr::guarded(Op::Bra { target: 3 }, Pred(0), true),
+                Instr::new(Op::Shfl {
+                    d: Reg(1),
+                    a: Reg(0),
+                    mode: ShflMode::Bfly(1),
+                }),
+                Instr::new(Op::Exit),
+                Instr::new(Op::Trap),
+            ],
+        );
+        assert_eq!(lint(&kernel), Vec::new());
+    }
+
+    #[test]
+    fn lints_unreachable_runs_once_each() {
+        use crate::op::Src;
+        let kernel = Kernel::from_instrs(
+            "dead-code",
+            vec![
+                Instr::new(Op::Bra { target: 3 }),
+                // Unreachable run of two instructions: one lint, at its head.
+                Instr::new(Op::Mov {
+                    d: Reg(0),
+                    a: Src::Imm(1),
+                }),
+                Instr::new(Op::Mov {
+                    d: Reg(1),
+                    a: Src::Imm(2),
+                }),
+                Instr::new(Op::Exit),
+                // Defensive trailing trap block, also unreachable.
+                Instr::new(Op::Trap),
+            ],
+        );
+        assert_eq!(
+            lint(&kernel),
+            vec![
+                Lint::UnreachableCode { at: 1 },
+                Lint::UnreachableCode { at: 4 },
+            ]
+        );
+    }
+
+    #[test]
+    fn lint_display_is_descriptive() {
+        assert!(Lint::ShflInDivergentFlow { at: 5 }
+            .to_string()
+            .contains("SHFL"));
+        assert!(Lint::UnreachableCode { at: 9 }
+            .to_string()
+            .contains("unreachable"));
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Property-based tests for the IR's static-analysis invariants.
 
 use proptest::prelude::*;
-use swapcodes_isa::{CmpOp, CmpTy, MemSpace, MemWidth, Op, Pred, Reg, RegRole, Src};
+use swapcodes_isa::{
+    CmpOp, CmpTy, MemSpace, MemWidth, Op, Pred, Reg, RegRole, ShflMode, SpecialReg, Src,
+};
 
 fn reg() -> impl Strategy<Value = Reg> {
     (0u8..100).prop_map(Reg)
@@ -49,6 +51,36 @@ fn arb_op() -> impl Strategy<Value = Op> {
             a,
             b: Src::Reg(b)
         }),
+        (reg(), reg(), reg()).prop_map(|(d, a, b)| Op::Sel {
+            d,
+            p: Pred(3),
+            a,
+            b: Src::Reg(b)
+        }),
+        (
+            reg(),
+            reg(),
+            prop_oneof![
+                reg().prop_map(|s| ShflMode::Idx(Src::Reg(s))),
+                (0u32..32).prop_map(ShflMode::Bfly),
+                (0u32..32).prop_map(ShflMode::Down),
+                (0u32..32).prop_map(ShflMode::Up),
+            ]
+        )
+            .prop_map(|(d, a, mode)| Op::Shfl { d, a, mode }),
+        (
+            reg(),
+            prop_oneof![
+                Just(SpecialReg::TidX),
+                Just(SpecialReg::NTidX),
+                Just(SpecialReg::LaneId),
+            ]
+        )
+            .prop_map(|(d, sr)| Op::S2R { d, sr }),
+        (even_reg(), even_reg(), even_reg()).prop_map(|(d, a, b)| Op::DAdd { d, a, b }),
+        (reg(), reg()).prop_map(|(d, a)| Op::Not { d, a }),
+        (reg(), reg()).prop_map(|(d, a)| Op::MufuRcp { d, a }),
+        (reg(), reg(), any::<i32>()).prop_map(|(addr, v, o)| Op::AtomAdd { addr, offset: o, v }),
     ]
 }
 
@@ -92,5 +124,56 @@ proptest! {
         if op.is_mem() || op.is_control() || op.pred_def().is_some() {
             prop_assert!(!op.is_dup_eligible());
         }
+    }
+
+    /// `map_regs` visits exactly the base registers that `defs`/`uses`
+    /// report: every visited register reappears in the lists, and every
+    /// reported register is a visited base or its pair upper half. This is
+    /// the contract the shadow-register renamers and the static verifier
+    /// both rely on.
+    #[test]
+    fn map_regs_round_trips_with_defs_and_uses(op in arb_op()) {
+        use std::collections::BTreeSet;
+        let mut visited_defs = BTreeSet::new();
+        let mut visited_uses = BTreeSet::new();
+        let _ = op.map_regs(|r, role| {
+            match role {
+                RegRole::Def => visited_defs.insert(r.0),
+                RegRole::Use => visited_uses.insert(r.0),
+            };
+            r
+        });
+        let defs: BTreeSet<u8> = op.defs().iter().map(|r| r.0).collect();
+        let uses: BTreeSet<u8> = op.uses().iter().map(|r| r.0).collect();
+        // A reported register is a visited base or the upper half of a
+        // visited pair (base + 1, whatever the base's parity).
+        for d in &defs {
+            prop_assert!(
+                visited_defs.contains(d)
+                    || (*d > 0 && visited_defs.contains(&(d - 1))),
+                "def R{} not visited by map_regs", d
+            );
+        }
+        for u in &uses {
+            prop_assert!(
+                visited_uses.contains(u)
+                    || (*u > 0 && visited_uses.contains(&(u - 1))),
+                "use R{} not visited by map_regs", u
+            );
+        }
+        for r in &visited_defs {
+            prop_assert!(defs.contains(r), "visited def R{} unreported", r);
+        }
+        for r in &visited_uses {
+            prop_assert!(uses.contains(r), "visited use R{} unreported", r);
+        }
+    }
+
+    /// Register renaming never disturbs predicate defs/uses.
+    #[test]
+    fn map_regs_preserves_predicates(op in arb_op()) {
+        let shifted = op.map_regs(|r, _| Reg(r.0 + 100));
+        prop_assert_eq!(shifted.pred_def(), op.pred_def());
+        prop_assert_eq!(shifted.pred_use(), op.pred_use());
     }
 }

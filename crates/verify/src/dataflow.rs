@@ -1,0 +1,125 @@
+//! A classic forward dataflow worklist solver over the [`Cfg`].
+//!
+//! Each scheme-specific rule module supplies an initial entry state, a meet
+//! (greatest-lower-bound over predecessor out-states) and a block transfer
+//! function; the solver iterates to the least fixpoint. States are
+//! per-register protection-lattice vectors, so `PartialEq` convergence
+//! checks are cheap and the analysis is a standard *must* analysis: a
+//! property holds at a point only if it holds along **every** path reaching
+//! it, which is exactly the "no unprotected path to architectural state"
+//! obligation the verifier discharges.
+
+use std::collections::VecDeque;
+
+use crate::cfg::Cfg;
+
+/// Solve a forward must-analysis and return the fixpoint *in*-state of every
+/// block (unreachable blocks keep `None`).
+///
+/// `transfer(block_index, state)` must be a pure function of its inputs.
+pub fn solve_forward<S, M, T>(cfg: &Cfg, entry: S, meet: M, transfer: T) -> Vec<Option<S>>
+where
+    S: Clone + PartialEq,
+    M: Fn(&S, &S) -> S,
+    T: Fn(usize, S) -> S,
+{
+    let nb = cfg.blocks.len();
+    let mut ins: Vec<Option<S>> = vec![None; nb];
+    let mut outs: Vec<Option<S>> = vec![None; nb];
+    if nb == 0 {
+        return ins;
+    }
+    ins[0] = Some(entry);
+
+    let mut queued = vec![false; nb];
+    let mut work: VecDeque<usize> = VecDeque::from([0]);
+    queued[0] = true;
+
+    while let Some(b) = work.pop_front() {
+        queued[b] = false;
+        // Meet over available predecessor out-states (entry keeps its
+        // initial state; predecessors not yet computed contribute nothing,
+        // which is the optimistic initialisation of a worklist solver).
+        let mut in_state = if b == 0 { ins[0].clone() } else { None };
+        for &p in &cfg.blocks[b].preds {
+            if let Some(po) = &outs[p] {
+                in_state = Some(match in_state {
+                    None => po.clone(),
+                    Some(cur) => meet(&cur, po),
+                });
+            }
+        }
+        let Some(in_state) = in_state else { continue };
+        let out = transfer(b, in_state.clone());
+        ins[b] = Some(in_state);
+        let changed = outs[b].as_ref() != Some(&out);
+        outs[b] = Some(out);
+        if changed {
+            for &s in &cfg.blocks[b].succs {
+                if !queued[s] {
+                    queued[s] = true;
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+    ins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use swapcodes_isa::{KernelBuilder, Op, Pred, Reg, Src};
+
+    /// A one-bit "defined" analysis for R0: meet = AND, a block defines R0
+    /// if it contains a write to it.
+    #[test]
+    fn loop_reaches_fixpoint_with_must_meet() {
+        let mut k = KernelBuilder::new("l");
+        let top = k.label();
+        k.push(Op::Mov {
+            d: Reg(0),
+            a: Src::Imm(1),
+        });
+        k.bind(top);
+        k.push(Op::IAdd {
+            d: Reg(1),
+            a: Reg(0),
+            b: Src::Imm(1),
+        });
+        k.branch_if(top, Pred(0), true);
+        k.push(Op::Exit);
+        let kernel = k.finish();
+        let cfg = Cfg::build(&kernel);
+        let ins = solve_forward(
+            &cfg,
+            false,
+            |a: &bool, b: &bool| *a && *b,
+            |b, s| {
+                s || kernel.instrs()[cfg.blocks[b].start..cfg.blocks[b].end]
+                    .iter()
+                    .any(|i| i.op.defs().contains(&Reg(0)))
+            },
+        );
+        // The loop head is reached both from the entry (defined) and the
+        // back edge (still defined): must-meet keeps it true.
+        let loop_head = cfg.block_of[1];
+        assert_eq!(ins[loop_head], Some(true));
+        // The entry block's in-state is the initial state.
+        assert_eq!(ins[0], Some(false));
+    }
+
+    #[test]
+    fn unreachable_blocks_stay_none() {
+        let mut k = KernelBuilder::new("u");
+        let end = k.label();
+        k.branch_to(end);
+        k.push(Op::Nop);
+        k.bind(end);
+        k.push(Op::Exit);
+        let cfg = Cfg::build(&k.finish());
+        let ins = solve_forward(&cfg, 0u32, |a, b| *a.min(b), |_, s| s + 1);
+        assert!(ins[1].is_none(), "unreachable block must not be analysed");
+    }
+}

@@ -1,0 +1,474 @@
+//! Inter-thread (warp-splitting) duplication invariant checking.
+//!
+//! Lattice per register: `Unchecked | Checked{at}`. A register becomes
+//! `Checked` through the shuffle-check triple
+//!
+//! ```text
+//!   SHFL.BFLY r', r, 1     read the partner lane's copy
+//!   SETP.NE   P, r, r'     compare
+//!   @P BRA    trap
+//! ```
+//!
+//! and any definition resets it. The invariants for the checked variant:
+//! every store/atomic operand must be `Checked` on all paths (the check
+//! dominates the store), the check triple must not sit in divergent
+//! (guarded) flow — the partner lane would not participate in the shuffle —
+//! and stores must be restricted to the original (even) lane via the
+//! lane-parity predicate established by the prologue. Thread-index reads
+//! must be halved so both lanes of a pair compute the same logical thread.
+//! The unchecked variant (Fig. 15's theoretical bound) keeps the structural
+//! rules but carries no check obligation: it verifies with zero coverage.
+
+use swapcodes_isa::{CmpOp, CmpTy, Kernel, Op, Pred, Reg, ShflMode, SpecialReg, Src};
+
+use crate::cfg::Cfg;
+use crate::dataflow::solve_forward;
+use crate::{Coverage, Finding, Rule};
+
+const NREGS: usize = 256;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum S {
+    Unchecked,
+    Checked(usize),
+}
+
+fn meet_one(a: S, b: S) -> S {
+    match (a, b) {
+        (S::Checked(x), S::Checked(y)) => S::Checked(x.min(y)),
+        _ => S::Unchecked,
+    }
+}
+
+fn meet(a: &[S], b: &[S]) -> Vec<S> {
+    a.iter().zip(b).map(|(&x, &y)| meet_one(x, y)).collect()
+}
+
+/// Find the lane-parity prologue (`S2R LaneId ; AND 1 ; SETP.NE 0`) and
+/// return the shadow-lane predicate it defines.
+fn find_shadow_pred(kernel: &Kernel) -> Option<Pred> {
+    let instrs = kernel.instrs();
+    for w in 0..instrs.len().saturating_sub(2) {
+        let Op::S2R {
+            d,
+            sr: SpecialReg::LaneId,
+        } = instrs[w].op
+        else {
+            continue;
+        };
+        let Op::And {
+            d: d2,
+            a,
+            b: Src::Imm(1),
+        } = instrs[w + 1].op
+        else {
+            continue;
+        };
+        let Op::SetP {
+            p,
+            cmp: CmpOp::Ne,
+            ty: CmpTy::U32,
+            a: a3,
+            b: Src::Imm(0),
+        } = instrs[w + 2].op
+        else {
+            continue;
+        };
+        if d2 == d && a == d && a3 == d {
+            return Some(p);
+        }
+    }
+    None
+}
+
+/// Recognise the shuffle-check triple starting at `i`; returns the checked
+/// register and whether the triple sits in divergent (guarded) flow.
+fn check_at(kernel: &Kernel, i: usize) -> Option<(Reg, bool)> {
+    let instrs = kernel.instrs();
+    let Op::Shfl {
+        d: s,
+        a: r,
+        mode: ShflMode::Bfly(1),
+    } = instrs.get(i)?.op
+    else {
+        return None;
+    };
+    let setp = instrs.get(i + 1)?;
+    let Op::SetP {
+        p,
+        cmp: CmpOp::Ne,
+        ty: CmpTy::U32,
+        a,
+        b: Src::Reg(b),
+    } = setp.op
+    else {
+        return None;
+    };
+    if a != r || b != s {
+        return None;
+    }
+    let bra = instrs.get(i + 2)?;
+    let Op::Bra { target } = bra.op else {
+        return None;
+    };
+    if bra.guard != Some((p, true)) || !matches!(instrs.get(target)?.op, Op::Trap) {
+        return None;
+    }
+    let divergent = instrs[i].guard.is_some() || setp.guard.is_some();
+    Some((r, divergent))
+}
+
+struct Ctx {
+    findings: Vec<Finding>,
+    /// Checked store/atomic operand count (coverage numerator).
+    covered: u32,
+}
+
+fn emit(ctx: &mut Option<&mut Ctx>, f: Finding) {
+    if let Some(c) = ctx.as_deref_mut() {
+        c.findings.push(f);
+    }
+}
+
+/// Store/atomic operand registers (the inter-thread fault-target points).
+fn store_operands(op: &Op) -> Vec<Reg> {
+    match *op {
+        Op::St { addr, v, width, .. } => {
+            let mut o = vec![addr, v];
+            if width == swapcodes_isa::MemWidth::W64 {
+                o.push(v.pair_hi());
+            }
+            o.retain(|r| !r.is_zero());
+            o
+        }
+        Op::AtomAdd { addr, v, .. } => {
+            let mut o = vec![addr, v];
+            o.retain(|r| !r.is_zero());
+            o
+        }
+        _ => Vec::new(),
+    }
+}
+
+fn step(
+    kernel: &Kernel,
+    shadow_pred: Option<Pred>,
+    checked_variant: bool,
+    i: usize,
+    st: &mut [S],
+    ctx: &mut Option<&mut Ctx>,
+) {
+    let instr = &kernel.instrs()[i];
+    let op = &instr.op;
+
+    // Thread-index reads must be halved to the logical index.
+    if let Op::S2R {
+        d,
+        sr: SpecialReg::TidX | SpecialReg::NTidX,
+    } = *op
+    {
+        let halved = matches!(
+            kernel.instrs().get(i + 1),
+            Some(next) if next.guard == instr.guard
+                && matches!(next.op, Op::Shr { d: d2, a, b: Src::Imm(1) } if d2 == d && a == d)
+        );
+        if !halved {
+            emit(
+                ctx,
+                Finding {
+                    rule: Rule::InterThreadUnhalvedTid,
+                    at: i,
+                    reg: Some(d),
+                    witness: vec![i],
+                },
+            );
+        }
+    }
+
+    if matches!(op, Op::St { .. } | Op::AtomAdd { .. }) {
+        match shadow_pred {
+            Some(p) if instr.guard == Some((p, false)) => {}
+            // Without a prologue there is no predicate to demand; the
+            // missing-prologue finding already covers it.
+            None => {}
+            _ => emit(
+                ctx,
+                Finding {
+                    rule: Rule::InterThreadUnguardedStore,
+                    at: i,
+                    reg: None,
+                    witness: vec![i],
+                },
+            ),
+        }
+        for r in store_operands(op) {
+            match st[r.0 as usize] {
+                S::Checked(_) => {
+                    if let Some(c) = ctx.as_deref_mut() {
+                        c.covered += 1;
+                    }
+                }
+                S::Unchecked if checked_variant => emit(
+                    ctx,
+                    Finding {
+                        rule: Rule::InterThreadUncheckedStore,
+                        at: i,
+                        reg: Some(r),
+                        witness: vec![i],
+                    },
+                ),
+                S::Unchecked => {}
+            }
+        }
+    }
+
+    // Definitions invalidate prior checks. (Applied before check credit so
+    // the shuffle's own scratch write cannot count as checked.)
+    for d in op.defs() {
+        st[d.0 as usize] = S::Unchecked;
+    }
+
+    if let Some((r, divergent)) = check_at(kernel, i) {
+        if divergent {
+            emit(
+                ctx,
+                Finding {
+                    rule: Rule::InterThreadDivergentCheck,
+                    at: i,
+                    reg: Some(r),
+                    witness: vec![i],
+                },
+            );
+        } else {
+            st[r.0 as usize] = S::Checked(i);
+        }
+    }
+}
+
+fn transfer_block(
+    kernel: &Kernel,
+    cfg: &Cfg,
+    shadow_pred: Option<Pred>,
+    checked_variant: bool,
+    b: usize,
+    mut st: Vec<S>,
+    mut ctx: Option<&mut Ctx>,
+) -> Vec<S> {
+    for i in cfg.blocks[b].start..cfg.blocks[b].end {
+        step(kernel, shadow_pred, checked_variant, i, &mut st, &mut ctx);
+    }
+    st
+}
+
+pub(crate) fn check(kernel: &Kernel, cfg: &Cfg, checked_variant: bool) -> (Vec<Finding>, Coverage) {
+    let shadow_pred = find_shadow_pred(kernel);
+    let mut findings = Vec::new();
+    if shadow_pred.is_none() {
+        findings.push(Finding {
+            rule: Rule::InterThreadMissingPrologue,
+            at: 0,
+            reg: None,
+            witness: vec![0],
+        });
+    }
+
+    let entry = vec![S::Unchecked; NREGS];
+    let ins = solve_forward(
+        cfg,
+        entry,
+        |a, b| meet(a, b),
+        |b, s| transfer_block(kernel, cfg, shadow_pred, checked_variant, b, s, None),
+    );
+
+    let mut ctx = Ctx {
+        findings: Vec::new(),
+        covered: 0,
+    };
+    for (b, in_state) in ins.into_iter().enumerate() {
+        let Some(in_state) = in_state else { continue };
+        transfer_block(
+            kernel,
+            cfg,
+            shadow_pred,
+            checked_variant,
+            b,
+            in_state,
+            Some(&mut ctx),
+        );
+    }
+    findings.append(&mut ctx.findings);
+
+    let mut points = 0u32;
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[bi] {
+            continue;
+        }
+        for i in block.start..block.end {
+            points += u32::try_from(store_operands(&kernel.instrs()[i].op).len())
+                .expect("at most 3 operands");
+        }
+    }
+    (
+        findings,
+        Coverage {
+            kind: "store operands",
+            points,
+            covered: ctx.covered,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcodes_core::Scheme;
+    use swapcodes_isa::{Instr, KernelBuilder, MemSpace, MemWidth, Role};
+    use swapcodes_sim::Launch;
+
+    fn verify_it(kernel: &Kernel, checked: bool) -> crate::Report {
+        crate::verify(Scheme::InterThread { checked }, kernel)
+    }
+
+    fn store_kernel() -> Kernel {
+        let mut k = KernelBuilder::new("s");
+        k.push(Op::S2R {
+            d: Reg(0),
+            sr: SpecialReg::TidX,
+        });
+        k.push(Op::Shl {
+            d: Reg(1),
+            a: Reg(0),
+            b: Src::Imm(2),
+        });
+        k.push(Op::St {
+            space: MemSpace::Global,
+            addr: Reg(1),
+            offset: 0,
+            v: Reg(0),
+            width: MemWidth::W32,
+        });
+        k.push(Op::Exit);
+        k.finish()
+    }
+
+    #[test]
+    fn transformed_kernel_is_clean_and_fully_covered() {
+        let t = swapcodes_core::apply(
+            Scheme::InterThread { checked: true },
+            &store_kernel(),
+            Launch::grid(1, 64),
+        )
+        .unwrap();
+        let r = verify_it(&t.kernel, true);
+        assert!(r.is_clean(), "unexpected findings: {r}");
+        assert_eq!(r.coverage.fraction(), 1.0, "{r}");
+    }
+
+    #[test]
+    fn unchecked_variant_is_clean_with_zero_coverage() {
+        let t = swapcodes_core::apply(
+            Scheme::InterThread { checked: false },
+            &store_kernel(),
+            Launch::grid(1, 64),
+        )
+        .unwrap();
+        let r = verify_it(&t.kernel, false);
+        assert!(r.is_clean(), "unexpected findings: {r}");
+        assert_eq!(r.coverage.covered, 0);
+        assert!(r.coverage.points > 0);
+    }
+
+    #[test]
+    fn baseline_kernel_trips_prologue_store_and_tid_rules() {
+        let r = verify_it(&store_kernel(), true);
+        let rules: Vec<Rule> = r.findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&Rule::InterThreadMissingPrologue));
+        assert!(rules.contains(&Rule::InterThreadUncheckedStore));
+        assert!(rules.contains(&Rule::InterThreadUnhalvedTid));
+    }
+
+    #[test]
+    fn wrong_store_guard_is_flagged() {
+        let t = swapcodes_core::apply(
+            Scheme::InterThread { checked: true },
+            &store_kernel(),
+            Launch::grid(1, 64),
+        )
+        .unwrap();
+        let mut instrs = t.kernel.instrs().to_vec();
+        for i in &mut instrs {
+            if matches!(i.op, Op::St { .. }) {
+                i.guard = None; // both lanes now write
+            }
+        }
+        let k = Kernel::from_instrs("bad", instrs);
+        assert!(verify_it(&k, true)
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::InterThreadUnguardedStore));
+    }
+
+    #[test]
+    fn divergent_check_is_flagged_and_earns_no_credit() {
+        let t = swapcodes_core::apply(
+            Scheme::InterThread { checked: true },
+            &store_kernel(),
+            Launch::grid(1, 64),
+        )
+        .unwrap();
+        let mut instrs = t.kernel.instrs().to_vec();
+        for i in &mut instrs {
+            if matches!(i.op, Op::Shfl { .. }) {
+                i.guard = Some((Pred(0), true));
+            }
+        }
+        let k = Kernel::from_instrs("div", instrs);
+        let r = verify_it(&k, true);
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::InterThreadDivergentCheck));
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::InterThreadUncheckedStore));
+    }
+
+    #[test]
+    fn redefinition_between_check_and_store_invalidates_it() {
+        let t = swapcodes_core::apply(
+            Scheme::InterThread { checked: true },
+            &store_kernel(),
+            Launch::grid(1, 64),
+        )
+        .unwrap();
+        // Insert a write to the stored value register right before the store.
+        let mut instrs = t.kernel.instrs().to_vec();
+        let st_pos = instrs
+            .iter()
+            .position(|i| matches!(i.op, Op::St { .. }))
+            .expect("store present");
+        instrs.insert(
+            st_pos,
+            Instr::new(Op::IAdd {
+                d: Reg(0),
+                a: Reg(0),
+                b: Src::Imm(0),
+            })
+            .with_role(Role::Original),
+        );
+        // Fix the trap branch targets shifted by the insertion.
+        for i in &mut instrs {
+            if let Op::Bra { target } = &mut i.op {
+                if *target >= st_pos {
+                    *target += 1;
+                }
+            }
+        }
+        let k = Kernel::from_instrs("redef", instrs);
+        assert!(verify_it(&k, true)
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::InterThreadUncheckedStore && f.reg == Some(Reg(0))));
+    }
+}

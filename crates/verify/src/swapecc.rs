@@ -1,0 +1,431 @@
+//! Swap-ECC / Swap-Predict invariant checking.
+//!
+//! Lattice per register (the *codeword-consistency* states):
+//!
+//! ```text
+//!            Covered            data and ECC check bits agree
+//!               |
+//!          Pending{at}          original wrote data, shadow has not yet
+//!               |               swapped the check bits (window open at `at`)
+//!            Conflict           different open windows on different paths
+//! ```
+//!
+//! The invariant: every duplication-eligible definition must close its
+//! codeword window — via an adjacent ECC-only shadow re-execution, or by
+//! being a propagated move / predictor-covered operation (`predicted`) —
+//! before the value is read, overwritten, or the kernel exits. Loads and
+//! shuffles write full codewords (memory and the shuffle datapath are
+//! ECC-protected end to end), so their destinations are `Covered`.
+
+use swapcodes_core::PredictorSet;
+use swapcodes_isa::{Kernel, Op, Reg};
+
+use crate::cfg::Cfg;
+use crate::dataflow::solve_forward;
+use crate::{Coverage, Finding, Rule};
+
+const NREGS: usize = 256;
+
+/// Codeword-consistency state of one register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum S {
+    Covered,
+    Pending(usize),
+    Conflict,
+}
+
+fn meet_one(a: S, b: S) -> S {
+    match (a, b) {
+        (S::Conflict, _) | (_, S::Conflict) => S::Conflict,
+        (S::Covered, x) | (x, S::Covered) => x,
+        (S::Pending(x), S::Pending(y)) => {
+            if x == y {
+                S::Pending(x)
+            } else {
+                S::Conflict
+            }
+        }
+    }
+}
+
+fn meet(a: &[S], b: &[S]) -> Vec<S> {
+    a.iter().zip(b).map(|(&x, &y)| meet_one(x, y)).collect()
+}
+
+/// Reporting context: populated only during the post-fixpoint replay.
+struct Ctx {
+    findings: Vec<Finding>,
+    /// `covered[i]`: instruction `i`'s definition is provably protected.
+    covered: Vec<bool>,
+}
+
+fn emit(ctx: &mut Option<&mut Ctx>, f: Finding) {
+    if let Some(c) = ctx.as_deref_mut() {
+        c.findings.push(f);
+    }
+}
+
+/// Flag an open window that is being destroyed (overwrite / exit).
+fn flag_lost_window(ctx: &mut Option<&mut Ctx>, at: usize, reg: Reg) {
+    emit(
+        ctx,
+        Finding {
+            rule: Rule::SwapEccMissingShadow,
+            at,
+            reg: Some(reg),
+            witness: vec![at],
+        },
+    );
+}
+
+fn step(
+    kernel: &Kernel,
+    cfg: &Cfg,
+    predictors: PredictorSet,
+    i: usize,
+    st: &mut [S],
+    ctx: &mut Option<&mut Ctx>,
+) {
+    let instr = &kernel.instrs()[i];
+    let op = &instr.op;
+
+    // Reading inside a codeword window observes data whose check bits still
+    // belong to the previous value: an undetectable-by-construction read.
+    // The ECC-only shadow itself re-reads the original's (covered) sources,
+    // so it is exempt.
+    if !instr.ecc_only {
+        for r in op.uses() {
+            match st[r.0 as usize] {
+                S::Pending(at) => emit(
+                    ctx,
+                    Finding {
+                        rule: Rule::SwapEccConsumeBeforeShadow,
+                        at: i,
+                        reg: Some(r),
+                        witness: cfg.path_witness(at, i),
+                    },
+                ),
+                S::Conflict => emit(
+                    ctx,
+                    Finding {
+                        rule: Rule::SwapEccConsumeBeforeShadow,
+                        at: i,
+                        reg: Some(r),
+                        witness: vec![i],
+                    },
+                ),
+                S::Covered => {}
+            }
+        }
+    }
+
+    if instr.ecc_only {
+        // A shadow must close the window its original opened: same op, same
+        // guard, immediately pending.
+        for d in op.defs() {
+            let di = d.0 as usize;
+            let matched = matches!(
+                st[di],
+                S::Pending(at)
+                    if kernel.instrs()[at].op == *op
+                        && kernel.instrs()[at].guard == instr.guard
+                        && !kernel.instrs()[at].ecc_only
+            );
+            if matched {
+                if let S::Pending(at) = st[di] {
+                    if let Some(c) = ctx.as_deref_mut() {
+                        c.covered[at] = true;
+                    }
+                }
+            } else {
+                emit(
+                    ctx,
+                    Finding {
+                        rule: Rule::SwapEccOrphanShadow,
+                        at: i,
+                        reg: Some(d),
+                        witness: vec![i],
+                    },
+                );
+            }
+            st[di] = S::Covered;
+        }
+    } else if instr.predicted {
+        // Single-copy instructions: end-to-end move propagation or hardware
+        // check-bit prediction. Anything else claiming `predicted` is a hole.
+        let legit = op.is_move() || predictors.covers(op);
+        if !legit {
+            emit(
+                ctx,
+                Finding {
+                    rule: Rule::SwapEccBogusPredicted,
+                    at: i,
+                    reg: op.defs().first().copied(),
+                    witness: vec![i],
+                },
+            );
+        }
+        for d in op.defs() {
+            if let S::Pending(at) = st[d.0 as usize] {
+                flag_lost_window(ctx, at, d);
+            }
+            st[d.0 as usize] = S::Covered;
+        }
+        if legit {
+            if let Some(c) = ctx.as_deref_mut() {
+                c.covered[i] = true;
+            }
+        }
+    } else if op.is_dup_eligible() {
+        // A plain eligible write opens a window that only a shadow may close.
+        for d in op.defs() {
+            if let S::Pending(at) = st[d.0 as usize] {
+                flag_lost_window(ctx, at, d);
+            }
+            st[d.0 as usize] = S::Pending(i);
+        }
+    } else {
+        // Loads and shuffles deliver full codewords; windows still open at
+        // kernel exit never get their shadow on that path.
+        if matches!(op, Op::Exit) {
+            for (r, s) in st.iter().enumerate() {
+                if let S::Pending(at) = *s {
+                    flag_lost_window(ctx, at, Reg(r as u8));
+                }
+            }
+        }
+        for d in op.defs() {
+            if let S::Pending(at) = st[d.0 as usize] {
+                flag_lost_window(ctx, at, d);
+            }
+            st[d.0 as usize] = S::Covered;
+        }
+    }
+}
+
+fn transfer_block(
+    kernel: &Kernel,
+    cfg: &Cfg,
+    predictors: PredictorSet,
+    b: usize,
+    mut st: Vec<S>,
+    mut ctx: Option<&mut Ctx>,
+) -> Vec<S> {
+    for i in cfg.blocks[b].start..cfg.blocks[b].end {
+        step(kernel, cfg, predictors, i, &mut st, &mut ctx);
+    }
+    st
+}
+
+pub(crate) fn check(
+    kernel: &Kernel,
+    cfg: &Cfg,
+    predictors: PredictorSet,
+) -> (Vec<Finding>, Coverage) {
+    let entry = vec![S::Covered; NREGS];
+    let ins = solve_forward(
+        cfg,
+        entry,
+        |a, b| meet(a, b),
+        |b, s| transfer_block(kernel, cfg, predictors, b, s, None),
+    );
+
+    let mut ctx = Ctx {
+        findings: Vec::new(),
+        covered: vec![false; kernel.len()],
+    };
+    for (b, in_state) in ins.into_iter().enumerate() {
+        let Some(in_state) = in_state else { continue };
+        transfer_block(kernel, cfg, predictors, b, in_state, Some(&mut ctx));
+    }
+
+    let mut points = 0u32;
+    let mut covered = 0u32;
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[bi] {
+            continue;
+        }
+        for i in block.start..block.end {
+            let instr = &kernel.instrs()[i];
+            if !instr.ecc_only && instr.op.is_dup_eligible() && !instr.op.defs().is_empty() {
+                points += 1;
+                if ctx.covered[i] {
+                    covered += 1;
+                }
+            }
+        }
+    }
+    (
+        ctx.findings,
+        Coverage {
+            kind: "eligible defs",
+            points,
+            covered,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcodes_core::Scheme;
+    use swapcodes_isa::{Instr, KernelBuilder, MemSpace, MemWidth, Role, Src};
+    use swapcodes_sim::Launch;
+
+    fn verify_ecc(kernel: &Kernel) -> crate::Report {
+        crate::verify(Scheme::SwapEcc, kernel)
+    }
+
+    #[test]
+    fn transformed_kernel_is_clean_and_fully_covered() {
+        let mut k = KernelBuilder::new("k");
+        k.push(Op::Ld {
+            d: Reg(0),
+            space: MemSpace::Global,
+            addr: Reg(1),
+            offset: 0,
+            width: MemWidth::W32,
+        });
+        k.push(Op::IMul {
+            d: Reg(2),
+            a: Reg(0),
+            b: Src::Imm(3),
+        });
+        k.push(Op::Mov {
+            d: Reg(3),
+            a: Src::Reg(Reg(2)),
+        });
+        k.push(Op::St {
+            space: MemSpace::Global,
+            addr: Reg(1),
+            offset: 0,
+            v: Reg(3),
+            width: MemWidth::W32,
+        });
+        k.push(Op::Exit);
+        let t = swapcodes_core::apply(Scheme::SwapEcc, &k.finish(), Launch::grid(1, 32)).unwrap();
+        let r = verify_ecc(&t.kernel);
+        assert!(r.is_clean(), "unexpected findings: {r}");
+        assert_eq!(r.coverage.fraction(), 1.0);
+    }
+
+    #[test]
+    fn untransformed_eligible_def_is_a_missing_shadow() {
+        let mut k = KernelBuilder::new("k");
+        k.push(Op::IAdd {
+            d: Reg(0),
+            a: Reg(1),
+            b: Src::Imm(1),
+        });
+        k.push(Op::Exit);
+        let r = verify_ecc(&k.finish());
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::SwapEccMissingShadow && f.reg == Some(Reg(0))));
+    }
+
+    #[test]
+    fn consuming_inside_the_window_is_flagged_with_a_witness() {
+        let add = Op::IAdd {
+            d: Reg(0),
+            a: Reg(1),
+            b: Src::Imm(1),
+        };
+        let k = Kernel::from_instrs(
+            "w",
+            vec![
+                Instr::new(add),
+                // store reads R0 between original and shadow
+                Instr::new(Op::St {
+                    space: MemSpace::Global,
+                    addr: Reg(2),
+                    offset: 0,
+                    v: Reg(0),
+                    width: MemWidth::W32,
+                }),
+                Instr::new(add).with_role(Role::Shadow).with_ecc_only(),
+                Instr::new(Op::Exit),
+            ],
+        );
+        let f = verify_ecc(&k)
+            .findings
+            .iter()
+            .find(|f| f.rule == Rule::SwapEccConsumeBeforeShadow)
+            .cloned()
+            .expect("window read must be flagged");
+        assert_eq!(f.at, 1);
+        assert_eq!(f.reg, Some(Reg(0)));
+        assert_eq!(f.witness, vec![0, 1]);
+    }
+
+    #[test]
+    fn orphan_shadow_is_flagged() {
+        let k = Kernel::from_instrs(
+            "o",
+            vec![
+                Instr::new(Op::IAdd {
+                    d: Reg(0),
+                    a: Reg(1),
+                    b: Src::Imm(1),
+                })
+                .with_role(Role::Shadow)
+                .with_ecc_only(),
+                Instr::new(Op::Exit),
+            ],
+        );
+        assert!(verify_ecc(&k)
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::SwapEccOrphanShadow));
+    }
+
+    #[test]
+    fn bogus_predicted_depends_on_the_predictor_set() {
+        let k = Kernel::from_instrs(
+            "p",
+            vec![
+                Instr::new(Op::IAdd {
+                    d: Reg(0),
+                    a: Reg(1),
+                    b: Src::Imm(1),
+                })
+                .with_predicted(),
+                Instr::new(Op::Exit),
+            ],
+        );
+        // Under pure Swap-ECC no predictor exists for IADD.
+        assert!(verify_ecc(&k)
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::SwapEccBogusPredicted));
+        // Under Swap-Predict with add/sub predictors it is legitimate.
+        let r = crate::verify(Scheme::SwapPredict(PredictorSet::ADD_SUB), &k);
+        assert!(r.is_clean(), "unexpected findings: {r}");
+        assert_eq!(r.coverage.fraction(), 1.0);
+    }
+
+    #[test]
+    fn window_open_on_one_path_only_is_still_flagged() {
+        // Guarded branch skips the shadow on the fall-through path.
+        let add = Op::IAdd {
+            d: Reg(0),
+            a: Reg(1),
+            b: Src::Imm(1),
+        };
+        let mut k = KernelBuilder::new("path");
+        let join = k.label();
+        k.push(add);
+        k.branch_if(join, swapcodes_isa::Pred(0), true);
+        k.push_instr(Instr::new(add).with_role(Role::Shadow).with_ecc_only());
+        k.bind(join);
+        k.push(Op::Exit);
+        let r = verify_ecc(&k.finish());
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.rule == Rule::SwapEccMissingShadow),
+            "must-analysis has to catch the unshadowed path: {r}"
+        );
+    }
+}

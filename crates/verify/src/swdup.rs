@@ -1,0 +1,788 @@
+//! SW-Dup (software duplication) invariant checking.
+//!
+//! Lattice per original-space register:
+//!
+//! ```text
+//!   Covered        not carrying an unverified duplicated value
+//!      |
+//!   Checked{def}   compared against its shadow on every path since `def`
+//!      |
+//!   Dup{def}       original and independent shadow both computed
+//!      |
+//!   Pending{def}   original computed, shadow not yet
+//!      |
+//!   Conflict       different unresolved definitions on different paths
+//! ```
+//!
+//! The invariant: every *unduplicated* consumer (store, atomic, load
+//! address, predicate write, shuffle) of a duplicated value must see it in
+//! `Checked`/`Covered` state on **all** paths — i.e. a `SETP r != r+off ;
+//! @P BRA trap` check dominates the consumer. Duplicated consumers may read
+//! `Dup` values (their shadows read the shadow copies). Shadow-space writes
+//! must be exactly the register-mapped re-execution of their pending
+//! original — sharing the original's output operands (`SharedOperand`) or
+//! copying the unverified original into its shadow (`ShadowClobber`) would
+//! let a corrupted value validate itself.
+//!
+//! The shadow register space is inferred structurally: shadow offset from
+//! adjacent original/shadow pairs, shadowed set from eligible original
+//! definitions — mirroring how the transform chooses them.
+
+use swapcodes_isa::{CmpOp, CmpTy, Kernel, Op, Reg, Role, Src};
+
+use crate::cfg::Cfg;
+use crate::dataflow::solve_forward;
+use crate::{Coverage, Finding, Rule};
+
+const NREGS: usize = 256;
+
+/// Protection state of one original-space register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum S {
+    Covered,
+    Pending(usize),
+    Dup(usize),
+    Checked(usize),
+    Conflict,
+}
+
+fn meet_one(a: S, b: S) -> S {
+    use S::{Checked, Conflict, Covered, Dup, Pending};
+    match (a, b) {
+        (Conflict, _) | (_, Conflict) => Conflict,
+        (Pending(x), Pending(y)) => {
+            if x == y {
+                Pending(x)
+            } else {
+                Conflict
+            }
+        }
+        (Pending(x), _) | (_, Pending(x)) => Pending(x),
+        (Dup(x), Dup(y)) => Dup(x.min(y)),
+        (Dup(x), _) | (_, Dup(x)) => Dup(x),
+        (Checked(x), Checked(y)) => Checked(x.min(y)),
+        (Checked(x), Covered) | (Covered, Checked(x)) => Checked(x),
+        (Covered, Covered) => Covered,
+    }
+}
+
+fn meet(a: &[S], b: &[S]) -> Vec<S> {
+    a.iter().zip(b).map(|(&x, &y)| meet_one(x, y)).collect()
+}
+
+/// The structurally-inferred shadow layout.
+struct Shape {
+    /// Shadow register offset (consensus over adjacent original/shadow
+    /// pairs); `None` when the kernel contains no shadow pairs at all.
+    off: Option<u8>,
+    /// Registers that carry duplicated values (defs of eligible originals).
+    shadowed: [bool; NREGS],
+}
+
+impl Shape {
+    fn infer(kernel: &Kernel) -> (Self, Vec<Finding>) {
+        let mut shadowed = [false; NREGS];
+        for instr in kernel.instrs() {
+            if instr.role == Role::Original && instr.op.is_dup_eligible() {
+                for d in instr.op.defs() {
+                    shadowed[d.0 as usize] = true;
+                }
+            }
+        }
+
+        // Offset candidates from adjacent original/shadow def pairs.
+        let mut candidates: Vec<(usize, u8)> = Vec::new();
+        for i in 1..kernel.len() {
+            let (prev, cur) = (&kernel.instrs()[i - 1], &kernel.instrs()[i]);
+            if cur.role != Role::Shadow
+                || !cur.op.is_dup_eligible()
+                || prev.role == Role::Shadow
+                || !prev.op.is_dup_eligible()
+            {
+                continue;
+            }
+            if let (Some(o), Some(s)) = (prev.op.defs().first(), cur.op.defs().first()) {
+                if s.0 > o.0 {
+                    candidates.push((i, s.0 - o.0));
+                }
+            }
+        }
+        let mut findings = Vec::new();
+        let off = candidates.iter().map(|&(_, o)| o).fold(
+            std::collections::HashMap::<u8, u32>::new(),
+            |mut m, o| {
+                *m.entry(o).or_default() += 1;
+                m
+            },
+        );
+        let off = off.into_iter().max_by_key(|&(o, n)| (n, o)).map(|(o, _)| o);
+        if let Some(consensus) = off {
+            for &(i, o) in &candidates {
+                if o != consensus {
+                    findings.push(Finding {
+                        rule: Rule::SwDupInconsistentOffset,
+                        at: i,
+                        reg: kernel.instrs()[i].op.defs().first().copied(),
+                        witness: vec![i],
+                    });
+                }
+            }
+        }
+        (Self { off, shadowed }, findings)
+    }
+
+    fn is_shadow_reg(&self, r: Reg) -> bool {
+        self.off
+            .is_some_and(|o| r.0 >= o && self.shadowed[(r.0 - o) as usize])
+    }
+}
+
+/// Recognise `SETP.NE.U32 P, r, r+off ; @P BRA trap` starting at `i` and
+/// return the checked register.
+fn check_target(kernel: &Kernel, shape: &Shape, i: usize) -> Option<Reg> {
+    let off = shape.off?;
+    let Op::SetP {
+        p,
+        cmp: CmpOp::Ne,
+        ty: CmpTy::U32,
+        a,
+        b: Src::Reg(s),
+    } = kernel.instrs()[i].op
+    else {
+        return None;
+    };
+    if Some(s.0) != a.0.checked_add(off) || !shape.shadowed[a.0 as usize] {
+        return None;
+    }
+    let next = kernel.instrs().get(i + 1)?;
+    let Op::Bra { target } = next.op else {
+        return None;
+    };
+    if next.guard != Some((p, true)) {
+        return None;
+    }
+    matches!(kernel.instrs().get(target)?.op, Op::Trap).then_some(a)
+}
+
+struct Ctx {
+    findings: Vec<Finding>,
+    covered: Vec<bool>,
+}
+
+fn emit(ctx: &mut Option<&mut Ctx>, f: Finding) {
+    if let Some(c) = ctx.as_deref_mut() {
+        c.findings.push(f);
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn step(
+    kernel: &Kernel,
+    cfg: &Cfg,
+    shape: &Shape,
+    i: usize,
+    st: &mut [S],
+    ctx: &mut Option<&mut Ctx>,
+) {
+    let instr = &kernel.instrs()[i];
+    let op = &instr.op;
+
+    // Explicit check: promote Dup to Checked. Checking a register whose
+    // shadow is stale (Pending) compares against garbage.
+    if let Some(r) = check_target(kernel, shape, i) {
+        let ri = r.0 as usize;
+        match st[ri] {
+            S::Dup(at) => st[ri] = S::Checked(at),
+            S::Pending(at) => {
+                emit(
+                    ctx,
+                    Finding {
+                        rule: Rule::SwDupConsumeBeforeShadow,
+                        at: i,
+                        reg: Some(r),
+                        witness: cfg.path_witness(at, i),
+                    },
+                );
+                st[ri] = S::Checked(at);
+            }
+            S::Conflict => {
+                emit(
+                    ctx,
+                    Finding {
+                        rule: Rule::SwDupConsumeBeforeShadow,
+                        at: i,
+                        reg: Some(r),
+                        witness: vec![i],
+                    },
+                );
+                st[ri] = S::Covered;
+            }
+            S::Checked(_) | S::Covered => {}
+        }
+        return;
+    }
+
+    let defs = op.defs();
+    if !defs.is_empty() && defs.iter().all(|&d| shape.is_shadow_reg(d)) {
+        // Shadow-space write.
+        let off = shape.off.expect("shadow registers imply a known offset");
+        if instr.role == Role::Shadow && op.is_dup_eligible() {
+            let orig: Vec<Reg> = defs.iter().map(|&d| Reg(d.0 - off)).collect();
+            if let S::Pending(at) = st[orig[0].0 as usize] {
+                let expected = kernel.instrs()[at].op.map_regs(|r, _| {
+                    if shape.shadowed[r.0 as usize] {
+                        Reg(r.0 + off)
+                    } else {
+                        r
+                    }
+                });
+                if *op != expected || instr.guard != kernel.instrs()[at].guard {
+                    // Reading the original's output operands means a corrupt
+                    // original feeds its own verification.
+                    let shares = op
+                        .uses()
+                        .iter()
+                        .any(|&u| u.0 < off && shape.shadowed[u.0 as usize]);
+                    emit(
+                        ctx,
+                        Finding {
+                            rule: if shares {
+                                Rule::SwDupSharedOperand
+                            } else {
+                                Rule::SwDupShadowMismatch
+                            },
+                            at: i,
+                            reg: Some(orig[0]),
+                            witness: cfg.path_witness(at, i),
+                        },
+                    );
+                } else if let Some(c) = ctx.as_deref_mut() {
+                    c.covered[at] = true;
+                }
+                for &o in &orig {
+                    st[o.0 as usize] = S::Dup(at);
+                }
+            } else {
+                emit(
+                    ctx,
+                    Finding {
+                        rule: Rule::SwDupShadowClobber,
+                        at: i,
+                        reg: Some(defs[0]),
+                        witness: vec![i],
+                    },
+                );
+            }
+        } else if let Op::Mov {
+            d, a: Src::Reg(r), ..
+        } = *op
+        {
+            if Some(d.0) == r.0.checked_add(off) {
+                // Coherence copy: legal only for hardware-covered values
+                // (loads, shuffles); copying an unverified original into its
+                // own shadow would mask any fault in it.
+                match st[r.0 as usize] {
+                    S::Covered => {}
+                    S::Pending(at) | S::Dup(at) | S::Checked(at) => emit(
+                        ctx,
+                        Finding {
+                            rule: Rule::SwDupShadowClobber,
+                            at: i,
+                            reg: Some(r),
+                            witness: cfg.path_witness(at, i),
+                        },
+                    ),
+                    S::Conflict => emit(
+                        ctx,
+                        Finding {
+                            rule: Rule::SwDupShadowClobber,
+                            at: i,
+                            reg: Some(r),
+                            witness: vec![i],
+                        },
+                    ),
+                }
+            } else {
+                emit(
+                    ctx,
+                    Finding {
+                        rule: Rule::SwDupShadowClobber,
+                        at: i,
+                        reg: Some(d),
+                        witness: vec![i],
+                    },
+                );
+            }
+        } else {
+            emit(
+                ctx,
+                Finding {
+                    rule: Rule::SwDupShadowClobber,
+                    at: i,
+                    reg: Some(defs[0]),
+                    witness: vec![i],
+                },
+            );
+        }
+        return;
+    }
+
+    // Original-space instruction.
+    let dup_consumer = op.is_dup_eligible() && instr.role != Role::Shadow;
+    for u in op.uses() {
+        if !shape.shadowed[u.0 as usize] {
+            continue;
+        }
+        match st[u.0 as usize] {
+            S::Pending(at) => emit(
+                ctx,
+                Finding {
+                    rule: if dup_consumer {
+                        Rule::SwDupConsumeBeforeShadow
+                    } else {
+                        Rule::SwDupUncheckedConsume
+                    },
+                    at: i,
+                    reg: Some(u),
+                    witness: cfg.path_witness(at, i),
+                },
+            ),
+            S::Dup(at) if !dup_consumer => emit(
+                ctx,
+                Finding {
+                    rule: Rule::SwDupUncheckedConsume,
+                    at: i,
+                    reg: Some(u),
+                    witness: cfg.path_witness(at, i),
+                },
+            ),
+            S::Conflict => emit(
+                ctx,
+                Finding {
+                    rule: if dup_consumer {
+                        Rule::SwDupConsumeBeforeShadow
+                    } else {
+                        Rule::SwDupUncheckedConsume
+                    },
+                    at: i,
+                    reg: Some(u),
+                    witness: vec![i],
+                },
+            ),
+            _ => {}
+        }
+    }
+
+    if matches!(op, Op::Exit) {
+        for (r, s) in st.iter().enumerate() {
+            if let S::Pending(at) = *s {
+                emit(
+                    ctx,
+                    Finding {
+                        rule: Rule::SwDupMissingShadow,
+                        at,
+                        reg: Some(Reg(r as u8)),
+                        witness: vec![at],
+                    },
+                );
+            }
+        }
+    }
+
+    for &d in &defs {
+        if let S::Pending(at) = st[d.0 as usize] {
+            emit(
+                ctx,
+                Finding {
+                    rule: Rule::SwDupMissingShadow,
+                    at,
+                    reg: Some(d),
+                    witness: vec![at],
+                },
+            );
+        }
+        st[d.0 as usize] = if dup_consumer {
+            S::Pending(i)
+        } else {
+            S::Covered
+        };
+    }
+}
+
+fn transfer_block(
+    kernel: &Kernel,
+    cfg: &Cfg,
+    shape: &Shape,
+    b: usize,
+    mut st: Vec<S>,
+    mut ctx: Option<&mut Ctx>,
+) -> Vec<S> {
+    for i in cfg.blocks[b].start..cfg.blocks[b].end {
+        step(kernel, cfg, shape, i, &mut st, &mut ctx);
+    }
+    st
+}
+
+pub(crate) fn check(kernel: &Kernel, cfg: &Cfg) -> (Vec<Finding>, Coverage) {
+    let (shape, mut findings) = Shape::infer(kernel);
+
+    let entry = vec![S::Covered; NREGS];
+    let ins = solve_forward(
+        cfg,
+        entry,
+        |a, b| meet(a, b),
+        |b, s| transfer_block(kernel, cfg, &shape, b, s, None),
+    );
+
+    let mut ctx = Ctx {
+        findings: Vec::new(),
+        covered: vec![false; kernel.len()],
+    };
+    for (b, in_state) in ins.into_iter().enumerate() {
+        let Some(in_state) = in_state else { continue };
+        transfer_block(kernel, cfg, &shape, b, in_state, Some(&mut ctx));
+    }
+    findings.append(&mut ctx.findings);
+
+    let mut points = 0u32;
+    let mut covered = 0u32;
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[bi] {
+            continue;
+        }
+        for i in block.start..block.end {
+            let instr = &kernel.instrs()[i];
+            let defs = instr.op.defs();
+            if instr.role != Role::Shadow
+                && instr.op.is_dup_eligible()
+                && !defs.is_empty()
+                && !defs.iter().any(|&d| shape.is_shadow_reg(d))
+            {
+                points += 1;
+                if ctx.covered[i] {
+                    covered += 1;
+                }
+            }
+        }
+    }
+    (
+        findings,
+        Coverage {
+            kind: "duplicated defs",
+            points,
+            covered,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcodes_core::Scheme;
+    use swapcodes_isa::{Instr, KernelBuilder, MemSpace, MemWidth, SpecialReg};
+    use swapcodes_sim::Launch;
+
+    fn verify_swdup(kernel: &Kernel) -> crate::Report {
+        crate::verify(Scheme::SwDup, kernel)
+    }
+
+    fn store_kernel() -> Kernel {
+        let mut k = KernelBuilder::new("s");
+        k.push(Op::S2R {
+            d: Reg(0),
+            sr: SpecialReg::TidX,
+        });
+        k.push(Op::IAdd {
+            d: Reg(1),
+            a: Reg(0),
+            b: Src::Imm(4),
+        });
+        k.push(Op::St {
+            space: MemSpace::Global,
+            addr: Reg(1),
+            offset: 0,
+            v: Reg(0),
+            width: MemWidth::W32,
+        });
+        k.push(Op::Exit);
+        k.finish()
+    }
+
+    #[test]
+    fn transformed_kernel_is_clean_and_fully_covered() {
+        let t = swapcodes_core::apply(Scheme::SwDup, &store_kernel(), Launch::grid(1, 32)).unwrap();
+        let r = verify_swdup(&t.kernel);
+        assert!(r.is_clean(), "unexpected findings: {r}");
+        assert_eq!(r.coverage.fraction(), 1.0, "{r}");
+    }
+
+    #[test]
+    fn transformed_branchy_kernel_is_clean() {
+        let mut k = KernelBuilder::new("b");
+        let end = k.label();
+        k.push(Op::S2R {
+            d: Reg(0),
+            sr: SpecialReg::TidX,
+        });
+        k.push(Op::SetP {
+            p: swapcodes_isa::Pred(0),
+            cmp: CmpOp::Gt,
+            ty: CmpTy::I32,
+            a: Reg(0),
+            b: Src::Imm(16),
+        });
+        k.branch_if(end, swapcodes_isa::Pred(0), true);
+        k.push(Op::IMul {
+            d: Reg(1),
+            a: Reg(0),
+            b: Src::Imm(3),
+        });
+        k.bind(end);
+        k.push(Op::St {
+            space: MemSpace::Global,
+            addr: Reg(0),
+            offset: 0,
+            v: Reg(1),
+            width: MemWidth::W32,
+        });
+        k.push(Op::Exit);
+        let t = swapcodes_core::apply(Scheme::SwDup, &k.finish(), Launch::grid(1, 32)).unwrap();
+        let r = verify_swdup(&t.kernel);
+        assert!(r.is_clean(), "unexpected findings: {r}");
+    }
+
+    #[test]
+    fn unchecked_store_is_flagged_with_path_witness() {
+        // R0 duplicated but stored without a compare.
+        let off = 2u8;
+        let add = Op::IAdd {
+            d: Reg(0),
+            a: Reg(1),
+            b: Src::Imm(1),
+        };
+        let k = Kernel::from_instrs(
+            "bad",
+            vec![
+                Instr::new(add),
+                Instr::new(Op::IAdd {
+                    d: Reg(off),
+                    a: Reg(1),
+                    b: Src::Imm(1),
+                })
+                .with_role(Role::Shadow),
+                Instr::new(Op::St {
+                    space: MemSpace::Global,
+                    addr: Reg(1),
+                    offset: 0,
+                    v: Reg(0),
+                    width: MemWidth::W32,
+                }),
+                Instr::new(Op::Exit),
+            ],
+        );
+        let r = verify_swdup(&k);
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.rule == Rule::SwDupUncheckedConsume)
+            .expect("unchecked store must be flagged");
+        assert_eq!(f.at, 2);
+        assert_eq!(f.reg, Some(Reg(0)));
+        assert_eq!(f.witness.first(), Some(&0));
+        assert_eq!(f.witness.last(), Some(&2));
+    }
+
+    #[test]
+    fn clobbered_shadow_is_flagged() {
+        // The shadow is overwritten with a copy of the unverified original:
+        // the subsequent check always passes, masking faults.
+        let add = Op::IAdd {
+            d: Reg(0),
+            a: Reg(1),
+            b: Src::Imm(1),
+        };
+        let k = Kernel::from_instrs(
+            "clobber",
+            vec![
+                Instr::new(add),
+                Instr::new(Op::IAdd {
+                    d: Reg(2),
+                    a: Reg(1),
+                    b: Src::Imm(1),
+                })
+                .with_role(Role::Shadow),
+                // the clobber: MOV R2 <- R0 while R0 is unverified
+                Instr::new(Op::Mov {
+                    d: Reg(2),
+                    a: Src::Reg(Reg(0)),
+                })
+                .with_role(Role::CompilerInserted),
+                Instr::new(Op::SetP {
+                    p: swapcodes_isa::Pred(6),
+                    cmp: CmpOp::Ne,
+                    ty: CmpTy::U32,
+                    a: Reg(0),
+                    b: Src::Reg(Reg(2)),
+                })
+                .with_role(Role::Check),
+                Instr::guarded(Op::Bra { target: 7 }, swapcodes_isa::Pred(6), true)
+                    .with_role(Role::Check),
+                Instr::new(Op::St {
+                    space: MemSpace::Global,
+                    addr: Reg(1),
+                    offset: 0,
+                    v: Reg(0),
+                    width: MemWidth::W32,
+                }),
+                Instr::new(Op::Exit),
+                Instr::new(Op::Trap).with_role(Role::Check),
+            ],
+        );
+        assert!(verify_swdup(&k)
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::SwDupShadowClobber));
+    }
+
+    #[test]
+    fn shared_operand_between_original_and_shadow_is_flagged() {
+        // Shadow of the second add reads the original R0 instead of its
+        // shadow copy R2.
+        let k = Kernel::from_instrs(
+            "shared",
+            vec![
+                Instr::new(Op::Mov {
+                    d: Reg(0),
+                    a: Src::Imm(5),
+                }),
+                Instr::new(Op::Mov {
+                    d: Reg(2),
+                    a: Src::Imm(5),
+                })
+                .with_role(Role::Shadow),
+                Instr::new(Op::IAdd {
+                    d: Reg(1),
+                    a: Reg(0),
+                    b: Src::Imm(1),
+                }),
+                Instr::new(Op::IAdd {
+                    d: Reg(3),
+                    a: Reg(0), // should be R2
+                    b: Src::Imm(1),
+                })
+                .with_role(Role::Shadow),
+                Instr::new(Op::Exit),
+            ],
+        );
+        assert!(verify_swdup(&k)
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::SwDupSharedOperand && f.reg == Some(Reg(1))));
+    }
+
+    #[test]
+    fn missing_shadow_is_flagged() {
+        let mut k = KernelBuilder::new("missing");
+        k.push(Op::IAdd {
+            d: Reg(0),
+            a: Reg(1),
+            b: Src::Imm(1),
+        });
+        k.push(Op::Exit);
+        let r = verify_swdup(&k.finish());
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::SwDupMissingShadow && f.reg == Some(Reg(0))));
+        assert_eq!(r.coverage.covered, 0);
+    }
+
+    #[test]
+    fn inconsistent_offsets_are_flagged() {
+        let k = Kernel::from_instrs(
+            "inconsistent",
+            vec![
+                Instr::new(Op::Mov {
+                    d: Reg(0),
+                    a: Src::Imm(1),
+                }),
+                Instr::new(Op::Mov {
+                    d: Reg(4),
+                    a: Src::Imm(1),
+                })
+                .with_role(Role::Shadow),
+                Instr::new(Op::Mov {
+                    d: Reg(1),
+                    a: Src::Imm(2),
+                }),
+                Instr::new(Op::Mov {
+                    d: Reg(7),
+                    a: Src::Imm(2),
+                })
+                .with_role(Role::Shadow),
+                Instr::new(Op::Exit),
+            ],
+        );
+        assert!(verify_swdup(&k)
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::SwDupInconsistentOffset));
+    }
+
+    #[test]
+    fn check_only_on_one_path_is_unsound() {
+        // Path A checks R0, path B does not; the store needs the check on
+        // both. Layout:
+        //  0 MOV R0, 7          (original)
+        //  1 MOV R2, 7          (shadow, off = 2)
+        //  2 @P0 BRA 5          (skip the check)
+        //  3 SETP.NE P6, R0, R2 (check)
+        //  4 @P6 BRA 8          (to trap)
+        //  5 STG [R1], R0
+        //  6 EXIT
+        //  7 EXIT               (defensive)
+        //  8 TRAP
+        let k = Kernel::from_instrs(
+            "onepath",
+            vec![
+                Instr::new(Op::Mov {
+                    d: Reg(0),
+                    a: Src::Imm(7),
+                }),
+                Instr::new(Op::Mov {
+                    d: Reg(2),
+                    a: Src::Imm(7),
+                })
+                .with_role(Role::Shadow),
+                Instr::guarded(Op::Bra { target: 5 }, swapcodes_isa::Pred(0), true),
+                Instr::new(Op::SetP {
+                    p: swapcodes_isa::Pred(6),
+                    cmp: CmpOp::Ne,
+                    ty: CmpTy::U32,
+                    a: Reg(0),
+                    b: Src::Reg(Reg(2)),
+                })
+                .with_role(Role::Check),
+                Instr::guarded(Op::Bra { target: 8 }, swapcodes_isa::Pred(6), true)
+                    .with_role(Role::Check),
+                Instr::new(Op::St {
+                    space: MemSpace::Global,
+                    addr: Reg(1),
+                    offset: 0,
+                    v: Reg(0),
+                    width: MemWidth::W32,
+                }),
+                Instr::new(Op::Exit),
+                Instr::new(Op::Exit).with_role(Role::CompilerInserted),
+                Instr::new(Op::Trap).with_role(Role::Check),
+            ],
+        );
+        let r = verify_swdup(&k);
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.rule == Rule::SwDupUncheckedConsume && f.at == 5),
+            "must-analysis has to require the check on every path: {r}"
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! The verifier's acceptance contract: every `apply()` output verifies
+//! clean, on the real workload suite AND on randomly generated kernels.
+//!
+//! These tests pin the transforms and the verifier to each other — a
+//! regression in either side (a pass emitting an unprotected window, or a
+//! rule misfiring on legitimate output) fails here first.
+
+use proptest::prelude::*;
+use swapcodes_core::{apply, PredictorSet, Scheme};
+use swapcodes_isa::{CmpOp, CmpTy, Instr, Kernel, MemSpace, MemWidth, Op, Pred, Reg, Src};
+use swapcodes_sim::Launch;
+use swapcodes_verify::verify;
+
+/// Every scheme the verifier models.
+fn schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::SwDup,
+        Scheme::SwapEcc,
+        Scheme::SwapPredict(PredictorSet::NONE),
+        Scheme::SwapPredict(PredictorSet::ADD_SUB),
+        Scheme::SwapPredict(PredictorSet::MAD),
+        Scheme::SwapPredict(PredictorSet::OTHER_FXP),
+        Scheme::SwapPredict(PredictorSet::FP_ADD_SUB),
+        Scheme::SwapPredict(PredictorSet::FP_MAD),
+        Scheme::InterThread { checked: true },
+        Scheme::InterThread { checked: false },
+    ]
+}
+
+#[test]
+fn every_scheme_verifies_clean_on_every_workload() {
+    let mut verified = 0usize;
+    for w in swapcodes_workloads::all() {
+        for scheme in schemes() {
+            // Inter-thread duplication legitimately rejects shuffle kernels
+            // and full CTAs (§V transparency); skipped pairs are fine.
+            let Ok(t) = apply(scheme, &w.kernel, w.launch) else {
+                continue;
+            };
+            let report = verify(scheme, &t.kernel);
+            assert!(
+                report.is_clean(),
+                "{} x {}: {report}",
+                w.name,
+                report.scheme
+            );
+            verified += 1;
+        }
+    }
+    assert!(
+        verified > 100,
+        "suite shrank unexpectedly: {verified} pairs"
+    );
+}
+
+#[test]
+fn checked_schemes_reach_full_static_coverage() {
+    for w in swapcodes_workloads::all() {
+        for scheme in [
+            Scheme::SwDup,
+            Scheme::SwapEcc,
+            Scheme::SwapPredict(PredictorSet::MAD),
+            Scheme::InterThread { checked: true },
+        ] {
+            let Ok(t) = apply(scheme, &w.kernel, w.launch) else {
+                continue;
+            };
+            let report = verify(scheme, &t.kernel);
+            assert!(
+                (report.coverage.fraction() - 1.0).abs() < f64::EPSILON,
+                "{} x {}: {}/{} {}",
+                w.name,
+                report.scheme,
+                report.coverage.covered,
+                report.coverage.points,
+                report.coverage.kind,
+            );
+        }
+    }
+}
+
+#[test]
+fn unchecked_interthread_has_points_but_no_coverage() {
+    for w in swapcodes_workloads::all() {
+        let scheme = Scheme::InterThread { checked: false };
+        let Ok(t) = apply(scheme, &w.kernel, w.launch) else {
+            continue;
+        };
+        let report = verify(scheme, &t.kernel);
+        assert!(report.is_clean(), "{}: {report}", w.name);
+        assert!(report.coverage.points > 0, "{}", w.name);
+        assert_eq!(report.coverage.covered, 0, "{}", w.name);
+    }
+}
+
+#[test]
+fn baseline_reports_exposure_not_findings() {
+    let w = swapcodes_workloads::by_name("matmul").expect("matmul");
+    let report = verify(Scheme::Baseline, &w.kernel);
+    assert!(report.is_clean());
+    assert!(report.coverage.points > 0);
+    assert_eq!(report.coverage.covered, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Random-kernel fuzzing: apply() output must verify clean for ANY legal
+// input kernel, not just the curated suite.
+// ---------------------------------------------------------------------------
+
+/// One random straight-line instruction. Register space is kept small
+/// (R1–R15, even pairs below R14) so SW-Dup's doubled frame always fits,
+/// and stores stay unguarded so inter-thread duplication stays applicable.
+fn arb_body_instr() -> impl Strategy<Value = Instr> {
+    let r = || (1u8..16).prop_map(Reg);
+    let er = || (1u8..7).prop_map(|x| Reg(x * 2));
+    prop_oneof![
+        (r(), r(), any::<i32>()).prop_map(|(d, a, i)| Instr::new(Op::IAdd {
+            d,
+            a,
+            b: Src::Imm(i)
+        })),
+        (r(), r(), r()).prop_map(|(d, a, b)| Instr::new(Op::Xor {
+            d,
+            a,
+            b: Src::Reg(b)
+        })),
+        (r(), r(), r(), r()).prop_map(|(d, a, b, c)| Instr::new(Op::IMad { d, a, b, c })),
+        (er(), er(), er()).prop_map(|(d, a, b)| Instr::new(Op::DAdd { d, a, b })),
+        (r(), r()).prop_map(|(d, a)| Instr::new(Op::Mov { d, a: Src::Reg(a) })),
+        (r(), any::<i32>()).prop_map(|(d, i)| Instr::new(Op::Mov { d, a: Src::Imm(i) })),
+        (r(), r()).prop_map(|(d, a)| Instr::new(Op::MufuRcp { d, a })),
+        // Accumulation shape: exercises Swap-ECC's predictor renaming.
+        (r(), r()).prop_map(|(d, a)| Instr::new(Op::IAdd {
+            d,
+            a: d,
+            b: Src::Reg(a)
+        })),
+        (r(), r()).prop_map(|(d, addr)| Instr::new(Op::Ld {
+            d,
+            space: MemSpace::Global,
+            addr,
+            offset: 0,
+            width: MemWidth::W32
+        })),
+        (r(), r()).prop_map(|(v, addr)| Instr::new(Op::St {
+            space: MemSpace::Global,
+            addr,
+            offset: 0,
+            v,
+            width: MemWidth::W32
+        })),
+        (r(), r(), 0u8..4).prop_map(|(a, b, p)| Instr::new(Op::SetP {
+            p: Pred(p),
+            cmp: CmpOp::Lt,
+            ty: CmpTy::I32,
+            a,
+            b: Src::Reg(b)
+        })),
+        // Guarded arithmetic: shadows must inherit the guard.
+        (r(), r(), 0u8..4, any::<bool>()).prop_map(|(d, a, p, pol)| Instr::guarded(
+            Op::IAdd {
+                d,
+                a,
+                b: Src::Imm(1)
+            },
+            Pred(p),
+            pol
+        )),
+    ]
+}
+
+/// A random kernel: straight-line body, a few guarded forward branches
+/// spliced in (targets fixed up as later branches are inserted), and a
+/// final `EXIT`.
+fn arb_kernel() -> impl Strategy<Value = Kernel> {
+    (
+        prop::collection::vec(arb_body_instr(), 1..20),
+        prop::collection::vec((0usize..1000, 0usize..1000, 0u8..4), 0..3),
+    )
+        .prop_map(|(body, branches)| {
+            let mut instrs = body;
+            for (pos_seed, span_seed, p) in branches {
+                let pos = pos_seed % instrs.len();
+                let target = pos + 1 + span_seed % (instrs.len() - pos);
+                for ins in &mut instrs {
+                    if let Op::Bra { target: t } = &mut ins.op {
+                        if *t > pos {
+                            *t += 1;
+                        }
+                    }
+                }
+                instrs.insert(pos, Instr::guarded(Op::Bra { target }, Pred(p), true));
+            }
+            instrs.push(Instr::new(Op::Exit));
+            Kernel::from_instrs("fuzz", instrs)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever kernel the frontend hands us, the transform output proves
+    /// clean: zero findings under every scheme's rule set.
+    #[test]
+    fn transforms_of_random_kernels_verify_clean(kernel in arb_kernel()) {
+        let launch = Launch::grid(1, 64);
+        for scheme in schemes() {
+            let Ok(t) = apply(scheme, &kernel, launch) else { continue };
+            let report = verify(scheme, &t.kernel);
+            prop_assert!(
+                report.is_clean(),
+                "{} on {:?}: {}", report.scheme, kernel, report
+            );
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Golden known-bad kernels: take a real transform output, break it the way
+//! a miscompiled or bit-rotted pass would, and pin the exact rule that must
+//! fire. These are the verifier's regression oracle — if a rule is loosened
+//! until a hole slips through, one of these goes green-to-red first.
+
+use swapcodes_core::{apply, PredictorSet, Scheme};
+use swapcodes_isa::{Instr, Kernel, Op, Pred, Role, Src};
+use swapcodes_verify::{verify, Rule};
+
+/// Remove `instrs[i]`, redirecting branch targets across the gap.
+fn remove_at(instrs: &mut Vec<Instr>, i: usize) {
+    instrs.remove(i);
+    for ins in instrs.iter_mut() {
+        if let Op::Bra { target } = &mut ins.op {
+            if *target > i {
+                *target -= 1;
+            }
+        }
+    }
+}
+
+/// Insert `instr` at `i`, keeping branch targets pointing at their original
+/// instructions.
+fn insert_at(instrs: &mut Vec<Instr>, i: usize, instr: Instr) {
+    for ins in instrs.iter_mut() {
+        if let Op::Bra { target } = &mut ins.op {
+            if *target >= i {
+                *target += 1;
+            }
+        }
+    }
+    instrs.insert(i, instr);
+}
+
+fn transformed(workload: &str, scheme: Scheme) -> Vec<Instr> {
+    let w = swapcodes_workloads::by_name(workload).expect("workload exists");
+    apply(scheme, &w.kernel, w.launch)
+        .expect("scheme applies")
+        .kernel
+        .instrs()
+        .to_vec()
+}
+
+fn rules_of(scheme: Scheme, instrs: Vec<Instr>) -> Vec<Rule> {
+    let report = verify(scheme, &Kernel::from_instrs("broken", instrs));
+    assert!(!report.is_clean(), "mutation went undetected");
+    report.findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn swdup_missing_check_is_caught() {
+    let mut instrs = transformed("matmul", Scheme::SwDup);
+    // Delete one SETP/BRA check pair: the register it guarded now flows
+    // into its sink unverified.
+    let check = instrs
+        .iter()
+        .position(|i| matches!(i.op, Op::SetP { p, .. } if p == Pred(6)))
+        .expect("sw-dup output has checks");
+    remove_at(&mut instrs, check); // the SETP
+    remove_at(&mut instrs, check); // its trap branch
+    let rules = rules_of(Scheme::SwDup, instrs);
+    assert!(
+        rules.contains(&Rule::SwDupUncheckedConsume),
+        "expected unchecked-consume, got {rules:?}"
+    );
+}
+
+#[test]
+fn swdup_clobbered_shadow_is_caught() {
+    let mut instrs = transformed("matmul", Scheme::SwDup);
+    // Clobber a shadow register between its definition and its check, the
+    // classic register-allocator spill-slot reuse bug.
+    let (pos, shadow_def) = instrs
+        .iter()
+        .enumerate()
+        .find_map(|(i, ins)| (ins.role == Role::Shadow).then(|| (i, ins.op.defs()[0])))
+        .expect("sw-dup output has shadows");
+    insert_at(
+        &mut instrs,
+        pos + 1,
+        Instr::new(Op::Mov {
+            d: shadow_def,
+            a: Src::Imm(0xDEAD),
+        }),
+    );
+    let rules = rules_of(Scheme::SwDup, instrs);
+    assert!(
+        rules.contains(&Rule::SwDupShadowClobber),
+        "expected shadow-clobber, got {rules:?}"
+    );
+}
+
+#[test]
+fn swdup_shared_operand_is_caught() {
+    let mut instrs = transformed("matmul", Scheme::SwDup);
+    // Replace a shadow with a copy of the original's result: every later
+    // check compares the (possibly corrupt) original against itself.
+    let (pos, orig_def) = instrs
+        .iter()
+        .enumerate()
+        .find_map(|(i, ins)| (ins.role == Role::Shadow).then(|| (i, instrs[i - 1].op.defs()[0])))
+        .expect("sw-dup output has shadows");
+    let shadow_def = instrs[pos].op.defs()[0];
+    instrs[pos] = Instr::new(Op::Mov {
+        d: shadow_def,
+        a: Src::Reg(orig_def),
+    })
+    .with_role(Role::Shadow);
+    let rules = rules_of(Scheme::SwDup, instrs);
+    assert!(
+        rules.contains(&Rule::SwDupSharedOperand),
+        "expected shared-operand, got {rules:?}"
+    );
+}
+
+#[test]
+fn swapecc_deleted_shadow_is_caught() {
+    let mut instrs = transformed("matmul", Scheme::SwapEcc);
+    let shadow = instrs
+        .iter()
+        .position(|i| i.ecc_only)
+        .expect("swap-ecc output has ECC shadows");
+    remove_at(&mut instrs, shadow);
+    let rules = rules_of(Scheme::SwapEcc, instrs);
+    assert!(
+        rules.iter().any(|r| matches!(
+            r,
+            Rule::SwapEccMissingShadow | Rule::SwapEccConsumeBeforeShadow
+        )),
+        "expected a missing-shadow window, got {rules:?}"
+    );
+}
+
+#[test]
+fn swappredict_predictor_set_mismatch_is_caught() {
+    // A kernel compiled against the MAD predictor set but verified (or
+    // deployed) against hardware with no predictors: every single-copy
+    // predicted instruction is an unprotected window.
+    let instrs = transformed("matmul", Scheme::SwapPredict(PredictorSet::MAD));
+    let rules = rules_of(Scheme::SwapPredict(PredictorSet::NONE), instrs);
+    assert!(
+        rules.contains(&Rule::SwapEccBogusPredicted),
+        "expected bogus-predicted, got {rules:?}"
+    );
+}
+
+#[test]
+fn interthread_stripped_store_guard_is_caught() {
+    let mut instrs = transformed("bfs", Scheme::InterThread { checked: true });
+    let store = instrs
+        .iter()
+        .position(|i| matches!(i.op, Op::St { .. }))
+        .expect("kernel has stores");
+    instrs[store].guard = None;
+    let rules = rules_of(Scheme::InterThread { checked: true }, instrs);
+    assert!(
+        rules.contains(&Rule::InterThreadUnguardedStore),
+        "expected unguarded-store, got {rules:?}"
+    );
+}
+
+#[test]
+fn interthread_removed_prologue_is_caught() {
+    let mut instrs = transformed("bfs", Scheme::InterThread { checked: true });
+    // The prologue's S2R LaneId is the root of the shadow predicate.
+    let s2r = instrs
+        .iter()
+        .position(|i| {
+            matches!(
+                i.op,
+                Op::S2R {
+                    sr: swapcodes_isa::SpecialReg::LaneId,
+                    ..
+                }
+            )
+        })
+        .expect("prologue has a LaneId read");
+    remove_at(&mut instrs, s2r);
+    let rules = rules_of(Scheme::InterThread { checked: true }, instrs);
+    assert!(
+        rules.contains(&Rule::InterThreadMissingPrologue),
+        "expected missing-prologue, got {rules:?}"
+    );
+}
+
+#[test]
+fn findings_carry_usable_locations() {
+    // Witnesses are real instruction paths: start at the defect's origin,
+    // end at the reporting site, in bounds.
+    let mut instrs = transformed("matmul", Scheme::SwDup);
+    let check = instrs
+        .iter()
+        .position(|i| matches!(i.op, Op::SetP { p, .. } if p == Pred(6)))
+        .expect("sw-dup output has checks");
+    remove_at(&mut instrs, check);
+    remove_at(&mut instrs, check);
+    let n = instrs.len();
+    let report = verify(Scheme::SwDup, &Kernel::from_instrs("broken", instrs));
+    for f in &report.findings {
+        assert!(f.at < n, "finding at {} out of bounds", f.at);
+        assert!(!f.witness.is_empty());
+        assert_eq!(*f.witness.last().unwrap(), f.at);
+        assert!(f.witness.iter().all(|&i| i < n));
+    }
+}

@@ -11,7 +11,9 @@
 //! * [`sim`] — the SIMT SM simulator with an ECC-protected register file;
 //! * [`core`] — the SwapCodes compiler passes and protection schemes;
 //! * [`workloads`] — the Rodinia/SNAP/matmul-like benchmark suite;
-//! * [`inject`] — gate-level and architecture-level injection campaigns.
+//! * [`inject`] — gate-level and architecture-level injection campaigns;
+//! * [`verify`] — the static protection verifier: CFG + dataflow coverage
+//!   proofs and lints for transformed kernels.
 //!
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the paper-figure
 //! reproductions.
@@ -24,4 +26,5 @@ pub use swapcodes_gates as gates;
 pub use swapcodes_inject as inject;
 pub use swapcodes_isa as isa;
 pub use swapcodes_sim as sim;
+pub use swapcodes_verify as verify;
 pub use swapcodes_workloads as workloads;

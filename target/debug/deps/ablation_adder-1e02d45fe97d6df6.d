@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_adder-1e02d45fe97d6df6.d: crates/bench/benches/ablation_adder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_adder-1e02d45fe97d6df6.rmeta: crates/bench/benches/ablation_adder.rs Cargo.toml
+
+crates/bench/benches/ablation_adder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpoint_resume-61484f228e285002.d: crates/inject/tests/checkpoint_resume.rs
+
+/root/repo/target/debug/deps/checkpoint_resume-61484f228e285002: crates/inject/tests/checkpoint_resume.rs
+
+crates/inject/tests/checkpoint_resume.rs:

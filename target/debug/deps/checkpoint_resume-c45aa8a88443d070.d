@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checkpoint_resume-c45aa8a88443d070.d: crates/inject/tests/checkpoint_resume.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheckpoint_resume-c45aa8a88443d070.rmeta: crates/inject/tests/checkpoint_resume.rs Cargo.toml
+
+crates/inject/tests/checkpoint_resume.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

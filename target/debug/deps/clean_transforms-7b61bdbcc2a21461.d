@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/clean_transforms-7b61bdbcc2a21461.d: crates/verify/tests/clean_transforms.rs
+
+/root/repo/target/debug/deps/clean_transforms-7b61bdbcc2a21461: crates/verify/tests/clean_transforms.rs
+
+crates/verify/tests/clean_transforms.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/clean_transforms-90102c39d0e3f733.d: crates/verify/tests/clean_transforms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclean_transforms-90102c39d0e3f733.rmeta: crates/verify/tests/clean_transforms.rs Cargo.toml
+
+crates/verify/tests/clean_transforms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

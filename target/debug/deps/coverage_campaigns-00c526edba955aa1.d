@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coverage_campaigns-00c526edba955aa1.d: tests/coverage_campaigns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoverage_campaigns-00c526edba955aa1.rmeta: tests/coverage_campaigns.rs Cargo.toml
+
+tests/coverage_campaigns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coverage_campaigns-5f1fa8d3bfb37a14.d: tests/coverage_campaigns.rs
+
+/root/repo/target/debug/deps/coverage_campaigns-5f1fa8d3bfb37a14: tests/coverage_campaigns.rs
+
+tests/coverage_campaigns.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_error_patterns-ae2b60e72fe68053.d: crates/bench/benches/fig10_error_patterns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_error_patterns-ae2b60e72fe68053.rmeta: crates/bench/benches/fig10_error_patterns.rs Cargo.toml
+
+crates/bench/benches/fig10_error_patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_sdc_risk-d460192b372424fa.d: crates/bench/benches/fig11_sdc_risk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_sdc_risk-d460192b372424fa.rmeta: crates/bench/benches/fig11_sdc_risk.rs Cargo.toml
+
+crates/bench/benches/fig11_sdc_risk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_performance-7a76bda68034eee8.d: crates/bench/benches/fig12_performance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_performance-7a76bda68034eee8.rmeta: crates/bench/benches/fig12_performance.rs Cargo.toml
+
+crates/bench/benches/fig12_performance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

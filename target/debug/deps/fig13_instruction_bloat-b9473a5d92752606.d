@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_instruction_bloat-b9473a5d92752606.d: crates/bench/benches/fig13_instruction_bloat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_instruction_bloat-b9473a5d92752606.rmeta: crates/bench/benches/fig13_instruction_bloat.rs Cargo.toml
+
+crates/bench/benches/fig13_instruction_bloat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_ordering-142de3849da67c1f.d: tests/fig13_ordering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_ordering-142de3849da67c1f.rmeta: tests/fig13_ordering.rs Cargo.toml
+
+tests/fig13_ordering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_ordering-9411cf76e73bf928.d: tests/fig13_ordering.rs
+
+/root/repo/target/debug/deps/fig13_ordering-9411cf76e73bf928: tests/fig13_ordering.rs
+
+tests/fig13_ordering.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_power_energy-7c66ca608ae8248e.d: crates/bench/benches/fig14_power_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_power_energy-7c66ca608ae8248e.rmeta: crates/bench/benches/fig14_power_energy.rs Cargo.toml
+
+crates/bench/benches/fig14_power_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_interthread-13943ef9a842f0ef.d: crates/bench/benches/fig15_interthread.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_interthread-13943ef9a842f0ef.rmeta: crates/bench/benches/fig15_interthread.rs Cargo.toml
+
+crates/bench/benches/fig15_interthread.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_future_predictors-c2cf09c8a4911fb3.d: crates/bench/benches/fig16_future_predictors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_future_predictors-c2cf09c8a4911fb3.rmeta: crates/bench/benches/fig16_future_predictors.rs Cargo.toml
+
+crates/bench/benches/fig16_future_predictors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_secdp_layout-a324b42584af3f46.d: crates/bench/benches/fig7_secdp_layout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_secdp_layout-a324b42584af3f46.rmeta: crates/bench/benches/fig7_secdp_layout.rs Cargo.toml
+
+crates/bench/benches/fig7_secdp_layout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

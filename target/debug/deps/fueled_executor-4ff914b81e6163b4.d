@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fueled_executor-4ff914b81e6163b4.d: tests/fueled_executor.rs
+
+/root/repo/target/debug/deps/fueled_executor-4ff914b81e6163b4: tests/fueled_executor.rs
+
+tests/fueled_executor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fueled_executor-cad34f62d61f0464.d: tests/fueled_executor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfueled_executor-cad34f62d61f0464.rmeta: tests/fueled_executor.rs Cargo.toml
+
+tests/fueled_executor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/known_bad-7190377b501c1dfd.d: crates/verify/tests/known_bad.rs
+
+/root/repo/target/debug/deps/known_bad-7190377b501c1dfd: crates/verify/tests/known_bad.rs
+
+crates/verify/tests/known_bad.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/known_bad-e3cf3cfe6479e6ac.d: crates/verify/tests/known_bad.rs Cargo.toml
+
+/root/repo/target/debug/deps/libknown_bad-e3cf3cfe6479e6ac.rmeta: crates/verify/tests/known_bad.rs Cargo.toml
+
+crates/verify/tests/known_bad.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-900cc9993eb072c3.d: crates/isa/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-900cc9993eb072c3: crates/isa/tests/properties.rs
+
+crates/isa/tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-3074f21ba66c0f21.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3074f21ba66c0f21.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3074f21ba66c0f21.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

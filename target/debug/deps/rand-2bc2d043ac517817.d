@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-2bc2d043ac517817.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-2bc2d043ac517817.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

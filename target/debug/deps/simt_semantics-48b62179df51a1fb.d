@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simt_semantics-48b62179df51a1fb.d: tests/simt_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimt_semantics-48b62179df51a1fb.rmeta: tests/simt_semantics.rs Cargo.toml
+
+tests/simt_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

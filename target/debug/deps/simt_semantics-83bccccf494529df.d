@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simt_semantics-83bccccf494529df.d: tests/simt_semantics.rs
+
+/root/repo/target/debug/deps/simt_semantics-83bccccf494529df: tests/simt_semantics.rs
+
+tests/simt_semantics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/static_coverage-bebdfd08894d72ec.d: crates/bench/benches/static_coverage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstatic_coverage-bebdfd08894d72ec.rmeta: crates/bench/benches/static_coverage.rs Cargo.toml
+
+crates/bench/benches/static_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/static_verification-68aca70210ef7609.d: tests/static_verification.rs
+
+/root/repo/target/debug/deps/static_verification-68aca70210ef7609: tests/static_verification.rs
+
+tests/static_verification.rs:

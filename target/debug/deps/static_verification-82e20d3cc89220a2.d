@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/static_verification-82e20d3cc89220a2.d: tests/static_verification.rs
+
+/root/repo/target/debug/deps/static_verification-82e20d3cc89220a2: tests/static_verification.rs
+
+tests/static_verification.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/static_verification-9dcc4883a7eb309a.d: tests/static_verification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstatic_verification-9dcc4883a7eb309a.rmeta: tests/static_verification.rs Cargo.toml
+
+tests/static_verification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/storage_and_protection-4a68cf4913cc53c2.d: tests/storage_and_protection.rs
+
+/root/repo/target/debug/deps/storage_and_protection-4a68cf4913cc53c2: tests/storage_and_protection.rs
+
+tests/storage_and_protection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/storage_and_protection-e7b158a03c08d8df.d: tests/storage_and_protection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorage_and_protection-e7b158a03c08d8df.rmeta: tests/storage_and_protection.rs Cargo.toml
+
+tests/storage_and_protection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

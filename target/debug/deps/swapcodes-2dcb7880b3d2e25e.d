@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swapcodes-2dcb7880b3d2e25e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswapcodes-2dcb7880b3d2e25e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/swapcodes-527b80cdd4ddea9c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libswapcodes-527b80cdd4ddea9c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libswapcodes-527b80cdd4ddea9c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swapcodes-8f75d4467a9a830e.d: src/lib.rs
+
+/root/repo/target/debug/deps/swapcodes-8f75d4467a9a830e: src/lib.rs
+
+src/lib.rs:

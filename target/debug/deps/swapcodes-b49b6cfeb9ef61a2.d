@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swapcodes-b49b6cfeb9ef61a2.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswapcodes-b49b6cfeb9ef61a2.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

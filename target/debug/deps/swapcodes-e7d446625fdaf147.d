@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/swapcodes-e7d446625fdaf147.d: src/lib.rs
+
+/root/repo/target/debug/deps/libswapcodes-e7d446625fdaf147.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libswapcodes-e7d446625fdaf147.rmeta: src/lib.rs
+
+src/lib.rs:

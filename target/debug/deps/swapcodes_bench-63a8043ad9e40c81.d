@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/swapcodes_bench-63a8043ad9e40c81.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/swapcodes_bench-63a8043ad9e40c81: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/sweep.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/swapcodes_bench-647927f6182e47f4.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswapcodes_bench-647927f6182e47f4.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

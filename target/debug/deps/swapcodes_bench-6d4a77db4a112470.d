@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swapcodes_bench-6d4a77db4a112470.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libswapcodes_bench-6d4a77db4a112470.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libswapcodes_bench-6d4a77db4a112470.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/sweep.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/swapcodes_core-74dbb33a6d03cf23.d: crates/core/src/lib.rs crates/core/src/interthread.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/swapecc.rs crates/core/src/swdup.rs
+
+/root/repo/target/debug/deps/libswapcodes_core-74dbb33a6d03cf23.rmeta: crates/core/src/lib.rs crates/core/src/interthread.rs crates/core/src/report.rs crates/core/src/scheme.rs crates/core/src/swapecc.rs crates/core/src/swdup.rs
+
+crates/core/src/lib.rs:
+crates/core/src/interthread.rs:
+crates/core/src/report.rs:
+crates/core/src/scheme.rs:
+crates/core/src/swapecc.rs:
+crates/core/src/swdup.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/swapcodes_ecc-b0ce604cc1e730c6.d: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/code.rs crates/ecc/src/hamming.rs crates/ecc/src/hsiao.rs crates/ecc/src/layout.rs crates/ecc/src/parity.rs crates/ecc/src/report.rs crates/ecc/src/residue.rs crates/ecc/src/swap.rs
+
+/root/repo/target/debug/deps/libswapcodes_ecc-b0ce604cc1e730c6.rmeta: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/code.rs crates/ecc/src/hamming.rs crates/ecc/src/hsiao.rs crates/ecc/src/layout.rs crates/ecc/src/parity.rs crates/ecc/src/report.rs crates/ecc/src/residue.rs crates/ecc/src/swap.rs
+
+crates/ecc/src/lib.rs:
+crates/ecc/src/analysis.rs:
+crates/ecc/src/code.rs:
+crates/ecc/src/hamming.rs:
+crates/ecc/src/hsiao.rs:
+crates/ecc/src/layout.rs:
+crates/ecc/src/parity.rs:
+crates/ecc/src/report.rs:
+crates/ecc/src/residue.rs:
+crates/ecc/src/swap.rs:

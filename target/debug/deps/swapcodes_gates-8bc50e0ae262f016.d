@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/swapcodes_gates-8bc50e0ae262f016.d: crates/gates/src/lib.rs crates/gates/src/area.rs crates/gates/src/builder.rs crates/gates/src/netlist.rs crates/gates/src/optimize.rs crates/gates/src/softfloat.rs crates/gates/src/units/mod.rs crates/gates/src/units/codec.rs crates/gates/src/units/fp.rs crates/gates/src/units/fxp.rs
+
+/root/repo/target/debug/deps/libswapcodes_gates-8bc50e0ae262f016.rmeta: crates/gates/src/lib.rs crates/gates/src/area.rs crates/gates/src/builder.rs crates/gates/src/netlist.rs crates/gates/src/optimize.rs crates/gates/src/softfloat.rs crates/gates/src/units/mod.rs crates/gates/src/units/codec.rs crates/gates/src/units/fp.rs crates/gates/src/units/fxp.rs
+
+crates/gates/src/lib.rs:
+crates/gates/src/area.rs:
+crates/gates/src/builder.rs:
+crates/gates/src/netlist.rs:
+crates/gates/src/optimize.rs:
+crates/gates/src/softfloat.rs:
+crates/gates/src/units/mod.rs:
+crates/gates/src/units/codec.rs:
+crates/gates/src/units/fp.rs:
+crates/gates/src/units/fxp.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/swapcodes_inject-ccc5f571f4084f23.d: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/oracle.rs crates/inject/src/stats.rs crates/inject/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswapcodes_inject-ccc5f571f4084f23.rmeta: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/oracle.rs crates/inject/src/stats.rs crates/inject/src/trace.rs Cargo.toml
+
+crates/inject/src/lib.rs:
+crates/inject/src/arch.rs:
+crates/inject/src/detection.rs:
+crates/inject/src/gate.rs:
+crates/inject/src/harness.rs:
+crates/inject/src/oracle.rs:
+crates/inject/src/stats.rs:
+crates/inject/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/swapcodes_inject-ec2dc5f1c863105f.d: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/oracle.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+
+/root/repo/target/debug/deps/libswapcodes_inject-ec2dc5f1c863105f.rmeta: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/oracle.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+
+crates/inject/src/lib.rs:
+crates/inject/src/arch.rs:
+crates/inject/src/detection.rs:
+crates/inject/src/gate.rs:
+crates/inject/src/harness.rs:
+crates/inject/src/oracle.rs:
+crates/inject/src/stats.rs:
+crates/inject/src/trace.rs:

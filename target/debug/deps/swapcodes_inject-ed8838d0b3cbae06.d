@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/swapcodes_inject-ed8838d0b3cbae06.d: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/oracle.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+
+/root/repo/target/debug/deps/libswapcodes_inject-ed8838d0b3cbae06.rlib: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/oracle.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+
+/root/repo/target/debug/deps/libswapcodes_inject-ed8838d0b3cbae06.rmeta: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/oracle.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+
+crates/inject/src/lib.rs:
+crates/inject/src/arch.rs:
+crates/inject/src/detection.rs:
+crates/inject/src/gate.rs:
+crates/inject/src/harness.rs:
+crates/inject/src/oracle.rs:
+crates/inject/src/stats.rs:
+crates/inject/src/trace.rs:

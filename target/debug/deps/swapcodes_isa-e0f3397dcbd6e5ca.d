@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/swapcodes_isa-e0f3397dcbd6e5ca.d: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/instr.rs crates/isa/src/kernel.rs crates/isa/src/op.rs crates/isa/src/reg.rs crates/isa/src/validate.rs
+
+/root/repo/target/debug/deps/libswapcodes_isa-e0f3397dcbd6e5ca.rmeta: crates/isa/src/lib.rs crates/isa/src/disasm.rs crates/isa/src/instr.rs crates/isa/src/kernel.rs crates/isa/src/op.rs crates/isa/src/reg.rs crates/isa/src/validate.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/kernel.rs:
+crates/isa/src/op.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/validate.rs:

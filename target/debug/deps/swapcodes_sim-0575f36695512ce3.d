@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/swapcodes_sim-0575f36695512ce3.d: crates/sim/src/lib.rs crates/sim/src/exec.rs crates/sim/src/fault.rs crates/sim/src/memory.rs crates/sim/src/occupancy.rs crates/sim/src/power.rs crates/sim/src/profiler.rs crates/sim/src/regfile.rs crates/sim/src/timing.rs
+
+/root/repo/target/debug/deps/libswapcodes_sim-0575f36695512ce3.rmeta: crates/sim/src/lib.rs crates/sim/src/exec.rs crates/sim/src/fault.rs crates/sim/src/memory.rs crates/sim/src/occupancy.rs crates/sim/src/power.rs crates/sim/src/profiler.rs crates/sim/src/regfile.rs crates/sim/src/timing.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/occupancy.rs:
+crates/sim/src/power.rs:
+crates/sim/src/profiler.rs:
+crates/sim/src/regfile.rs:
+crates/sim/src/timing.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/swapcodes_verify-ddcb1c82d2285155.d: crates/verify/src/lib.rs crates/verify/src/cfg.rs crates/verify/src/dataflow.rs crates/verify/src/interthread.rs crates/verify/src/swapecc.rs crates/verify/src/swdup.rs
+
+/root/repo/target/debug/deps/swapcodes_verify-ddcb1c82d2285155: crates/verify/src/lib.rs crates/verify/src/cfg.rs crates/verify/src/dataflow.rs crates/verify/src/interthread.rs crates/verify/src/swapecc.rs crates/verify/src/swdup.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/cfg.rs:
+crates/verify/src/dataflow.rs:
+crates/verify/src/interthread.rs:
+crates/verify/src/swapecc.rs:
+crates/verify/src/swdup.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/swapcodes_verify-ec6f86b78b593fbe.d: crates/verify/src/lib.rs crates/verify/src/cfg.rs crates/verify/src/dataflow.rs crates/verify/src/interthread.rs crates/verify/src/swapecc.rs crates/verify/src/swdup.rs
+
+/root/repo/target/debug/deps/libswapcodes_verify-ec6f86b78b593fbe.rlib: crates/verify/src/lib.rs crates/verify/src/cfg.rs crates/verify/src/dataflow.rs crates/verify/src/interthread.rs crates/verify/src/swapecc.rs crates/verify/src/swdup.rs
+
+/root/repo/target/debug/deps/libswapcodes_verify-ec6f86b78b593fbe.rmeta: crates/verify/src/lib.rs crates/verify/src/cfg.rs crates/verify/src/dataflow.rs crates/verify/src/interthread.rs crates/verify/src/swapecc.rs crates/verify/src/swdup.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/cfg.rs:
+crates/verify/src/dataflow.rs:
+crates/verify/src/interthread.rs:
+crates/verify/src/swapecc.rs:
+crates/verify/src/swdup.rs:

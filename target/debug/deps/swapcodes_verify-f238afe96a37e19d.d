@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/swapcodes_verify-f238afe96a37e19d.d: crates/verify/src/lib.rs crates/verify/src/cfg.rs crates/verify/src/dataflow.rs crates/verify/src/interthread.rs crates/verify/src/swapecc.rs crates/verify/src/swdup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswapcodes_verify-f238afe96a37e19d.rmeta: crates/verify/src/lib.rs crates/verify/src/cfg.rs crates/verify/src/dataflow.rs crates/verify/src/interthread.rs crates/verify/src/swapecc.rs crates/verify/src/swdup.rs Cargo.toml
+
+crates/verify/src/lib.rs:
+crates/verify/src/cfg.rs:
+crates/verify/src/dataflow.rs:
+crates/verify/src/interthread.rs:
+crates/verify/src/swapecc.rs:
+crates/verify/src/swdup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_matches_serial-83eb74b8a677b58c.d: crates/bench/tests/sweep_matches_serial.rs
+
+/root/repo/target/debug/deps/sweep_matches_serial-83eb74b8a677b58c: crates/bench/tests/sweep_matches_serial.rs
+
+crates/bench/tests/sweep_matches_serial.rs:

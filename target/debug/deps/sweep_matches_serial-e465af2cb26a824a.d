@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_matches_serial-e465af2cb26a824a.d: crates/bench/tests/sweep_matches_serial.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_matches_serial-e465af2cb26a824a.rmeta: crates/bench/tests/sweep_matches_serial.rs Cargo.toml
+
+crates/bench/tests/sweep_matches_serial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_area-782e6ceaabe21860.d: crates/bench/benches/table4_area.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_area-782e6ceaabe21860.rmeta: crates/bench/benches/table4_area.rs Cargo.toml
+
+crates/bench/benches/table4_area.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

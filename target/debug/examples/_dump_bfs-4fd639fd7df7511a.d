@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/_dump_bfs-4fd639fd7df7511a.d: examples/_dump_bfs.rs
+
+/root/repo/target/debug/examples/_dump_bfs-4fd639fd7df7511a: examples/_dump_bfs.rs
+
+examples/_dump_bfs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/_dump_gauss-d4dd216b4bd961b5.d: examples/_dump_gauss.rs
+
+/root/repo/target/debug/examples/_dump_gauss-d4dd216b4bd961b5: examples/_dump_gauss.rs
+
+examples/_dump_gauss.rs:

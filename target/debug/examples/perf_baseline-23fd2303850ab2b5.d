@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/perf_baseline-23fd2303850ab2b5.d: crates/bench/examples/perf_baseline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libperf_baseline-23fd2303850ab2b5.rmeta: crates/bench/examples/perf_baseline.rs Cargo.toml
+
+crates/bench/examples/perf_baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

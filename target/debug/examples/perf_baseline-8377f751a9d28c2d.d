@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/perf_baseline-8377f751a9d28c2d.d: crates/bench/examples/perf_baseline.rs
+
+/root/repo/target/debug/examples/perf_baseline-8377f751a9d28c2d: crates/bench/examples/perf_baseline.rs
+
+crates/bench/examples/perf_baseline.rs:

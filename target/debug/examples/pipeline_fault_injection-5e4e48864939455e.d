@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pipeline_fault_injection-5e4e48864939455e.d: examples/pipeline_fault_injection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpipeline_fault_injection-5e4e48864939455e.rmeta: examples/pipeline_fault_injection.rs Cargo.toml
+
+examples/pipeline_fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_fault_injection-6e6b1d7d81352a75.d: examples/pipeline_fault_injection.rs
+
+/root/repo/target/debug/examples/pipeline_fault_injection-6e6b1d7d81352a75: examples/pipeline_fault_injection.rs
+
+examples/pipeline_fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/predictor_design_space-0bde86e3f17a5e12.d: examples/predictor_design_space.rs
+
+/root/repo/target/debug/examples/predictor_design_space-0bde86e3f17a5e12: examples/predictor_design_space.rs
+
+examples/predictor_design_space.rs:

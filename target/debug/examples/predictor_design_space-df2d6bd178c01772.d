@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/predictor_design_space-df2d6bd178c01772.d: examples/predictor_design_space.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpredictor_design_space-df2d6bd178c01772.rmeta: examples/predictor_design_space.rs Cargo.toml
+
+examples/predictor_design_space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

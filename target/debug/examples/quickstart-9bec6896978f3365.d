@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9bec6896978f3365.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9bec6896978f3365: examples/quickstart.rs
+
+examples/quickstart.rs:

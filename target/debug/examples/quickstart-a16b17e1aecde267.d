@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-a16b17e1aecde267.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-a16b17e1aecde267.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

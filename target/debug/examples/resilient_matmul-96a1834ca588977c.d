@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/resilient_matmul-96a1834ca588977c.d: examples/resilient_matmul.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresilient_matmul-96a1834ca588977c.rmeta: examples/resilient_matmul.rs Cargo.toml
+
+examples/resilient_matmul.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

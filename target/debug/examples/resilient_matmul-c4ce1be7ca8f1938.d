@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resilient_matmul-c4ce1be7ca8f1938.d: examples/resilient_matmul.rs
+
+/root/repo/target/debug/examples/resilient_matmul-c4ce1be7ca8f1938: examples/resilient_matmul.rs
+
+examples/resilient_matmul.rs:

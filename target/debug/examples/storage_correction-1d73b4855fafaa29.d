@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/storage_correction-1d73b4855fafaa29.d: examples/storage_correction.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstorage_correction-1d73b4855fafaa29.rmeta: examples/storage_correction.rs Cargo.toml
+
+examples/storage_correction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

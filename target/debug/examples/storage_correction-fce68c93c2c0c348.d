@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/storage_correction-fce68c93c2c0c348.d: examples/storage_correction.rs
+
+/root/repo/target/debug/examples/storage_correction-fce68c93c2c0c348: examples/storage_correction.rs
+
+examples/storage_correction.rs:

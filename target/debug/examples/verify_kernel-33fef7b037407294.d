@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/verify_kernel-33fef7b037407294.d: examples/verify_kernel.rs Cargo.toml
+
+/root/repo/target/debug/examples/libverify_kernel-33fef7b037407294.rmeta: examples/verify_kernel.rs Cargo.toml
+
+examples/verify_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/verify_kernel-67753d1c72b36e99.d: examples/verify_kernel.rs
+
+/root/repo/target/debug/examples/verify_kernel-67753d1c72b36e99: examples/verify_kernel.rs
+
+examples/verify_kernel.rs:

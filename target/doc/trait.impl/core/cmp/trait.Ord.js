@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["swapcodes_isa",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"swapcodes_isa/struct.Pred.html\" title=\"struct swapcodes_isa::Pred\">Pred</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"swapcodes_isa/struct.Reg.html\" title=\"struct swapcodes_isa::Reg\">Reg</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[506]}

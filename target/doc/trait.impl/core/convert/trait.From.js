@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["swapcodes_isa",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/convert/trait.From.html\" title=\"trait core::convert::From\">From</a>&lt;<a class=\"struct\" href=\"swapcodes_isa/struct.Reg.html\" title=\"struct swapcodes_isa::Reg\">Reg</a>&gt; for <a class=\"enum\" href=\"swapcodes_isa/enum.Src.html\" title=\"enum swapcodes_isa::Src\">Src</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[376]}

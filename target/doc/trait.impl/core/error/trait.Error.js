@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["swapcodes_core",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"swapcodes_core/enum.TransformError.html\" title=\"enum swapcodes_core::TransformError\">TransformError</a>",0]]],["swapcodes_inject",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"swapcodes_inject/arch/enum.PrepError.html\" title=\"enum swapcodes_inject::arch::PrepError\">PrepError</a>",0]]],["swapcodes_isa",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"swapcodes_isa/validate/enum.ValidationError.html\" title=\"enum swapcodes_isa::validate::ValidationError\">ValidationError</a>",0]]],["swapcodes_sim",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"swapcodes_sim/exec/enum.ExecError.html\" title=\"enum swapcodes_sim::exec::ExecError\">ExecError</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[301,304,321,295]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["proptest",[["impl RngCore for <a class=\"struct\" href=\"proptest/struct.TestRng.html\" title=\"struct proptest::TestRng\">TestRng</a>",0]]],["rand",[]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[142,12]}

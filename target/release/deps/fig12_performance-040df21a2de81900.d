@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_performance-040df21a2de81900.d: crates/bench/benches/fig12_performance.rs
+
+/root/repo/target/release/deps/fig12_performance-040df21a2de81900: crates/bench/benches/fig12_performance.rs
+
+crates/bench/benches/fig12_performance.rs:

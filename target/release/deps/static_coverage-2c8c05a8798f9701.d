@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/static_coverage-2c8c05a8798f9701.d: crates/bench/benches/static_coverage.rs
+
+/root/repo/target/release/deps/static_coverage-2c8c05a8798f9701: crates/bench/benches/static_coverage.rs
+
+crates/bench/benches/static_coverage.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/swapcodes-1b6bcf4e31e2d9d7.d: src/lib.rs
+
+/root/repo/target/release/deps/libswapcodes-1b6bcf4e31e2d9d7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libswapcodes-1b6bcf4e31e2d9d7.rmeta: src/lib.rs
+
+src/lib.rs:

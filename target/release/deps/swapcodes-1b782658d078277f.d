@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/swapcodes-1b782658d078277f.d: src/lib.rs
+
+/root/repo/target/release/deps/libswapcodes-1b782658d078277f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libswapcodes-1b782658d078277f.rmeta: src/lib.rs
+
+src/lib.rs:

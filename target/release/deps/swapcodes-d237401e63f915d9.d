@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/swapcodes-d237401e63f915d9.d: src/lib.rs
+
+/root/repo/target/release/deps/libswapcodes-d237401e63f915d9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libswapcodes-d237401e63f915d9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/swapcodes_bench-418662d143841fa6.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libswapcodes_bench-418662d143841fa6.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libswapcodes_bench-418662d143841fa6.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/sweep.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/swapcodes_inject-50027e1ddcc0c290.d: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/oracle.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+
+/root/repo/target/release/deps/libswapcodes_inject-50027e1ddcc0c290.rlib: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/oracle.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+
+/root/repo/target/release/deps/libswapcodes_inject-50027e1ddcc0c290.rmeta: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/oracle.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+
+crates/inject/src/lib.rs:
+crates/inject/src/arch.rs:
+crates/inject/src/detection.rs:
+crates/inject/src/gate.rs:
+crates/inject/src/harness.rs:
+crates/inject/src/oracle.rs:
+crates/inject/src/stats.rs:
+crates/inject/src/trace.rs:

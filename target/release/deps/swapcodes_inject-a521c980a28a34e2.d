@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/swapcodes_inject-a521c980a28a34e2.d: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/oracle.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+
+/root/repo/target/release/deps/libswapcodes_inject-a521c980a28a34e2.rlib: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/oracle.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+
+/root/repo/target/release/deps/libswapcodes_inject-a521c980a28a34e2.rmeta: crates/inject/src/lib.rs crates/inject/src/arch.rs crates/inject/src/detection.rs crates/inject/src/gate.rs crates/inject/src/harness.rs crates/inject/src/oracle.rs crates/inject/src/stats.rs crates/inject/src/trace.rs
+
+crates/inject/src/lib.rs:
+crates/inject/src/arch.rs:
+crates/inject/src/detection.rs:
+crates/inject/src/gate.rs:
+crates/inject/src/harness.rs:
+crates/inject/src/oracle.rs:
+crates/inject/src/stats.rs:
+crates/inject/src/trace.rs:

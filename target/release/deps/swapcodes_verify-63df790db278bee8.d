@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/swapcodes_verify-63df790db278bee8.d: crates/verify/src/lib.rs crates/verify/src/cfg.rs crates/verify/src/dataflow.rs crates/verify/src/interthread.rs crates/verify/src/swapecc.rs crates/verify/src/swdup.rs
+
+/root/repo/target/release/deps/libswapcodes_verify-63df790db278bee8.rlib: crates/verify/src/lib.rs crates/verify/src/cfg.rs crates/verify/src/dataflow.rs crates/verify/src/interthread.rs crates/verify/src/swapecc.rs crates/verify/src/swdup.rs
+
+/root/repo/target/release/deps/libswapcodes_verify-63df790db278bee8.rmeta: crates/verify/src/lib.rs crates/verify/src/cfg.rs crates/verify/src/dataflow.rs crates/verify/src/interthread.rs crates/verify/src/swapecc.rs crates/verify/src/swdup.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/cfg.rs:
+crates/verify/src/dataflow.rs:
+crates/verify/src/interthread.rs:
+crates/verify/src/swapecc.rs:
+crates/verify/src/swdup.rs:

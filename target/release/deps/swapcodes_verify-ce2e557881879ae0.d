@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/swapcodes_verify-ce2e557881879ae0.d: crates/verify/src/lib.rs crates/verify/src/cfg.rs crates/verify/src/dataflow.rs crates/verify/src/interthread.rs crates/verify/src/swapecc.rs crates/verify/src/swdup.rs
+
+/root/repo/target/release/deps/libswapcodes_verify-ce2e557881879ae0.rlib: crates/verify/src/lib.rs crates/verify/src/cfg.rs crates/verify/src/dataflow.rs crates/verify/src/interthread.rs crates/verify/src/swapecc.rs crates/verify/src/swdup.rs
+
+/root/repo/target/release/deps/libswapcodes_verify-ce2e557881879ae0.rmeta: crates/verify/src/lib.rs crates/verify/src/cfg.rs crates/verify/src/dataflow.rs crates/verify/src/interthread.rs crates/verify/src/swapecc.rs crates/verify/src/swdup.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/cfg.rs:
+crates/verify/src/dataflow.rs:
+crates/verify/src/interthread.rs:
+crates/verify/src/swapecc.rs:
+crates/verify/src/swdup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-cf6c58309ba310c9.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-cf6c58309ba310c9: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/verify_kernel-3d2dbcee58cd3a6c.d: examples/verify_kernel.rs
+
+/root/repo/target/release/examples/verify_kernel-3d2dbcee58cd3a6c: examples/verify_kernel.rs
+
+examples/verify_kernel.rs:

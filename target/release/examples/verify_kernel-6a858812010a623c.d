@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/verify_kernel-6a858812010a623c.d: examples/verify_kernel.rs
+
+/root/repo/target/release/examples/verify_kernel-6a858812010a623c: examples/verify_kernel.rs
+
+examples/verify_kernel.rs:

@@ -4,7 +4,7 @@
 //! the [`proptest!`] macro (with `#![proptest_config(...)]` and both
 //! `name: Type` and `name in strategy` parameter forms), [`Strategy`] with
 //! `prop_map`, `any::<T>()`, integer/float range strategies, tuple
-//! strategies, [`prop_oneof!`], `prop::collection::vec`, and the
+//! strategies, `prop_oneof!`, `prop::collection::vec`, and the
 //! `prop_assert*` / `prop_assume!` macros.
 //!
 //! Differences from real proptest: generation is driven by a fixed
@@ -191,7 +191,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice among boxed strategies ([`prop_oneof!`]).
+    /// Uniform choice among boxed strategies (`prop_oneof!`).
     pub struct Union<V> {
         options: Vec<Box<dyn Strategy<Value = V>>>,
     }
