@@ -120,6 +120,26 @@ pub fn shadow_strike<C: SystematicCode>(code: &C, golden: u32, faulty: u32) -> S
     }
 }
 
+/// In-place correction entry point for the recovery subsystem: when the
+/// decoder's syndrome identifies a single corrupted *data* bit, return the
+/// corrected data word.
+///
+/// Under swapped codewords the "correction" restores the value the *shadow*
+/// computed (the check bits came from it), which is the golden value for an
+/// original-side strike but the *faulty* value for a shadow-side strike —
+/// the two cases are locally indistinguishable, which is exactly why the
+/// Fig. 5 data-parity rule refuses to correct and raises a DUE instead. The
+/// paper claims detection only; applying this correction is a recovery
+/// *policy choice* whose miscorrection rate must be measured, never assumed
+/// zero (see `sim::recovery`).
+#[must_use]
+pub fn try_correct_data<C: SystematicCode>(code: &C, word: SwappedWord) -> Option<u32> {
+    match code.decode(word.data, word.check) {
+        RawDecode::CorrectedData { data, .. } => Some(data),
+        _ => None,
+    }
+}
+
 /// Apply the 64-bit-output rule of the paper's coverage study: the result is
 /// split across two 32-bit registers, and the error counts as detected if
 /// *either* register raises a DUE.
@@ -179,6 +199,25 @@ mod tests {
             let w = compose(&code, v, v);
             assert!(code.is_codeword(w.data, w.check));
         }
+    }
+
+    #[test]
+    fn correction_restores_original_strike_but_miscorrects_shadow_strike() {
+        let code = HsiaoSecDed::new();
+        let golden = 0x0BAD_F00D_u32;
+        let faulty = golden ^ (1 << 13);
+        // Original strike: data faulty, check from the (clean) shadow.
+        let orig = compose(&code, faulty, golden);
+        assert_eq!(try_correct_data(&code, orig), Some(golden));
+        // Shadow strike: data already golden; the proposed "correction"
+        // drags it to the shadow's faulty value — a miscorrection.
+        let shad = compose(&code, golden, faulty);
+        assert_eq!(try_correct_data(&code, shad), Some(faulty));
+        // Clean words and uncorrectable syndromes correct nothing.
+        assert_eq!(
+            try_correct_data(&code, compose(&code, golden, golden)),
+            None
+        );
     }
 
     #[test]

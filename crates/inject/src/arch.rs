@@ -14,6 +14,9 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use swapcodes_core::Scheme;
 use swapcodes_sim::exec::{Detection, ExecConfig, ExecError, Executor};
+use swapcodes_sim::recovery::{
+    RecoveryConfig, RecoveryEngine, RecoveryOutcome, RecoveryPolicy, RecoveryStats,
+};
 use swapcodes_sim::regfile::Protection;
 use swapcodes_sim::{FaultSpec, FaultTarget, Launch};
 use swapcodes_workloads::Workload;
@@ -40,21 +43,49 @@ pub struct ArchOutcomes {
     pub masked: u64,
     /// Silent data corruption at the program output.
     pub sdc: u64,
+    /// Detection converted to a completed, correct run by in-place ECC
+    /// storage correction.
+    pub recovered_correct: u64,
+    /// Detection converted to a completed, correct run by warp-level
+    /// checkpoint/replay.
+    pub recovered_replay: u64,
+    /// Detection converted to a completed, correct run by whole-kernel
+    /// re-execution.
+    pub recovered_relaunch: u64,
+    /// A recovery path completed the run but the output differs from golden
+    /// — a recovery-induced SDC (in-place correction gambling wrong under
+    /// swapped codewords).
+    pub miscorrected: u64,
 }
 
 impl ArchOutcomes {
     /// Total trials.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.trap + self.due + self.crash + self.hang + self.masked + self.sdc
+        self.trap
+            + self.due
+            + self.crash
+            + self.hang
+            + self.masked
+            + self.sdc
+            + self.recovered()
+            + self.miscorrected
+    }
+
+    /// Trials recovered by any policy.
+    #[must_use]
+    pub fn recovered(&self) -> u64 {
+        self.recovered_correct + self.recovered_replay + self.recovered_relaunch
     }
 
     /// Detected fraction among unmasked faults (hangs count as detected —
-    /// the watchdog is a detector, just a slow one).
+    /// the watchdog is a detector, just a slow one; recovered trials were
+    /// detected first, so they count as detected too, while miscorrections
+    /// are recovery-induced escapes and count against coverage).
     #[must_use]
     pub fn coverage(&self) -> f64 {
-        let detected = self.trap + self.due + self.crash + self.hang;
-        let unmasked = detected + self.sdc;
+        let detected = self.trap + self.due + self.crash + self.hang + self.recovered();
+        let unmasked = detected + self.sdc + self.miscorrected;
         if unmasked == 0 {
             1.0
         } else {
@@ -71,7 +102,27 @@ impl ArchOutcomes {
             TrialOutcome::Hang => self.hang += 1,
             TrialOutcome::Masked => self.masked += 1,
             TrialOutcome::Sdc => self.sdc += 1,
+            TrialOutcome::Recovered { policy, .. } => match policy {
+                RecoveryPolicy::EccCorrect => self.recovered_correct += 1,
+                RecoveryPolicy::WarpReplay => self.recovered_replay += 1,
+                RecoveryPolicy::Relaunch => self.recovered_relaunch += 1,
+            },
+            TrialOutcome::Miscorrected => self.miscorrected += 1,
         }
+    }
+
+    /// Field-by-field accumulation of another tally.
+    pub fn merge(&mut self, other: &ArchOutcomes) {
+        self.trap += other.trap;
+        self.due += other.due;
+        self.crash += other.crash;
+        self.hang += other.hang;
+        self.masked += other.masked;
+        self.sdc += other.sdc;
+        self.recovered_correct += other.recovered_correct;
+        self.recovered_replay += other.recovered_replay;
+        self.recovered_relaunch += other.recovered_relaunch;
+        self.miscorrected += other.miscorrected;
     }
 }
 
@@ -90,6 +141,17 @@ pub enum TrialOutcome {
     Masked,
     /// Silent data corruption.
     Sdc,
+    /// A detection occurred and the recovery ladder converted it into a
+    /// completed run whose output matches golden.
+    Recovered {
+        /// Most expensive recovery policy that acted on the trial.
+        policy: RecoveryPolicy,
+        /// Total recovery actions (corrections + rollbacks + relaunches).
+        attempts: u32,
+    },
+    /// A recovery path completed the run with output **different** from
+    /// golden: a recovery-induced SDC.
+    Miscorrected,
 }
 
 /// Why a campaign could not even start (before any trial runs).
@@ -186,6 +248,12 @@ impl<'w> ArchCampaign<'w> {
         &self.kernel
     }
 
+    /// The transformed launch geometry (for timing the recovered kernel).
+    #[must_use]
+    pub fn launch(&self) -> Launch {
+        self.launch
+    }
+
     /// The fault injected by trial `trial` (pure in `(seed, trial)`).
     #[must_use]
     pub fn trial_fault(&self, trial: u64) -> FaultSpec {
@@ -270,6 +338,84 @@ impl<'w> ArchCampaign<'w> {
         }
         out
     }
+
+    /// Run one fueled trial **through the recovery ladder** and classify the
+    /// result. A `Recovered` outcome is only granted when the final output
+    /// matches golden; a recovery path that completes with a wrong output is
+    /// [`TrialOutcome::Miscorrected`] — recovery never silently launders a
+    /// detection into a success.
+    #[must_use]
+    pub fn run_trial_recovering(&self, trial: u64, rcfg: &RecoveryConfig) -> RecoveredTrial {
+        self.run_trial_recovering_salted(trial, 0, rcfg)
+    }
+
+    /// [`Self::run_trial_recovering`] with a containment-retry salt.
+    #[must_use]
+    pub fn run_trial_recovering_salted(
+        &self,
+        trial: u64,
+        salt: u32,
+        rcfg: &RecoveryConfig,
+    ) -> RecoveredTrial {
+        let fault = self.trial_fault_salted(trial, salt);
+        let input = self.workload.build_memory();
+        let engine = RecoveryEngine {
+            exec: ExecConfig {
+                protection: self.protection,
+                fault: Some(fault),
+                cta_limit: Some(1),
+                fuel: Some(self.fuel),
+                ..ExecConfig::default()
+            },
+            config: *rcfg,
+        };
+        let run = engine.run(&self.kernel, self.launch, &input);
+        let outcome = match run.outcome {
+            RecoveryOutcome::Recovered { policy, attempts } => {
+                if self.workload.output_words(&run.mem) == self.golden {
+                    TrialOutcome::Recovered { policy, attempts }
+                } else {
+                    TrialOutcome::Miscorrected
+                }
+            }
+            // No recovery action fired: classify exactly like the plain path.
+            RecoveryOutcome::Clean => {
+                if self.workload.output_words(&run.mem) == self.golden {
+                    TrialOutcome::Masked
+                } else {
+                    TrialOutcome::Sdc
+                }
+            }
+            // Ladder exhausted: the residual detection (or watchdog error)
+            // stands, bucketed as in the unrecovered campaign.
+            RecoveryOutcome::Unrecoverable { .. } => match run.detection {
+                Detection::Trap { .. } => TrialOutcome::Trap,
+                Detection::Due { .. } => TrialOutcome::Due,
+                Detection::MemFault { .. } => TrialOutcome::Crash,
+                Detection::Hang { .. } => TrialOutcome::Hang,
+                Detection::None => match run.error {
+                    Some(ExecError::Hang { .. } | ExecError::Trap { .. }) | None => {
+                        TrialOutcome::Hang
+                    }
+                    Some(_) => TrialOutcome::Crash,
+                },
+            },
+        };
+        RecoveredTrial {
+            outcome,
+            stats: run.stats,
+        }
+    }
+}
+
+/// Outcome plus recovery accounting of one recovered trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveredTrial {
+    /// Program-level classification (with `Recovered`/`Miscorrected` arms).
+    pub outcome: TrialOutcome,
+    /// Recovery work summed over the trial's attempts (drives the
+    /// [`swapcodes_sim::timing::RecoveryCostModel`] overhead accounting).
+    pub stats: RecoveryStats,
 }
 
 /// Run `trials` random single-bit pipeline faults against `workload` under
@@ -317,13 +463,28 @@ mod tests {
         let whole = c.run_range(0, 10);
         let mut split = c.run_range(0, 4);
         let rest = c.run_range(4, 10);
-        split.trap += rest.trap;
-        split.due += rest.due;
-        split.crash += rest.crash;
-        split.hang += rest.hang;
-        split.masked += rest.masked;
-        split.sdc += rest.sdc;
+        split.merge(&rest);
         assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn recovered_trials_convert_dues_without_sdc() {
+        let w = by_name("matmul").expect("matmul");
+        let c = ArchCampaign::prepare(&w, Scheme::SwapEcc, 7).expect("prepare");
+        let rcfg = RecoveryConfig::default();
+        let mut out = ArchOutcomes::default();
+        for trial in 0..24 {
+            let t = c.run_trial_recovering(trial, &rcfg);
+            out.record(t.outcome);
+        }
+        assert_eq!(out.total(), 24);
+        // The safe ladder (no storage correction) never invents an SDC.
+        assert_eq!(out.miscorrected, 0);
+        assert_eq!(out.sdc, 0, "single-bit faults cannot escape SEC-DED");
+        assert!(
+            out.recovered() > 0,
+            "expected some DUE->recovered conversion: {out:?}"
+        );
     }
 
     #[test]

@@ -32,8 +32,11 @@ use swapcodes_core::Scheme;
 use swapcodes_gates::units::ArithUnit;
 use swapcodes_workloads::Workload;
 
+use swapcodes_sim::recovery::RecoveryStats;
+
 use crate::arch::{ArchCampaign, ArchOutcomes, PrepError, TrialOutcome};
 use crate::gate::{run_unit_campaign_slice, CampaignConfig, InputOutcome, UnitCampaignResult};
+use crate::recovery::RecoveryCampaignConfig;
 
 /// The `SWAPCODES_FUEL` override: a hard per-trial step budget for fueled
 /// execution (see [`crate::arch::ArchCampaign::fuel`]).
@@ -289,7 +292,9 @@ pub struct CampaignRun {
 // Architecture-level campaign with checkpointing
 // ---------------------------------------------------------------------------
 
+#[allow(clippy::too_many_arguments)]
 fn arch_checkpoint_json(
+    mode: &str,
     workload: &str,
     scheme: &str,
     seed: u64,
@@ -297,11 +302,14 @@ fn arch_checkpoint_json(
     trials: u64,
     completed: u64,
     t: &ArchOutcomes,
+    rs: &RecoveryStats,
 ) -> String {
     format!(
-        "{{\"campaign\":\"arch\",\"workload\":\"{}\",\"scheme\":\"{}\",\"seed\":{seed},\
-         \"fuel\":{fuel},\"trials\":{trials},\"completed\":{completed},\"trap\":{},\
-         \"due\":{},\"crash\":{},\"hang\":{},\"masked\":{},\"sdc\":{}}}",
+        "{{\"campaign\":\"arch\",\"mode\":\"{mode}\",\"workload\":\"{}\",\"scheme\":\"{}\",\
+         \"seed\":{seed},\"fuel\":{fuel},\"trials\":{trials},\"completed\":{completed},\
+         \"trap\":{},\"due\":{},\"crash\":{},\"hang\":{},\"masked\":{},\"sdc\":{},\
+         \"rec_correct\":{},\"rec_replay\":{},\"rec_relaunch\":{},\"miscorrected\":{},\
+         \"ckpts\":{},\"replays\":{},\"replayed\":{},\"corrections\":{},\"relaunches\":{}}}",
         json_escape(workload),
         json_escape(scheme),
         t.trap,
@@ -309,24 +317,38 @@ fn arch_checkpoint_json(
         t.crash,
         t.hang,
         t.masked,
-        t.sdc
+        t.sdc,
+        t.recovered_correct,
+        t.recovered_replay,
+        t.recovered_relaunch,
+        t.miscorrected,
+        rs.checkpoints,
+        rs.replays,
+        rs.replayed_instructions,
+        rs.corrections,
+        rs.relaunches
     )
 }
 
-/// Parse an arch checkpoint, returning `(completed, tallies)` only when it
-/// matches this campaign's identity — a stale checkpoint from a different
-/// workload/scheme/seed/fuel/trial-count is ignored, not misapplied.
+/// Parse an arch checkpoint, returning `(completed, tallies, recovery
+/// stats)` only when it matches this campaign's identity — a stale
+/// checkpoint from a different mode/workload/scheme/seed/fuel/trial-count
+/// is ignored, not misapplied. The `mode` field keeps a recovery campaign
+/// from resuming a plain campaign's tallies (and vice versa): same trials,
+/// different bucket semantics.
 fn load_arch_checkpoint(
     path: &Path,
+    mode: &str,
     workload: &str,
     scheme: &str,
     seed: u64,
     fuel: u64,
     trials: u64,
-) -> Option<(u64, ArchOutcomes)> {
+) -> Option<(u64, ArchOutcomes, RecoveryStats)> {
     let text = fs::read_to_string(path).ok()?;
     let f = parse_flat(&text)?;
     if field(&f, "campaign")? != "arch"
+        || field(&f, "mode")? != mode
         || field(&f, "workload")? != workload
         || field(&f, "scheme")? != scheme
         || field_u64(&f, "seed")? != seed
@@ -343,8 +365,19 @@ fn load_arch_checkpoint(
         hang: field_u64(&f, "hang")?,
         masked: field_u64(&f, "masked")?,
         sdc: field_u64(&f, "sdc")?,
+        recovered_correct: field_u64(&f, "rec_correct")?,
+        recovered_replay: field_u64(&f, "rec_replay")?,
+        recovered_relaunch: field_u64(&f, "rec_relaunch")?,
+        miscorrected: field_u64(&f, "miscorrected")?,
     };
-    (completed <= trials && tallies.total() == completed).then_some((completed, tallies))
+    let stats = RecoveryStats {
+        checkpoints: field_u64(&f, "ckpts")?,
+        replays: field_u64(&f, "replays")?,
+        replayed_instructions: field_u64(&f, "replayed")?,
+        corrections: field_u64(&f, "corrections")?,
+        relaunches: u32::try_from(field_u64(&f, "relaunches")?).ok()?,
+    };
+    (completed <= trials && tallies.total() == completed).then_some((completed, tallies, stats))
 }
 
 /// Run (or resume) an architecture-level campaign with panic containment,
@@ -372,12 +405,20 @@ pub fn run_arch_campaign_checkpointed(
         d.join(format!("{name}.ckpt.json"))
     });
 
-    let (mut completed, mut tallies) = ckpt_path
+    let (mut completed, mut tallies, _) = ckpt_path
         .as_deref()
         .and_then(|p| {
-            load_arch_checkpoint(p, workload.name, &scheme_label, seed, campaign.fuel, trials)
+            load_arch_checkpoint(
+                p,
+                "plain",
+                workload.name,
+                &scheme_label,
+                seed,
+                campaign.fuel,
+                trials,
+            )
         })
-        .unwrap_or((0, ArchOutcomes::default()));
+        .unwrap_or((0, ArchOutcomes::default(), RecoveryStats::default()));
 
     let mut log = AnomalyLog::new(ck.dir.as_deref());
     let save = |completed: u64, tallies: &ArchOutcomes| {
@@ -385,6 +426,7 @@ pub fn run_arch_campaign_checkpointed(
             let _ = write_atomic(
                 p,
                 &arch_checkpoint_json(
+                    "plain",
                     workload.name,
                     &scheme_label,
                     seed,
@@ -392,6 +434,7 @@ pub fn run_arch_campaign_checkpointed(
                     trials,
                     completed,
                     tallies,
+                    &RecoveryStats::default(),
                 ),
             );
         }
@@ -425,6 +468,124 @@ pub fn run_arch_campaign_checkpointed(
     save(completed, &tallies);
     Ok(CampaignRun {
         outcomes: tallies,
+        completed,
+        finished: true,
+        anomalies: log.count,
+    })
+}
+
+/// Progress of a checkpointed detect-and-recover campaign invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryCampaignRun {
+    /// Tallies over every completed trial (resumed + this invocation),
+    /// including the `recovered_*`/`miscorrected` buckets.
+    pub outcomes: ArchOutcomes,
+    /// Recovery work summed over every completed trial.
+    pub stats: RecoveryStats,
+    /// Trials completed so far.
+    pub completed: u64,
+    /// Whether the campaign ran to its trial target.
+    pub finished: bool,
+    /// Unrecoverable items logged during this invocation.
+    pub anomalies: u64,
+}
+
+/// Run (or resume) a detect-and-recover campaign with panic containment,
+/// anomaly logging and periodic atomic checkpoints — the recovery analogue
+/// of [`run_arch_campaign_checkpointed`], persisting the recovery-stat
+/// counters alongside the tallies so overhead accounting survives a crash.
+///
+/// Trials remain pure in `(seed, index)` (the ladder adds no randomness),
+/// so a resumed campaign tallies byte-identically to an uninterrupted one.
+///
+/// # Errors
+///
+/// Propagates [`PrepError`] when the campaign cannot start at all.
+pub fn run_recovery_campaign_checkpointed(
+    workload: &Workload,
+    scheme: Scheme,
+    trials: u64,
+    seed: u64,
+    rcfg: &RecoveryCampaignConfig,
+    ck: &CheckpointConfig,
+) -> Result<RecoveryCampaignRun, PrepError> {
+    let campaign = ArchCampaign::prepare(workload, scheme, seed)?;
+    let scheme_label = scheme.label();
+    let name = format!("recover-{}-{}", slug(workload.name), slug(&scheme_label));
+    let ckpt_path = ck.dir.as_ref().map(|d| {
+        let _ = fs::create_dir_all(d);
+        d.join(format!("{name}.ckpt.json"))
+    });
+
+    let (mut completed, mut tallies, mut stats) = ckpt_path
+        .as_deref()
+        .and_then(|p| {
+            load_arch_checkpoint(
+                p,
+                "recover",
+                workload.name,
+                &scheme_label,
+                seed,
+                campaign.fuel,
+                trials,
+            )
+        })
+        .unwrap_or((0, ArchOutcomes::default(), RecoveryStats::default()));
+
+    let mut log = AnomalyLog::new(ck.dir.as_deref());
+    let save = |completed: u64, tallies: &ArchOutcomes, stats: &RecoveryStats| {
+        if let Some(p) = &ckpt_path {
+            let _ = write_atomic(
+                p,
+                &arch_checkpoint_json(
+                    "recover",
+                    workload.name,
+                    &scheme_label,
+                    seed,
+                    campaign.fuel,
+                    trials,
+                    completed,
+                    tallies,
+                    stats,
+                ),
+            );
+        }
+    };
+
+    let mut done_this_run = 0u64;
+    while completed < trials {
+        if ck.stop_after == Some(done_this_run) {
+            save(completed, &tallies, &stats);
+            return Ok(RecoveryCampaignRun {
+                outcomes: tallies,
+                stats,
+                completed,
+                finished: false,
+                anomalies: log.count,
+            });
+        }
+        let trial = contain(ck.max_retries, |salt| {
+            campaign.run_trial_recovering_salted(completed, salt, &rcfg.recovery)
+        })
+        .unwrap_or_else(|panic_msg| {
+            log.record(&name, completed, ck.max_retries, &panic_msg);
+            crate::arch::RecoveredTrial {
+                outcome: TrialOutcome::Crash,
+                stats: RecoveryStats::default(),
+            }
+        });
+        tallies.record(trial.outcome);
+        stats.merge(&trial.stats);
+        completed += 1;
+        done_this_run += 1;
+        if ck.interval > 0 && completed % ck.interval == 0 {
+            save(completed, &tallies, &stats);
+        }
+    }
+    save(completed, &tallies, &stats);
+    Ok(RecoveryCampaignRun {
+        outcomes: tallies,
+        stats,
         completed,
         finished: true,
         anomalies: log.count,
@@ -685,13 +846,56 @@ mod tests {
             hang: 4,
             masked: 5,
             sdc: 6,
+            recovered_correct: 7,
+            recovered_replay: 8,
+            recovered_relaunch: 9,
+            miscorrected: 1,
         };
-        let line = arch_checkpoint_json("bfs", "Swap-ECC", 9, 1000, 40, 21, &t);
+        let rs = RecoveryStats {
+            checkpoints: 11,
+            replays: 12,
+            replayed_instructions: 13,
+            corrections: 14,
+            relaunches: 15,
+        };
+        let line = arch_checkpoint_json("recover", "bfs", "Swap-ECC", 9, 1000, 60, 46, &t, &rs);
         let f = parse_flat(&line).expect("parses");
+        assert_eq!(field(&f, "mode"), Some("recover"));
         assert_eq!(field(&f, "workload"), Some("bfs"));
         assert_eq!(field(&f, "scheme"), Some("Swap-ECC"));
-        assert_eq!(field_u64(&f, "completed"), Some(21));
+        assert_eq!(field_u64(&f, "completed"), Some(46));
         assert_eq!(field_u64(&f, "hang"), Some(4));
+        assert_eq!(field_u64(&f, "rec_replay"), Some(8));
+        assert_eq!(field_u64(&f, "miscorrected"), Some(1));
+        assert_eq!(field_u64(&f, "replayed"), Some(13));
+    }
+
+    #[test]
+    fn mode_mismatch_rejects_checkpoint() {
+        let t = ArchOutcomes {
+            masked: 3,
+            ..ArchOutcomes::default()
+        };
+        let line = arch_checkpoint_json(
+            "plain",
+            "bfs",
+            "Swap-ECC",
+            9,
+            1000,
+            40,
+            3,
+            &t,
+            &RecoveryStats::default(),
+        );
+        let path = std::env::temp_dir().join(format!(
+            "swapcodes-harness-mode-{}.ckpt.json",
+            std::process::id()
+        ));
+        write_atomic(&path, &line).expect("write");
+        // A recovery campaign must not resume a plain campaign's tallies.
+        assert!(load_arch_checkpoint(&path, "recover", "bfs", "Swap-ECC", 9, 1000, 40).is_none());
+        assert!(load_arch_checkpoint(&path, "plain", "bfs", "Swap-ECC", 9, 1000, 40).is_some());
+        let _ = fs::remove_file(&path);
     }
 
     #[test]

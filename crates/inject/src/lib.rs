@@ -28,10 +28,13 @@ pub mod detection;
 pub mod gate;
 pub mod harness;
 pub mod oracle;
+pub mod recovery;
 pub mod stats;
 pub mod trace;
 
-pub use arch::{arch_campaign, ArchCampaign, ArchOutcomes, PrepError, TrialOutcome};
+pub use arch::{
+    arch_campaign, ArchCampaign, ArchOutcomes, PrepError, RecoveredTrial, TrialOutcome,
+};
 pub use detection::{sdc_risk, DetectionTally};
 pub use gate::{
     default_thread_count, run_unit_campaign, run_unit_campaign_slice, CampaignConfig, InputOutcome,
@@ -39,8 +42,10 @@ pub use gate::{
 };
 pub use harness::{
     checkpoint_dir_from_env, contain, fuel_from_env, run_arch_campaign_checkpointed,
-    run_unit_campaign_checkpointed, AnomalyLog, CampaignRun, CheckpointConfig, UnitCampaignRun,
+    run_recovery_campaign_checkpointed, run_unit_campaign_checkpointed, AnomalyLog, CampaignRun,
+    CheckpointConfig, RecoveryCampaignRun, UnitCampaignRun,
 };
-pub use oracle::{differential_oracle, OracleVerdict};
+pub use oracle::{differential_oracle, recovery_oracle, OracleVerdict, RecoveryVerdict};
+pub use recovery::{run_recovery_campaign, RecoveryCampaignConfig, RecoveryCell};
 pub use stats::Proportion;
 pub use trace::workload_operand_streams;

@@ -17,6 +17,7 @@
 //! an escape's trial index is enough to replay it exactly.
 
 use swapcodes_core::Scheme;
+use swapcodes_sim::recovery::RecoveryConfig;
 use swapcodes_verify::{verify, Report};
 
 use crate::arch::{ArchCampaign, PrepError, TrialOutcome};
@@ -91,6 +92,90 @@ pub fn differential_oracle(
     })
 }
 
+/// The verdict of a recovery-mode differential run: beyond the static/SDC
+/// cross-check, it audits that the recovery ladder never converted a
+/// detection into a silent escape.
+#[derive(Debug)]
+pub struct RecoveryVerdict {
+    /// The static verifier's report over the campaign's transformed kernel.
+    pub report: Report,
+    /// Trials executed.
+    pub trials: u64,
+    /// Trial indices that ended in plain silent data corruption (fault never
+    /// detected — recovery was never in play).
+    pub escapes: Vec<u64>,
+    /// Trial indices where a recovery path completed with a wrong output —
+    /// recovery-induced SDCs. Must be empty under the safe (default) ladder.
+    pub miscorrections: Vec<u64>,
+    /// Trials recovered (output verified equal to golden per trial).
+    pub recovered: u64,
+}
+
+impl RecoveryVerdict {
+    /// Clean static proof, no dynamic escape, and no recovery-induced SDC.
+    #[must_use]
+    pub fn is_clean_and_sound(&self) -> bool {
+        self.report.is_clean() && self.escapes.is_empty() && self.miscorrections.is_empty()
+    }
+}
+
+impl std::fmt::Display for RecoveryVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} findings, {}/{} trials escaped, {} miscorrected, {} recovered",
+            self.report.scheme,
+            self.report.findings.len(),
+            self.escapes.len(),
+            self.trials,
+            self.miscorrections.len(),
+            self.recovered,
+        )
+    }
+}
+
+/// [`differential_oracle`] with the recovery ladder armed: statically verify
+/// the kernel, then run every trial through [`ArchCampaign::run_trial_recovering`]
+/// and record both plain SDC escapes and recovery-induced miscorrections.
+///
+/// Every `Recovered` outcome has already had its output compared word-for-
+/// word against the golden run (that comparison is what grants the outcome),
+/// so `recovered > 0` with empty `miscorrections` is a machine-checked proof
+/// that recovery converted DUEs without inventing SDCs.
+///
+/// # Errors
+///
+/// Propagates [`PrepError`] when the scheme does not apply or the golden run
+/// fails.
+pub fn recovery_oracle(
+    workload: &swapcodes_workloads::Workload,
+    scheme: Scheme,
+    trials: u64,
+    seed: u64,
+    rcfg: &RecoveryConfig,
+) -> Result<RecoveryVerdict, PrepError> {
+    let campaign = ArchCampaign::prepare(workload, scheme, seed)?;
+    let report = verify(scheme, campaign.kernel());
+    let mut escapes = Vec::new();
+    let mut miscorrections = Vec::new();
+    let mut recovered = 0u64;
+    for trial in 0..trials {
+        match campaign.run_trial_recovering(trial, rcfg).outcome {
+            TrialOutcome::Sdc => escapes.push(trial),
+            TrialOutcome::Miscorrected => miscorrections.push(trial),
+            TrialOutcome::Recovered { .. } => recovered += 1,
+            _ => {}
+        }
+    }
+    Ok(RecoveryVerdict {
+        report,
+        trials,
+        escapes,
+        miscorrections,
+        recovered,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,5 +225,17 @@ mod tests {
         let a = differential_oracle(&w, Scheme::Baseline, 30, 99).expect("prepare");
         let b = differential_oracle(&w, Scheme::Baseline, 30, 99).expect("prepare");
         assert_eq!(a.escapes, b.escapes);
+    }
+
+    /// The safe recovery ladder must never launder a detection into an SDC:
+    /// every `Recovered` outcome's output already compared equal to golden,
+    /// and no miscorrection may appear with storage correction off.
+    #[test]
+    fn safe_recovery_never_invents_sdcs() {
+        let w = by_name("matmul").expect("matmul");
+        let rcfg = RecoveryConfig::default();
+        let v = recovery_oracle(&w, Scheme::SwapEcc, 60, 0x0AC1E, &rcfg).expect("prepare");
+        assert!(v.is_clean_and_sound(), "{v}\n{}", v.report);
+        assert!(v.recovered > 0, "expected DUE->recovered conversion: {v}");
     }
 }

@@ -8,8 +8,8 @@ use std::path::PathBuf;
 use swapcodes_core::Scheme;
 use swapcodes_gates::units::fxp_add32;
 use swapcodes_inject::{
-    run_arch_campaign_checkpointed, run_unit_campaign, run_unit_campaign_checkpointed,
-    CampaignConfig, CheckpointConfig,
+    run_arch_campaign_checkpointed, run_recovery_campaign_checkpointed, run_unit_campaign,
+    run_unit_campaign_checkpointed, CampaignConfig, CheckpointConfig, RecoveryCampaignConfig,
 };
 use swapcodes_workloads::by_name;
 
@@ -102,6 +102,78 @@ fn arch_checkpoint_for_other_campaign_is_ignored() {
     .expect("prepare");
     assert!(resumed.finished);
     assert_eq!(resumed.outcomes, reference.outcomes);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Checkpoint/resume composes with the recovery ladder: a recovery campaign
+/// interrupted mid-flight resumes from disk and finishes with tallies *and*
+/// recovery-work stats identical to an uninterrupted run — and its on-disk
+/// state is mode-tagged, so a plain campaign's checkpoint is never trusted.
+#[test]
+fn recovery_campaign_resumes_byte_identically_after_interruption() {
+    let w = by_name("matmul").expect("matmul workload");
+    let trials = 18u64;
+    let seed = 0x02EC_04E2u64;
+    let rcfg = RecoveryCampaignConfig::default();
+
+    let reference = run_recovery_campaign_checkpointed(
+        &w,
+        Scheme::SwapEcc,
+        trials,
+        seed,
+        &rcfg,
+        &CheckpointConfig {
+            dir: None,
+            ..CheckpointConfig::default()
+        },
+    )
+    .expect("swap-ecc applies to matmul");
+    assert!(reference.finished);
+    assert_eq!(reference.completed, trials);
+    assert!(
+        reference.outcomes.recovered() > 0,
+        "campaign must exercise recovery: {:?}",
+        reference.outcomes
+    );
+
+    let dir = scratch_dir("recover");
+    let ck = |stop_after: Option<u64>| CheckpointConfig {
+        dir: Some(dir.clone()),
+        interval: 3,
+        stop_after,
+        ..CheckpointConfig::default()
+    };
+    // Run a *plain* campaign into the same directory first: its checkpoint
+    // file is keyed differently and its mode tag is "plain", so the recovery
+    // campaign below must start from zero either way.
+    let _ = run_arch_campaign_checkpointed(&w, Scheme::SwapEcc, trials, seed, &ck(Some(4)));
+
+    let first =
+        run_recovery_campaign_checkpointed(&w, Scheme::SwapEcc, trials, seed, &rcfg, &ck(Some(5)))
+            .expect("prepare");
+    assert!(!first.finished, "stop_after must interrupt the run");
+    assert_eq!(first.completed, 5);
+
+    let second =
+        run_recovery_campaign_checkpointed(&w, Scheme::SwapEcc, trials, seed, &rcfg, &ck(Some(6)))
+            .expect("prepare");
+    assert!(!second.finished);
+    assert_eq!(second.completed, 11, "second run resumes at trial 5");
+
+    let last =
+        run_recovery_campaign_checkpointed(&w, Scheme::SwapEcc, trials, seed, &rcfg, &ck(None))
+            .expect("prepare");
+    assert!(last.finished);
+    assert_eq!(last.completed, trials);
+    assert_eq!(
+        last.outcomes, reference.outcomes,
+        "resumed tallies diverge from the uninterrupted run"
+    );
+    assert_eq!(
+        last.stats, reference.stats,
+        "resumed recovery stats diverge from the uninterrupted run"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -14,6 +14,7 @@ use swapcodes_isa::{
 use crate::fault::{FaultSpec, FaultTarget};
 use crate::memory::{GlobalMemory, SharedMemory};
 use crate::profiler::{traced_unit, OperandTrace, ProfileCounts};
+use crate::recovery::{RecoverySpec, RecoveryStats};
 use crate::regfile::{Protection, RegFileEvent, WarpRegFile};
 
 /// Kernel launch geometry.
@@ -69,6 +70,11 @@ pub struct ExecConfig {
     pub fuel: Option<u64>,
     /// Execute only the first `n` CTAs (e.g. one occupancy wave).
     pub cta_limit: Option<u32>,
+    /// Arm in-executor recovery: periodic warp checkpoints with rollback and
+    /// replay on detection, and (opt-in) in-place ECC storage correction.
+    /// `None` (the default) leaves execution byte-for-byte identical to the
+    /// unrecovered executor.
+    pub recovery: Option<RecoverySpec>,
 }
 
 impl Default for ExecConfig {
@@ -82,6 +88,7 @@ impl Default for ExecConfig {
             max_dynamic: 80_000_000,
             fuel: None,
             cta_limit: None,
+            recovery: None,
         }
     }
 }
@@ -219,6 +226,9 @@ pub struct ExecOutcome {
     pub operands: OperandTrace,
     /// Number of fault activations actually applied.
     pub faults_applied: u32,
+    /// Recovery work performed in-executor (checkpoints, warp replays,
+    /// in-place corrections). All-zero when recovery is unarmed.
+    pub recovery: RecoveryStats,
 }
 
 /// Functional kernel executor.
@@ -269,6 +279,8 @@ impl Executor {
             faults_applied: 0,
             eligible_seen: 0,
             pending_due: None,
+            rstats: RecoveryStats::default(),
+            fuel_refund: 0,
         };
         r.run();
         if let Some(e) = r.error {
@@ -283,13 +295,26 @@ impl Executor {
             profile: r.profile,
             operands: r.operands,
             faults_applied: r.faults_applied,
+            recovery: r.rstats,
         })
     }
 }
 
+#[derive(Clone)]
 struct Fragment {
     pc: usize,
     mask: u32,
+}
+
+/// Architectural snapshot of one warp, sufficient to replay it from the
+/// snapshot point: PC fragments, predicates, and the full (ECC-encoded)
+/// register file. The trace length lets rollback discard replayed entries.
+#[derive(Clone)]
+struct WarpCheckpoint {
+    frags: Vec<Fragment>,
+    preds: [u8; 32],
+    rf: WarpRegFile,
+    trace_len: usize,
 }
 
 struct Warp {
@@ -300,6 +325,16 @@ struct Warp {
     preds: [u8; 32],
     waiting_bar: bool,
     trace: Vec<TraceEntry>,
+    /// Last architectural snapshot (when recovery is armed).
+    ckpt: Option<Box<WarpCheckpoint>>,
+    /// Instructions this warp executed since its last checkpoint.
+    since_ckpt: u64,
+    /// State escaped the warp (store/atomic) since the last checkpoint:
+    /// rollback would not undo it, so replay is illegal until the next
+    /// checkpoint.
+    dirty: bool,
+    /// Rollbacks already spent on this warp (bounded retry).
+    replays: u32,
 }
 
 impl Warp {
@@ -325,6 +360,10 @@ struct Runner<'a> {
     faults_applied: u32,
     eligible_seen: u64,
     pending_due: Option<bool>,
+    rstats: RecoveryStats,
+    /// Instructions discarded by rollbacks, refunded to the fuel budget so
+    /// every replay attempt runs on a fresh budget.
+    fuel_refund: u64,
 }
 
 impl Runner<'_> {
@@ -346,6 +385,37 @@ impl Runner<'_> {
 
     fn halted(&self) -> bool {
         self.detection != Detection::None || self.truncated || self.error.is_some()
+    }
+
+    /// Attempt warp-level replay of a detection: roll `w` back to its last
+    /// checkpoint and clear the detection so execution resumes from the
+    /// snapshot. Legal only when recovery is armed, the warp has a
+    /// checkpoint, nothing escaped the warp since it was taken, and the
+    /// per-warp replay budget is not exhausted. The discarded instructions
+    /// are refunded to the fuel budget.
+    fn try_rollback(&mut self, w: &mut Warp) -> bool {
+        let Some(spec) = self.cfg.recovery else {
+            return false;
+        };
+        if w.dirty || w.replays >= spec.max_replays_per_warp {
+            return false;
+        }
+        let Some(ck) = &w.ckpt else {
+            return false;
+        };
+        w.frags = ck.frags.clone();
+        w.preds = ck.preds;
+        w.rf = ck.rf.clone();
+        w.trace.truncate(ck.trace_len);
+        w.waiting_bar = false;
+        w.replays += 1;
+        self.rstats.replays += 1;
+        self.rstats.replayed_instructions += w.since_ckpt;
+        self.fuel_refund = self.fuel_refund.saturating_add(w.since_ckpt);
+        w.since_ckpt = 0;
+        self.detection = Detection::None;
+        self.pending_due = None;
+        true
     }
 
     fn run(&mut self) {
@@ -373,6 +443,10 @@ impl Runner<'_> {
                         preds: [0; 32],
                         waiting_bar: false,
                         trace: Vec::new(),
+                        ckpt: None,
+                        since_ckpt: 0,
+                        dirty: false,
+                        replays: 0,
                     }
                 })
                 .collect();
@@ -390,6 +464,13 @@ impl Runner<'_> {
                         }
                         step(self, w, &mut shared);
                         progressed = true;
+                        if self.detection != Detection::None
+                            && !self.truncated
+                            && self.error.is_none()
+                            && self.try_rollback(w)
+                        {
+                            continue;
+                        }
                         if self.halted() {
                             break 'grid;
                         }
@@ -398,8 +479,15 @@ impl Runner<'_> {
                 // Barrier release: all live warps waiting.
                 let live: Vec<&mut Warp> = warps.iter_mut().filter(|w| !w.done()).collect();
                 if !live.is_empty() && live.iter().all(|w| w.waiting_bar) {
+                    let recovering = self.cfg.recovery.is_some();
                     for w in live {
                         w.waiting_bar = false;
+                        // Re-checkpoint at the barrier release: other warps
+                        // now assume this warp reached the barrier, so any
+                        // rollback past it would deadlock the CTA.
+                        if recovering {
+                            checkpoint(&mut self.rstats, w);
+                        }
                     }
                     progressed = true;
                 }
@@ -428,9 +516,29 @@ impl Runner<'_> {
     }
 }
 
+/// Snapshot `w`'s architectural state. Also resets the dirty flag: stores
+/// before this point are no longer at risk of re-execution, so rollback to
+/// *this* checkpoint is legal again.
+fn checkpoint(rstats: &mut RecoveryStats, w: &mut Warp) {
+    w.ckpt = Some(Box::new(WarpCheckpoint {
+        frags: w.frags.clone(),
+        preds: w.preds,
+        rf: w.rf.clone(),
+        trace_len: w.trace.len(),
+    }));
+    w.since_ckpt = 0;
+    w.dirty = false;
+    rstats.checkpoints += 1;
+}
+
 /// Execute one instruction of one warp.
 #[allow(clippy::too_many_lines)]
 fn step(r: &mut Runner<'_>, w: &mut Warp, shared: &mut SharedMemory) {
+    if let Some(spec) = r.cfg.recovery {
+        if w.ckpt.is_none() || w.since_ckpt >= spec.checkpoint_interval {
+            checkpoint(&mut r.rstats, w);
+        }
+    }
     // Pick the fragment with the smallest PC.
     let fi = w
         .frags
@@ -466,11 +574,14 @@ fn step(r: &mut Runner<'_>, w: &mut Warp, shared: &mut SharedMemory) {
     }
 
     r.dyn_count += 1;
+    w.since_ckpt += 1;
     if r.dyn_count >= r.cfg.max_dynamic {
         r.truncated = true;
     }
     if let Some(fuel) = r.cfg.fuel {
-        if r.dyn_count > fuel {
+        // Instructions discarded by rollbacks are refunded so every replay
+        // attempt gets the full budget rather than a half-spent one.
+        if r.dyn_count > fuel.saturating_add(r.fuel_refund) {
             // Budget exhausted: the kernel is hung (driver-watchdog kill).
             r.error = Some(ExecError::Hang { steps: r.dyn_count });
             return;
@@ -541,6 +652,17 @@ fn rd(r: &mut Runner<'_>, w: &mut Warp, lane: u32, reg: Reg) -> u32 {
         RegFileEvent::Clean => {}
         RegFileEvent::Corrected => r.corrected += 1,
         RegFileEvent::Due { pipeline_suspected } => {
+            // Opt-in storage correction: rewrite a single-data-bit syndrome
+            // in place and keep running instead of halting. Under swapped
+            // codewords this is a *policy gamble* — it restores the shadow's
+            // value, which miscorrects shadow-side strikes — so the default
+            // leaves it off and campaigns measure its miscorrection rate.
+            if r.cfg.recovery.is_some_and(|s| s.storage_correction) {
+                if let Some(fixed) = w.rf.correct_in_place(lane, reg.0) {
+                    r.rstats.corrections += 1;
+                    return fixed;
+                }
+            }
             r.pending_due.get_or_insert(pipeline_suspected);
         }
     }
@@ -1023,6 +1145,12 @@ fn exec_op(
             v,
             width,
         } => {
+            if exec_mask != 0 {
+                // Stored values escape the warp-private snapshot: rollback
+                // could re-execute (or fail to undo) them, so replay is
+                // barred until the next checkpoint.
+                w.dirty = true;
+            }
             let mut segments: Vec<u32> = Vec::new();
             for lane in 0..32u32 {
                 if exec_mask & (1 << lane) == 0 {
@@ -1063,6 +1191,9 @@ fn exec_op(
             w.frags[fi].pc += 1;
         }
         Op::AtomAdd { addr, offset, v } => {
+            if exec_mask != 0 {
+                w.dirty = true;
+            }
             let mut count = 0u32;
             for lane in 0..32u32 {
                 if exec_mask & (1 << lane) == 0 {

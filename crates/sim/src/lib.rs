@@ -31,6 +31,7 @@ pub mod memory;
 pub mod occupancy;
 pub mod power;
 pub mod profiler;
+pub mod recovery;
 pub mod regfile;
 pub mod timing;
 
@@ -38,5 +39,9 @@ pub use exec::{ExecError, ExecOutcome, Executor, Launch, TraceEntry, WarpTrace};
 pub use fault::{FaultSpec, FaultTarget};
 pub use memory::{GlobalMemory, SharedMemory};
 pub use occupancy::{occupancy, GpuConfig, Occupancy};
+pub use recovery::{
+    RecoveryConfig, RecoveryEngine, RecoveryOutcome, RecoveryPolicy, RecoveryRun, RecoverySpec,
+    RecoveryStats,
+};
 pub use regfile::{Protection, RegFileEvent};
-pub use timing::{simulate_kernel, KernelTiming, TimingConfig};
+pub use timing::{simulate_kernel, KernelTiming, RecoveryCostModel, TimingConfig};

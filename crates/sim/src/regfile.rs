@@ -10,6 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 use swapcodes_ecc::report::{DpWord, ReadEvent, SecDedDp, SecDp};
+use swapcodes_ecc::swap::{self, SwappedWord};
 use swapcodes_ecc::{parity32, AnyCode, CodeKind, RawDecode, SystematicCode};
 
 /// Register-file protection configuration.
@@ -57,6 +58,7 @@ struct Stored {
     parity: bool,
 }
 
+#[derive(Clone)]
 enum Decoder {
     None,
     Detect(AnyCode),
@@ -77,8 +79,10 @@ impl std::fmt::Debug for Decoder {
 }
 
 /// The register file of one warp: 32 lanes x `regs` registers, each with
-/// stored check bits.
-#[derive(Debug)]
+/// stored check bits. Cloning snapshots the full stored state (data, check
+/// bits, parity and the armed flag) — the basis of warp-level
+/// checkpoint/replay in [`crate::recovery`].
+#[derive(Debug, Clone)]
 pub struct WarpRegFile {
     regs: u32,
     words: Vec<Stored>,
@@ -245,6 +249,33 @@ impl WarpRegFile {
         self.words[self.idx(lane, reg)].data
     }
 
+    /// Attempt in-place correction of a stored word whose syndrome points at
+    /// a single data bit, rewriting the register as a consistent codeword
+    /// (data, re-encoded check bits and parity) and returning the corrected
+    /// value.
+    ///
+    /// This is the [`swapcodes_ecc::swap::try_correct_data`] entry point of
+    /// the recovery subsystem's `EccCorrect` policy. Under swapped codewords
+    /// it restores the shadow's value, so it is only *sound* for
+    /// original-side strikes — see the hazard note on that function. Returns
+    /// `None` when the word is clean, uncorrectable, or unprotected.
+    pub fn correct_in_place(&mut self, lane: u32, reg: u8) -> Option<u32> {
+        let i = self.idx(lane, reg);
+        let w = self.words[i];
+        let word = SwappedWord {
+            data: w.data,
+            check: w.check,
+        };
+        let fixed = match &self.decoder {
+            Decoder::None => None,
+            Decoder::Detect(code) => swap::try_correct_data(code, word),
+            Decoder::SecDedDp(rep) => swap::try_correct_data(rep.code(), word),
+            Decoder::SecDp(rep) => swap::try_correct_data(rep.code(), word),
+        }?;
+        self.write_full(lane, reg, fixed);
+        Some(fixed)
+    }
+
     /// Inject a raw storage bit-flip (for storage-error testing).
     pub fn flip_storage_bit(&mut self, lane: u32, reg: u8, bit: u32) {
         let i = self.idx(lane, reg);
@@ -332,6 +363,48 @@ mod tests {
         let (v, e) = rf.read(1, 4);
         assert_eq!(v, 7);
         assert!(e.is_due());
+    }
+
+    #[test]
+    fn correct_in_place_recovers_original_strike() {
+        let mut rf = WarpRegFile::new(8, Protection::SecDedDp);
+        rf.write_split(2, 1, 42 ^ (1 << 4), 42); // original struck one data bit
+        assert_eq!(rf.correct_in_place(2, 1), Some(42));
+        let (v, e) = rf.read(2, 1);
+        assert_eq!(v, 42);
+        assert_eq!(e, RegFileEvent::Clean, "corrected word is a codeword");
+    }
+
+    #[test]
+    fn correct_in_place_miscorrects_shadow_strike() {
+        let mut rf = WarpRegFile::new(8, Protection::SecDedDp);
+        rf.write_full(0, 1, 42);
+        rf.write_ecc_only(0, 1, 43); // shadow struck
+                                     // The hazard the DP rule exists to avoid: correction corrupts the
+                                     // (already correct) data toward the shadow's faulty value.
+        assert_eq!(rf.correct_in_place(0, 1), Some(43));
+    }
+
+    #[test]
+    fn correct_in_place_refuses_clean_and_unprotected_words() {
+        let mut rf = WarpRegFile::new(8, Protection::SecDedDp);
+        rf.write_full(0, 0, 7);
+        assert_eq!(rf.correct_in_place(0, 0), None);
+        let mut plain = WarpRegFile::new(8, Protection::None);
+        plain.write_split(0, 0, 1, 2);
+        assert_eq!(plain.correct_in_place(0, 0), None);
+    }
+
+    #[test]
+    fn clone_snapshots_stored_state() {
+        let mut rf = WarpRegFile::new(8, Protection::SecDedDp);
+        rf.write_full(3, 2, 0xAAAA_5555);
+        let snap = rf.clone();
+        rf.write_full(3, 2, 0);
+        let mut restored = snap;
+        let (v, e) = restored.read(3, 2);
+        assert_eq!(v, 0xAAAA_5555);
+        assert_eq!(e, RegFileEvent::Clean);
     }
 
     #[test]

@@ -113,6 +113,61 @@ impl KernelTiming {
     }
 }
 
+/// Cycle cost of the detect-and-recover machinery, layered *on top of* a
+/// kernel's fault-free timing rather than woven into the cycle-level replay:
+/// recovery actions are rare (one detection per injected fault) so an
+/// additive model keeps the replay untouched while still ranking policies by
+/// their true cost — corrections are nearly free, warp replays cost a
+/// rollback plus the re-executed instructions, and relaunches pay the whole
+/// kernel again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryCostModel {
+    /// Cycles to snapshot one warp's architectural state (register file
+    /// drain to the checkpoint buffer).
+    pub checkpoint_cycles: u64,
+    /// Cycles to restore a warp from its checkpoint (pipeline flush plus
+    /// register-file restore).
+    pub rollback_cycles: u64,
+    /// Cycles per re-executed instruction during replay (the warp replays
+    /// solo, so it issues roughly one instruction per cycle).
+    pub replay_cpi: u64,
+    /// Fixed driver/runtime latency of a kernel relaunch, on top of paying
+    /// the kernel's own cycles again.
+    pub relaunch_latency: u64,
+}
+
+impl Default for RecoveryCostModel {
+    fn default() -> Self {
+        Self {
+            checkpoint_cycles: 32,
+            rollback_cycles: 64,
+            replay_cpi: 1,
+            relaunch_latency: 5_000,
+        }
+    }
+}
+
+impl RecoveryCostModel {
+    /// Total recovery overhead in cycles for `stats` worth of recovery work
+    /// on a kernel whose fault-free run costs `kernel_cycles`.
+    #[must_use]
+    pub fn overhead_cycles(
+        &self,
+        stats: &crate::recovery::RecoveryStats,
+        kernel_cycles: u64,
+    ) -> u64 {
+        stats
+            .checkpoints
+            .saturating_mul(self.checkpoint_cycles)
+            .saturating_add(stats.replays.saturating_mul(self.rollback_cycles))
+            .saturating_add(stats.replayed_instructions.saturating_mul(self.replay_cpi))
+            .saturating_add(
+                u64::from(stats.relaunches)
+                    .saturating_mul(kernel_cycles.saturating_add(self.relaunch_latency)),
+            )
+    }
+}
+
 /// Simulate `kernel` end to end: functional execution of one occupancy wave
 /// (capturing traces), then cycle-level replay, then extrapolation over the
 /// full grid.
@@ -676,6 +731,40 @@ mod tests {
         let indep = simulate_kernel(&trivial_kernel(64), Launch::grid(1, 32), &mut mem, &cfg)
             .expect("timing");
         assert!(chain.cycles > indep.cycles, "{chain:?} vs {indep:?}");
+    }
+
+    #[test]
+    fn recovery_cost_ranks_policies_by_expense() {
+        use crate::recovery::RecoveryStats;
+        let m = RecoveryCostModel::default();
+        let kernel_cycles = 10_000;
+        let correct = RecoveryStats {
+            checkpoints: 4,
+            corrections: 1,
+            ..RecoveryStats::default()
+        };
+        let replay = RecoveryStats {
+            checkpoints: 4,
+            replays: 1,
+            replayed_instructions: 200,
+            ..RecoveryStats::default()
+        };
+        let relaunch = RecoveryStats {
+            checkpoints: 4,
+            relaunches: 1,
+            ..RecoveryStats::default()
+        };
+        let c = m.overhead_cycles(&correct, kernel_cycles);
+        let p = m.overhead_cycles(&replay, kernel_cycles);
+        let l = m.overhead_cycles(&relaunch, kernel_cycles);
+        assert!(c < p && p < l, "{c} < {p} < {l} expected");
+        // A relaunch always pays the kernel again.
+        assert!(l > kernel_cycles);
+        // No recovery work, no overhead.
+        assert_eq!(
+            m.overhead_cycles(&RecoveryStats::default(), kernel_cycles),
+            0
+        );
     }
 }
 
