@@ -1,7 +1,7 @@
 //! Perf baseline: wall-clock comparison of the pre-optimization paths
 //! against this revision, written to `BENCH_sweep.json`.
 //!
-//! Two comparisons, both on identical work:
+//! Three comparisons, each on identical work:
 //!
 //! * **Figure sweep** — the five figure benches' cells walked the old way
 //!   (each figure recomputes its own cells serially through the seed
@@ -10,6 +10,11 @@
 //! * **Gate campaign** — the seed injection loop (clone + full shuffle +
 //!   truncate, fresh buffers per input, single-threaded) versus the
 //!   work-stealing allocation-free campaign.
+//! * **Architecture campaign** — every trial simulated from scratch
+//!   (`run_trial_reference`, the seed path) versus the fast-forward engine
+//!   (predecoded micro-ops, epoch-snapshot resume, golden-convergence early
+//!   exit), single-threaded on both sides, with the two tallies asserted
+//!   byte-identical per cell.
 //!
 //! Run with `cargo run --release -p swapcodes-bench --example perf_baseline`.
 
@@ -22,7 +27,9 @@ use rand::SeedableRng;
 use swapcodes_bench::{profile, traces_for, SweepEngine};
 use swapcodes_core::{apply, PredictorSet, Scheme};
 use swapcodes_gates::units::{build_unit, ArithUnit, UnitKind};
-use swapcodes_inject::{default_thread_count, run_unit_campaign, CampaignConfig};
+use swapcodes_inject::{
+    default_thread_count, run_unit_campaign, ArchCampaign, ArchOutcomes, CampaignConfig,
+};
 use swapcodes_sim::timing::{simulate_kernel_reference, KernelTiming, TimingConfig};
 use swapcodes_workloads::{all, by_name, Workload};
 
@@ -202,12 +209,75 @@ fn main() {
         res.attempts
     );
 
+    // --- Architecture campaign: from-scratch vs fast-forward engine. ------
+    // Both legs run on one thread; trials are identical `(seed, index)`
+    // draws, and the per-cell tallies must agree outcome-for-outcome — this
+    // is the differential gate guarding the fast-forward engine.
+    let arch_cells = [("matmul", Scheme::SwapEcc), ("kmeans", Scheme::SwDup)];
+    let arch_trials: u64 = if std::env::var_os("SWAPCODES_FAST").is_some() {
+        250
+    } else {
+        600
+    };
+    let arch_seed = 0xA2C4_0005u64;
+    let mut arch_reference_s = 0.0f64;
+    let mut arch_fast_s = 0.0f64;
+    let mut arch_snapshots = 0usize;
+    let mut arch_early_exits = 0u64;
+    let mut arch_total = 0u64;
+    for (name, scheme) in arch_cells {
+        let w = by_name(name).expect("workload");
+        let campaign = ArchCampaign::prepare(&w, scheme, arch_seed).expect("scheme applies");
+        arch_snapshots += campaign.snapshot_count();
+
+        let t = Instant::now();
+        let mut reference_tally = ArchOutcomes::default();
+        for trial in 0..arch_trials {
+            reference_tally.record(campaign.run_trial_reference(trial));
+        }
+        let cell_reference_s = t.elapsed().as_secs_f64();
+        arch_reference_s += cell_reference_s;
+
+        let t = Instant::now();
+        let mut fast_tally = ArchOutcomes::default();
+        for trial in 0..arch_trials {
+            let (outcome, telemetry) = campaign.run_trial_telemetry_salted(trial, 0);
+            if telemetry.early_exit {
+                arch_early_exits += 1;
+            }
+            fast_tally.record(outcome);
+        }
+        let cell_fast_s = t.elapsed().as_secs_f64();
+        arch_fast_s += cell_fast_s;
+        arch_total += arch_trials;
+
+        assert_eq!(
+            fast_tally,
+            reference_tally,
+            "fast-forward tallies diverge from the reference path on {name}/{}",
+            scheme.label()
+        );
+        println!(
+            "  arch {name}/{}: from-scratch {cell_reference_s:6.2}s, fast-forward {cell_fast_s:6.2}s ({:.1}x, {} snapshots)",
+            scheme.label(),
+            cell_reference_s / cell_fast_s,
+            campaign.snapshot_count()
+        );
+    }
+    let arch_speedup = arch_reference_s / arch_fast_s;
+    let arch_early_rate = arch_early_exits as f64 / arch_total as f64;
+    println!(
+        "  arch campaign (1 thread)          {arch_reference_s:7.2}s -> {arch_fast_s:7.2}s ({arch_speedup:.1}x, {arch_total} trials, {:.0}% early exit)",
+        arch_early_rate * 100.0
+    );
+
     // --- Report. ----------------------------------------------------------
     let json = format!(
-        "{{\n  \"threads\": {threads},\n  \"sweep\": {{\n    \"serial_seed_s\": {serial_s:.3},\n    \"parallel_memoized_s\": {sweep_s:.3},\n    \"speedup\": {sweep_speedup:.2},\n    \"timing_cells_walked\": {},\n    \"distinct_cells_cached\": {}\n  }},\n  \"gate_campaign\": {{\n    \"unit\": \"FxpMad32\",\n    \"inputs\": {},\n    \"seed_loop_s\": {campaign_serial_s:.3},\n    \"pool_s\": {campaign_parallel_s:.3},\n    \"speedup\": {campaign_speedup:.2}\n  }}\n}}\n",
+        "{{\n  \"threads\": {threads},\n  \"sweep\": {{\n    \"serial_seed_s\": {serial_s:.3},\n    \"parallel_memoized_s\": {sweep_s:.3},\n    \"speedup\": {sweep_speedup:.2},\n    \"timing_cells_walked\": {},\n    \"distinct_cells_cached\": {}\n  }},\n  \"gate_campaign\": {{\n    \"unit\": \"FxpMad32\",\n    \"inputs\": {},\n    \"seed_loop_s\": {campaign_serial_s:.3},\n    \"pool_s\": {campaign_parallel_s:.3},\n    \"speedup\": {campaign_speedup:.2}\n  }},\n  \"arch_campaign\": {{\n    \"cells\": {},\n    \"trials\": {arch_total},\n    \"reference_s\": {arch_reference_s:.3},\n    \"fast_forward_s\": {arch_fast_s:.3},\n    \"speedup\": {arch_speedup:.2},\n    \"snapshots\": {arch_snapshots},\n    \"early_exit_rate\": {arch_early_rate:.3}\n  }}\n}}\n",
         timing_cells.len(),
         engine.cached_cells(),
         inputs.len(),
+        arch_cells.len(),
     );
     std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
     println!("\nwrote BENCH_sweep.json");

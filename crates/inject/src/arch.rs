@@ -18,6 +18,7 @@ use swapcodes_sim::recovery::{
     RecoveryConfig, RecoveryEngine, RecoveryOutcome, RecoveryPolicy, RecoveryStats,
 };
 use swapcodes_sim::regfile::Protection;
+use swapcodes_sim::snapshot::CampaignEngine;
 use swapcodes_sim::{FaultSpec, FaultTarget, Launch};
 use swapcodes_workloads::Workload;
 
@@ -178,9 +179,17 @@ impl std::fmt::Display for PrepError {
 impl std::error::Error for PrepError {}
 
 /// A prepared architecture-level campaign: the transformed kernel, its
-/// golden output, and the per-trial fault sampler. Trials are independent
-/// pure functions of `(seed, trial index)`, which is what makes
+/// golden output, the per-trial fault sampler, and the fast-forward engine
+/// (predecoded kernel + golden epoch-snapshot ladder). Trials are
+/// independent pure functions of `(seed, trial index)`, which is what makes
 /// checkpoint/resume and parallel sharding byte-identical.
+///
+/// Trials run through [`ArchCampaign::run_trial`], which resumes from the
+/// nearest epoch snapshot at or before the injection site and prunes the
+/// suffix on golden convergence; [`ArchCampaign::run_trial_reference`]
+/// keeps the from-scratch reference path callable for differential testing
+/// (the two are proven outcome-identical by proptest and by the
+/// `perf_baseline` differential gate).
 #[derive(Debug)]
 pub struct ArchCampaign<'w> {
     workload: &'w Workload,
@@ -190,9 +199,24 @@ pub struct ArchCampaign<'w> {
     golden: Vec<u32>,
     eligible: u64,
     seed: u64,
+    engine: CampaignEngine,
     /// Hard per-trial step budget. Defaults to a margin over the golden
     /// run's dynamic instruction count (`SWAPCODES_FUEL` overrides).
     pub fuel: u64,
+}
+
+/// Fast-forward telemetry of one trial (bench reporting: how much work the
+/// snapshot resume and the convergence early-exit actually saved).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialTelemetry {
+    /// Dynamic-instruction count of the epoch snapshot the trial resumed
+    /// from (0 = ran from the start).
+    pub resumed_from: u64,
+    /// Dynamic instructions the trial actually executed.
+    pub executed: u64,
+    /// Whether the trial was classified Masked by golden convergence
+    /// without running to completion.
+    pub early_exit: bool,
 }
 
 impl<'w> ArchCampaign<'w> {
@@ -229,6 +253,30 @@ impl<'w> ArchCampaign<'w> {
         // and 8x + slack separates the two cheaply.
         let fuel = crate::harness::fuel_from_env()
             .unwrap_or_else(|| gout.dynamic_instructions.saturating_mul(8) + 10_000);
+        // Build the fast-forward engine: predecode once, then replay the
+        // golden run capturing the epoch ladder. Aim for ~32 rungs unless
+        // `SWAPCODES_SNAPSHOT_INTERVAL` overrides the spacing.
+        let interval = crate::harness::snapshot_interval_from_env()
+            .unwrap_or_else(|| (gout.dynamic_instructions / 32).max(512));
+        let (engine, cap) = CampaignEngine::capture(
+            &t.kernel,
+            t.launch,
+            t.protection,
+            &workload.build_memory(),
+            interval,
+        )
+        .map_err(PrepError::Golden)?;
+        // The capture run must agree with the reference golden run it
+        // shadows: any divergence here would silently skew every trial.
+        assert_eq!(
+            cap.dynamic_instructions, gout.dynamic_instructions,
+            "fast-forward golden diverged from reference golden"
+        );
+        assert_eq!(
+            workload.output_words(&cap.mem),
+            golden,
+            "fast-forward golden output diverged from reference golden"
+        );
         Ok(Self {
             workload,
             kernel: t.kernel,
@@ -237,8 +285,28 @@ impl<'w> ArchCampaign<'w> {
             golden,
             eligible,
             seed,
+            engine,
             fuel,
         })
+    }
+
+    /// Number of epoch snapshots captured for fast-forwarding.
+    #[must_use]
+    pub fn snapshot_count(&self) -> usize {
+        self.engine.snapshot_count()
+    }
+
+    /// Snapshot spacing in dynamic instructions.
+    #[must_use]
+    pub fn snapshot_interval(&self) -> u64 {
+        self.engine.interval()
+    }
+
+    /// Dynamic instructions of the golden run (what every from-scratch
+    /// trial pays, and what fast-forwarding avoids re-executing).
+    #[must_use]
+    pub fn golden_dynamic(&self) -> u64 {
+        self.engine.golden_dynamic()
     }
 
     /// The transformed kernel trials execute (the static verifier's input
@@ -286,6 +354,11 @@ impl<'w> ArchCampaign<'w> {
     /// Run one fueled trial and classify its outcome. Never panics and
     /// never loops forever: memory violations become [`TrialOutcome::Crash`]
     /// and budget exhaustion becomes [`TrialOutcome::Hang`].
+    ///
+    /// Trials fast-forward: they resume from the nearest epoch snapshot at
+    /// or before the injection site and are classified Masked early when
+    /// post-strike state re-converges to golden. Outcomes are byte-identical
+    /// to [`Self::run_trial_reference`].
     #[must_use]
     pub fn run_trial(&self, trial: u64) -> TrialOutcome {
         self.run_trial_salted(trial, 0)
@@ -295,6 +368,68 @@ impl<'w> ArchCampaign<'w> {
     /// [`Self::trial_fault_salted`]).
     #[must_use]
     pub fn run_trial_salted(&self, trial: u64, salt: u32) -> TrialOutcome {
+        self.run_trial_telemetry_salted(trial, salt).0
+    }
+
+    /// [`Self::run_trial_salted`] plus fast-forward telemetry (snapshot
+    /// resume point, executed instructions, early-exit flag).
+    #[must_use]
+    pub fn run_trial_telemetry_salted(
+        &self,
+        trial: u64,
+        salt: u32,
+    ) -> (TrialOutcome, TrialTelemetry) {
+        let fault = self.trial_fault_salted(trial, salt);
+        let t = self.engine.run_trial(fault, self.fuel);
+        let telemetry = TrialTelemetry {
+            resumed_from: t.resumed_from,
+            executed: t.executed,
+            early_exit: t.converged_early,
+        };
+        let outcome = if t.converged_early {
+            // Post-strike state re-converged to the golden epoch state with
+            // no detection pending: the suffix is a deterministic replay of
+            // golden, so the output will match (see DESIGN §9).
+            TrialOutcome::Masked
+        } else if let Some(e) = t.error {
+            match e {
+                // Budget exhaustion and scheduler deadlock are both what
+                // the driver watchdog sees as a hung kernel.
+                ExecError::Hang { .. } | ExecError::Trap { .. } => TrialOutcome::Hang,
+                // Structural errors cannot occur on a faulted run (memory
+                // violations are trapped), but map conservatively.
+                _ => TrialOutcome::Crash,
+            }
+        } else {
+            match t.detection {
+                Detection::Trap { .. } => TrialOutcome::Trap,
+                Detection::Due { .. } => TrialOutcome::Due,
+                Detection::MemFault { .. } => TrialOutcome::Crash,
+                Detection::Hang { .. } => TrialOutcome::Hang,
+                Detection::None => {
+                    if self.workload.output_words(&t.mem) == self.golden {
+                        TrialOutcome::Masked
+                    } else {
+                        TrialOutcome::Sdc
+                    }
+                }
+            }
+        };
+        (outcome, telemetry)
+    }
+
+    /// The from-scratch reference trial: rebuild workload memory and execute
+    /// the kernel from instruction 0 on the reference executor. Kept
+    /// callable (mirroring `simulate_kernel_reference` in the timing model)
+    /// as the differential-testing oracle for [`Self::run_trial`].
+    #[must_use]
+    pub fn run_trial_reference(&self, trial: u64) -> TrialOutcome {
+        self.run_trial_reference_salted(trial, 0)
+    }
+
+    /// [`Self::run_trial_reference`] with a containment-retry salt.
+    #[must_use]
+    pub fn run_trial_reference_salted(&self, trial: u64, salt: u32) -> TrialOutcome {
         let fault = self.trial_fault_salted(trial, salt);
         let mut mem = self.workload.build_memory();
         let exec = Executor {

@@ -48,6 +48,18 @@ pub fn fuel_from_env() -> Option<u64> {
         .filter(|&f| f > 0)
 }
 
+/// The `SWAPCODES_SNAPSHOT_INTERVAL` override: epoch-snapshot spacing (in
+/// dynamic instructions) for campaign fast-forwarding (see
+/// [`crate::arch::ArchCampaign::snapshot_interval`]). Unset: about 32
+/// snapshots across the golden run, with a 512-instruction floor.
+#[must_use]
+pub fn snapshot_interval_from_env() -> Option<u64> {
+    std::env::var("SWAPCODES_SNAPSHOT_INTERVAL")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&i| i > 0)
+}
+
 /// The `SWAPCODES_CHECKPOINT_DIR` campaign state directory, if set.
 #[must_use]
 pub fn checkpoint_dir_from_env() -> Option<PathBuf> {
@@ -55,6 +67,19 @@ pub fn checkpoint_dir_from_env() -> Option<PathBuf> {
         .filter(|p| !p.is_empty())
         .map(PathBuf::from)
 }
+
+/// Engine tag stamped into plain arch-campaign checkpoints: the
+/// fast-forward engine (snapshot resume + convergence pruning). Trials are
+/// outcome-identical to the classic engine, but a checkpoint written before
+/// the tag existed cannot prove it was produced by compatible trial
+/// semantics, so untagged (or differently tagged) checkpoints are rejected
+/// with a logged anomaly instead of silently resumed.
+pub const ENGINE_FAST_FORWARD: &str = "ff1";
+
+/// Engine tag stamped into recovery-campaign checkpoints: recovery trials
+/// run on the classic executor (in-executor rollback needs the full warp
+/// machinery), and their checkpoints say so.
+pub const ENGINE_CLASSIC: &str = "classic";
 
 /// Write `contents` to `path` atomically: write and fsync a sibling
 /// temporary file, then rename it over the target. A crash at any point
@@ -286,6 +311,10 @@ pub struct CampaignRun {
     pub finished: bool,
     /// Unrecoverable items logged during this invocation.
     pub anomalies: u64,
+    /// A checkpoint matching this campaign's identity was found but was
+    /// written by a different trial engine; it was rejected (with a logged
+    /// anomaly) and the campaign restarted from trial 0.
+    pub stale_engine: bool,
 }
 
 // ---------------------------------------------------------------------------
@@ -295,6 +324,7 @@ pub struct CampaignRun {
 #[allow(clippy::too_many_arguments)]
 fn arch_checkpoint_json(
     mode: &str,
+    engine: &str,
     workload: &str,
     scheme: &str,
     seed: u64,
@@ -305,7 +335,8 @@ fn arch_checkpoint_json(
     rs: &RecoveryStats,
 ) -> String {
     format!(
-        "{{\"campaign\":\"arch\",\"mode\":\"{mode}\",\"workload\":\"{}\",\"scheme\":\"{}\",\
+        "{{\"campaign\":\"arch\",\"mode\":\"{mode}\",\"engine\":\"{engine}\",\
+         \"workload\":\"{}\",\"scheme\":\"{}\",\
          \"seed\":{seed},\"fuel\":{fuel},\"trials\":{trials},\"completed\":{completed},\
          \"trap\":{},\"due\":{},\"crash\":{},\"hang\":{},\"masked\":{},\"sdc\":{},\
          \"rec_correct\":{},\"rec_replay\":{},\"rec_relaunch\":{},\"miscorrected\":{},\
@@ -330,54 +361,85 @@ fn arch_checkpoint_json(
     )
 }
 
-/// Parse an arch checkpoint, returning `(completed, tallies, recovery
-/// stats)` only when it matches this campaign's identity — a stale
-/// checkpoint from a different mode/workload/scheme/seed/fuel/trial-count
-/// is ignored, not misapplied. The `mode` field keeps a recovery campaign
-/// from resuming a plain campaign's tallies (and vice versa): same trials,
-/// different bucket semantics.
+/// What loading an arch checkpoint found.
+#[derive(Debug)]
+pub enum ArchCheckpoint {
+    /// Identity and engine match: resume from `(completed, tallies, stats)`.
+    Resumable(u64, ArchOutcomes, RecoveryStats),
+    /// Identity matches but the checkpoint was written by a different (or
+    /// pre-tagging) trial engine: it describes the *same* campaign, so it
+    /// must not be silently ignored — the caller rejects it loudly and
+    /// restarts from trial 0.
+    StaleEngine {
+        /// The engine tag found in the file (empty when absent).
+        found: String,
+    },
+    /// A different campaign's checkpoint (or a torn/foreign file): ignored.
+    Mismatch,
+}
+
+/// Parse an arch checkpoint, classifying it against this campaign's
+/// identity — a stale checkpoint from a different
+/// mode/workload/scheme/seed/fuel/trial-count is ignored, not misapplied.
+/// The `mode` field keeps a recovery campaign from resuming a plain
+/// campaign's tallies (and vice versa): same trials, different bucket
+/// semantics. The `engine` field keeps a checkpoint written by an older
+/// trial engine (pre fast-forward) from resuming into tallies produced by
+/// the new one.
+#[allow(clippy::too_many_arguments)]
 fn load_arch_checkpoint(
     path: &Path,
     mode: &str,
+    engine: &str,
     workload: &str,
     scheme: &str,
     seed: u64,
     fuel: u64,
     trials: u64,
-) -> Option<(u64, ArchOutcomes, RecoveryStats)> {
-    let text = fs::read_to_string(path).ok()?;
-    let f = parse_flat(&text)?;
-    if field(&f, "campaign")? != "arch"
-        || field(&f, "mode")? != mode
-        || field(&f, "workload")? != workload
-        || field(&f, "scheme")? != scheme
-        || field_u64(&f, "seed")? != seed
-        || field_u64(&f, "fuel")? != fuel
-        || field_u64(&f, "trials")? != trials
-    {
-        return None;
-    }
-    let completed = field_u64(&f, "completed")?;
-    let tallies = ArchOutcomes {
-        trap: field_u64(&f, "trap")?,
-        due: field_u64(&f, "due")?,
-        crash: field_u64(&f, "crash")?,
-        hang: field_u64(&f, "hang")?,
-        masked: field_u64(&f, "masked")?,
-        sdc: field_u64(&f, "sdc")?,
-        recovered_correct: field_u64(&f, "rec_correct")?,
-        recovered_replay: field_u64(&f, "rec_replay")?,
-        recovered_relaunch: field_u64(&f, "rec_relaunch")?,
-        miscorrected: field_u64(&f, "miscorrected")?,
+) -> ArchCheckpoint {
+    let inner = || -> Option<ArchCheckpoint> {
+        let text = fs::read_to_string(path).ok()?;
+        let f = parse_flat(&text)?;
+        if field(&f, "campaign")? != "arch"
+            || field(&f, "mode")? != mode
+            || field(&f, "workload")? != workload
+            || field(&f, "scheme")? != scheme
+            || field_u64(&f, "seed")? != seed
+            || field_u64(&f, "fuel")? != fuel
+            || field_u64(&f, "trials")? != trials
+        {
+            return None;
+        }
+        let found_engine = field(&f, "engine").unwrap_or("");
+        if found_engine != engine {
+            return Some(ArchCheckpoint::StaleEngine {
+                found: found_engine.to_owned(),
+            });
+        }
+        let completed = field_u64(&f, "completed")?;
+        let tallies = ArchOutcomes {
+            trap: field_u64(&f, "trap")?,
+            due: field_u64(&f, "due")?,
+            crash: field_u64(&f, "crash")?,
+            hang: field_u64(&f, "hang")?,
+            masked: field_u64(&f, "masked")?,
+            sdc: field_u64(&f, "sdc")?,
+            recovered_correct: field_u64(&f, "rec_correct")?,
+            recovered_replay: field_u64(&f, "rec_replay")?,
+            recovered_relaunch: field_u64(&f, "rec_relaunch")?,
+            miscorrected: field_u64(&f, "miscorrected")?,
+        };
+        let stats = RecoveryStats {
+            checkpoints: field_u64(&f, "ckpts")?,
+            replays: field_u64(&f, "replays")?,
+            replayed_instructions: field_u64(&f, "replayed")?,
+            corrections: field_u64(&f, "corrections")?,
+            relaunches: u32::try_from(field_u64(&f, "relaunches")?).ok()?,
+        };
+        (completed <= trials && tallies.total() == completed)
+            .then_some(ArchCheckpoint::Resumable(completed, tallies, stats))
     };
-    let stats = RecoveryStats {
-        checkpoints: field_u64(&f, "ckpts")?,
-        replays: field_u64(&f, "replays")?,
-        replayed_instructions: field_u64(&f, "replayed")?,
-        corrections: field_u64(&f, "corrections")?,
-        relaunches: u32::try_from(field_u64(&f, "relaunches")?).ok()?,
-    };
-    (completed <= trials && tallies.total() == completed).then_some((completed, tallies, stats))
+    inner().unwrap_or(ArchCheckpoint::Mismatch)
 }
 
 /// Run (or resume) an architecture-level campaign with panic containment,
@@ -405,28 +467,44 @@ pub fn run_arch_campaign_checkpointed(
         d.join(format!("{name}.ckpt.json"))
     });
 
-    let (mut completed, mut tallies, _) = ckpt_path
-        .as_deref()
-        .and_then(|p| {
-            load_arch_checkpoint(
-                p,
-                "plain",
-                workload.name,
-                &scheme_label,
-                seed,
-                campaign.fuel,
-                trials,
-            )
-        })
-        .unwrap_or((0, ArchOutcomes::default(), RecoveryStats::default()));
-
     let mut log = AnomalyLog::new(ck.dir.as_deref());
+    let mut stale_engine = false;
+    let (mut completed, mut tallies) = match ckpt_path.as_deref().map(|p| {
+        load_arch_checkpoint(
+            p,
+            "plain",
+            ENGINE_FAST_FORWARD,
+            workload.name,
+            &scheme_label,
+            seed,
+            campaign.fuel,
+            trials,
+        )
+    }) {
+        Some(ArchCheckpoint::Resumable(completed, tallies, _)) => (completed, tallies),
+        Some(ArchCheckpoint::StaleEngine { found }) => {
+            stale_engine = true;
+            log.record(
+                &name,
+                0,
+                0,
+                &format!(
+                    "checkpoint engine \"{found}\" is incompatible with \
+                     \"{ENGINE_FAST_FORWARD}\"; restarting from trial 0"
+                ),
+            );
+            (0, ArchOutcomes::default())
+        }
+        Some(ArchCheckpoint::Mismatch) | None => (0, ArchOutcomes::default()),
+    };
+
     let save = |completed: u64, tallies: &ArchOutcomes| {
         if let Some(p) = &ckpt_path {
             let _ = write_atomic(
                 p,
                 &arch_checkpoint_json(
                     "plain",
+                    ENGINE_FAST_FORWARD,
                     workload.name,
                     &scheme_label,
                     seed,
@@ -449,6 +527,7 @@ pub fn run_arch_campaign_checkpointed(
                 completed,
                 finished: false,
                 anomalies: log.count,
+                stale_engine,
             });
         }
         let outcome = contain(ck.max_retries, |salt| {
@@ -471,6 +550,7 @@ pub fn run_arch_campaign_checkpointed(
         completed,
         finished: true,
         anomalies: log.count,
+        stale_engine,
     })
 }
 
@@ -488,6 +568,9 @@ pub struct RecoveryCampaignRun {
     pub finished: bool,
     /// Unrecoverable items logged during this invocation.
     pub anomalies: u64,
+    /// A matching checkpoint from a different trial engine was rejected and
+    /// the campaign restarted from trial 0 (see [`CampaignRun::stale_engine`]).
+    pub stale_engine: bool,
 }
 
 /// Run (or resume) a detect-and-recover campaign with panic containment,
@@ -517,28 +600,46 @@ pub fn run_recovery_campaign_checkpointed(
         d.join(format!("{name}.ckpt.json"))
     });
 
-    let (mut completed, mut tallies, mut stats) = ckpt_path
-        .as_deref()
-        .and_then(|p| {
-            load_arch_checkpoint(
-                p,
-                "recover",
-                workload.name,
-                &scheme_label,
-                seed,
-                campaign.fuel,
-                trials,
-            )
-        })
-        .unwrap_or((0, ArchOutcomes::default(), RecoveryStats::default()));
-
     let mut log = AnomalyLog::new(ck.dir.as_deref());
+    let mut stale_engine = false;
+    let (mut completed, mut tallies, mut stats) = match ckpt_path.as_deref().map(|p| {
+        load_arch_checkpoint(
+            p,
+            "recover",
+            ENGINE_CLASSIC,
+            workload.name,
+            &scheme_label,
+            seed,
+            campaign.fuel,
+            trials,
+        )
+    }) {
+        Some(ArchCheckpoint::Resumable(completed, tallies, stats)) => (completed, tallies, stats),
+        Some(ArchCheckpoint::StaleEngine { found }) => {
+            stale_engine = true;
+            log.record(
+                &name,
+                0,
+                0,
+                &format!(
+                    "checkpoint engine \"{found}\" is incompatible with \
+                     \"{ENGINE_CLASSIC}\"; restarting from trial 0"
+                ),
+            );
+            (0, ArchOutcomes::default(), RecoveryStats::default())
+        }
+        Some(ArchCheckpoint::Mismatch) | None => {
+            (0, ArchOutcomes::default(), RecoveryStats::default())
+        }
+    };
+
     let save = |completed: u64, tallies: &ArchOutcomes, stats: &RecoveryStats| {
         if let Some(p) = &ckpt_path {
             let _ = write_atomic(
                 p,
                 &arch_checkpoint_json(
                     "recover",
+                    ENGINE_CLASSIC,
                     workload.name,
                     &scheme_label,
                     seed,
@@ -562,6 +663,7 @@ pub fn run_recovery_campaign_checkpointed(
                 completed,
                 finished: false,
                 anomalies: log.count,
+                stale_engine,
             });
         }
         let trial = contain(ck.max_retries, |salt| {
@@ -589,6 +691,7 @@ pub fn run_recovery_campaign_checkpointed(
         completed,
         finished: true,
         anomalies: log.count,
+        stale_engine,
     })
 }
 
@@ -858,9 +961,21 @@ mod tests {
             corrections: 14,
             relaunches: 15,
         };
-        let line = arch_checkpoint_json("recover", "bfs", "Swap-ECC", 9, 1000, 60, 46, &t, &rs);
+        let line = arch_checkpoint_json(
+            "recover",
+            ENGINE_CLASSIC,
+            "bfs",
+            "Swap-ECC",
+            9,
+            1000,
+            60,
+            46,
+            &t,
+            &rs,
+        );
         let f = parse_flat(&line).expect("parses");
         assert_eq!(field(&f, "mode"), Some("recover"));
+        assert_eq!(field(&f, "engine"), Some("classic"));
         assert_eq!(field(&f, "workload"), Some("bfs"));
         assert_eq!(field(&f, "scheme"), Some("Swap-ECC"));
         assert_eq!(field_u64(&f, "completed"), Some(46));
@@ -878,6 +993,7 @@ mod tests {
         };
         let line = arch_checkpoint_json(
             "plain",
+            ENGINE_FAST_FORWARD,
             "bfs",
             "Swap-ECC",
             9,
@@ -893,8 +1009,76 @@ mod tests {
         ));
         write_atomic(&path, &line).expect("write");
         // A recovery campaign must not resume a plain campaign's tallies.
-        assert!(load_arch_checkpoint(&path, "recover", "bfs", "Swap-ECC", 9, 1000, 40).is_none());
-        assert!(load_arch_checkpoint(&path, "plain", "bfs", "Swap-ECC", 9, 1000, 40).is_some());
+        assert!(matches!(
+            load_arch_checkpoint(
+                &path,
+                "recover",
+                ENGINE_CLASSIC,
+                "bfs",
+                "Swap-ECC",
+                9,
+                1000,
+                40
+            ),
+            ArchCheckpoint::Mismatch
+        ));
+        assert!(matches!(
+            load_arch_checkpoint(
+                &path,
+                "plain",
+                ENGINE_FAST_FORWARD,
+                "bfs",
+                "Swap-ECC",
+                9,
+                1000,
+                40
+            ),
+            ArchCheckpoint::Resumable(3, _, _)
+        ));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn engine_mismatch_is_stale_not_ignored() {
+        let t = ArchOutcomes {
+            masked: 3,
+            ..ArchOutcomes::default()
+        };
+        // A checkpoint written by the pre-fast-forward code has no engine
+        // field at all; one written by a future engine has a different tag.
+        // Both describe *this* campaign, so both must surface as StaleEngine
+        // rather than being silently ignored or resumed.
+        let untagged = arch_checkpoint_json(
+            "plain",
+            ENGINE_FAST_FORWARD,
+            "bfs",
+            "Swap-ECC",
+            9,
+            1000,
+            40,
+            3,
+            &t,
+            &RecoveryStats::default(),
+        )
+        .replace(&format!("\"engine\":\"{ENGINE_FAST_FORWARD}\","), "");
+        let path = std::env::temp_dir().join(format!(
+            "swapcodes-harness-engine-{}.ckpt.json",
+            std::process::id()
+        ));
+        write_atomic(&path, &untagged).expect("write");
+        match load_arch_checkpoint(
+            &path,
+            "plain",
+            ENGINE_FAST_FORWARD,
+            "bfs",
+            "Swap-ECC",
+            9,
+            1000,
+            40,
+        ) {
+            ArchCheckpoint::StaleEngine { found } => assert_eq!(found, ""),
+            _ => panic!("untagged checkpoint must be stale"),
+        }
         let _ = fs::remove_file(&path);
     }
 

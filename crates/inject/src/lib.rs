@@ -34,6 +34,7 @@ pub mod trace;
 
 pub use arch::{
     arch_campaign, ArchCampaign, ArchOutcomes, PrepError, RecoveredTrial, TrialOutcome,
+    TrialTelemetry,
 };
 pub use detection::{sdc_risk, DetectionTally};
 pub use gate::{
@@ -42,8 +43,9 @@ pub use gate::{
 };
 pub use harness::{
     checkpoint_dir_from_env, contain, fuel_from_env, run_arch_campaign_checkpointed,
-    run_recovery_campaign_checkpointed, run_unit_campaign_checkpointed, AnomalyLog, CampaignRun,
-    CheckpointConfig, RecoveryCampaignRun, UnitCampaignRun,
+    run_recovery_campaign_checkpointed, run_unit_campaign_checkpointed, snapshot_interval_from_env,
+    AnomalyLog, ArchCheckpoint, CampaignRun, CheckpointConfig, RecoveryCampaignRun,
+    UnitCampaignRun, ENGINE_CLASSIC, ENGINE_FAST_FORWARD,
 };
 pub use oracle::{differential_oracle, recovery_oracle, OracleVerdict, RecoveryVerdict};
 pub use recovery::{run_recovery_campaign, RecoveryCampaignConfig, RecoveryCell};

@@ -10,6 +10,16 @@
 //! the sweep, [`run_recovery_campaign`] aborts such a cell early and reruns
 //! it under SW-Dup (the scheme that needs no predictor), tagging the result
 //! [`RecoveryCell::degraded`] so reports show the fallback explicitly.
+//!
+//! Recovery trials deliberately stay on the **classic** executor
+//! ([`ArchCampaign::run_trial_recovering`]) rather than the fast-forward
+//! engine used for plain campaigns: the recovery ladder needs live warp
+//! checkpoints, replay, and per-action cycle accounting that only the full
+//! executor records. The warp checkpoints themselves share the
+//! [`swapcodes_sim::snapshot::WarpSnapshot`] representation with the
+//! campaign epoch ladder, so both paths roll state back through one
+//! mechanism. Checkpoints written by recovery campaigns are tagged
+//! [`crate::harness::ENGINE_CLASSIC`] accordingly.
 
 use serde::{Deserialize, Serialize};
 use swapcodes_core::Scheme;

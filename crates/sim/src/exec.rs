@@ -16,6 +16,7 @@ use crate::memory::{GlobalMemory, SharedMemory};
 use crate::profiler::{traced_unit, OperandTrace, ProfileCounts};
 use crate::recovery::{RecoverySpec, RecoveryStats};
 use crate::regfile::{Protection, RegFileEvent, WarpRegFile};
+use crate::snapshot::{Fragment, WarpSnapshot};
 
 /// Kernel launch geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -300,20 +301,11 @@ impl Executor {
     }
 }
 
-#[derive(Clone)]
-struct Fragment {
-    pc: usize,
-    mask: u32,
-}
-
-/// Architectural snapshot of one warp, sufficient to replay it from the
-/// snapshot point: PC fragments, predicates, and the full (ECC-encoded)
-/// register file. The trace length lets rollback discard replayed entries.
+/// A recovery checkpoint: the shared architectural [`WarpSnapshot`] plus
+/// the trace length, which lets rollback discard replayed entries.
 #[derive(Clone)]
 struct WarpCheckpoint {
-    frags: Vec<Fragment>,
-    preds: [u8; 32],
-    rf: WarpRegFile,
+    snap: WarpSnapshot,
     trace_len: usize,
 }
 
@@ -403,9 +395,9 @@ impl Runner<'_> {
         let Some(ck) = &w.ckpt else {
             return false;
         };
-        w.frags = ck.frags.clone();
-        w.preds = ck.preds;
-        w.rf = ck.rf.clone();
+        w.frags = ck.snap.frags.clone();
+        w.preds = ck.snap.preds;
+        w.rf = ck.snap.rf.clone();
         w.trace.truncate(ck.trace_len);
         w.waiting_bar = false;
         w.replays += 1;
@@ -521,9 +513,11 @@ impl Runner<'_> {
 /// *this* checkpoint is legal again.
 fn checkpoint(rstats: &mut RecoveryStats, w: &mut Warp) {
     w.ckpt = Some(Box::new(WarpCheckpoint {
-        frags: w.frags.clone(),
-        preds: w.preds,
-        rf: w.rf.clone(),
+        snap: WarpSnapshot {
+            frags: w.frags.clone(),
+            preds: w.preds,
+            rf: w.rf.clone(),
+        },
         trace_len: w.trace.len(),
     }));
     w.since_ckpt = 0;
@@ -1250,7 +1244,7 @@ fn trace_ops2(r: &mut Runner<'_>, w: &mut Warp, exec_mask: u32, op: &Op, a: Reg,
     }
 }
 
-fn compare(cmp: CmpOp, ty: CmpTy, x: u32, y: u32) -> bool {
+pub(crate) fn compare(cmp: CmpOp, ty: CmpTy, x: u32, y: u32) -> bool {
     match ty {
         CmpTy::I32 => {
             let (a, b) = (x as i32, y as i32);

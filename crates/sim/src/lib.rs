@@ -30,18 +30,22 @@ pub mod fault;
 pub mod memory;
 pub mod occupancy;
 pub mod power;
+pub mod predecode;
 pub mod profiler;
 pub mod recovery;
 pub mod regfile;
+pub mod snapshot;
 pub mod timing;
 
 pub use exec::{ExecError, ExecOutcome, Executor, Launch, TraceEntry, WarpTrace};
 pub use fault::{FaultSpec, FaultTarget};
 pub use memory::{GlobalMemory, SharedMemory};
 pub use occupancy::{occupancy, GpuConfig, Occupancy};
+pub use predecode::PredecodedKernel;
 pub use recovery::{
     RecoveryConfig, RecoveryEngine, RecoveryOutcome, RecoveryPolicy, RecoveryRun, RecoverySpec,
     RecoveryStats,
 };
 pub use regfile::{Protection, RegFileEvent};
+pub use snapshot::{CampaignEngine, EpochLadder, FastTrial, Fragment, GoldenCapture, WarpSnapshot};
 pub use timing::{simulate_kernel, KernelTiming, RecoveryCostModel, TimingConfig};

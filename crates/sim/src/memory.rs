@@ -192,6 +192,18 @@ impl SharedMemory {
             false
         }
     }
+
+    /// The raw backing words (for snapshots and whole-memory comparisons).
+    #[must_use]
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Rebuild a shared memory from previously captured words.
+    #[must_use]
+    pub fn from_words(words: Vec<u32>) -> Self {
+        Self { words }
+    }
 }
 
 #[cfg(test)]

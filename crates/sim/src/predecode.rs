@@ -1,0 +1,502 @@
+//! Predecoded micro-op front-end for campaign execution.
+//!
+//! Injection campaigns execute the same kernel tens of thousands of times.
+//! The reference executor ([`crate::exec`]) re-interprets the [`Op`] enum on
+//! every dynamic step: it copies the full `Instr`, re-evaluates guard
+//! predicates through `Pred` helpers, re-derives duplication eligibility
+//! from the functional-unit class, and dispatches arithmetic through
+//! `&dyn Fn` closures. None of that depends on dynamic state — it is pure
+//! per-static-instruction work — so campaigns lower the kernel **once** into
+//! a flat [`MicroOp`] table with pre-resolved operands, pre-lowered guards,
+//! a pre-picked register write mode, and a pre-computed fault-eligibility
+//! tag. The fast-forward engine in [`crate::snapshot`] interprets this table
+//! for both the golden capture run and every trial.
+//!
+//! The lowering is intentionally *bijective on semantics*: every field that
+//! influences the reference executor's architectural behaviour (and nothing
+//! else) survives into the micro-op, which is what makes the differential
+//! tests between the two engines meaningful.
+
+use swapcodes_isa::{
+    CmpOp, CmpTy, Instr, Kernel, MemSpace, MemWidth, Op, Role, ShflMode, SpecialReg, Src,
+};
+
+use crate::fault::FaultTarget;
+
+/// A pre-resolved scalar source operand: the register number (255 = `RZ`) or
+/// the immediate already cast to its bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PSrc {
+    /// Register operand (`255` is the hardwired zero register).
+    Reg(u8),
+    /// Immediate bit pattern.
+    Imm(u32),
+}
+
+impl PSrc {
+    fn lower(s: Src) -> Self {
+        match s {
+            Src::Reg(r) => PSrc::Reg(r.0),
+            Src::Imm(i) => PSrc::Imm(i as u32),
+        }
+    }
+}
+
+/// A pre-lowered instruction guard. `PT`-guarded instructions collapse to
+/// [`Guard::Always`]/[`Guard::Never`] at predecode time, so the interpreter
+/// never consults `Pred::is_true` per lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Guard {
+    /// Executes on all fragment lanes.
+    Always,
+    /// Executes on no lane (`@!PT`): still issued, still counted.
+    Never,
+    /// Executes on lanes whose predicate bit is set.
+    If(u8),
+    /// Executes on lanes whose predicate bit is clear.
+    IfNot(u8),
+}
+
+impl Guard {
+    fn lower(guard: Option<(swapcodes_isa::Pred, bool)>) -> Self {
+        match guard {
+            None => Guard::Always,
+            Some((p, pol)) if p.is_true() => {
+                if pol {
+                    Guard::Always
+                } else {
+                    Guard::Never
+                }
+            }
+            Some((p, true)) => Guard::If(p.0),
+            Some((p, false)) => Guard::IfNot(p.0),
+        }
+    }
+}
+
+/// Which register-file write path the instruction's results take
+/// (pre-resolved from the `ecc_only`/`predicted` transform flags, in the
+/// same precedence order as the reference executor's `write_result`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteMode {
+    /// Full write: data, check bits and parity from the computed value.
+    Full,
+    /// Swap-ECC shadow: masked write of the check bits only.
+    EccOnly,
+    /// Swap-Predict: data from the datapath, check bits from the (fault-free)
+    /// predicted value.
+    Predicted,
+}
+
+/// Two-source ALU operations sharing one interpreter loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Alu2Kind {
+    IAdd,
+    ISub,
+    IMul,
+    IMin,
+    IMax,
+    Shl,
+    Shr,
+    And,
+    Or,
+    Xor,
+    FAdd,
+    FMul,
+    FMin,
+    FMax,
+}
+
+/// One-source ALU operations sharing one interpreter loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Alu1Kind {
+    Not,
+    MufuRcp,
+    MufuSqrt,
+    MufuEx2,
+    MufuLg2,
+    I2F,
+    F2I,
+}
+
+/// Pre-lowered shuffle addressing mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PShflMode {
+    /// Absolute lane index from a pre-resolved source.
+    Idx(PSrc),
+    /// XOR-butterfly mask.
+    Bfly(u32),
+    /// `lane + delta`, clamped to 31.
+    Down(u32),
+    /// `lane - delta`, saturating at 0.
+    Up(u32),
+}
+
+/// The lowered operation. Register fields are raw `u8` numbers (255 = `RZ`);
+/// memory offsets are pre-cast to the `u32` the address arithmetic wraps
+/// with; 64-bit operations name the base register of the pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum UOp {
+    Nop,
+    Bar,
+    Exit,
+    Trap,
+    Bra {
+        target: usize,
+    },
+    S2R {
+        d: u8,
+        sr: SpecialReg,
+    },
+    Mov {
+        d: u8,
+        a: PSrc,
+    },
+    Alu2 {
+        kind: Alu2Kind,
+        d: u8,
+        a: u8,
+        b: PSrc,
+    },
+    Alu1 {
+        kind: Alu1Kind,
+        d: u8,
+        a: u8,
+    },
+    IMad {
+        d: u8,
+        a: u8,
+        b: u8,
+        c: u8,
+    },
+    IMadWide {
+        d: u8,
+        a: u8,
+        b: u8,
+        c: u8,
+    },
+    FFma {
+        d: u8,
+        a: u8,
+        b: u8,
+        c: u8,
+    },
+    DAdd {
+        d: u8,
+        a: u8,
+        b: u8,
+    },
+    DMul {
+        d: u8,
+        a: u8,
+        b: u8,
+    },
+    DFma {
+        d: u8,
+        a: u8,
+        b: u8,
+        c: u8,
+    },
+    SetP {
+        p: u8,
+        skip: bool,
+        cmp: CmpOp,
+        ty: CmpTy,
+        a: u8,
+        b: PSrc,
+    },
+    Sel {
+        d: u8,
+        p: u8,
+        p_true: bool,
+        a: u8,
+        b: PSrc,
+    },
+    Ld {
+        d: u8,
+        space: MemSpace,
+        addr: u8,
+        offset: u32,
+        w64: bool,
+    },
+    St {
+        space: MemSpace,
+        addr: u8,
+        offset: u32,
+        v: u8,
+        w64: bool,
+    },
+    AtomAdd {
+        addr: u8,
+        offset: u32,
+        v: u8,
+    },
+    Shfl {
+        d: u8,
+        a: u8,
+        mode: PShflMode,
+    },
+}
+
+/// One predecoded instruction: the lowered operation plus everything the
+/// per-step front end of the reference executor would otherwise re-derive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroOp {
+    /// The lowered operation.
+    pub uop: UOp,
+    /// Pre-lowered guard.
+    pub guard: Guard,
+    /// Pre-resolved register write path.
+    pub write: WriteMode,
+    /// `Some(side)` when the instruction is duplication-eligible: the fault
+    /// target side a campaign strike on this instruction would count against
+    /// (`Shadow` for `ecc_only` or `Role::Shadow` instructions, `Original`
+    /// otherwise) — the same predicate the reference executor evaluates per
+    /// step in its fault-targeting block.
+    pub eligible: Option<FaultTarget>,
+}
+
+/// A kernel lowered to a flat micro-op table, built once per campaign.
+#[derive(Debug, Clone)]
+pub struct PredecodedKernel {
+    ops: Vec<MicroOp>,
+    regs: u32,
+}
+
+impl PredecodedKernel {
+    /// Lower `kernel` into micro-ops.
+    #[must_use]
+    pub fn new(kernel: &Kernel) -> Self {
+        Self {
+            ops: kernel.instrs().iter().map(lower).collect(),
+            regs: kernel.register_count().max(1),
+        }
+    }
+
+    /// Number of static instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the kernel has no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The micro-op at static index `pc`.
+    #[must_use]
+    pub fn op(&self, pc: usize) -> MicroOp {
+        self.ops[pc]
+    }
+
+    /// Registers per lane (matching `Kernel::register_count().max(1)`).
+    #[must_use]
+    pub fn regs(&self) -> u32 {
+        self.regs
+    }
+}
+
+fn lower(instr: &Instr) -> MicroOp {
+    let uop = match instr.op {
+        Op::Nop => UOp::Nop,
+        Op::Bar => UOp::Bar,
+        Op::Exit => UOp::Exit,
+        Op::Trap => UOp::Trap,
+        Op::Bra { target } => UOp::Bra { target },
+        Op::S2R { d, sr } => UOp::S2R { d: d.0, sr },
+        Op::Mov { d, a } => UOp::Mov {
+            d: d.0,
+            a: PSrc::lower(a),
+        },
+        Op::IAdd { d, a, b } => alu2(Alu2Kind::IAdd, d.0, a.0, b),
+        Op::ISub { d, a, b } => alu2(Alu2Kind::ISub, d.0, a.0, b),
+        Op::IMul { d, a, b } => alu2(Alu2Kind::IMul, d.0, a.0, b),
+        Op::IMin { d, a, b } => alu2(Alu2Kind::IMin, d.0, a.0, b),
+        Op::IMax { d, a, b } => alu2(Alu2Kind::IMax, d.0, a.0, b),
+        Op::Shl { d, a, b } => alu2(Alu2Kind::Shl, d.0, a.0, b),
+        Op::Shr { d, a, b } => alu2(Alu2Kind::Shr, d.0, a.0, b),
+        Op::And { d, a, b } => alu2(Alu2Kind::And, d.0, a.0, b),
+        Op::Or { d, a, b } => alu2(Alu2Kind::Or, d.0, a.0, b),
+        Op::Xor { d, a, b } => alu2(Alu2Kind::Xor, d.0, a.0, b),
+        Op::FAdd { d, a, b } => alu2(Alu2Kind::FAdd, d.0, a.0, b),
+        Op::FMul { d, a, b } => alu2(Alu2Kind::FMul, d.0, a.0, b),
+        Op::FMin { d, a, b } => alu2(Alu2Kind::FMin, d.0, a.0, b),
+        Op::FMax { d, a, b } => alu2(Alu2Kind::FMax, d.0, a.0, b),
+        Op::Not { d, a } => alu1(Alu1Kind::Not, d.0, a.0),
+        Op::MufuRcp { d, a } => alu1(Alu1Kind::MufuRcp, d.0, a.0),
+        Op::MufuSqrt { d, a } => alu1(Alu1Kind::MufuSqrt, d.0, a.0),
+        Op::MufuEx2 { d, a } => alu1(Alu1Kind::MufuEx2, d.0, a.0),
+        Op::MufuLg2 { d, a } => alu1(Alu1Kind::MufuLg2, d.0, a.0),
+        Op::I2F { d, a } => alu1(Alu1Kind::I2F, d.0, a.0),
+        Op::F2I { d, a } => alu1(Alu1Kind::F2I, d.0, a.0),
+        Op::IMad { d, a, b, c } => UOp::IMad {
+            d: d.0,
+            a: a.0,
+            b: b.0,
+            c: c.0,
+        },
+        Op::IMadWide { d, a, b, c } => UOp::IMadWide {
+            d: d.0,
+            a: a.0,
+            b: b.0,
+            c: c.0,
+        },
+        Op::FFma { d, a, b, c } => UOp::FFma {
+            d: d.0,
+            a: a.0,
+            b: b.0,
+            c: c.0,
+        },
+        Op::DAdd { d, a, b } => UOp::DAdd {
+            d: d.0,
+            a: a.0,
+            b: b.0,
+        },
+        Op::DMul { d, a, b } => UOp::DMul {
+            d: d.0,
+            a: a.0,
+            b: b.0,
+        },
+        Op::DFma { d, a, b, c } => UOp::DFma {
+            d: d.0,
+            a: a.0,
+            b: b.0,
+            c: c.0,
+        },
+        Op::SetP { p, cmp, ty, a, b } => UOp::SetP {
+            p: p.0,
+            skip: p.is_true(),
+            cmp,
+            ty,
+            a: a.0,
+            b: PSrc::lower(b),
+        },
+        Op::Sel { d, p, a, b } => UOp::Sel {
+            d: d.0,
+            p: p.0,
+            p_true: p.is_true(),
+            a: a.0,
+            b: PSrc::lower(b),
+        },
+        Op::Ld {
+            d,
+            space,
+            addr,
+            offset,
+            width,
+        } => UOp::Ld {
+            d: d.0,
+            space,
+            addr: addr.0,
+            offset: offset as u32,
+            w64: width == MemWidth::W64,
+        },
+        Op::St {
+            space,
+            addr,
+            offset,
+            v,
+            width,
+        } => UOp::St {
+            space,
+            addr: addr.0,
+            offset: offset as u32,
+            v: v.0,
+            w64: width == MemWidth::W64,
+        },
+        Op::AtomAdd { addr, offset, v } => UOp::AtomAdd {
+            addr: addr.0,
+            offset: offset as u32,
+            v: v.0,
+        },
+        Op::Shfl { d, a, mode } => UOp::Shfl {
+            d: d.0,
+            a: a.0,
+            mode: match mode {
+                ShflMode::Idx(s) => PShflMode::Idx(PSrc::lower(s)),
+                ShflMode::Bfly(m) => PShflMode::Bfly(m),
+                ShflMode::Down(dl) => PShflMode::Down(dl),
+                ShflMode::Up(dl) => PShflMode::Up(dl),
+            },
+        },
+    };
+    let write = if instr.ecc_only {
+        WriteMode::EccOnly
+    } else if instr.predicted {
+        WriteMode::Predicted
+    } else {
+        WriteMode::Full
+    };
+    let eligible = if instr.op.is_dup_eligible() {
+        if instr.ecc_only || instr.role == Role::Shadow {
+            Some(FaultTarget::Shadow)
+        } else {
+            Some(FaultTarget::Original)
+        }
+    } else {
+        None
+    };
+    MicroOp {
+        uop,
+        guard: Guard::lower(instr.guard),
+        write,
+        eligible,
+    }
+}
+
+fn alu2(kind: Alu2Kind, d: u8, a: u8, b: Src) -> UOp {
+    UOp::Alu2 {
+        kind,
+        d,
+        a,
+        b: PSrc::lower(b),
+    }
+}
+
+fn alu1(kind: Alu1Kind, d: u8, a: u8) -> UOp {
+    UOp::Alu1 { kind, d, a }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcodes_isa::{KernelBuilder, Pred, Reg, PT, RZ};
+
+    #[test]
+    fn guards_lower_to_static_forms() {
+        assert_eq!(Guard::lower(None), Guard::Always);
+        assert_eq!(Guard::lower(Some((PT, true))), Guard::Always);
+        assert_eq!(Guard::lower(Some((PT, false))), Guard::Never);
+        assert_eq!(Guard::lower(Some((Pred(2), true))), Guard::If(2));
+        assert_eq!(Guard::lower(Some((Pred(2), false))), Guard::IfNot(2));
+    }
+
+    #[test]
+    fn eligibility_matches_reference_predicate() {
+        let mut b = KernelBuilder::new("pd");
+        b.push(Op::IAdd {
+            d: Reg(0),
+            a: RZ,
+            b: Src::Imm(1),
+        });
+        b.push(Op::Ld {
+            d: Reg(1),
+            space: MemSpace::Global,
+            addr: Reg(0),
+            offset: 0,
+            width: MemWidth::W32,
+        });
+        b.push(Op::Exit);
+        let k = b.finish();
+        let pk = PredecodedKernel::new(&k);
+        assert_eq!(pk.op(0).eligible, Some(FaultTarget::Original));
+        assert_eq!(pk.op(1).eligible, None, "loads are not dup-eligible");
+        assert_eq!(pk.op(2).eligible, None);
+        assert_eq!(pk.len(), 3);
+    }
+}

@@ -51,7 +51,7 @@ impl RegFileEvent {
 }
 
 /// One stored register word.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct Stored {
     data: u32,
     check: u16,
@@ -247,6 +247,19 @@ impl WarpRegFile {
     #[must_use]
     pub fn peek(&self, lane: u32, reg: u8) -> u32 {
         self.words[self.idx(lane, reg)].data
+    }
+
+    /// Whether two register files hold byte-identical stored state (data,
+    /// check bits and data parity for every lane/register).
+    ///
+    /// The decoder `armed` fast-path flag is intentionally ignored: it is a
+    /// performance hint, not architectural state. When every stored word
+    /// equals a word written by a fault-free run, each word is a consistent
+    /// codeword, so decoding (armed) and not decoding (unarmed) return the
+    /// same values and events.
+    #[must_use]
+    pub fn stored_eq(&self, other: &Self) -> bool {
+        self.words == other.words
     }
 
     /// Attempt in-place correction of a stored word whose syndrome points at

@@ -1,0 +1,1242 @@
+//! Epoch snapshots and the fast-forward campaign engine.
+//!
+//! An architecture-level injection campaign runs the *same* kernel once per
+//! trial, differing only in where a single fault strikes. All work before
+//! the strike is identical across trials, and most post-strike suffixes are
+//! identical to the golden run (the fault was masked). The fast-forward
+//! engine exploits both:
+//!
+//! * **Epoch ladder** — during the campaign's golden run it captures full
+//!   architectural snapshots (warp register files with their ECC state,
+//!   divergence fragments, predicates, barrier flags, shared and global
+//!   memory, and the per-side eligible-op counters) every N dynamic
+//!   instructions. A trial resumes from the latest snapshot whose
+//!   eligible-op counter has not yet passed the trial's injection site and
+//!   executes only the suffix.
+//! * **Golden-convergence early-exit** — once the strike has been delivered,
+//!   if the trial's complete architectural state becomes byte-identical to
+//!   the golden state at the same dynamic-instruction count with no
+//!   detection pending, the remaining execution is a deterministic replay of
+//!   the golden suffix: no further fault can fire (the single strike is
+//!   spent) and the executor state machine is a pure function of
+//!   architectural state. The trial is therefore classified Masked without
+//!   running to completion. See DESIGN §9 for the soundness argument and
+//!   the fuel/truncation guards.
+//!
+//! Trials interpret the predecoded micro-op table from [`crate::predecode`]
+//! instead of re-matching the `Op` enum per step. The engine supports
+//! exactly the configuration injection campaigns use — a single CTA
+//! (`cta_limit = 1`), no trace or operand capture, no in-executor recovery,
+//! fueled — and is differentially tested against the reference executor
+//! ([`crate::exec`]) outcome-for-outcome.
+
+use crate::exec::{compare, Detection, ExecConfig, ExecError, Launch};
+use crate::fault::{FaultSpec, FaultTarget};
+use crate::memory::{GlobalMemory, SharedMemory};
+use crate::predecode::{
+    Alu1Kind, Alu2Kind, Guard, MicroOp, PShflMode, PSrc, PredecodedKernel, UOp, WriteMode,
+};
+use crate::regfile::{Protection, RegFileEvent, WarpRegFile};
+use swapcodes_isa::{Kernel, MemSpace, SpecialReg};
+
+/// One PC-reconvergence fragment of a warp: a program counter and the lanes
+/// currently at it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fragment {
+    /// Static instruction index the fragment executes next.
+    pub pc: usize,
+    /// Lanes at this PC.
+    pub mask: u32,
+}
+
+/// Architectural snapshot of one warp, sufficient to resume it: PC
+/// fragments, predicate registers, and the full (ECC-encoded) register
+/// file. Shared by the recovery engine's warp checkpoints
+/// ([`crate::exec`]) and the campaign epoch ladder.
+#[derive(Debug, Clone)]
+pub struct WarpSnapshot {
+    /// Divergence fragments.
+    pub frags: Vec<Fragment>,
+    /// Predicate registers of all 32 lanes.
+    pub preds: [u8; 32],
+    /// The full register file, including stored check bits and the decoder
+    /// arming flag.
+    pub rf: WarpRegFile,
+}
+
+/// One rung of the epoch ladder: the complete architectural state of the
+/// golden run at a dynamic-instruction boundary (taken at the top of a
+/// scheduler round, so resuming restarts the round scheduler cleanly).
+#[derive(Debug, Clone)]
+pub struct EpochSnapshot {
+    /// Dynamic warp-instructions executed when the snapshot was taken.
+    pub dyn_count: u64,
+    /// Original-side eligible instructions executed so far.
+    pub eligible_orig: u64,
+    /// Shadow-side eligible instructions executed so far.
+    pub eligible_shadow: u64,
+    warps: Vec<WarpSnapshot>,
+    bars: Vec<bool>,
+    shared: Vec<u32>,
+    mem: GlobalMemory,
+}
+
+impl EpochSnapshot {
+    /// The eligible-op counter for one fault side at the snapshot point.
+    #[must_use]
+    pub fn eligible_for(&self, target: FaultTarget) -> u64 {
+        match target {
+            FaultTarget::Original => self.eligible_orig,
+            FaultTarget::Shadow => self.eligible_shadow,
+        }
+    }
+}
+
+/// The golden run's snapshot ladder plus the run-level facts the
+/// convergence early-exit needs to be sound.
+#[derive(Debug, Clone)]
+pub struct EpochLadder {
+    /// Requested capture spacing in dynamic instructions.
+    pub interval: u64,
+    /// Total dynamic instructions of the golden run.
+    pub golden_dynamic: u64,
+    /// Whether the golden run hit the `max_dynamic` cap (early-exit is
+    /// disabled in that case: the golden suffix is not a completed run).
+    pub golden_truncated: bool,
+    snapshots: Vec<EpochSnapshot>,
+}
+
+/// Facts about the golden capture run, for validation against the
+/// reference executor's golden run.
+#[derive(Debug)]
+pub struct GoldenCapture {
+    /// Detection state of the golden run (must be `None` for a usable
+    /// campaign).
+    pub detection: Detection,
+    /// Dynamic warp-instructions executed.
+    pub dynamic_instructions: u64,
+    /// Whether `max_dynamic` truncated the run.
+    pub truncated: bool,
+    /// Original-side eligible instructions executed.
+    pub eligible_orig: u64,
+    /// Shadow-side eligible instructions executed.
+    pub eligible_shadow: u64,
+    /// Final global memory (for output validation against the reference
+    /// golden run).
+    pub mem: GlobalMemory,
+}
+
+/// Result of one fast-forwarded trial.
+#[derive(Debug)]
+pub struct FastTrial {
+    /// Detection state when the trial halted (or ran to completion).
+    pub detection: Detection,
+    /// Structured host error, if any (fuel exhaustion, scheduler deadlock).
+    pub error: Option<ExecError>,
+    /// The trial's architectural state re-converged to the golden epoch
+    /// state after the strike: the outcome is provably Masked and `mem` is
+    /// *not* the final memory (the suffix was pruned).
+    pub converged_early: bool,
+    /// Global memory at the point the trial stopped.
+    pub mem: GlobalMemory,
+    /// Dynamic-instruction count of the snapshot the trial resumed from.
+    pub resumed_from: u64,
+    /// Dynamic instructions actually executed by this trial.
+    pub executed: u64,
+}
+
+/// The fast-forward campaign engine: a predecoded kernel plus the golden
+/// epoch ladder, built once per campaign in `ArchCampaign::prepare`.
+#[derive(Debug)]
+pub struct CampaignEngine {
+    pk: PredecodedKernel,
+    launch: Launch,
+    ladder: EpochLadder,
+    max_dynamic: u64,
+}
+
+impl CampaignEngine {
+    /// Run the fault-free golden execution of `kernel` over the first CTA of
+    /// `launch`, capturing an epoch snapshot every `interval` dynamic
+    /// instructions (including epoch 0 at the initial state, so trials never
+    /// rebuild workload memory).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the golden run's structured failure (out-of-bounds access
+    /// or scheduler deadlock), exactly like the reference executor's golden
+    /// run would.
+    pub fn capture(
+        kernel: &Kernel,
+        launch: Launch,
+        protection: Protection,
+        initial_mem: &GlobalMemory,
+        interval: u64,
+    ) -> Result<(Self, GoldenCapture), ExecError> {
+        let pk = PredecodedKernel::new(kernel);
+        let max_dynamic = ExecConfig::default().max_dynamic;
+        let mut ctx = FastCtx {
+            pk: &pk,
+            launch,
+            fault: None,
+            fuel: None,
+            max_dynamic,
+            mem: initial_mem.clone(),
+            shared: SharedMemory::new(launch.shared_words as usize),
+            dyn_count: 0,
+            eligible_orig: 0,
+            eligible_shadow: 0,
+            detection: Detection::None,
+            pending_due: None,
+            truncated: false,
+            error: None,
+            faults_applied: 0,
+        };
+        let mut warps = new_warps(&pk, launch, protection);
+        let mut snapshots = Vec::new();
+        let mut hook = Hook::Capture {
+            interval: interval.max(1),
+            next: 0,
+            out: &mut snapshots,
+        };
+        run_rounds(&mut ctx, &mut warps, &mut hook);
+        if let Some(e) = ctx.error {
+            return Err(e);
+        }
+        let capture = GoldenCapture {
+            detection: ctx.detection,
+            dynamic_instructions: ctx.dyn_count,
+            truncated: ctx.truncated,
+            eligible_orig: ctx.eligible_orig,
+            eligible_shadow: ctx.eligible_shadow,
+            mem: ctx.mem,
+        };
+        let ladder = EpochLadder {
+            interval: interval.max(1),
+            golden_dynamic: capture.dynamic_instructions,
+            golden_truncated: capture.truncated,
+            snapshots,
+        };
+        Ok((
+            Self {
+                pk,
+                launch,
+                ladder,
+                max_dynamic,
+            },
+            capture,
+        ))
+    }
+
+    /// Number of epoch snapshots in the ladder.
+    #[must_use]
+    pub fn snapshot_count(&self) -> usize {
+        self.ladder.snapshots.len()
+    }
+
+    /// Requested snapshot spacing in dynamic instructions.
+    #[must_use]
+    pub fn interval(&self) -> u64 {
+        self.ladder.interval
+    }
+
+    /// Total dynamic instructions of the golden run.
+    #[must_use]
+    pub fn golden_dynamic(&self) -> u64 {
+        self.ladder.golden_dynamic
+    }
+
+    /// Run one fueled trial, resuming from the nearest epoch snapshot at or
+    /// before the injection site and pruning the suffix when post-strike
+    /// state re-converges to golden.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ladder is empty (capture always records epoch 0, so
+    /// this indicates engine misuse).
+    #[must_use]
+    pub fn run_trial(&self, fault: FaultSpec, fuel: u64) -> FastTrial {
+        let snaps = &self.ladder.snapshots;
+        let mut si = 0;
+        for (i, s) in snaps.iter().enumerate() {
+            if s.eligible_for(fault.target) <= fault.eligible_index {
+                si = i;
+            } else {
+                break;
+            }
+        }
+        let snap = &snaps[si];
+        let mut ctx = FastCtx {
+            pk: &self.pk,
+            launch: self.launch,
+            fault: Some(fault),
+            fuel: Some(fuel),
+            max_dynamic: self.max_dynamic,
+            mem: snap.mem.clone(),
+            shared: SharedMemory::from_words(snap.shared.clone()),
+            dyn_count: snap.dyn_count,
+            eligible_orig: snap.eligible_orig,
+            eligible_shadow: snap.eligible_shadow,
+            detection: Detection::None,
+            pending_due: None,
+            truncated: false,
+            error: None,
+            faults_applied: 0,
+        };
+        let mut warps: Vec<FastWarp> = snap
+            .warps
+            .iter()
+            .zip(&snap.bars)
+            .enumerate()
+            .map(|(wid, (ws, &bar))| FastWarp {
+                wid: wid as u32,
+                frags: ws.frags.clone(),
+                preds: ws.preds,
+                rf: ws.rf.clone(),
+                waiting_bar: bar,
+            })
+            .collect();
+        // Early-exit is only sound when the golden suffix itself completes
+        // within this trial's fuel and dynamic caps: otherwise the
+        // from-scratch trial would have hung or truncated, not Masked.
+        let fuel_ok = !self.ladder.golden_truncated
+            && self.ladder.golden_dynamic <= fuel
+            && self.ladder.golden_dynamic < self.max_dynamic;
+        let mut converged = false;
+        let mut hook = Hook::Converge {
+            ladder: &self.ladder,
+            idx: si,
+            fault,
+            fuel_ok,
+            converged: &mut converged,
+        };
+        run_rounds(&mut ctx, &mut warps, &mut hook);
+        FastTrial {
+            detection: ctx.detection,
+            error: ctx.error,
+            converged_early: converged,
+            executed: ctx.dyn_count - snap.dyn_count,
+            resumed_from: snap.dyn_count,
+            mem: ctx.mem,
+        }
+    }
+}
+
+/// Mutable per-warp execution state (the trace/recovery-free subset of the
+/// reference executor's warp).
+struct FastWarp {
+    wid: u32,
+    frags: Vec<Fragment>,
+    rf: WarpRegFile,
+    preds: [u8; 32],
+    waiting_bar: bool,
+}
+
+impl FastWarp {
+    fn done(&self) -> bool {
+        self.frags.is_empty()
+    }
+}
+
+/// Run-global execution state (everything the scheduler and every step
+/// touches, other than the warps themselves).
+struct FastCtx<'a> {
+    pk: &'a PredecodedKernel,
+    launch: Launch,
+    fault: Option<FaultSpec>,
+    fuel: Option<u64>,
+    max_dynamic: u64,
+    mem: GlobalMemory,
+    shared: SharedMemory,
+    dyn_count: u64,
+    eligible_orig: u64,
+    eligible_shadow: u64,
+    detection: Detection,
+    pending_due: Option<bool>,
+    truncated: bool,
+    error: Option<ExecError>,
+    faults_applied: u32,
+}
+
+impl FastCtx<'_> {
+    fn halted(&self) -> bool {
+        self.detection != Detection::None || self.truncated || self.error.is_some()
+    }
+
+    fn eligible_for(&self, target: FaultTarget) -> u64 {
+        match target {
+            FaultTarget::Original => self.eligible_orig,
+            FaultTarget::Shadow => self.eligible_shadow,
+        }
+    }
+
+    fn mem_fault(&mut self, addr: u32) {
+        if self.fault.is_some() {
+            if self.detection == Detection::None {
+                self.detection = Detection::MemFault { at: self.dyn_count };
+            }
+        } else if self.error.is_none() {
+            self.error = Some(ExecError::OutOfBoundsAccess {
+                addr,
+                at: self.dyn_count,
+            });
+        }
+    }
+}
+
+/// What the scheduler does at the top of every round.
+enum Hook<'l> {
+    /// Golden run: capture an epoch snapshot whenever `next` is reached.
+    Capture {
+        interval: u64,
+        next: u64,
+        out: &'l mut Vec<EpochSnapshot>,
+    },
+    /// Trial run: test for golden convergence at matching epoch boundaries.
+    Converge {
+        ladder: &'l EpochLadder,
+        idx: usize,
+        fault: FaultSpec,
+        fuel_ok: bool,
+        converged: &'l mut bool,
+    },
+}
+
+fn capture_epoch(ctx: &FastCtx<'_>, warps: &[FastWarp]) -> EpochSnapshot {
+    EpochSnapshot {
+        dyn_count: ctx.dyn_count,
+        eligible_orig: ctx.eligible_orig,
+        eligible_shadow: ctx.eligible_shadow,
+        warps: warps
+            .iter()
+            .map(|w| WarpSnapshot {
+                frags: w.frags.clone(),
+                preds: w.preds,
+                rf: w.rf.clone(),
+            })
+            .collect(),
+        bars: warps.iter().map(|w| w.waiting_bar).collect(),
+        shared: ctx.shared.words().to_vec(),
+        mem: ctx.mem.clone(),
+    }
+}
+
+/// Whether the trial's architectural state is byte-identical to the golden
+/// epoch snapshot. Register files compare stored words only (`stored_eq`):
+/// the decoder arming flag is a performance hint with no architectural
+/// effect once every stored word is a consistent codeword — which byte
+/// equality with the (fault-free) golden state guarantees.
+fn state_matches(s: &EpochSnapshot, ctx: &FastCtx<'_>, warps: &[FastWarp]) -> bool {
+    warps.len() == s.warps.len()
+        && warps
+            .iter()
+            .zip(&s.warps)
+            .zip(&s.bars)
+            .all(|((w, ws), &bar)| {
+                w.waiting_bar == bar
+                    && w.preds == ws.preds
+                    && w.frags == ws.frags
+                    && w.rf.stored_eq(&ws.rf)
+            })
+        && ctx.shared.words() == s.shared.as_slice()
+        && ctx.mem.words() == s.mem.words()
+}
+
+fn new_warps(pk: &PredecodedKernel, launch: Launch, protection: Protection) -> Vec<FastWarp> {
+    (0..launch.warps_per_cta())
+        .map(|wid| {
+            let first = wid * 32;
+            let count = launch.threads_per_cta.saturating_sub(first).min(32);
+            let mask = if count >= 32 {
+                u32::MAX
+            } else {
+                (1u32 << count) - 1
+            };
+            FastWarp {
+                wid,
+                frags: vec![Fragment { pc: 0, mask }],
+                rf: WarpRegFile::new(pk.regs(), protection),
+                preds: [0; 32],
+                waiting_bar: false,
+            }
+        })
+        .collect()
+}
+
+/// The round scheduler: identical to the reference executor's single-CTA
+/// loop (64-instruction quanta per warp, barrier release when all live
+/// warps wait, deadlock watchdog), with the campaign hook at the top of
+/// every round.
+fn run_rounds(ctx: &mut FastCtx<'_>, warps: &mut [FastWarp], hook: &mut Hook<'_>) {
+    loop {
+        match hook {
+            Hook::Capture {
+                interval,
+                next,
+                out,
+            } => {
+                if ctx.dyn_count >= *next && !ctx.halted() {
+                    out.push(capture_epoch(ctx, warps));
+                    *next = ctx.dyn_count + *interval;
+                }
+            }
+            Hook::Converge {
+                ladder,
+                idx,
+                fault,
+                fuel_ok,
+                converged,
+            } => {
+                if *fuel_ok && !ctx.halted() && ctx.pending_due.is_none() {
+                    let snaps = &ladder.snapshots;
+                    while *idx < snaps.len() && snaps[*idx].dyn_count < ctx.dyn_count {
+                        *idx += 1;
+                    }
+                    if *idx < snaps.len()
+                        && snaps[*idx].dyn_count == ctx.dyn_count
+                        && ctx.eligible_for(fault.target) > fault.eligible_index
+                        && state_matches(&snaps[*idx], ctx, warps)
+                    {
+                        **converged = true;
+                        return;
+                    }
+                }
+            }
+        }
+        let mut progressed = false;
+        for w in warps.iter_mut() {
+            if w.done() || w.waiting_bar {
+                continue;
+            }
+            for _ in 0..64 {
+                if w.done() || w.waiting_bar {
+                    break;
+                }
+                step(ctx, w);
+                progressed = true;
+                if ctx.halted() {
+                    return;
+                }
+            }
+        }
+        let mut live_any = false;
+        let mut all_wait = true;
+        for w in warps.iter() {
+            if !w.done() {
+                live_any = true;
+                if !w.waiting_bar {
+                    all_wait = false;
+                }
+            }
+        }
+        if live_any && all_wait {
+            for w in warps.iter_mut() {
+                if !w.done() {
+                    w.waiting_bar = false;
+                }
+            }
+            progressed = true;
+        }
+        if warps.iter().all(FastWarp::done) {
+            return;
+        }
+        if !progressed {
+            ctx.error = Some(ExecError::Trap { at: ctx.dyn_count });
+            return;
+        }
+    }
+}
+
+/// Execute one instruction of one warp (the predecoded twin of the
+/// reference executor's `step`).
+fn step(ctx: &mut FastCtx<'_>, w: &mut FastWarp) {
+    let fi = w
+        .frags
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, f)| f.pc)
+        .map(|(i, _)| i)
+        .expect("stepping a finished warp");
+    let pc = w.frags[fi].pc;
+    if pc >= ctx.pk.len() {
+        w.frags.remove(fi);
+        return;
+    }
+    let mop = ctx.pk.op(pc);
+    let frag_mask = w.frags[fi].mask;
+    let exec_mask = match mop.guard {
+        Guard::Always => frag_mask,
+        Guard::Never => 0,
+        Guard::If(bit) => guard_mask(frag_mask, &w.preds, bit, true),
+        Guard::IfNot(bit) => guard_mask(frag_mask, &w.preds, bit, false),
+    };
+
+    ctx.dyn_count += 1;
+    if ctx.dyn_count >= ctx.max_dynamic {
+        ctx.truncated = true;
+    }
+    if let Some(fuel) = ctx.fuel {
+        if ctx.dyn_count > fuel {
+            ctx.error = Some(ExecError::Hang {
+                steps: ctx.dyn_count,
+            });
+            return;
+        }
+    }
+
+    // Fault targeting: per-side eligible counters advance on every eligible
+    // instruction (both golden capture and trials), and the strike fires
+    // when the matching side's counter reaches the sampled index.
+    let mut inject: Option<FaultSpec> = None;
+    if let Some(t) = mop.eligible {
+        let seen = match t {
+            FaultTarget::Original => &mut ctx.eligible_orig,
+            FaultTarget::Shadow => &mut ctx.eligible_shadow,
+        };
+        if let Some(f) = ctx.fault {
+            if f.target == t && *seen == f.eligible_index {
+                inject = Some(f);
+            }
+        }
+        *seen += 1;
+    }
+
+    exec_uop(ctx, w, &mop, fi, exec_mask, inject);
+
+    if let Some(pipeline_suspected) = ctx.pending_due.take() {
+        ctx.detection = Detection::Due {
+            at: ctx.dyn_count,
+            pipeline_suspected,
+        };
+    }
+
+    // Merge fragments that reconverged and drop empty ones.
+    w.frags.retain(|f| f.mask != 0);
+    w.frags.sort_by_key(|f| f.pc);
+    let mut merged: Vec<Fragment> = Vec::with_capacity(w.frags.len());
+    for f in w.frags.drain(..) {
+        if let Some(last) = merged.last_mut() {
+            if last.pc == f.pc {
+                last.mask |= f.mask;
+                continue;
+            }
+        }
+        merged.push(f);
+    }
+    w.frags = merged;
+}
+
+fn guard_mask(frag_mask: u32, preds: &[u8; 32], bit: u8, want_set: bool) -> u32 {
+    let mut mask = 0u32;
+    let mut m = frag_mask;
+    while m != 0 {
+        let lane = m.trailing_zeros();
+        m &= m - 1;
+        let set = preds[lane as usize] & (1 << bit) != 0;
+        if set == want_set {
+            mask |= 1 << lane;
+        }
+    }
+    mask
+}
+
+const RZ8: u8 = 255;
+
+/// Read a register for one lane, recording decode events.
+fn rd(ctx: &mut FastCtx<'_>, w: &mut FastWarp, lane: u32, reg: u8) -> u32 {
+    if reg == RZ8 {
+        return 0;
+    }
+    let (v, e) = w.rf.read(lane, reg);
+    if let RegFileEvent::Due { pipeline_suspected } = e {
+        ctx.pending_due.get_or_insert(pipeline_suspected);
+    }
+    v
+}
+
+fn rd64(ctx: &mut FastCtx<'_>, w: &mut FastWarp, lane: u32, reg: u8) -> u64 {
+    if reg == RZ8 {
+        return 0;
+    }
+    let lo = rd(ctx, w, lane, reg);
+    let hi = rd(ctx, w, lane, pair_hi(reg));
+    u64::from(hi) << 32 | u64::from(lo)
+}
+
+fn rsrc(ctx: &mut FastCtx<'_>, w: &mut FastWarp, lane: u32, s: PSrc) -> u32 {
+    match s {
+        PSrc::Reg(reg) => rd(ctx, w, lane, reg),
+        PSrc::Imm(v) => v,
+    }
+}
+
+fn pair_hi(reg: u8) -> u8 {
+    assert!(reg < 254, "R{reg} has no pair register above it");
+    reg + 1
+}
+
+fn write_res(w: &mut FastWarp, mode: WriteMode, lane: u32, d: u8, value: u32, golden: u32) {
+    if d == RZ8 {
+        return;
+    }
+    match mode {
+        WriteMode::Full => w.rf.write_full(lane, d, value),
+        WriteMode::EccOnly => w.rf.write_ecc_only(lane, d, value),
+        WriteMode::Predicted => w.rf.write_predicted(lane, d, value, golden),
+    }
+}
+
+fn write_res64(w: &mut FastWarp, mode: WriteMode, lane: u32, d: u8, value: u64, golden: u64) {
+    write_res(w, mode, lane, d, value as u32, golden as u32);
+    write_res(
+        w,
+        mode,
+        lane,
+        pair_hi(d),
+        (value >> 32) as u32,
+        (golden >> 32) as u32,
+    );
+}
+
+fn alu2(kind: Alu2Kind, a: u32, b: u32) -> u32 {
+    let f = f32::from_bits;
+    match kind {
+        Alu2Kind::IAdd => a.wrapping_add(b),
+        Alu2Kind::ISub => a.wrapping_sub(b),
+        Alu2Kind::IMul => a.wrapping_mul(b),
+        Alu2Kind::IMin => (a as i32).min(b as i32) as u32,
+        Alu2Kind::IMax => (a as i32).max(b as i32) as u32,
+        Alu2Kind::Shl => a << (b & 31),
+        Alu2Kind::Shr => a >> (b & 31),
+        Alu2Kind::And => a & b,
+        Alu2Kind::Or => a | b,
+        Alu2Kind::Xor => a ^ b,
+        Alu2Kind::FAdd => (f(a) + f(b)).to_bits(),
+        Alu2Kind::FMul => (f(a) * f(b)).to_bits(),
+        Alu2Kind::FMin => f(a).min(f(b)).to_bits(),
+        Alu2Kind::FMax => f(a).max(f(b)).to_bits(),
+    }
+}
+
+fn alu1(kind: Alu1Kind, v: u32) -> u32 {
+    let f = f32::from_bits;
+    match kind {
+        Alu1Kind::Not => !v,
+        Alu1Kind::MufuRcp => (1.0 / f(v)).to_bits(),
+        Alu1Kind::MufuSqrt => f(v).sqrt().to_bits(),
+        Alu1Kind::MufuEx2 => f(v).exp2().to_bits(),
+        Alu1Kind::MufuLg2 => f(v).log2().to_bits(),
+        Alu1Kind::I2F => (v as i32 as f32).to_bits(),
+        Alu1Kind::F2I => f(v) as i32 as u32,
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn exec_uop(
+    ctx: &mut FastCtx<'_>,
+    w: &mut FastWarp,
+    mop: &MicroOp,
+    fi: usize,
+    exec_mask: u32,
+    inject: Option<FaultSpec>,
+) {
+    // Apply the (possibly injected) fault to a 32-bit lane result.
+    macro_rules! faulted32 {
+        ($lane:expr, $golden:expr) => {{
+            let golden: u32 = $golden;
+            let mut value = golden;
+            if let Some(fs) = inject {
+                if fs.lane == $lane {
+                    value ^= fs.xor_mask as u32;
+                    ctx.faults_applied += 1;
+                }
+            }
+            (value, golden)
+        }};
+    }
+    macro_rules! faulted64 {
+        ($lane:expr, $golden:expr) => {{
+            let golden: u64 = $golden;
+            let mut value = golden;
+            if let Some(fs) = inject {
+                if fs.lane == $lane {
+                    value ^= fs.xor_mask;
+                    ctx.faults_applied += 1;
+                }
+            }
+            (value, golden)
+        }};
+    }
+    macro_rules! for_active {
+        ($lane:ident, $body:block) => {
+            let mut m = exec_mask;
+            while m != 0 {
+                let $lane = m.trailing_zeros();
+                m &= m - 1;
+                $body
+            }
+        };
+    }
+
+    match mop.uop {
+        UOp::Nop => {
+            w.frags[fi].pc += 1;
+        }
+        UOp::Bar => {
+            if w.frags.len() > 1 && ctx.detection == Detection::None {
+                ctx.detection = Detection::Hang { at: ctx.dyn_count };
+            }
+            w.waiting_bar = true;
+            w.frags[fi].pc += 1;
+        }
+        UOp::Exit => {
+            w.frags[fi].mask &= !exec_mask;
+            w.frags[fi].pc += 1;
+        }
+        UOp::Trap => {
+            if exec_mask != 0 {
+                ctx.detection = Detection::Trap { at: ctx.dyn_count };
+            }
+            w.frags[fi].pc += 1;
+        }
+        UOp::Bra { target } => {
+            let not_taken = w.frags[fi].mask & !exec_mask;
+            let fall_pc = w.frags[fi].pc + 1;
+            if exec_mask != 0 {
+                w.frags[fi].mask = exec_mask;
+                w.frags[fi].pc = target;
+                if not_taken != 0 {
+                    w.frags.push(Fragment {
+                        pc: fall_pc,
+                        mask: not_taken,
+                    });
+                }
+            } else {
+                w.frags[fi].pc = fall_pc;
+            }
+        }
+        UOp::S2R { d, sr } => {
+            for_active!(lane, {
+                let golden = match sr {
+                    SpecialReg::TidX => w.wid * 32 + lane,
+                    SpecialReg::NTidX => ctx.launch.threads_per_cta,
+                    // The campaign engine executes CTA 0 only (cta_limit=1).
+                    SpecialReg::CtaIdX => 0,
+                    SpecialReg::NCtaIdX => ctx.launch.ctas,
+                    SpecialReg::LaneId => lane,
+                    SpecialReg::WarpId => w.wid,
+                };
+                let (value, golden) = faulted32!(lane, golden);
+                write_res(w, mop.write, lane, d, value, golden);
+            });
+            w.frags[fi].pc += 1;
+        }
+        UOp::Mov { d, a } => {
+            for_active!(lane, {
+                let (value, golden) = faulted32!(lane, rsrc(ctx, w, lane, a));
+                write_res(w, mop.write, lane, d, value, golden);
+            });
+            w.frags[fi].pc += 1;
+        }
+        UOp::Alu2 { kind, d, a, b } => {
+            for_active!(lane, {
+                // The reference executor reads the shift amount before the
+                // shifted value; all other two-source ops read `a` first.
+                let g = if matches!(kind, Alu2Kind::Shl | Alu2Kind::Shr) {
+                    let bv = rsrc(ctx, w, lane, b);
+                    let av = rd(ctx, w, lane, a);
+                    alu2(kind, av, bv)
+                } else {
+                    let av = rd(ctx, w, lane, a);
+                    let bv = rsrc(ctx, w, lane, b);
+                    alu2(kind, av, bv)
+                };
+                let (value, golden) = faulted32!(lane, g);
+                write_res(w, mop.write, lane, d, value, golden);
+            });
+            w.frags[fi].pc += 1;
+        }
+        UOp::Alu1 { kind, d, a } => {
+            for_active!(lane, {
+                let (value, golden) = faulted32!(lane, alu1(kind, rd(ctx, w, lane, a)));
+                write_res(w, mop.write, lane, d, value, golden);
+            });
+            w.frags[fi].pc += 1;
+        }
+        UOp::IMad { d, a, b, c } => {
+            for_active!(lane, {
+                let g = rd(ctx, w, lane, a)
+                    .wrapping_mul(rd(ctx, w, lane, b))
+                    .wrapping_add(rd(ctx, w, lane, c));
+                let (value, golden) = faulted32!(lane, g);
+                write_res(w, mop.write, lane, d, value, golden);
+            });
+            w.frags[fi].pc += 1;
+        }
+        UOp::IMadWide { d, a, b, c } => {
+            for_active!(lane, {
+                let av = rd(ctx, w, lane, a);
+                let bv = rd(ctx, w, lane, b);
+                let cv = rd64(ctx, w, lane, c);
+                let g = u64::from(av).wrapping_mul(u64::from(bv)).wrapping_add(cv);
+                let (value, golden) = faulted64!(lane, g);
+                write_res64(w, mop.write, lane, d, value, golden);
+            });
+            w.frags[fi].pc += 1;
+        }
+        UOp::FFma { d, a, b, c } => {
+            let f = f32::from_bits;
+            for_active!(lane, {
+                let av = rd(ctx, w, lane, a);
+                let bv = rd(ctx, w, lane, b);
+                let cv = rd(ctx, w, lane, c);
+                let g = f(av).mul_add(f(bv), f(cv)).to_bits();
+                let (value, golden) = faulted32!(lane, g);
+                write_res(w, mop.write, lane, d, value, golden);
+            });
+            w.frags[fi].pc += 1;
+        }
+        UOp::DAdd { d, a, b } | UOp::DMul { d, a, b } => {
+            let is_add = matches!(mop.uop, UOp::DAdd { .. });
+            for_active!(lane, {
+                let av = rd64(ctx, w, lane, a);
+                let bv = rd64(ctx, w, lane, b);
+                let fa = f64::from_bits(av);
+                let fb = f64::from_bits(bv);
+                let g = if is_add {
+                    (fa + fb).to_bits()
+                } else {
+                    (fa * fb).to_bits()
+                };
+                let (value, golden) = faulted64!(lane, g);
+                write_res64(w, mop.write, lane, d, value, golden);
+            });
+            w.frags[fi].pc += 1;
+        }
+        UOp::DFma { d, a, b, c } => {
+            for_active!(lane, {
+                let av = rd64(ctx, w, lane, a);
+                let bv = rd64(ctx, w, lane, b);
+                let cv = rd64(ctx, w, lane, c);
+                let g = f64::from_bits(av)
+                    .mul_add(f64::from_bits(bv), f64::from_bits(cv))
+                    .to_bits();
+                let (value, golden) = faulted64!(lane, g);
+                write_res64(w, mop.write, lane, d, value, golden);
+            });
+            w.frags[fi].pc += 1;
+        }
+        UOp::SetP {
+            p,
+            skip,
+            cmp,
+            ty,
+            a,
+            b,
+        } => {
+            for_active!(lane, {
+                let x = rd(ctx, w, lane, a);
+                let y = rsrc(ctx, w, lane, b);
+                let res = compare(cmp, ty, x, y);
+                if !skip {
+                    if res {
+                        w.preds[lane as usize] |= 1 << p;
+                    } else {
+                        w.preds[lane as usize] &= !(1 << p);
+                    }
+                }
+            });
+            w.frags[fi].pc += 1;
+        }
+        UOp::Sel { d, p, p_true, a, b } => {
+            for_active!(lane, {
+                let bit = p_true || w.preds[lane as usize] & (1 << p) != 0;
+                let g = if bit {
+                    rd(ctx, w, lane, a)
+                } else {
+                    rsrc(ctx, w, lane, b)
+                };
+                let (value, golden) = faulted32!(lane, g);
+                write_res(w, mop.write, lane, d, value, golden);
+            });
+            w.frags[fi].pc += 1;
+        }
+        UOp::Ld {
+            d,
+            space,
+            addr,
+            offset,
+            w64,
+        } => {
+            for_active!(lane, {
+                let base = rd(ctx, w, lane, addr).wrapping_add(offset);
+                let lo = match space {
+                    MemSpace::Global => ctx.mem.try_read(base),
+                    MemSpace::Shared => ctx.shared.try_read(base),
+                };
+                let Some(lo) = lo else {
+                    ctx.mem_fault(base);
+                    break;
+                };
+                write_res(w, mop.write, lane, d, lo, lo);
+                if w64 {
+                    let hi = match space {
+                        MemSpace::Global => ctx.mem.try_read(base.wrapping_add(4)),
+                        MemSpace::Shared => ctx.shared.try_read(base.wrapping_add(4)),
+                    };
+                    let Some(hi) = hi else {
+                        ctx.mem_fault(base.wrapping_add(4));
+                        break;
+                    };
+                    write_res(w, mop.write, lane, pair_hi(d), hi, hi);
+                }
+            });
+            w.frags[fi].pc += 1;
+        }
+        UOp::St {
+            space,
+            addr,
+            offset,
+            v,
+            w64,
+        } => {
+            for_active!(lane, {
+                let base = rd(ctx, w, lane, addr).wrapping_add(offset);
+                let lo = rd(ctx, w, lane, v);
+                let ok = match space {
+                    MemSpace::Global => ctx.mem.try_write(base, lo),
+                    MemSpace::Shared => ctx.shared.try_write(base, lo),
+                };
+                if !ok {
+                    ctx.mem_fault(base);
+                    break;
+                }
+                if w64 {
+                    let hi = rd(ctx, w, lane, pair_hi(v));
+                    let ok = match space {
+                        MemSpace::Global => ctx.mem.try_write(base.wrapping_add(4), hi),
+                        MemSpace::Shared => ctx.shared.try_write(base.wrapping_add(4), hi),
+                    };
+                    if !ok {
+                        ctx.mem_fault(base.wrapping_add(4));
+                        break;
+                    }
+                }
+            });
+            w.frags[fi].pc += 1;
+        }
+        UOp::AtomAdd { addr, offset, v } => {
+            for_active!(lane, {
+                let base = rd(ctx, w, lane, addr).wrapping_add(offset);
+                let val = rd(ctx, w, lane, v);
+                if ctx.mem.try_atomic_add(base, val).is_none() {
+                    ctx.mem_fault(base);
+                    break;
+                }
+            });
+            w.frags[fi].pc += 1;
+        }
+        UOp::Shfl { d, a, mode } => {
+            let mut vals = [0u32; 32];
+            for lane in 0..32u32 {
+                vals[lane as usize] = if a == RZ8 { 0 } else { w.rf.peek(lane, a) };
+            }
+            for_active!(lane, {
+                let src_lane = match mode {
+                    PShflMode::Idx(s) => rsrc(ctx, w, lane, s) & 31,
+                    PShflMode::Bfly(m) => lane ^ (m & 31),
+                    PShflMode::Down(dl) => (lane + dl).min(31),
+                    PShflMode::Up(dl) => lane.saturating_sub(dl),
+                };
+                let golden = vals[src_lane as usize];
+                write_res(w, mop.write, lane, d, golden, golden);
+            });
+            w.frags[fi].pc += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Executor;
+    use swapcodes_isa::{CmpOp, CmpTy, KernelBuilder, Op, Pred, Reg, Src};
+
+    /// A looping, divergent kernel (long enough to span several scheduler
+    /// rounds, so the ladder gets multiple rungs): each thread accumulates
+    /// `tid*tid + 7` over 20 iterations, threads with index < 8 take an
+    /// extra increment branch, then everything is stored to global memory.
+    fn test_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("snaptest");
+        b.push(Op::S2R {
+            d: Reg(0),
+            sr: SpecialReg::TidX,
+        });
+        b.push(Op::Mov {
+            d: Reg(1),
+            a: Src::Imm(0),
+        });
+        b.push(Op::Mov {
+            d: Reg(3),
+            a: Src::Imm(20),
+        });
+        let top = b.label();
+        b.bind(top);
+        b.push(Op::IMad {
+            d: Reg(1),
+            a: Reg(0),
+            b: Reg(0),
+            c: Reg(1),
+        });
+        b.push(Op::ISub {
+            d: Reg(3),
+            a: Reg(3),
+            b: Src::Imm(1),
+        });
+        b.push(Op::SetP {
+            p: Pred(1),
+            cmp: CmpOp::Gt,
+            ty: CmpTy::I32,
+            a: Reg(3),
+            b: Src::Imm(0),
+        });
+        b.branch_if(top, Pred(1), true);
+        b.push(Op::IAdd {
+            d: Reg(1),
+            a: Reg(1),
+            b: Src::Imm(7),
+        });
+        b.push(Op::SetP {
+            p: Pred(0),
+            cmp: CmpOp::Lt,
+            ty: CmpTy::I32,
+            a: Reg(0),
+            b: Src::Imm(8),
+        });
+        let skip = b.label();
+        b.branch_if(skip, Pred(0), false);
+        b.push(Op::IAdd {
+            d: Reg(1),
+            a: Reg(1),
+            b: Src::Imm(100),
+        });
+        b.bind(skip);
+        b.push(Op::Shl {
+            d: Reg(2),
+            a: Reg(0),
+            b: Src::Imm(2),
+        });
+        b.push(Op::St {
+            space: MemSpace::Global,
+            addr: Reg(2),
+            offset: 0,
+            v: Reg(1),
+            width: swapcodes_isa::MemWidth::W32,
+        });
+        b.push(Op::Exit);
+        b.finish()
+    }
+
+    fn classic_golden(kernel: &Kernel, launch: Launch, mem: &mut GlobalMemory) -> u64 {
+        let exec = Executor {
+            config: ExecConfig {
+                cta_limit: Some(1),
+                ..ExecConfig::default()
+            },
+        };
+        let out = exec.run(kernel, launch, mem).expect("golden runs");
+        assert_eq!(out.detection, Detection::None);
+        out.dynamic_instructions
+    }
+
+    #[test]
+    fn golden_capture_matches_reference_executor() {
+        let kernel = test_kernel();
+        let launch = Launch::grid(1, 64);
+        let mut ref_mem = GlobalMemory::new(256);
+        let dynamic = classic_golden(&kernel, launch, &mut ref_mem);
+
+        let initial = GlobalMemory::new(256);
+        let (engine, cap) = CampaignEngine::capture(&kernel, launch, Protection::None, &initial, 4)
+            .expect("capture");
+        assert_eq!(cap.detection, Detection::None);
+        assert_eq!(cap.dynamic_instructions, dynamic);
+        assert_eq!(cap.mem.words(), ref_mem.words());
+        assert!(engine.snapshot_count() >= 2, "ladder has multiple rungs");
+        assert_eq!(engine.golden_dynamic(), dynamic);
+    }
+
+    #[test]
+    fn fast_trials_match_reference_executor() {
+        let kernel = test_kernel();
+        let launch = Launch::grid(1, 64);
+        let initial = GlobalMemory::new(256);
+        let (engine, cap) = CampaignEngine::capture(&kernel, launch, Protection::None, &initial, 3)
+            .expect("capture");
+        let fuel = cap.dynamic_instructions * 8 + 10_000;
+
+        let eligible = cap.eligible_orig;
+        assert!(eligible > 0);
+        for idx in 0..eligible.min(24) {
+            for lane in [0u32, 5, 31] {
+                let fault = FaultSpec {
+                    eligible_index: idx,
+                    lane,
+                    xor_mask: 1 << 9,
+                    target: FaultTarget::Original,
+                };
+                let fast = engine.run_trial(fault, fuel);
+
+                let mut mem = GlobalMemory::new(256);
+                let exec = Executor {
+                    config: ExecConfig {
+                        fault: Some(fault),
+                        cta_limit: Some(1),
+                        fuel: Some(fuel),
+                        ..ExecConfig::default()
+                    },
+                };
+                let reference = exec.run(&kernel, launch, &mut mem);
+                match reference {
+                    Ok(r) => {
+                        assert!(fast.error.is_none(), "fast errored, reference did not");
+                        assert_eq!(fast.detection, r.detection, "idx {idx} lane {lane}");
+                        if fast.converged_early {
+                            // Convergence promises byte-identical final
+                            // memory to golden — which for Protection::None
+                            // masked trials equals the reference's memory.
+                            assert_eq!(r.detection, Detection::None);
+                            assert_eq!(mem.words(), cap.mem.words());
+                        } else {
+                            assert_eq!(fast.mem.words(), mem.words(), "idx {idx} lane {lane}");
+                        }
+                    }
+                    Err(e) => {
+                        assert_eq!(fast.error, Some(e), "idx {idx} lane {lane}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trials_resume_past_epoch_zero() {
+        let kernel = test_kernel();
+        let launch = Launch::grid(1, 64);
+        let initial = GlobalMemory::new(256);
+        let (engine, cap) = CampaignEngine::capture(&kernel, launch, Protection::None, &initial, 2)
+            .expect("capture");
+        let fuel = cap.dynamic_instructions * 8 + 10_000;
+        // A late injection site must resume from a later rung, executing
+        // fewer instructions than the full golden run.
+        let fault = FaultSpec {
+            eligible_index: cap.eligible_orig - 1,
+            lane: 0,
+            xor_mask: 1,
+            target: FaultTarget::Original,
+        };
+        let t = engine.run_trial(fault, fuel);
+        assert!(t.resumed_from > 0, "late trial resumed from epoch 0");
+        assert!(t.executed < cap.dynamic_instructions);
+    }
+}

@@ -93,7 +93,12 @@ pub struct KernelTiming {
     pub cycles: u64,
     /// Cycles for one resident wave on one SM.
     pub wave_cycles: u64,
-    /// Number of sequential waves across the device.
+    /// Number of sequential waves across the device, rounded **up** to a
+    /// whole count for reporting. `cycles` is NOT `wave_cycles * waves`: the
+    /// grid is scaled by the *fractional* wave count (a final 10%-full wave
+    /// costs ~10% of a wave, since the timing model assumes the tail wave's
+    /// CTAs spread across SMs), so `cycles` lies in
+    /// `(wave_cycles * (waves - 1), wave_cycles * waves]`.
     pub waves: u64,
     /// Occupancy achieved.
     pub occupancy: Occupancy,
@@ -710,6 +715,35 @@ mod tests {
         let many = simulate_kernel(&k, Launch::grid(56 * 32, 256), &mut mem, &cfg).expect("timing");
         assert!(many.waves > one.waves);
         assert!(many.cycles >= one.cycles * 2);
+    }
+
+    #[test]
+    fn waves_field_is_ceiled_while_cycles_scale_fractionally() {
+        let cfg = TimingConfig::default();
+        let mut mem = GlobalMemory::new(64);
+        let k = trivial_kernel(32);
+        // Probe the per-device-wave CTA capacity, then launch half a wave
+        // beyond two full waves so the fractional count is ~2.5.
+        let probe = simulate_kernel(&k, Launch::grid(1, 256), &mut mem, &cfg).expect("timing");
+        let per_wave = probe.occupancy.ctas * cfg.gpu.sms;
+        let launch = Launch::grid(2 * per_wave + per_wave / 2, 256);
+        let t = simulate_kernel(&k, launch, &mut mem, &cfg).expect("timing");
+        let frac = f64::from(launch.ctas) / f64::from(per_wave);
+        assert_eq!(t.waves, frac.ceil() as u64, "waves reports whole waves");
+        assert_eq!(
+            t.cycles,
+            (t.wave_cycles as f64 * frac).round() as u64,
+            "cycles scale by the fractional wave count"
+        );
+        // The documented bracket: strictly more than waves-1 full waves,
+        // at most waves full waves.
+        assert!(t.cycles > t.wave_cycles * (t.waves - 1));
+        assert!(t.cycles <= t.wave_cycles * t.waves);
+        assert_ne!(
+            t.cycles,
+            t.wave_cycles * t.waves,
+            "a partial tail wave must not be billed as a full wave"
+        );
     }
 
     #[test]
