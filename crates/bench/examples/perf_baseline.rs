@@ -15,6 +15,12 @@
 //!   (predecoded micro-ops, epoch-snapshot resume, golden-convergence early
 //!   exit), single-threaded on both sides, with the two tallies asserted
 //!   byte-identical per cell.
+//! * **Tier-2 executor** — the tier-1 fast-forward engine (predecoded
+//!   micro-op interpreter, the previous default) versus the tier-2
+//!   closure-compiled threaded-code engine over the peepholed kernel (the
+//!   new default), golden capture plus campaign trials, with the tier-2
+//!   tallies asserted byte-identical to the from-scratch interpreter
+//!   reference over every trial.
 //!
 //! Run with `cargo run --release -p swapcodes-bench --example perf_baseline`.
 
@@ -29,8 +35,10 @@ use swapcodes_core::{apply, PredictorSet, Scheme};
 use swapcodes_gates::units::{build_unit, ArithUnit, UnitKind};
 use swapcodes_inject::{
     default_thread_count, run_unit_campaign, ArchCampaign, ArchOutcomes, CampaignConfig,
+    CampaignOptions,
 };
 use swapcodes_sim::timing::{simulate_kernel_reference, KernelTiming, TimingConfig};
+use swapcodes_sim::ExecTier;
 use swapcodes_workloads::{all, by_name, Workload};
 
 /// The timing cells each figure bench walks, duplication included — exactly
@@ -225,9 +233,17 @@ fn main() {
     let mut arch_snapshots = 0usize;
     let mut arch_early_exits = 0u64;
     let mut arch_total = 0u64;
+    // Pinned to the tier-1 interpreter engine without the peephole pass so
+    // this gate keeps measuring exactly what it measured before tier 2
+    // existed (the tier-2 engine gets its own gate below).
+    let tier1_opts = CampaignOptions {
+        tier: ExecTier::Tier1,
+        peephole: false,
+    };
     for (name, scheme) in arch_cells {
         let w = by_name(name).expect("workload");
-        let campaign = ArchCampaign::prepare(&w, scheme, arch_seed).expect("scheme applies");
+        let campaign =
+            ArchCampaign::prepare_with(&w, scheme, arch_seed, tier1_opts).expect("scheme applies");
         arch_snapshots += campaign.snapshot_count();
 
         let t = Instant::now();
@@ -271,13 +287,88 @@ fn main() {
         arch_early_rate * 100.0
     );
 
+    // --- Tier-2 executor: interpreter engine vs threaded code. ------------
+    // The tier-1 leg is the previous default (predecoded micro-op
+    // interpreter, no peephole); the tier-2 leg is this revision's default
+    // (peepholed kernel compiled to closure threaded code). Each leg times
+    // golden capture (`prepare_with`) plus its full trial sweep, and the
+    // tier-2 tallies are asserted byte-identical to the from-scratch
+    // interpreter reference over every trial. Swap-ECC cells dominate
+    // because the original/ECC-shadow pair idiom is where superinstruction
+    // fusion earns its keep.
+    let tier2_cells = [
+        ("matmul", Scheme::SwapEcc),
+        ("hspot", Scheme::SwapEcc),
+        ("kmeans", Scheme::SwapEcc),
+    ];
+    let tier2_trials: u64 = if std::env::var_os("SWAPCODES_FAST").is_some() {
+        400
+    } else {
+        600
+    };
+    let tier2_seed = 0xA2C4_0006u64;
+    let mut tier1_leg_s = 0.0f64;
+    let mut tier2_leg_s = 0.0f64;
+    let mut tier2_fused = 0usize;
+    let mut tier2_removed = 0usize;
+    let mut tier2_total = 0u64;
+    for (name, scheme) in tier2_cells {
+        let w = by_name(name).expect("workload");
+
+        let t = Instant::now();
+        let c1 =
+            ArchCampaign::prepare_with(&w, scheme, tier2_seed, tier1_opts).expect("scheme applies");
+        let mut tier1_tally = ArchOutcomes::default();
+        for trial in 0..tier2_trials {
+            tier1_tally.record(c1.run_trial(trial));
+        }
+        let cell_tier1_s = t.elapsed().as_secs_f64();
+        tier1_leg_s += cell_tier1_s;
+        std::hint::black_box(&tier1_tally);
+
+        let t = Instant::now();
+        let c2 = ArchCampaign::prepare_with(&w, scheme, tier2_seed, CampaignOptions::default())
+            .expect("scheme applies");
+        let mut tier2_tally = ArchOutcomes::default();
+        for trial in 0..tier2_trials {
+            tier2_tally.record(c2.run_trial(trial));
+        }
+        let cell_tier2_s = t.elapsed().as_secs_f64();
+        tier2_leg_s += cell_tier2_s;
+        tier2_fused += c2.fused_pairs();
+        tier2_removed += c2.peephole_stats().removed();
+        tier2_total += tier2_trials;
+
+        let mut reference_tally = ArchOutcomes::default();
+        for trial in 0..tier2_trials {
+            reference_tally.record(c2.run_trial_reference(trial));
+        }
+        assert_eq!(
+            tier2_tally,
+            reference_tally,
+            "tier-2 tallies diverge from the interpreter reference on {name}/{}",
+            scheme.label()
+        );
+        println!(
+            "  tier2 {name}/{}: tier-1 {cell_tier1_s:6.2}s, tier-2 {cell_tier2_s:6.2}s ({:.1}x, {} fused pairs)",
+            scheme.label(),
+            cell_tier1_s / cell_tier2_s,
+            c2.fused_pairs()
+        );
+    }
+    let tier2_speedup = tier1_leg_s / tier2_leg_s;
+    println!(
+        "  tier-2 executor (1 thread)        {tier1_leg_s:7.2}s -> {tier2_leg_s:7.2}s ({tier2_speedup:.1}x, {tier2_total} trials, {tier2_fused} fused pairs, {tier2_removed} peephole removals)"
+    );
+
     // --- Report. ----------------------------------------------------------
     let json = format!(
-        "{{\n  \"threads\": {threads},\n  \"sweep\": {{\n    \"serial_seed_s\": {serial_s:.3},\n    \"parallel_memoized_s\": {sweep_s:.3},\n    \"speedup\": {sweep_speedup:.2},\n    \"timing_cells_walked\": {},\n    \"distinct_cells_cached\": {}\n  }},\n  \"gate_campaign\": {{\n    \"unit\": \"FxpMad32\",\n    \"inputs\": {},\n    \"seed_loop_s\": {campaign_serial_s:.3},\n    \"pool_s\": {campaign_parallel_s:.3},\n    \"speedup\": {campaign_speedup:.2}\n  }},\n  \"arch_campaign\": {{\n    \"cells\": {},\n    \"trials\": {arch_total},\n    \"reference_s\": {arch_reference_s:.3},\n    \"fast_forward_s\": {arch_fast_s:.3},\n    \"speedup\": {arch_speedup:.2},\n    \"snapshots\": {arch_snapshots},\n    \"early_exit_rate\": {arch_early_rate:.3}\n  }}\n}}\n",
+        "{{\n  \"threads\": {threads},\n  \"sweep\": {{\n    \"serial_seed_s\": {serial_s:.3},\n    \"parallel_memoized_s\": {sweep_s:.3},\n    \"speedup\": {sweep_speedup:.2},\n    \"timing_cells_walked\": {},\n    \"distinct_cells_cached\": {}\n  }},\n  \"gate_campaign\": {{\n    \"unit\": \"FxpMad32\",\n    \"inputs\": {},\n    \"seed_loop_s\": {campaign_serial_s:.3},\n    \"pool_s\": {campaign_parallel_s:.3},\n    \"speedup\": {campaign_speedup:.2}\n  }},\n  \"arch_campaign\": {{\n    \"cells\": {},\n    \"trials\": {arch_total},\n    \"reference_s\": {arch_reference_s:.3},\n    \"fast_forward_s\": {arch_fast_s:.3},\n    \"speedup\": {arch_speedup:.2},\n    \"snapshots\": {arch_snapshots},\n    \"early_exit_rate\": {arch_early_rate:.3}\n  }},\n  \"tier2\": {{\n    \"cells\": {},\n    \"trials\": {tier2_total},\n    \"tier1_s\": {tier1_leg_s:.3},\n    \"tier2_s\": {tier2_leg_s:.3},\n    \"speedup\": {tier2_speedup:.2},\n    \"fused_pairs\": {tier2_fused},\n    \"peephole_removed\": {tier2_removed}\n  }}\n}}\n",
         timing_cells.len(),
         engine.cached_cells(),
         inputs.len(),
         arch_cells.len(),
+        tier2_cells.len(),
     );
     std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
     println!("\nwrote BENCH_sweep.json");

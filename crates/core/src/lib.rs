@@ -41,11 +41,13 @@
 #![warn(missing_docs)]
 
 mod interthread;
+pub mod peephole;
 pub mod report;
 mod scheme;
 mod swapecc;
 mod swdup;
 
+pub use peephole::{peephole, PeepholeStats};
 pub use report::{report, TransformReport};
 pub use scheme::{PredictorSet, Scheme, TransformError, Transformed};
 

@@ -1,0 +1,552 @@
+//! A peephole cleanup pass over transformed kernels.
+//!
+//! The protection passes ([`crate::Scheme`]) are deliberately local: they
+//! shadow instructions, rename collision-prone sources through scratch
+//! moves, and guard checking code without looking at what the surrounding
+//! program already does. That locality leaves recognisable slack —
+//! `PT`-guarded instructions that always (or never) execute, stores that are
+//! fully overwritten before any read, and exactly repeated instructions —
+//! which this pass removes before the kernel is predecoded and (on tier 2)
+//! closure-compiled. The pass runs to a fixpoint and is applied identically
+//! to every execution engine of a campaign, so golden runs, fast-forward
+//! trials and the reference executor always agree on the instruction
+//! stream.
+//!
+//! Four rewrites, all semantics-preserving for fault-free execution and
+//! conservative enough to keep `swapcodes-verify` static cleanliness:
+//!
+//! 1. **Guard normalisation** — `@PT x` becomes unguarded `x`; the guard can
+//!    never be false.
+//! 2. **Never-executing removal** — `@!PT x` is dropped (except for `BAR`,
+//!    which synchronises the CTA even when no lane executes it, and except
+//!    for instructions whose destinations are read elsewhere: the static
+//!    verifier's shadow dataflow counts even never-executing defs toward
+//!    duplication coverage, so removing a read def would orphan its
+//!    readers).
+//! 3. **Dead-store elimination** — a pure register write whose destinations
+//!    are all fully overwritten by a later unguarded write in the same
+//!    straight-line block, with no intervening read, branch target or
+//!    control op, is dropped. Original/shadow write pairs die together in
+//!    one sweep (the shadow's check-bit store is killed by the same
+//!    overwrite), so protection pairing is never left half-removed.
+//! 4. **Adjacent-duplicate removal** — the second of two byte-identical
+//!    neighbouring instructions is dropped when re-executing it is
+//!    idempotent: pure register writes (including `SETP`) whose
+//!    destinations are disjoint from their sources, or an identical guarded
+//!    branch. Exact equality includes the role and shadow flags, so an
+//!    original and its shadow are never considered duplicates.
+//!
+//! Removing instructions renumbers branch targets; the pass remaps every
+//! `BRA` through the surviving-index table (a branch to a removed
+//! instruction lands on the next surviving one, which is exactly where
+//! fall-through execution would have ended up).
+
+use swapcodes_isa::{Instr, Kernel, Op, Reg, PT};
+
+/// What the pass changed, per rule, accumulated over all fixpoint
+/// iterations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeepholeStats {
+    /// `@PT` guards rewritten to unguarded.
+    pub guards_normalized: usize,
+    /// `@!PT` never-executing instructions removed.
+    pub never_removed: usize,
+    /// Dead stores removed.
+    pub dead_stores: usize,
+    /// Adjacent exact duplicates removed.
+    pub adjacent_dups_removed: usize,
+    /// Fixpoint iterations run (each applies every rule once).
+    pub iterations: usize,
+}
+
+impl PeepholeStats {
+    /// Total instructions removed by all rules.
+    #[must_use]
+    pub fn removed(&self) -> usize {
+        self.never_removed + self.dead_stores + self.adjacent_dups_removed
+    }
+
+    /// Whether the pass changed the kernel at all.
+    #[must_use]
+    pub fn changed(&self) -> bool {
+        self.removed() > 0 || self.guards_normalized > 0
+    }
+}
+
+/// Run the peephole pass to a fixpoint (bounded at 8 iterations; each rule
+/// only shrinks or simplifies, so real kernels converge in 1–2).
+#[must_use]
+pub fn peephole(kernel: &Kernel) -> (Kernel, PeepholeStats) {
+    let mut instrs: Vec<Instr> = kernel.instrs().to_vec();
+    let mut stats = PeepholeStats::default();
+    for _ in 0..8 {
+        stats.iterations += 1;
+        let mut changed = false;
+        changed |= normalize_guards(&mut instrs, &mut stats);
+        changed |= remove_never(&mut instrs, &mut stats);
+        changed |= eliminate_dead_stores(&mut instrs, &mut stats);
+        changed |= remove_adjacent_dups(&mut instrs, &mut stats);
+        if !changed {
+            break;
+        }
+    }
+    (Kernel::from_instrs(kernel.name(), instrs), stats)
+}
+
+/// `@PT x` → `x` (rule 1).
+fn normalize_guards(instrs: &mut [Instr], stats: &mut PeepholeStats) -> bool {
+    let mut changed = false;
+    for i in instrs.iter_mut() {
+        if i.guard == Some((PT, true)) {
+            i.guard = None;
+            stats.guards_normalized += 1;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Drop `@!PT x` (rule 2), keeping `BAR` (it synchronises regardless of
+/// the guard) and any instruction whose destinations — registers or
+/// predicates — are read by another instruction. The static verifier's
+/// shadow dataflow treats even a never-executing def as establishing
+/// duplication for later reads (and checks compare the defs of duplicated
+/// pairs), so removing a read def would orphan its readers and break
+/// cleanliness; removals whose only readers are themselves `@!PT` cascade
+/// over the outer fixpoint iterations. Branch targets are remapped over
+/// the removals.
+fn remove_never(instrs: &mut Vec<Instr>, stats: &mut PeepholeStats) -> bool {
+    let remove: Vec<bool> = (0..instrs.len())
+        .map(|i| {
+            let ins = &instrs[i];
+            if ins.guard != Some((PT, false)) || matches!(ins.op, Op::Bar) {
+                return false;
+            }
+            let ds = ins.op.defs();
+            let pd = ins.op.pred_def();
+            !instrs.iter().enumerate().any(|(j, other)| {
+                j != i
+                    && (reads_any(&other.op, &ds)
+                        || pd.is_some_and(|p| {
+                            other.guard.map(|(g, _)| g) == Some(p) || other.op.pred_use() == Some(p)
+                        }))
+            })
+        })
+        .collect();
+    apply_removals(instrs, &remove, &mut stats.never_removed)
+}
+
+/// Rule 3: block-local dead-store elimination.
+fn eliminate_dead_stores(instrs: &mut Vec<Instr>, stats: &mut PeepholeStats) -> bool {
+    let leaders = branch_targets(instrs);
+    let remove: Vec<bool> = (0..instrs.len())
+        .map(|i| is_dead_store(instrs, &leaders, i))
+        .collect();
+    apply_removals(instrs, &remove, &mut stats.dead_stores)
+}
+
+/// Rule 4: drop the second of two identical adjacent idempotent
+/// instructions.
+fn remove_adjacent_dups(instrs: &mut Vec<Instr>, stats: &mut PeepholeStats) -> bool {
+    let leaders = branch_targets(instrs);
+    let mut remove = vec![false; instrs.len()];
+    let mut i = 0;
+    while i + 1 < instrs.len() {
+        if instrs[i] == instrs[i + 1] && !leaders[i + 1] && idempotent_dup(&instrs[i]) {
+            remove[i + 1] = true;
+            i += 2; // the pair is resolved; a third copy pairs with the first
+        } else {
+            i += 1;
+        }
+    }
+    apply_removals(instrs, &remove, &mut stats.adjacent_dups_removed)
+}
+
+/// Whether instruction `i` writes only registers that are fully overwritten
+/// by a later unguarded full write in the same straight-line block, with no
+/// intervening read.
+fn is_dead_store(instrs: &[Instr], leaders: &[bool], i: usize) -> bool {
+    let cand = &instrs[i];
+    if !pure_reg_write(&cand.op) {
+        return false;
+    }
+    let ds = cand.op.defs();
+    if ds.is_empty() {
+        return false;
+    }
+    for (j, next) in instrs.iter().enumerate().skip(i + 1) {
+        // Entering the block mid-way or leaving it ends the analysis.
+        if leaders[j] || is_control(&next.op) {
+            return false;
+        }
+        if reads_any(&next.op, &ds) {
+            return false;
+        }
+        // An unguarded non-shadow write replaces a register's stored word
+        // (data and check bits) entirely.
+        if next.guard.is_none() && !next.ecc_only {
+            let kd = next.op.defs();
+            if ds.iter().all(|d| kd.contains(d)) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Ops whose only architectural effect is writing general-purpose
+/// registers: no memory traffic, no control flow, no predicate writes, no
+/// cross-lane reads. These are the dead-store candidates.
+fn pure_reg_write(op: &Op) -> bool {
+    !matches!(
+        op,
+        Op::SetP { .. }
+            | Op::Ld { .. }
+            | Op::St { .. }
+            | Op::AtomAdd { .. }
+            | Op::Shfl { .. }
+            | Op::Bar
+            | Op::Bra { .. }
+            | Op::Exit
+            | Op::Trap
+            | Op::Nop
+    )
+}
+
+/// Whether re-executing an instruction immediately after itself is a
+/// no-op: its reads are unaffected by its own writes.
+fn idempotent_dup(instr: &Instr) -> bool {
+    // A guard read by the instruction itself is fine (guards are re-read),
+    // but a `SETP` must not write the predicate its own guard tests.
+    if let (Some(p), Some((g, _))) = (instr.op.pred_def(), instr.guard) {
+        if p == g {
+            return false;
+        }
+    }
+    let register_like = pure_reg_write(&instr.op) || matches!(instr.op, Op::SetP { .. });
+    let dup_bra = matches!(instr.op, Op::Bra { .. });
+    if !register_like && !dup_bra {
+        return false;
+    }
+    let ds = instr.op.defs();
+    !instr.op.uses().iter().any(|u| ds.contains(u))
+}
+
+fn is_control(op: &Op) -> bool {
+    matches!(op, Op::Bra { .. } | Op::Exit | Op::Trap | Op::Bar)
+}
+
+fn reads_any(op: &Op, regs: &[Reg]) -> bool {
+    op.uses().iter().any(|u| regs.contains(u))
+}
+
+/// Mark every instruction index some branch jumps to.
+fn branch_targets(instrs: &[Instr]) -> Vec<bool> {
+    let mut t = vec![false; instrs.len()];
+    for i in instrs {
+        if let Op::Bra { target } = i.op {
+            if target < t.len() {
+                t[target] = true;
+            }
+        }
+    }
+    t
+}
+
+/// Remove the marked instructions, remapping every branch target to the
+/// next surviving instruction. Returns whether anything was removed and
+/// bumps `counter` by the removal count.
+fn apply_removals(instrs: &mut Vec<Instr>, remove: &[bool], counter: &mut usize) -> bool {
+    let n_removed = remove.iter().filter(|&&r| r).count();
+    if n_removed == 0 {
+        return false;
+    }
+    // remap[old] = new index of the first surviving instruction at or after
+    // `old` (old == len maps to the new end).
+    let mut remap = vec![0usize; instrs.len() + 1];
+    let mut new_idx = 0;
+    for (old, &r) in remove.iter().enumerate() {
+        remap[old] = new_idx;
+        if !r {
+            new_idx += 1;
+        }
+    }
+    remap[instrs.len()] = new_idx;
+    let mut out = Vec::with_capacity(new_idx);
+    for (old, mut instr) in instrs.drain(..).enumerate() {
+        if remove[old] {
+            continue;
+        }
+        if let Op::Bra { target } = &mut instr.op {
+            *target = remap[(*target).min(remove.len())];
+        }
+        out.push(instr);
+    }
+    *instrs = out;
+    *counter += n_removed;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcodes_isa::{KernelBuilder, Pred, Src};
+
+    fn k(instrs: Vec<Instr>) -> Kernel {
+        Kernel::from_instrs("peep", instrs)
+    }
+
+    #[test]
+    fn pt_guards_normalize_and_never_drops() {
+        let kernel = k(vec![
+            Instr::guarded(
+                Op::Mov {
+                    d: Reg(0),
+                    a: Src::Imm(1),
+                },
+                PT,
+                true,
+            ),
+            Instr::guarded(
+                Op::Mov {
+                    d: Reg(1),
+                    a: Src::Imm(2),
+                },
+                PT,
+                false,
+            ),
+            Instr::guarded(Op::Bar, PT, false),
+            Instr::new(Op::Exit),
+        ]);
+        let (out, stats) = peephole(&kernel);
+        assert_eq!(stats.guards_normalized, 1);
+        assert_eq!(stats.never_removed, 1);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.instrs()[0].guard, None);
+        assert!(matches!(out.instrs()[1].op, Op::Bar), "@!PT BAR survives");
+    }
+
+    #[test]
+    fn never_removal_spares_check_read_defs() {
+        // A never-executing original+shadow pair whose destination feeds a
+        // SW-Dup check: removing it would orphan the check (and drop the
+        // verifier's duplicated-def coverage), so it must survive.
+        let orig = Instr::guarded(
+            Op::IAdd {
+                d: Reg(0),
+                a: Reg(1),
+                b: Src::Imm(3),
+            },
+            PT,
+            false,
+        );
+        let shadow = Instr {
+            op: Op::IAdd {
+                d: Reg(4),
+                a: Reg(5),
+                b: Src::Imm(3),
+            },
+            ..orig.with_role(swapcodes_isa::Role::Shadow)
+        };
+        let check = Instr::new(Op::SetP {
+            p: Pred(0),
+            cmp: swapcodes_isa::CmpOp::Ne,
+            ty: swapcodes_isa::CmpTy::I32,
+            a: Reg(0),
+            b: Src::Reg(Reg(4)),
+        })
+        .with_role(swapcodes_isa::Role::Check);
+        // An unchecked never-executing write is still removed.
+        let unchecked = Instr::guarded(
+            Op::Mov {
+                d: Reg(9),
+                a: Src::Imm(7),
+            },
+            PT,
+            false,
+        );
+        let kernel = k(vec![orig, shadow, unchecked, check, Instr::new(Op::Exit)]);
+        let (out, stats) = peephole(&kernel);
+        assert_eq!(stats.never_removed, 1, "only the unchecked write goes");
+        assert_eq!(out.len(), 4);
+        assert!(matches!(out.instrs()[0].op, Op::IAdd { .. }));
+        assert!(matches!(out.instrs()[1].op, Op::IAdd { .. }));
+    }
+
+    #[test]
+    fn dead_store_dies_with_its_shadow() {
+        // Original+shadow write R0, fully overwritten before any read:
+        // both must go in the same fixpoint (never one without the other).
+        let dead = Instr::new(Op::IAdd {
+            d: Reg(0),
+            a: Reg(1),
+            b: Src::Imm(3),
+        });
+        let dead_shadow = dead.with_role(swapcodes_isa::Role::Shadow).with_ecc_only();
+        let killer = Instr::new(Op::Mov {
+            d: Reg(0),
+            a: Src::Imm(9),
+        });
+        let kernel = k(vec![
+            dead,
+            dead_shadow,
+            killer,
+            Instr::new(Op::St {
+                space: swapcodes_isa::MemSpace::Global,
+                addr: Reg(2),
+                offset: 0,
+                v: Reg(0),
+                width: swapcodes_isa::MemWidth::W32,
+            }),
+            Instr::new(Op::Exit),
+        ]);
+        let (out, stats) = peephole(&kernel);
+        assert_eq!(stats.dead_stores, 2);
+        assert_eq!(out.len(), 3);
+        assert!(matches!(out.instrs()[0].op, Op::Mov { .. }));
+    }
+
+    #[test]
+    fn reads_and_block_boundaries_block_dse() {
+        // R0 is read before the overwrite: not dead.
+        let kernel = k(vec![
+            Instr::new(Op::IAdd {
+                d: Reg(0),
+                a: Reg(1),
+                b: Src::Imm(3),
+            }),
+            Instr::new(Op::IAdd {
+                d: Reg(2),
+                a: Reg(0),
+                b: Src::Imm(1),
+            }),
+            Instr::new(Op::Mov {
+                d: Reg(0),
+                a: Src::Imm(9),
+            }),
+            Instr::new(Op::Exit),
+        ]);
+        let (out, stats) = peephole(&kernel);
+        assert_eq!(stats.dead_stores, 0);
+        assert_eq!(out.len(), kernel.len());
+
+        // A branch target between store and overwrite blocks the analysis.
+        let mut b = KernelBuilder::new("loop");
+        b.push(Op::Mov {
+            d: Reg(0),
+            a: Src::Imm(1),
+        });
+        let top = b.label();
+        b.bind(top);
+        b.push(Op::Mov {
+            d: Reg(0),
+            a: Src::Imm(2),
+        });
+        b.push(Op::SetP {
+            p: Pred(0),
+            cmp: swapcodes_isa::CmpOp::Ne,
+            ty: swapcodes_isa::CmpTy::I32,
+            a: Reg(0),
+            b: Src::Imm(0),
+        });
+        b.branch_if(top, Pred(0), true);
+        b.push(Op::Exit);
+        let (out, stats) = peephole(&b.finish());
+        assert_eq!(stats.dead_stores, 0);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn adjacent_dups_collapse_and_targets_remap() {
+        let mut b = KernelBuilder::new("dup");
+        b.push(Op::S2R {
+            d: Reg(0),
+            sr: swapcodes_isa::SpecialReg::TidX,
+        });
+        b.push(Op::S2R {
+            d: Reg(0),
+            sr: swapcodes_isa::SpecialReg::TidX,
+        });
+        let end = b.label();
+        b.branch_to(end);
+        b.push(Op::Trap);
+        b.bind(end);
+        b.push(Op::St {
+            space: swapcodes_isa::MemSpace::Global,
+            addr: Reg(1),
+            offset: 0,
+            v: Reg(0),
+            width: swapcodes_isa::MemWidth::W32,
+        });
+        b.push(Op::Exit);
+        let (out, stats) = peephole(&b.finish());
+        // The first S2R is a dead store (killed by the identical second);
+        // either way exactly one copy survives and targets remap.
+        assert_eq!(stats.removed(), 1);
+        let Op::Bra { target } = out.instrs()[1].op else {
+            panic!("expected BRA at 1");
+        };
+        assert_eq!(target, 3);
+        assert!(matches!(out.instrs()[target].op, Op::St { .. }));
+    }
+
+    #[test]
+    fn accumulator_dup_is_not_removed() {
+        // IADD R0, R0, 1 twice is NOT idempotent.
+        let add = Instr::new(Op::IAdd {
+            d: Reg(0),
+            a: Reg(0),
+            b: Src::Imm(1),
+        });
+        let kernel = k(vec![add, add, Instr::new(Op::Exit)]);
+        let (out, stats) = peephole(&kernel);
+        assert_eq!(stats.adjacent_dups_removed, 0);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn setp_dup_collapses_but_self_guarded_does_not() {
+        let setp = Instr::new(Op::SetP {
+            p: Pred(1),
+            cmp: swapcodes_isa::CmpOp::Lt,
+            ty: swapcodes_isa::CmpTy::I32,
+            a: Reg(0),
+            b: Src::Imm(8),
+        });
+        let kernel = k(vec![setp, setp, Instr::new(Op::Exit)]);
+        let (_, stats) = peephole(&kernel);
+        assert_eq!(stats.adjacent_dups_removed, 1);
+
+        let self_guarded = Instr {
+            guard: Some((Pred(1), true)),
+            ..setp
+        };
+        let kernel = k(vec![self_guarded, self_guarded, Instr::new(Op::Exit)]);
+        let (_, stats) = peephole(&kernel);
+        assert_eq!(stats.adjacent_dups_removed, 0);
+    }
+
+    #[test]
+    fn fixpoint_is_idempotent() {
+        let kernel = k(vec![
+            Instr::guarded(
+                Op::Mov {
+                    d: Reg(0),
+                    a: Src::Imm(1),
+                },
+                PT,
+                true,
+            ),
+            Instr::new(Op::Mov {
+                d: Reg(0),
+                a: Src::Imm(1),
+            }),
+            Instr::new(Op::Exit),
+        ]);
+        let (once, s1) = peephole(&kernel);
+        assert!(s1.changed());
+        let (twice, s2) = peephole(&once);
+        assert!(!s2.changed(), "second run must be identity: {s2:?}");
+        assert_eq!(once.instrs(), twice.instrs());
+    }
+}

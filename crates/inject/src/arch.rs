@@ -12,13 +12,14 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use swapcodes_core::Scheme;
+use swapcodes_core::{PeepholeStats, Scheme};
 use swapcodes_sim::exec::{Detection, ExecConfig, ExecError, Executor};
 use swapcodes_sim::recovery::{
     RecoveryConfig, RecoveryEngine, RecoveryOutcome, RecoveryPolicy, RecoveryStats,
 };
 use swapcodes_sim::regfile::Protection;
 use swapcodes_sim::snapshot::CampaignEngine;
+use swapcodes_sim::tier2::ExecTier;
 use swapcodes_sim::{FaultSpec, FaultTarget, Launch};
 use swapcodes_workloads::Workload;
 
@@ -178,6 +179,75 @@ impl std::fmt::Display for PrepError {
 
 impl std::error::Error for PrepError {}
 
+/// Engine selection for a prepared campaign: which execution tier the
+/// golden capture and every trial run on, and whether the
+/// [`mod@swapcodes_core::peephole`] cleanup pass runs over the transformed
+/// kernel first. The default — tier 2 over a peepholed kernel — is the
+/// fast path; [`CampaignOptions::from_env`] lets `SWAPCODES_EXEC_TIER`
+/// drop back to the tier-1 interpreter for differential debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignOptions {
+    /// Execution tier trials (and the golden capture) run on.
+    pub tier: ExecTier,
+    /// Run the peephole pass over the transformed kernel before the golden
+    /// run, so the classic reference executor, the tier-1 fast-forward
+    /// path and the tier-2 compiled path all execute the same cleaned
+    /// kernel (tallies stay byte-identical across engines).
+    pub peephole: bool,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        Self {
+            tier: ExecTier::Tier2,
+            peephole: true,
+        }
+    }
+}
+
+impl CampaignOptions {
+    /// The defaults, with `SWAPCODES_EXEC_TIER` (when set and well-formed)
+    /// overriding the tier. A malformed value is surfaced once as an
+    /// anomaly (see [`crate::harness::take_env_anomalies`]) and ignored.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut opts = Self::default();
+        if let Some(tier) = crate::harness::exec_tier_from_env() {
+            opts.tier = tier;
+        }
+        opts
+    }
+
+    /// The engine tag stamped into campaign checkpoints. A checkpoint
+    /// written under a different engine is rejected as stale on resume
+    /// (restart from trial 0) instead of silently mixing tallies produced
+    /// by different executors — see `ArchCheckpoint::StaleEngine` in
+    /// [`crate::harness`].
+    #[must_use]
+    pub fn engine_tag(self) -> &'static str {
+        match (self.tier, self.peephole) {
+            (ExecTier::Tier1, false) => "ff1",
+            (ExecTier::Tier1, true) => "ff1p",
+            (ExecTier::Tier2, false) => "ff2",
+            (ExecTier::Tier2, true) => "ff2p",
+        }
+    }
+
+    /// The engine tag for recovery-campaign checkpoints. Recovery trials
+    /// always run on the classic executor (the tier is irrelevant to
+    /// them), but the peephole pass renumbers eligible ops and so changes
+    /// the per-trial fault draws — tallies over peepholed and unpeepholed
+    /// kernels must never be mixed on resume.
+    #[must_use]
+    pub fn recovery_engine_tag(self) -> &'static str {
+        if self.peephole {
+            "classicp"
+        } else {
+            "classic"
+        }
+    }
+}
+
 /// A prepared architecture-level campaign: the transformed kernel, its
 /// golden output, the per-trial fault sampler, and the fast-forward engine
 /// (predecoded kernel + golden epoch-snapshot ladder). Trials are
@@ -200,6 +270,8 @@ pub struct ArchCampaign<'w> {
     eligible: u64,
     seed: u64,
     engine: CampaignEngine,
+    options: CampaignOptions,
+    peephole: PeepholeStats,
     /// Hard per-trial step budget. Defaults to a margin over the golden
     /// run's dynamic instruction count (`SWAPCODES_FUEL` overrides).
     pub fuel: u64,
@@ -221,7 +293,8 @@ pub struct TrialTelemetry {
 
 impl<'w> ArchCampaign<'w> {
     /// Transform the workload under `scheme` and run the fault-free golden
-    /// execution.
+    /// execution, under [`CampaignOptions::from_env`] (tier 2 over a
+    /// peepholed kernel unless `SWAPCODES_EXEC_TIER` says otherwise).
     ///
     /// # Errors
     ///
@@ -230,8 +303,31 @@ impl<'w> ArchCampaign<'w> {
     /// the fault-free run itself fails — a workload bug surfaced
     /// structurally instead of panicking the campaign host.
     pub fn prepare(workload: &'w Workload, scheme: Scheme, seed: u64) -> Result<Self, PrepError> {
+        Self::prepare_with(workload, scheme, seed, CampaignOptions::from_env())
+    }
+
+    /// [`Self::prepare`] with explicit engine options. When
+    /// `options.peephole` is set the pass runs over the transformed kernel
+    /// *before* the reference golden run and the engine capture, so every
+    /// execution path — the classic reference executor, tier-1
+    /// fast-forward, tier-2 compiled — sees the identical cleaned kernel.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::prepare`].
+    pub fn prepare_with(
+        workload: &'w Workload,
+        scheme: Scheme,
+        seed: u64,
+        options: CampaignOptions,
+    ) -> Result<Self, PrepError> {
         let t = swapcodes_core::apply(scheme, &workload.kernel, workload.launch)
             .map_err(|_| PrepError::NotApplicable)?;
+        let (kernel, peep) = if options.peephole {
+            swapcodes_core::peephole(&t.kernel)
+        } else {
+            (t.kernel, PeepholeStats::default())
+        };
         let mut golden_mem = workload.build_memory();
         let exec = Executor {
             config: ExecConfig {
@@ -241,7 +337,7 @@ impl<'w> ArchCampaign<'w> {
             },
         };
         let gout = exec
-            .run(&t.kernel, t.launch, &mut golden_mem)
+            .run(&kernel, t.launch, &mut golden_mem)
             .map_err(PrepError::Golden)?;
         if gout.detection != Detection::None {
             return Err(PrepError::GoldenDetected);
@@ -258,12 +354,16 @@ impl<'w> ArchCampaign<'w> {
         // `SWAPCODES_SNAPSHOT_INTERVAL` overrides the spacing.
         let interval = crate::harness::snapshot_interval_from_env()
             .unwrap_or_else(|| (gout.dynamic_instructions / 32).max(512));
-        let (engine, cap) = CampaignEngine::capture(
-            &t.kernel,
+        let (engine, cap) = CampaignEngine::capture_config(
+            &kernel,
             t.launch,
             t.protection,
             &workload.build_memory(),
             interval,
+            &ExecConfig {
+                tier: options.tier,
+                ..ExecConfig::default()
+            },
         )
         .map_err(PrepError::Golden)?;
         // The capture run must agree with the reference golden run it
@@ -279,15 +379,50 @@ impl<'w> ArchCampaign<'w> {
         );
         Ok(Self {
             workload,
-            kernel: t.kernel,
+            kernel,
             launch: t.launch,
             protection: t.protection,
             golden,
             eligible,
             seed,
             engine,
+            options,
+            peephole: peep,
             fuel,
         })
+    }
+
+    /// Engine options the campaign was prepared with.
+    #[must_use]
+    pub fn options(&self) -> CampaignOptions {
+        self.options
+    }
+
+    /// The checkpoint engine tag (see [`CampaignOptions::engine_tag`]).
+    #[must_use]
+    pub fn engine_tag(&self) -> &'static str {
+        self.options.engine_tag()
+    }
+
+    /// The recovery-campaign checkpoint engine tag (see
+    /// [`CampaignOptions::recovery_engine_tag`]).
+    #[must_use]
+    pub fn recovery_engine_tag(&self) -> &'static str {
+        self.options.recovery_engine_tag()
+    }
+
+    /// Peephole statistics over the transformed kernel (all zero when the
+    /// pass was disabled).
+    #[must_use]
+    pub fn peephole_stats(&self) -> PeepholeStats {
+        self.peephole
+    }
+
+    /// Adjacent micro-op pairs the tier-2 compiler fused into
+    /// superinstruction closures (0 on tier 1).
+    #[must_use]
+    pub fn fused_pairs(&self) -> usize {
+        self.engine.fused_pairs()
     }
 
     /// Number of epoch snapshots captured for fast-forwarding.

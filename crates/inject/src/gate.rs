@@ -13,17 +13,15 @@ use swapcodes_gates::{BatchResult, EvalScratch};
 use crate::stats::Proportion;
 
 /// Worker-pool width used by the parallel drivers in this workspace: the
-/// `SWAPCODES_THREADS` environment override when set, otherwise the
-/// machine's available parallelism.
+/// `SWAPCODES_THREADS` environment override when set and well-formed
+/// (malformed values are surfaced once, see
+/// [`crate::harness::take_env_anomalies`]), otherwise the machine's
+/// available parallelism.
 #[must_use]
 pub fn default_thread_count() -> usize {
-    std::env::var("SWAPCODES_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
-        })
+    crate::harness::threads_from_env().unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+    })
 }
 
 /// Campaign parameters.

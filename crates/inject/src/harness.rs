@@ -27,6 +27,7 @@ use std::fs;
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
 
 use swapcodes_core::Scheme;
 use swapcodes_gates::units::ArithUnit;
@@ -38,26 +39,116 @@ use crate::arch::{ArchCampaign, ArchOutcomes, PrepError, TrialOutcome};
 use crate::gate::{run_unit_campaign_slice, CampaignConfig, InputOutcome, UnitCampaignResult};
 use crate::recovery::RecoveryCampaignConfig;
 
+/// Once-per-variable registry of malformed environment overrides. The
+/// first time a variable fails to parse the error is printed to stderr and
+/// queued for [`take_env_anomalies`]; later reads of the same variable
+/// stay quiet (campaign drivers re-read the overrides for every prepared
+/// campaign, and one typo should not spam the log once per cell).
+#[derive(Default)]
+struct EnvAnomalies {
+    surfaced: Vec<&'static str>,
+    pending: Vec<String>,
+}
+
+fn env_anomaly_registry() -> &'static Mutex<EnvAnomalies> {
+    static REG: OnceLock<Mutex<EnvAnomalies>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(EnvAnomalies::default()))
+}
+
+fn surface_env_anomaly(var: &'static str, msg: String) {
+    let mut reg = env_anomaly_registry()
+        .lock()
+        .expect("env anomaly registry poisoned");
+    if reg.surfaced.contains(&var) {
+        return;
+    }
+    reg.surfaced.push(var);
+    eprintln!("swapcodes: {msg}");
+    reg.pending.push(msg);
+}
+
+/// Drain the malformed-environment messages queued since the last call.
+/// The checkpointed campaign drivers call this once per campaign and
+/// append the messages to the [`AnomalyLog`], so a typo'd override is
+/// visible in the campaign's on-disk record instead of only on a
+/// scrolled-away stderr.
+#[must_use]
+pub fn take_env_anomalies() -> Vec<String> {
+    std::mem::take(
+        &mut env_anomaly_registry()
+            .lock()
+            .expect("env anomaly registry poisoned")
+            .pending,
+    )
+}
+
+/// Read and parse environment variable `var`. A malformed value returns
+/// `None` like an unset one — the campaign still runs on its defaults —
+/// but the parse error is surfaced through [`surface_env_anomaly`] rather
+/// than silently swallowed.
+fn env_parsed<T>(var: &'static str, parse: impl Fn(&str) -> Result<T, String>) -> Option<T> {
+    let raw = match std::env::var(var) {
+        Ok(raw) => raw,
+        Err(std::env::VarError::NotPresent) => return None,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            surface_env_anomaly(var, format!("ignoring {var}: value is not valid unicode"));
+            return None;
+        }
+    };
+    match parse(&raw) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            surface_env_anomaly(var, format!("ignoring malformed {var}={raw:?}: {e}"));
+            None
+        }
+    }
+}
+
+fn parse_positive(v: &str) -> Result<u64, String> {
+    let n: u64 = v.trim().parse().map_err(|e| format!("{e}"))?;
+    if n == 0 {
+        Err("must be positive".to_owned())
+    } else {
+        Ok(n)
+    }
+}
+
 /// The `SWAPCODES_FUEL` override: a hard per-trial step budget for fueled
-/// execution (see [`crate::arch::ArchCampaign::fuel`]).
+/// execution (see [`crate::arch::ArchCampaign::fuel`]). Malformed values
+/// are surfaced once (see [`take_env_anomalies`]) and ignored.
 #[must_use]
 pub fn fuel_from_env() -> Option<u64> {
-    std::env::var("SWAPCODES_FUEL")
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .filter(|&f| f > 0)
+    env_parsed("SWAPCODES_FUEL", parse_positive)
 }
 
 /// The `SWAPCODES_SNAPSHOT_INTERVAL` override: epoch-snapshot spacing (in
 /// dynamic instructions) for campaign fast-forwarding (see
 /// [`crate::arch::ArchCampaign::snapshot_interval`]). Unset: about 32
 /// snapshots across the golden run, with a 512-instruction floor.
+/// Malformed values are surfaced once and ignored.
 #[must_use]
 pub fn snapshot_interval_from_env() -> Option<u64> {
-    std::env::var("SWAPCODES_SNAPSHOT_INTERVAL")
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .filter(|&i| i > 0)
+    env_parsed("SWAPCODES_SNAPSHOT_INTERVAL", parse_positive)
+}
+
+/// The `SWAPCODES_EXEC_TIER` override: the execution tier
+/// [`crate::arch::CampaignOptions::from_env`] selects (`"tier1"` keeps the
+/// micro-op interpreter, `"tier2"` the compiled threaded-code buffer).
+/// Malformed values are surfaced once and ignored.
+#[must_use]
+pub fn exec_tier_from_env() -> Option<swapcodes_sim::ExecTier> {
+    env_parsed("SWAPCODES_EXEC_TIER", swapcodes_sim::ExecTier::parse)
+}
+
+/// The `SWAPCODES_THREADS` worker-pool override (see
+/// [`crate::gate::default_thread_count`]). Malformed values are surfaced
+/// once and ignored.
+#[must_use]
+pub fn threads_from_env() -> Option<usize> {
+    env_parsed("SWAPCODES_THREADS", |v| {
+        let n = parse_positive(v)?;
+        usize::try_from(n).map_err(|e| format!("{e}"))
+    })
 }
 
 /// The `SWAPCODES_CHECKPOINT_DIR` campaign state directory, if set.
@@ -68,17 +159,22 @@ pub fn checkpoint_dir_from_env() -> Option<PathBuf> {
         .map(PathBuf::from)
 }
 
-/// Engine tag stamped into plain arch-campaign checkpoints: the
-/// fast-forward engine (snapshot resume + convergence pruning). Trials are
-/// outcome-identical to the classic engine, but a checkpoint written before
-/// the tag existed cannot prove it was produced by compatible trial
-/// semantics, so untagged (or differently tagged) checkpoints are rejected
-/// with a logged anomaly instead of silently resumed.
+/// Engine tag of the tier-1 fast-forward engine over the *unpeepholed*
+/// kernel (snapshot resume + convergence pruning). Plain arch-campaign
+/// checkpoints are stamped with the prepared campaign's actual tag —
+/// [`crate::arch::CampaignOptions::engine_tag`]: `"ff1"`/`"ff2"` for
+/// tier 1/tier 2, with a `p` suffix when the peephole pass ran — and a
+/// checkpoint carrying any other tag (or none, from before tagging
+/// existed) is rejected with a logged anomaly instead of silently resumed:
+/// the peephole pass changes the eligible-op numbering, so tallies from
+/// different engines must never be mixed.
 pub const ENGINE_FAST_FORWARD: &str = "ff1";
 
-/// Engine tag stamped into recovery-campaign checkpoints: recovery trials
-/// run on the classic executor (in-executor rollback needs the full warp
-/// machinery), and their checkpoints say so.
+/// Engine tag stamped into recovery-campaign checkpoints over the
+/// unpeepholed kernel: recovery trials run on the classic executor
+/// (in-executor rollback needs the full warp machinery). With the peephole
+/// pass enabled (the default) the tag is
+/// [`crate::arch::CampaignOptions::recovery_engine_tag`]'s `"classicp"`.
 pub const ENGINE_CLASSIC: &str = "classic";
 
 /// Write `contents` to `path` atomically: write and fsync a sibling
@@ -460,6 +556,7 @@ pub fn run_arch_campaign_checkpointed(
     ck: &CheckpointConfig,
 ) -> Result<CampaignRun, PrepError> {
     let campaign = ArchCampaign::prepare(workload, scheme, seed)?;
+    let engine = campaign.engine_tag();
     let scheme_label = scheme.label();
     let name = format!("arch-{}-{}", slug(workload.name), slug(&scheme_label));
     let ckpt_path = ck.dir.as_ref().map(|d| {
@@ -468,12 +565,15 @@ pub fn run_arch_campaign_checkpointed(
     });
 
     let mut log = AnomalyLog::new(ck.dir.as_deref());
+    for msg in take_env_anomalies() {
+        log.record(&name, 0, 0, &msg);
+    }
     let mut stale_engine = false;
     let (mut completed, mut tallies) = match ckpt_path.as_deref().map(|p| {
         load_arch_checkpoint(
             p,
             "plain",
-            ENGINE_FAST_FORWARD,
+            engine,
             workload.name,
             &scheme_label,
             seed,
@@ -490,7 +590,7 @@ pub fn run_arch_campaign_checkpointed(
                 0,
                 &format!(
                     "checkpoint engine \"{found}\" is incompatible with \
-                     \"{ENGINE_FAST_FORWARD}\"; restarting from trial 0"
+                     \"{engine}\"; restarting from trial 0"
                 ),
             );
             (0, ArchOutcomes::default())
@@ -504,7 +604,7 @@ pub fn run_arch_campaign_checkpointed(
                 p,
                 &arch_checkpoint_json(
                     "plain",
-                    ENGINE_FAST_FORWARD,
+                    engine,
                     workload.name,
                     &scheme_label,
                     seed,
@@ -593,6 +693,7 @@ pub fn run_recovery_campaign_checkpointed(
     ck: &CheckpointConfig,
 ) -> Result<RecoveryCampaignRun, PrepError> {
     let campaign = ArchCampaign::prepare(workload, scheme, seed)?;
+    let engine = campaign.recovery_engine_tag();
     let scheme_label = scheme.label();
     let name = format!("recover-{}-{}", slug(workload.name), slug(&scheme_label));
     let ckpt_path = ck.dir.as_ref().map(|d| {
@@ -601,12 +702,15 @@ pub fn run_recovery_campaign_checkpointed(
     });
 
     let mut log = AnomalyLog::new(ck.dir.as_deref());
+    for msg in take_env_anomalies() {
+        log.record(&name, 0, 0, &msg);
+    }
     let mut stale_engine = false;
     let (mut completed, mut tallies, mut stats) = match ckpt_path.as_deref().map(|p| {
         load_arch_checkpoint(
             p,
             "recover",
-            ENGINE_CLASSIC,
+            engine,
             workload.name,
             &scheme_label,
             seed,
@@ -623,7 +727,7 @@ pub fn run_recovery_campaign_checkpointed(
                 0,
                 &format!(
                     "checkpoint engine \"{found}\" is incompatible with \
-                     \"{ENGINE_CLASSIC}\"; restarting from trial 0"
+                     \"{engine}\"; restarting from trial 0"
                 ),
             );
             (0, ArchOutcomes::default(), RecoveryStats::default())
@@ -639,7 +743,7 @@ pub fn run_recovery_campaign_checkpointed(
                 p,
                 &arch_checkpoint_json(
                     "recover",
-                    ENGINE_CLASSIC,
+                    engine,
                     workload.name,
                     &scheme_label,
                     seed,
@@ -924,6 +1028,49 @@ pub fn run_unit_campaign_checkpointed(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn malformed_env_overrides_surface_once() {
+        // Malformed values behave like unset ones (campaigns keep their
+        // defaults), so setting them here cannot skew concurrently running
+        // tests — but the parse error must surface exactly once.
+        std::env::set_var("SWAPCODES_FUEL", "not-a-number");
+        std::env::set_var("SWAPCODES_EXEC_TIER", "tier9");
+        assert_eq!(fuel_from_env(), None);
+        assert_eq!(fuel_from_env(), None);
+        assert_eq!(exec_tier_from_env(), None);
+        std::env::remove_var("SWAPCODES_FUEL");
+        std::env::remove_var("SWAPCODES_EXEC_TIER");
+        let msgs = take_env_anomalies();
+        assert_eq!(
+            msgs.iter().filter(|m| m.contains("SWAPCODES_FUEL")).count(),
+            1,
+            "repeated reads surface one anomaly: {msgs:?}"
+        );
+        assert_eq!(
+            msgs.iter()
+                .filter(|m| m.contains("SWAPCODES_EXEC_TIER"))
+                .count(),
+            1,
+            "tier parse error is surfaced: {msgs:?}"
+        );
+        // Once surfaced (and drained), the same variable never queues again.
+        assert_eq!(fuel_from_env(), None);
+        assert!(take_env_anomalies()
+            .iter()
+            .all(|m| !m.contains("SWAPCODES_FUEL")));
+
+        // Zero is rejected as malformed (surfaced), not treated as unset.
+        std::env::set_var("SWAPCODES_SNAPSHOT_INTERVAL", "0");
+        assert_eq!(snapshot_interval_from_env(), None);
+        std::env::remove_var("SWAPCODES_SNAPSHOT_INTERVAL");
+        let msgs = take_env_anomalies();
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("SWAPCODES_SNAPSHOT_INTERVAL") && m.contains("positive")),
+            "zero must be surfaced, not silently treated as unset: {msgs:?}"
+        );
+    }
 
     #[test]
     fn contain_succeeds_after_reseeded_retry() {

@@ -33,8 +33,8 @@ pub mod stats;
 pub mod trace;
 
 pub use arch::{
-    arch_campaign, ArchCampaign, ArchOutcomes, PrepError, RecoveredTrial, TrialOutcome,
-    TrialTelemetry,
+    arch_campaign, ArchCampaign, ArchOutcomes, CampaignOptions, PrepError, RecoveredTrial,
+    TrialOutcome, TrialTelemetry,
 };
 pub use detection::{sdc_risk, DetectionTally};
 pub use gate::{
@@ -42,10 +42,11 @@ pub use gate::{
     PatternCounts, UnitCampaignResult,
 };
 pub use harness::{
-    checkpoint_dir_from_env, contain, fuel_from_env, run_arch_campaign_checkpointed,
-    run_recovery_campaign_checkpointed, run_unit_campaign_checkpointed, snapshot_interval_from_env,
-    AnomalyLog, ArchCheckpoint, CampaignRun, CheckpointConfig, RecoveryCampaignRun,
-    UnitCampaignRun, ENGINE_CLASSIC, ENGINE_FAST_FORWARD,
+    checkpoint_dir_from_env, contain, exec_tier_from_env, fuel_from_env,
+    run_arch_campaign_checkpointed, run_recovery_campaign_checkpointed,
+    run_unit_campaign_checkpointed, snapshot_interval_from_env, take_env_anomalies,
+    threads_from_env, AnomalyLog, ArchCheckpoint, CampaignRun, CheckpointConfig,
+    RecoveryCampaignRun, UnitCampaignRun, ENGINE_CLASSIC, ENGINE_FAST_FORWARD,
 };
 pub use oracle::{differential_oracle, recovery_oracle, OracleVerdict, RecoveryVerdict};
 pub use recovery::{run_recovery_campaign, RecoveryCampaignConfig, RecoveryCell};

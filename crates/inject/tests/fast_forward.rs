@@ -172,10 +172,10 @@ fn stale_engine_checkpoint_restarts_from_zero() {
         .expect("checkpoint file");
     let tagged = std::fs::read_to_string(&ckpt).expect("read checkpoint");
     assert!(
-        tagged.contains("\"engine\":\"ff1\""),
-        "checkpoint is tagged"
+        tagged.contains("\"engine\":\"ff2p\""),
+        "checkpoint carries the default engine tag (tier 2, peepholed)"
     );
-    std::fs::write(&ckpt, tagged.replace("\"engine\":\"ff1\",", "")).expect("rewrite");
+    std::fs::write(&ckpt, tagged.replace("\"engine\":\"ff2p\",", "")).expect("rewrite");
 
     // The resume must refuse the stale file and start over from trial 0.
     let second = run_arch_campaign_checkpointed(&w, Scheme::SwapEcc, trials, seed, &ck(Some(3)))

@@ -17,6 +17,7 @@ use crate::profiler::{traced_unit, OperandTrace, ProfileCounts};
 use crate::recovery::{RecoverySpec, RecoveryStats};
 use crate::regfile::{Protection, RegFileEvent, WarpRegFile};
 use crate::snapshot::{Fragment, WarpSnapshot};
+use crate::tier2::ExecTier;
 
 /// Kernel launch geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -76,6 +77,12 @@ pub struct ExecConfig {
     /// `None` (the default) leaves execution byte-for-byte identical to the
     /// unrecovered executor.
     pub recovery: Option<RecoverySpec>,
+    /// Execution tier for the fast-forward campaign engine
+    /// ([`crate::snapshot::CampaignEngine::capture_config`]): the tier-1
+    /// predecoded interpreter or the tier-2 closure-compiled threaded code
+    /// ([`crate::tier2`]). The reference executor itself always interprets
+    /// the `Op` enum and ignores this field.
+    pub tier: ExecTier,
 }
 
 impl Default for ExecConfig {
@@ -90,6 +97,7 @@ impl Default for ExecConfig {
             fuel: None,
             cta_limit: None,
             recovery: None,
+            tier: ExecTier::Tier1,
         }
     }
 }

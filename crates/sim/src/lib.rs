@@ -35,6 +35,7 @@ pub mod profiler;
 pub mod recovery;
 pub mod regfile;
 pub mod snapshot;
+pub mod tier2;
 pub mod timing;
 
 pub use exec::{ExecError, ExecOutcome, Executor, Launch, TraceEntry, WarpTrace};
@@ -48,4 +49,5 @@ pub use recovery::{
 };
 pub use regfile::{Protection, RegFileEvent};
 pub use snapshot::{CampaignEngine, EpochLadder, FastTrial, Fragment, GoldenCapture, WarpSnapshot};
+pub use tier2::{CompiledKernel, ExecTier};
 pub use timing::{simulate_kernel, KernelTiming, RecoveryCostModel, TimingConfig};

@@ -294,6 +294,14 @@ impl PredecodedKernel {
         self.ops[pc]
     }
 
+    /// Borrow the micro-op at static index `pc` without copying the 24-byte
+    /// `MicroOp` — the accessor hot loops should use.
+    #[inline]
+    #[must_use]
+    pub fn op_ref(&self, pc: usize) -> &MicroOp {
+        &self.ops[pc]
+    }
+
     /// Registers per lane (matching `Kernel::register_count().max(1)`).
     #[must_use]
     pub fn regs(&self) -> u32 {

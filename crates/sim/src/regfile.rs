@@ -82,6 +82,20 @@ impl std::fmt::Debug for Decoder {
 /// stored check bits. Cloning snapshots the full stored state (data, check
 /// bits, parity and the armed flag) — the basis of warp-level
 /// checkpoint/replay in [`crate::recovery`].
+///
+/// # Deferred encoding
+///
+/// While the file is unarmed, every stored word is a consistent codeword,
+/// so the check segment is a pure function of the data segment
+/// (`check == encode(data)`). The tier-2 engine exploits this: with
+/// [`Self::set_deferred`] enabled, [`Self::write_full`] stores only the
+/// data segment and marks the register dirty, and the codeword invariant
+/// is restored lazily — by [`Self::flush_deferred`] at every point where
+/// check bits become observable (epoch snapshot capture, golden-state
+/// comparison, decoder arming) and inside [`Self::write_ecc_only`] for the
+/// one register the shadow compares against. Because flushing re-encodes
+/// from the stored data, the restored word is bit-identical to what eager
+/// encoding would have produced, so deferral is architecturally invisible.
 #[derive(Debug, Clone)]
 pub struct WarpRegFile {
     regs: u32,
@@ -90,6 +104,12 @@ pub struct WarpRegFile {
     /// Fast path: when no fault has been injected the file cannot hold a
     /// non-codeword, so decode is skipped until the first raw write.
     armed: bool,
+    /// Deferred-encode mode (tier-2 engine): full writes store only data
+    /// and set a dirty bit instead of encoding check bits eagerly.
+    deferred: bool,
+    /// One bit per architectural register whose check bits are stale
+    /// (all 32 lanes are re-encoded together on flush).
+    dirty: Vec<u64>,
 }
 
 impl WarpRegFile {
@@ -109,6 +129,8 @@ impl WarpRegFile {
             words: vec![Stored::default(); 32 * regs as usize],
             decoder,
             armed: false,
+            deferred: false,
+            dirty: vec![0; (regs as usize).div_ceil(64)],
         }
     }
 
@@ -134,11 +156,79 @@ impl WarpRegFile {
         }
     }
 
+    /// Enable or disable deferred encoding (see the type-level docs). A
+    /// request to enable it on an armed file is ignored: once the decoder is
+    /// armed every read inspects check bits, so they must stay eager.
+    pub fn set_deferred(&mut self, on: bool) {
+        self.deferred = on && !self.armed;
+    }
+
+    /// Whether any register currently holds stale (deferred) check bits.
+    #[must_use]
+    pub fn has_deferred(&self) -> bool {
+        self.dirty.iter().any(|&w| w != 0)
+    }
+
+    /// Restore the codeword invariant for every dirty register by
+    /// re-encoding the check segment from the stored data. While the file is
+    /// unarmed this reproduces exactly the bits an eager write would have
+    /// stored, so it is safe to call at any observation point.
+    pub fn flush_deferred(&mut self) {
+        for word in 0..self.dirty.len() {
+            let mut bits = self.dirty[word];
+            self.dirty[word] = 0;
+            while bits != 0 {
+                let reg = (word * 64) as u32 + bits.trailing_zeros();
+                bits &= bits - 1;
+                self.reencode_lanes(reg);
+            }
+        }
+    }
+
+    #[inline]
+    fn reg_dirty(&self, reg: u8) -> bool {
+        self.dirty[usize::from(reg) >> 6] & (1 << (reg & 63)) != 0
+    }
+
+    /// Re-encode one register's check bits (all 32 lanes) from its stored
+    /// data and clear its dirty bit.
+    fn reencode_reg(&mut self, reg: u8) {
+        self.dirty[usize::from(reg) >> 6] &= !(1 << (reg & 63));
+        self.reencode_lanes(u32::from(reg));
+    }
+
+    fn reencode_lanes(&mut self, reg: u32) {
+        for lane in 0..32 {
+            let i = lane as usize * self.regs as usize + reg as usize;
+            let (check, parity) = self.encode(self.words[i].data);
+            self.words[i].check = check;
+            self.words[i].parity = parity;
+        }
+    }
+
+    /// Leave the clean fast path: flush any deferred check bits first (they
+    /// are about to become observable through the decoder), then disable
+    /// deferral and start decoding on every read.
+    fn arm(&mut self) {
+        if self.has_deferred() {
+            self.flush_deferred();
+        }
+        self.deferred = false;
+        self.armed = true;
+    }
+
     /// Full write by an original (or un-duplicated) instruction: data, check
-    /// bits and data parity all from `value`.
+    /// bits and data parity all from `value`. In deferred mode only the data
+    /// segment is stored and the register is marked dirty; the check segment
+    /// is re-encoded (to the identical bits) before any observer reads it.
     pub fn write_full(&mut self, lane: u32, reg: u8, value: u32) {
-        let (check, parity) = self.encode(value);
         let i = self.idx(lane, reg);
+        if self.deferred {
+            self.words[i].data = value;
+            self.dirty[usize::from(reg) >> 6] |= 1 << (reg & 63);
+            return;
+        }
+        let (check, parity) = self.encode(value);
         self.words[i] = Stored {
             data: value,
             check,
@@ -149,12 +239,17 @@ impl WarpRegFile {
     /// Masked write by a Swap-ECC shadow instruction: only the check bits,
     /// computed from the shadow's own result.
     pub fn write_ecc_only(&mut self, lane: u32, reg: u8, shadow_value: u32) {
+        if self.reg_dirty(reg) {
+            // The shadow compares against this register's stored check
+            // bits: restore the codeword invariant for it first.
+            self.reencode_reg(reg);
+        }
         let (check, _) = self.encode(shadow_value);
         let i = self.idx(lane, reg);
         if self.words[i].check != check {
             // A disagreeing shadow means someone computed a wrong value —
             // leave the fast path so reads start decoding.
-            self.armed = true;
+            self.arm();
         }
         self.words[i].check = check;
     }
@@ -164,6 +259,12 @@ impl WarpRegFile {
     /// prediction pipeline operating on the input residues — i.e. from the
     /// fault-free `predicted_value`.
     pub fn write_predicted(&mut self, lane: u32, reg: u8, value: u32, predicted_value: u32) {
+        if self.reg_dirty(reg) {
+            // This write stores a deliberately inconsistent codeword (or is
+            // about to corrupt one): restore the deferred lanes first so a
+            // later flush cannot re-encode over the evidence.
+            self.reencode_reg(reg);
+        }
         let (check, _) = self.encode(predicted_value);
         // The data-parity bit is produced from the datapath output.
         let parity = match &self.decoder {
@@ -177,7 +278,7 @@ impl WarpRegFile {
             parity,
         };
         if value != predicted_value {
-            self.armed = true;
+            self.arm();
         }
     }
 
@@ -185,6 +286,12 @@ impl WarpRegFile {
     /// reflects `check_source` (the swapped-codeword composition used when a
     /// fault is injected into an original instruction).
     pub fn write_split(&mut self, lane: u32, reg: u8, data: u32, check_source: u32) {
+        if self.reg_dirty(reg) {
+            // This write stores a deliberately inconsistent codeword (or is
+            // about to corrupt one): restore the deferred lanes first so a
+            // later flush cannot re-encode over the evidence.
+            self.reencode_reg(reg);
+        }
         let (check, _) = self.encode(check_source);
         let i = self.idx(lane, reg);
         self.words[i] = Stored {
@@ -196,7 +303,7 @@ impl WarpRegFile {
             },
         };
         if data != check_source {
-            self.armed = true;
+            self.arm();
         }
     }
 
@@ -259,6 +366,10 @@ impl WarpRegFile {
     /// same values and events.
     #[must_use]
     pub fn stored_eq(&self, other: &Self) -> bool {
+        debug_assert!(
+            !self.has_deferred() && !other.has_deferred(),
+            "stored-state comparison requires flushed check bits"
+        );
         self.words == other.words
     }
 
@@ -291,13 +402,19 @@ impl WarpRegFile {
 
     /// Inject a raw storage bit-flip (for storage-error testing).
     pub fn flip_storage_bit(&mut self, lane: u32, reg: u8, bit: u32) {
+        if self.reg_dirty(reg) {
+            // This write stores a deliberately inconsistent codeword (or is
+            // about to corrupt one): restore the deferred lanes first so a
+            // later flush cannot re-encode over the evidence.
+            self.reencode_reg(reg);
+        }
         let i = self.idx(lane, reg);
         match bit {
             0..=31 => self.words[i].data ^= 1 << bit,
             32..=47 => self.words[i].check ^= 1 << (bit - 32),
             _ => self.words[i].parity = !self.words[i].parity,
         }
-        self.armed = true;
+        self.arm();
     }
 }
 
@@ -427,6 +544,74 @@ mod tests {
         let (v, e) = rf.read(0, 0);
         assert_eq!(v, 1);
         assert_eq!(e, RegFileEvent::Clean);
+    }
+
+    #[test]
+    fn deferred_writes_flush_to_identical_codewords() {
+        let mut eager = WarpRegFile::new(8, Protection::SecDedDp);
+        let mut lazy = WarpRegFile::new(8, Protection::SecDedDp);
+        lazy.set_deferred(true);
+        for (reg, v) in [(0u8, 0xDEAD_BEEFu32), (3, 42), (7, u32::MAX)] {
+            for lane in 0..32 {
+                eager.write_full(lane, reg, v ^ lane);
+                lazy.write_full(lane, reg, v ^ lane);
+            }
+        }
+        assert!(lazy.has_deferred());
+        lazy.flush_deferred();
+        assert!(eager.stored_eq(&lazy));
+    }
+
+    #[test]
+    fn shadow_compare_sees_through_deferred_check_bits() {
+        let mut rf = WarpRegFile::new(8, Protection::SecDedDp);
+        rf.set_deferred(true);
+        rf.write_full(0, 1, 42);
+        rf.write_ecc_only(0, 1, 42); // clean shadow: must not arm
+        let (v, e) = rf.read(0, 1);
+        assert_eq!((v, e), (42, RegFileEvent::Clean));
+        rf.write_full(0, 1, 42);
+        rf.write_ecc_only(0, 1, 43); // faulty shadow: must still detect
+        let (_, e) = rf.read(0, 1);
+        assert!(e.is_due());
+    }
+
+    #[test]
+    fn arming_flushes_and_disables_deferral() {
+        let mut rf = WarpRegFile::new(8, Protection::SecDedDp);
+        rf.set_deferred(true);
+        rf.write_full(0, 0, 5);
+        rf.write_split(1, 2, 41, 42); // strike arms the file
+        assert!(!rf.has_deferred(), "arming restores every codeword");
+        let (v, e) = rf.read(0, 0);
+        assert_eq!((v, e), (5, RegFileEvent::Clean), "deferred word re-encoded");
+        rf.write_full(2, 3, 9); // post-arm writes are eager again
+        assert!(!rf.has_deferred());
+        let (_, e) = rf.read(1, 2);
+        assert!(e.is_due());
+    }
+
+    #[test]
+    fn split_write_over_deferred_register_keeps_its_evidence() {
+        let mut rf = WarpRegFile::new(8, Protection::SecDedDp);
+        rf.set_deferred(true);
+        rf.write_full(0, 4, 1); // reg 4 now holds stale check bits
+        rf.write_split(0, 4, 41, 42); // then takes the strike
+        let (v, e) = rf.read(0, 4);
+        assert_eq!(v, 41);
+        assert!(
+            e.is_due(),
+            "flush must not re-encode over the split codeword"
+        );
+    }
+
+    #[test]
+    fn set_deferred_is_refused_once_armed() {
+        let mut rf = WarpRegFile::new(8, Protection::SecDedDp);
+        rf.flip_storage_bit(0, 0, 3);
+        rf.set_deferred(true);
+        rf.write_full(0, 1, 6);
+        assert!(!rf.has_deferred());
     }
 
     #[test]

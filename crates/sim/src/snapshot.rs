@@ -29,6 +29,12 @@
 //! (`cta_limit = 1`), no trace or operand capture, no in-executor recovery,
 //! fueled — and is differentially tested against the reference executor
 //! ([`crate::exec`]) outcome-for-outcome.
+//!
+//! Under [`ExecTier::Tier2`] the engine executes the kernel through a
+//! threaded-code buffer of compiled dispatch closures ([`crate::tier2`])
+//! instead of the central micro-op match; the scheduler, snapshot capture
+//! and convergence early-exit are shared between the tiers, and the tier-1
+//! interpreter stays as the differential reference.
 
 use crate::exec::{compare, Detection, ExecConfig, ExecError, Launch};
 use crate::fault::{FaultSpec, FaultTarget};
@@ -37,6 +43,7 @@ use crate::predecode::{
     Alu1Kind, Alu2Kind, Guard, MicroOp, PShflMode, PSrc, PredecodedKernel, UOp, WriteMode,
 };
 use crate::regfile::{Protection, RegFileEvent, WarpRegFile};
+use crate::tier2::{CompiledKernel, ExecTier};
 use swapcodes_isa::{Kernel, MemSpace, SpecialReg};
 
 /// One PC-reconvergence fragment of a warp: a program counter and the lanes
@@ -153,13 +160,16 @@ pub struct CampaignEngine {
     launch: Launch,
     ladder: EpochLadder,
     max_dynamic: u64,
+    tier: ExecTier,
+    compiled: Option<CompiledKernel>,
 }
 
 impl CampaignEngine {
     /// Run the fault-free golden execution of `kernel` over the first CTA of
     /// `launch`, capturing an epoch snapshot every `interval` dynamic
     /// instructions (including epoch 0 at the initial state, so trials never
-    /// rebuild workload memory).
+    /// rebuild workload memory). Executes on [`ExecTier::Tier1`]; use
+    /// [`Self::capture_config`] to select the tier through an [`ExecConfig`].
     ///
     /// # Errors
     ///
@@ -173,8 +183,39 @@ impl CampaignEngine {
         initial_mem: &GlobalMemory,
         interval: u64,
     ) -> Result<(Self, GoldenCapture), ExecError> {
+        Self::capture_config(
+            kernel,
+            launch,
+            protection,
+            initial_mem,
+            interval,
+            &ExecConfig::default(),
+        )
+    }
+
+    /// [`Self::capture`] honoring `config.tier` and `config.max_dynamic`:
+    /// under [`ExecTier::Tier2`] the kernel is compiled into the threaded-code
+    /// closure buffer once, and both the golden capture run and every trial
+    /// execute through it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the golden run's structured failure, exactly like
+    /// [`Self::capture`].
+    pub fn capture_config(
+        kernel: &Kernel,
+        launch: Launch,
+        protection: Protection,
+        initial_mem: &GlobalMemory,
+        interval: u64,
+        config: &ExecConfig,
+    ) -> Result<(Self, GoldenCapture), ExecError> {
         let pk = PredecodedKernel::new(kernel);
-        let max_dynamic = ExecConfig::default().max_dynamic;
+        let max_dynamic = config.max_dynamic;
+        let compiled = match config.tier {
+            ExecTier::Tier1 => None,
+            ExecTier::Tier2 => Some(CompiledKernel::compile(&pk)),
+        };
         let mut ctx = FastCtx {
             pk: &pk,
             launch,
@@ -193,13 +234,20 @@ impl CampaignEngine {
             faults_applied: 0,
         };
         let mut warps = new_warps(&pk, launch, protection);
+        if compiled.is_some() {
+            // Tier 2 defers check-bit encoding on full writes; the hooks
+            // flush before every observation point (see `WarpRegFile`).
+            for w in &mut warps {
+                w.rf.set_deferred(true);
+            }
+        }
         let mut snapshots = Vec::new();
         let mut hook = Hook::Capture {
             interval: interval.max(1),
             next: 0,
             out: &mut snapshots,
         };
-        run_rounds(&mut ctx, &mut warps, &mut hook);
+        run_rounds(&mut ctx, &mut warps, &mut hook, compiled.as_ref());
         if let Some(e) = ctx.error {
             return Err(e);
         }
@@ -223,6 +271,8 @@ impl CampaignEngine {
                 launch,
                 ladder,
                 max_dynamic,
+                tier: config.tier,
+                compiled,
             },
             capture,
         ))
@@ -232,6 +282,21 @@ impl CampaignEngine {
     #[must_use]
     pub fn snapshot_count(&self) -> usize {
         self.ladder.snapshots.len()
+    }
+
+    /// The execution tier this engine runs trials on.
+    #[must_use]
+    pub fn tier(&self) -> ExecTier {
+        self.tier
+    }
+
+    /// Number of adjacent micro-op pairs the tier-2 compiler fused into
+    /// superinstruction closures (0 on tier 1).
+    #[must_use]
+    pub fn fused_pairs(&self) -> usize {
+        self.compiled
+            .as_ref()
+            .map_or(0, CompiledKernel::fused_pairs)
     }
 
     /// Requested snapshot spacing in dynamic instructions.
@@ -296,6 +361,11 @@ impl CampaignEngine {
                 waiting_bar: bar,
             })
             .collect();
+        if self.compiled.is_some() {
+            for w in &mut warps {
+                w.rf.set_deferred(true);
+            }
+        }
         // Early-exit is only sound when the golden suffix itself completes
         // within this trial's fuel and dynamic caps: otherwise the
         // from-scratch trial would have hung or truncated, not Masked.
@@ -310,7 +380,7 @@ impl CampaignEngine {
             fuel_ok,
             converged: &mut converged,
         };
-        run_rounds(&mut ctx, &mut warps, &mut hook);
+        run_rounds(&mut ctx, &mut warps, &mut hook, self.compiled.as_ref());
         FastTrial {
             detection: ctx.detection,
             error: ctx.error,
@@ -323,13 +393,15 @@ impl CampaignEngine {
 }
 
 /// Mutable per-warp execution state (the trace/recovery-free subset of the
-/// reference executor's warp).
-struct FastWarp {
-    wid: u32,
-    frags: Vec<Fragment>,
-    rf: WarpRegFile,
-    preds: [u8; 32],
-    waiting_bar: bool,
+/// reference executor's warp). `pub(crate)` so the tier-2 closure compiler
+/// ([`crate::tier2`]) can execute against the same state the interpreter
+/// uses.
+pub(crate) struct FastWarp {
+    pub(crate) wid: u32,
+    pub(crate) frags: Vec<Fragment>,
+    pub(crate) rf: WarpRegFile,
+    pub(crate) preds: [u8; 32],
+    pub(crate) waiting_bar: bool,
 }
 
 impl FastWarp {
@@ -340,30 +412,30 @@ impl FastWarp {
 
 /// Run-global execution state (everything the scheduler and every step
 /// touches, other than the warps themselves).
-struct FastCtx<'a> {
-    pk: &'a PredecodedKernel,
-    launch: Launch,
-    fault: Option<FaultSpec>,
-    fuel: Option<u64>,
-    max_dynamic: u64,
-    mem: GlobalMemory,
-    shared: SharedMemory,
-    dyn_count: u64,
-    eligible_orig: u64,
-    eligible_shadow: u64,
-    detection: Detection,
-    pending_due: Option<bool>,
-    truncated: bool,
-    error: Option<ExecError>,
-    faults_applied: u32,
+pub(crate) struct FastCtx<'a> {
+    pub(crate) pk: &'a PredecodedKernel,
+    pub(crate) launch: Launch,
+    pub(crate) fault: Option<FaultSpec>,
+    pub(crate) fuel: Option<u64>,
+    pub(crate) max_dynamic: u64,
+    pub(crate) mem: GlobalMemory,
+    pub(crate) shared: SharedMemory,
+    pub(crate) dyn_count: u64,
+    pub(crate) eligible_orig: u64,
+    pub(crate) eligible_shadow: u64,
+    pub(crate) detection: Detection,
+    pub(crate) pending_due: Option<bool>,
+    pub(crate) truncated: bool,
+    pub(crate) error: Option<ExecError>,
+    pub(crate) faults_applied: u32,
 }
 
 impl FastCtx<'_> {
-    fn halted(&self) -> bool {
+    pub(crate) fn halted(&self) -> bool {
         self.detection != Detection::None || self.truncated || self.error.is_some()
     }
 
-    fn eligible_for(&self, target: FaultTarget) -> u64 {
+    pub(crate) fn eligible_for(&self, target: FaultTarget) -> u64 {
         match target {
             FaultTarget::Original => self.eligible_orig,
             FaultTarget::Shadow => self.eligible_shadow,
@@ -466,8 +538,19 @@ fn new_warps(pk: &PredecodedKernel, launch: Launch, protection: Protection) -> V
 /// The round scheduler: identical to the reference executor's single-CTA
 /// loop (64-instruction quanta per warp, barrier release when all live
 /// warps wait, deadlock watchdog), with the campaign hook at the top of
-/// every round.
-fn run_rounds(ctx: &mut FastCtx<'_>, warps: &mut [FastWarp], hook: &mut Hook<'_>) {
+/// every round. With `compiled` present, warps step through the tier-2
+/// closure buffer; fused superinstructions consume two budget slots per
+/// dispatch, and the final slot of a quantum always runs the tier-1
+/// interpreter step so the quantum can never overshoot — warp interleaving
+/// (and with it the global dynamic-instruction and eligible-op counter
+/// sequences that fault targeting and detection timestamps observe) is
+/// byte-identical across tiers.
+fn run_rounds(
+    ctx: &mut FastCtx<'_>,
+    warps: &mut [FastWarp],
+    hook: &mut Hook<'_>,
+    compiled: Option<&CompiledKernel>,
+) {
     loop {
         match hook {
             Hook::Capture {
@@ -476,6 +559,11 @@ fn run_rounds(ctx: &mut FastCtx<'_>, warps: &mut [FastWarp], hook: &mut Hook<'_>
                 out,
             } => {
                 if ctx.dyn_count >= *next && !ctx.halted() {
+                    // Snapshots must hold consistent codewords: restore any
+                    // check bits the tier-2 engine deferred before cloning.
+                    for w in warps.iter_mut() {
+                        w.rf.flush_deferred();
+                    }
                     out.push(capture_epoch(ctx, warps));
                     *next = ctx.dyn_count + *interval;
                 }
@@ -495,10 +583,16 @@ fn run_rounds(ctx: &mut FastCtx<'_>, warps: &mut [FastWarp], hook: &mut Hook<'_>
                     if *idx < snaps.len()
                         && snaps[*idx].dyn_count == ctx.dyn_count
                         && ctx.eligible_for(fault.target) > fault.eligible_index
-                        && state_matches(&snaps[*idx], ctx, warps)
                     {
-                        **converged = true;
-                        return;
+                        // The stored-state comparison reads check bits:
+                        // restore any the tier-2 engine deferred first.
+                        for w in warps.iter_mut() {
+                            w.rf.flush_deferred();
+                        }
+                        if state_matches(&snaps[*idx], ctx, warps) {
+                            **converged = true;
+                            return;
+                        }
                     }
                 }
             }
@@ -508,11 +602,18 @@ fn run_rounds(ctx: &mut FastCtx<'_>, warps: &mut [FastWarp], hook: &mut Hook<'_>
             if w.done() || w.waiting_bar {
                 continue;
             }
-            for _ in 0..64 {
+            let mut budget = 64i32;
+            while budget > 0 {
                 if w.done() || w.waiting_bar {
                     break;
                 }
-                step(ctx, w);
+                match compiled {
+                    Some(ck) if budget > 1 => budget -= ck.step(ctx, w, budget),
+                    _ => {
+                        step(ctx, w);
+                        budget -= 1;
+                    }
+                }
                 progressed = true;
                 if ctx.halted() {
                     return;
@@ -547,30 +648,75 @@ fn run_rounds(ctx: &mut FastCtx<'_>, warps: &mut [FastWarp], hook: &mut Hook<'_>
     }
 }
 
-/// Execute one instruction of one warp (the predecoded twin of the
-/// reference executor's `step`).
-fn step(ctx: &mut FastCtx<'_>, w: &mut FastWarp) {
-    let fi = w
-        .frags
+/// Pick the fragment the scheduler issues next: the minimum-PC fragment
+/// (the reference executor's reconvergence heuristic).
+///
+/// # Panics
+///
+/// Panics when the warp has no fragments (stepping a finished warp).
+#[inline]
+pub(crate) fn pick_fragment(w: &FastWarp) -> usize {
+    if w.frags.len() == 1 {
+        return 0;
+    }
+    w.frags
         .iter()
         .enumerate()
         .min_by_key(|(_, f)| f.pc)
         .map(|(i, _)| i)
-        .expect("stepping a finished warp");
+        .expect("stepping a finished warp")
+}
+
+/// Execute one instruction of one warp (the predecoded twin of the
+/// reference executor's `step`).
+fn step(ctx: &mut FastCtx<'_>, w: &mut FastWarp) {
+    let fi = pick_fragment(w);
     let pc = w.frags[fi].pc;
     if pc >= ctx.pk.len() {
         w.frags.remove(fi);
         return;
     }
-    let mop = ctx.pk.op(pc);
+    let pk = ctx.pk;
+    step_with(ctx, w, pk.op_ref(pc), fi);
+}
+
+/// The per-instruction body shared by the tier-1 interpreter and the tier-2
+/// generic closures: guard evaluation, issue accounting, fault targeting,
+/// execution, DUE promotion and fragment merging — everything `step` does
+/// after picking the fragment and bounds-checking the PC.
+pub(crate) fn step_with(ctx: &mut FastCtx<'_>, w: &mut FastWarp, mop: &MicroOp, fi: usize) {
     let frag_mask = w.frags[fi].mask;
-    let exec_mask = match mop.guard {
+    let exec_mask = eval_guard(mop.guard, frag_mask, &w.preds);
+
+    if !account_issue(ctx) {
+        return;
+    }
+
+    let inject = target_and_bump(ctx, mop.eligible);
+
+    exec_uop(ctx, w, mop, fi, exec_mask, inject);
+
+    promote_due(ctx);
+
+    merge_frags(w);
+}
+
+/// Lower a pre-decoded guard to the executing lane mask.
+#[inline]
+pub(crate) fn eval_guard(guard: Guard, frag_mask: u32, preds: &[u8; 32]) -> u32 {
+    match guard {
         Guard::Always => frag_mask,
         Guard::Never => 0,
-        Guard::If(bit) => guard_mask(frag_mask, &w.preds, bit, true),
-        Guard::IfNot(bit) => guard_mask(frag_mask, &w.preds, bit, false),
-    };
+        Guard::If(bit) => guard_mask(frag_mask, preds, bit, true),
+        Guard::IfNot(bit) => guard_mask(frag_mask, preds, bit, false),
+    }
+}
 
+/// Charge one issued instruction against the dynamic-count cap and the fuel
+/// budget. Returns `false` when fuel ran out (the instruction must not
+/// execute, exactly like the interpreter's early return).
+#[inline]
+pub(crate) fn account_issue(ctx: &mut FastCtx<'_>) -> bool {
     ctx.dyn_count += 1;
     if ctx.dyn_count >= ctx.max_dynamic {
         ctx.truncated = true;
@@ -580,15 +726,22 @@ fn step(ctx: &mut FastCtx<'_>, w: &mut FastWarp) {
             ctx.error = Some(ExecError::Hang {
                 steps: ctx.dyn_count,
             });
-            return;
+            return false;
         }
     }
+    true
+}
 
-    // Fault targeting: per-side eligible counters advance on every eligible
-    // instruction (both golden capture and trials), and the strike fires
-    // when the matching side's counter reaches the sampled index.
+/// Fault targeting: per-side eligible counters advance on every eligible
+/// instruction (both golden capture and trials), and the strike fires when
+/// the matching side's counter reaches the sampled index.
+#[inline]
+pub(crate) fn target_and_bump(
+    ctx: &mut FastCtx<'_>,
+    eligible: Option<FaultTarget>,
+) -> Option<FaultSpec> {
     let mut inject: Option<FaultSpec> = None;
-    if let Some(t) = mop.eligible {
+    if let Some(t) = eligible {
         let seen = match t {
             FaultTarget::Original => &mut ctx.eligible_orig,
             FaultTarget::Shadow => &mut ctx.eligible_shadow,
@@ -600,17 +753,29 @@ fn step(ctx: &mut FastCtx<'_>, w: &mut FastWarp) {
         }
         *seen += 1;
     }
+    inject
+}
 
-    exec_uop(ctx, w, &mop, fi, exec_mask, inject);
-
+/// Promote a decode-raised pending DUE into the run's detection state.
+#[inline]
+pub(crate) fn promote_due(ctx: &mut FastCtx<'_>) {
     if let Some(pipeline_suspected) = ctx.pending_due.take() {
         ctx.detection = Detection::Due {
             at: ctx.dyn_count,
             pipeline_suspected,
         };
     }
+}
 
-    // Merge fragments that reconverged and drop empty ones.
+/// Merge fragments that reconverged and drop empty ones. The single-fragment
+/// case (the overwhelmingly common one) is allocation-free.
+pub(crate) fn merge_frags(w: &mut FastWarp) {
+    if w.frags.len() == 1 {
+        if w.frags[0].mask == 0 {
+            w.frags.clear();
+        }
+        return;
+    }
     w.frags.retain(|f| f.mask != 0);
     w.frags.sort_by_key(|f| f.pc);
     let mut merged: Vec<Fragment> = Vec::with_capacity(w.frags.len());
@@ -732,7 +897,7 @@ fn alu1(kind: Alu1Kind, v: u32) -> u32 {
 }
 
 #[allow(clippy::too_many_lines)]
-fn exec_uop(
+pub(crate) fn exec_uop(
     ctx: &mut FastCtx<'_>,
     w: &mut FastWarp,
     mop: &MicroOp,
@@ -1215,6 +1380,55 @@ mod tests {
                         assert_eq!(fast.error, Some(e), "idx {idx} lane {lane}");
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn tier2_capture_and_trials_match_tier1() {
+        let kernel = test_kernel();
+        let launch = Launch::grid(1, 64);
+        let initial = GlobalMemory::new(256);
+        let (e1, c1) = CampaignEngine::capture(&kernel, launch, Protection::None, &initial, 3)
+            .expect("tier1 capture");
+        let cfg = ExecConfig {
+            tier: ExecTier::Tier2,
+            ..ExecConfig::default()
+        };
+        let (e2, c2) =
+            CampaignEngine::capture_config(&kernel, launch, Protection::None, &initial, 3, &cfg)
+                .expect("tier2 capture");
+        assert_eq!(e2.tier(), ExecTier::Tier2);
+        assert!(
+            e2.fused_pairs() > 0,
+            "the test kernel has fusable adjacent ops"
+        );
+        assert_eq!(c1.dynamic_instructions, c2.dynamic_instructions);
+        assert_eq!(c1.eligible_orig, c2.eligible_orig);
+        assert_eq!(c1.eligible_shadow, c2.eligible_shadow);
+        assert_eq!(c1.mem.words(), c2.mem.words());
+        assert_eq!(e1.snapshot_count(), e2.snapshot_count());
+
+        let fuel = c1.dynamic_instructions * 8 + 10_000;
+        for idx in 0..c1.eligible_orig.min(32) {
+            for lane in [0u32, 7, 31] {
+                let fault = FaultSpec {
+                    eligible_index: idx,
+                    lane,
+                    xor_mask: 1 << 13,
+                    target: FaultTarget::Original,
+                };
+                let t1 = e1.run_trial(fault, fuel);
+                let t2 = e2.run_trial(fault, fuel);
+                assert_eq!(t1.detection, t2.detection, "idx {idx} lane {lane}");
+                assert_eq!(t1.error, t2.error, "idx {idx} lane {lane}");
+                assert_eq!(
+                    t1.converged_early, t2.converged_early,
+                    "idx {idx} lane {lane}"
+                );
+                assert_eq!(t1.resumed_from, t2.resumed_from, "idx {idx} lane {lane}");
+                assert_eq!(t1.executed, t2.executed, "idx {idx} lane {lane}");
+                assert_eq!(t1.mem.words(), t2.mem.words(), "idx {idx} lane {lane}");
             }
         }
     }

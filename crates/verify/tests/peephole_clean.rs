@@ -1,0 +1,178 @@
+//! The peephole pass's acceptance contract, pinned from three sides:
+//!
+//! * **cleanliness preservation** — a transform output that verifies clean
+//!   still verifies clean after the pass (the pass never strips half of a
+//!   protection idiom: dead original/shadow pairs die together or not at
+//!   all);
+//! * **semantic preservation** — the reference executor produces identical
+//!   output memory and detection state on the peepholed and unpeepholed
+//!   kernels (fault-free);
+//! * **idempotence** — the pass runs to a fixpoint, so a second application
+//!   changes nothing.
+
+use proptest::prelude::*;
+use swapcodes_core::{apply, peephole, PredictorSet, Scheme};
+use swapcodes_isa::{Instr, Kernel, Op, Pred, Reg, Src};
+use swapcodes_sim::exec::{Detection, ExecConfig, Executor};
+use swapcodes_sim::Launch;
+use swapcodes_verify::verify;
+
+/// Every scheme the verifier models (mirrors `clean_transforms.rs`).
+fn schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::SwDup,
+        Scheme::SwapEcc,
+        Scheme::SwapPredict(PredictorSet::NONE),
+        Scheme::SwapPredict(PredictorSet::ADD_SUB),
+        Scheme::SwapPredict(PredictorSet::MAD),
+        Scheme::SwapPredict(PredictorSet::OTHER_FXP),
+        Scheme::SwapPredict(PredictorSet::FP_ADD_SUB),
+        Scheme::SwapPredict(PredictorSet::FP_MAD),
+        Scheme::InterThread { checked: true },
+        Scheme::InterThread { checked: false },
+    ]
+}
+
+#[test]
+fn peepholed_transforms_stay_clean_on_every_workload() {
+    let mut verified = 0usize;
+    for w in swapcodes_workloads::all() {
+        for scheme in schemes() {
+            let Ok(t) = apply(scheme, &w.kernel, w.launch) else {
+                continue;
+            };
+            let (cleaned, stats) = peephole(&t.kernel);
+            let report = verify(scheme, &cleaned);
+            assert!(
+                report.is_clean(),
+                "{} x {} (removed {} of {}): {report}",
+                w.name,
+                report.scheme,
+                stats.removed(),
+                t.kernel.len(),
+            );
+            verified += 1;
+        }
+    }
+    assert!(
+        verified > 100,
+        "suite shrank unexpectedly: {verified} pairs"
+    );
+}
+
+#[test]
+fn peephole_preserves_workload_semantics() {
+    for w in swapcodes_workloads::all() {
+        for scheme in [Scheme::Baseline, Scheme::SwapEcc, Scheme::SwDup] {
+            let Ok(t) = apply(scheme, &w.kernel, w.launch) else {
+                continue;
+            };
+            let (cleaned, _) = peephole(&t.kernel);
+            let exec = Executor {
+                config: ExecConfig {
+                    protection: t.protection,
+                    ..ExecConfig::default()
+                },
+            };
+            let mut mem_orig = w.build_memory();
+            let mut mem_peep = w.build_memory();
+            let orig = exec
+                .run(&t.kernel, t.launch, &mut mem_orig)
+                .expect("unpeepholed runs");
+            let peep = exec
+                .run(&cleaned, t.launch, &mut mem_peep)
+                .expect("peepholed runs");
+            assert_eq!(
+                orig.detection,
+                Detection::None,
+                "{} golden is clean",
+                w.name
+            );
+            assert_eq!(
+                peep.detection,
+                Detection::None,
+                "{} golden is clean",
+                w.name
+            );
+            assert_eq!(
+                mem_orig.words(),
+                mem_peep.words(),
+                "{} x {}: peephole changed the program's output",
+                w.name,
+                scheme.label()
+            );
+        }
+    }
+}
+
+/// A random straight-line kernel rich in the patterns the pass targets:
+/// `@PT`/`@!PT` guards, duplicated adjacent moves, overwritten scratch
+/// writes, plus enough generic arithmetic and control flow to make the
+/// removals non-trivial to remap.
+fn arb_peephole_kernel() -> impl Strategy<Value = Kernel> {
+    let r = || (1u8..12).prop_map(Reg);
+    let body = prop_oneof![
+        (r(), any::<i32>()).prop_map(|(d, i)| Instr::new(Op::Mov { d, a: Src::Imm(i) })),
+        (r(), r()).prop_map(|(d, a)| Instr::new(Op::Mov { d, a: Src::Reg(a) })),
+        (r(), r(), any::<i32>()).prop_map(|(d, a, i)| Instr::new(Op::IAdd {
+            d,
+            a,
+            b: Src::Imm(i)
+        })),
+        // Always-true and never-true guards: normalization / removal food.
+        (r(), any::<i32>()).prop_map(|(d, i)| Instr::guarded(
+            Op::Mov { d, a: Src::Imm(i) },
+            swapcodes_isa::PT,
+            true
+        )),
+        (r(), r()).prop_map(|(d, a)| Instr::guarded(
+            Op::IAdd {
+                d,
+                a,
+                b: Src::Imm(3)
+            },
+            swapcodes_isa::PT,
+            false
+        )),
+        // Guarded by a real predicate: must survive untouched.
+        (r(), r(), 0u8..4, any::<bool>()).prop_map(|(d, a, p, pol)| Instr::guarded(
+            Op::Mov { d, a: Src::Reg(a) },
+            Pred(p),
+            pol
+        )),
+    ];
+    prop::collection::vec(body, 1..24).prop_map(|mut instrs| {
+        instrs.push(Instr::new(Op::Exit));
+        Kernel::from_instrs("peep-fuzz", instrs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The pass is a fixpoint: applying it twice changes nothing (neither
+    /// the instruction sequence nor the stats of the second run).
+    #[test]
+    fn peephole_is_idempotent(kernel in arb_peephole_kernel()) {
+        let (once, _) = peephole(&kernel);
+        let (twice, stats2) = peephole(&once);
+        prop_assert!(!stats2.changed(), "second pass found work: {stats2:?}");
+        prop_assert_eq!(once.instrs(), twice.instrs());
+    }
+
+    /// Cleanliness preservation under fuzzing: for any legal input kernel,
+    /// peepholing the transform output leaves it verify-clean.
+    #[test]
+    fn peepholed_random_transforms_verify_clean(kernel in arb_peephole_kernel()) {
+        let launch = Launch::grid(1, 64);
+        for scheme in schemes() {
+            let Ok(t) = apply(scheme, &kernel, launch) else { continue };
+            let (cleaned, _) = peephole(&t.kernel);
+            let report = verify(scheme, &cleaned);
+            prop_assert!(
+                report.is_clean(),
+                "{} on {:?}: {}", report.scheme, kernel, report
+            );
+        }
+    }
+}
