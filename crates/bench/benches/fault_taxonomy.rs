@@ -1,0 +1,14 @@
+//! Fault-model taxonomy: per-class detection coverage under the mixed
+//! transient/control/stuck-at campaign, plus the control-fault coverage
+//! gap of statically-clean kernels. `SWAPCODES_FAST=1` shrinks trials.
+
+use swapcodes_bench::figures;
+
+fn main() {
+    let trials: u64 = if std::env::var_os("SWAPCODES_FAST").is_some() {
+        80
+    } else {
+        240
+    };
+    figures::fault_taxonomy_report(&["matmul", "kmeans", "hspot"], trials, 0xFA17_0007);
+}

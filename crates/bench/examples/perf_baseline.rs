@@ -239,6 +239,7 @@ fn main() {
     let tier1_opts = CampaignOptions {
         tier: ExecTier::Tier1,
         peephole: false,
+        ..CampaignOptions::default()
     };
     for (name, scheme) in arch_cells {
         let w = by_name(name).expect("workload");

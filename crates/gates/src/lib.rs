@@ -36,8 +36,10 @@ pub mod area;
 mod builder;
 mod netlist;
 pub mod optimize;
+pub mod sites;
 pub mod softfloat;
 pub mod units;
 
 pub use builder::{Bv, CircuitBuilder};
 pub use netlist::{BatchResult, EvalScratch, Gate, Netlist, NodeId};
+pub use sites::{FaultSite, SiteCatalog};

@@ -1,0 +1,154 @@
+//! Stuck-at fault-site enumeration over a netlist.
+//!
+//! Permanent (and intermittent) faults live at *physical* sites — a gate or
+//! flip-flop output shorted to a rail — so, unlike the architecture-level
+//! transient model, where they land should follow circuit structure rather
+//! than a uniform draw over result bits. This module flattens a netlist's
+//! injectable nodes into a [`SiteCatalog`]: a cumulative
+//! area-weighted table (NAND2-equivalent cost per node, the same accounting
+//! as [`crate::area`]) that maps a uniform ticket to a concrete
+//! [`FaultSite`]. Larger cells present a larger silicon cross-section and
+//! are proportionally more likely to host a defect, which is exactly what
+//! the weighting encodes.
+//!
+//! Costs are stored in integer milli-NAND2s so ticket sampling is exact and
+//! platform-independent (no accumulated float error across resumes).
+
+use crate::area::gate_cost;
+use crate::netlist::{Gate, Netlist, NodeId};
+
+/// One stuck-at candidate site: an injectable netlist node and its area
+/// weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSite {
+    /// The netlist node whose output is stuck.
+    pub node: NodeId,
+    /// Area weight in milli-NAND2 equivalents (always ≥ 1 so every
+    /// injectable node is reachable by some ticket).
+    pub cost_milli: u64,
+    /// Whether the site is a flip-flop (pipeline state) rather than
+    /// combinational logic.
+    pub is_ff: bool,
+}
+
+/// An area-weighted catalog of stuck-at sites for one netlist.
+#[derive(Debug, Clone)]
+pub struct SiteCatalog {
+    sites: Vec<FaultSite>,
+    /// Cumulative weight: `cumulative[i]` is the total weight of sites
+    /// `0..=i`, so a ticket in `0..total_weight()` binary-searches to a site.
+    cumulative: Vec<u64>,
+}
+
+impl SiteCatalog {
+    /// Enumerate every injectable node of `netlist` with its area weight.
+    #[must_use]
+    pub fn from_netlist(netlist: &Netlist) -> Self {
+        let nodes = netlist.nodes();
+        let mut sites = Vec::new();
+        let mut cumulative = Vec::new();
+        let mut running = 0u64;
+        for (i, g) in nodes.iter().enumerate() {
+            if matches!(g, Gate::Input { .. } | Gate::Const(_)) {
+                continue;
+            }
+            let milli = ((gate_cost(g) * 1000.0).round() as u64).max(1);
+            running += milli;
+            sites.push(FaultSite {
+                node: i as NodeId,
+                cost_milli: milli,
+                is_ff: matches!(g, Gate::Ff(_)),
+            });
+            cumulative.push(running);
+        }
+        Self { sites, cumulative }
+    }
+
+    /// Number of candidate sites.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// `true` when the netlist had no injectable nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Total area weight — the exclusive upper bound for
+    /// [`SiteCatalog::pick_weighted`] tickets.
+    #[must_use]
+    pub fn total_weight(&self) -> u64 {
+        self.cumulative.last().copied().unwrap_or(0)
+    }
+
+    /// The sites in node order.
+    #[must_use]
+    pub fn sites(&self) -> &[FaultSite] {
+        &self.sites
+    }
+
+    /// Map a uniform ticket in `0..total_weight()` to a site,
+    /// proportionally to area. Returns `None` on an empty catalog or an
+    /// out-of-range ticket.
+    #[must_use]
+    pub fn pick_weighted(&self, ticket: u64) -> Option<FaultSite> {
+        if ticket >= self.total_weight() {
+            return None;
+        }
+        // First cumulative value strictly greater than the ticket.
+        let idx = self.cumulative.partition_point(|&c| c <= ticket);
+        self.sites.get(idx).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{build_unit, UnitKind};
+
+    #[test]
+    fn catalog_covers_every_injectable_node() {
+        let unit = build_unit(UnitKind::FxpAdd32);
+        let n = unit.netlist();
+        let cat = SiteCatalog::from_netlist(n);
+        assert_eq!(cat.len(), n.injectable_nodes().len());
+        assert!(cat.total_weight() > 0);
+        // Every site's own weight range maps back to it.
+        let mut start = 0u64;
+        for (i, s) in cat.sites().iter().enumerate() {
+            let first = cat.pick_weighted(start).expect("in range");
+            let last = cat
+                .pick_weighted(start + s.cost_milli - 1)
+                .expect("in range");
+            assert_eq!(first.node, s.node, "site {i} start ticket");
+            assert_eq!(last.node, s.node, "site {i} end ticket");
+            start += s.cost_milli;
+        }
+        assert_eq!(start, cat.total_weight());
+        assert!(cat.pick_weighted(cat.total_weight()).is_none());
+    }
+
+    #[test]
+    fn flip_flops_weigh_more_than_inverters() {
+        let unit = build_unit(UnitKind::FxpMad32);
+        let cat = SiteCatalog::from_netlist(unit.netlist());
+        let ff = cat
+            .sites()
+            .iter()
+            .find(|s| s.is_ff)
+            .expect("pipelined unit has FFs");
+        let logic = cat.sites().iter().find(|s| !s.is_ff).expect("has logic");
+        assert!(ff.cost_milli > logic.cost_milli);
+        assert_eq!(ff.cost_milli, 4330);
+    }
+
+    #[test]
+    fn empty_netlist_yields_empty_catalog() {
+        let cat = SiteCatalog::from_netlist(&Netlist::new(0));
+        assert!(cat.is_empty());
+        assert_eq!(cat.total_weight(), 0);
+        assert!(cat.pick_weighted(0).is_none());
+    }
+}

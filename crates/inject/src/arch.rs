@@ -13,6 +13,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use swapcodes_core::{PeepholeStats, Scheme};
+use swapcodes_gates::units::{build_unit, UnitKind};
+use swapcodes_gates::SiteCatalog;
 use swapcodes_sim::exec::{Detection, ExecConfig, ExecError, Executor};
 use swapcodes_sim::recovery::{
     RecoveryConfig, RecoveryEngine, RecoveryOutcome, RecoveryPolicy, RecoveryStats,
@@ -20,8 +22,206 @@ use swapcodes_sim::recovery::{
 use swapcodes_sim::regfile::Protection;
 use swapcodes_sim::snapshot::CampaignEngine;
 use swapcodes_sim::tier2::ExecTier;
-use swapcodes_sim::{FaultSpec, FaultTarget, Launch};
+use swapcodes_sim::{ControlTarget, FaultClass, FaultSpec, FaultTarget, Launch};
 use swapcodes_workloads::Workload;
+
+/// The fault-class sampling mix of a campaign: integer weights for the
+/// three injectable classes. Parsed from `SWAPCODES_FAULT_MODEL` (see
+/// [`crate::harness::fault_mix_from_env`]): the bare class names
+/// `"transient"`, `"control"`, `"stuckat"` select one class, `"all"` is an
+/// even three-way mix, and a comma list like `"transient:2,control:1,stuckat:1"`
+/// gives explicit weights.
+///
+/// The default — pure transient — draws faults in the *exact* RNG order the
+/// pre-taxonomy campaign used, so every historical tally (and the
+/// fast-forward differential gate in `perf_baseline`) stays byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultMix {
+    /// Weight of the transient single/multi-bit XOR datapath class.
+    pub transient: u32,
+    /// Weight of the control-state class (predicates, active masks, barrier
+    /// state, scheduler slots).
+    pub control: u32,
+    /// Weight of the permanent/intermittent stuck-at class.
+    pub stuck_at: u32,
+}
+
+impl Default for FaultMix {
+    fn default() -> Self {
+        Self {
+            transient: 1,
+            control: 0,
+            stuck_at: 0,
+        }
+    }
+}
+
+impl FaultMix {
+    /// A mix drawing only transient faults (the legacy campaign).
+    #[must_use]
+    pub fn transient_only() -> Self {
+        Self::default()
+    }
+
+    /// A mix drawing only control-state faults.
+    #[must_use]
+    pub fn control_only() -> Self {
+        Self {
+            transient: 0,
+            control: 1,
+            stuck_at: 0,
+        }
+    }
+
+    /// A mix drawing only stuck-at faults.
+    #[must_use]
+    pub fn stuck_at_only() -> Self {
+        Self {
+            transient: 0,
+            control: 0,
+            stuck_at: 1,
+        }
+    }
+
+    /// An even three-way mix over all classes.
+    #[must_use]
+    pub fn all_classes() -> Self {
+        Self {
+            transient: 1,
+            control: 1,
+            stuck_at: 1,
+        }
+    }
+
+    /// `true` when only the transient class can be drawn — the mix under
+    /// which trial draws are byte-identical to the pre-taxonomy campaign.
+    #[must_use]
+    pub fn is_pure_transient(&self) -> bool {
+        self.control == 0 && self.stuck_at == 0
+    }
+
+    /// Sum of the class weights (the ticket range for class sampling).
+    #[must_use]
+    pub fn total_weight(&self) -> u64 {
+        u64::from(self.transient) + u64::from(self.control) + u64::from(self.stuck_at)
+    }
+
+    /// Canonical identity tag stamped into campaign checkpoints: tallies
+    /// drawn under different mixes must never be merged on resume.
+    #[must_use]
+    pub fn tag(&self) -> String {
+        format!("t{}c{}s{}", self.transient, self.control, self.stuck_at)
+    }
+
+    /// Parse a `SWAPCODES_FAULT_MODEL` value.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for unknown class names, malformed weights,
+    /// or an all-zero mix.
+    pub fn parse(v: &str) -> Result<Self, String> {
+        let v = v.trim();
+        match v {
+            "transient" => return Ok(Self::transient_only()),
+            "control" => return Ok(Self::control_only()),
+            "stuckat" => return Ok(Self::stuck_at_only()),
+            "all" => return Ok(Self::all_classes()),
+            _ => {}
+        }
+        let mut mix = Self {
+            transient: 0,
+            control: 0,
+            stuck_at: 0,
+        };
+        for part in v.split(',') {
+            let part = part.trim();
+            let (name, weight) = match part.split_once(':') {
+                Some((n, w)) => {
+                    let w: u32 = w
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("bad weight in {part:?}: {e}"))?;
+                    (n.trim(), w)
+                }
+                None => (part, 1),
+            };
+            let slot = match name {
+                "transient" => &mut mix.transient,
+                "control" => &mut mix.control,
+                "stuckat" | "stuck-at" | "stuck_at" => &mut mix.stuck_at,
+                _ => return Err(format!("unknown fault class {name:?}")),
+            };
+            *slot = slot.checked_add(weight).ok_or("weight overflow")?;
+        }
+        if mix.total_weight() == 0 {
+            return Err("mix selects no fault class".to_owned());
+        }
+        Ok(mix)
+    }
+}
+
+/// Per-fault-class outcome tallies of a mixed campaign. The aggregate of the
+/// three buckets always equals what a single [`ArchOutcomes`] would have
+/// tallied; the split is what Fig.-style reporting per class needs — control
+/// faults land overwhelmingly in hang/SDC where transients land in DUE.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultClassTallies {
+    /// Outcomes of transient-class trials.
+    pub transient: ArchOutcomes,
+    /// Outcomes of control-state-class trials.
+    pub control: ArchOutcomes,
+    /// Outcomes of stuck-at-class trials.
+    pub stuck_at: ArchOutcomes,
+}
+
+impl FaultClassTallies {
+    /// Record one classed trial outcome.
+    pub fn record(&mut self, class: FaultClass, outcome: TrialOutcome) {
+        self.bucket_mut(class).record(outcome);
+    }
+
+    /// The tally bucket for `class`.
+    pub fn bucket_mut(&mut self, class: FaultClass) -> &mut ArchOutcomes {
+        match class {
+            FaultClass::Transient => &mut self.transient,
+            FaultClass::Control(_) => &mut self.control,
+            FaultClass::StuckAt(_) => &mut self.stuck_at,
+        }
+    }
+
+    /// All three buckets merged into one aggregate tally.
+    #[must_use]
+    pub fn aggregate(&self) -> ArchOutcomes {
+        let mut out = self.transient;
+        out.merge(&self.control);
+        out.merge(&self.stuck_at);
+        out
+    }
+
+    /// Total trials across every class — always equals
+    /// `self.aggregate().total()`.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.transient.total() + self.control.total() + self.stuck_at.total()
+    }
+
+    /// Field-by-field accumulation of another tally set.
+    pub fn merge(&mut self, other: &FaultClassTallies) {
+        self.transient.merge(&other.transient);
+        self.control.merge(&other.control);
+        self.stuck_at.merge(&other.stuck_at);
+    }
+
+    /// The buckets with their class labels, in class order.
+    #[must_use]
+    pub fn classes(&self) -> [(&'static str, &ArchOutcomes); 3] {
+        [
+            ("transient", &self.transient),
+            ("control", &self.control),
+            ("stuckat", &self.stuck_at),
+        ]
+    }
+}
 
 /// Outcome counts of an architecture-level campaign.
 ///
@@ -194,6 +394,9 @@ pub struct CampaignOptions {
     /// path and the tier-2 compiled path all execute the same cleaned
     /// kernel (tallies stay byte-identical across engines).
     pub peephole: bool,
+    /// Fault-class sampling mix for per-trial draws (default: pure
+    /// transient, byte-identical to the pre-taxonomy campaign).
+    pub mix: FaultMix,
 }
 
 impl Default for CampaignOptions {
@@ -201,19 +404,24 @@ impl Default for CampaignOptions {
         Self {
             tier: ExecTier::Tier2,
             peephole: true,
+            mix: FaultMix::default(),
         }
     }
 }
 
 impl CampaignOptions {
     /// The defaults, with `SWAPCODES_EXEC_TIER` (when set and well-formed)
-    /// overriding the tier. A malformed value is surfaced once as an
-    /// anomaly (see [`crate::harness::take_env_anomalies`]) and ignored.
+    /// overriding the tier and `SWAPCODES_FAULT_MODEL` the fault-class mix.
+    /// A malformed value is surfaced once as an anomaly (see
+    /// [`crate::harness::take_env_anomalies`]) and ignored.
     #[must_use]
     pub fn from_env() -> Self {
         let mut opts = Self::default();
         if let Some(tier) = crate::harness::exec_tier_from_env() {
             opts.tier = tier;
+        }
+        if let Some(mix) = crate::harness::fault_mix_from_env() {
+            opts.mix = mix;
         }
         opts
     }
@@ -272,6 +480,9 @@ pub struct ArchCampaign<'w> {
     engine: CampaignEngine,
     options: CampaignOptions,
     peephole: PeepholeStats,
+    /// Area-weighted stuck-at site catalog over the FxP MAD unit — built
+    /// only when the mix can draw the stuck-at class.
+    sites: Option<SiteCatalog>,
     /// Hard per-trial step budget. Defaults to a margin over the golden
     /// run's dynamic instruction count (`SWAPCODES_FUEL` overrides).
     pub fuel: u64,
@@ -377,6 +588,12 @@ impl<'w> ArchCampaign<'w> {
             golden,
             "fast-forward golden output diverged from reference golden"
         );
+        // Stuck-at sites are physical: enumerate the FxP MAD unit's
+        // injectable nodes with NAND2-area weighting (the paper's densest
+        // datapath unit) so permanent-defect probability follows silicon
+        // cross-section rather than a uniform bit draw.
+        let sites = (options.mix.stuck_at > 0)
+            .then(|| SiteCatalog::from_netlist(build_unit(UnitKind::FxpMad32).netlist()));
         Ok(Self {
             workload,
             kernel,
@@ -388,6 +605,7 @@ impl<'w> ArchCampaign<'w> {
             engine,
             options,
             peephole: peep,
+            sites,
             fuel,
         })
     }
@@ -467,6 +685,12 @@ impl<'w> ArchCampaign<'w> {
     /// the normal draw). The containment harness bumps the salt when a
     /// trial's work item panics, so the bounded retry re-seeds
     /// deterministically instead of replaying the identical crash.
+    ///
+    /// Under the default pure-transient mix this draws in the *exact* RNG
+    /// order the pre-taxonomy campaign used (index, lane, bit, side — no
+    /// extra draws), so historical tallies and the fast-forward
+    /// differential gate stay byte-identical. A mixed campaign draws a
+    /// class ticket first, then the class-specific fields.
     #[must_use]
     pub fn trial_fault_salted(&self, trial: u64, salt: u32) -> FaultSpec {
         let mut rng = SmallRng::seed_from_u64(
@@ -474,16 +698,108 @@ impl<'w> ArchCampaign<'w> {
                 ^ (trial + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 ^ u64::from(salt).wrapping_mul(0xA076_1D64_78BD_642F),
         );
-        FaultSpec {
-            eligible_index: rng.gen_range(0..self.eligible.max(1)),
-            lane: rng.gen_range(0..32),
-            xor_mask: 1u64 << rng.gen_range(0..32u32),
-            target: if rng.gen_bool(0.5) {
-                FaultTarget::Original
-            } else {
-                FaultTarget::Shadow
-            },
+        let mix = self.options.mix;
+        if mix.is_pure_transient() {
+            return FaultSpec {
+                eligible_index: rng.gen_range(0..self.eligible.max(1)),
+                lane: rng.gen_range(0..32),
+                xor_mask: 1u64 << rng.gen_range(0..32u32),
+                target: if rng.gen_bool(0.5) {
+                    FaultTarget::Original
+                } else {
+                    FaultTarget::Shadow
+                },
+                class: FaultClass::Transient,
+            };
         }
+        let ticket = rng.gen_range(0..mix.total_weight());
+        if ticket < u64::from(mix.transient) {
+            self.draw_transient(&mut rng)
+        } else if ticket < u64::from(mix.transient) + u64::from(mix.control) {
+            self.draw_control(&mut rng)
+        } else {
+            self.draw_stuck_at(&mut rng)
+        }
+    }
+
+    /// Transient draw for mixed campaigns: like the legacy draw, but the
+    /// strike can be a contiguous multi-bit burst (widths 1/2/4, biased
+    /// toward single-bit) — the SDC-anatomy observation that field errors
+    /// are frequently multi-bit and spatially patterned.
+    fn draw_transient(&self, rng: &mut SmallRng) -> FaultSpec {
+        let eligible_index = rng.gen_range(0..self.eligible.max(1));
+        let lane = rng.gen_range(0..32u32);
+        let width = match rng.gen_range(0..6u32) {
+            0..=2 => 1u32,
+            3 | 4 => 2,
+            _ => 4,
+        };
+        let bit = rng.gen_range(0..=(32 - width));
+        let mut f =
+            FaultSpec::try_burst(eligible_index, lane, bit, width).expect("drawn burst in range");
+        f.target = if rng.gen_bool(0.5) {
+            FaultTarget::Original
+        } else {
+            FaultTarget::Shadow
+        };
+        f
+    }
+
+    /// Control-state draw: a strike on parallelism-management state at a
+    /// uniformly chosen *global dynamic instruction* of the golden run.
+    fn draw_control(&self, rng: &mut SmallRng) -> FaultSpec {
+        let dyn_index = rng.gen_range(0..self.engine.golden_dynamic().max(1));
+        let lane = rng.gen_range(0..32u32);
+        let target_state = match rng.gen_range(0..4u32) {
+            0 => ControlTarget::Predicate,
+            1 => ControlTarget::ActiveMask,
+            2 => ControlTarget::Barrier,
+            _ => ControlTarget::SchedulerSlot,
+        };
+        let xor_mask = match target_state {
+            // Predicate files are 8 bits per lane.
+            ControlTarget::Predicate => 1u64 << rng.gen_range(0..8u32),
+            // One lane's active bit flips (joins or leaves the fragment).
+            ControlTarget::ActiveMask => 1u64 << rng.gen_range(0..32u32),
+            // Barrier arrival state toggles; no mask involved.
+            ControlTarget::Barrier => 0,
+            // A low PC bit flips in the scheduler slot — a near jump that
+            // may also leave the kernel entirely (warp retires).
+            ControlTarget::SchedulerSlot => 1u64 << rng.gen_range(0..3u32),
+        };
+        FaultSpec::try_control(dyn_index, lane, target_state, xor_mask)
+            .expect("drawn control fault is valid")
+    }
+
+    /// Stuck-at draw: the site comes from the area-weighted gate catalog
+    /// (larger cells present a larger defect cross-section); bit position
+    /// and stuck polarity derive deterministically from the site id, and a
+    /// quarter of draws are intermittent (duty-cycled) rather than
+    /// permanent.
+    fn draw_stuck_at(&self, rng: &mut SmallRng) -> FaultSpec {
+        let cat = self
+            .sites
+            .as_ref()
+            .expect("site catalog built for stuck-at mixes");
+        let site = cat
+            .pick_weighted(rng.gen_range(0..cat.total_weight().max(1)))
+            .expect("ticket in range of non-empty catalog");
+        let activation = rng.gen_range(0..self.eligible.max(1));
+        let lane = rng.gen_range(0..32u32);
+        let bit = site.node % 32;
+        let value = (site.node / 32) % 2 == 1;
+        let period = if rng.gen_range(0..4u32) == 0 {
+            rng.gen_range(8..64u32)
+        } else {
+            0
+        };
+        let target = if rng.gen_bool(0.5) {
+            FaultTarget::Original
+        } else {
+            FaultTarget::Shadow
+        };
+        FaultSpec::try_stuck_at(activation, lane, bit, value, site.node, period, target)
+            .expect("drawn stuck-at fault is valid")
     }
 
     /// Run one fueled trial and classify its outcome. Never panics and
@@ -506,6 +822,15 @@ impl<'w> ArchCampaign<'w> {
         self.run_trial_telemetry_salted(trial, salt).0
     }
 
+    /// [`Self::run_trial_salted`] plus the drawn fault's class — what the
+    /// mixed-campaign drivers use to bucket per-class tallies
+    /// ([`FaultClassTallies`]).
+    #[must_use]
+    pub fn run_trial_classed_salted(&self, trial: u64, salt: u32) -> (FaultClass, TrialOutcome) {
+        let fault = self.trial_fault_salted(trial, salt);
+        (fault.class, self.run_fault_telemetry(fault).0)
+    }
+
     /// [`Self::run_trial_salted`] plus fast-forward telemetry (snapshot
     /// resume point, executed instructions, early-exit flag).
     #[must_use]
@@ -515,6 +840,12 @@ impl<'w> ArchCampaign<'w> {
         salt: u32,
     ) -> (TrialOutcome, TrialTelemetry) {
         let fault = self.trial_fault_salted(trial, salt);
+        self.run_fault_telemetry(fault)
+    }
+
+    /// Run one concrete fault through the fast-forward engine and classify
+    /// the program-level outcome.
+    fn run_fault_telemetry(&self, fault: FaultSpec) -> (TrialOutcome, TrialTelemetry) {
         let t = self.engine.run_trial(fault, self.fuel);
         let telemetry = TrialTelemetry {
             resumed_from: t.resumed_from,
@@ -609,6 +940,25 @@ impl<'w> ArchCampaign<'w> {
         out
     }
 
+    /// Run trials `[start, end)` with per-fault-class tallies. The
+    /// aggregate of the returned buckets equals [`Self::run_range`] over
+    /// the same range.
+    #[must_use]
+    pub fn run_range_classed(&self, start: u64, end: u64) -> FaultClassTallies {
+        let mut out = FaultClassTallies::default();
+        for trial in start..end {
+            let (class, outcome) = self.run_trial_classed_salted(trial, 0);
+            out.record(class, outcome);
+        }
+        out
+    }
+
+    /// The fault-class mix this campaign draws from.
+    #[must_use]
+    pub fn mix(&self) -> FaultMix {
+        self.options.mix
+    }
+
     /// Run one fueled trial **through the recovery ladder** and classify the
     /// result. A `Recovered` outcome is only granted when the final output
     /// matches golden; a recovery path that completes with a wrong output is
@@ -617,6 +967,21 @@ impl<'w> ArchCampaign<'w> {
     #[must_use]
     pub fn run_trial_recovering(&self, trial: u64, rcfg: &RecoveryConfig) -> RecoveredTrial {
         self.run_trial_recovering_salted(trial, 0, rcfg)
+    }
+
+    /// [`Self::run_trial_recovering_salted`] plus the drawn fault's class —
+    /// the recovery ladder exercised against mixed-class campaigns (warp
+    /// replay re-checkpoints barrier state, relaunch keeps stuck-at sites
+    /// armed).
+    #[must_use]
+    pub fn run_trial_recovering_classed_salted(
+        &self,
+        trial: u64,
+        salt: u32,
+        rcfg: &RecoveryConfig,
+    ) -> (FaultClass, RecoveredTrial) {
+        let class = self.trial_fault_salted(trial, salt).class;
+        (class, self.run_trial_recovering_salted(trial, salt, rcfg))
     }
 
     /// [`Self::run_trial_recovering`] with a containment-retry salt.

@@ -35,7 +35,7 @@ use swapcodes_workloads::Workload;
 
 use swapcodes_sim::recovery::RecoveryStats;
 
-use crate::arch::{ArchCampaign, ArchOutcomes, PrepError, TrialOutcome};
+use crate::arch::{ArchCampaign, ArchOutcomes, FaultClassTallies, PrepError, TrialOutcome};
 use crate::gate::{run_unit_campaign_slice, CampaignConfig, InputOutcome, UnitCampaignResult};
 use crate::recovery::RecoveryCampaignConfig;
 
@@ -149,6 +149,16 @@ pub fn threads_from_env() -> Option<usize> {
         let n = parse_positive(v)?;
         usize::try_from(n).map_err(|e| format!("{e}"))
     })
+}
+
+/// The `SWAPCODES_FAULT_MODEL` override: the fault-class sampling mix
+/// [`crate::arch::CampaignOptions::from_env`] selects — `"transient"`
+/// (the default), `"control"`, `"stuckat"`, `"all"`, or a weighted comma
+/// list like `"transient:2,control:1,stuckat:1"`. Malformed values are
+/// surfaced once and ignored.
+#[must_use]
+pub fn fault_mix_from_env() -> Option<crate::arch::FaultMix> {
+    env_parsed("SWAPCODES_FAULT_MODEL", crate::arch::FaultMix::parse)
 }
 
 /// The `SWAPCODES_CHECKPOINT_DIR` campaign state directory, if set.
@@ -326,9 +336,17 @@ fn field_u64(fields: &[(String, String)], key: &str) -> Option<u64> {
 // Anomaly log
 // ---------------------------------------------------------------------------
 
+/// Size cap for `anomalies.jsonl`. When an append pushes the file past
+/// this, the log rotates in place: the oldest lines are dropped and a
+/// retained-tail marker (`{"rotated":true,"dropped":K}`) is written as the
+/// first line, so a pathological campaign (every trial panicking) cannot
+/// fill the disk while the count of lost lines stays auditable.
+pub const ANOMALY_LOG_CAP_BYTES: u64 = 256 * 1024;
+
 /// Append-only JSONL log of unrecoverable work items. Each line is
 /// `{"campaign":"…","item":N,"retries":R,"panic":"…"}`; the campaign keeps
-/// running after logging.
+/// running after logging. Growth is bounded by [`ANOMALY_LOG_CAP_BYTES`]
+/// via size-triggered tail rotation.
 #[derive(Debug)]
 pub struct AnomalyLog {
     path: Option<PathBuf>,
@@ -362,7 +380,50 @@ impl AnomalyLog {
             .append(true)
             .open(path)
             .and_then(|mut f| f.write_all(line.as_bytes()));
+        rotate_anomaly_log(path, ANOMALY_LOG_CAP_BYTES);
     }
+}
+
+/// Rotate the anomaly log in place when it exceeds `cap` bytes: keep the
+/// newest lines up to half the cap, drop the rest, and lead the file with a
+/// `{"rotated":true,"dropped":K}` marker whose count accumulates across
+/// rotations. Best-effort, atomic (write-temp-then-rename), and a no-op
+/// under the cap.
+fn rotate_anomaly_log(path: &Path, cap: u64) {
+    let Ok(meta) = fs::metadata(path) else { return };
+    if meta.len() <= cap {
+        return;
+    }
+    let Ok(text) = fs::read_to_string(path) else {
+        return;
+    };
+    let keep_budget = usize::try_from(cap / 2).unwrap_or(usize::MAX);
+    let mut kept: std::collections::VecDeque<&str> = std::collections::VecDeque::new();
+    let mut kept_bytes = 0usize;
+    let mut dropped = 0u64;
+    for line in text.lines() {
+        // A previous rotation's marker carries its dropped count forward
+        // instead of being retained as an ordinary line.
+        if let Some(f) = parse_flat(line) {
+            if field(&f, "rotated") == Some("true") {
+                dropped += field_u64(&f, "dropped").unwrap_or(0);
+                continue;
+            }
+        }
+        kept.push_back(line);
+        kept_bytes += line.len() + 1;
+        while kept_bytes > keep_budget {
+            let Some(old) = kept.pop_front() else { break };
+            kept_bytes -= old.len() + 1;
+            dropped += 1;
+        }
+    }
+    let mut out = format!("{{\"rotated\":true,\"dropped\":{dropped}}}\n");
+    for line in kept {
+        out.push_str(line);
+        out.push('\n');
+    }
+    let _ = write_atomic(path, &out);
 }
 
 // ---------------------------------------------------------------------------
@@ -398,8 +459,11 @@ impl Default for CheckpointConfig {
 /// Progress of a checkpointed campaign invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CampaignRun {
-    /// Tallies over every completed trial (resumed + this invocation).
+    /// Aggregate tallies over every completed trial (resumed + this
+    /// invocation) — always `classes.aggregate()`.
     pub outcomes: ArchOutcomes,
+    /// The same tallies split by fault class.
+    pub classes: FaultClassTallies,
     /// Trials completed so far.
     pub completed: u64,
     /// Whether the campaign ran to its trial target (false when the
@@ -408,8 +472,9 @@ pub struct CampaignRun {
     /// Unrecoverable items logged during this invocation.
     pub anomalies: u64,
     /// A checkpoint matching this campaign's identity was found but was
-    /// written by a different trial engine; it was rejected (with a logged
-    /// anomaly) and the campaign restarted from trial 0.
+    /// written by a different trial engine or fault-class mix; it was
+    /// rejected (with a logged anomaly) and the campaign restarted from
+    /// trial 0.
     pub stale_engine: bool,
 }
 
@@ -417,28 +482,13 @@ pub struct CampaignRun {
 // Architecture-level campaign with checkpointing
 // ---------------------------------------------------------------------------
 
-#[allow(clippy::too_many_arguments)]
-fn arch_checkpoint_json(
-    mode: &str,
-    engine: &str,
-    workload: &str,
-    scheme: &str,
-    seed: u64,
-    fuel: u64,
-    trials: u64,
-    completed: u64,
-    t: &ArchOutcomes,
-    rs: &RecoveryStats,
-) -> String {
+/// Serialize one tally's ten buckets with a per-class key prefix
+/// (`""` for the aggregate, `"t_"`/`"c_"`/`"s_"` for the classes).
+fn outcome_fields(prefix: &str, t: &ArchOutcomes) -> String {
     format!(
-        "{{\"campaign\":\"arch\",\"mode\":\"{mode}\",\"engine\":\"{engine}\",\
-         \"workload\":\"{}\",\"scheme\":\"{}\",\
-         \"seed\":{seed},\"fuel\":{fuel},\"trials\":{trials},\"completed\":{completed},\
-         \"trap\":{},\"due\":{},\"crash\":{},\"hang\":{},\"masked\":{},\"sdc\":{},\
-         \"rec_correct\":{},\"rec_replay\":{},\"rec_relaunch\":{},\"miscorrected\":{},\
-         \"ckpts\":{},\"replays\":{},\"replayed\":{},\"corrections\":{},\"relaunches\":{}}}",
-        json_escape(workload),
-        json_escape(scheme),
+        "\"{prefix}trap\":{},\"{prefix}due\":{},\"{prefix}crash\":{},\"{prefix}hang\":{},\
+         \"{prefix}masked\":{},\"{prefix}sdc\":{},\"{prefix}rec_correct\":{},\
+         \"{prefix}rec_replay\":{},\"{prefix}rec_relaunch\":{},\"{prefix}miscorrected\":{}",
         t.trap,
         t.due,
         t.crash,
@@ -448,7 +498,53 @@ fn arch_checkpoint_json(
         t.recovered_correct,
         t.recovered_replay,
         t.recovered_relaunch,
-        t.miscorrected,
+        t.miscorrected
+    )
+}
+
+fn parse_outcome_fields(f: &[(String, String)], prefix: &str) -> Option<ArchOutcomes> {
+    let g = |k: &str| field_u64(f, &format!("{prefix}{k}"));
+    Some(ArchOutcomes {
+        trap: g("trap")?,
+        due: g("due")?,
+        crash: g("crash")?,
+        hang: g("hang")?,
+        masked: g("masked")?,
+        sdc: g("sdc")?,
+        recovered_correct: g("rec_correct")?,
+        recovered_replay: g("rec_replay")?,
+        recovered_relaunch: g("rec_relaunch")?,
+        miscorrected: g("miscorrected")?,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn arch_checkpoint_json(
+    mode: &str,
+    engine: &str,
+    mix: &str,
+    workload: &str,
+    scheme: &str,
+    seed: u64,
+    fuel: u64,
+    trials: u64,
+    completed: u64,
+    classes: &FaultClassTallies,
+    rs: &RecoveryStats,
+) -> String {
+    format!(
+        "{{\"campaign\":\"arch\",\"mode\":\"{mode}\",\"engine\":\"{engine}\",\
+         \"faultmix\":\"{}\",\"workload\":\"{}\",\"scheme\":\"{}\",\
+         \"seed\":{seed},\"fuel\":{fuel},\"trials\":{trials},\"completed\":{completed},\
+         {},{},{},{},\
+         \"ckpts\":{},\"replays\":{},\"replayed\":{},\"corrections\":{},\"relaunches\":{}}}",
+        json_escape(mix),
+        json_escape(workload),
+        json_escape(scheme),
+        outcome_fields("", &classes.aggregate()),
+        outcome_fields("t_", &classes.transient),
+        outcome_fields("c_", &classes.control),
+        outcome_fields("s_", &classes.stuck_at),
         rs.checkpoints,
         rs.replays,
         rs.replayed_instructions,
@@ -457,17 +553,29 @@ fn arch_checkpoint_json(
     )
 }
 
-/// What loading an arch checkpoint found.
+/// What loading an arch checkpoint found. The resumable payload dwarfs the
+/// rejection variants, but exactly one value exists per campaign launch, so
+/// boxing it would buy nothing.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
 pub enum ArchCheckpoint {
-    /// Identity and engine match: resume from `(completed, tallies, stats)`.
-    Resumable(u64, ArchOutcomes, RecoveryStats),
+    /// Identity, engine and fault mix match: resume from
+    /// `(completed, per-class tallies, stats)`.
+    Resumable(u64, FaultClassTallies, RecoveryStats),
     /// Identity matches but the checkpoint was written by a different (or
     /// pre-tagging) trial engine: it describes the *same* campaign, so it
     /// must not be silently ignored — the caller rejects it loudly and
     /// restarts from trial 0.
     StaleEngine {
         /// The engine tag found in the file (empty when absent).
+        found: String,
+    },
+    /// Identity and engine match but the checkpoint was drawn under a
+    /// different fault-class mix (or predates mix tagging): per-trial
+    /// draws differ, so resuming would mix incomparable tallies. Rejected
+    /// loudly, campaign restarts from trial 0.
+    StaleFaultMix {
+        /// The mix tag found in the file (empty when absent).
         found: String,
     },
     /// A different campaign's checkpoint (or a torn/foreign file): ignored.
@@ -481,12 +589,14 @@ pub enum ArchCheckpoint {
 /// campaign's tallies (and vice versa): same trials, different bucket
 /// semantics. The `engine` field keeps a checkpoint written by an older
 /// trial engine (pre fast-forward) from resuming into tallies produced by
-/// the new one.
+/// the new one, and `faultmix` does the same for the fault-class sampling
+/// mix (which changes every per-trial draw).
 #[allow(clippy::too_many_arguments)]
 fn load_arch_checkpoint(
     path: &Path,
     mode: &str,
     engine: &str,
+    mix: &str,
     workload: &str,
     scheme: &str,
     seed: u64,
@@ -512,19 +622,23 @@ fn load_arch_checkpoint(
                 found: found_engine.to_owned(),
             });
         }
+        let found_mix = field(&f, "faultmix").unwrap_or("");
+        if found_mix != mix {
+            return Some(ArchCheckpoint::StaleFaultMix {
+                found: found_mix.to_owned(),
+            });
+        }
         let completed = field_u64(&f, "completed")?;
-        let tallies = ArchOutcomes {
-            trap: field_u64(&f, "trap")?,
-            due: field_u64(&f, "due")?,
-            crash: field_u64(&f, "crash")?,
-            hang: field_u64(&f, "hang")?,
-            masked: field_u64(&f, "masked")?,
-            sdc: field_u64(&f, "sdc")?,
-            recovered_correct: field_u64(&f, "rec_correct")?,
-            recovered_replay: field_u64(&f, "rec_replay")?,
-            recovered_relaunch: field_u64(&f, "rec_relaunch")?,
-            miscorrected: field_u64(&f, "miscorrected")?,
+        let classes = FaultClassTallies {
+            transient: parse_outcome_fields(&f, "t_")?,
+            control: parse_outcome_fields(&f, "c_")?,
+            stuck_at: parse_outcome_fields(&f, "s_")?,
         };
+        // The aggregate fields are redundant with the class buckets; a
+        // disagreement means a torn or hand-edited file.
+        if parse_outcome_fields(&f, "")? != classes.aggregate() {
+            return None;
+        }
         let stats = RecoveryStats {
             checkpoints: field_u64(&f, "ckpts")?,
             replays: field_u64(&f, "replays")?,
@@ -532,8 +646,8 @@ fn load_arch_checkpoint(
             corrections: field_u64(&f, "corrections")?,
             relaunches: u32::try_from(field_u64(&f, "relaunches")?).ok()?,
         };
-        (completed <= trials && tallies.total() == completed)
-            .then_some(ArchCheckpoint::Resumable(completed, tallies, stats))
+        (completed <= trials && classes.total() == completed)
+            .then_some(ArchCheckpoint::Resumable(completed, classes, stats))
     };
     inner().unwrap_or(ArchCheckpoint::Mismatch)
 }
@@ -557,6 +671,7 @@ pub fn run_arch_campaign_checkpointed(
 ) -> Result<CampaignRun, PrepError> {
     let campaign = ArchCampaign::prepare(workload, scheme, seed)?;
     let engine = campaign.engine_tag();
+    let mix_tag = campaign.mix().tag();
     let scheme_label = scheme.label();
     let name = format!("arch-{}-{}", slug(workload.name), slug(&scheme_label));
     let ckpt_path = ck.dir.as_ref().map(|d| {
@@ -569,11 +684,12 @@ pub fn run_arch_campaign_checkpointed(
         log.record(&name, 0, 0, &msg);
     }
     let mut stale_engine = false;
-    let (mut completed, mut tallies) = match ckpt_path.as_deref().map(|p| {
+    let (mut completed, mut classes) = match ckpt_path.as_deref().map(|p| {
         load_arch_checkpoint(
             p,
             "plain",
             engine,
+            &mix_tag,
             workload.name,
             &scheme_label,
             seed,
@@ -581,7 +697,7 @@ pub fn run_arch_campaign_checkpointed(
             trials,
         )
     }) {
-        Some(ArchCheckpoint::Resumable(completed, tallies, _)) => (completed, tallies),
+        Some(ArchCheckpoint::Resumable(completed, classes, _)) => (completed, classes),
         Some(ArchCheckpoint::StaleEngine { found }) => {
             stale_engine = true;
             log.record(
@@ -593,25 +709,39 @@ pub fn run_arch_campaign_checkpointed(
                      \"{engine}\"; restarting from trial 0"
                 ),
             );
-            (0, ArchOutcomes::default())
+            (0, FaultClassTallies::default())
         }
-        Some(ArchCheckpoint::Mismatch) | None => (0, ArchOutcomes::default()),
+        Some(ArchCheckpoint::StaleFaultMix { found }) => {
+            stale_engine = true;
+            log.record(
+                &name,
+                0,
+                0,
+                &format!(
+                    "checkpoint fault mix \"{found}\" is incompatible with \
+                     \"{mix_tag}\"; restarting from trial 0"
+                ),
+            );
+            (0, FaultClassTallies::default())
+        }
+        Some(ArchCheckpoint::Mismatch) | None => (0, FaultClassTallies::default()),
     };
 
-    let save = |completed: u64, tallies: &ArchOutcomes| {
+    let save = |completed: u64, classes: &FaultClassTallies| {
         if let Some(p) = &ckpt_path {
             let _ = write_atomic(
                 p,
                 &arch_checkpoint_json(
                     "plain",
                     engine,
+                    &mix_tag,
                     workload.name,
                     &scheme_label,
                     seed,
                     campaign.fuel,
                     trials,
                     completed,
-                    tallies,
+                    classes,
                     &RecoveryStats::default(),
                 ),
             );
@@ -621,32 +751,39 @@ pub fn run_arch_campaign_checkpointed(
     let mut done_this_run = 0u64;
     while completed < trials {
         if ck.stop_after == Some(done_this_run) {
-            save(completed, &tallies);
+            save(completed, &classes);
             return Ok(CampaignRun {
-                outcomes: tallies,
+                outcomes: classes.aggregate(),
+                classes,
                 completed,
                 finished: false,
                 anomalies: log.count,
                 stale_engine,
             });
         }
-        let outcome = contain(ck.max_retries, |salt| {
-            campaign.run_trial_salted(completed, salt)
+        let (class, outcome) = contain(ck.max_retries, |salt| {
+            campaign.run_trial_classed_salted(completed, salt)
         })
         .unwrap_or_else(|panic_msg| {
             log.record(&name, completed, ck.max_retries, &panic_msg);
-            TrialOutcome::Crash
+            // Attribute the contained crash to the salt-0 draw's class —
+            // the deterministic one a re-run would see first.
+            (
+                campaign.trial_fault_salted(completed, 0).class,
+                TrialOutcome::Crash,
+            )
         });
-        tallies.record(outcome);
+        classes.record(class, outcome);
         completed += 1;
         done_this_run += 1;
         if ck.interval > 0 && completed % ck.interval == 0 {
-            save(completed, &tallies);
+            save(completed, &classes);
         }
     }
-    save(completed, &tallies);
+    save(completed, &classes);
     Ok(CampaignRun {
-        outcomes: tallies,
+        outcomes: classes.aggregate(),
+        classes,
         completed,
         finished: true,
         anomalies: log.count,
@@ -657,9 +794,11 @@ pub fn run_arch_campaign_checkpointed(
 /// Progress of a checkpointed detect-and-recover campaign invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecoveryCampaignRun {
-    /// Tallies over every completed trial (resumed + this invocation),
-    /// including the `recovered_*`/`miscorrected` buckets.
+    /// Aggregate tallies over every completed trial (resumed + this
+    /// invocation), including the `recovered_*`/`miscorrected` buckets.
     pub outcomes: ArchOutcomes,
+    /// The same tallies split by fault class.
+    pub classes: FaultClassTallies,
     /// Recovery work summed over every completed trial.
     pub stats: RecoveryStats,
     /// Trials completed so far.
@@ -694,6 +833,7 @@ pub fn run_recovery_campaign_checkpointed(
 ) -> Result<RecoveryCampaignRun, PrepError> {
     let campaign = ArchCampaign::prepare(workload, scheme, seed)?;
     let engine = campaign.recovery_engine_tag();
+    let mix_tag = campaign.mix().tag();
     let scheme_label = scheme.label();
     let name = format!("recover-{}-{}", slug(workload.name), slug(&scheme_label));
     let ckpt_path = ck.dir.as_ref().map(|d| {
@@ -706,11 +846,12 @@ pub fn run_recovery_campaign_checkpointed(
         log.record(&name, 0, 0, &msg);
     }
     let mut stale_engine = false;
-    let (mut completed, mut tallies, mut stats) = match ckpt_path.as_deref().map(|p| {
+    let (mut completed, mut classes, mut stats) = match ckpt_path.as_deref().map(|p| {
         load_arch_checkpoint(
             p,
             "recover",
             engine,
+            &mix_tag,
             workload.name,
             &scheme_label,
             seed,
@@ -718,7 +859,7 @@ pub fn run_recovery_campaign_checkpointed(
             trials,
         )
     }) {
-        Some(ArchCheckpoint::Resumable(completed, tallies, stats)) => (completed, tallies, stats),
+        Some(ArchCheckpoint::Resumable(completed, classes, stats)) => (completed, classes, stats),
         Some(ArchCheckpoint::StaleEngine { found }) => {
             stale_engine = true;
             log.record(
@@ -730,27 +871,41 @@ pub fn run_recovery_campaign_checkpointed(
                      \"{engine}\"; restarting from trial 0"
                 ),
             );
-            (0, ArchOutcomes::default(), RecoveryStats::default())
+            (0, FaultClassTallies::default(), RecoveryStats::default())
+        }
+        Some(ArchCheckpoint::StaleFaultMix { found }) => {
+            stale_engine = true;
+            log.record(
+                &name,
+                0,
+                0,
+                &format!(
+                    "checkpoint fault mix \"{found}\" is incompatible with \
+                     \"{mix_tag}\"; restarting from trial 0"
+                ),
+            );
+            (0, FaultClassTallies::default(), RecoveryStats::default())
         }
         Some(ArchCheckpoint::Mismatch) | None => {
-            (0, ArchOutcomes::default(), RecoveryStats::default())
+            (0, FaultClassTallies::default(), RecoveryStats::default())
         }
     };
 
-    let save = |completed: u64, tallies: &ArchOutcomes, stats: &RecoveryStats| {
+    let save = |completed: u64, classes: &FaultClassTallies, stats: &RecoveryStats| {
         if let Some(p) = &ckpt_path {
             let _ = write_atomic(
                 p,
                 &arch_checkpoint_json(
                     "recover",
                     engine,
+                    &mix_tag,
                     workload.name,
                     &scheme_label,
                     seed,
                     campaign.fuel,
                     trials,
                     completed,
-                    tallies,
+                    classes,
                     stats,
                 ),
             );
@@ -760,9 +915,10 @@ pub fn run_recovery_campaign_checkpointed(
     let mut done_this_run = 0u64;
     while completed < trials {
         if ck.stop_after == Some(done_this_run) {
-            save(completed, &tallies, &stats);
+            save(completed, &classes, &stats);
             return Ok(RecoveryCampaignRun {
-                outcomes: tallies,
+                outcomes: classes.aggregate(),
+                classes,
                 stats,
                 completed,
                 finished: false,
@@ -770,27 +926,31 @@ pub fn run_recovery_campaign_checkpointed(
                 stale_engine,
             });
         }
-        let trial = contain(ck.max_retries, |salt| {
-            campaign.run_trial_recovering_salted(completed, salt, &rcfg.recovery)
+        let (class, trial) = contain(ck.max_retries, |salt| {
+            campaign.run_trial_recovering_classed_salted(completed, salt, &rcfg.recovery)
         })
         .unwrap_or_else(|panic_msg| {
             log.record(&name, completed, ck.max_retries, &panic_msg);
-            crate::arch::RecoveredTrial {
-                outcome: TrialOutcome::Crash,
-                stats: RecoveryStats::default(),
-            }
+            (
+                campaign.trial_fault_salted(completed, 0).class,
+                crate::arch::RecoveredTrial {
+                    outcome: TrialOutcome::Crash,
+                    stats: RecoveryStats::default(),
+                },
+            )
         });
-        tallies.record(trial.outcome);
+        classes.record(class, trial.outcome);
         stats.merge(&trial.stats);
         completed += 1;
         done_this_run += 1;
         if ck.interval > 0 && completed % ck.interval == 0 {
-            save(completed, &tallies, &stats);
+            save(completed, &classes, &stats);
         }
     }
-    save(completed, &tallies, &stats);
+    save(completed, &classes, &stats);
     Ok(RecoveryCampaignRun {
-        outcomes: tallies,
+        outcomes: classes.aggregate(),
+        classes,
         stats,
         completed,
         finished: true,
@@ -1089,17 +1249,29 @@ mod tests {
 
     #[test]
     fn flat_json_roundtrips() {
-        let t = ArchOutcomes {
-            trap: 1,
-            due: 2,
-            crash: 3,
-            hang: 4,
-            masked: 5,
-            sdc: 6,
-            recovered_correct: 7,
-            recovered_replay: 8,
-            recovered_relaunch: 9,
-            miscorrected: 1,
+        let classes = FaultClassTallies {
+            transient: ArchOutcomes {
+                trap: 1,
+                due: 2,
+                crash: 3,
+                hang: 4,
+                masked: 5,
+                sdc: 6,
+                recovered_correct: 7,
+                recovered_replay: 8,
+                recovered_relaunch: 9,
+                miscorrected: 1,
+            },
+            control: ArchOutcomes {
+                hang: 17,
+                sdc: 2,
+                ..ArchOutcomes::default()
+            },
+            stuck_at: ArchOutcomes {
+                due: 11,
+                masked: 4,
+                ..ArchOutcomes::default()
+            },
         };
         let rs = RecoveryStats {
             checkpoints: 11,
@@ -1111,43 +1283,60 @@ mod tests {
         let line = arch_checkpoint_json(
             "recover",
             ENGINE_CLASSIC,
+            "t1c1s1",
             "bfs",
             "Swap-ECC",
             9,
             1000,
-            60,
-            46,
-            &t,
+            100,
+            80,
+            &classes,
             &rs,
         );
         let f = parse_flat(&line).expect("parses");
         assert_eq!(field(&f, "mode"), Some("recover"));
         assert_eq!(field(&f, "engine"), Some("classic"));
+        assert_eq!(field(&f, "faultmix"), Some("t1c1s1"));
         assert_eq!(field(&f, "workload"), Some("bfs"));
         assert_eq!(field(&f, "scheme"), Some("Swap-ECC"));
-        assert_eq!(field_u64(&f, "completed"), Some(46));
-        assert_eq!(field_u64(&f, "hang"), Some(4));
-        assert_eq!(field_u64(&f, "rec_replay"), Some(8));
+        assert_eq!(field_u64(&f, "completed"), Some(80));
+        // Aggregate fields merge the classes; per-class fields round-trip.
+        assert_eq!(field_u64(&f, "hang"), Some(21));
+        assert_eq!(field_u64(&f, "due"), Some(13));
+        assert_eq!(field_u64(&f, "t_rec_replay"), Some(8));
+        assert_eq!(field_u64(&f, "c_hang"), Some(17));
+        assert_eq!(field_u64(&f, "s_due"), Some(11));
         assert_eq!(field_u64(&f, "miscorrected"), Some(1));
         assert_eq!(field_u64(&f, "replayed"), Some(13));
+        assert_eq!(parse_outcome_fields(&f, "t_"), Some(classes.transient));
+        assert_eq!(parse_outcome_fields(&f, "c_"), Some(classes.control));
+        assert_eq!(parse_outcome_fields(&f, "s_"), Some(classes.stuck_at));
+        assert_eq!(parse_outcome_fields(&f, ""), Some(classes.aggregate()));
+    }
+
+    fn masked_classes(n: u64) -> FaultClassTallies {
+        FaultClassTallies {
+            transient: ArchOutcomes {
+                masked: n,
+                ..ArchOutcomes::default()
+            },
+            ..FaultClassTallies::default()
+        }
     }
 
     #[test]
     fn mode_mismatch_rejects_checkpoint() {
-        let t = ArchOutcomes {
-            masked: 3,
-            ..ArchOutcomes::default()
-        };
         let line = arch_checkpoint_json(
             "plain",
             ENGINE_FAST_FORWARD,
+            "t1c0s0",
             "bfs",
             "Swap-ECC",
             9,
             1000,
             40,
             3,
-            &t,
+            &masked_classes(3),
             &RecoveryStats::default(),
         );
         let path = std::env::temp_dir().join(format!(
@@ -1161,6 +1350,7 @@ mod tests {
                 &path,
                 "recover",
                 ENGINE_CLASSIC,
+                "t1c0s0",
                 "bfs",
                 "Swap-ECC",
                 9,
@@ -1174,6 +1364,7 @@ mod tests {
                 &path,
                 "plain",
                 ENGINE_FAST_FORWARD,
+                "t1c0s0",
                 "bfs",
                 "Swap-ECC",
                 9,
@@ -1187,10 +1378,6 @@ mod tests {
 
     #[test]
     fn engine_mismatch_is_stale_not_ignored() {
-        let t = ArchOutcomes {
-            masked: 3,
-            ..ArchOutcomes::default()
-        };
         // A checkpoint written by the pre-fast-forward code has no engine
         // field at all; one written by a future engine has a different tag.
         // Both describe *this* campaign, so both must surface as StaleEngine
@@ -1198,13 +1385,14 @@ mod tests {
         let untagged = arch_checkpoint_json(
             "plain",
             ENGINE_FAST_FORWARD,
+            "t1c0s0",
             "bfs",
             "Swap-ECC",
             9,
             1000,
             40,
             3,
-            &t,
+            &masked_classes(3),
             &RecoveryStats::default(),
         )
         .replace(&format!("\"engine\":\"{ENGINE_FAST_FORWARD}\","), "");
@@ -1217,6 +1405,7 @@ mod tests {
             &path,
             "plain",
             ENGINE_FAST_FORWARD,
+            "t1c0s0",
             "bfs",
             "Swap-ECC",
             9,
@@ -1227,6 +1416,99 @@ mod tests {
             _ => panic!("untagged checkpoint must be stale"),
         }
         let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fault_mix_mismatch_is_stale_not_ignored() {
+        // Same campaign identity and engine, but the tallies were drawn
+        // under a different class mix: per-trial draws differ, so the
+        // checkpoint must be rejected loudly (not resumed, not silently
+        // ignored). A pre-taxonomy checkpoint with no faultmix field at all
+        // gets the same treatment.
+        let line = arch_checkpoint_json(
+            "plain",
+            ENGINE_FAST_FORWARD,
+            "t1c1s1",
+            "bfs",
+            "Swap-ECC",
+            9,
+            1000,
+            40,
+            3,
+            &masked_classes(3),
+            &RecoveryStats::default(),
+        );
+        let path = std::env::temp_dir().join(format!(
+            "swapcodes-harness-mix-{}.ckpt.json",
+            std::process::id()
+        ));
+        write_atomic(&path, &line).expect("write");
+        match load_arch_checkpoint(
+            &path,
+            "plain",
+            ENGINE_FAST_FORWARD,
+            "t1c0s0",
+            "bfs",
+            "Swap-ECC",
+            9,
+            1000,
+            40,
+        ) {
+            ArchCheckpoint::StaleFaultMix { found } => assert_eq!(found, "t1c1s1"),
+            other => panic!("mix mismatch must be StaleFaultMix, got {other:?}"),
+        }
+        let unmixed = line.replace("\"faultmix\":\"t1c1s1\",", "");
+        write_atomic(&path, &unmixed).expect("write");
+        match load_arch_checkpoint(
+            &path,
+            "plain",
+            ENGINE_FAST_FORWARD,
+            "t1c0s0",
+            "bfs",
+            "Swap-ECC",
+            9,
+            1000,
+            40,
+        ) {
+            ArchCheckpoint::StaleFaultMix { found } => assert_eq!(found, ""),
+            other => panic!("pre-taxonomy checkpoint must be StaleFaultMix, got {other:?}"),
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn anomaly_log_rotates_at_cap_with_tail_marker() {
+        let dir =
+            std::env::temp_dir().join(format!("swapcodes-harness-rotate-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("anomalies.jsonl");
+        let _ = fs::remove_file(&path);
+        // Force a tiny cap by rotating manually around ordinary appends.
+        let mut log = AnomalyLog::new(Some(&dir));
+        let long_msg = "x".repeat(100);
+        for i in 0..40u64 {
+            log.record("rotate-test", i, 3, &long_msg);
+            rotate_anomaly_log(&path, 2048);
+        }
+        let text = fs::read_to_string(&path).expect("log exists");
+        assert!(
+            text.len() <= 4096,
+            "log stays bounded after rotation: {} bytes",
+            text.len()
+        );
+        let first = text.lines().next().expect("non-empty");
+        let f = parse_flat(first).expect("marker parses");
+        assert_eq!(field(&f, "rotated"), Some("true"));
+        let dropped = field_u64(&f, "dropped").expect("dropped count");
+        assert!(dropped > 0, "old lines were dropped");
+        // The newest line always survives rotation.
+        let last = text.lines().last().expect("non-empty");
+        let lf = parse_flat(last).expect("tail line parses");
+        assert_eq!(field_u64(&lf, "item"), Some(39));
+        // Dropped + retained = everything ever logged.
+        let retained = text.lines().count() as u64 - 1;
+        assert_eq!(dropped + retained, 40);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

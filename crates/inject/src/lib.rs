@@ -33,8 +33,8 @@ pub mod stats;
 pub mod trace;
 
 pub use arch::{
-    arch_campaign, ArchCampaign, ArchOutcomes, CampaignOptions, PrepError, RecoveredTrial,
-    TrialOutcome, TrialTelemetry,
+    arch_campaign, ArchCampaign, ArchOutcomes, CampaignOptions, FaultClassTallies, FaultMix,
+    PrepError, RecoveredTrial, TrialOutcome, TrialTelemetry,
 };
 pub use detection::{sdc_risk, DetectionTally};
 pub use gate::{
@@ -42,13 +42,17 @@ pub use gate::{
     PatternCounts, UnitCampaignResult,
 };
 pub use harness::{
-    checkpoint_dir_from_env, contain, exec_tier_from_env, fuel_from_env,
+    checkpoint_dir_from_env, contain, exec_tier_from_env, fault_mix_from_env, fuel_from_env,
     run_arch_campaign_checkpointed, run_recovery_campaign_checkpointed,
     run_unit_campaign_checkpointed, snapshot_interval_from_env, take_env_anomalies,
     threads_from_env, AnomalyLog, ArchCheckpoint, CampaignRun, CheckpointConfig,
-    RecoveryCampaignRun, UnitCampaignRun, ENGINE_CLASSIC, ENGINE_FAST_FORWARD,
+    RecoveryCampaignRun, UnitCampaignRun, ANOMALY_LOG_CAP_BYTES, ENGINE_CLASSIC,
+    ENGINE_FAST_FORWARD,
 };
-pub use oracle::{differential_oracle, recovery_oracle, OracleVerdict, RecoveryVerdict};
+pub use oracle::{
+    control_fault_gap, differential_oracle, recovery_oracle, ControlGapVerdict, OracleVerdict,
+    RecoveryVerdict,
+};
 pub use recovery::{run_recovery_campaign, RecoveryCampaignConfig, RecoveryCell};
 pub use stats::Proportion;
 pub use trace::workload_operand_streams;

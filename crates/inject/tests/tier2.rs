@@ -27,7 +27,11 @@ fn cells() -> Vec<(&'static str, Scheme)> {
 }
 
 fn opts(tier: ExecTier, peephole: bool) -> CampaignOptions {
-    CampaignOptions { tier, peephole }
+    CampaignOptions {
+        tier,
+        peephole,
+        ..CampaignOptions::default()
+    }
 }
 
 proptest! {

@@ -11,7 +11,7 @@ use swapcodes_isa::{
     CmpOp, CmpTy, Instr, Kernel, MemSpace, MemWidth, Op, Reg, Role, ShflMode, SpecialReg, Src,
 };
 
-use crate::fault::{FaultSpec, FaultTarget};
+use crate::fault::{ControlTarget, FaultSpec, FaultTarget};
 use crate::memory::{GlobalMemory, SharedMemory};
 use crate::profiler::{traced_unit, OperandTrace, ProfileCounts};
 use crate::recovery::{RecoverySpec, RecoveryStats};
@@ -290,6 +290,7 @@ impl Executor {
             pending_due: None,
             rstats: RecoveryStats::default(),
             fuel_refund: 0,
+            control_delivered: false,
         };
         r.run();
         if let Some(e) = r.error {
@@ -310,11 +311,14 @@ impl Executor {
 }
 
 /// A recovery checkpoint: the shared architectural [`WarpSnapshot`] plus
-/// the trace length, which lets rollback discard replayed entries.
+/// the trace length, which lets rollback discard replayed entries, and the
+/// barrier wait flag — a control fault can corrupt barrier state, and a
+/// replay that resurrects the wrong wait state would deadlock the CTA.
 #[derive(Clone)]
 struct WarpCheckpoint {
     snap: WarpSnapshot,
     trace_len: usize,
+    waiting_bar: bool,
 }
 
 struct Warp {
@@ -364,6 +368,11 @@ struct Runner<'a> {
     /// Instructions discarded by rollbacks, refunded to the fuel budget so
     /// every replay attempt runs on a fresh budget.
     fuel_refund: u64,
+    /// A control-state strike is one-shot: once delivered it never recurs,
+    /// even across warp replays (the replayed instructions re-execute on
+    /// already-corrupted control state, exactly like a transient strike
+    /// whose eligible counter has moved past it).
+    control_delivered: bool,
 }
 
 impl Runner<'_> {
@@ -407,7 +416,7 @@ impl Runner<'_> {
         w.preds = ck.snap.preds;
         w.rf = ck.snap.rf.clone();
         w.trace.truncate(ck.trace_len);
-        w.waiting_bar = false;
+        w.waiting_bar = ck.waiting_bar;
         w.replays += 1;
         self.rstats.replays += 1;
         self.rstats.replayed_instructions += w.since_ckpt;
@@ -527,6 +536,7 @@ fn checkpoint(rstats: &mut RecoveryStats, w: &mut Warp) {
             rf: w.rf.clone(),
         },
         trace_len: w.trace.len(),
+        waiting_bar: w.waiting_bar,
     }));
     w.since_ckpt = 0;
     w.dirty = false;
@@ -555,6 +565,42 @@ fn step(r: &mut Runner<'_>, w: &mut Warp, shared: &mut SharedMemory) {
         return;
     }
     let instr = r.kernel.instrs()[pc];
+
+    // Control-state strike: delivered to the warp issuing global dynamic
+    // instruction `eligible_index`, before guard evaluation (a predicate
+    // strike misguards the very instruction it lands on). State-only
+    // targets corrupt the warp's control state and abort the issue — the
+    // fetched instruction is lost, the next fetch sees corrupted state —
+    // without advancing the dynamic counter, so delivery points line up
+    // across execution engines.
+    if let Some(f) = r.cfg.fault {
+        if let Some(ct) = f.control_target() {
+            if !r.control_delivered && r.dyn_count >= f.eligible_index {
+                r.control_delivered = true;
+                r.faults_applied += 1;
+                match ct {
+                    ControlTarget::Predicate => {
+                        w.preds[f.lane as usize] ^= f.xor_mask as u8;
+                    }
+                    ControlTarget::ActiveMask => {
+                        w.frags[fi].mask ^= f.xor_mask as u32;
+                        if w.frags[fi].mask == 0 {
+                            w.frags.remove(fi);
+                        }
+                        return;
+                    }
+                    ControlTarget::Barrier => {
+                        w.waiting_bar = !w.waiting_bar;
+                        return;
+                    }
+                    ControlTarget::SchedulerSlot => {
+                        w.frags[fi].pc ^= f.xor_mask as usize;
+                        return;
+                    }
+                }
+            }
+        }
+    }
     let frag_mask = w.frags[fi].mask;
 
     // Guard evaluation.
@@ -601,7 +647,7 @@ fn step(r: &mut Runner<'_>, w: &mut Warp, shared: &mut SharedMemory) {
                 FaultTarget::Shadow => shadow_like,
             };
             if matches {
-                if r.eligible_seen == f.eligible_index {
+                if f.fires_at(r.eligible_seen) {
                     inject = Some(f);
                 }
                 r.eligible_seen += 1;
@@ -742,7 +788,7 @@ fn exec_op(
             let mut value = golden;
             if let Some(fs) = inject {
                 if fs.lane == lane {
-                    value ^= fs.xor_mask as u32;
+                    value = fs.apply32(value);
                     r.faults_applied += 1;
                 }
             }
@@ -803,7 +849,7 @@ fn exec_op(
                 let mut value = golden;
                 if let Some(fs) = inject {
                     if fs.lane == lane {
-                        value ^= fs.xor_mask as u32;
+                        value = fs.apply32(value);
                         r.faults_applied += 1;
                     }
                 }
@@ -858,7 +904,7 @@ fn exec_op(
                 let mut value = golden;
                 if let Some(fs) = inject {
                     if fs.lane == lane {
-                        value ^= fs.xor_mask;
+                        value = fs.apply64(value);
                         r.faults_applied += 1;
                     }
                 }
@@ -950,7 +996,7 @@ fn exec_op(
                 let mut value = golden;
                 if let Some(fs) = inject {
                     if fs.lane == lane {
-                        value ^= fs.xor_mask as u32;
+                        value = fs.apply32(value);
                         r.faults_applied += 1;
                     }
                 }
@@ -1029,7 +1075,7 @@ fn exec_op(
                 let mut value = golden;
                 if let Some(fs) = inject {
                     if fs.lane == lane {
-                        value ^= fs.xor_mask;
+                        value = fs.apply64(value);
                         r.faults_applied += 1;
                     }
                 }
@@ -1056,7 +1102,7 @@ fn exec_op(
                 let mut value = golden;
                 if let Some(fs) = inject {
                     if fs.lane == lane {
-                        value ^= fs.xor_mask;
+                        value = fs.apply64(value);
                         r.faults_applied += 1;
                     }
                 }

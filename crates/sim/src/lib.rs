@@ -39,7 +39,10 @@ pub mod tier2;
 pub mod timing;
 
 pub use exec::{ExecError, ExecOutcome, Executor, Launch, TraceEntry, WarpTrace};
-pub use fault::{FaultSpec, FaultTarget};
+pub use fault::{
+    ControlTarget, FaultClass, FaultSpec, FaultSpecError, FaultTarget, StuckAtSpec, RESULT_WIDTH,
+    WARP_WIDTH,
+};
 pub use memory::{GlobalMemory, SharedMemory};
 pub use occupancy::{occupancy, GpuConfig, Occupancy};
 pub use predecode::PredecodedKernel;

@@ -280,9 +280,13 @@ impl RecoveryEngine {
             }
         }
 
-        // Escalate: relaunch from the input snapshot. The transient fault
-        // already struck (attempt 0) and does not recur on re-execution.
-        cfg.fault = None;
+        // Escalate: relaunch from the input snapshot. A transient or
+        // control-state strike already fired (attempt 0) and does not recur
+        // on re-execution, so it is disarmed; a permanent stuck-at site is
+        // physical and stays armed across every relaunch.
+        if cfg.fault.is_some_and(|f| !f.persists_across_relaunch()) {
+            cfg.fault = None;
+        }
         for _ in 0..self.config.max_relaunches {
             stats.relaunches += 1;
             let mut m = input.clone();

@@ -37,7 +37,7 @@
 //! interpreter stays as the differential reference.
 
 use crate::exec::{compare, Detection, ExecConfig, ExecError, Launch};
-use crate::fault::{FaultSpec, FaultTarget};
+use crate::fault::{ControlTarget, FaultClass, FaultSpec, FaultTarget};
 use crate::memory::{GlobalMemory, SharedMemory};
 use crate::predecode::{
     Alu1Kind, Alu2Kind, Guard, MicroOp, PShflMode, PSrc, PredecodedKernel, UOp, WriteMode,
@@ -232,6 +232,7 @@ impl CampaignEngine {
             truncated: false,
             error: None,
             faults_applied: 0,
+            control_delivered: false,
         };
         let mut warps = new_warps(&pk, launch, protection);
         if compiled.is_some() {
@@ -324,7 +325,17 @@ impl CampaignEngine {
         let snaps = &self.ladder.snapshots;
         let mut si = 0;
         for (i, s) in snaps.iter().enumerate() {
-            if s.eligible_for(fault.target) <= fault.eligible_index {
+            // A rung is usable while the golden prefix it captures is
+            // provably fault-free: for datapath classes that is "no
+            // matching-side eligible access has reached the strike /
+            // activation index yet"; for control strikes it is "the
+            // delivery instruction has not issued yet".
+            let before_strike = if fault.is_control() {
+                s.dyn_count <= fault.eligible_index
+            } else {
+                s.eligible_for(fault.target) <= fault.eligible_index
+            };
+            if before_strike {
                 si = i;
             } else {
                 break;
@@ -347,6 +358,7 @@ impl CampaignEngine {
             truncated: false,
             error: None,
             faults_applied: 0,
+            control_delivered: false,
         };
         let mut warps: Vec<FastWarp> = snap
             .warps
@@ -428,6 +440,9 @@ pub(crate) struct FastCtx<'a> {
     pub(crate) truncated: bool,
     pub(crate) error: Option<ExecError>,
     pub(crate) faults_applied: u32,
+    /// A control-state strike has been delivered (one-shot, keyed on the
+    /// global dynamic-instruction counter rather than the eligible ones).
+    pub(crate) control_delivered: bool,
 }
 
 impl FastCtx<'_> {
@@ -439,6 +454,31 @@ impl FastCtx<'_> {
         match target {
             FaultTarget::Original => self.eligible_orig,
             FaultTarget::Shadow => self.eligible_shadow,
+        }
+    }
+
+    /// Is the armed fault provably unable to fire from this point on?
+    /// Transients are spent once the matching-side eligible counter passed
+    /// the strike index; a control strike is spent once delivered; a
+    /// stuck-at defect is never spent (it re-asserts forever), which
+    /// disables golden-convergence early-exit for that class.
+    pub(crate) fn strike_spent(&self, f: &FaultSpec) -> bool {
+        match f.class {
+            FaultClass::Transient => self.eligible_for(f.target) > f.eligible_index,
+            FaultClass::Control(_) => self.control_delivered,
+            FaultClass::StuckAt(_) => false,
+        }
+    }
+
+    /// Will an undelivered control strike land within the next `n` issued
+    /// instructions? Tier-2 bulk walks and fused closures must drop to the
+    /// exact interpreter path across the delivery point.
+    pub(crate) fn control_pending_within(&self, n: u64) -> bool {
+        match self.fault {
+            Some(f) if f.is_control() && !self.control_delivered => {
+                f.eligible_index < self.dyn_count + n
+            }
+            _ => false,
         }
     }
 
@@ -582,7 +622,7 @@ fn run_rounds(
                     }
                     if *idx < snaps.len()
                         && snaps[*idx].dyn_count == ctx.dyn_count
-                        && ctx.eligible_for(fault.target) > fault.eligible_index
+                        && ctx.strike_spent(fault)
                     {
                         // The stored-state comparison reads check bits:
                         // restore any the tier-2 engine deferred first.
@@ -685,6 +725,9 @@ fn step(ctx: &mut FastCtx<'_>, w: &mut FastWarp) {
 /// execution, DUE promotion and fragment merging — everything `step` does
 /// after picking the fragment and bounds-checking the PC.
 pub(crate) fn step_with(ctx: &mut FastCtx<'_>, w: &mut FastWarp, mop: &MicroOp, fi: usize) {
+    if deliver_control(ctx, w, fi) {
+        return;
+    }
     let frag_mask = w.frags[fi].mask;
     let exec_mask = eval_guard(mop.guard, frag_mask, &w.preds);
 
@@ -699,6 +742,47 @@ pub(crate) fn step_with(ctx: &mut FastCtx<'_>, w: &mut FastWarp, mop: &MicroOp, 
     promote_due(ctx);
 
     merge_frags(w);
+}
+
+/// Deliver a pending control-state strike to the warp issuing the current
+/// global dynamic instruction — the predecoded twin of the reference
+/// executor's delivery block, placed before guard evaluation so a predicate
+/// strike misguards the very instruction it lands on. Returns `true` when
+/// the issue is aborted (state-only targets corrupt control state and lose
+/// the fetched instruction without advancing the dynamic counter).
+pub(crate) fn deliver_control(ctx: &mut FastCtx<'_>, w: &mut FastWarp, fi: usize) -> bool {
+    let Some(f) = ctx.fault else {
+        return false;
+    };
+    let Some(ct) = f.control_target() else {
+        return false;
+    };
+    if ctx.control_delivered || ctx.dyn_count < f.eligible_index {
+        return false;
+    }
+    ctx.control_delivered = true;
+    ctx.faults_applied += 1;
+    match ct {
+        ControlTarget::Predicate => {
+            w.preds[f.lane as usize] ^= f.xor_mask as u8;
+            false
+        }
+        ControlTarget::ActiveMask => {
+            w.frags[fi].mask ^= f.xor_mask as u32;
+            if w.frags[fi].mask == 0 {
+                w.frags.remove(fi);
+            }
+            true
+        }
+        ControlTarget::Barrier => {
+            w.waiting_bar = !w.waiting_bar;
+            true
+        }
+        ControlTarget::SchedulerSlot => {
+            w.frags[fi].pc ^= f.xor_mask as usize;
+            true
+        }
+    }
 }
 
 /// Lower a pre-decoded guard to the executing lane mask.
@@ -747,7 +831,7 @@ pub(crate) fn target_and_bump(
             FaultTarget::Shadow => &mut ctx.eligible_shadow,
         };
         if let Some(f) = ctx.fault {
-            if f.target == t && *seen == f.eligible_index {
+            if f.target == t && f.fires_at(*seen) {
                 inject = Some(f);
             }
         }
@@ -912,7 +996,7 @@ pub(crate) fn exec_uop(
             let mut value = golden;
             if let Some(fs) = inject {
                 if fs.lane == $lane {
-                    value ^= fs.xor_mask as u32;
+                    value = fs.apply32(value);
                     ctx.faults_applied += 1;
                 }
             }
@@ -925,7 +1009,7 @@ pub(crate) fn exec_uop(
             let mut value = golden;
             if let Some(fs) = inject {
                 if fs.lane == $lane {
-                    value ^= fs.xor_mask;
+                    value = fs.apply64(value);
                     ctx.faults_applied += 1;
                 }
             }
@@ -1344,12 +1428,7 @@ mod tests {
         assert!(eligible > 0);
         for idx in 0..eligible.min(24) {
             for lane in [0u32, 5, 31] {
-                let fault = FaultSpec {
-                    eligible_index: idx,
-                    lane,
-                    xor_mask: 1 << 9,
-                    target: FaultTarget::Original,
-                };
+                let fault = FaultSpec::single_bit(idx, lane, 9);
                 let fast = engine.run_trial(fault, fuel);
 
                 let mut mem = GlobalMemory::new(256);
@@ -1412,12 +1491,7 @@ mod tests {
         let fuel = c1.dynamic_instructions * 8 + 10_000;
         for idx in 0..c1.eligible_orig.min(32) {
             for lane in [0u32, 7, 31] {
-                let fault = FaultSpec {
-                    eligible_index: idx,
-                    lane,
-                    xor_mask: 1 << 13,
-                    target: FaultTarget::Original,
-                };
+                let fault = FaultSpec::single_bit(idx, lane, 13);
                 let t1 = e1.run_trial(fault, fuel);
                 let t2 = e2.run_trial(fault, fuel);
                 assert_eq!(t1.detection, t2.detection, "idx {idx} lane {lane}");
@@ -1443,14 +1517,157 @@ mod tests {
         let fuel = cap.dynamic_instructions * 8 + 10_000;
         // A late injection site must resume from a later rung, executing
         // fewer instructions than the full golden run.
-        let fault = FaultSpec {
-            eligible_index: cap.eligible_orig - 1,
-            lane: 0,
-            xor_mask: 1,
-            target: FaultTarget::Original,
-        };
+        let fault = FaultSpec::single_bit(cap.eligible_orig - 1, 0, 0);
         let t = engine.run_trial(fault, fuel);
         assert!(t.resumed_from > 0, "late trial resumed from epoch 0");
         assert!(t.executed < cap.dynamic_instructions);
+    }
+
+    /// Every control-state target, across a spread of delivery points,
+    /// matches the reference executor outcome-for-outcome on the fast path
+    /// — including trials whose control state diverges from golden (which
+    /// must not early-exit Masked) and trials that deadlock (which must
+    /// land in structured hang/trap accounting, never panic).
+    #[test]
+    fn control_fault_trials_match_reference_executor() {
+        let kernel = test_kernel();
+        let launch = Launch::grid(1, 64);
+        let initial = GlobalMemory::new(256);
+        let (engine, cap) = CampaignEngine::capture(&kernel, launch, Protection::None, &initial, 3)
+            .expect("capture");
+        let fuel = cap.dynamic_instructions * 8 + 10_000;
+        let targets = [
+            (ControlTarget::Predicate, 0b10u64),
+            (ControlTarget::ActiveMask, 0x0000_FF00),
+            (ControlTarget::Barrier, 0),
+            (ControlTarget::SchedulerSlot, 0b101),
+        ];
+        let step = (cap.dynamic_instructions / 13).max(1);
+        for (ct, mask) in targets {
+            for at in (0..cap.dynamic_instructions).step_by(step as usize) {
+                let fault = FaultSpec::try_control(at, 3, ct, mask).expect("valid control spec");
+                let fast = engine.run_trial(fault, fuel);
+
+                let mut mem = GlobalMemory::new(256);
+                let exec = Executor {
+                    config: ExecConfig {
+                        fault: Some(fault),
+                        cta_limit: Some(1),
+                        fuel: Some(fuel),
+                        ..ExecConfig::default()
+                    },
+                };
+                match exec.run(&kernel, launch, &mut mem) {
+                    Ok(r) => {
+                        assert!(fast.error.is_none(), "{ct:?}@{at}: fast errored");
+                        assert_eq!(fast.detection, r.detection, "{ct:?}@{at}");
+                        if fast.converged_early {
+                            assert_eq!(r.detection, Detection::None, "{ct:?}@{at}");
+                            assert_eq!(mem.words(), cap.mem.words(), "{ct:?}@{at}");
+                        } else {
+                            assert_eq!(fast.mem.words(), mem.words(), "{ct:?}@{at}");
+                        }
+                    }
+                    Err(e) => {
+                        assert_eq!(fast.error, Some(e), "{ct:?}@{at}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Control faults execute identically through the tier-2 threaded-code
+    /// buffer: fused superinstructions and superblock walks must drop to
+    /// exact stepping across the delivery point.
+    #[test]
+    fn tier2_control_fault_trials_match_tier1() {
+        let kernel = test_kernel();
+        let launch = Launch::grid(1, 64);
+        let initial = GlobalMemory::new(256);
+        let (e1, c1) = CampaignEngine::capture(&kernel, launch, Protection::None, &initial, 3)
+            .expect("tier1 capture");
+        let cfg = ExecConfig {
+            tier: ExecTier::Tier2,
+            ..ExecConfig::default()
+        };
+        let (e2, _) =
+            CampaignEngine::capture_config(&kernel, launch, Protection::None, &initial, 3, &cfg)
+                .expect("tier2 capture");
+        let fuel = c1.dynamic_instructions * 8 + 10_000;
+        let targets = [
+            (ControlTarget::Predicate, 0b11u64),
+            (ControlTarget::ActiveMask, 0xF0F0_F0F0),
+            (ControlTarget::Barrier, 0),
+            (ControlTarget::SchedulerSlot, 0b110),
+        ];
+        let step = (c1.dynamic_instructions / 17).max(1);
+        for (ct, mask) in targets {
+            for at in (0..c1.dynamic_instructions).step_by(step as usize) {
+                let fault = FaultSpec::try_control(at, 1, ct, mask).expect("valid control spec");
+                let t1 = e1.run_trial(fault, fuel);
+                let t2 = e2.run_trial(fault, fuel);
+                assert_eq!(t1.detection, t2.detection, "{ct:?}@{at}");
+                assert_eq!(t1.error, t2.error, "{ct:?}@{at}");
+                assert_eq!(t1.converged_early, t2.converged_early, "{ct:?}@{at}");
+                assert_eq!(t1.executed, t2.executed, "{ct:?}@{at}");
+                assert_eq!(t1.mem.words(), t2.mem.words(), "{ct:?}@{at}");
+            }
+        }
+    }
+
+    /// Stuck-at defects re-assert on every eligible access, so the fast
+    /// path must never prune their suffix via golden convergence; outcomes
+    /// still match the reference executor exactly, on both tiers.
+    #[test]
+    fn stuck_at_trials_match_reference_and_never_converge() {
+        let kernel = test_kernel();
+        let launch = Launch::grid(1, 64);
+        let initial = GlobalMemory::new(256);
+        let (e1, cap) = CampaignEngine::capture(&kernel, launch, Protection::None, &initial, 3)
+            .expect("capture");
+        let cfg = ExecConfig {
+            tier: ExecTier::Tier2,
+            ..ExecConfig::default()
+        };
+        let (e2, _) =
+            CampaignEngine::capture_config(&kernel, launch, Protection::None, &initial, 3, &cfg)
+                .expect("tier2 capture");
+        let fuel = cap.dynamic_instructions * 8 + 10_000;
+        for idx in (0..cap.eligible_orig.min(20)).step_by(3) {
+            for (value, period) in [(true, 0u32), (false, 0), (true, 2)] {
+                let fault =
+                    FaultSpec::try_stuck_at(idx, 2, 5, value, 9, period, FaultTarget::Original)
+                        .expect("valid stuck-at spec");
+                let fast = e1.run_trial(fault, fuel);
+                assert!(
+                    !fast.converged_early,
+                    "stuck-at trial must not early-exit (idx {idx})"
+                );
+                let t2 = e2.run_trial(fault, fuel);
+                assert_eq!(
+                    fast.detection, t2.detection,
+                    "idx {idx} v={value} p={period}"
+                );
+                assert_eq!(fast.error, t2.error, "idx {idx} v={value} p={period}");
+                assert_eq!(fast.mem.words(), t2.mem.words(), "idx {idx}");
+
+                let mut mem = GlobalMemory::new(256);
+                let exec = Executor {
+                    config: ExecConfig {
+                        fault: Some(fault),
+                        cta_limit: Some(1),
+                        fuel: Some(fuel),
+                        ..ExecConfig::default()
+                    },
+                };
+                match exec.run(&kernel, launch, &mut mem) {
+                    Ok(r) => {
+                        assert_eq!(fast.detection, r.detection, "idx {idx} v={value}");
+                        assert_eq!(fast.mem.words(), mem.words(), "idx {idx} v={value}");
+                    }
+                    Err(e) => assert_eq!(fast.error, Some(e), "idx {idx} v={value}"),
+                }
+            }
+        }
     }
 }

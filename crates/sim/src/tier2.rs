@@ -290,19 +290,28 @@ fn blockable(u: &UOp) -> bool {
     !matches!(u, UOp::Bra { .. } | UOp::Exit | UOp::Trap | UOp::Bar)
 }
 
-/// Would the single strike of this trial fire while the matching per-side
+/// Would the trial's datapath fault fire while the matching per-side
 /// eligible counter advances by `orig_bumps` / `shadow_bumps` from its
 /// current value? (Counters are per-side and advance by exactly one per
-/// eligible instruction, so ordering within the span is irrelevant.)
+/// eligible instruction, so ordering within the span is irrelevant.) The
+/// per-class activation windows come from [`FaultSpec::fires_at`]: a
+/// transient fires at exactly one counter value, a stuck-at defect on every
+/// in-duty value past activation — which also disables the ECC-shadow skip
+/// (its state-no-op proof fails when the shadow's recomputation would be
+/// corrupted too). Control strikes are keyed on the dynamic-instruction
+/// counter instead and are handled by [`FastCtx::control_pending_within`].
 fn strike_in_span(ctx: &FastCtx<'_>, orig_bumps: u64, shadow_bumps: u64) -> bool {
     let Some(f) = ctx.fault else {
         return false;
     };
+    if f.is_control() {
+        return false;
+    }
     let (cur, n) = match f.target {
         FaultTarget::Original => (ctx.eligible_orig, orig_bumps),
         FaultTarget::Shadow => (ctx.eligible_shadow, shadow_bumps),
     };
-    f.eligible_index >= cur && f.eligible_index < cur + n
+    (cur..cur + n).any(|seen| f.fires_at(seen))
 }
 
 /// One ECC pair under full per-pair semantics: bail to the generic
@@ -315,7 +324,7 @@ fn ecc_pair_step(
     pair: &EccPair,
     pair_window: (u64, u64),
 ) -> i32 {
-    if strike_in_span(ctx, pair_window.0, pair_window.1) {
+    if strike_in_span(ctx, pair_window.0, pair_window.1) || ctx.control_pending_within(2) {
         step_with(ctx, w, &pair.orig, fi);
         return 1;
     }
@@ -396,6 +405,7 @@ fn superblock(elems: Vec<BlockElem>) -> Thunk {
         let walk_len = cost.unsigned_abs() as u64;
         let bulk_ok = k > 0
             && !strike_in_span(ctx, orig_bumps, shadow_bumps)
+            && !ctx.control_pending_within(walk_len)
             && ctx.dyn_count + walk_len < ctx.max_dynamic
             && ctx.fuel.is_none_or(|f| ctx.dyn_count + walk_len <= f);
         if !bulk_ok {
@@ -451,7 +461,7 @@ fn superblock(elems: Vec<BlockElem>) -> Thunk {
 /// full; the branch guard is evaluated from the just-written predicates.
 fn fused_setp_bra(mop0: MicroOp, mop1: MicroOp) -> Thunk {
     Box::new(move |ctx, w, fi, _budget| {
-        if w.frags.len() != 1 {
+        if w.frags.len() != 1 || ctx.control_pending_within(2) {
             step_with(ctx, w, &mop0, fi);
             return 1;
         }

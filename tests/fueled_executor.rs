@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use swapcodes_core::{apply, PredictorSet, Scheme};
 use swapcodes_isa::{KernelBuilder, Op, Reg, SpecialReg, Src};
 use swapcodes_sim::exec::{ExecConfig, ExecError, Executor};
-use swapcodes_sim::{FaultSpec, FaultTarget, Launch};
+use swapcodes_sim::{FaultClass, FaultSpec, FaultTarget, Launch};
 use swapcodes_workloads::all;
 
 fn schemes() -> Vec<Scheme> {
@@ -48,6 +48,7 @@ proptest! {
             lane,
             xor_mask: 1u64 << bit,
             target: if shadow { FaultTarget::Shadow } else { FaultTarget::Original },
+            class: FaultClass::Transient,
         };
         let exec = Executor {
             config: ExecConfig {
