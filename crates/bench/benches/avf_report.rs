@@ -1,0 +1,14 @@
+//! Predicted-vs-measured AVF calibration table: the static vulnerability
+//! analyzer's per-class coverage predictions gated against a fresh
+//! injection campaign. `SWAPCODES_FAST=1` shrinks trials.
+
+use swapcodes_bench::figures;
+
+fn main() {
+    let trials: u64 = if std::env::var_os("SWAPCODES_FAST").is_some() {
+        120
+    } else {
+        360
+    };
+    figures::avf_report(trials, 0xACE_CA1B);
+}

@@ -13,7 +13,7 @@
 use swapcodes_core::{apply, PredictorSet, Scheme};
 use swapcodes_inject::recovery::{run_recovery_campaign, RecoveryCampaignConfig};
 use swapcodes_inject::{
-    control_fault_gap, ArchCampaign, CampaignOptions, FaultClassTallies, FaultMix,
+    avf_calibration, control_fault_gap, ArchCampaign, CampaignOptions, FaultClassTallies, FaultMix,
 };
 use swapcodes_sim::power::{estimate, PowerModel};
 use swapcodes_sim::recovery::{RecoveryConfig, RecoverySpec};
@@ -220,7 +220,7 @@ pub fn fig14_power_energy(engine: &SweepEngine) {
                 format!("{:.2}x", est.power_rel(&base)),
                 format!(
                     "{:.2}x",
-                    est.energy_rel(&base) * timing.waves as f64 / btiming.waves as f64
+                    est.energy_rel(&base) * timing.waves_fractional() / btiming.waves_fractional()
                 ),
                 format!("{:.2}x", timing.relative_to(btiming)),
             ]);
@@ -612,4 +612,66 @@ pub fn fault_taxonomy_report(names: &[&str], trials: u64, seed: u64) {
         ]);
     }
     gtable.print();
+}
+
+/// Predicted-vs-measured AVF report: the static analyzer's coverage
+/// prediction for every (workload, scheme, fault class) cell next to a
+/// fresh injection measurement, with the Wilson 95% interval the
+/// prediction must land in (or the documented per-class tolerance).
+///
+/// This is the calibration table for `swapcodes_verify::avf`: the
+/// analyzer builds ACE windows from static liveness and a fault-free
+/// issue profile — no injection trials — and the campaign here is the
+/// ground truth it is scored against. A `MISS` in the last column would
+/// fail the oracle gate in CI.
+///
+/// # Panics
+///
+/// Panics when a calibration cell fails to prepare (all cells are stock
+/// workload x scheme combinations) or a prediction misses its gate.
+pub fn avf_report(trials: u64, seed: u64) {
+    banner(
+        "Predicted vs. measured vulnerability (AVF calibration)",
+        "Static liveness ACE windows x scheme protection windows predict \
+         per-class coverage; each prediction is gated against a fresh \
+         injection measurement (inside the Wilson 95% interval, or within \
+         the per-class tolerance).",
+    );
+
+    let verdict = avf_calibration(trials, seed).expect("calibration cells prepare");
+    let mut table = Table::new(vec![
+        "benchmark".to_owned(),
+        "scheme".to_owned(),
+        "class".to_owned(),
+        "pred%".to_owned(),
+        "meas%".to_owned(),
+        "wilson95%".to_owned(),
+        "unmasked".to_owned(),
+        "gate".to_owned(),
+    ]);
+    for cell in &verdict.cells {
+        table.row(vec![
+            cell.workload.clone(),
+            cell.scheme.clone(),
+            cell.class.to_owned(),
+            format!("{:.1}", cell.predicted * 100.0),
+            format!("{:.1}", cell.measured * 100.0),
+            format!("{:.0}-{:.0}", cell.wilson.0 * 100.0, cell.wilson.1 * 100.0),
+            cell.unmasked.to_string(),
+            if cell.within() { "ok" } else { "MISS" }.to_owned(),
+        ]);
+    }
+    table.print();
+    println!(
+        "  {} cells x {} trials; control-SDC escape attribution on \
+         matmul x swap-ecc: {}/{} listed by the ranked site report",
+        verdict.cells.len(),
+        verdict.trials_per_cell,
+        verdict.escapes_listed,
+        verdict.escapes_total,
+    );
+    assert!(
+        verdict.all_within(),
+        "an AVF prediction missed its calibration gate"
+    );
 }

@@ -42,4 +42,4 @@ pub mod units;
 
 pub use builder::{Bv, CircuitBuilder};
 pub use netlist::{BatchResult, EvalScratch, Gate, Netlist, NodeId};
-pub use sites::{FaultSite, SiteCatalog};
+pub use sites::{AreaSummary, FaultSite, SiteCatalog};

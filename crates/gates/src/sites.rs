@@ -31,6 +31,31 @@ pub struct FaultSite {
     pub is_ff: bool,
 }
 
+/// Aggregate area accounting over a [`SiteCatalog`] — the compact form the
+/// vulnerability analyzer folds into its stuck-at exposure model without
+/// depending on netlist types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AreaSummary {
+    /// Total injectable area in milli-NAND2 equivalents.
+    pub total_milli: u64,
+    /// Area held by flip-flop (pipeline-state) sites.
+    pub ff_milli: u64,
+    /// Number of injectable sites.
+    pub sites: usize,
+}
+
+impl AreaSummary {
+    /// Fraction of injectable area that is persistent pipeline state.
+    #[must_use]
+    pub fn ff_fraction(&self) -> f64 {
+        if self.total_milli == 0 {
+            0.0
+        } else {
+            self.ff_milli as f64 / self.total_milli as f64
+        }
+    }
+}
+
 /// An area-weighted catalog of stuck-at sites for one netlist.
 #[derive(Debug, Clone)]
 pub struct SiteCatalog {
@@ -89,6 +114,22 @@ impl SiteCatalog {
         &self.sites
     }
 
+    /// Aggregate area accounting: total weight, flip-flop weight, and site
+    /// count.
+    #[must_use]
+    pub fn area_summary(&self) -> AreaSummary {
+        AreaSummary {
+            total_milli: self.total_weight(),
+            ff_milli: self
+                .sites
+                .iter()
+                .filter(|s| s.is_ff)
+                .map(|s| s.cost_milli)
+                .sum(),
+            sites: self.sites.len(),
+        }
+    }
+
     /// Map a uniform ticket in `0..total_weight()` to a site,
     /// proportionally to area. Returns `None` on an empty catalog or an
     /// out-of-range ticket.
@@ -142,6 +183,29 @@ mod tests {
         let logic = cat.sites().iter().find(|s| !s.is_ff).expect("has logic");
         assert!(ff.cost_milli > logic.cost_milli);
         assert_eq!(ff.cost_milli, 4330);
+    }
+
+    #[test]
+    fn area_summary_partitions_total_weight() {
+        let unit = build_unit(UnitKind::FxpMad32);
+        let cat = SiteCatalog::from_netlist(unit.netlist());
+        let a = cat.area_summary();
+        assert_eq!(a.total_milli, cat.total_weight());
+        assert_eq!(a.sites, cat.len());
+        let logic: u64 = cat
+            .sites()
+            .iter()
+            .filter(|s| !s.is_ff)
+            .map(|s| s.cost_milli)
+            .sum();
+        assert_eq!(a.ff_milli + logic, a.total_milli);
+        assert!(a.ff_fraction() > 0.0 && a.ff_fraction() < 1.0);
+        assert_eq!(
+            SiteCatalog::from_netlist(&Netlist::new(0))
+                .area_summary()
+                .ff_fraction(),
+            0.0
+        );
     }
 
     #[test]

@@ -471,6 +471,7 @@ impl CampaignOptions {
 #[derive(Debug)]
 pub struct ArchCampaign<'w> {
     workload: &'w Workload,
+    scheme: Scheme,
     kernel: swapcodes_isa::Kernel,
     launch: Launch,
     protection: Protection,
@@ -596,6 +597,7 @@ impl<'w> ArchCampaign<'w> {
             .then(|| SiteCatalog::from_netlist(build_unit(UnitKind::FxpMad32).netlist()));
         Ok(Self {
             workload,
+            scheme,
             kernel,
             launch: t.launch,
             protection: t.protection,
@@ -673,6 +675,33 @@ impl<'w> ArchCampaign<'w> {
     #[must_use]
     pub fn launch(&self) -> Launch {
         self.launch
+    }
+
+    /// The register-file protection mode trials execute under — what a
+    /// reference re-execution (e.g. the ACE analyzer's issue-log capture)
+    /// must use to replay the golden dynamic stream exactly.
+    #[must_use]
+    pub fn protection(&self) -> Protection {
+        self.protection
+    }
+
+    /// The scheme this campaign was transformed under.
+    #[must_use]
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The untransformed source workload.
+    #[must_use]
+    pub fn workload(&self) -> &Workload {
+        self.workload
+    }
+
+    /// The area-weighted stuck-at site catalog (present only when the mix
+    /// can draw the stuck-at class).
+    #[must_use]
+    pub fn site_catalog(&self) -> Option<&SiteCatalog> {
+        self.sites.as_ref()
     }
 
     /// The fault injected by trial `trial` (pure in `(seed, trial)`).

@@ -50,8 +50,8 @@ pub use harness::{
     ENGINE_FAST_FORWARD,
 };
 pub use oracle::{
-    control_fault_gap, differential_oracle, recovery_oracle, ControlGapVerdict, OracleVerdict,
-    RecoveryVerdict,
+    avf_calibration, campaign_avf, control_fault_gap, differential_oracle, recovery_oracle,
+    AvfCalibrationVerdict, AvfCell, ControlGapVerdict, OracleVerdict, RecoveryVerdict,
 };
 pub use recovery::{run_recovery_campaign, RecoveryCampaignConfig, RecoveryCell};
 pub use stats::Proportion;

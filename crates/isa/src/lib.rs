@@ -33,11 +33,13 @@
 pub mod disasm;
 mod instr;
 mod kernel;
+pub mod liveness;
 mod op;
 mod reg;
 pub mod validate;
 
 pub use instr::{Instr, Role};
 pub use kernel::{Kernel, KernelBuilder, Label};
+pub use liveness::{LiveSet, Liveness};
 pub use op::{CmpOp, CmpTy, FuncUnit, MemSpace, MemWidth, Op, RegRole, ShflMode, SpecialReg, Src};
 pub use reg::{Pred, Reg, PT, RZ};

@@ -159,6 +159,38 @@ pub enum Lint {
         /// Index of the first unreachable instruction in the run.
         at: usize,
     },
+    /// A register write whose value is never live afterwards: no path from
+    /// the definition reads it before it is overwritten or the kernel
+    /// exits. (`ecc_only` shadow writes are exempt — their check bits are
+    /// consumed by the register-file decoder, not by a register read.)
+    DeadRegWrite {
+        /// Index of the dead definition.
+        at: usize,
+        /// The written register.
+        reg: Reg,
+    },
+    /// A predicate write whose value is never live afterwards: no guard,
+    /// `SEL` or branch observes it before redefinition or exit.
+    DeadPredWrite {
+        /// Index of the dead definition.
+        at: usize,
+        /// The written predicate.
+        pred: Pred,
+    },
+}
+
+impl Lint {
+    /// Stable machine-readable rule id, mirroring
+    /// `swapcodes_verify::Rule::id`.
+    #[must_use]
+    pub fn id(&self) -> &'static str {
+        match self {
+            Lint::ShflInDivergentFlow { .. } => "lint/shfl-in-divergent-flow",
+            Lint::UnreachableCode { .. } => "lint/unreachable-code",
+            Lint::DeadRegWrite { .. } => "lint/dead-reg-write",
+            Lint::DeadPredWrite { .. } => "lint/dead-pred-write",
+        }
+    }
 }
 
 impl std::fmt::Display for Lint {
@@ -169,6 +201,12 @@ impl std::fmt::Display for Lint {
             }
             Lint::UnreachableCode { at } => {
                 write!(f, "instruction {at}: unreachable code")
+            }
+            Lint::DeadRegWrite { at, reg } => {
+                write!(f, "instruction {at}: dead write to {reg} (never live)")
+            }
+            Lint::DeadPredWrite { at, pred } => {
+                write!(f, "instruction {at}: dead write to {pred} (never live)")
             }
         }
     }
@@ -244,8 +282,31 @@ pub fn lint(kernel: &Kernel) -> Vec<Lint> {
         prev_reachable = *r;
     }
 
+    // Dead writes: liveness-powered. Unreachable code is skipped (already
+    // flagged above, and its live sets are vacuously empty), as are
+    // `ecc_only` shadows (their check-bit write is read by the decoder).
+    let live = crate::liveness::Liveness::compute(kernel);
+    for (at, instr) in kernel.instrs().iter().enumerate() {
+        if !reachable[at] || instr.ecc_only {
+            continue;
+        }
+        for reg in instr.op.defs() {
+            if !live.live_out(at).reg(reg) {
+                lints.push(Lint::DeadRegWrite { at, reg });
+            }
+        }
+        if let Some(pred) = instr.op.pred_def() {
+            if !pred.is_true() && !live.live_out(at).pred(pred) {
+                lints.push(Lint::DeadPredWrite { at, pred });
+            }
+        }
+    }
+
     lints.sort_by_key(|l| match *l {
-        Lint::ShflInDivergentFlow { at } | Lint::UnreachableCode { at } => at,
+        Lint::ShflInDivergentFlow { at }
+        | Lint::UnreachableCode { at }
+        | Lint::DeadRegWrite { at, .. }
+        | Lint::DeadPredWrite { at, .. } => at,
     });
     lints
 }
@@ -423,6 +484,14 @@ mod tests {
                     Pred(0),
                     false,
                 ),
+                // Consume the shuffle results so no dead-write lint fires.
+                Instr::new(Op::St {
+                    space: crate::op::MemSpace::Global,
+                    addr: Reg(3),
+                    offset: 0,
+                    v: Reg(4),
+                    width: MemWidth::W32,
+                }),
                 Instr::new(Op::Exit),
             ],
         );
@@ -444,11 +513,18 @@ mod tests {
         let kernel = Kernel::from_instrs(
             "abort-branch",
             vec![
-                Instr::guarded(Op::Bra { target: 3 }, Pred(0), true),
+                Instr::guarded(Op::Bra { target: 4 }, Pred(0), true),
                 Instr::new(Op::Shfl {
                     d: Reg(1),
                     a: Reg(0),
                     mode: ShflMode::Bfly(1),
+                }),
+                Instr::new(Op::St {
+                    space: crate::op::MemSpace::Global,
+                    addr: Reg(0),
+                    offset: 0,
+                    v: Reg(1),
+                    width: MemWidth::W32,
                 }),
                 Instr::new(Op::Exit),
                 Instr::new(Op::Trap),
@@ -516,5 +592,144 @@ mod tests {
         assert!(errs
             .iter()
             .any(|e| matches!(e, ValidationError::PairOverflow { .. })));
+    }
+
+    /// The golden kernel every dead-write mutation below starts from: all
+    /// writes consumed, zero lints.
+    fn consumed_kernel() -> Vec<Instr> {
+        use crate::op::{CmpOp, CmpTy, MemSpace, Src};
+        vec![
+            // 0: R0 = 5
+            Instr::new(Op::Mov {
+                d: Reg(0),
+                a: Src::Imm(5),
+            }),
+            // 1: SETP P0 = (R0 > 2)
+            Instr::new(Op::SetP {
+                p: Pred(0),
+                cmp: CmpOp::Gt,
+                ty: CmpTy::I32,
+                a: Reg(0),
+                b: Src::Imm(2),
+            }),
+            // 2: @P0 R1 = R0 + 1   (guarded def, consumed below)
+            Instr::guarded(
+                Op::IAdd {
+                    d: Reg(1),
+                    a: Reg(0),
+                    b: Src::Imm(1),
+                },
+                Pred(0),
+                true,
+            ),
+            // 3: ST [R0], R1
+            Instr::new(Op::St {
+                space: MemSpace::Global,
+                addr: Reg(0),
+                offset: 0,
+                v: Reg(1),
+                width: MemWidth::W32,
+            }),
+            Instr::new(Op::Exit),
+        ]
+    }
+
+    #[test]
+    fn golden_consumed_kernel_has_no_dead_write_lints() {
+        let kernel = Kernel::from_instrs("golden", consumed_kernel());
+        assert_eq!(lint(&kernel), Vec::new());
+    }
+
+    #[test]
+    fn mutation_dropping_the_store_exposes_a_dead_reg_write() {
+        // Replace the store with a NOP: R1's guarded def at 2 goes dead.
+        // R0 stays live (the SETP reads it before the store vanishes).
+        let mut instrs = consumed_kernel();
+        instrs[3] = Instr::new(Op::Nop);
+        let lints = lint(&Kernel::from_instrs("mutant", instrs));
+        assert_eq!(lints, vec![Lint::DeadRegWrite { at: 2, reg: Reg(1) }]);
+        assert_eq!(lints[0].id(), "lint/dead-reg-write");
+    }
+
+    #[test]
+    fn mutation_dropping_the_guard_exposes_a_dead_pred_write() {
+        // Unguard the consumer of P0: the SETP at 1 goes dead.
+        let mut instrs = consumed_kernel();
+        instrs[2] = Instr::new(instrs[2].op);
+        let lints = lint(&Kernel::from_instrs("mutant", instrs));
+        assert_eq!(
+            lints,
+            vec![Lint::DeadPredWrite {
+                at: 1,
+                pred: Pred(0)
+            }]
+        );
+        assert_eq!(lints[0].id(), "lint/dead-pred-write");
+    }
+
+    #[test]
+    fn ecc_only_shadow_writes_are_exempt() {
+        use crate::instr::Role;
+        use crate::op::Src;
+        // A Swap-ECC style shadow redefines the same register check-bits-
+        // only; neither the original (still live through the shadow) nor
+        // the shadow itself (decoder-consumed) may be flagged.
+        let mut instrs = consumed_kernel();
+        instrs.insert(
+            1,
+            Instr::new(Op::Mov {
+                d: Reg(0),
+                a: Src::Imm(5),
+            })
+            .with_role(Role::Shadow)
+            .with_ecc_only(),
+        );
+        let lints = lint(&Kernel::from_instrs("ecc", instrs));
+        assert_eq!(lints, Vec::new());
+    }
+
+    #[test]
+    fn unreachable_dead_writes_are_not_double_flagged() {
+        use crate::op::Src;
+        // The unreachable MOV writes a never-read register: only the
+        // UnreachableCode lint fires, not DeadRegWrite.
+        let kernel = Kernel::from_instrs(
+            "dead-unreachable",
+            vec![
+                Instr::new(Op::Bra { target: 2 }),
+                Instr::new(Op::Mov {
+                    d: Reg(9),
+                    a: Src::Imm(1),
+                }),
+                Instr::new(Op::Exit),
+            ],
+        );
+        assert_eq!(lint(&kernel), vec![Lint::UnreachableCode { at: 1 }]);
+    }
+
+    #[test]
+    fn lint_ids_are_stable() {
+        let ids = [
+            Lint::ShflInDivergentFlow { at: 0 }.id(),
+            Lint::UnreachableCode { at: 0 }.id(),
+            Lint::DeadRegWrite { at: 0, reg: Reg(0) }.id(),
+            Lint::DeadPredWrite {
+                at: 0,
+                pred: Pred(0),
+            }
+            .id(),
+        ];
+        assert_eq!(
+            ids,
+            [
+                "lint/shfl-in-divergent-flow",
+                "lint/unreachable-code",
+                "lint/dead-reg-write",
+                "lint/dead-pred-write",
+            ]
+        );
+        for id in ids {
+            assert!(id.starts_with("lint/"), "namespaced rule id: {id}");
+        }
     }
 }

@@ -57,6 +57,12 @@ pub struct ExecConfig {
     pub fault: Option<FaultSpec>,
     /// Capture per-warp dynamic traces (needed by the timing model).
     pub collect_trace: bool,
+    /// Capture the global issue log: the kernel PC of every dynamic
+    /// warp-instruction, indexed by its global dynamic-issue number. Only
+    /// meaningful on fault-free runs with recovery unarmed (rollback cannot
+    /// truncate a global log); the ACE analyzer uses it to map a
+    /// control-strike `eligible_index` back to the struck PC.
+    pub collect_issue_log: bool,
     /// Capture arithmetic operand streams (for gate-level injection).
     pub trace_operands: bool,
     /// Cap on captured operand tuples per unit.
@@ -91,6 +97,7 @@ impl Default for ExecConfig {
             protection: Protection::None,
             fault: None,
             collect_trace: false,
+            collect_issue_log: false,
             trace_operands: false,
             operand_cap: 10_000,
             max_dynamic: 80_000_000,
@@ -229,6 +236,9 @@ pub struct ExecOutcome {
     pub truncated: bool,
     /// Per-warp traces (when requested).
     pub traces: Vec<WarpTrace>,
+    /// Global issue log (when requested): `issue_log[i]` is the kernel PC
+    /// of the `i`-th dynamically issued warp-instruction.
+    pub issue_log: Vec<u32>,
     /// Dynamic code-mix counts.
     pub profile: ProfileCounts,
     /// Captured operand streams (when requested).
@@ -283,6 +293,7 @@ impl Executor {
             truncated: false,
             error: None,
             traces: Vec::new(),
+            issue_log: Vec::new(),
             profile: ProfileCounts::default(),
             operands: OperandTrace::with_cap(self.config.operand_cap),
             faults_applied: 0,
@@ -302,6 +313,7 @@ impl Executor {
             dynamic_instructions: r.dyn_count,
             truncated: r.truncated,
             traces: r.traces,
+            issue_log: r.issue_log,
             profile: r.profile,
             operands: r.operands,
             faults_applied: r.faults_applied,
@@ -359,6 +371,7 @@ struct Runner<'a> {
     truncated: bool,
     error: Option<ExecError>,
     traces: Vec<WarpTrace>,
+    issue_log: Vec<u32>,
     profile: ProfileCounts,
     operands: OperandTrace,
     faults_applied: u32,
@@ -621,6 +634,9 @@ fn step(r: &mut Runner<'_>, w: &mut Warp, shared: &mut SharedMemory) {
         }
     }
 
+    if r.cfg.collect_issue_log {
+        r.issue_log.push(pc as u32);
+    }
     r.dyn_count += 1;
     w.since_ckpt += 1;
     if r.dyn_count >= r.cfg.max_dynamic {

@@ -93,13 +93,14 @@ pub struct KernelTiming {
     pub cycles: u64,
     /// Cycles for one resident wave on one SM.
     pub wave_cycles: u64,
-    /// Number of sequential waves across the device, rounded **up** to a
-    /// whole count for reporting. `cycles` is NOT `wave_cycles * waves`: the
-    /// grid is scaled by the *fractional* wave count (a final 10%-full wave
-    /// costs ~10% of a wave, since the timing model assumes the tail wave's
-    /// CTAs spread across SMs), so `cycles` lies in
-    /// `(wave_cycles * (waves - 1), wave_cycles * waves]`.
-    pub waves: u64,
+    /// Sequential wave count across the device in **milli-waves** — the
+    /// canonical, fractional scaling semantics (a final 10%-full wave costs
+    /// ~10% of a wave, since the timing model assumes the tail wave's CTAs
+    /// spread across SMs). Stored as an integer so the struct stays `Eq`
+    /// and serialization round-trips exactly. `cycles` is defined from this
+    /// field: `cycles = round(wave_cycles * waves_milli / 1000)`; the
+    /// whole-wave view is [`KernelTiming::waves`].
+    pub waves_milli: u64,
     /// Occupancy achieved.
     pub occupancy: Occupancy,
     /// Warp instructions issued in the simulated wave.
@@ -115,6 +116,19 @@ impl KernelTiming {
     #[must_use]
     pub fn relative_to(&self, base: &KernelTiming) -> f64 {
         self.cycles as f64 / base.cycles as f64
+    }
+
+    /// Whole sequential waves (the fractional count rounded up) — the
+    /// human-facing "how many times does the device refill" number.
+    #[must_use]
+    pub fn waves(&self) -> u64 {
+        self.waves_milli.div_ceil(1000).max(1)
+    }
+
+    /// The fractional wave count `cycles` actually scales by.
+    #[must_use]
+    pub fn waves_fractional(&self) -> f64 {
+        self.waves_milli as f64 / 1000.0
     }
 }
 
@@ -247,11 +261,14 @@ fn simulate_with(
     let ctas_per_device_wave = f64::from(occ.ctas) * f64::from(cfg.gpu.sms);
     let waves = (f64::from(launch.ctas) / ctas_per_device_wave).max(1.0);
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-    let cycles = (wave_cycles as f64 * waves).round() as u64;
+    let waves_milli = ((waves * 1000.0).round() as u64).max(1);
+    // `cycles` derives from the stored milli-wave count (not the raw float)
+    // so the two fields can never drift apart.
+    let cycles = (wave_cycles * waves_milli + 500) / 1000;
     Ok(KernelTiming {
         cycles,
         wave_cycles,
-        waves: waves.ceil() as u64,
+        waves_milli,
         occupancy: occ,
         issued: out.traces.iter().map(|t| t.entries.len() as u64).sum(),
         dynamic_instructions: out.dynamic_instructions,
@@ -713,12 +730,12 @@ mod tests {
         let k = trivial_kernel(32);
         let one = simulate_kernel(&k, Launch::grid(56, 256), &mut mem, &cfg).expect("timing");
         let many = simulate_kernel(&k, Launch::grid(56 * 32, 256), &mut mem, &cfg).expect("timing");
-        assert!(many.waves > one.waves);
+        assert!(many.waves() > one.waves());
         assert!(many.cycles >= one.cycles * 2);
     }
 
     #[test]
-    fn waves_field_is_ceiled_while_cycles_scale_fractionally() {
+    fn fractional_milli_waves_are_the_canonical_scaling_semantics() {
         let cfg = TimingConfig::default();
         let mut mem = GlobalMemory::new(64);
         let k = trivial_kernel(32);
@@ -729,21 +746,23 @@ mod tests {
         let launch = Launch::grid(2 * per_wave + per_wave / 2, 256);
         let t = simulate_kernel(&k, launch, &mut mem, &cfg).expect("timing");
         let frac = f64::from(launch.ctas) / f64::from(per_wave);
-        assert_eq!(t.waves, frac.ceil() as u64, "waves reports whole waves");
+        assert_eq!(
+            t.waves_milli,
+            (frac * 1000.0).round() as u64,
+            "waves_milli stores the fractional count"
+        );
         assert_eq!(
             t.cycles,
-            (t.wave_cycles as f64 * frac).round() as u64,
-            "cycles scale by the fractional wave count"
+            (t.wave_cycles * t.waves_milli + 500) / 1000,
+            "cycles derive exactly from the stored milli-wave count"
         );
-        // The documented bracket: strictly more than waves-1 full waves,
-        // at most waves full waves.
-        assert!(t.cycles > t.wave_cycles * (t.waves - 1));
-        assert!(t.cycles <= t.wave_cycles * t.waves);
-        assert_ne!(
-            t.cycles,
-            t.wave_cycles * t.waves,
-            "a partial tail wave must not be billed as a full wave"
-        );
+        assert_eq!(t.waves(), frac.ceil() as u64, "whole-wave view is ceiled");
+        assert!((t.waves_fractional() - frac).abs() < 1e-3);
+        // The documented bracket: strictly more than waves()-1 full waves,
+        // at most waves() full waves — and a partial tail wave must not be
+        // billed as a full one.
+        assert!(t.cycles > t.wave_cycles * (t.waves() - 1));
+        assert!(t.cycles < t.wave_cycles * t.waves());
     }
 
     #[test]
@@ -960,7 +979,7 @@ mod golden_tests {
                 indep.cycles,
                 indep.issued,
                 indep.dynamic_instructions,
-                indep.waves
+                indep.waves()
             ),
             (769, 800, 800, 1),
             "indep kernel timing drifted: {indep:?}"
@@ -983,7 +1002,7 @@ mod golden_tests {
                 chain.cycles,
                 chain.issued,
                 chain.dynamic_instructions,
-                chain.waves
+                chain.waves()
             ),
             (381, 264, 264, 1),
             "chain kernel timing drifted: {chain:?}"

@@ -66,6 +66,65 @@ where
     ins
 }
 
+/// Solve a backward analysis and return the fixpoint *out*-state of every
+/// block (blocks from which no exit is reachable keep `None`).
+///
+/// The dual of [`solve_forward`]: `exit` seeds every block without
+/// successors, `meet` folds successor in-states (pass a union for a *may*
+/// analysis — e.g. the ACE analyzer's "can this point still reach an
+/// architecturally-observable effect" reachability — or an intersection for
+/// a *must* analysis), and `transfer(block_index, out_state)` produces the
+/// block's in-state.
+pub fn solve_backward<S, M, T>(cfg: &Cfg, exit: S, meet: M, transfer: T) -> Vec<Option<S>>
+where
+    S: Clone + PartialEq,
+    M: Fn(&S, &S) -> S,
+    T: Fn(usize, S) -> S,
+{
+    let nb = cfg.blocks.len();
+    let mut ins: Vec<Option<S>> = vec![None; nb];
+    let mut outs: Vec<Option<S>> = vec![None; nb];
+    let mut queued = vec![false; nb];
+    let mut work: VecDeque<usize> = VecDeque::new();
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        if block.succs.is_empty() {
+            queued[b] = true;
+            work.push_back(b);
+        }
+    }
+
+    while let Some(b) = work.pop_front() {
+        queued[b] = false;
+        let mut out_state = if cfg.blocks[b].succs.is_empty() {
+            Some(exit.clone())
+        } else {
+            None
+        };
+        for &s in &cfg.blocks[b].succs {
+            if let Some(si) = &ins[s] {
+                out_state = Some(match out_state {
+                    None => si.clone(),
+                    Some(cur) => meet(&cur, si),
+                });
+            }
+        }
+        let Some(out_state) = out_state else { continue };
+        let inn = transfer(b, out_state.clone());
+        outs[b] = Some(out_state);
+        let changed = ins[b].as_ref() != Some(&inn);
+        ins[b] = Some(inn);
+        if changed {
+            for &p in &cfg.blocks[b].preds {
+                if !queued[p] {
+                    queued[p] = true;
+                    work.push_back(p);
+                }
+            }
+        }
+    }
+    outs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +167,43 @@ mod tests {
         assert_eq!(ins[loop_head], Some(true));
         // The entry block's in-state is the initial state.
         assert_eq!(ins[0], Some(false));
+    }
+
+    /// A backward "store still reachable" may-analysis: meet = OR, a block's
+    /// in-state is true if it contains a store or any successor can reach one.
+    #[test]
+    fn backward_may_reachability_of_stores() {
+        let mut k = KernelBuilder::new("b");
+        let skip = k.label();
+        k.branch_if(skip, Pred(0), true);
+        k.push(Op::St {
+            space: swapcodes_isa::MemSpace::Global,
+            addr: Reg(0),
+            offset: 0,
+            v: Reg(1),
+            width: swapcodes_isa::MemWidth::W32,
+        });
+        k.bind(skip);
+        k.push(Op::Nop);
+        k.push(Op::Exit);
+        let kernel = k.finish();
+        let cfg = Cfg::build(&kernel);
+        let outs = solve_backward(
+            &cfg,
+            false,
+            |a: &bool, b: &bool| *a || *b,
+            |b, s| {
+                s || kernel.instrs()[cfg.blocks[b].start..cfg.blocks[b].end]
+                    .iter()
+                    .any(|i| matches!(i.op, Op::St { .. }))
+            },
+        );
+        // The store block's *out* can no longer reach a store; the entry
+        // block's out meets both successors: the store branch makes it true.
+        let entry_out = outs[0].expect("entry reaches exit");
+        assert!(entry_out, "a store is reachable after the entry block");
+        let store_block = cfg.block_of[1];
+        assert_eq!(outs[store_block], Some(false));
     }
 
     #[test]

@@ -56,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod avf;
 pub mod cfg;
 pub mod dataflow;
 mod interthread;

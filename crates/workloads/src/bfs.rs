@@ -97,11 +97,10 @@ pub fn workload() -> Workload {
             a: ein,
             b: Src::Reg(end),
         });
-        // Keep the rotation coherent before a possible exit.
-        k.push(Op::Mov {
-            d: eout,
-            a: Src::Reg(ein),
-        });
+        // Park the visit counter before a possible exit: the tail reads
+        // `visits.1` whichever parity the loop exits at. The edge cursor
+        // needs no such parking — nothing after `done` reads it, and the
+        // fall-through path rewrites `eout` at the unroll tail anyway.
         k.push(Op::Mov {
             d: vout,
             a: Src::Reg(vin),

@@ -45,11 +45,10 @@ pub fn workload() -> Workload {
     k.push(Op::Bar);
 
     // Rotated running-cost pair; the row index derives from the counter.
+    // No seed value is needed: costs flow through the shared row, and the
+    // even unroll count guarantees `costs.0` is written before its only
+    // register read (the final store).
     let costs = (Reg(5), Reg(19));
-    k.push(Op::Mov {
-        d: costs.0,
-        a: Src::Imm(0),
-    });
 
     let counters = (Reg(7), Reg(6));
     counted_loop(&mut k, counters, 24, |k, p| {

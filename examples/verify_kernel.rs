@@ -38,7 +38,55 @@ fn main() {
         }
     }
 
-    // 2. Break a transformed kernel the way a miscompiled pass would —
+    // 2. The vulnerability analyzer goes beyond the binary clean/dirty
+    //    proof: liveness-derived ACE windows plus a dynamic issue profile
+    //    predict per-fault-class coverage and rank the control-state sites
+    //    the scheme leaves unprotected (`swapcodes::verify::avf`).
+    println!("\n== predicted vulnerability (liveness ACE x scheme windows) ==");
+    for w in swapcodes::workloads::all() {
+        for scheme in [Scheme::SwDup, Scheme::SwapEcc] {
+            let Ok(t) = apply(scheme, &w.kernel, w.launch) else {
+                continue;
+            };
+            let exec = swapcodes::sim::Executor {
+                config: swapcodes::sim::exec::ExecConfig {
+                    protection: t.protection,
+                    cta_limit: Some(1),
+                    collect_issue_log: true,
+                    ..swapcodes::sim::exec::ExecConfig::default()
+                },
+            };
+            let mut mem = w.build_memory();
+            let out = exec
+                .run(&t.kernel, t.launch, &mut mem)
+                .expect("fault-free profile run");
+            let profile =
+                swapcodes::verify::avf::DynProfile::from_issue_log(t.kernel.len(), &out.issue_log);
+            let report = swapcodes::verify::avf::analyze(scheme, &t.kernel, &profile, None);
+            let top = report
+                .control_sites
+                .first()
+                .map(|s| {
+                    format!(
+                        "top site pc {} {}",
+                        s.pc,
+                        swapcodes::verify::avf::kind_label(s.kind)
+                    )
+                })
+                .unwrap_or_else(|| "no unprotected sites".to_owned());
+            println!(
+                "  {:<12} {:<9} reg ACE {:>4.1}%  coverage t/c/s {:>5.1}/{:>4.1}/{:>5.1}%  {top}",
+                w.name,
+                report.scheme,
+                report.reg_ace * 100.0,
+                report.transient.coverage * 100.0,
+                report.control.coverage * 100.0,
+                report.stuck_at.coverage * 100.0,
+            );
+        }
+    }
+
+    // 3. Break a transformed kernel the way a miscompiled pass would —
     //    clobber a shadow with the unverified original — and the verifier
     //    pinpoints the hole with a path witness.
     println!("\n== a deliberately broken SW-Dup kernel ==");
@@ -64,6 +112,6 @@ fn main() {
     assert!(!report.is_clean());
     print!("{report}");
 
-    // 3. The JSON form feeds CI and dashboards.
+    // 4. The JSON form feeds CI and dashboards.
     println!("\nmachine-readable: {}", report.to_json());
 }
