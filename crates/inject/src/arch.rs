@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use swapcodes_core::{PeepholeStats, Scheme};
 use swapcodes_gates::units::{build_unit, UnitKind};
 use swapcodes_gates::SiteCatalog;
-use swapcodes_sim::exec::{Detection, ExecConfig, ExecError, Executor};
+use swapcodes_sim::exec::{CancelToken, Detection, ExecConfig, ExecError, Executor};
 use swapcodes_sim::recovery::{
     RecoveryConfig, RecoveryEngine, RecoveryOutcome, RecoveryPolicy, RecoveryStats,
 };
@@ -697,6 +697,12 @@ impl<'w> ArchCampaign<'w> {
         self.workload
     }
 
+    /// The campaign seed every per-trial draw derives from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The area-weighted stuck-at site catalog (present only when the mix
     /// can draw the stuck-at class).
     #[must_use]
@@ -860,6 +866,26 @@ impl<'w> ArchCampaign<'w> {
         (fault.class, self.run_fault_telemetry(fault).0)
     }
 
+    /// [`Self::run_trial_classed_salted`] under an armed [`CancelToken`]:
+    /// the token is polled at every issue boundary inside the trial, so a
+    /// cancelled tenant campaign (or a draining service) stops mid-kernel
+    /// instead of finishing a long trial first. Returns `None` when the
+    /// trial was cut short by cancellation — the partial execution is
+    /// discarded, never tallied, and the same trial re-runs in full on
+    /// resume (preserving byte-identical tallies).
+    #[must_use]
+    pub fn run_trial_classed_cancellable(
+        &self,
+        trial: u64,
+        salt: u32,
+        cancel: &CancelToken,
+    ) -> Option<(FaultClass, TrialOutcome)> {
+        let fault = self.trial_fault_salted(trial, salt);
+        let class = fault.class;
+        self.run_fault_cancellable(fault, Some(cancel))
+            .map(|(outcome, _)| (class, outcome))
+    }
+
     /// [`Self::run_trial_salted`] plus fast-forward telemetry (snapshot
     /// resume point, executed instructions, early-exit flag).
     #[must_use]
@@ -875,7 +901,22 @@ impl<'w> ArchCampaign<'w> {
     /// Run one concrete fault through the fast-forward engine and classify
     /// the program-level outcome.
     fn run_fault_telemetry(&self, fault: FaultSpec) -> (TrialOutcome, TrialTelemetry) {
-        let t = self.engine.run_trial(fault, self.fuel);
+        self.run_fault_cancellable(fault, None)
+            .expect("uncancellable trial cannot be cancelled")
+    }
+
+    /// Run one concrete fault with an optional cancellation token. `None`
+    /// means the token fired mid-trial: the partial outcome is meaningless
+    /// and must be discarded.
+    fn run_fault_cancellable(
+        &self,
+        fault: FaultSpec,
+        cancel: Option<&CancelToken>,
+    ) -> Option<(TrialOutcome, TrialTelemetry)> {
+        let t = self.engine.run_trial_cancellable(fault, self.fuel, cancel);
+        if matches!(t.error, Some(ExecError::Cancelled { .. })) {
+            return None;
+        }
         let telemetry = TrialTelemetry {
             resumed_from: t.resumed_from,
             executed: t.executed,
@@ -910,7 +951,7 @@ impl<'w> ArchCampaign<'w> {
                 }
             }
         };
-        (outcome, telemetry)
+        Some((outcome, telemetry))
     }
 
     /// The from-scratch reference trial: rebuild workload memory and execute

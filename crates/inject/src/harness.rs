@@ -34,6 +34,7 @@ use swapcodes_gates::units::ArithUnit;
 use swapcodes_workloads::Workload;
 
 use swapcodes_sim::recovery::RecoveryStats;
+use swapcodes_sim::{CancelToken, FaultClass};
 
 use crate::arch::{ArchCampaign, ArchOutcomes, FaultClassTallies, PrepError, TrialOutcome};
 use crate::gate::{run_unit_campaign_slice, CampaignConfig, InputOutcome, UnitCampaignResult};
@@ -161,6 +162,26 @@ pub fn fault_mix_from_env() -> Option<crate::arch::FaultMix> {
     env_parsed("SWAPCODES_FAULT_MODEL", crate::arch::FaultMix::parse)
 }
 
+/// The `SWAPCODES_SERVE_WORKERS` override: worker-pool size of the
+/// campaign service (`swapcodes-serve`). Malformed values are surfaced
+/// once (see [`take_env_anomalies`]) and ignored.
+#[must_use]
+pub fn serve_workers_from_env() -> Option<usize> {
+    env_parsed("SWAPCODES_SERVE_WORKERS", |v| {
+        let n = parse_positive(v)?;
+        usize::try_from(n).map_err(|e| format!("{e}"))
+    })
+}
+
+/// The `SWAPCODES_SHARD_TIMEOUT_MS` override: base wall-clock deadline for
+/// one shard attempt in the campaign service (the fuel-derived component is
+/// added on top — see `swapcodes-serve`). Malformed values are surfaced
+/// once and ignored.
+#[must_use]
+pub fn shard_timeout_ms_from_env() -> Option<u64> {
+    env_parsed("SWAPCODES_SHARD_TIMEOUT_MS", parse_positive)
+}
+
 /// The `SWAPCODES_CHECKPOINT_DIR` campaign state directory, if set.
 #[must_use]
 pub fn checkpoint_dir_from_env() -> Option<PathBuf> {
@@ -240,7 +261,8 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// File-name-safe slug: lowercase alphanumerics, everything else `-`.
-fn slug(s: &str) -> String {
+#[must_use]
+pub fn slug(s: &str) -> String {
     s.chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() {
@@ -365,8 +387,25 @@ impl AnomalyLog {
         }
     }
 
+    /// A log writing to `anomalies-<shard>.jsonl` under `dir`, so shards of
+    /// one service campaign never contend on a single file. The shard tag is
+    /// [`slug`]ged into the filename.
+    #[must_use]
+    pub fn for_shard(dir: Option<&Path>, shard: &str) -> Self {
+        Self {
+            path: dir.map(|d| d.join(format!("anomalies-{}.jsonl", slug(shard)))),
+            count: 0,
+        }
+    }
+
     /// Record one unrecoverable item. Logging is best-effort: a failed
     /// append must not kill the campaign the log exists to protect.
+    ///
+    /// Concurrent writers on the same checkpoint directory (service shards,
+    /// or two campaign processes pointed at one `SWAPCODES_CHECKPOINT_DIR`)
+    /// serialize on an advisory lock held for the whole append+rotate pair —
+    /// without it, one writer's rotation (read, trim, rename-over) can
+    /// silently drop a line another writer appended after the read.
     pub fn record(&mut self, campaign: &str, item: u64, retries: u32, panic_msg: &str) {
         self.count += 1;
         let Some(path) = &self.path else { return };
@@ -375,6 +414,10 @@ impl AnomalyLog {
             json_escape(campaign),
             json_escape(panic_msg)
         );
+        // The lock lives on a sibling file that is never rotated or renamed,
+        // so every writer — in this process or another — locks the same
+        // inode. Dropping the guard (even on an early error path) unlocks.
+        let _guard = lock_sibling(path);
         let _ = fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -382,6 +425,23 @@ impl AnomalyLog {
             .and_then(|mut f| f.write_all(line.as_bytes()));
         rotate_anomaly_log(path, ANOMALY_LOG_CAP_BYTES);
     }
+}
+
+/// Take an exclusive advisory lock on `<path>.lock`, blocking until granted.
+/// Returns the open handle; the lock releases when the handle drops. Errors
+/// degrade to no locking (`None`) — same best-effort stance as the log
+/// writes themselves.
+fn lock_sibling(path: &Path) -> Option<fs::File> {
+    let mut lock_path = path.as_os_str().to_owned();
+    lock_path.push(".lock");
+    let f = fs::OpenOptions::new()
+        .create(true)
+        .truncate(false)
+        .write(true)
+        .open(Path::new(&lock_path))
+        .ok()?;
+    f.lock().ok()?;
+    Some(f)
 }
 
 /// Rotate the anomaly log in place when it exceeds `cap` bytes: keep the
@@ -789,6 +849,344 @@ pub fn run_arch_campaign_checkpointed(
         anomalies: log.count,
         stale_engine,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Shard driver for the campaign service
+// ---------------------------------------------------------------------------
+
+/// A contiguous trial range `[start, end)` of one campaign cell, owned by
+/// exactly one worker at a time. Because trials are pure in
+/// `(seed, index)`, any partition of `0..trials` into shards — run in any
+/// order, on any workers, interrupted and resumed any number of times —
+/// merges to tallies byte-identical to a single serial pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Unique shard tag (e.g. `"job3-cell1-shard2"`); keys the shard's
+    /// on-disk checkpoint and per-shard anomaly log via [`slug`].
+    pub tag: String,
+    /// First trial index of the range (inclusive).
+    pub start: u64,
+    /// One past the last trial index (exclusive).
+    pub end: u64,
+}
+
+/// Progress events streamed by [`run_arch_shard_checkpointed`] to its
+/// caller (the campaign service forwards them over a channel as tally
+/// deltas; tests use them to interrupt the shard mid-flight).
+#[derive(Debug)]
+pub enum ShardEvent<'a> {
+    /// A matching shard checkpoint was adopted: `classes` already covers
+    /// trials `[start, cursor)` and those trials will not re-run. Emitted
+    /// at most once, before any [`ShardEvent::Trial`].
+    Adopted {
+        /// Per-class tallies restored from the checkpoint.
+        classes: &'a FaultClassTallies,
+        /// The next trial index to run.
+        cursor: u64,
+    },
+    /// One trial completed (contained normally, or conservatively tallied
+    /// as `Crash` after retry exhaustion — see [`contain`]).
+    Trial {
+        /// The trial index just tallied.
+        trial: u64,
+        /// The fault class drawn for the trial.
+        class: FaultClass,
+        /// The trial's outcome.
+        outcome: TrialOutcome,
+    },
+    /// Progress through `cursor` was flushed to the shard checkpoint.
+    Checkpointed {
+        /// Trials `[start, cursor)` are now durable.
+        cursor: u64,
+    },
+}
+
+/// Caller's verdict after each [`ShardEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardControl {
+    /// Keep running the shard.
+    Continue,
+    /// Abandon the shard *abruptly* — return immediately without flushing a
+    /// checkpoint, exactly as a lost worker would. Durable state is
+    /// whatever the last [`ShardEvent::Checkpointed`] wrote; the service's
+    /// requeue path must re-adopt from that trusted prefix.
+    Die,
+}
+
+/// Terminal state of one [`run_arch_shard_checkpointed`] invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRun {
+    /// Per-class tallies over trials `[start, cursor)` — resumed prefix
+    /// plus this invocation's work.
+    pub classes: FaultClassTallies,
+    /// One past the last tallied trial index.
+    pub cursor: u64,
+    /// The shard ran to `end`.
+    pub finished: bool,
+    /// The shard stopped at a cancellation point (checkpoint flushed; the
+    /// in-flight trial, if any, was discarded untallied and re-runs on
+    /// resume).
+    pub cancelled: bool,
+    /// The shard was abandoned by [`ShardControl::Die`] (checkpoint *not*
+    /// flushed).
+    pub abandoned: bool,
+    /// Unrecoverable trials logged during this invocation.
+    pub anomalies: u64,
+}
+
+fn shard_checkpoint_json(
+    identity: &ShardIdentity<'_>,
+    shard: &ShardSpec,
+    cursor: u64,
+    classes: &FaultClassTallies,
+) -> String {
+    format!(
+        "{{\"campaign\":\"arch-shard\",\"engine\":\"{}\",\"faultmix\":\"{}\",\
+         \"workload\":\"{}\",\"scheme\":\"{}\",\"seed\":{},\"fuel\":{},\
+         \"start\":{},\"end\":{},\"cursor\":{cursor},{},{},{},{}}}",
+        json_escape(identity.engine),
+        json_escape(identity.mix),
+        json_escape(identity.workload),
+        json_escape(identity.scheme),
+        identity.seed,
+        identity.fuel,
+        shard.start,
+        shard.end,
+        outcome_fields("", &classes.aggregate()),
+        outcome_fields("t_", &classes.transient),
+        outcome_fields("c_", &classes.control),
+        outcome_fields("s_", &classes.stuck_at),
+    )
+}
+
+/// The campaign-cell identity a shard checkpoint must match to be adopted.
+struct ShardIdentity<'a> {
+    engine: &'a str,
+    mix: &'a str,
+    workload: &'a str,
+    scheme: &'a str,
+    seed: u64,
+    fuel: u64,
+}
+
+/// Parse a shard checkpoint against this shard's identity and range.
+/// Anything that does not match exactly — foreign cell, different range,
+/// different engine or fault mix, torn file, cursor out of `[start, end]`,
+/// tallies disagreeing with the cursor — yields `None` and the shard
+/// restarts from `start`. Shard checkpoints are cheap to discard (one
+/// shard, not a whole campaign), so there is no stale-vs-mismatch split
+/// here; the service logs an anomaly whenever a file existed but did not
+/// adopt.
+fn load_shard_checkpoint(
+    path: &Path,
+    identity: &ShardIdentity<'_>,
+    shard: &ShardSpec,
+) -> Option<(u64, FaultClassTallies)> {
+    let text = fs::read_to_string(path).ok()?;
+    let f = parse_flat(&text)?;
+    if field(&f, "campaign")? != "arch-shard"
+        || field(&f, "engine")? != identity.engine
+        || field(&f, "faultmix")? != identity.mix
+        || field(&f, "workload")? != identity.workload
+        || field(&f, "scheme")? != identity.scheme
+        || field_u64(&f, "seed")? != identity.seed
+        || field_u64(&f, "fuel")? != identity.fuel
+        || field_u64(&f, "start")? != shard.start
+        || field_u64(&f, "end")? != shard.end
+    {
+        return None;
+    }
+    let cursor = field_u64(&f, "cursor")?;
+    let classes = FaultClassTallies {
+        transient: parse_outcome_fields(&f, "t_")?,
+        control: parse_outcome_fields(&f, "c_")?,
+        stuck_at: parse_outcome_fields(&f, "s_")?,
+    };
+    if parse_outcome_fields(&f, "")? != classes.aggregate() {
+        return None;
+    }
+    (shard.start <= cursor && cursor <= shard.end && classes.total() == cursor - shard.start)
+        .then_some((cursor, classes))
+}
+
+/// Run (or resume) one shard of an architecture-level campaign against an
+/// already-prepared [`ArchCampaign`], with panic containment, a per-shard
+/// anomaly log, periodic atomic checkpoints, and two distinct stop paths:
+///
+/// * **cancellation** (`cancel` token, polled between trials *and* at every
+///   issue boundary inside a trial) flushes the checkpoint and returns with
+///   `cancelled` set — the in-flight trial is discarded untallied and
+///   re-runs in full on resume, preserving byte-identity;
+/// * **abandonment** ([`ShardControl::Die`] from `on_event`) returns
+///   immediately *without* flushing, modelling a worker lost mid-shard —
+///   the durable state is the last checkpoint's trusted prefix.
+///
+/// The caller observes every tallied trial through `on_event`, which is the
+/// service's delta stream into its merge-on-read aggregator.
+pub fn run_arch_shard_checkpointed(
+    campaign: &ArchCampaign<'_>,
+    shard: &ShardSpec,
+    ck: &CheckpointConfig,
+    cancel: Option<&CancelToken>,
+    mut on_event: impl FnMut(ShardEvent<'_>) -> ShardControl,
+) -> ShardRun {
+    let engine = campaign.engine_tag();
+    let mix_tag = campaign.mix().tag();
+    let scheme_label = campaign.scheme().label();
+    let identity = ShardIdentity {
+        engine,
+        mix: &mix_tag,
+        workload: campaign.workload().name,
+        scheme: &scheme_label,
+        seed: campaign.seed(),
+        fuel: campaign.fuel,
+    };
+    let ckpt_path = ck.dir.as_ref().map(|d| {
+        let _ = fs::create_dir_all(d);
+        d.join(format!("{}.ckpt.json", slug(&shard.tag)))
+    });
+
+    let mut log = AnomalyLog::for_shard(ck.dir.as_deref(), &shard.tag);
+    for msg in take_env_anomalies() {
+        log.record(&shard.tag, 0, 0, &msg);
+    }
+
+    let mut cursor = shard.start;
+    let mut classes = FaultClassTallies::default();
+    if let Some(path) = ckpt_path.as_deref() {
+        if path.exists() {
+            match load_shard_checkpoint(path, &identity, shard) {
+                Some((c, t)) => {
+                    cursor = c;
+                    classes = t;
+                    if on_event(ShardEvent::Adopted {
+                        classes: &classes,
+                        cursor,
+                    }) == ShardControl::Die
+                    {
+                        return ShardRun {
+                            classes,
+                            cursor,
+                            finished: false,
+                            cancelled: false,
+                            abandoned: true,
+                            anomalies: log.count,
+                        };
+                    }
+                }
+                None => log.record(
+                    &shard.tag,
+                    0,
+                    0,
+                    "shard checkpoint did not match this shard's identity; \
+                     restarting from the shard start",
+                ),
+            }
+        }
+    }
+
+    let save = |cursor: u64, classes: &FaultClassTallies| {
+        if let Some(p) = &ckpt_path {
+            let _ = write_atomic(p, &shard_checkpoint_json(&identity, shard, cursor, classes));
+        }
+    };
+
+    let mut done_this_run = 0u64;
+    while cursor < shard.end {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            save(cursor, &classes);
+            return ShardRun {
+                classes,
+                cursor,
+                finished: false,
+                cancelled: true,
+                abandoned: false,
+                anomalies: log.count,
+            };
+        }
+        if ck.stop_after == Some(done_this_run) {
+            save(cursor, &classes);
+            return ShardRun {
+                classes,
+                cursor,
+                finished: false,
+                cancelled: false,
+                abandoned: false,
+                anomalies: log.count,
+            };
+        }
+        let trial = cursor;
+        let ran = contain(ck.max_retries, |salt| match cancel {
+            Some(token) => campaign.run_trial_classed_cancellable(trial, salt, token),
+            None => Some(campaign.run_trial_classed_salted(trial, salt)),
+        });
+        let (class, outcome) = match ran {
+            Ok(Some(pair)) => pair,
+            // Cancelled mid-trial: discard the partial trial untallied and
+            // flush the prefix — the trial re-runs in full on resume.
+            Ok(None) => {
+                save(cursor, &classes);
+                return ShardRun {
+                    classes,
+                    cursor,
+                    finished: false,
+                    cancelled: true,
+                    abandoned: false,
+                    anomalies: log.count,
+                };
+            }
+            Err(panic_msg) => {
+                log.record(&shard.tag, trial, ck.max_retries, &panic_msg);
+                // Attribute the contained crash to the salt-0 draw's class —
+                // the deterministic one a re-run would see first.
+                (
+                    campaign.trial_fault_salted(trial, 0).class,
+                    TrialOutcome::Crash,
+                )
+            }
+        };
+        classes.record(class, outcome);
+        cursor += 1;
+        done_this_run += 1;
+        if on_event(ShardEvent::Trial {
+            trial,
+            class,
+            outcome,
+        }) == ShardControl::Die
+        {
+            return ShardRun {
+                classes,
+                cursor,
+                finished: false,
+                cancelled: false,
+                abandoned: true,
+                anomalies: log.count,
+            };
+        }
+        if ck.interval > 0 && done_this_run.is_multiple_of(ck.interval) {
+            save(cursor, &classes);
+            if on_event(ShardEvent::Checkpointed { cursor }) == ShardControl::Die {
+                return ShardRun {
+                    classes,
+                    cursor,
+                    finished: false,
+                    cancelled: false,
+                    abandoned: true,
+                    anomalies: log.count,
+                };
+            }
+        }
+    }
+    save(cursor, &classes);
+    ShardRun {
+        classes,
+        cursor,
+        finished: true,
+        cancelled: false,
+        abandoned: false,
+        anomalies: log.count,
+    }
 }
 
 /// Progress of a checkpointed detect-and-recover campaign invocation.

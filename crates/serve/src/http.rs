@@ -1,0 +1,179 @@
+//! A minimal HTTP/1.1 front end over `std::net` — enough for the four
+//! campaign endpoints, with no external dependencies.
+//!
+//! | Method & path            | Meaning                                   |
+//! |--------------------------|-------------------------------------------|
+//! | `GET /healthz`           | liveness probe                            |
+//! | `GET /jobs`              | all-jobs summary                          |
+//! | `POST /jobs`             | submit a campaign spec (body = spec JSON) |
+//! | `GET /jobs/{id}`         | job status (per-shard detail)             |
+//! | `GET /jobs/{id}/results` | merged per-class tallies + coverage       |
+//! | `POST /jobs/{id}/cancel` | cancel a job                              |
+//!
+//! A rejected submission answers `422` with the structured error body —
+//! for a verify-gated cell that body embeds the static verifier's findings
+//! verbatim, so the tenant sees *why* the cell is unprotectable without
+//! grepping server logs.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::service::Service;
+
+/// One parsed request.
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_owned();
+    let path = parts.next().unwrap_or_default().to_owned();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length.min(1 << 20)];
+    reader.read_exact(&mut body)?;
+    Ok(Request {
+        method,
+        path,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+fn respond(stream: &mut TcpStream, status: u16, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        _ => "Internal Server Error",
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+fn route(service: &Service, req: &Request) -> (u16, String) {
+    let segments: Vec<&str> = req.path.trim_matches('/').split('/').collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => (200, "{\"ok\":true}".to_owned()),
+        ("GET", ["jobs"]) => (200, service.list()),
+        ("POST", ["jobs"]) => match service.submit(&req.body) {
+            Ok(id) => (200, format!("{{\"job\":{id}}}")),
+            Err(e) => (422, e.to_json()),
+        },
+        ("GET", ["jobs", id]) => match id.parse::<u64>().ok().and_then(|id| service.status(id)) {
+            Some(body) => (200, body),
+            None => (404, "{\"error\":\"unknown_job\"}".to_owned()),
+        },
+        ("GET", ["jobs", id, "results"]) => {
+            match id.parse::<u64>().ok().and_then(|id| service.results(id)) {
+                Some(body) => (200, body),
+                None => (404, "{\"error\":\"unknown_job\"}".to_owned()),
+            }
+        }
+        ("POST", ["jobs", id, "cancel"]) => match id.parse::<u64>().map(|id| service.cancel(id)) {
+            Ok(true) => (200, "{\"cancelled\":true}".to_owned()),
+            _ => (404, "{\"error\":\"unknown_job\"}".to_owned()),
+        },
+        ("GET" | "POST", _) => (404, "{\"error\":\"no_such_route\"}".to_owned()),
+        _ => (405, "{\"error\":\"method_not_allowed\"}".to_owned()),
+    }
+}
+
+/// Serve the campaign API on `listener` until `stop` is raised. Each
+/// connection is handled inline (the API is tiny and the real work happens
+/// on the worker pool), with a non-blocking accept loop so the stop flag is
+/// honored promptly.
+///
+/// # Errors
+///
+/// Propagates only the initial `set_nonblocking` failure; per-connection
+/// errors are swallowed (a broken client must not kill the service).
+pub fn serve(
+    service: &Arc<Service>,
+    listener: &TcpListener,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                if let Ok(req) = read_request(&mut stream) {
+                    let (status, body) = route(service, &req);
+                    respond(&mut stream, status, &body);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    Ok(())
+}
+
+/// One-shot HTTP client for the CLI and tests: send `method path` with an
+/// optional body, return `(status, body)`.
+///
+/// # Errors
+///
+/// Any socket error, or a malformed status line.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut response = String::new();
+    BufReader::new(stream).read_to_string(&mut response)?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
+        })?;
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    Ok((status, payload))
+}

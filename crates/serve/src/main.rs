@@ -1,0 +1,149 @@
+//! `swapcodes-serve` — the campaign service CLI.
+//!
+//! ```text
+//! swapcodes-serve serve  [--addr 127.0.0.1:7171] [--workers N] [--dir PATH]
+//! swapcodes-serve submit [--addr ...] SPEC.json
+//! swapcodes-serve status [--addr ...] JOB_ID
+//! swapcodes-serve results [--addr ...] JOB_ID
+//! swapcodes-serve cancel [--addr ...] JOB_ID
+//! ```
+//!
+//! `serve` runs the worker pool and HTTP API in the foreground until
+//! killed; with `--dir` it resumes persisted jobs from their shard
+//! checkpoints on startup (the CI kill-and-restart flow). The other verbs
+//! are thin HTTP clients printing the JSON response.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use swapcodes_serve::http;
+use swapcodes_serve::{Service, ServiceConfig};
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7171";
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: swapcodes-serve serve   [--addr HOST:PORT] [--workers N] [--dir PATH]\n\
+         \u{20}      swapcodes-serve submit  [--addr HOST:PORT] SPEC.json\n\
+         \u{20}      swapcodes-serve status  [--addr HOST:PORT] JOB_ID\n\
+         \u{20}      swapcodes-serve results [--addr HOST:PORT] JOB_ID\n\
+         \u{20}      swapcodes-serve cancel  [--addr HOST:PORT] JOB_ID"
+    );
+    ExitCode::from(2)
+}
+
+struct Flags {
+    addr: String,
+    workers: Option<usize>,
+    dir: Option<String>,
+    positional: Vec<String>,
+}
+
+fn parse_flags(args: &[String]) -> Option<Flags> {
+    let mut flags = Flags {
+        addr: DEFAULT_ADDR.to_owned(),
+        workers: None,
+        dir: None,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => flags.addr = it.next()?.clone(),
+            "--workers" => flags.workers = it.next()?.parse().ok(),
+            "--dir" => flags.dir = Some(it.next()?.clone()),
+            _ if a.starts_with("--") => return None,
+            _ => flags.positional.push(a.clone()),
+        }
+    }
+    Some(flags)
+}
+
+fn client(addr: &str, method: &str, path: &str, body: Option<&str>) -> ExitCode {
+    match http::request(addr, method, path, body) {
+        Ok((status, payload)) => {
+            println!("{payload}");
+            if (200..300).contains(&status) {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("swapcodes-serve: HTTP {status}");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("swapcodes-serve: {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(verb) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    let Some(flags) = parse_flags(&args[1..]) else {
+        return usage();
+    };
+    match verb {
+        "serve" => {
+            let mut cfg = ServiceConfig::default();
+            if let Some(w) = flags.workers {
+                cfg.workers = w.max(1);
+            }
+            if let Some(d) = &flags.dir {
+                cfg.dir = Some(d.into());
+            }
+            let listener = match TcpListener::bind(&flags.addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("swapcodes-serve: bind {}: {e}", flags.addr);
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!(
+                "swapcodes-serve: listening on {} ({} workers{})",
+                flags.addr,
+                cfg.workers,
+                cfg.dir
+                    .as_ref()
+                    .map(|d| format!(", state in {}", d.display()))
+                    .unwrap_or_default()
+            );
+            let service = Arc::new(Service::start(cfg));
+            let stop = AtomicBool::new(false);
+            if let Err(e) = http::serve(&service, &listener, &stop) {
+                eprintln!("swapcodes-serve: {e}");
+                return ExitCode::FAILURE;
+            }
+            service.shutdown();
+            ExitCode::SUCCESS
+        }
+        "submit" => {
+            let Some(path) = flags.positional.first() else {
+                return usage();
+            };
+            let spec = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("swapcodes-serve: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            client(&flags.addr, "POST", "/jobs", Some(&spec))
+        }
+        "status" | "results" | "cancel" => {
+            let Some(id) = flags.positional.first() else {
+                return usage();
+            };
+            match verb {
+                "status" => client(&flags.addr, "GET", &format!("/jobs/{id}"), None),
+                "results" => client(&flags.addr, "GET", &format!("/jobs/{id}/results"), None),
+                _ => client(&flags.addr, "POST", &format!("/jobs/{id}/cancel"), None),
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,168 @@
+//! The shard job queue: a `Mutex`/`Condvar` work queue with delayed
+//! (backoff) entries and shutdown.
+//!
+//! Jobs are *references into the board* — `(job, cell, shard, attempt)`
+//! indices — not payloads. A worker that pops a stale reference (the
+//! monitor already requeued the shard under a newer attempt, or the tenant
+//! cancelled the job) discards it after checking the board, so the queue
+//! itself needs no cancellation surgery.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One unit of queued work: shard `shard` of cell `cell` of job `job`, to
+/// be run as attempt `attempt`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardJob {
+    /// Board job index.
+    pub job: usize,
+    /// Cell index within the job.
+    pub cell: usize,
+    /// Shard index within the cell.
+    pub shard: usize,
+    /// The attempt this queue entry authorizes. A worker must re-check the
+    /// board before running: if the board has moved past this attempt, the
+    /// entry is stale and dropped.
+    pub attempt: u32,
+}
+
+#[derive(Default)]
+struct Inner {
+    ready: VecDeque<ShardJob>,
+    delayed: Vec<(Instant, ShardJob)>,
+    shutdown: bool,
+}
+
+/// A blocking multi-producer multi-consumer queue of [`ShardJob`]s.
+#[derive(Default)]
+pub struct JobQueue {
+    inner: Mutex<Inner>,
+    ready_cv: Condvar,
+}
+
+impl JobQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue a job for immediate pickup.
+    pub fn push(&self, job: ShardJob) {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        inner.ready.push_back(job);
+        drop(inner);
+        self.ready_cv.notify_one();
+    }
+
+    /// Enqueue a job that becomes available after `delay` — the retry
+    /// backoff path. Delayed jobs are promoted by whichever worker polls
+    /// next, so no timer thread is needed.
+    pub fn push_after(&self, job: ShardJob, delay: Duration) {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        inner.delayed.push((Instant::now() + delay, job));
+        drop(inner);
+        // Wake a sleeper so its wait timeout tightens to the new deadline.
+        self.ready_cv.notify_one();
+    }
+
+    /// Block until a job is available (or shutdown). Returns `None` exactly
+    /// when the queue has been shut down.
+    pub fn pop(&self) -> Option<ShardJob> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            let now = Instant::now();
+            // Promote due delayed entries.
+            let mut i = 0;
+            while i < inner.delayed.len() {
+                if inner.delayed[i].0 <= now {
+                    let (_, job) = inner.delayed.swap_remove(i);
+                    inner.ready.push_back(job);
+                } else {
+                    i += 1;
+                }
+            }
+            if let Some(job) = inner.ready.pop_front() {
+                return Some(job);
+            }
+            if inner.shutdown {
+                return None;
+            }
+            let wait = inner
+                .delayed
+                .iter()
+                .map(|(due, _)| due.saturating_duration_since(now))
+                .min()
+                .unwrap_or(Duration::from_millis(100));
+            let (guard, _) = self
+                .ready_cv
+                .wait_timeout(inner, wait.max(Duration::from_millis(1)))
+                .expect("queue poisoned");
+            inner = guard;
+        }
+    }
+
+    /// Shut the queue down: blocked and future `pop`s return `None`.
+    /// Already-queued jobs are dropped (their shard checkpoints hold the
+    /// durable state).
+    pub fn shutdown(&self) {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        inner.shutdown = true;
+        drop(inner);
+        self.ready_cv.notify_all();
+    }
+
+    /// Jobs currently queued (ready + delayed).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().expect("queue poisoned");
+        inner.ready.len() + inner.delayed.len()
+    }
+
+    /// Whether nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_and_shutdown() {
+        let q = JobQueue::new();
+        let job = |n| ShardJob {
+            job: 0,
+            cell: 0,
+            shard: n,
+            attempt: 0,
+        };
+        q.push(job(1));
+        q.push(job(2));
+        assert_eq!(q.pop().map(|j| j.shard), Some(1));
+        assert_eq!(q.pop().map(|j| j.shard), Some(2));
+        q.shutdown();
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn delayed_jobs_become_available_and_unblock_poppers() {
+        let q = Arc::new(JobQueue::new());
+        let job = ShardJob {
+            job: 0,
+            cell: 0,
+            shard: 7,
+            attempt: 2,
+        };
+        q.push_after(job, Duration::from_millis(20));
+        assert_eq!(q.len(), 1);
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || q2.pop());
+        assert_eq!(popper.join().expect("popper"), Some(job));
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,946 @@
+//! The campaign service: a supervised worker pool executing shard jobs,
+//! an aggregator merging streamed tally deltas, and a monitor enforcing
+//! per-shard deadlines and heartbeat-based worker-loss detection.
+//!
+//! # Robustness model
+//!
+//! * **Shards are the unit of loss.** A worker leases one shard at a time
+//!   and beats a heartbeat on every shard event. Trials are fuel-bounded,
+//!   so a healthy worker always beats within a computable window; silence
+//!   past that window (or blowing the shard's fuel-derived wall-clock
+//!   deadline) means the worker is lost and the monitor requeues the shard
+//!   from its last checkpoint's trusted prefix.
+//! * **Attempts guard against zombies.** Every queue entry, lease and
+//!   message is stamped with an attempt number; the board only accepts
+//!   messages matching the shard's current attempt, so a presumed-dead
+//!   worker that wakes up cannot double-count into a requeued shard.
+//! * **Retries are bounded and backed off.** A lost or failed attempt is
+//!   requeued with exponential backoff until the per-shard budget is
+//!   exhausted, at which point the shard — not the campaign — fails and the
+//!   cell degrades. The service never wedges.
+//! * **Results are byte-identical.** Because trials are pure in
+//!   `(seed, index)` and a requeued attempt re-adopts the checkpointed
+//!   prefix, the merged final tallies match a single-threaded serial run
+//!   exactly, no matter how many workers were lost.
+//!
+//! Chaos hooks ([`ChaosConfig`]) deterministically kill worker attempts
+//! (panic, vanish without a trace, or hang) so tests and CI can prove the
+//! recovery machinery end to end.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use swapcodes_core::Scheme;
+use swapcodes_inject::{
+    run_arch_shard_checkpointed, serve_workers_from_env, shard_timeout_ms_from_env, write_atomic,
+    ArchCampaign, CampaignOptions, CheckpointConfig, FaultClassTallies, ShardControl, ShardEvent,
+    ShardSpec,
+};
+use swapcodes_sim::FaultClass;
+use swapcodes_workloads::by_name;
+
+use crate::board::{Board, Job, JobState, Lease, ShardStatus};
+use crate::json::Json;
+use crate::queue::{JobQueue, ShardJob};
+use crate::spec::{verify_gate, CampaignSpec, GateError, SpecError};
+
+/// Simulator throughput assumed when deriving wall-clock deadlines from
+/// fuel: a conservative lower bound on executed instructions per
+/// millisecond, so deadlines are generous rather than trigger-happy.
+pub const STEPS_PER_MS: u64 = 50_000;
+
+/// How a chaos-killed worker attempt dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Panic mid-shard — exercises the supervisor's fast catch-and-requeue
+    /// path.
+    Panic,
+    /// Return without reporting anything and stop heartbeating — exercises
+    /// the monitor's heartbeat-loss path.
+    Vanish,
+    /// Spin without progress until the monitor abandons the lease —
+    /// exercises the deadline path.
+    Hang,
+}
+
+/// Deterministic worker-kill schedule: a hash of each shard tag decides
+/// whether (and how) a shard attempt dies. By default only **first**
+/// attempts are killed, so a retry budget of two always suffices under
+/// chaos; see [`ChaosConfig::first_attempt_only`].
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Salt mixed into the per-shard hash.
+    pub seed: u64,
+    /// Kill probability per shard in permille (`250` = kill 25% of first
+    /// attempts).
+    pub kill_permille: u64,
+    /// The kill styles to draw from.
+    pub actions: Vec<ChaosAction>,
+    /// Only kill first attempts (the default): retries always survive, so
+    /// a retry budget of two suffices and every campaign completes. Set
+    /// `false` to kill *every* attempt of a targeted shard — the
+    /// budget-exhaustion tests use this to pin graceful degradation.
+    pub first_attempt_only: bool,
+    /// Restrict the kill schedule to shards whose tag contains this
+    /// substring, leaving other tenants untouched.
+    pub only_tag_containing: Option<String>,
+}
+
+impl ChaosConfig {
+    /// An all-defaults schedule killing `kill_permille`/1000 of first
+    /// attempts with the given actions.
+    #[must_use]
+    pub fn new(seed: u64, kill_permille: u64, actions: Vec<ChaosAction>) -> Self {
+        Self {
+            seed,
+            kill_permille,
+            actions,
+            first_attempt_only: true,
+            only_tag_containing: None,
+        }
+    }
+
+    /// The kill decision for one shard: `Some((action, after_events))`
+    /// kills the attempt after it has observed that many shard events.
+    #[must_use]
+    pub fn plan(&self, tag: &str) -> Option<(ChaosAction, u64)> {
+        if self.actions.is_empty() {
+            return None;
+        }
+        if let Some(needle) = &self.only_tag_containing {
+            if !tag.contains(needle.as_str()) {
+                return None;
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed.rotate_left(17);
+        for b in tag.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if h % 1000 >= self.kill_permille {
+            return None;
+        }
+        let action = self.actions
+            [usize::try_from((h >> 10) % self.actions.len() as u64).expect("index fits")];
+        let after = (h >> 20) % 12;
+        Some((action, after))
+    }
+}
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker-pool size (`SWAPCODES_SERVE_WORKERS` overrides the default
+    /// of 4).
+    pub workers: usize,
+    /// Base per-shard deadline in milliseconds; the fuel-derived execution
+    /// estimate is added on top (`SWAPCODES_SHARD_TIMEOUT_MS` overrides).
+    pub shard_timeout_ms: u64,
+    /// Attempts per shard before it fails permanently (first try included).
+    pub max_attempts: u32,
+    /// First retry backoff; doubles per failure.
+    pub backoff_base_ms: u64,
+    /// Trials between shard checkpoint flushes.
+    pub checkpoint_interval: u64,
+    /// Persistence root for job files, shard checkpoints and anomaly logs.
+    /// `None` keeps everything in memory (no resume, no chaos-durable
+    /// trusted prefixes — lost shards restart from their range start).
+    pub dir: Option<PathBuf>,
+    /// Deterministic worker-kill schedule, for tests and acceptance runs.
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: serve_workers_from_env().unwrap_or(4).max(1),
+            shard_timeout_ms: shard_timeout_ms_from_env().unwrap_or(5_000),
+            max_attempts: 4,
+            backoff_base_ms: 10,
+            checkpoint_interval: 16,
+            dir: None,
+            chaos: None,
+        }
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The spec failed to parse or validate structurally.
+    Spec(SpecError),
+    /// A cell failed the static verify gate.
+    Gate(GateError),
+}
+
+impl SubmitError {
+    /// The structured HTTP error body.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        match self {
+            SubmitError::Spec(e) => e.to_json(),
+            SubmitError::Gate(e) => e.to_json(),
+        }
+    }
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Spec(e) => e.fmt(f),
+            SubmitError::Gate(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// `(job index, cell index, shard index)` — a shard's position on the board.
+type ShardKey = (usize, usize, usize);
+
+/// Worker → aggregator messages. Every message is attempt-stamped.
+enum Msg {
+    /// A shard checkpoint was adopted: reset the live view to its prefix.
+    Adopted {
+        key: ShardKey,
+        attempt: u32,
+        classes: FaultClassTallies,
+        cursor: u64,
+    },
+    /// One trial tallied.
+    Delta {
+        key: ShardKey,
+        attempt: u32,
+        class: FaultClass,
+        outcome: swapcodes_inject::TrialOutcome,
+    },
+    /// The shard ran to its end; `classes` is authoritative.
+    Done {
+        key: ShardKey,
+        attempt: u32,
+        classes: FaultClassTallies,
+        cursor: u64,
+    },
+    /// The attempt failed (panic, preparation error, unknown workload).
+    Failed {
+        key: ShardKey,
+        attempt: u32,
+        reason: String,
+    },
+    /// The attempt stopped at a cancellation point with a flushed
+    /// checkpoint.
+    Cancelled {
+        key: ShardKey,
+        attempt: u32,
+        classes: FaultClassTallies,
+        cursor: u64,
+    },
+}
+
+struct Inner {
+    board: Mutex<Board>,
+    queue: JobQueue,
+    cfg: ServiceConfig,
+    epoch: Instant,
+    shutdown: AtomicBool,
+    requeues_total: AtomicU64,
+    /// Worker-loss detections: `(key, detected_at_ms)` awaiting re-lease,
+    /// drained into `recovery_latencies_ms` when a replacement adopts.
+    pending_recovery: Mutex<Vec<(ShardKey, u64)>>,
+    recovery_latencies_ms: Mutex<Vec<u64>>,
+}
+
+impl Inner {
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    fn backoff(&self, failures: u32) -> Duration {
+        let exp = failures.saturating_sub(1).min(10);
+        Duration::from_millis(self.cfg.backoff_base_ms.saturating_mul(1 << exp))
+    }
+
+    /// Requeue one shard after a lost/failed attempt, or fail it when the
+    /// budget is gone. Caller holds the board lock and has verified the
+    /// shard is `Running` under `attempt`.
+    fn requeue_locked(&self, board: &mut Board, key: ShardKey, lost: bool) {
+        let (ji, ci, si) = key;
+        let job = &mut board.jobs[ji];
+        let shard = &mut job.cells[ci].shards[si];
+        shard.failures += 1;
+        shard.lease = None;
+        if lost {
+            shard.last_error = Some("worker lost (missed heartbeat or deadline)".to_owned());
+        }
+        job.requeues += 1;
+        self.requeues_total.fetch_add(1, Ordering::Relaxed);
+        if shard.failures >= self.cfg.max_attempts {
+            shard.status = ShardStatus::Failed;
+            job.settle();
+            return;
+        }
+        shard.attempt += 1;
+        shard.status = ShardStatus::Queued;
+        let entry = ShardJob {
+            job: ji,
+            cell: ci,
+            shard: si,
+            attempt: shard.attempt,
+        };
+        let backoff = self.backoff(shard.failures);
+        if lost {
+            self.pending_recovery
+                .lock()
+                .expect("recovery list poisoned")
+                .push((key, self.now_ms()));
+        }
+        self.queue.push_after(entry, backoff);
+    }
+
+    fn persist_job(&self, job: &Job) {
+        let Some(dir) = &self.cfg.dir else { return };
+        let _ = std::fs::create_dir_all(dir);
+        let cancelled = job.state == JobState::Cancelled;
+        let body = format!(
+            "{{\"id\":{},\"cancelled\":{cancelled},\"spec\":{}}}",
+            job.id,
+            job.spec.to_json()
+        );
+        let _ = write_atomic(&dir.join(format!("job-{}.json", job.id)), &body);
+    }
+}
+
+/// Handle to a running campaign service. All methods take `&self`; the
+/// service is shared behind an `Arc` by the HTTP front end.
+pub struct Service {
+    inner: Arc<Inner>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    stopped: AtomicBool,
+}
+
+impl Service {
+    /// Start the service: resume persisted jobs from `cfg.dir` (if any),
+    /// then spawn the worker pool, the aggregator and the monitor.
+    #[must_use]
+    pub fn start(cfg: ServiceConfig) -> Self {
+        let workers = cfg.workers;
+        let inner = Arc::new(Inner {
+            board: Mutex::new(Board::default()),
+            queue: JobQueue::new(),
+            cfg,
+            epoch: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            requeues_total: AtomicU64::new(0),
+            pending_recovery: Mutex::new(Vec::new()),
+            recovery_latencies_ms: Mutex::new(Vec::new()),
+        });
+        resume_persisted_jobs(&inner);
+
+        let (tx, rx) = channel::<Msg>();
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            let inner2 = Arc::clone(&inner);
+            let tx2 = tx.clone();
+            handles.push(std::thread::spawn(move || worker_loop(&inner2, &tx2)));
+        }
+        drop(tx);
+        {
+            let inner2 = Arc::clone(&inner);
+            handles.push(std::thread::spawn(move || aggregator_loop(&inner2, &rx)));
+        }
+        {
+            let inner2 = Arc::clone(&inner);
+            handles.push(std::thread::spawn(move || monitor_loop(&inner2)));
+        }
+        Self {
+            inner,
+            handles: Mutex::new(handles),
+            stopped: AtomicBool::new(false),
+        }
+    }
+
+    /// Validate, gate, persist and enqueue a campaign spec. Returns the
+    /// job id.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] when the spec is malformed or a cell fails the
+    /// static verify gate; nothing is enqueued on error.
+    pub fn submit(&self, spec_text: &str) -> Result<u64, SubmitError> {
+        let spec = CampaignSpec::parse(spec_text).map_err(SubmitError::Spec)?;
+        verify_gate(&spec).map_err(SubmitError::Gate)?;
+        let mut board = self.inner.board.lock().expect("board poisoned");
+        let id = board.jobs.iter().map(|j| j.id + 1).max().unwrap_or(0);
+        let job = Job::new(id, spec);
+        self.inner.persist_job(&job);
+        let ji = board.jobs.len();
+        let entries: Vec<ShardJob> = job
+            .cells
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, cell)| {
+                (0..cell.shards.len()).map(move |si| ShardJob {
+                    job: ji,
+                    cell: ci,
+                    shard: si,
+                    attempt: 0,
+                })
+            })
+            .collect();
+        board.jobs.push(job);
+        drop(board);
+        for e in entries {
+            self.inner.queue.push(e);
+        }
+        Ok(id)
+    }
+
+    /// The status document for a job, or `None` if the id is unknown.
+    #[must_use]
+    pub fn status(&self, id: u64) -> Option<String> {
+        let board = self.inner.board.lock().expect("board poisoned");
+        board.job_index(id).map(|i| board.jobs[i].status_json())
+    }
+
+    /// The merged-results document for a job, or `None` if unknown.
+    #[must_use]
+    pub fn results(&self, id: u64) -> Option<String> {
+        let board = self.inner.board.lock().expect("board poisoned");
+        board.job_index(id).map(|i| board.jobs[i].results_json())
+    }
+
+    /// The all-jobs summary document.
+    #[must_use]
+    pub fn list(&self) -> String {
+        self.inner
+            .board
+            .lock()
+            .expect("board poisoned")
+            .summary_json()
+    }
+
+    /// Cancel a job: running shards stop at their next issue boundary
+    /// (flushing checkpoints), queued shards are dropped on pop. Returns
+    /// `false` for an unknown id.
+    #[must_use]
+    pub fn cancel(&self, id: u64) -> bool {
+        let mut board = self.inner.board.lock().expect("board poisoned");
+        let Some(i) = board.job_index(id) else {
+            return false;
+        };
+        board.jobs[i].state = JobState::Cancelled;
+        board.jobs[i].cancel.cancel();
+        self.inner.persist_job(&board.jobs[i]);
+        true
+    }
+
+    /// Block until the job settles (completed/degraded/cancelled) or the
+    /// timeout elapses. Returns whether it settled.
+    #[must_use]
+    pub fn wait(&self, id: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let board = self.inner.board.lock().expect("board poisoned");
+                match board.job_index(id) {
+                    None => return false,
+                    Some(i) if board.jobs[i].is_settled() => return true,
+                    Some(_) => {}
+                }
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Run `f` under the board lock — the escape hatch tests and the
+    /// acceptance example use to inspect merged tallies directly.
+    pub fn with_board<T>(&self, f: impl FnOnce(&Board) -> T) -> T {
+        f(&self.inner.board.lock().expect("board poisoned"))
+    }
+
+    /// Service-level robustness metrics.
+    #[must_use]
+    pub fn metrics(&self) -> ServiceMetrics {
+        let lat = self
+            .inner
+            .recovery_latencies_ms
+            .lock()
+            .expect("latency list poisoned");
+        ServiceMetrics {
+            workers: self.inner.cfg.workers,
+            requeued: self.inner.requeues_total.load(Ordering::Relaxed),
+            recoveries: lat.len() as u64,
+            recovery_latency_ms_max: lat.iter().copied().max().unwrap_or(0),
+            recovery_latency_ms_mean: if lat.is_empty() {
+                0.0
+            } else {
+                lat.iter().sum::<u64>() as f64 / lat.len() as f64
+            },
+        }
+    }
+
+    /// Stop everything cleanly: cancel running shards (each flushes its
+    /// checkpoint at the next issue boundary), drain the worker pool and
+    /// join every thread. Idempotent.
+    pub fn shutdown(&self) {
+        if self.stopped.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        {
+            let board = self.inner.board.lock().expect("board poisoned");
+            for job in &board.jobs {
+                job.cancel.cancel();
+            }
+        }
+        self.inner.queue.shutdown();
+        let handles = std::mem::take(&mut *self.handles.lock().expect("handles poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A snapshot of the service's loss-recovery counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceMetrics {
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Shard attempts requeued after loss, deadline or failure.
+    pub requeued: u64,
+    /// Worker losses detected by the monitor (heartbeat/deadline).
+    pub recoveries: u64,
+    /// Worst observed loss-detection-to-re-lease latency.
+    pub recovery_latency_ms_max: u64,
+    /// Mean loss-detection-to-re-lease latency.
+    pub recovery_latency_ms_mean: f64,
+}
+
+fn resume_persisted_jobs(inner: &Arc<Inner>) {
+    let Some(dir) = inner.cfg.dir.clone() else {
+        return;
+    };
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return;
+    };
+    let mut files: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("job-") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    let mut board = inner.board.lock().expect("board poisoned");
+    let mut entries_to_queue = Vec::new();
+    for path in files {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let Ok(doc) = Json::parse(&text) else {
+            continue;
+        };
+        let Some(id) = doc.get("id").and_then(Json::as_u64) else {
+            continue;
+        };
+        let cancelled = doc.get("cancelled").and_then(Json::as_bool) == Some(true);
+        let Some(spec) = doc
+            .get("spec")
+            .and_then(|s| CampaignSpec::from_json(s).ok())
+        else {
+            continue;
+        };
+        if board.job_index(id).is_some() {
+            continue;
+        }
+        let mut job = Job::new(id, spec);
+        let ji = board.jobs.len();
+        if cancelled {
+            job.state = JobState::Cancelled;
+        } else {
+            for (ci, cell) in job.cells.iter().enumerate() {
+                for si in 0..cell.shards.len() {
+                    entries_to_queue.push(ShardJob {
+                        job: ji,
+                        cell: ci,
+                        shard: si,
+                        attempt: 0,
+                    });
+                }
+            }
+        }
+        board.jobs.push(job);
+    }
+    drop(board);
+    for e in entries_to_queue {
+        inner.queue.push(e);
+    }
+}
+
+/// What a worker found when it tried to lease a popped queue entry.
+struct Leased {
+    key: ShardKey,
+    attempt: u32,
+    shard: ShardSpec,
+    workload: String,
+    scheme: Scheme,
+    seed: u64,
+    mix: swapcodes_inject::FaultMix,
+    lease: Lease,
+    cancel: swapcodes_sim::CancelToken,
+}
+
+fn try_lease(inner: &Inner, sj: ShardJob) -> Option<Leased> {
+    let mut board = inner.board.lock().expect("board poisoned");
+    let job = board.jobs.get_mut(sj.job)?;
+    if job.state == JobState::Cancelled {
+        return None;
+    }
+    let cancel = job.cancel.clone();
+    let seed = job.spec.seed;
+    let mix = job.spec.mix;
+    let cell = job.cells.get_mut(sj.cell)?;
+    let workload = cell.workload.clone();
+    let scheme = cell.scheme;
+    let shard = cell.shards.get_mut(sj.shard)?;
+    if shard.status != ShardStatus::Queued || shard.attempt != sj.attempt {
+        return None; // stale queue entry: the shard moved on without us
+    }
+    shard.status = ShardStatus::Running;
+    shard.classes = FaultClassTallies::default();
+    shard.cursor = shard.spec.start;
+    let now = inner.now_ms();
+    // Deadlines start permissive; the worker tightens them once the
+    // campaign is prepared and the fuel bound is known.
+    let lease = Lease {
+        beat: Arc::new(AtomicU64::new(now)),
+        abandon: Arc::new(AtomicBool::new(false)),
+        started_ms: now,
+        beat_window_ms: u64::MAX,
+        deadline_ms: u64::MAX,
+    };
+    shard.lease = Some(lease.clone());
+    let spec = shard.spec.clone();
+    let key = (sj.job, sj.cell, sj.shard);
+    // Close the loss-recovery latency loop: this lease replaces a lost one.
+    let mut pending = inner.pending_recovery.lock().expect("recovery poisoned");
+    if let Some(pos) = pending.iter().position(|(k, _)| *k == key) {
+        let (_, detected) = pending.swap_remove(pos);
+        inner
+            .recovery_latencies_ms
+            .lock()
+            .expect("latency list poisoned")
+            .push(now.saturating_sub(detected));
+    }
+    drop(pending);
+    Some(Leased {
+        key,
+        attempt: sj.attempt,
+        shard: spec,
+        workload,
+        scheme,
+        seed,
+        mix,
+        lease,
+        cancel,
+    })
+}
+
+fn worker_loop(inner: &Arc<Inner>, tx: &Sender<Msg>) {
+    while let Some(sj) = inner.queue.pop() {
+        let Some(leased) = try_lease(inner, sj) else {
+            continue;
+        };
+        run_leased_shard(inner, tx, &leased);
+    }
+}
+
+fn run_leased_shard(inner: &Arc<Inner>, tx: &Sender<Msg>, leased: &Leased) {
+    let Some(w) = by_name(&leased.workload) else {
+        let _ = tx.send(Msg::Failed {
+            key: leased.key,
+            attempt: leased.attempt,
+            reason: format!("unknown workload \"{}\"", leased.workload),
+        });
+        return;
+    };
+    let opts = CampaignOptions {
+        mix: leased.mix,
+        ..CampaignOptions::from_env()
+    };
+    let campaign = match ArchCampaign::prepare_with(&w, leased.scheme, leased.seed, opts) {
+        Ok(c) => c,
+        Err(e) => {
+            let _ = tx.send(Msg::Failed {
+                key: leased.key,
+                attempt: leased.attempt,
+                reason: format!("campaign preparation failed: {e}"),
+            });
+            return;
+        }
+    };
+
+    // Tighten the lease now that the fuel bound is known: one trial can
+    // execute at most `fuel` instructions, so a healthy worker beats at
+    // least every `base + fuel/STEPS` ms, and the whole shard finishes
+    // within `base + shard_trials * fuel/STEPS` ms.
+    let per_trial_ms = campaign.fuel / STEPS_PER_MS + 1;
+    let shard_trials = leased.shard.end - leased.shard.start;
+    {
+        let mut board = inner.board.lock().expect("board poisoned");
+        let (ji, ci, si) = leased.key;
+        if let Some(shard) = board
+            .jobs
+            .get_mut(ji)
+            .and_then(|j| j.cells.get_mut(ci))
+            .and_then(|c| c.shards.get_mut(si))
+        {
+            if shard.attempt == leased.attempt && shard.status == ShardStatus::Running {
+                if let Some(lease) = &mut shard.lease {
+                    lease.beat_window_ms = inner.cfg.shard_timeout_ms + per_trial_ms;
+                    lease.deadline_ms = inner
+                        .now_ms()
+                        .saturating_add(inner.cfg.shard_timeout_ms)
+                        .saturating_add(shard_trials.saturating_mul(per_trial_ms));
+                }
+            }
+        }
+    }
+
+    let chaos = inner.cfg.chaos.as_ref().and_then(|c| {
+        // By default only first attempts die: chaos proves recovery, not
+        // permafailure. `first_attempt_only: false` kills every attempt of
+        // a targeted shard to exercise retry-budget exhaustion.
+        (!c.first_attempt_only || leased.attempt == 0)
+            .then(|| c.plan(&leased.shard.tag))
+            .flatten()
+    });
+    let ck = CheckpointConfig {
+        dir: inner.cfg.dir.clone(),
+        interval: inner.cfg.checkpoint_interval,
+        max_retries: 3,
+        stop_after: None,
+    };
+
+    let mut events: u64 = 0;
+    let mut vanished = false;
+    let beat = Arc::clone(&leased.lease.beat);
+    let abandon = Arc::clone(&leased.lease.abandon);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        run_arch_shard_checkpointed(&campaign, &leased.shard, &ck, Some(&leased.cancel), |ev| {
+            beat.store(inner.now_ms(), Ordering::Relaxed);
+            if abandon.load(Ordering::Relaxed) {
+                return ShardControl::Die;
+            }
+            match ev {
+                ShardEvent::Adopted { classes, cursor } => {
+                    let _ = tx.send(Msg::Adopted {
+                        key: leased.key,
+                        attempt: leased.attempt,
+                        classes: *classes,
+                        cursor,
+                    });
+                }
+                ShardEvent::Trial { class, outcome, .. } => {
+                    let _ = tx.send(Msg::Delta {
+                        key: leased.key,
+                        attempt: leased.attempt,
+                        class,
+                        outcome,
+                    });
+                }
+                ShardEvent::Checkpointed { .. } => {}
+            }
+            events += 1;
+            if let Some((action, after)) = chaos {
+                if events > after {
+                    match action {
+                        ChaosAction::Panic => panic!("chaos: injected worker panic"),
+                        ChaosAction::Vanish => {
+                            vanished = true;
+                            return ShardControl::Die;
+                        }
+                        ChaosAction::Hang => loop {
+                            // Frozen heartbeat; only the monitor's abandon
+                            // flag gets us out.
+                            if abandon.load(Ordering::Relaxed) {
+                                return ShardControl::Die;
+                            }
+                            std::thread::sleep(Duration::from_millis(1));
+                        },
+                    }
+                }
+            }
+            ShardControl::Continue
+        })
+    }));
+
+    match outcome {
+        Err(payload) => {
+            let reason = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".to_owned());
+            let _ = tx.send(Msg::Failed {
+                key: leased.key,
+                attempt: leased.attempt,
+                reason,
+            });
+        }
+        Ok(run) if run.finished => {
+            let _ = tx.send(Msg::Done {
+                key: leased.key,
+                attempt: leased.attempt,
+                classes: run.classes,
+                cursor: run.cursor,
+            });
+        }
+        Ok(run) if run.cancelled => {
+            let _ = tx.send(Msg::Cancelled {
+                key: leased.key,
+                attempt: leased.attempt,
+                classes: run.classes,
+                cursor: run.cursor,
+            });
+        }
+        Ok(_) => {
+            // Abandoned. A vanished worker reports nothing and stops
+            // beating (the monitor's heartbeat path requeues); a
+            // monitor-abandoned worker's shard was already requeued when
+            // the abandon flag was raised. Either way: silence.
+            let _ = vanished;
+        }
+    }
+}
+
+fn aggregator_loop(inner: &Arc<Inner>, rx: &Receiver<Msg>) {
+    while let Ok(msg) = rx.recv() {
+        let mut board = inner.board.lock().expect("board poisoned");
+        match msg {
+            Msg::Adopted {
+                key,
+                attempt,
+                classes,
+                cursor,
+            } => {
+                if let Some(shard) = current_attempt(&mut board, key, attempt) {
+                    shard.classes = classes;
+                    shard.cursor = cursor;
+                }
+            }
+            Msg::Delta {
+                key,
+                attempt,
+                class,
+                outcome,
+            } => {
+                if let Some(shard) = current_attempt(&mut board, key, attempt) {
+                    shard.classes.record(class, outcome);
+                    shard.cursor += 1;
+                }
+            }
+            Msg::Done {
+                key,
+                attempt,
+                classes,
+                cursor,
+            } => {
+                if let Some(shard) = current_attempt(&mut board, key, attempt) {
+                    shard.classes = classes;
+                    shard.cursor = cursor;
+                    shard.status = ShardStatus::Done;
+                    shard.lease = None;
+                    board.jobs[key.0].settle();
+                }
+            }
+            Msg::Cancelled {
+                key,
+                attempt,
+                classes,
+                cursor,
+            } => {
+                if let Some(shard) = current_attempt(&mut board, key, attempt) {
+                    shard.classes = classes;
+                    shard.cursor = cursor;
+                    shard.status = ShardStatus::Queued;
+                    shard.lease = None;
+                }
+            }
+            Msg::Failed {
+                key,
+                attempt,
+                reason,
+            } => {
+                if let Some(shard) = current_attempt(&mut board, key, attempt) {
+                    shard.last_error = Some(reason);
+                    inner.requeue_locked(&mut board, key, false);
+                }
+            }
+        }
+    }
+}
+
+/// The shard at `key` iff it is still running the given attempt; stale
+/// messages (zombie workers) resolve to `None` and are dropped.
+fn current_attempt(
+    board: &mut Board,
+    key: ShardKey,
+    attempt: u32,
+) -> Option<&mut crate::board::Shard> {
+    let (ji, ci, si) = key;
+    let shard = board
+        .jobs
+        .get_mut(ji)?
+        .cells
+        .get_mut(ci)?
+        .shards
+        .get_mut(si)?;
+    (shard.attempt == attempt && shard.status == ShardStatus::Running).then_some(shard)
+}
+
+fn monitor_loop(inner: &Arc<Inner>) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(10));
+        let now = inner.now_ms();
+        let mut board = inner.board.lock().expect("board poisoned");
+        let mut lost = Vec::new();
+        for (ji, job) in board.jobs.iter().enumerate() {
+            if job.state == JobState::Cancelled {
+                continue;
+            }
+            for (ci, cell) in job.cells.iter().enumerate() {
+                for (si, shard) in cell.shards.iter().enumerate() {
+                    if shard.status != ShardStatus::Running {
+                        continue;
+                    }
+                    let Some(lease) = &shard.lease else { continue };
+                    let silent = now.saturating_sub(lease.beat.load(Ordering::Relaxed));
+                    if silent > lease.beat_window_ms || now > lease.deadline_ms {
+                        lease.abandon.store(true, Ordering::Relaxed);
+                        lost.push((ji, ci, si));
+                    }
+                }
+            }
+        }
+        for key in lost {
+            inner.requeue_locked(&mut board, key, true);
+        }
+    }
+}

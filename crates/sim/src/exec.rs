@@ -48,6 +48,35 @@ impl Launch {
     }
 }
 
+/// Cooperative cancellation handle for long-running executions.
+///
+/// A clone shares the underlying flag: the campaign service hands one token
+/// to every trial of a tenant campaign, and a `cancel()` from the control
+/// plane stops each in-flight execution at its next issue boundary with
+/// [`ExecError::Cancelled`]. Checks are relaxed atomic loads, performed only
+/// when a token is armed, so the uncancellable hot path pays one branch.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(std::sync::Arc<std::sync::atomic::AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested on any clone.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 /// Executor configuration.
 #[derive(Debug, Clone)]
 pub struct ExecConfig {
@@ -89,6 +118,10 @@ pub struct ExecConfig {
     /// ([`crate::tier2`]). The reference executor itself always interprets
     /// the `Op` enum and ignores this field.
     pub tier: ExecTier,
+    /// Cooperative cancellation: when armed, the executor polls the token
+    /// at every issue boundary and aborts with [`ExecError::Cancelled`].
+    /// `None` (the default) compiles down to one untaken branch per step.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for ExecConfig {
@@ -105,6 +138,7 @@ impl Default for ExecConfig {
             cta_limit: None,
             recovery: None,
             tier: ExecTier::Tier1,
+            cancel: None,
         }
     }
 }
@@ -201,6 +235,13 @@ pub enum ExecError {
         /// Dynamic warp-instruction index at which progress stopped.
         at: u64,
     },
+    /// The run was stopped by an armed [`CancelToken`] (a tenant cancelled
+    /// its campaign, or the service is draining for shutdown). The partial
+    /// state is meaningless: callers must discard the trial, never tally it.
+    Cancelled {
+        /// Dynamic warp-instruction index at which the token was observed.
+        at: u64,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -217,6 +258,7 @@ impl std::fmt::Display for ExecError {
             }
             Self::InvalidOp { what } => write!(f, "invalid kernel/launch: {what}"),
             Self::Trap { at } => write!(f, "deadlock trap at instruction {at}"),
+            Self::Cancelled { at } => write!(f, "cancelled at instruction {at}"),
         }
     }
 }
@@ -648,6 +690,12 @@ fn step(r: &mut Runner<'_>, w: &mut Warp, shared: &mut SharedMemory) {
         if r.dyn_count > fuel.saturating_add(r.fuel_refund) {
             // Budget exhausted: the kernel is hung (driver-watchdog kill).
             r.error = Some(ExecError::Hang { steps: r.dyn_count });
+            return;
+        }
+    }
+    if let Some(token) = &r.cfg.cancel {
+        if token.is_cancelled() {
+            r.error = Some(ExecError::Cancelled { at: r.dyn_count });
             return;
         }
     }

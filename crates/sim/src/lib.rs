@@ -38,7 +38,7 @@ pub mod snapshot;
 pub mod tier2;
 pub mod timing;
 
-pub use exec::{ExecError, ExecOutcome, Executor, Launch, TraceEntry, WarpTrace};
+pub use exec::{CancelToken, ExecError, ExecOutcome, Executor, Launch, TraceEntry, WarpTrace};
 pub use fault::{
     ControlTarget, FaultClass, FaultSpec, FaultSpecError, FaultTarget, StuckAtSpec, RESULT_WIDTH,
     WARP_WIDTH,

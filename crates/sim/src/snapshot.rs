@@ -36,7 +36,7 @@
 //! and convergence early-exit are shared between the tiers, and the tier-1
 //! interpreter stays as the differential reference.
 
-use crate::exec::{compare, Detection, ExecConfig, ExecError, Launch};
+use crate::exec::{compare, CancelToken, Detection, ExecConfig, ExecError, Launch};
 use crate::fault::{ControlTarget, FaultClass, FaultSpec, FaultTarget};
 use crate::memory::{GlobalMemory, SharedMemory};
 use crate::predecode::{
@@ -233,6 +233,7 @@ impl CampaignEngine {
             error: None,
             faults_applied: 0,
             control_delivered: false,
+            cancel: None,
         };
         let mut warps = new_warps(&pk, launch, protection);
         if compiled.is_some() {
@@ -322,6 +323,25 @@ impl CampaignEngine {
     /// this indicates engine misuse).
     #[must_use]
     pub fn run_trial(&self, fault: FaultSpec, fuel: u64) -> FastTrial {
+        self.run_trial_cancellable(fault, fuel, None)
+    }
+
+    /// [`Self::run_trial`] with an optional cancellation token, polled at
+    /// every issue boundary. A cancelled trial returns with
+    /// [`ExecError::Cancelled`]; its partial state must be discarded, never
+    /// tallied — the trial re-runs in full on resume, preserving
+    /// byte-identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ladder is empty, exactly like [`Self::run_trial`].
+    #[must_use]
+    pub fn run_trial_cancellable(
+        &self,
+        fault: FaultSpec,
+        fuel: u64,
+        cancel: Option<&CancelToken>,
+    ) -> FastTrial {
         let snaps = &self.ladder.snapshots;
         let mut si = 0;
         for (i, s) in snaps.iter().enumerate() {
@@ -359,6 +379,7 @@ impl CampaignEngine {
             error: None,
             faults_applied: 0,
             control_delivered: false,
+            cancel: cancel.cloned(),
         };
         let mut warps: Vec<FastWarp> = snap
             .warps
@@ -443,6 +464,9 @@ pub(crate) struct FastCtx<'a> {
     /// A control-state strike has been delivered (one-shot, keyed on the
     /// global dynamic-instruction counter rather than the eligible ones).
     pub(crate) control_delivered: bool,
+    /// Armed cancellation token, polled at every issue (see
+    /// [`crate::exec::CancelToken`]).
+    pub(crate) cancel: Option<CancelToken>,
 }
 
 impl FastCtx<'_> {
@@ -810,6 +834,12 @@ pub(crate) fn account_issue(ctx: &mut FastCtx<'_>) -> bool {
             ctx.error = Some(ExecError::Hang {
                 steps: ctx.dyn_count,
             });
+            return false;
+        }
+    }
+    if let Some(token) = &ctx.cancel {
+        if token.is_cancelled() {
+            ctx.error = Some(ExecError::Cancelled { at: ctx.dyn_count });
             return false;
         }
     }
