@@ -1,7 +1,7 @@
 //! Fault-model taxonomy acceptance campaign: the three-class injection mix
 //! end to end, written to `BENCH_faults.json`.
 //!
-//! Over a 3×3 (workload × scheme) matrix every trial draws its fault class
+//! Over a 6×3 (workload × scheme) matrix every trial draws its fault class
 //! from the equal-weight [`FaultMix::all_classes`] ticket — burst-capable
 //! datapath transients, control-state strikes (predicate registers, active
 //! masks, barrier counters, scheduler slots) and area-weighted stuck-at
@@ -53,7 +53,7 @@ fn main() {
     let fast = std::env::var_os("SWAPCODES_FAST").is_some();
     let trials: u64 = if fast { 120 } else { 360 };
     let seed = 0xFA17_0007u64;
-    let workloads = ["matmul", "kmeans", "hspot"];
+    let workloads = ["matmul", "kmeans", "hspot", "bprop", "pathf", "srad_v2"];
     let schemes = [
         Scheme::SwDup,
         Scheme::SwapEcc,

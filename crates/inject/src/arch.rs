@@ -20,7 +20,7 @@ use swapcodes_sim::recovery::{
     RecoveryConfig, RecoveryEngine, RecoveryOutcome, RecoveryPolicy, RecoveryStats,
 };
 use swapcodes_sim::regfile::Protection;
-use swapcodes_sim::snapshot::CampaignEngine;
+use swapcodes_sim::snapshot::{CampaignEngine, ResumeMode};
 use swapcodes_sim::tier2::ExecTier;
 use swapcodes_sim::{ControlTarget, FaultClass, FaultSpec, FaultTarget, Launch};
 use swapcodes_workloads::Workload;
@@ -397,6 +397,10 @@ pub struct CampaignOptions {
     /// Fault-class sampling mix for per-trial draws (default: pure
     /// transient, byte-identical to the pre-taxonomy campaign).
     pub mix: FaultMix,
+    /// Copy-on-write page size (32-bit words) for snapshot resume; rounded
+    /// up to a power of two at capture. Outcome-invariant: it only changes
+    /// how much state a trial materializes, never what it computes.
+    pub cow_page_words: usize,
 }
 
 impl Default for CampaignOptions {
@@ -405,6 +409,7 @@ impl Default for CampaignOptions {
             tier: ExecTier::Tier2,
             peephole: true,
             mix: FaultMix::default(),
+            cow_page_words: swapcodes_sim::DEFAULT_COW_PAGE_WORDS,
         }
     }
 }
@@ -422,6 +427,9 @@ impl CampaignOptions {
         }
         if let Some(mix) = crate::harness::fault_mix_from_env() {
             opts.mix = mix;
+        }
+        if let Some(words) = crate::harness::cow_page_words_from_env() {
+            opts.cow_page_words = words;
         }
         opts
     }
@@ -501,6 +509,12 @@ pub struct TrialTelemetry {
     /// Whether the trial was classified Masked by golden convergence
     /// without running to completion.
     pub early_exit: bool,
+    /// Bytes of snapshot state the trial materialized (CoW resume cost).
+    pub bytes_cloned: u64,
+    /// Global-memory pages materialized by the trial's writes.
+    pub cow_pages_cloned: u64,
+    /// Total global-memory pages in the resume snapshot.
+    pub cow_pages_total: u64,
 }
 
 impl<'w> ArchCampaign<'w> {
@@ -574,6 +588,7 @@ impl<'w> ArchCampaign<'w> {
             interval,
             &ExecConfig {
                 tier: options.tier,
+                cow_page_words: options.cow_page_words,
                 ..ExecConfig::default()
             },
         )
@@ -913,7 +928,19 @@ impl<'w> ArchCampaign<'w> {
         fault: FaultSpec,
         cancel: Option<&CancelToken>,
     ) -> Option<(TrialOutcome, TrialTelemetry)> {
-        let t = self.engine.run_trial_cancellable(fault, self.fuel, cancel);
+        self.run_fault_mode(fault, cancel, ResumeMode::Cow)
+    }
+
+    /// [`Self::run_fault_cancellable`] with an explicit snapshot
+    /// [`ResumeMode`] — `Clone` keeps the legacy deep-copy resume callable
+    /// as a differential anchor for the CoW path.
+    fn run_fault_mode(
+        &self,
+        fault: FaultSpec,
+        cancel: Option<&CancelToken>,
+        mode: ResumeMode,
+    ) -> Option<(TrialOutcome, TrialTelemetry)> {
+        let t = self.engine.run_trial_mode(fault, self.fuel, cancel, mode);
         if matches!(t.error, Some(ExecError::Cancelled { .. })) {
             return None;
         }
@@ -921,6 +948,9 @@ impl<'w> ArchCampaign<'w> {
             resumed_from: t.resumed_from,
             executed: t.executed,
             early_exit: t.converged_early,
+            bytes_cloned: t.bytes_cloned,
+            cow_pages_cloned: t.cow_pages_cloned,
+            cow_pages_total: t.cow_pages_total,
         };
         let outcome = if t.converged_early {
             // Post-strike state re-converged to the golden epoch state with
@@ -943,7 +973,10 @@ impl<'w> ArchCampaign<'w> {
                 Detection::MemFault { .. } => TrialOutcome::Crash,
                 Detection::Hang { .. } => TrialOutcome::Hang,
                 Detection::None => {
-                    if self.workload.output_words(&t.mem) == self.golden {
+                    // O(output-region) check against the CoW view — the
+                    // trial's memory must never be flattened here.
+                    let (addr, words) = self.workload.output;
+                    if t.mem.read_u32_slice(addr, words as usize) == self.golden {
                         TrialOutcome::Masked
                     } else {
                         TrialOutcome::Sdc
@@ -1019,6 +1052,68 @@ impl<'w> ArchCampaign<'w> {
         for trial in start..end {
             let (class, outcome) = self.run_trial_classed_salted(trial, 0);
             out.record(class, outcome);
+        }
+        out
+    }
+
+    /// [`Self::run_trial_classed_salted`] through the legacy deep-copy
+    /// (clone) resume path — the differential anchor the copy-on-write
+    /// resume is tested byte-identical against.
+    #[must_use]
+    pub fn run_trial_clone_resume_salted(
+        &self,
+        trial: u64,
+        salt: u32,
+    ) -> (FaultClass, TrialOutcome) {
+        let fault = self.trial_fault_salted(trial, salt);
+        let (outcome, _) = self
+            .run_fault_mode(fault, None, ResumeMode::Clone)
+            .expect("uncancellable trial cannot be cancelled");
+        (fault.class, outcome)
+    }
+
+    /// The epoch-ladder rung trial `trial` resumes from (for its salt-0
+    /// fault draw). This is the epoch-batch sort key: trials sharing a rung
+    /// resume from the same `Arc`'d base state, so running them
+    /// back-to-back keeps that state hot in cache. Purely a scheduling
+    /// heuristic — a containment retry with a different salt may resume
+    /// elsewhere, which affects locality, never correctness.
+    #[must_use]
+    pub fn trial_rung(&self, trial: u64) -> usize {
+        self.engine.resume_rung(&self.trial_fault_salted(trial, 0))
+    }
+
+    /// Group trials `[start, end)` into per-epoch batches: one batch per
+    /// resume rung, batches in rung order, trial indices ascending within
+    /// each batch. Every trial of `[start, end)` appears in exactly one
+    /// batch; tallying is order-independent, so executing batches
+    /// out-of-logical-order and committing results in logical order
+    /// reproduces the serial tallies byte-for-byte.
+    #[must_use]
+    pub fn plan_epoch_batches(&self, start: u64, end: u64) -> Vec<Vec<u64>> {
+        let mut by_rung: Vec<(usize, Vec<u64>)> = Vec::new();
+        for trial in start..end {
+            let rung = self.trial_rung(trial);
+            match by_rung.binary_search_by_key(&rung, |&(r, _)| r) {
+                Ok(i) => by_rung[i].1.push(trial),
+                Err(i) => by_rung.insert(i, (rung, vec![trial])),
+            }
+        }
+        by_rung.into_iter().map(|(_, trials)| trials).collect()
+    }
+
+    /// [`Self::run_range_classed`] executed as epoch batches (trials sorted
+    /// by resume rung) instead of logical order. Tallies are commutative
+    /// counters, so the result is byte-identical to the serial range — this
+    /// equivalence is asserted by the perf baseline on every run.
+    #[must_use]
+    pub fn run_range_classed_batched(&self, start: u64, end: u64) -> FaultClassTallies {
+        let mut out = FaultClassTallies::default();
+        for batch in self.plan_epoch_batches(start, end) {
+            for trial in batch {
+                let (class, outcome) = self.run_trial_classed_salted(trial, 0);
+                out.record(class, outcome);
+            }
         }
         out
     }

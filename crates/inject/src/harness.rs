@@ -141,6 +141,19 @@ pub fn exec_tier_from_env() -> Option<swapcodes_sim::ExecTier> {
     env_parsed("SWAPCODES_EXEC_TIER", swapcodes_sim::ExecTier::parse)
 }
 
+/// The `SWAPCODES_COW_PAGE_WORDS` override: copy-on-write page size (in
+/// 32-bit words) for snapshot resume (see
+/// [`crate::arch::CampaignOptions::cow_page_words`]); rounded up to a power
+/// of two at engine capture. Outcome-invariant — it tunes resume cost,
+/// never trial results. Malformed values are surfaced once and ignored.
+#[must_use]
+pub fn cow_page_words_from_env() -> Option<usize> {
+    env_parsed("SWAPCODES_COW_PAGE_WORDS", |v| {
+        let n = parse_positive(v)?;
+        usize::try_from(n).map_err(|e| format!("{e}"))
+    })
+}
+
 /// The `SWAPCODES_THREADS` worker-pool override (see
 /// [`crate::gate::default_thread_count`]). Malformed values are surfaced
 /// once and ignored.
@@ -1010,6 +1023,13 @@ fn load_shard_checkpoint(
         .then_some((cursor, classes))
 }
 
+/// Trials scheduled per epoch-batch window by the shard driver. Windows
+/// bound the reorder buffer (and how much executed work a cancellation can
+/// discard) while staying large enough that rung-sorting finds batch-mates
+/// to share a resume snapshot with. Scheduling-only: any window size yields
+/// byte-identical checkpoints and tallies.
+const SHARD_BATCH_WINDOW: u64 = 128;
+
 /// Run (or resume) one shard of an architecture-level campaign against an
 /// already-prepared [`ArchCampaign`], with panic containment, a per-shard
 /// anomaly log, periodic atomic checkpoints, and two distinct stop paths:
@@ -1024,6 +1044,13 @@ fn load_shard_checkpoint(
 ///
 /// The caller observes every tallied trial through `on_event`, which is the
 /// service's delta stream into its merge-on-read aggregator.
+///
+/// Internally trials execute in epoch-batch order (windows of
+/// `SHARD_BATCH_WINDOW` trials, rung-sorted via
+/// [`ArchCampaign::plan_epoch_batches`]) and commit through a reorder
+/// buffer in logical order, so everything observable — events,
+/// checkpoints, tallies, anomaly lines — is byte-identical to a serial
+/// in-order driver.
 pub fn run_arch_shard_checkpointed(
     campaign: &ArchCampaign<'_>,
     shard: &ShardSpec,
@@ -1092,6 +1119,15 @@ pub fn run_arch_shard_checkpointed(
         }
     };
 
+    // Trials are *executed* in epoch-batch order (grouped by resume rung so
+    // batch-mates share one `Arc`'d base snapshot, hot in cache) but
+    // *committed* — tallied, streamed through `on_event`, checkpointed —
+    // strictly in logical trial order through a reorder buffer. Every
+    // durable artifact (checkpoint files, event stream, anomaly log lines)
+    // is therefore byte-identical to the serial reference: the commit loop
+    // below replays the serial loop's exact cancel/stop/Die decision points,
+    // and trial purity in `(seed, trial, salt)` means any result discarded
+    // uncommitted is reproduced identically on resume.
     let mut done_this_run = 0u64;
     while cursor < shard.end {
         if cancel.is_some_and(CancelToken::is_cancelled) {
@@ -1116,16 +1152,42 @@ pub fn run_arch_shard_checkpointed(
                 anomalies: log.count,
             };
         }
-        let trial = cursor;
-        let ran = contain(ck.max_retries, |salt| match cancel {
-            Some(token) => campaign.run_trial_classed_cancellable(trial, salt, token),
-            None => Some(campaign.run_trial_classed_salted(trial, salt)),
-        });
-        let (class, outcome) = match ran {
-            Ok(Some(pair)) => pair,
-            // Cancelled mid-trial: discard the partial trial untallied and
-            // flush the prefix — the trial re-runs in full on resume.
-            Ok(None) => {
+        // One scheduling window. Capping at `stop_after`'s remainder keeps
+        // the serial invariant that the stop check only ever fires at the
+        // loop head: the window never executes a trial the serial loop
+        // would not have reached.
+        let mut window = SHARD_BATCH_WINDOW.min(shard.end - cursor);
+        if let Some(stop) = ck.stop_after {
+            window = window.min(stop - done_this_run);
+        }
+        let win_end = cursor + window;
+        let mut buf: Vec<Option<Result<(FaultClass, TrialOutcome), String>>> =
+            vec![None; window as usize];
+        'execute: for batch in campaign.plan_epoch_batches(cursor, win_end) {
+            for trial in batch {
+                if cancel.is_some_and(CancelToken::is_cancelled) {
+                    break 'execute;
+                }
+                let ran = contain(ck.max_retries, |salt| match cancel {
+                    Some(token) => campaign.run_trial_classed_cancellable(trial, salt, token),
+                    None => Some(campaign.run_trial_classed_salted(trial, salt)),
+                });
+                buf[(trial - cursor) as usize] = match ran {
+                    Ok(Some(pair)) => Some(Ok(pair)),
+                    // Cancelled mid-trial: leave the slot empty; the commit
+                    // loop flushes the contiguous logical prefix and the
+                    // trial re-runs in full on resume.
+                    Ok(None) => break 'execute,
+                    Err(panic_msg) => Some(Err(panic_msg)),
+                };
+            }
+        }
+        for slot in buf {
+            // Replay of the serial loop head: poll cancellation before
+            // *each* commit, so a token fired from an `on_event` callback
+            // stops the cursor exactly where the serial driver would —
+            // executed-but-uncommitted batch results are discarded.
+            if cancel.is_some_and(CancelToken::is_cancelled) {
                 save(cursor, &classes);
                 return ShardRun {
                     classes,
@@ -1136,37 +1198,44 @@ pub fn run_arch_shard_checkpointed(
                     anomalies: log.count,
                 };
             }
-            Err(panic_msg) => {
-                log.record(&shard.tag, trial, ck.max_retries, &panic_msg);
-                // Attribute the contained crash to the salt-0 draw's class —
-                // the deterministic one a re-run would see first.
-                (
-                    campaign.trial_fault_salted(trial, 0).class,
-                    TrialOutcome::Crash,
-                )
-            }
-        };
-        classes.record(class, outcome);
-        cursor += 1;
-        done_this_run += 1;
-        if on_event(ShardEvent::Trial {
-            trial,
-            class,
-            outcome,
-        }) == ShardControl::Die
-        {
-            return ShardRun {
-                classes,
-                cursor,
-                finished: false,
-                cancelled: false,
-                abandoned: true,
-                anomalies: log.count,
+            let trial = cursor;
+            let (class, outcome) = match slot {
+                Some(Ok(pair)) => pair,
+                Some(Err(panic_msg)) => {
+                    // Anomalies are logged at commit time, not execution
+                    // time, so the log's line order matches the serial run.
+                    log.record(&shard.tag, trial, ck.max_retries, &panic_msg);
+                    // Attribute the contained crash to the salt-0 draw's
+                    // class — the deterministic one a re-run would see
+                    // first.
+                    (
+                        campaign.trial_fault_salted(trial, 0).class,
+                        TrialOutcome::Crash,
+                    )
+                }
+                // Execution was cut short by cancellation before this
+                // logical trial completed.
+                None => {
+                    save(cursor, &classes);
+                    return ShardRun {
+                        classes,
+                        cursor,
+                        finished: false,
+                        cancelled: true,
+                        abandoned: false,
+                        anomalies: log.count,
+                    };
+                }
             };
-        }
-        if ck.interval > 0 && done_this_run.is_multiple_of(ck.interval) {
-            save(cursor, &classes);
-            if on_event(ShardEvent::Checkpointed { cursor }) == ShardControl::Die {
+            classes.record(class, outcome);
+            cursor += 1;
+            done_this_run += 1;
+            if on_event(ShardEvent::Trial {
+                trial,
+                class,
+                outcome,
+            }) == ShardControl::Die
+            {
                 return ShardRun {
                     classes,
                     cursor,
@@ -1175,6 +1244,19 @@ pub fn run_arch_shard_checkpointed(
                     abandoned: true,
                     anomalies: log.count,
                 };
+            }
+            if ck.interval > 0 && done_this_run.is_multiple_of(ck.interval) {
+                save(cursor, &classes);
+                if on_event(ShardEvent::Checkpointed { cursor }) == ShardControl::Die {
+                    return ShardRun {
+                        classes,
+                        cursor,
+                        finished: false,
+                        cancelled: false,
+                        abandoned: true,
+                        anomalies: log.count,
+                    };
+                }
             }
         }
     }

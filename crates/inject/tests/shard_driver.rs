@@ -168,6 +168,97 @@ fn cancelled_shard_flushes_checkpoint_and_resumes_byte_identically() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Worker loss in the middle of an epoch-batch window. The driver executes
+/// trials rung-sorted into a reorder buffer, so at any commit point the
+/// buffer usually holds executed-but-uncommitted results for *later*
+/// logical trials; a `stop_after` cut and then an abrupt `Die` both land
+/// mid-window here, discarding that buffered work. The discarded trials
+/// must re-run on resume with byte-identical results, the Trial event
+/// stream must stay in logical order across every attempt, and the final
+/// tallies must match the serial reference exactly.
+#[test]
+fn mid_epoch_batch_kill_and_stop_resume_byte_identically() {
+    let c = campaign("hspot", Scheme::SwapEcc, 0xBA7C4);
+    let (start, end) = (0u64, 22u64);
+    let serial = c.run_range_classed(start, end);
+    let dir = scratch_dir("mid-batch");
+    let shard = ShardSpec {
+        tag: "mid-batch".to_owned(),
+        start,
+        end,
+    };
+    let seen_in_order =
+        |seen: &[u64], from: u64| seen.iter().enumerate().all(|(i, &t)| t == from + i as u64);
+
+    // Attempt 1: `stop_after` cuts the run after 9 commits — mid-window,
+    // since the scheduling window spans the whole 22-trial shard. The stop
+    // point flushes, exactly like the serial driver.
+    let mut seen = Vec::new();
+    let run = run_arch_shard_checkpointed(
+        &c,
+        &shard,
+        &CheckpointConfig {
+            stop_after: Some(9),
+            ..ck(Some(dir.clone()), 5)
+        },
+        None,
+        |ev| {
+            if let ShardEvent::Trial { trial, .. } = ev {
+                seen.push(trial);
+            }
+            ShardControl::Continue
+        },
+    );
+    assert!(!run.finished && !run.cancelled && !run.abandoned);
+    assert_eq!(run.cursor, start + 9);
+    assert!(
+        seen_in_order(&seen, start),
+        "commits out of order: {seen:?}"
+    );
+
+    // Attempt 2: adopt the stop point, then die abruptly 4 commits into the
+    // next window — before any interval checkpoint (interval 5) flushes, so
+    // the 4 commits *and* the rest of the buffered window are lost.
+    let mut seen = Vec::new();
+    let mut adopted_cursor = None;
+    let run = run_arch_shard_checkpointed(&c, &shard, &ck(Some(dir.clone()), 5), None, |ev| {
+        match ev {
+            ShardEvent::Adopted { cursor, .. } => adopted_cursor = Some(cursor),
+            ShardEvent::Trial { trial, .. } => {
+                seen.push(trial);
+                if seen.len() == 4 {
+                    return ShardControl::Die;
+                }
+            }
+            ShardEvent::Checkpointed { .. } => {}
+        }
+        ShardControl::Continue
+    });
+    assert!(run.abandoned);
+    assert_eq!(adopted_cursor, Some(start + 9));
+    assert!(seen_in_order(&seen, start + 9));
+
+    // Attempt 3: the durable prefix is still the stop point (the die flushed
+    // nothing); the discarded trials re-run and the whole shard merges
+    // byte-identical to serial.
+    let mut seen = Vec::new();
+    let mut adopted_cursor = None;
+    let run = run_arch_shard_checkpointed(&c, &shard, &ck(Some(dir.clone()), 5), None, |ev| {
+        match ev {
+            ShardEvent::Adopted { cursor, .. } => adopted_cursor = Some(cursor),
+            ShardEvent::Trial { trial, .. } => seen.push(trial),
+            ShardEvent::Checkpointed { .. } => {}
+        }
+        ShardControl::Continue
+    });
+    assert_eq!(adopted_cursor, Some(start + 9));
+    assert!(run.finished);
+    assert_eq!(run.cursor, end);
+    assert!(seen_in_order(&seen, start + 9));
+    assert_eq!(run.classes, serial, "mid-batch kill perturbed tallies");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn die_without_flushed_checkpoint_restarts_from_scratch() {
     let c = campaign("kmeans", Scheme::SwapEcc, 0x0DE4D);

@@ -122,6 +122,10 @@ pub struct ExecConfig {
     /// at every issue boundary and aborts with [`ExecError::Cancelled`].
     /// `None` (the default) compiles down to one untaken branch per step.
     pub cancel: Option<CancelToken>,
+    /// Copy-on-write page size in 32-bit words for the campaign engine's
+    /// global-memory overlay ([`crate::snapshot::CampaignEngine`]); rounded
+    /// up to a power of two at capture. The reference executor ignores it.
+    pub cow_page_words: usize,
 }
 
 impl Default for ExecConfig {
@@ -139,6 +143,7 @@ impl Default for ExecConfig {
             recovery: None,
             tier: ExecTier::Tier1,
             cancel: None,
+            cow_page_words: crate::memory::DEFAULT_COW_PAGE_WORDS,
         }
     }
 }

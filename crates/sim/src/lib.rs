@@ -43,14 +43,16 @@ pub use fault::{
     ControlTarget, FaultClass, FaultSpec, FaultSpecError, FaultTarget, StuckAtSpec, RESULT_WIDTH,
     WARP_WIDTH,
 };
-pub use memory::{GlobalMemory, SharedMemory};
+pub use memory::{CowMemory, CowShared, GlobalMemory, SharedMemory, DEFAULT_COW_PAGE_WORDS};
 pub use occupancy::{occupancy, GpuConfig, Occupancy};
 pub use predecode::PredecodedKernel;
 pub use recovery::{
     RecoveryConfig, RecoveryEngine, RecoveryOutcome, RecoveryPolicy, RecoveryRun, RecoverySpec,
     RecoveryStats,
 };
-pub use regfile::{Protection, RegFileEvent};
-pub use snapshot::{CampaignEngine, EpochLadder, FastTrial, Fragment, GoldenCapture, WarpSnapshot};
+pub use regfile::{CowRegFile, Protection, RegFileEvent, WarpRegFile};
+pub use snapshot::{
+    CampaignEngine, EpochLadder, FastTrial, Fragment, GoldenCapture, ResumeMode, WarpSnapshot,
+};
 pub use tier2::{CompiledKernel, ExecTier};
 pub use timing::{simulate_kernel, KernelTiming, RecoveryCostModel, TimingConfig};

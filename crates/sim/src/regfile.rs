@@ -8,6 +8,9 @@
 //! pipeline. Every operand read runs the decoder, which is where SwapCodes
 //! turns pipeline errors into DUEs.
 
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 use swapcodes_ecc::report::{DpWord, ReadEvent, SecDedDp, SecDp};
 use swapcodes_ecc::swap::{self, SwappedWord};
@@ -110,6 +113,12 @@ pub struct WarpRegFile {
     /// One bit per architectural register whose check bits are stale
     /// (all 32 lanes are re-encoded together on flush).
     dirty: Vec<u64>,
+    /// One bit per architectural register written since the last
+    /// [`Self::take_touched`] — the trial/epoch dirty-register superset the
+    /// copy-on-write resume path compares against golden state (DESIGN §14).
+    /// Deferred-dirty is always a subset of touched (a deferred write sets
+    /// both), so lazy flushing never writes an untouched register.
+    touched: Vec<u64>,
 }
 
 impl WarpRegFile {
@@ -131,6 +140,7 @@ impl WarpRegFile {
             armed: false,
             deferred: false,
             dirty: vec![0; (regs as usize).div_ceil(64)],
+            touched: vec![0; (regs as usize).div_ceil(64)],
         }
     }
 
@@ -186,6 +196,25 @@ impl WarpRegFile {
     }
 
     #[inline]
+    fn touch(&mut self, reg: u8) {
+        self.touched[usize::from(reg) >> 6] |= 1 << (reg & 63);
+    }
+
+    /// One bit per register written since the last [`Self::take_touched`].
+    #[must_use]
+    pub fn touched_bits(&self) -> &[u64] {
+        &self.touched
+    }
+
+    /// Drain the touched-register bitmap, returning the old bits and
+    /// resetting the tracker. Called at epoch capture so resumed trials
+    /// start from a snapshot with an empty dirty superset.
+    pub fn take_touched(&mut self) -> Vec<u64> {
+        let fresh = vec![0; self.touched.len()];
+        std::mem::replace(&mut self.touched, fresh)
+    }
+
+    #[inline]
     fn reg_dirty(&self, reg: u8) -> bool {
         self.dirty[usize::from(reg) >> 6] & (1 << (reg & 63)) != 0
     }
@@ -223,6 +252,7 @@ impl WarpRegFile {
     /// is re-encoded (to the identical bits) before any observer reads it.
     pub fn write_full(&mut self, lane: u32, reg: u8, value: u32) {
         let i = self.idx(lane, reg);
+        self.touch(reg);
         if self.deferred {
             self.words[i].data = value;
             self.dirty[usize::from(reg) >> 6] |= 1 << (reg & 63);
@@ -239,6 +269,7 @@ impl WarpRegFile {
     /// Masked write by a Swap-ECC shadow instruction: only the check bits,
     /// computed from the shadow's own result.
     pub fn write_ecc_only(&mut self, lane: u32, reg: u8, shadow_value: u32) {
+        self.touch(reg);
         if self.reg_dirty(reg) {
             // The shadow compares against this register's stored check
             // bits: restore the codeword invariant for it first.
@@ -259,6 +290,7 @@ impl WarpRegFile {
     /// prediction pipeline operating on the input residues — i.e. from the
     /// fault-free `predicted_value`.
     pub fn write_predicted(&mut self, lane: u32, reg: u8, value: u32, predicted_value: u32) {
+        self.touch(reg);
         if self.reg_dirty(reg) {
             // This write stores a deliberately inconsistent codeword (or is
             // about to corrupt one): restore the deferred lanes first so a
@@ -286,6 +318,7 @@ impl WarpRegFile {
     /// reflects `check_source` (the swapped-codeword composition used when a
     /// fault is injected into an original instruction).
     pub fn write_split(&mut self, lane: u32, reg: u8, data: u32, check_source: u32) {
+        self.touch(reg);
         if self.reg_dirty(reg) {
             // This write stores a deliberately inconsistent codeword (or is
             // about to corrupt one): restore the deferred lanes first so a
@@ -307,8 +340,10 @@ impl WarpRegFile {
         }
     }
 
-    /// Read a register through the decoder.
-    pub fn read(&mut self, lane: u32, reg: u8) -> (u32, RegFileEvent) {
+    /// Read a register through the decoder. Takes `&self`: reads never
+    /// mutate stored state, which is what lets a copy-on-write resume share
+    /// one base file across every trial of an epoch batch.
+    pub fn read(&self, lane: u32, reg: u8) -> (u32, RegFileEvent) {
         let i = self.idx(lane, reg);
         let w = self.words[i];
         if !self.armed {
@@ -373,6 +408,22 @@ impl WarpRegFile {
         self.words == other.words
     }
 
+    /// Whether one architectural register (all 32 lanes) holds byte-identical
+    /// stored state in both files — the per-register unit of the dirty-only
+    /// golden comparison (DESIGN §14). Same flushed-precondition as
+    /// [`Self::stored_eq`].
+    #[must_use]
+    pub fn stored_eq_reg(&self, other: &Self, reg: u8) -> bool {
+        debug_assert_eq!(self.regs, other.regs);
+        debug_assert!(
+            !self.reg_dirty(reg) && !other.reg_dirty(reg),
+            "stored-state comparison requires flushed check bits"
+        );
+        let regs = self.regs as usize;
+        let r = usize::from(reg);
+        (0..32).all(|lane| self.words[lane * regs + r] == other.words[lane * regs + r])
+    }
+
     /// Attempt in-place correction of a stored word whose syndrome points at
     /// a single data bit, rewriting the register as a consistent codeword
     /// (data, re-encoded check bits and parity) and returning the corrected
@@ -402,6 +453,7 @@ impl WarpRegFile {
 
     /// Inject a raw storage bit-flip (for storage-error testing).
     pub fn flip_storage_bit(&mut self, lane: u32, reg: u8, bit: u32) {
+        self.touch(reg);
         if self.reg_dirty(reg) {
             // This write stores a deliberately inconsistent codeword (or is
             // about to corrupt one): restore the deferred lanes first so a
@@ -415,6 +467,86 @@ impl WarpRegFile {
             _ => self.words[i].parity = !self.words[i].parity,
         }
         self.arm();
+    }
+}
+
+/// A lazily cloned warp register file: resumed trials share the epoch
+/// snapshot's file through an `Arc` until the first write materializes a
+/// private copy. `Deref`/`DerefMut` make the wrapper transparent to the
+/// executor — reads go through the shared base, while any `&mut` access
+/// clones it first (and re-enables deferred encoding when the tier-2 engine
+/// asked for it, since the captured base was flushed and un-deferred).
+#[derive(Debug, Clone)]
+pub enum CowRegFile {
+    /// Still sharing the epoch snapshot's file.
+    Shared {
+        /// The captured golden-epoch register file.
+        base: Arc<WarpRegFile>,
+        /// Re-enable deferred check-bit encoding at materialization
+        /// (tier-2 resume).
+        defer_on_write: bool,
+    },
+    /// A private copy, materialized by the first write.
+    Owned(Box<WarpRegFile>),
+}
+
+impl CowRegFile {
+    /// Share `base` until the first write.
+    #[must_use]
+    pub fn shared(base: Arc<WarpRegFile>, defer_on_write: bool) -> Self {
+        CowRegFile::Shared {
+            base,
+            defer_on_write,
+        }
+    }
+
+    /// Wrap an already-private file (golden capture / clone-resume mode).
+    #[must_use]
+    pub fn owned(rf: WarpRegFile) -> Self {
+        CowRegFile::Owned(Box::new(rf))
+    }
+
+    /// Whether a write has materialized a private copy.
+    #[must_use]
+    pub fn is_materialized(&self) -> bool {
+        matches!(self, CowRegFile::Owned(_))
+    }
+
+    /// Force materialization (legacy clone-resume mode).
+    pub fn materialize(&mut self) {
+        let _ = self.deref_mut();
+    }
+}
+
+impl Deref for CowRegFile {
+    type Target = WarpRegFile;
+
+    #[inline]
+    fn deref(&self) -> &WarpRegFile {
+        match self {
+            CowRegFile::Shared { base, .. } => base,
+            CowRegFile::Owned(rf) => rf,
+        }
+    }
+}
+
+impl DerefMut for CowRegFile {
+    fn deref_mut(&mut self) -> &mut WarpRegFile {
+        if let CowRegFile::Shared {
+            base,
+            defer_on_write,
+        } = self
+        {
+            let mut rf = base.as_ref().clone();
+            if *defer_on_write {
+                rf.set_deferred(true);
+            }
+            *self = CowRegFile::Owned(Box::new(rf));
+        }
+        match self {
+            CowRegFile::Owned(rf) => rf,
+            CowRegFile::Shared { .. } => unreachable!("just materialized"),
+        }
     }
 }
 
@@ -531,7 +663,7 @@ mod tests {
         rf.write_full(3, 2, 0xAAAA_5555);
         let snap = rf.clone();
         rf.write_full(3, 2, 0);
-        let mut restored = snap;
+        let restored = snap;
         let (v, e) = restored.read(3, 2);
         assert_eq!(v, 0xAAAA_5555);
         assert_eq!(e, RegFileEvent::Clean);
@@ -620,5 +752,68 @@ mod tests {
         rf.write_full(0, 0, 7);
         let (_, e) = rf.read(0, 0);
         assert_eq!(e, RegFileEvent::Clean);
+    }
+
+    #[test]
+    fn touched_bitmap_tracks_every_write_path() {
+        let mut rf = WarpRegFile::new(70, Protection::SecDedDp);
+        rf.write_full(0, 0, 1);
+        rf.write_ecc_only(0, 1, 1);
+        rf.write_predicted(0, 2, 3, 3);
+        rf.write_split(0, 3, 4, 4);
+        rf.flip_storage_bit(0, 69, 2);
+        let bits = rf.take_touched();
+        assert_eq!(bits[0], 0b1111);
+        assert_eq!(bits[1], 1 << 5, "reg 69 lands in the second word");
+        assert!(
+            rf.touched_bits().iter().all(|&w| w == 0),
+            "take_touched drains the tracker"
+        );
+        rf.write_full(1, 4, 9);
+        assert_eq!(rf.touched_bits()[0], 1 << 4);
+    }
+
+    #[test]
+    fn stored_eq_reg_isolates_single_register_differences() {
+        let mut a = WarpRegFile::new(8, Protection::SecDedDp);
+        let mut b = WarpRegFile::new(8, Protection::SecDedDp);
+        a.write_full(5, 3, 0xFACE);
+        b.write_full(5, 3, 0xFACE);
+        b.write_full(7, 6, 1);
+        assert!(a.stored_eq_reg(&b, 3));
+        assert!(!a.stored_eq_reg(&b, 6));
+    }
+
+    #[test]
+    fn cow_regfile_materializes_on_first_write_only() {
+        let mut base = WarpRegFile::new(8, Protection::SecDedDp);
+        base.write_full(0, 2, 42);
+        base.take_touched();
+        let base = Arc::new(base);
+        let mut cow = CowRegFile::shared(Arc::clone(&base), false);
+        assert_eq!(cow.read(0, 2), (42, RegFileEvent::Clean));
+        assert_eq!(cow.peek(0, 2), 42);
+        assert!(!cow.is_materialized(), "reads must not clone");
+        cow.write_full(0, 2, 7);
+        assert!(cow.is_materialized());
+        assert_eq!(cow.peek(0, 2), 7);
+        assert_eq!(base.peek(0, 2), 42, "the shared base is untouched");
+        assert_eq!(cow.touched_bits()[0], 1 << 2, "private copy starts clean");
+    }
+
+    #[test]
+    fn cow_regfile_rearms_deferred_encoding_at_materialization() {
+        let base = Arc::new(WarpRegFile::new(8, Protection::SecDedDp));
+        let mut cow = CowRegFile::shared(base, true);
+        assert!(!cow.has_deferred());
+        cow.write_full(0, 1, 5);
+        assert!(
+            cow.has_deferred(),
+            "tier-2 resume defers check bits in the private copy"
+        );
+        cow.flush_deferred();
+        let mut eager = WarpRegFile::new(8, Protection::SecDedDp);
+        eager.write_full(0, 1, 5);
+        assert!(cow.stored_eq(&eager));
     }
 }

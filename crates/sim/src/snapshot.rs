@@ -36,13 +36,15 @@
 //! and convergence early-exit are shared between the tiers, and the tier-1
 //! interpreter stays as the differential reference.
 
+use std::sync::Arc;
+
 use crate::exec::{compare, CancelToken, Detection, ExecConfig, ExecError, Launch};
 use crate::fault::{ControlTarget, FaultClass, FaultSpec, FaultTarget};
-use crate::memory::{GlobalMemory, SharedMemory};
+use crate::memory::{CowMemory, CowShared, GlobalMemory};
 use crate::predecode::{
     Alu1Kind, Alu2Kind, Guard, MicroOp, PShflMode, PSrc, PredecodedKernel, UOp, WriteMode,
 };
-use crate::regfile::{Protection, RegFileEvent, WarpRegFile};
+use crate::regfile::{CowRegFile, Protection, RegFileEvent, WarpRegFile};
 use crate::tier2::{CompiledKernel, ExecTier};
 use swapcodes_isa::{Kernel, MemSpace, SpecialReg};
 
@@ -71,9 +73,29 @@ pub struct WarpSnapshot {
     pub rf: WarpRegFile,
 }
 
+/// One warp of an epoch snapshot: resume state plus the golden run's
+/// touched-register bitmap for the interval *ending* at this rung (the
+/// per-epoch register delta the dirty-only convergence comparison
+/// accumulates, DESIGN §14).
+#[derive(Debug, Clone)]
+struct EpochWarp {
+    frags: Vec<Fragment>,
+    preds: [u8; 32],
+    /// Shared base file: trials wrap it in a [`CowRegFile`] and only clone
+    /// on first write. Captured with a drained touched bitmap, so a resumed
+    /// trial's dirty tracking starts empty.
+    rf: Arc<WarpRegFile>,
+    /// Registers the golden run wrote in `(previous rung, this rung]`.
+    delta_regs: Vec<u64>,
+}
+
 /// One rung of the epoch ladder: the complete architectural state of the
 /// golden run at a dynamic-instruction boundary (taken at the top of a
 /// scheduler round, so resuming restarts the round scheduler cleanly).
+/// Bulk state (global memory, shared memory, register files) is held in
+/// `Arc`s so resuming a trial shares it copy-on-write instead of deep
+/// cloning, and each rung records the golden run's dirty set for the
+/// interval ending at it.
 #[derive(Debug, Clone)]
 pub struct EpochSnapshot {
     /// Dynamic warp-instructions executed when the snapshot was taken.
@@ -82,10 +104,14 @@ pub struct EpochSnapshot {
     pub eligible_orig: u64,
     /// Shadow-side eligible instructions executed so far.
     pub eligible_shadow: u64,
-    warps: Vec<WarpSnapshot>,
+    warps: Vec<EpochWarp>,
     bars: Vec<bool>,
-    shared: Vec<u32>,
-    mem: GlobalMemory,
+    shared: Arc<Vec<u32>>,
+    /// Whether the golden run wrote shared memory in `(previous, this]`.
+    delta_shared: bool,
+    mem: Arc<Vec<u32>>,
+    /// Global-memory pages the golden run wrote in `(previous, this]`.
+    delta_pages: Vec<u64>,
 }
 
 impl EpochSnapshot {
@@ -133,6 +159,20 @@ pub struct GoldenCapture {
     pub mem: GlobalMemory,
 }
 
+/// How a trial materializes the epoch snapshot it resumes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResumeMode {
+    /// Deep-copy the full snapshot upfront and compare complete machine
+    /// state at convergence checks — the legacy O(total state) path, kept
+    /// as the differential anchor for the copy-on-write path.
+    Clone,
+    /// Share the snapshot through `Arc`s and materialize only what the
+    /// trial writes; convergence checks compare only the dirty superset
+    /// (trial writes ∪ accumulated golden deltas) against golden state.
+    #[default]
+    Cow,
+}
+
 /// Result of one fast-forwarded trial.
 #[derive(Debug)]
 pub struct FastTrial {
@@ -144,12 +184,22 @@ pub struct FastTrial {
     /// state after the strike: the outcome is provably Masked and `mem` is
     /// *not* the final memory (the suffix was pruned).
     pub converged_early: bool,
-    /// Global memory at the point the trial stopped.
-    pub mem: GlobalMemory,
+    /// Global memory at the point the trial stopped (a CoW view over the
+    /// resume snapshot; use [`CowMemory::read_u32_slice`] for O(output)
+    /// region reads or [`CowMemory::words`]/[`CowMemory::to_global`] to
+    /// flatten).
+    pub mem: CowMemory,
     /// Dynamic-instruction count of the snapshot the trial resumed from.
     pub resumed_from: u64,
     /// Dynamic instructions actually executed by this trial.
     pub executed: u64,
+    /// Bytes of snapshot state this trial materialized (global-memory
+    /// pages, shared memory if written, register files if written).
+    pub bytes_cloned: u64,
+    /// Global-memory pages materialized by writes.
+    pub cow_pages_cloned: u64,
+    /// Total global-memory pages in the snapshot (the CoW denominator).
+    pub cow_pages_total: u64,
 }
 
 /// The fast-forward campaign engine: a predecoded kernel plus the golden
@@ -162,6 +212,7 @@ pub struct CampaignEngine {
     max_dynamic: u64,
     tier: ExecTier,
     compiled: Option<CompiledKernel>,
+    page_words: usize,
 }
 
 impl CampaignEngine {
@@ -212,6 +263,7 @@ impl CampaignEngine {
     ) -> Result<(Self, GoldenCapture), ExecError> {
         let pk = PredecodedKernel::new(kernel);
         let max_dynamic = config.max_dynamic;
+        let page_words = config.cow_page_words.max(1).next_power_of_two();
         let compiled = match config.tier {
             ExecTier::Tier1 => None,
             ExecTier::Tier2 => Some(CompiledKernel::compile(&pk)),
@@ -222,8 +274,8 @@ impl CampaignEngine {
             fault: None,
             fuel: None,
             max_dynamic,
-            mem: initial_mem.clone(),
-            shared: SharedMemory::new(launch.shared_words as usize),
+            mem: CowMemory::new(Arc::new(initial_mem.words().to_vec()), page_words),
+            shared: CowShared::new_zeroed(launch.shared_words as usize),
             dyn_count: 0,
             eligible_orig: 0,
             eligible_shadow: 0,
@@ -259,7 +311,7 @@ impl CampaignEngine {
             truncated: ctx.truncated,
             eligible_orig: ctx.eligible_orig,
             eligible_shadow: ctx.eligible_shadow,
-            mem: ctx.mem,
+            mem: ctx.mem.to_global(),
         };
         let ladder = EpochLadder {
             interval: interval.max(1),
@@ -275,9 +327,16 @@ impl CampaignEngine {
                 max_dynamic,
                 tier: config.tier,
                 compiled,
+                page_words,
             },
             capture,
         ))
+    }
+
+    /// Copy-on-write page size (in 32-bit words) trials resume with.
+    #[must_use]
+    pub fn page_words(&self) -> usize {
+        self.page_words
     }
 
     /// Number of epoch snapshots in the ladder.
@@ -342,14 +401,18 @@ impl CampaignEngine {
         fuel: u64,
         cancel: Option<&CancelToken>,
     ) -> FastTrial {
-        let snaps = &self.ladder.snapshots;
+        self.run_trial_mode(fault, fuel, cancel, ResumeMode::Cow)
+    }
+
+    /// Index of the ladder rung `fault`'s trial resumes from: the latest
+    /// rung whose captured golden prefix is provably fault-free. For
+    /// datapath classes that is "no matching-side eligible access has
+    /// reached the strike / activation index yet"; for control strikes it is
+    /// "the delivery instruction has not issued yet".
+    #[must_use]
+    pub fn resume_rung(&self, fault: &FaultSpec) -> usize {
         let mut si = 0;
-        for (i, s) in snaps.iter().enumerate() {
-            // A rung is usable while the golden prefix it captures is
-            // provably fault-free: for datapath classes that is "no
-            // matching-side eligible access has reached the strike /
-            // activation index yet"; for control strikes it is "the
-            // delivery instruction has not issued yet".
+        for (i, s) in self.ladder.snapshots.iter().enumerate() {
             let before_strike = if fault.is_control() {
                 s.dyn_count <= fault.eligible_index
             } else {
@@ -361,15 +424,36 @@ impl CampaignEngine {
                 break;
             }
         }
-        let snap = &snaps[si];
+        si
+    }
+
+    /// [`Self::run_trial_cancellable`] with an explicit [`ResumeMode`]:
+    /// `Cow` (the default everywhere else) shares the resume snapshot and
+    /// compares dirty state only; `Clone` deep-copies it upfront and
+    /// compares complete machine state — the legacy cost model, kept as the
+    /// byte-identity anchor the CoW path is differentially tested against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ladder is empty, exactly like [`Self::run_trial`].
+    #[must_use]
+    pub fn run_trial_mode(
+        &self,
+        fault: FaultSpec,
+        fuel: u64,
+        cancel: Option<&CancelToken>,
+        mode: ResumeMode,
+    ) -> FastTrial {
+        let si = self.resume_rung(&fault);
+        let snap = &self.ladder.snapshots[si];
         let mut ctx = FastCtx {
             pk: &self.pk,
             launch: self.launch,
             fault: Some(fault),
             fuel: Some(fuel),
             max_dynamic: self.max_dynamic,
-            mem: snap.mem.clone(),
-            shared: SharedMemory::from_words(snap.shared.clone()),
+            mem: CowMemory::new(Arc::clone(&snap.mem), self.page_words),
+            shared: CowShared::resume(Arc::clone(&snap.shared)),
             dyn_count: snap.dyn_count,
             eligible_orig: snap.eligible_orig,
             eligible_shadow: snap.eligible_shadow,
@@ -381,6 +465,7 @@ impl CampaignEngine {
             control_delivered: false,
             cancel: cancel.cloned(),
         };
+        let defer = self.compiled.is_some();
         let mut warps: Vec<FastWarp> = snap
             .warps
             .iter()
@@ -390,13 +475,17 @@ impl CampaignEngine {
                 wid: wid as u32,
                 frags: ws.frags.clone(),
                 preds: ws.preds,
-                rf: ws.rf.clone(),
+                rf: CowRegFile::shared(Arc::clone(&ws.rf), defer),
                 waiting_bar: bar,
             })
             .collect();
-        if self.compiled.is_some() {
+        if mode == ResumeMode::Clone {
+            ctx.mem.materialize_all();
+            ctx.shared.materialize();
             for w in &mut warps {
-                w.rf.set_deferred(true);
+                // Materialization re-arms tier-2 deferred encoding, exactly
+                // like the legacy clone-then-set_deferred sequence.
+                w.rf.materialize();
             }
         }
         // Early-exit is only sound when the golden suffix itself completes
@@ -411,15 +500,32 @@ impl CampaignEngine {
             idx: si,
             fault,
             fuel_ok,
+            acc: DeltaAcc::sized_like(snap),
+            full: mode == ResumeMode::Clone,
             converged: &mut converged,
         };
         run_rounds(&mut ctx, &mut warps, &mut hook, self.compiled.as_ref());
+        let regfile_bytes: u64 = warps
+            .iter()
+            .filter(|w| w.rf.is_materialized())
+            .map(|w| u64::from(w.rf.regs()) * 32 * 8)
+            .sum();
+        let shared_bytes = if ctx.shared.is_materialized() {
+            snap.shared.len() as u64 * 4
+        } else {
+            0
+        };
+        let bytes_cloned =
+            ctx.mem.pages_cloned() * self.page_words as u64 * 4 + shared_bytes + regfile_bytes;
         FastTrial {
             detection: ctx.detection,
             error: ctx.error,
             converged_early: converged,
             executed: ctx.dyn_count - snap.dyn_count,
             resumed_from: snap.dyn_count,
+            bytes_cloned,
+            cow_pages_cloned: ctx.mem.pages_cloned(),
+            cow_pages_total: ctx.mem.page_count() as u64,
             mem: ctx.mem,
         }
     }
@@ -432,7 +538,7 @@ impl CampaignEngine {
 pub(crate) struct FastWarp {
     pub(crate) wid: u32,
     pub(crate) frags: Vec<Fragment>,
-    pub(crate) rf: WarpRegFile,
+    pub(crate) rf: CowRegFile,
     pub(crate) preds: [u8; 32],
     pub(crate) waiting_bar: bool,
 }
@@ -451,8 +557,8 @@ pub(crate) struct FastCtx<'a> {
     pub(crate) fault: Option<FaultSpec>,
     pub(crate) fuel: Option<u64>,
     pub(crate) max_dynamic: u64,
-    pub(crate) mem: GlobalMemory,
-    pub(crate) shared: SharedMemory,
+    pub(crate) mem: CowMemory,
+    pub(crate) shared: CowShared,
     pub(crate) dyn_count: u64,
     pub(crate) eligible_orig: u64,
     pub(crate) eligible_shadow: u64,
@@ -520,6 +626,49 @@ impl FastCtx<'_> {
     }
 }
 
+/// The union of golden per-epoch dirty sets accumulated between the resume
+/// rung and the convergence candidate rung. Together with the trial's own
+/// dirty tracking (materialized CoW pages, touched registers, shared-memory
+/// materialization) it is a provable superset of every location where trial
+/// and golden state can differ: anything outside both sets still holds the
+/// resume snapshot's bytes in *both* machines (DESIGN §14).
+struct DeltaAcc {
+    /// OR of golden `delta_pages` over rungs in `(resume, candidate]`.
+    pages: Vec<u64>,
+    /// Per-warp OR of golden `delta_regs` over the same rungs.
+    regs: Vec<Vec<u64>>,
+    /// Whether any of those rungs saw a golden shared-memory write.
+    shared: bool,
+}
+
+impl DeltaAcc {
+    fn sized_like(s: &EpochSnapshot) -> Self {
+        Self {
+            pages: vec![0; s.delta_pages.len()],
+            regs: s
+                .warps
+                .iter()
+                .map(|w| vec![0; w.delta_regs.len()])
+                .collect(),
+            shared: false,
+        }
+    }
+
+    /// Absorb the per-epoch golden deltas of rung `s` (called once each time
+    /// the candidate index advances onto `s`).
+    fn absorb(&mut self, s: &EpochSnapshot) {
+        for (d, &x) in self.pages.iter_mut().zip(&s.delta_pages) {
+            *d |= x;
+        }
+        for (dr, w) in self.regs.iter_mut().zip(&s.warps) {
+            for (d, &x) in dr.iter_mut().zip(&w.delta_regs) {
+                *d |= x;
+            }
+        }
+        self.shared |= s.delta_shared;
+    }
+}
+
 /// What the scheduler does at the top of every round.
 enum Hook<'l> {
     /// Golden run: capture an epoch snapshot whenever `next` is reached.
@@ -534,26 +683,47 @@ enum Hook<'l> {
         idx: usize,
         fault: FaultSpec,
         fuel_ok: bool,
+        /// Golden dirty sets accumulated since the resume rung.
+        acc: DeltaAcc,
+        /// Compare complete machine state ([`ResumeMode::Clone`]) instead of
+        /// the dirty superset.
+        full: bool,
         converged: &'l mut bool,
     },
 }
 
-fn capture_epoch(ctx: &FastCtx<'_>, warps: &[FastWarp]) -> EpochSnapshot {
+/// Capture one epoch rung. Rebases the CoW overlays (flattening writes into
+/// fresh shared bases) and drains the per-warp touched bitmaps, so each rung
+/// records both the resume state and the golden dirty set of the interval
+/// ending at it — and so trials resuming from the captured `Arc`s start with
+/// clean dirty tracking.
+fn capture_epoch(ctx: &mut FastCtx<'_>, warps: &mut [FastWarp]) -> EpochSnapshot {
+    let (mem, delta_pages) = ctx.mem.rebase();
+    let (shared, delta_shared) = ctx.shared.rebase();
     EpochSnapshot {
         dyn_count: ctx.dyn_count,
         eligible_orig: ctx.eligible_orig,
         eligible_shadow: ctx.eligible_shadow,
         warps: warps
-            .iter()
-            .map(|w| WarpSnapshot {
-                frags: w.frags.clone(),
-                preds: w.preds,
-                rf: w.rf.clone(),
+            .iter_mut()
+            .map(|w| {
+                // Drain *before* cloning: the captured base must carry an
+                // empty touched bitmap so resumed trials track only their
+                // own writes.
+                let delta_regs = w.rf.take_touched();
+                EpochWarp {
+                    frags: w.frags.clone(),
+                    preds: w.preds,
+                    rf: Arc::new((*w.rf).clone()),
+                    delta_regs,
+                }
             })
             .collect(),
         bars: warps.iter().map(|w| w.waiting_bar).collect(),
-        shared: ctx.shared.words().to_vec(),
-        mem: ctx.mem.clone(),
+        shared,
+        delta_shared,
+        mem,
+        delta_pages,
     }
 }
 
@@ -562,20 +732,70 @@ fn capture_epoch(ctx: &FastCtx<'_>, warps: &[FastWarp]) -> EpochSnapshot {
 /// the decoder arming flag is a performance hint with no architectural
 /// effect once every stored word is a consistent codeword — which byte
 /// equality with the (fault-free) golden state guarantees.
-fn state_matches(s: &EpochSnapshot, ctx: &FastCtx<'_>, warps: &[FastWarp]) -> bool {
-    warps.len() == s.warps.len()
-        && warps
-            .iter()
-            .zip(&s.warps)
-            .zip(&s.bars)
-            .all(|((w, ws), &bar)| {
-                w.waiting_bar == bar
-                    && w.preds == ws.preds
-                    && w.frags == ws.frags
-                    && w.rf.stored_eq(&ws.rf)
-            })
-        && ctx.shared.words() == s.shared.as_slice()
-        && ctx.mem.words() == s.mem.words()
+///
+/// With `full` unset, bulk state is compared over the dirty superset only:
+/// the trial's materialized pages / touched registers / materialized shared
+/// memory, unioned with the golden deltas accumulated in `acc`. Locations
+/// outside both sets hold the resume snapshot's bytes in both machines, so
+/// skipping them cannot mask a difference (DESIGN §14). Control state
+/// (fragments, predicates, barrier flags) is tiny and always compared in
+/// full.
+fn state_matches(
+    s: &EpochSnapshot,
+    ctx: &FastCtx<'_>,
+    warps: &[FastWarp],
+    acc: &DeltaAcc,
+    full: bool,
+) -> bool {
+    if warps.len() != s.warps.len() {
+        return false;
+    }
+    for ((w, ws), &bar) in warps.iter().zip(&s.warps).zip(&s.bars) {
+        if w.waiting_bar != bar || w.preds != ws.preds || w.frags != ws.frags {
+            return false;
+        }
+    }
+    for ((w, ws), acc_regs) in warps.iter().zip(&s.warps).zip(&acc.regs) {
+        if full {
+            if !w.rf.stored_eq(&ws.rf) {
+                return false;
+            }
+            continue;
+        }
+        // An unmaterialized file has an all-zero touched bitmap (drained at
+        // capture), so only the golden deltas are walked for it.
+        let touched = w.rf.touched_bits();
+        for (word, &acc_bits) in acc_regs.iter().enumerate() {
+            let mut bits = acc_bits | touched.get(word).copied().unwrap_or(0);
+            while bits != 0 {
+                let reg = (word * 64) as u32 + bits.trailing_zeros();
+                bits &= bits - 1;
+                if !w.rf.stored_eq_reg(&ws.rf, reg as u8) {
+                    return false;
+                }
+            }
+        }
+    }
+    if (full || acc.shared || ctx.shared.is_materialized())
+        && ctx.shared.words() != s.shared.as_slice()
+    {
+        return false;
+    }
+    if full {
+        return ctx.mem.words() == s.mem.as_slice();
+    }
+    let resident = ctx.mem.resident_bits();
+    for (word, &acc_bits) in acc.pages.iter().enumerate() {
+        let mut bits = acc_bits | resident.get(word).copied().unwrap_or(0);
+        while bits != 0 {
+            let p = word * 64 + bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if !ctx.mem.page_eq(p, s.mem.as_slice()) {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 fn new_warps(pk: &PredecodedKernel, launch: Launch, protection: Protection) -> Vec<FastWarp> {
@@ -591,7 +811,7 @@ fn new_warps(pk: &PredecodedKernel, launch: Launch, protection: Protection) -> V
             FastWarp {
                 wid,
                 frags: vec![Fragment { pc: 0, mask }],
-                rf: WarpRegFile::new(pk.regs(), protection),
+                rf: CowRegFile::owned(WarpRegFile::new(pk.regs(), protection)),
                 preds: [0; 32],
                 waiting_bar: false,
             }
@@ -626,10 +846,13 @@ fn run_rounds(
                     // Snapshots must hold consistent codewords: restore any
                     // check bits the tier-2 engine deferred before cloning.
                     for w in warps.iter_mut() {
-                        w.rf.flush_deferred();
+                        if w.rf.has_deferred() {
+                            w.rf.flush_deferred();
+                        }
                     }
+                    let next_at = ctx.dyn_count + *interval;
                     out.push(capture_epoch(ctx, warps));
-                    *next = ctx.dyn_count + *interval;
+                    *next = next_at;
                 }
             }
             Hook::Converge {
@@ -637,23 +860,35 @@ fn run_rounds(
                 idx,
                 fault,
                 fuel_ok,
+                acc,
+                full,
                 converged,
             } => {
                 if *fuel_ok && !ctx.halted() && ctx.pending_due.is_none() {
                     let snaps = &ladder.snapshots;
                     while *idx < snaps.len() && snaps[*idx].dyn_count < ctx.dyn_count {
                         *idx += 1;
+                        // The candidate advanced one rung: fold that rung's
+                        // golden dirty set into the accumulated union.
+                        if *idx < snaps.len() {
+                            acc.absorb(&snaps[*idx]);
+                        }
                     }
                     if *idx < snaps.len()
                         && snaps[*idx].dyn_count == ctx.dyn_count
                         && ctx.strike_spent(fault)
                     {
                         // The stored-state comparison reads check bits:
-                        // restore any the tier-2 engine deferred first.
+                        // restore any the tier-2 engine deferred first. The
+                        // `has_deferred` guard keeps unwritten (still
+                        // shared) register files unmaterialized — a shared
+                        // base is captured flushed, so it never defers.
                         for w in warps.iter_mut() {
-                            w.rf.flush_deferred();
+                            if w.rf.has_deferred() {
+                                w.rf.flush_deferred();
+                            }
                         }
-                        if state_matches(&snaps[*idx], ctx, warps) {
+                        if state_matches(&snaps[*idx], ctx, warps, acc, *full) {
                             **converged = true;
                             return;
                         }
